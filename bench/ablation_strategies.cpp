@@ -1,0 +1,121 @@
+// Strategy ablation: the paper's four algorithms plus the diffusive
+// baseline family it cites as related work, on one epoch transition of
+// each perturbation mode. Shows the communication-vs-migration trade-off
+// space that motivates the unified hypergraph model.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/epoch_driver.hpp"
+#include "graphpart/diffusion.hpp"
+#include "hypergraph/convert.hpp"
+#include "metrics/balance.hpp"
+#include "metrics/cut.hpp"
+#include "metrics/migration.hpp"
+#include "partition/partitioner.hpp"
+#include "workload/datasets.hpp"
+#include "workload/perturb.hpp"
+
+namespace {
+
+using namespace hgr;
+
+void run_mode(const Graph& base, bool weights_mode, Weight alpha) {
+  std::unique_ptr<EpochScenario> scenario;
+  if (weights_mode) {
+    scenario = std::make_unique<WeightPerturbScenario>(
+        base, WeightPerturbOptions{}, 11);
+  } else {
+    scenario = std::make_unique<StructuralPerturbScenario>(
+        base, StructuralPerturbOptions{}, 11);
+  }
+  std::printf("\n--- %s, alpha=%lld ---\n",
+              weights_mode ? "perturbed weights" : "perturbed structure",
+              static_cast<long long>(alpha));
+  std::printf("%-16s %10s %10s %12s %8s\n", "strategy", "comm", "migration",
+              "total(norm)", "imb");
+
+  // Epoch 1 (static) + epoch 2 (the strategy under test) for each strategy
+  // on identical scenario seeds.
+  for (int strat = 0; strat < 5; ++strat) {
+    std::unique_ptr<EpochScenario> sc;
+    if (weights_mode) {
+      sc = std::make_unique<WeightPerturbScenario>(base,
+                                                   WeightPerturbOptions{}, 11);
+    } else {
+      sc = std::make_unique<StructuralPerturbScenario>(
+          base, StructuralPerturbOptions{}, 11);
+    }
+    EpochProblem e1 = sc->next_epoch();
+    PartitionConfig pcfg;
+    pcfg.num_parts = 16;
+    pcfg.epsilon = 0.05;
+    pcfg.seed = 21;
+    const Hypergraph h1 = graph_to_hypergraph(e1.graph);
+    Partition p = partition_hypergraph(h1, pcfg);
+    sc->record_partition(p);
+    EpochProblem e2 = sc->next_epoch();
+    const Hypergraph h2 = graph_to_hypergraph(e2.graph);
+
+    RepartitionerConfig rcfg;
+    rcfg.partition = pcfg;
+    rcfg.partition.seed = 22;
+    rcfg.alpha = alpha;
+
+    Partition next;
+    std::string name;
+    switch (strat) {
+      case 0:
+        name = "hg-repart";
+        next = hypergraph_repartition(h2, e2.old_partition, rcfg).partition;
+        break;
+      case 1:
+        name = "graph-repart";
+        next = graph_repartition(e2.graph, e2.old_partition, rcfg).partition;
+        break;
+      case 2:
+        name = "hg-scratch";
+        next = hypergraph_scratch(h2, e2.old_partition, rcfg).partition;
+        break;
+      case 3:
+        name = "graph-scratch";
+        next = graph_scratch(e2.graph, e2.old_partition, rcfg).partition;
+        break;
+      case 4: {
+        name = "diffusion";
+        DiffusionConfig dcfg;
+        dcfg.epsilon = pcfg.epsilon;
+        dcfg.seed = 23;
+        next = diffusive_repartition(e2.graph, e2.old_partition, dcfg);
+        break;
+      }
+    }
+    const Weight comm = connectivity_cut(h2, next);
+    const Weight mig =
+        migration_volume(h2.vertex_sizes(), e2.old_partition, next);
+    std::printf("%-16s %10lld %10lld %12.1f %8.3f\n", name.c_str(),
+                static_cast<long long>(comm), static_cast<long long>(mig),
+                static_cast<double>(comm) +
+                    static_cast<double>(mig) / static_cast<double>(alpha),
+                imbalance(h2.vertex_weights(), next));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 0.5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0)
+      scale = std::stod(argv[i] + 8);
+  }
+  const Graph base = make_dataset("auto-like", scale, 7);
+  std::printf("=== Strategy ablation (auto-like, %s, k=16) ===\n",
+              base.summary().c_str());
+  for (const Weight alpha : {Weight{1}, Weight{100}}) {
+    run_mode(base, false, alpha);
+    run_mode(base, true, alpha);
+  }
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Figure 2: normalized total cost for xyce680s, (a) perturbed structure
+// and (b) perturbed weights, over k in {16,64} and alpha in {1..1000}.
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  return hgr::bench::run_cost_figure("Figure 2", "xyce680s-like", argc, argv);
+}

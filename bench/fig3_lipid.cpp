@@ -1,0 +1,6 @@
+// Figure 3: normalized total cost for 2DLipid (dense polymer-DFT analog).
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  return hgr::bench::run_cost_figure("Figure 3", "2DLipid-like", argc, argv);
+}

@@ -1,0 +1,6 @@
+// Figure 4: normalized total cost for auto (3D FEM mesh analog).
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  return hgr::bench::run_cost_figure("Figure 4", "auto-like", argc, argv);
+}

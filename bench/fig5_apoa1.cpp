@@ -1,0 +1,6 @@
+// Figure 5: normalized total cost for apoa1-10 (molecular dynamics analog).
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  return hgr::bench::run_cost_figure("Figure 5", "apoa1-like", argc, argv);
+}

@@ -1,0 +1,6 @@
+// Figure 6: normalized total cost for cage14 (DNA electrophoresis analog).
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  return hgr::bench::run_cost_figure("Figure 6", "cage14-like", argc, argv);
+}

@@ -1,0 +1,7 @@
+// Figure 7: repartitioning run time, xyce680s, perturbed data structure.
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  return hgr::bench::run_runtime_figure("Figure 7", "xyce680s-like", argc,
+                                        argv);
+}

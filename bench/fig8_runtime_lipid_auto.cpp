@@ -1,0 +1,11 @@
+// Figure 8: repartitioning run time with perturbed data structure for
+// (a) 2DLipid and (b) auto.
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  const int rc1 = hgr::bench::run_runtime_figure("Figure 8a", "2DLipid-like",
+                                                 argc, argv);
+  const int rc2 =
+      hgr::bench::run_runtime_figure("Figure 8b", "auto-like", argc, argv);
+  return rc1 != 0 ? rc1 : rc2;
+}

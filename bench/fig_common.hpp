@@ -1,0 +1,61 @@
+// Shared driver for the figure-reproduction benches (Figures 2-8).
+//
+// Each binary runs one dataset through both perturbation modes (cost
+// figures) or one/two datasets through the structural mode (run-time
+// figures), matching the layout of the paper's figures. Defaults are sized
+// for a single-core container; flags (--scale, --k, --alpha, --epochs,
+// --trials, --seed) unlock the full sweep.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "workload/experiment.hpp"
+
+namespace hgr::bench {
+
+inline ExperimentConfig default_config(const std::string& dataset,
+                                       int argc, char** argv) {
+  ExperimentConfig cfg;
+  cfg.dataset = dataset;
+  cfg.scale = 1.0;           // full analog scale (see datasets.hpp table)
+  cfg.k_values = {16, 64};   // paper: 16..64 processors
+  cfg.alphas = {1, 10, 100, 1000};
+  cfg.num_epochs = 4;        // 1 static bootstrap + 3 repartitions
+  cfg.num_trials = 1;        // paper used 20; raise with --trials=
+  cfg.apply_cli(argc, argv);
+  return cfg;
+}
+
+/// Cost figure (like Figures 2-6): (a) perturbed structure, (b) perturbed
+/// weights.
+inline int run_cost_figure(const std::string& figure,
+                           const std::string& dataset, int argc,
+                           char** argv) {
+  ExperimentConfig cfg = default_config(dataset, argc, argv);
+  for (const PerturbKind kind :
+       {PerturbKind::kStructure, PerturbKind::kWeights}) {
+    cfg.perturb = kind;
+    std::cerr << "[" << figure << "] running " << cfg.dataset << " "
+              << to_string(kind) << " (scale=" << cfg.scale << ")\n";
+    const auto cells = run_experiment(cfg, &std::cerr);
+    print_cost_figure(figure, cfg, cells, std::cout);
+  }
+  return 0;
+}
+
+/// Run-time figure (like Figures 7-8): perturbed structure only, reporting
+/// repartitioning wall time.
+inline int run_runtime_figure(const std::string& figure,
+                              const std::string& dataset, int argc,
+                              char** argv) {
+  ExperimentConfig cfg = default_config(dataset, argc, argv);
+  cfg.perturb = PerturbKind::kStructure;
+  std::cerr << "[" << figure << "] running " << cfg.dataset
+            << " (scale=" << cfg.scale << ")\n";
+  const auto cells = run_experiment(cfg, &std::cerr);
+  print_runtime_figure(figure, cfg, cells, std::cout);
+  return 0;
+}
+
+}  // namespace hgr::bench

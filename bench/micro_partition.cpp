@@ -1,0 +1,139 @@
+// google-benchmark microbenchmarks of the partitioner kernels: IPM
+// matching, contraction, FM refinement, greedy growing, model build, and
+// the end-to-end partitioners.
+#include <benchmark/benchmark.h>
+
+#include "core/repartition_model.hpp"
+#include "graphpart/gcoarsen.hpp"
+#include "graphpart/gpartitioner.hpp"
+#include "hypergraph/convert.hpp"
+#include "metrics/cut.hpp"
+#include "partition/contract.hpp"
+#include "partition/initial.hpp"
+#include "partition/matching_ipm.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/refine_fm.hpp"
+#include "workload/datasets.hpp"
+
+namespace {
+
+using namespace hgr;
+
+const Graph& bench_graph() {
+  static const Graph g = make_dataset("auto-like", 0.08, 3);
+  return g;
+}
+
+const Hypergraph& bench_hypergraph() {
+  static const Hypergraph h = graph_to_hypergraph(bench_graph());
+  return h;
+}
+
+void BM_IpmMatching(benchmark::State& state) {
+  const Hypergraph& h = bench_hypergraph();
+  PartitionConfig cfg;
+  for (auto _ : state) {
+    Rng rng(42);
+    benchmark::DoNotOptimize(ipm_matching(h, cfg, 0, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * h.num_vertices());
+}
+BENCHMARK(BM_IpmMatching);
+
+void BM_Contract(benchmark::State& state) {
+  const Hypergraph& h = bench_hypergraph();
+  PartitionConfig cfg;
+  Rng rng(42);
+  const auto match = ipm_matching(h, cfg, 0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(contract(h, match));
+  }
+  state.SetItemsProcessed(state.iterations() * h.num_pins());
+}
+BENCHMARK(BM_Contract);
+
+void BM_GreedyGrowingBisection(benchmark::State& state) {
+  const Hypergraph& h = bench_hypergraph();
+  BisectionTargets t;
+  t.target0 = h.total_vertex_weight() / 2;
+  t.target1 = h.total_vertex_weight() - t.target0;
+  t.epsilon = 0.05;
+  for (auto _ : state) {
+    Rng rng(7);
+    benchmark::DoNotOptimize(greedy_growing_bisection(h, t, rng));
+  }
+}
+BENCHMARK(BM_GreedyGrowingBisection);
+
+void BM_FmRefineBisection(benchmark::State& state) {
+  const Hypergraph& h = bench_hypergraph();
+  BisectionTargets t;
+  t.target0 = h.total_vertex_weight() / 2;
+  t.target1 = h.total_vertex_weight() - t.target0;
+  t.epsilon = 0.05;
+  PartitionConfig cfg;
+  std::vector<PartId> start(static_cast<std::size_t>(h.num_vertices()));
+  Rng init(9);
+  for (auto& s : start) s = static_cast<PartId>(init.below(2));
+  for (auto _ : state) {
+    std::vector<PartId> side = start;
+    Rng rng(11);
+    benchmark::DoNotOptimize(fm_refine_bisection(h, side, t, cfg, rng));
+  }
+}
+BENCHMARK(BM_FmRefineBisection);
+
+void BM_BuildRepartitionModel(benchmark::State& state) {
+  const Hypergraph& h = bench_hypergraph();
+  PartitionConfig cfg;
+  cfg.num_parts = 16;
+  const Partition old_p = partition_hypergraph(h, cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_repartition_model(h, old_p, 100));
+  }
+}
+BENCHMARK(BM_BuildRepartitionModel);
+
+void BM_PartitionHypergraphK(benchmark::State& state) {
+  const Hypergraph& h = bench_hypergraph();
+  PartitionConfig cfg;
+  cfg.num_parts = static_cast<PartId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition_hypergraph(h, cfg));
+  }
+}
+BENCHMARK(BM_PartitionHypergraphK)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_PartitionGraphK(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  PartitionConfig cfg;
+  cfg.num_parts = static_cast<PartId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition_graph(g, cfg));
+  }
+}
+BENCHMARK(BM_PartitionGraphK)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_HeavyEdgeMatching(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  for (auto _ : state) {
+    Rng rng(5);
+    benchmark::DoNotOptimize(heavy_edge_matching(g, 0, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_vertices());
+}
+BENCHMARK(BM_HeavyEdgeMatching);
+
+void BM_ConnectivityCut(benchmark::State& state) {
+  const Hypergraph& h = bench_hypergraph();
+  PartitionConfig cfg;
+  cfg.num_parts = 16;
+  const Partition p = partition_hypergraph(h, cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(connectivity_cut(h, p));
+  }
+  state.SetItemsProcessed(state.iterations() * h.num_pins());
+}
+BENCHMARK(BM_ConnectivityCut);
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Perturbation-parameter sensitivity — the paper's robustness paragraph:
+// "We tested several other configurations by varying the fraction of
+// vertices lost or gained and the factor that scales the size and weight
+// of vertices. The results we obtained in these experiments were similar
+// to the ones presented in this section."
+//
+// This bench sweeps those knobs and reports, per configuration, whether
+// the headline ordering (repart beats scratch on total cost at alpha=1)
+// still holds.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/epoch_driver.hpp"
+#include "workload/datasets.hpp"
+#include "workload/perturb.hpp"
+
+namespace {
+
+using namespace hgr;
+
+struct Totals {
+  double repart = 0;
+  double scratch = 0;
+};
+
+Totals run_config(const Graph& base, std::unique_ptr<EpochScenario> (*make)(
+                                         const Graph&, double, double),
+                  double knob1, double knob2) {
+  Totals totals;
+  for (const RepartAlgorithm alg : {RepartAlgorithm::kHypergraphRepart,
+                                    RepartAlgorithm::kHypergraphScratch}) {
+    auto scenario = make(base, knob1, knob2);
+    RepartitionerConfig cfg;
+    cfg.alpha = 1;
+    cfg.partition.num_parts = 16;
+    cfg.partition.epsilon = 0.05;
+    cfg.partition.seed = 13;
+    const EpochRunSummary s = run_epochs(*scenario, alg, cfg, 3);
+    const double total = s.mean_normalized_total_cost();
+    if (alg == RepartAlgorithm::kHypergraphRepart) {
+      totals.repart = total;
+    } else {
+      totals.scratch = total;
+    }
+  }
+  return totals;
+}
+
+std::unique_ptr<EpochScenario> make_structural(const Graph& base,
+                                               double vertex_fraction,
+                                               double parts_fraction) {
+  StructuralPerturbOptions opt;
+  opt.vertex_fraction = vertex_fraction;
+  opt.parts_fraction = parts_fraction;
+  return std::make_unique<StructuralPerturbScenario>(base, opt, 31);
+}
+
+std::unique_ptr<EpochScenario> make_weights(const Graph& base,
+                                            double min_factor,
+                                            double max_factor) {
+  WeightPerturbOptions opt;
+  opt.min_factor = min_factor;
+  opt.max_factor = max_factor;
+  return std::make_unique<WeightPerturbScenario>(base, opt, 31);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 0.5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0)
+      scale = std::stod(argv[i] + 8);
+  }
+  const Graph base = make_dataset("auto-like", scale, 9);
+  std::printf("=== Perturbation-parameter sensitivity (auto-like, %s, "
+              "k=16, alpha=1) ===\n",
+              base.summary().c_str());
+
+  std::printf("\nstructural: fraction of |V| deleted per epoch\n");
+  std::printf("%-22s %14s %14s %10s\n", "config", "repart total",
+              "scratch total", "winner");
+  for (const double frac : {0.10, 0.25, 0.40}) {
+    const Totals t = run_config(base, make_structural, frac, 0.5);
+    std::printf("vertex_fraction=%.2f   %14.1f %14.1f %10s\n", frac,
+                t.repart, t.scratch,
+                t.repart < t.scratch ? "repart" : "scratch");
+  }
+  for (const double pf : {0.25, 0.75}) {
+    const Totals t = run_config(base, make_structural, 0.25, pf);
+    std::printf("parts_fraction=%.2f    %14.1f %14.1f %10s\n", pf, t.repart,
+                t.scratch, t.repart < t.scratch ? "repart" : "scratch");
+  }
+
+  std::printf("\nAMR: weight/size scaling factor range\n");
+  std::printf("%-22s %14s %14s %10s\n", "config", "repart total",
+              "scratch total", "winner");
+  const double ranges[][2] = {{1.5, 3.0}, {1.5, 7.5}, {3.0, 10.0}};
+  for (const auto& range : ranges) {
+    const Totals t = run_config(base, make_weights, range[0], range[1]);
+    std::printf("factor=[%.1f, %.1f]     %14.1f %14.1f %10s\n", range[0],
+                range[1], t.repart, t.scratch,
+                t.repart < t.scratch ? "repart" : "scratch");
+  }
+  return 0;
+}

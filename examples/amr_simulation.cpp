@@ -1,0 +1,77 @@
+// Adaptive-mesh-refinement style simulation loop — the paper's motivating
+// scenario (Section 1: "A classic example is simulation based on adaptive
+// mesh refinement, in which the computational mesh changes between time
+// steps").
+//
+// A 3D mesh runs for several epochs. Each epoch a moving "shock front"
+// region is refined (its cells' weights and sizes grow) while the rest
+// coarsens back, and the load balancer repartitions before the next epoch.
+// The example contrasts the paper's hypergraph repartitioning against
+// repartitioning from scratch, epoch by epoch.
+#include <cmath>
+#include <cstdio>
+
+#include "core/repartitioner.hpp"
+#include "hypergraph/convert.hpp"
+#include "metrics/balance.hpp"
+#include "partition/partitioner.hpp"
+#include "workload/generators.hpp"
+
+int main() {
+  using namespace hgr;
+  const Index side = 12;
+  Graph mesh = make_grid3d(side, side, side, false);
+  const Index n = mesh.num_vertices();
+
+  const PartId k = 8;
+  const Weight alpha = 20;
+
+  PartitionConfig pcfg;
+  pcfg.num_parts = k;
+  pcfg.epsilon = 0.05;
+  pcfg.seed = 3;
+
+  Hypergraph h = graph_to_hypergraph(mesh);
+  Partition repart_p = partition_hypergraph(h, pcfg);
+  Partition scratch_p = repart_p;
+
+  std::printf("%-6s %-12s %10s %10s %12s %10s\n", "epoch", "method", "comm",
+              "migration", "total(norm)", "imbalance");
+
+  for (int epoch = 1; epoch <= 6; ++epoch) {
+    // The shock front: a plane sweeping through the mesh; cells within
+    // distance 1.5 of it are refined 6x.
+    const double front = (epoch * side) / 6.0;
+    for (Index v = 0; v < n; ++v) {
+      const Index z = v / (side * side);
+      const bool refined = std::abs(z - front) < 1.5;
+      mesh.set_vertex_weight(v, refined ? 6 : 1);
+      mesh.set_vertex_size(v, refined ? 6 : 1);
+    }
+    h = graph_to_hypergraph(mesh);
+
+    RepartitionerConfig rcfg;
+    rcfg.partition = pcfg;
+    rcfg.partition.seed = static_cast<std::uint64_t>(100 + epoch);
+    rcfg.alpha = alpha;
+
+    const RepartitionResult a = hypergraph_repartition(h, repart_p, rcfg);
+    const RepartitionResult b = hypergraph_scratch(h, scratch_p, rcfg);
+    std::printf("%-6d %-12s %10lld %10lld %12.1f %10.3f\n", epoch,
+                "hg-repart", static_cast<long long>(a.cost.comm_volume),
+                static_cast<long long>(a.cost.migration_volume),
+                a.cost.normalized_total(),
+                imbalance(h.vertex_weights(), a.partition));
+    std::printf("%-6d %-12s %10lld %10lld %12.1f %10.3f\n", epoch,
+                "hg-scratch", static_cast<long long>(b.cost.comm_volume),
+                static_cast<long long>(b.cost.migration_volume),
+                b.cost.normalized_total(),
+                imbalance(h.vertex_weights(), b.partition));
+    repart_p = a.partition;
+    scratch_p = b.partition;
+  }
+  std::printf("\nhg-repart keeps migration small by paying a little "
+              "communication; scratch repays the full data layout every "
+              "epoch.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Lightweight always-on assertion macros.
+//
+// Partitioning bugs tend to produce silently-wrong partitions rather than
+// crashes, so invariant checks stay enabled in release builds; the hot inner
+// loops use HGR_DASSERT which compiles away outside debug builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hgr::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "hgr assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace hgr::detail
+
+#define HGR_ASSERT(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::hgr::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define HGR_ASSERT_MSG(expr, msg)                                  \
+  do {                                                             \
+    if (!(expr))                                                   \
+      ::hgr::detail::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+  } while (0)
+
+#ifndef NDEBUG
+#define HGR_DASSERT(expr) HGR_ASSERT(expr)
+#else
+#define HGR_DASSERT(expr) ((void)0)
+#endif

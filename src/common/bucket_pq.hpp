@@ -1,0 +1,144 @@
+// Bucket priority queue ("gain buckets") for Fiduccia-Mattheyses refinement.
+//
+// Classic FM data structure: items (vertices) are keyed by an integer gain
+// in a bounded range; buckets are doubly-linked lists indexed by gain, and a
+// max-gain pointer makes pop-max amortized O(1). Supports the operations FM
+// needs: insert, remove, adjust-key (re-gain), pop-max, and LIFO tie-break
+// within a bucket (helps FM escape plateaus, per the original paper).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace hgr {
+
+class BucketPQ {
+ public:
+  /// num_items: item ids are 0..num_items-1.
+  /// max_abs_gain: gains are clamped-checked to [-max_abs_gain, max_abs_gain].
+  BucketPQ(Index num_items, Weight max_abs_gain)
+      : max_abs_(max_abs_gain),
+        num_buckets_(2 * max_abs_gain + 1),
+        heads_(static_cast<std::size_t>(num_buckets_), kInvalidIndex),
+        next_(static_cast<std::size_t>(num_items), kInvalidIndex),
+        prev_(static_cast<std::size_t>(num_items), kInvalidIndex),
+        gain_(static_cast<std::size_t>(num_items), 0),
+        in_queue_(static_cast<std::size_t>(num_items), false),
+        max_bucket_(-1),
+        size_(0) {}
+
+  bool empty() const { return size_ == 0; }
+  Index size() const { return size_; }
+  bool contains(Index item) const {
+    return in_queue_[static_cast<std::size_t>(item)];
+  }
+  Weight gain(Index item) const {
+    HGR_DASSERT(contains(item));
+    return gain_[static_cast<std::size_t>(item)];
+  }
+
+  void insert(Index item, Weight gain) {
+    HGR_DASSERT(!contains(item));
+    HGR_DASSERT(gain >= -max_abs_ && gain <= max_abs_);
+    const auto b = bucket_of(gain);
+    push_front(item, b);
+    gain_[static_cast<std::size_t>(item)] = gain;
+    in_queue_[static_cast<std::size_t>(item)] = true;
+    if (b > max_bucket_) max_bucket_ = b;
+    ++size_;
+  }
+
+  void remove(Index item) {
+    HGR_DASSERT(contains(item));
+    unlink(item, bucket_of(gain_[static_cast<std::size_t>(item)]));
+    in_queue_[static_cast<std::size_t>(item)] = false;
+    --size_;
+    settle_max();
+  }
+
+  /// Change an item's gain (typical after a neighbor move in FM).
+  void adjust(Index item, Weight new_gain) {
+    HGR_DASSERT(contains(item));
+    HGR_DASSERT(new_gain >= -max_abs_ && new_gain <= max_abs_);
+    const Weight old_gain = gain_[static_cast<std::size_t>(item)];
+    if (old_gain == new_gain) return;
+    unlink(item, bucket_of(old_gain));
+    const auto b = bucket_of(new_gain);
+    push_front(item, b);
+    gain_[static_cast<std::size_t>(item)] = new_gain;
+    if (b > max_bucket_) max_bucket_ = b;
+    settle_max();
+  }
+
+  /// Highest-gain item (LIFO within the bucket). Queue must be non-empty.
+  Index top() const {
+    HGR_DASSERT(!empty());
+    return heads_[static_cast<std::size_t>(max_bucket_)];
+  }
+
+  Weight top_gain() const {
+    HGR_DASSERT(!empty());
+    return max_bucket_ - max_abs_;
+  }
+
+  Index pop() {
+    const Index item = top();
+    remove(item);
+    return item;
+  }
+
+  void clear() {
+    if (size_ == 0) return;
+    for (std::size_t b = 0; b < heads_.size(); ++b) heads_[b] = kInvalidIndex;
+    for (std::size_t i = 0; i < in_queue_.size(); ++i) in_queue_[i] = false;
+    max_bucket_ = -1;
+    size_ = 0;
+  }
+
+ private:
+  Weight bucket_of(Weight gain) const { return gain + max_abs_; }
+
+  void push_front(Index item, Weight b) {
+    const auto bi = static_cast<std::size_t>(b);
+    const auto ii = static_cast<std::size_t>(item);
+    next_[ii] = heads_[bi];
+    prev_[ii] = kInvalidIndex;
+    if (heads_[bi] != kInvalidIndex)
+      prev_[static_cast<std::size_t>(heads_[bi])] = item;
+    heads_[bi] = item;
+  }
+
+  void unlink(Index item, Weight b) {
+    const auto ii = static_cast<std::size_t>(item);
+    const Index nx = next_[ii];
+    const Index pv = prev_[ii];
+    if (pv != kInvalidIndex) {
+      next_[static_cast<std::size_t>(pv)] = nx;
+    } else {
+      heads_[static_cast<std::size_t>(b)] = nx;
+    }
+    if (nx != kInvalidIndex) prev_[static_cast<std::size_t>(nx)] = pv;
+  }
+
+  void settle_max() {
+    while (max_bucket_ >= 0 &&
+           heads_[static_cast<std::size_t>(max_bucket_)] == kInvalidIndex) {
+      --max_bucket_;
+    }
+  }
+
+  Weight max_abs_;
+  Weight num_buckets_;
+  std::vector<Index> heads_;   // bucket -> first item
+  std::vector<Index> next_;    // item -> next in bucket
+  std::vector<Index> prev_;    // item -> prev in bucket
+  std::vector<Weight> gain_;   // item -> current gain
+  std::vector<bool> in_queue_;
+  Weight max_bucket_;          // index of highest non-empty bucket, -1 if none
+  Index size_;
+};
+
+}  // namespace hgr

@@ -1,0 +1,38 @@
+// Helpers for building compressed-sparse-row style offset/value arrays,
+// the storage format of both the graph and hypergraph classes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace hgr {
+
+/// Exclusive prefix sum in place: counts[i] becomes sum of counts[0..i-1],
+/// and a final total element is appended. Input of length n becomes offsets
+/// of length n+1.
+inline std::vector<Index> counts_to_offsets(std::vector<Index> counts) {
+  Index running = 0;
+  for (auto& c : counts) {
+    const Index here = c;
+    c = running;
+    running += here;
+  }
+  counts.push_back(running);
+  return counts;
+}
+
+/// View of one CSR row.
+inline std::span<const Index> csr_row(std::span<const Index> offsets,
+                                      std::span<const Index> values,
+                                      Index row) {
+  HGR_DASSERT(row >= 0 && row + 1 < static_cast<Index>(offsets.size()));
+  const auto begin = offsets[static_cast<std::size_t>(row)];
+  const auto end = offsets[static_cast<std::size_t>(row) + 1];
+  return values.subspan(static_cast<std::size_t>(begin),
+                        static_cast<std::size_t>(end - begin));
+}
+
+}  // namespace hgr

@@ -1,0 +1,61 @@
+// Disjoint-set union with path halving and union by size.
+//
+// Used by the workload generators (connectivity repair) and by tests that
+// verify contraction groups.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hgr {
+
+class DisjointSets {
+ public:
+  explicit DisjointSets(Index n)
+      : parent_(static_cast<std::size_t>(n)),
+        size_(static_cast<std::size_t>(n), 1) {
+    std::iota(parent_.begin(), parent_.end(), Index{0});
+  }
+
+  Index find(Index x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      auto& p = parent_[static_cast<std::size_t>(x)];
+      p = parent_[static_cast<std::size_t>(p)];
+      x = p;
+    }
+    return x;
+  }
+
+  /// Returns true if a and b were in different sets (i.e. a merge happened).
+  bool unite(Index a, Index b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[static_cast<std::size_t>(a)] < size_[static_cast<std::size_t>(b)])
+      std::swap(a, b);
+    parent_[static_cast<std::size_t>(b)] = a;
+    size_[static_cast<std::size_t>(a)] += size_[static_cast<std::size_t>(b)];
+    return true;
+  }
+
+  bool same(Index a, Index b) { return find(a) == find(b); }
+
+  Index set_size(Index x) {
+    return size_[static_cast<std::size_t>(find(x))];
+  }
+
+  Index num_sets() {
+    Index count = 0;
+    for (Index i = 0; i < static_cast<Index>(parent_.size()); ++i)
+      if (find(i) == i) ++count;
+    return count;
+  }
+
+ private:
+  std::vector<Index> parent_;
+  std::vector<Index> size_;
+};
+
+}  // namespace hgr

@@ -1,0 +1,19 @@
+#include "common/timer.hpp"
+
+#include <cstdio>
+
+namespace hgr {
+
+std::string format_seconds(double s) {
+  char buf[64];
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", s);
+  }
+  return buf;
+}
+
+}  // namespace hgr

@@ -1,0 +1,27 @@
+// Fundamental index and weight types used across the hgr library.
+//
+// The library follows the conventions of the IPDPS'07 repartitioning paper:
+// vertices carry a *weight* (computational load) and a *size* (bytes of data
+// that must move if the vertex migrates); nets carry a *cost* (bytes
+// communicated per iteration when the net is cut).
+#pragma once
+
+#include <cstdint>
+
+namespace hgr {
+
+/// Vertex or net index. Signed so that -1 can mean "none" in work arrays.
+using Index = std::int32_t;
+
+/// Weights, sizes, costs, and cut values. 64-bit: cut sums over millions of
+/// pins times alpha up to 1000 overflow 32 bits easily.
+using Weight = std::int64_t;
+
+/// Part identifier. -1 means "unassigned" / "free" depending on context.
+using PartId = std::int32_t;
+
+/// Sentinel for "no vertex / no net / no part".
+inline constexpr Index kInvalidIndex = -1;
+inline constexpr PartId kNoPart = -1;
+
+}  // namespace hgr

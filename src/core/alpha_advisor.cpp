@@ -1,0 +1,41 @@
+#include "core/alpha_advisor.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace hgr {
+
+AlphaAdvisor::AlphaAdvisor(double smoothing, Weight min_alpha,
+                           Weight max_alpha)
+    : smoothing_(smoothing), min_alpha_(min_alpha), max_alpha_(max_alpha) {
+  HGR_ASSERT(smoothing > 0.0 && smoothing <= 1.0);
+  HGR_ASSERT(min_alpha >= 1 && max_alpha >= min_alpha);
+}
+
+void AlphaAdvisor::record(const EpochObservation& epoch) {
+  HGR_ASSERT(epoch.iterations >= 1);
+  if (has_ema_) {
+    ema_ = smoothing_ * static_cast<double>(epoch.iterations) +
+           (1.0 - smoothing_) * ema_;
+  } else {
+    ema_ = static_cast<double>(epoch.iterations);
+    has_ema_ = true;
+  }
+  history_.push_back(epoch);
+}
+
+Weight AlphaAdvisor::recommend() const {
+  if (!has_ema_) return min_alpha_;
+  const auto predicted = static_cast<Weight>(ema_ + 0.5);
+  return std::clamp(predicted, min_alpha_, max_alpha_);
+}
+
+Weight AlphaAdvisor::replay_total_cost(Weight alpha) const {
+  Weight total = 0;
+  for (const EpochObservation& e : history_)
+    total += alpha * e.comm_volume + e.migration_volume;
+  return total;
+}
+
+}  // namespace hgr

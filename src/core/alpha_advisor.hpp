@@ -1,0 +1,60 @@
+// Alpha estimation — the paper's Section 6: "Our approach uses a single
+// user-defined parameter alpha to trade between communication cost and
+// migration cost. ... The best choice of alpha will depend on the
+// application, and can be estimated. Reasonable values are in the range
+// 1 - 1000."
+//
+// alpha is the number of iterations the application will run before the
+// next rebalance. Applications that do not know it a priori can feed the
+// advisor their epoch history (iterations actually executed, measured
+// per-iteration communication and migration volumes) and get back a
+// clamped prediction for the next epoch, plus a retrospective report of
+// what each candidate alpha would have cost.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hgr {
+
+struct EpochObservation {
+  Weight iterations = 1;        // how long the epoch actually ran
+  Weight comm_volume = 0;       // per-iteration communication volume
+  Weight migration_volume = 0;  // data moved entering this epoch
+};
+
+class AlphaAdvisor {
+ public:
+  /// smoothing in (0, 1]: weight of the newest observation in the
+  /// exponential moving average of epoch lengths (default 0.5).
+  explicit AlphaAdvisor(double smoothing = 0.5, Weight min_alpha = 1,
+                        Weight max_alpha = 1000);
+
+  void record(const EpochObservation& epoch);
+
+  /// Predicted iterations of the next epoch: the smoothed history, clamped
+  /// to [min_alpha, max_alpha] (the paper's "reasonable range"). Returns
+  /// the midpoint heuristic (min_alpha) before any history exists.
+  Weight recommend() const;
+
+  Index num_observations() const {
+    return static_cast<Index>(history_.size());
+  }
+  const std::vector<EpochObservation>& history() const { return history_; }
+
+  /// Retrospective: the total cost  alpha * comm + mig  the recorded
+  /// history would have accumulated; lets applications compare candidate
+  /// alphas against what actually happened.
+  Weight replay_total_cost(Weight alpha) const;
+
+ private:
+  double smoothing_;
+  Weight min_alpha_;
+  Weight max_alpha_;
+  double ema_ = 0.0;
+  bool has_ema_ = false;
+  std::vector<EpochObservation> history_;
+};
+
+}  // namespace hgr

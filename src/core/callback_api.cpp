@@ -1,0 +1,58 @@
+#include "core/callback_api.hpp"
+
+#include "common/assert.hpp"
+#include "hypergraph/builder.hpp"
+#include "partition/partitioner.hpp"
+
+namespace hgr {
+
+Hypergraph build_from_queries(const ObjectQueries& queries) {
+  HGR_ASSERT_MSG(queries.num_objects != nullptr, "num_objects is mandatory");
+  HGR_ASSERT_MSG(queries.num_hyperedges != nullptr,
+                 "num_hyperedges is mandatory");
+  HGR_ASSERT_MSG(queries.hyperedge_objects != nullptr,
+                 "hyperedge_objects is mandatory");
+
+  const Index n = queries.num_objects();
+  HypergraphBuilder builder(n);
+  const Index num_edges = queries.num_hyperedges();
+  for (Index e = 0; e < num_edges; ++e) {
+    const std::vector<Index> pins = queries.hyperedge_objects(e);
+    const Weight cost =
+        queries.hyperedge_cost ? queries.hyperedge_cost(e) : 1;
+    builder.add_net(pins, cost);
+  }
+  for (Index v = 0; v < n; ++v) {
+    if (queries.object_weight)
+      builder.set_vertex_weight(v, queries.object_weight(v));
+    if (queries.object_size)
+      builder.set_vertex_size(v, queries.object_size(v));
+    if (queries.fixed_part) {
+      const PartId f = queries.fixed_part(v);
+      if (f != kNoPart) builder.set_fixed_part(v, f);
+    }
+  }
+  return builder.finalize();
+}
+
+Partition partition_objects(const ObjectQueries& queries,
+                            const PartitionConfig& cfg) {
+  return partition_hypergraph(build_from_queries(queries), cfg);
+}
+
+RepartitionResult repartition_objects(
+    const ObjectQueries& queries,
+    const std::function<PartId(Index v)>& current_part,
+    const RepartitionerConfig& cfg) {
+  HGR_ASSERT_MSG(current_part != nullptr, "current_part is mandatory");
+  const Hypergraph h = build_from_queries(queries);
+  Partition old_p(cfg.partition.num_parts, h.num_vertices());
+  for (Index v = 0; v < h.num_vertices(); ++v) {
+    old_p[v] = current_part(v);
+    HGR_ASSERT_MSG(old_p[v] >= 0 && old_p[v] < old_p.k,
+                   "current_part out of range");
+  }
+  return hypergraph_repartition(h, old_p, cfg);
+}
+
+}  // namespace hgr

@@ -1,0 +1,59 @@
+// Zoltan-style callback (query-function) interface.
+//
+// Zoltan's defining API trait is that the application never hands over a
+// graph data structure; it registers query callbacks (number of objects,
+// weights, edges/hyperedges) and Zoltan pulls what it needs. This adapter
+// reproduces that surface: an application implements small std::function
+// queries and gets back a partition plus a migration plan, without ever
+// building a Hypergraph itself.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/repartitioner.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace hgr {
+
+/// The query set an application registers. Only num_objects and
+/// hyperedge enumeration are mandatory; weight/size queries default to 1.
+struct ObjectQueries {
+  /// Number of objects (vertices) the application owns.
+  std::function<Index()> num_objects;
+
+  /// Number of hyperedges (dependencies).
+  std::function<Index()> num_hyperedges;
+
+  /// Objects participating in hyperedge e (ids in [0, num_objects)).
+  std::function<std::vector<Index>(Index e)> hyperedge_objects;
+
+  /// Optional: communication cost of hyperedge e (default 1).
+  std::function<Weight(Index e)> hyperedge_cost;
+
+  /// Optional: computational weight of object v (default 1).
+  std::function<Weight(Index v)> object_weight;
+
+  /// Optional: migratable data size of object v (default 1).
+  std::function<Weight(Index v)> object_size;
+
+  /// Optional: fixed part of object v, kNoPart if free (default free).
+  std::function<PartId(Index v)> fixed_part;
+};
+
+/// Pull the application's data through the queries into a hypergraph.
+/// Mandatory queries must be set; optional ones may be null.
+Hypergraph build_from_queries(const ObjectQueries& queries);
+
+/// One-call static partitioning through the callback interface.
+Partition partition_objects(const ObjectQueries& queries,
+                            const PartitionConfig& cfg);
+
+/// One-call dynamic repartitioning (the paper's method): current_part(v)
+/// supplies the existing assignment.
+RepartitionResult repartition_objects(
+    const ObjectQueries& queries,
+    const std::function<PartId(Index v)>& current_part,
+    const RepartitionerConfig& cfg);
+
+}  // namespace hgr

@@ -1,0 +1,96 @@
+#include "core/epoch_driver.hpp"
+
+#include "common/assert.hpp"
+#include "common/timer.hpp"
+#include "graphpart/gpartitioner.hpp"
+#include "hypergraph/convert.hpp"
+#include "metrics/balance.hpp"
+#include "metrics/cut.hpp"
+#include "metrics/migration.hpp"
+#include "partition/partitioner.hpp"
+
+namespace hgr {
+
+namespace {
+
+double mean_over_repart_epochs(const std::vector<EpochRecord>& records,
+                               double (*value)(const EpochRecord&)) {
+  double sum = 0.0;
+  Index count = 0;
+  for (const EpochRecord& r : records) {
+    if (r.epoch < 2) continue;
+    sum += value(r);
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / count;
+}
+
+}  // namespace
+
+double EpochRunSummary::mean_comm_volume() const {
+  return mean_over_repart_epochs(epochs, [](const EpochRecord& r) {
+    return static_cast<double>(r.cost.comm_volume);
+  });
+}
+
+double EpochRunSummary::mean_migration_volume() const {
+  return mean_over_repart_epochs(epochs, [](const EpochRecord& r) {
+    return static_cast<double>(r.cost.migration_volume);
+  });
+}
+
+double EpochRunSummary::mean_normalized_total_cost() const {
+  return mean_over_repart_epochs(epochs, [](const EpochRecord& r) {
+    return r.cost.normalized_total();
+  });
+}
+
+double EpochRunSummary::mean_repart_seconds() const {
+  return mean_over_repart_epochs(
+      epochs, [](const EpochRecord& r) { return r.repart_seconds; });
+}
+
+EpochRunSummary run_epochs(EpochScenario& scenario,
+                           RepartAlgorithm algorithm,
+                           const RepartitionerConfig& cfg, Index num_epochs) {
+  EpochRunSummary summary;
+  for (Index e = 1; e <= num_epochs; ++e) {
+    EpochProblem problem = scenario.next_epoch();
+    const Hypergraph h = graph_to_hypergraph(problem.graph);
+
+    EpochRecord record;
+    record.epoch = e;
+    record.num_vertices = problem.graph.num_vertices();
+
+    Partition chosen;
+    if (problem.first) {
+      // Epoch 1: static partitioning (paper Section 3). Each family uses
+      // its own static partitioner, as in the paper's setup.
+      WallTimer timer;
+      const bool hypergraph_family =
+          algorithm == RepartAlgorithm::kHypergraphRepart ||
+          algorithm == RepartAlgorithm::kHypergraphScratch;
+      chosen = hypergraph_family
+                   ? partition_hypergraph(h, cfg.partition)
+                   : partition_graph(problem.graph, cfg.partition);
+      record.repart_seconds = timer.seconds();
+      record.cost.alpha = cfg.alpha;
+      record.cost.comm_volume = connectivity_cut(h, chosen);
+      record.cost.migration_volume = 0;
+    } else {
+      RepartitionResult result = run_repartition_algorithm(
+          algorithm, h, problem.graph, problem.old_partition, cfg);
+      record.repart_seconds = result.seconds;
+      record.cost = result.cost;
+      record.num_migrated =
+          num_migrated(problem.old_partition, result.partition);
+      chosen = std::move(result.partition);
+    }
+    record.imbalance = imbalance(problem.graph.vertex_weights(), chosen);
+    summary.epochs.push_back(record);
+    scenario.record_partition(chosen);
+  }
+  return summary;
+}
+
+}  // namespace hgr

@@ -1,0 +1,66 @@
+// Epoch driver: runs an adaptive computation's load-balancing loop.
+//
+// The paper's execution model (Section 3): the application computes in
+// *epochs*; epoch j runs alpha_j iterations on hypergraph H^j, then the
+// load balancer repartitions for epoch j+1 and data migrates. The driver
+// reproduces this loop against a pluggable dynamic-data scenario and one of
+// the four repartitioning algorithms, recording the per-epoch
+// communication volume, migration volume, imbalance and repartitioning
+// time that the paper's figures aggregate.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/repartitioner.hpp"
+#include "hypergraph/graph.hpp"
+#include "metrics/partition.hpp"
+
+namespace hgr {
+
+/// One epoch's problem instance, in epoch-local (compact) vertex ids.
+struct EpochProblem {
+  Graph graph;
+  std::vector<Index> to_base;   // epoch id -> scenario base id
+  Partition old_partition;      // previous assignment mapped to epoch ids
+  bool first = false;           // epoch 1: no old assignment, partition
+                                // statically
+};
+
+/// A source of dynamically changing epochs. Implementations live in
+/// workload/ (structural perturbation, simulated AMR). Protocol:
+/// next_epoch(), then record_partition() with the assignment chosen for
+/// that epoch, then next_epoch() again, ...
+class EpochScenario {
+ public:
+  virtual ~EpochScenario() = default;
+  virtual EpochProblem next_epoch() = 0;
+  virtual void record_partition(const Partition& p) = 0;
+};
+
+struct EpochRecord {
+  Index epoch = 0;
+  RepartitionCost cost;
+  double repart_seconds = 0.0;
+  double imbalance = 0.0;
+  Index num_vertices = 0;
+  Index num_migrated = 0;
+};
+
+struct EpochRunSummary {
+  std::vector<EpochRecord> epochs;
+
+  /// Averages over repartitioning epochs (epoch >= 2, where the paper's
+  /// figures live; epoch 1 is the static bootstrap).
+  double mean_comm_volume() const;
+  double mean_migration_volume() const;
+  double mean_normalized_total_cost() const;
+  double mean_repart_seconds() const;
+};
+
+/// Run `num_epochs` epochs of `scenario` using `algorithm`.
+EpochRunSummary run_epochs(EpochScenario& scenario,
+                           RepartAlgorithm algorithm,
+                           const RepartitionerConfig& cfg, Index num_epochs);
+
+}  // namespace hgr

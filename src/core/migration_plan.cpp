@@ -1,0 +1,57 @@
+#include "core/migration_plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace hgr {
+
+Weight MigrationPlan::max_part_traffic() const {
+  Weight best = 0;
+  for (PartId p = 0; p < k; ++p) {
+    Weight traffic = 0;
+    for (PartId q = 0; q < k; ++q) {
+      if (q == p) continue;
+      traffic += volume_between(p, q) + volume_between(q, p);
+    }
+    best = std::max(best, traffic);
+  }
+  return best;
+}
+
+std::string MigrationPlan::summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "moves=%zu volume=%lld max_part_traffic=%lld", moves.size(),
+                static_cast<long long>(total_volume),
+                static_cast<long long>(max_part_traffic()));
+  return buf;
+}
+
+MigrationPlan extract_migration_plan(std::span<const Weight> vertex_sizes,
+                                     const Partition& old_p,
+                                     const Partition& new_p) {
+  HGR_ASSERT(old_p.num_vertices() == new_p.num_vertices());
+  HGR_ASSERT(old_p.k == new_p.k);
+  HGR_ASSERT(static_cast<Index>(vertex_sizes.size()) == new_p.num_vertices());
+
+  MigrationPlan plan;
+  plan.k = new_p.k;
+  plan.volume_matrix.assign(
+      static_cast<std::size_t>(plan.k) * static_cast<std::size_t>(plan.k), 0);
+  for (Index v = 0; v < new_p.num_vertices(); ++v) {
+    const PartId from = old_p[v];
+    const PartId to = new_p[v];
+    if (from == to) continue;
+    const Weight size = vertex_sizes[static_cast<std::size_t>(v)];
+    plan.moves.push_back({v, from, to, size});
+    plan.total_volume += size;
+    plan.volume_matrix[static_cast<std::size_t>(from) *
+                           static_cast<std::size_t>(plan.k) +
+                       static_cast<std::size_t>(to)] += size;
+  }
+  return plan;
+}
+
+}  // namespace hgr

@@ -1,0 +1,47 @@
+// Decoding a repartitioning result into an executable data-migration plan:
+// which vertex moves where, how much data each processor pair exchanges.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "metrics/partition.hpp"
+
+namespace hgr {
+
+struct MigrationPlan {
+  struct Move {
+    Index vertex;
+    PartId from;
+    PartId to;
+    Weight size;
+  };
+
+  std::vector<Move> moves;
+  Weight total_volume = 0;
+  PartId k = 0;
+
+  /// volume[i*k + j] = bytes moving from part i to part j.
+  std::vector<Weight> volume_matrix;
+
+  Weight volume_between(PartId from, PartId to) const {
+    return volume_matrix[static_cast<std::size_t>(from) *
+                             static_cast<std::size_t>(k) +
+                         static_cast<std::size_t>(to)];
+  }
+
+  /// Largest send+receive volume over all parts: the migration bottleneck.
+  Weight max_part_traffic() const;
+
+  std::string summary() const;
+};
+
+/// Diff two assignments into a plan. vertex_sizes supplies per-vertex data
+/// sizes.
+MigrationPlan extract_migration_plan(std::span<const Weight> vertex_sizes,
+                                     const Partition& old_p,
+                                     const Partition& new_p);
+
+}  // namespace hgr

@@ -1,0 +1,114 @@
+#include "core/repartition_model.hpp"
+
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/csr_utils.hpp"
+#include "metrics/cut.hpp"
+#include "metrics/migration.hpp"
+
+namespace hgr {
+
+RepartitionModel build_repartition_model(const Hypergraph& h,
+                                         const Partition& old_p,
+                                         Weight alpha) {
+  HGR_ASSERT(alpha >= 1);
+  HGR_ASSERT(old_p.num_vertices() == h.num_vertices());
+  old_p.validate();
+
+  RepartitionModel model;
+  model.num_real_vertices = h.num_vertices();
+  model.num_comm_nets = h.num_nets();
+  model.k = old_p.k;
+  model.alpha = alpha;
+
+  const Index n = h.num_vertices();
+  const Index total_vertices = n + old_p.k;
+
+  // Vertices: real ones keep weight/size; partition vertices are weightless
+  // (they carry no computation and never migrate — they *are* the parts).
+  std::vector<Weight> weights(static_cast<std::size_t>(total_vertices), 0);
+  std::vector<Weight> sizes(static_cast<std::size_t>(total_vertices), 0);
+  std::vector<PartId> fixed(static_cast<std::size_t>(total_vertices), kNoPart);
+  for (Index v = 0; v < n; ++v) {
+    weights[static_cast<std::size_t>(v)] = h.vertex_weight(v);
+    sizes[static_cast<std::size_t>(v)] = h.vertex_size(v);
+    fixed[static_cast<std::size_t>(v)] = h.fixed_part(v);  // preserve any
+  }
+  for (PartId i = 0; i < old_p.k; ++i)
+    fixed[static_cast<std::size_t>(n + i)] = i;
+
+  // Nets: communication nets first (alpha-scaled costs), then one 2-pin
+  // migration net per real vertex.
+  std::vector<Index> counts;
+  std::vector<Weight> costs;
+  counts.reserve(static_cast<std::size_t>(h.num_nets() + n));
+  costs.reserve(counts.capacity());
+  for (Index net = 0; net < h.num_nets(); ++net) {
+    counts.push_back(h.net_size(net));
+    costs.push_back(h.net_cost(net) * alpha);
+  }
+  for (Index v = 0; v < n; ++v) {
+    counts.push_back(2);
+    costs.push_back(h.vertex_size(v));
+  }
+
+  std::vector<Index> offsets = counts_to_offsets(std::move(counts));
+  std::vector<Index> pins(static_cast<std::size_t>(offsets.back()));
+  Index cursor = 0;
+  for (Index net = 0; net < h.num_nets(); ++net)
+    for (const Index v : h.pins(net))
+      pins[static_cast<std::size_t>(cursor++)] = v;
+  for (Index v = 0; v < n; ++v) {
+    pins[static_cast<std::size_t>(cursor++)] = v;
+    pins[static_cast<std::size_t>(cursor++)] = n + old_p[v];
+  }
+  HGR_ASSERT(cursor == offsets.back());
+
+  model.augmented =
+      Hypergraph(std::move(offsets), std::move(pins), std::move(weights),
+                 std::move(sizes), std::move(costs), std::move(fixed));
+  return model;
+}
+
+Partition decode_augmented_partition(const RepartitionModel& model,
+                                     const Partition& augmented_p) {
+  HGR_ASSERT(augmented_p.num_vertices() ==
+             model.num_real_vertices + model.k);
+  for (PartId i = 0; i < model.k; ++i)
+    HGR_ASSERT_MSG(augmented_p[model.partition_vertex(i)] == i,
+                   "partition vertex escaped its fixed part");
+  Partition real(augmented_p.k, model.num_real_vertices);
+  for (Index v = 0; v < model.num_real_vertices; ++v)
+    real[v] = augmented_p[v];
+  return real;
+}
+
+RepartitionCost split_augmented_cut(const RepartitionModel& model,
+                                    const Partition& augmented_p,
+                                    const Partition& old_p) {
+  const Hypergraph& aug = model.augmented;
+  const Weight comm_scaled =
+      connectivity_cut_range(aug, augmented_p, 0, model.num_comm_nets);
+  const Weight mig = connectivity_cut_range(
+      aug, augmented_p, model.num_comm_nets, aug.num_nets());
+
+  HGR_ASSERT_MSG(comm_scaled % model.alpha == 0,
+                 "scaled communication cut must be divisible by alpha");
+  RepartitionCost cost;
+  cost.alpha = model.alpha;
+  cost.comm_volume = comm_scaled / model.alpha;
+  cost.migration_volume = mig;
+
+  // Cross-check the model identity against independently computed volumes.
+  const Partition real = decode_augmented_partition(model, augmented_p);
+  const Weight mig_direct = migration_volume(
+      aug.vertex_sizes().subspan(
+          0, static_cast<std::size_t>(model.num_real_vertices)),
+      old_p, real);
+  HGR_ASSERT_MSG(mig == mig_direct,
+                 "migration-net cut disagrees with direct migration volume");
+  return cost;
+}
+
+}  // namespace hgr

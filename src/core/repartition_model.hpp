@@ -1,0 +1,56 @@
+// The repartitioning hypergraph model (paper Section 3) — the primary
+// contribution of the reproduced paper.
+//
+// Given the epoch hypergraph H^j, the previous assignment, and alpha (the
+// number of iterations the next epoch will run), build the augmented
+// hypergraph H-bar^j:
+//   - every communication net of H^j keeps its pins; its cost is scaled
+//     by alpha;
+//   - k new zero-weight *partition vertices* u_0..u_{k-1} are appended,
+//     u_i fixed to part i;
+//   - for every vertex v a 2-pin *migration net* {v, u_oldpart(v)} with
+//     cost = vertex size of v is appended.
+//
+// Partitioning H-bar with fixed vertices then minimizes exactly
+//   alpha * (communication volume) + (migration volume),
+// because a moved vertex cuts its migration net (connectivity 2, cost =
+// its data size) while a stationary one does not.
+#pragma once
+
+#include "hypergraph/hypergraph.hpp"
+#include "metrics/cost_model.hpp"
+#include "metrics/partition.hpp"
+
+namespace hgr {
+
+struct RepartitionModel {
+  Hypergraph augmented;      // H-bar^j with fixed partition vertices
+  Index num_real_vertices = 0;  // |V^j|; partition vertex u_i has id |V^j|+i
+  Index num_comm_nets = 0;   // communication nets come first in net order
+  PartId k = 0;
+  Weight alpha = 1;
+
+  Index partition_vertex(PartId i) const { return num_real_vertices + i; }
+};
+
+/// Build H-bar^j from the epoch hypergraph and the previous assignment.
+/// old_p must cover every vertex of h (new vertices carry the part where
+/// they were created, per the paper's Figure 1).
+RepartitionModel build_repartition_model(const Hypergraph& h,
+                                         const Partition& old_p, Weight alpha);
+
+/// Decode a partition of the augmented hypergraph back to the real
+/// vertices. Validates that every partition vertex stayed fixed.
+Partition decode_augmented_partition(const RepartitionModel& model,
+                                     const Partition& augmented_p);
+
+/// Split the augmented cut into its communication and migration parts and
+/// check the model identity:
+///   cut(H-bar, P) == alpha * comm_volume + migration_volume.
+/// Returns the cost; aborts if the identity fails (it is exact, not an
+/// approximation).
+RepartitionCost split_augmented_cut(const RepartitionModel& model,
+                                    const Partition& augmented_p,
+                                    const Partition& old_p);
+
+}  // namespace hgr

@@ -1,0 +1,130 @@
+#include "core/repartitioner.hpp"
+
+#include "common/assert.hpp"
+#include "common/timer.hpp"
+#include "core/repartition_model.hpp"
+#include "graphpart/scratch_remap.hpp"
+#include "partition/partitioner.hpp"
+
+namespace hgr {
+
+namespace {
+
+RepartitionResult finish(const Hypergraph& h, const Partition& old_p,
+                         Partition new_p, Weight alpha, double seconds) {
+  RepartitionResult result;
+  result.cost = evaluate_repartition(h, old_p, new_p, alpha);
+  result.plan = extract_migration_plan(h.vertex_sizes(), old_p, new_p);
+  result.partition = std::move(new_p);
+  result.seconds = seconds;
+  return result;
+}
+
+RepartitionResult finish(const Graph& g, const Partition& old_p,
+                         Partition new_p, Weight alpha, double seconds) {
+  RepartitionResult result;
+  result.cost = evaluate_repartition(g, old_p, new_p, alpha);
+  result.plan = extract_migration_plan(g.vertex_sizes(), old_p, new_p);
+  result.partition = std::move(new_p);
+  result.seconds = seconds;
+  return result;
+}
+
+}  // namespace
+
+RepartitionResult hypergraph_repartition(const Hypergraph& h,
+                                         const Partition& old_p,
+                                         const RepartitionerConfig& cfg) {
+  HGR_ASSERT(old_p.k == cfg.partition.num_parts);
+  WallTimer timer;
+  const RepartitionModel model =
+      build_repartition_model(h, old_p, cfg.alpha);
+  const Partition augmented_p =
+      partition_hypergraph(model.augmented, cfg.partition);
+  Partition new_p = decode_augmented_partition(model, augmented_p);
+  const double seconds = timer.seconds();
+
+  // The model identity is exact; assert it on every production call.
+  const RepartitionCost split =
+      split_augmented_cut(model, augmented_p, old_p);
+  RepartitionResult result =
+      finish(h, old_p, std::move(new_p), cfg.alpha, seconds);
+  HGR_ASSERT_MSG(split.comm_volume == result.cost.comm_volume &&
+                     split.migration_volume == result.cost.migration_volume,
+                 "augmented cut does not match measured cost");
+  return result;
+}
+
+RepartitionResult hypergraph_scratch(const Hypergraph& h,
+                                     const Partition& old_p,
+                                     const RepartitionerConfig& cfg) {
+  HGR_ASSERT(old_p.k == cfg.partition.num_parts);
+  WallTimer timer;
+  Partition new_p = hypergraph_scratch_remap(h, old_p, cfg.partition);
+  return finish(h, old_p, std::move(new_p), cfg.alpha, timer.seconds());
+}
+
+RepartitionResult graph_repartition(const Graph& g, const Partition& old_p,
+                                    const RepartitionerConfig& cfg) {
+  HGR_ASSERT(old_p.k == cfg.partition.num_parts);
+  WallTimer timer;
+  AdaptiveRepartConfig acfg;
+  acfg.base = cfg.partition;
+  acfg.alpha = cfg.alpha;
+  Partition new_p = adaptive_repartition(g, old_p, acfg);
+  return finish(g, old_p, std::move(new_p), cfg.alpha, timer.seconds());
+}
+
+RepartitionResult graph_scratch(const Graph& g, const Partition& old_p,
+                                const RepartitionerConfig& cfg) {
+  HGR_ASSERT(old_p.k == cfg.partition.num_parts);
+  WallTimer timer;
+  Partition new_p = graph_scratch_remap(g, old_p, cfg.partition);
+  return finish(g, old_p, std::move(new_p), cfg.alpha, timer.seconds());
+}
+
+std::string to_string(RepartAlgorithm algorithm) {
+  switch (algorithm) {
+    case RepartAlgorithm::kHypergraphRepart:
+      return "hg-repart";
+    case RepartAlgorithm::kGraphRepart:
+      return "graph-repart";
+    case RepartAlgorithm::kHypergraphScratch:
+      return "hg-scratch";
+    case RepartAlgorithm::kGraphScratch:
+      return "graph-scratch";
+  }
+  return "unknown";
+}
+
+RepartitionResult run_repartition_algorithm(RepartAlgorithm algorithm,
+                                            const Hypergraph& h,
+                                            const Graph& g,
+                                            const Partition& old_p,
+                                            const RepartitionerConfig& cfg) {
+  RepartitionResult result;
+  switch (algorithm) {
+    case RepartAlgorithm::kHypergraphRepart:
+      result = hypergraph_repartition(h, old_p, cfg);
+      break;
+    case RepartAlgorithm::kHypergraphScratch:
+      result = hypergraph_scratch(h, old_p, cfg);
+      break;
+    case RepartAlgorithm::kGraphRepart:
+      result = graph_repartition(g, old_p, cfg);
+      break;
+    case RepartAlgorithm::kGraphScratch:
+      result = graph_scratch(g, old_p, cfg);
+      break;
+  }
+  // Re-evaluate the graph algorithms' costs on the hypergraph so every
+  // algorithm reports the same communication-volume metric.
+  if (algorithm == RepartAlgorithm::kGraphRepart ||
+      algorithm == RepartAlgorithm::kGraphScratch) {
+    result.cost =
+        evaluate_repartition(h, old_p, result.partition, cfg.alpha);
+  }
+  return result;
+}
+
+}  // namespace hgr

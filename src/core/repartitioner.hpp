@@ -1,0 +1,78 @@
+// High-level repartitioning API: the library's headline entry points.
+//
+// hypergraph_repartition() is the paper's new method ("Zoltan-repart"):
+// build the augmented repartitioning hypergraph and solve it with the
+// fixed-vertex multilevel partitioner, directly minimizing
+// alpha * communication + migration.
+//
+// The other three paper algorithms (hypergraph scratch, graph adaptive
+// repartitioning, graph scratch) are exposed behind the same signature so
+// the experiment harness and applications can swap strategies.
+#pragma once
+
+#include <string>
+
+#include "core/migration_plan.hpp"
+#include "graphpart/adaptive_repart.hpp"
+#include "hypergraph/graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "metrics/cost_model.hpp"
+#include "metrics/partition.hpp"
+#include "partition/config.hpp"
+
+namespace hgr {
+
+struct RepartitionerConfig {
+  PartitionConfig partition;
+  /// Iterations per epoch: the communication-vs-migration trade-off knob.
+  Weight alpha = 100;
+};
+
+struct RepartitionResult {
+  Partition partition;
+  MigrationPlan plan;
+  RepartitionCost cost;   // measured on the epoch hypergraph/graph
+  double seconds = 0.0;   // repartitioning wall time (Figures 7-8)
+};
+
+/// The paper's method: repartitioning via hypergraph partitioning with
+/// fixed vertices on the augmented model ("Zoltan-repart").
+RepartitionResult hypergraph_repartition(const Hypergraph& h,
+                                         const Partition& old_p,
+                                         const RepartitionerConfig& cfg);
+
+/// Hypergraph partitioning from scratch + remap ("Zoltan-scratch").
+RepartitionResult hypergraph_scratch(const Hypergraph& h,
+                                     const Partition& old_p,
+                                     const RepartitionerConfig& cfg);
+
+/// Graph adaptive repartitioning ("ParMETIS-repart" / AdaptiveRepart).
+RepartitionResult graph_repartition(const Graph& g, const Partition& old_p,
+                                    const RepartitionerConfig& cfg);
+
+/// Graph partitioning from scratch + remap ("ParMETIS-scratch" / Partkway).
+RepartitionResult graph_scratch(const Graph& g, const Partition& old_p,
+                                const RepartitionerConfig& cfg);
+
+/// The four algorithms compared in the paper's Section 5.
+enum class RepartAlgorithm {
+  kHypergraphRepart,   // Zoltan-repart   (this paper)
+  kGraphRepart,        // ParMETIS-repart (AdaptiveRepart analog)
+  kHypergraphScratch,  // Zoltan-scratch
+  kGraphScratch,       // ParMETIS-scratch (Partkway analog)
+};
+
+std::string to_string(RepartAlgorithm algorithm);
+
+/// Dispatch over both representations of the same epoch problem: the
+/// hypergraph algorithms consume h, the graph algorithms g. Costs are
+/// always evaluated on h so the four bars are directly comparable (on the
+/// symmetric 2-pin instances of the evaluation, connectivity-1 cut and
+/// edge cut agree).
+RepartitionResult run_repartition_algorithm(RepartAlgorithm algorithm,
+                                            const Hypergraph& h,
+                                            const Graph& g,
+                                            const Partition& old_p,
+                                            const RepartitionerConfig& cfg);
+
+}  // namespace hgr

@@ -1,0 +1,31 @@
+// Adaptive graph repartitioning: the ParMETIS AdaptiveRepart analog.
+//
+// Implements the multilevel unified repartitioning algorithm of Schloegel,
+// Karypis & Kumar (Supercomputing 2000), the scheme behind ParMETIS 3.x's
+// AdaptiveRepart option that the paper benchmarks against:
+//   - coarsening with matching restricted to same-old-part pairs, so the
+//     old partition projects exactly through the hierarchy;
+//   - the old partition (rebalanced) as the coarse initial solution;
+//   - refinement of the composite objective alpha * edgecut + migration,
+//     where alpha is the paper's iterations-per-epoch parameter ("Our
+//     alpha corresponds to the ITR parameter in ParMETIS").
+#pragma once
+
+#include "hypergraph/graph.hpp"
+#include "metrics/partition.hpp"
+#include "partition/config.hpp"
+
+namespace hgr {
+
+struct AdaptiveRepartConfig {
+  PartitionConfig base;
+  /// Iterations per epoch: relative weight of communication vs migration.
+  Weight alpha = 100;
+};
+
+/// Repartition g given the old assignment. old_p.k must equal
+/// base.num_parts. Returns the new partition (same k).
+Partition adaptive_repartition(const Graph& g, const Partition& old_p,
+                               const AdaptiveRepartConfig& cfg);
+
+}  // namespace hgr

@@ -1,0 +1,38 @@
+// Diffusive dynamic load balancing — the classic alternative family the
+// paper positions itself against (Section 1: "Much of the early work in
+// load balancing focused on diffusive methods [7,17,26,33], where
+// overloaded processors give work to neighboring processors that have
+// lower than average loads. ... Diffusive schemes are fast and have low
+// migration cost, but may incur high communication volume.")
+//
+// Implemented as a Cybenko-style first-order scheme on the part graph:
+// each round, overweight parts push boundary vertices toward adjacent
+// underweight parts, choosing the vertices whose move damages the edge cut
+// least; an optional final refinement sweep polishes the cut without
+// undoing balance. Provided as an extension baseline (the paper's
+// evaluation does not include it) and exercised by the strategy-ablation
+// bench.
+#pragma once
+
+#include "hypergraph/graph.hpp"
+#include "metrics/partition.hpp"
+#include "partition/config.hpp"
+
+namespace hgr {
+
+struct DiffusionConfig {
+  double epsilon = 0.05;
+  Index max_rounds = 32;
+  /// Polish the cut with greedy refinement sweeps after balancing.
+  bool refine_after = true;
+  Index refine_passes = 2;
+  std::uint64_t seed = 1;
+};
+
+/// Rebalance old_p on g by local diffusion. Returns the new partition;
+/// never changes k. Migration is inherently low (only overload flows),
+/// communication quality is whatever the local moves leave behind.
+Partition diffusive_repartition(const Graph& g, const Partition& old_p,
+                                const DiffusionConfig& cfg);
+
+}  // namespace hgr

@@ -1,0 +1,136 @@
+#include "graphpart/gcoarsen.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/csr_utils.hpp"
+
+namespace hgr {
+
+std::vector<Index> heavy_edge_matching(
+    const Graph& g, Weight max_vertex_weight, Rng& rng,
+    std::span<const PartId> restrict_labels) {
+  const Index n = g.num_vertices();
+  HGR_ASSERT(restrict_labels.empty() ||
+             static_cast<Index>(restrict_labels.size()) == n);
+  std::vector<Index> match(static_cast<std::size_t>(n));
+  for (Index v = 0; v < n; ++v) match[static_cast<std::size_t>(v)] = v;
+
+  const std::vector<Index> order = random_permutation(n, rng);
+  for (const Index v : order) {
+    if (match[static_cast<std::size_t>(v)] != v) continue;
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.edge_weights(v);
+    Index best = kInvalidIndex;
+    Weight best_w = -1;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const Index u = nbrs[i];
+      if (match[static_cast<std::size_t>(u)] != u || u == v) continue;
+      if (!restrict_labels.empty() &&
+          restrict_labels[static_cast<std::size_t>(u)] !=
+              restrict_labels[static_cast<std::size_t>(v)])
+        continue;
+      if (max_vertex_weight > 0 &&
+          g.vertex_weight(v) + g.vertex_weight(u) > max_vertex_weight)
+        continue;
+      if (ws[i] > best_w || (ws[i] == best_w && u < best)) {
+        best = u;
+        best_w = ws[i];
+      }
+    }
+    if (best != kInvalidIndex) {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    }
+  }
+  return match;
+}
+
+GraphCoarseLevel contract_graph(const Graph& g, std::span<const Index> match) {
+  const Index n = g.num_vertices();
+  HGR_ASSERT(static_cast<Index>(match.size()) == n);
+
+  GraphCoarseLevel out;
+  out.fine_to_coarse.assign(static_cast<std::size_t>(n), kInvalidIndex);
+  Index num_coarse = 0;
+  for (Index v = 0; v < n; ++v) {
+    const Index u = match[static_cast<std::size_t>(v)];
+    HGR_ASSERT(match[static_cast<std::size_t>(u)] == v);
+    if (u >= v) out.fine_to_coarse[static_cast<std::size_t>(v)] = num_coarse++;
+  }
+  for (Index v = 0; v < n; ++v) {
+    const Index u = match[static_cast<std::size_t>(v)];
+    if (u < v)
+      out.fine_to_coarse[static_cast<std::size_t>(v)] =
+          out.fine_to_coarse[static_cast<std::size_t>(u)];
+  }
+
+  std::vector<Weight> weights(static_cast<std::size_t>(num_coarse), 0);
+  std::vector<Weight> sizes(static_cast<std::size_t>(num_coarse), 0);
+  for (Index v = 0; v < n; ++v) {
+    const auto c = static_cast<std::size_t>(
+        out.fine_to_coarse[static_cast<std::size_t>(v)]);
+    weights[c] += g.vertex_weight(v);
+    sizes[c] += g.vertex_size(v);
+  }
+
+  // Merge adjacency with the stamp trick: slot[u] = position of coarse
+  // neighbor u in the current coarse vertex's accumulation list.
+  std::vector<Index> slot(static_cast<std::size_t>(num_coarse), kInvalidIndex);
+  std::vector<Index> coarse_counts(static_cast<std::size_t>(num_coarse), 0);
+  std::vector<std::vector<Index>> coarse_nbrs(
+      static_cast<std::size_t>(num_coarse));
+  std::vector<std::vector<Weight>> coarse_ws(
+      static_cast<std::size_t>(num_coarse));
+
+  for (Index v = 0; v < n; ++v) {
+    const Index cv = out.fine_to_coarse[static_cast<std::size_t>(v)];
+    // Process each coarse vertex once, from its representative fine vertex.
+    if (match[static_cast<std::size_t>(v)] < v) continue;
+    auto& nbrs_out = coarse_nbrs[static_cast<std::size_t>(cv)];
+    auto& ws_out = coarse_ws[static_cast<std::size_t>(cv)];
+    const Index members[2] = {v, match[static_cast<std::size_t>(v)]};
+    const int num_members = members[0] == members[1] ? 1 : 2;
+    for (int m = 0; m < num_members; ++m) {
+      const Index fv = members[m];
+      const auto nbrs = g.neighbors(fv);
+      const auto ws = g.edge_weights(fv);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const Index cu = out.fine_to_coarse[static_cast<std::size_t>(nbrs[i])];
+        if (cu == cv) continue;  // internal edge disappears
+        auto& s = slot[static_cast<std::size_t>(cu)];
+        if (s == kInvalidIndex) {
+          s = static_cast<Index>(nbrs_out.size());
+          nbrs_out.push_back(cu);
+          ws_out.push_back(ws[i]);
+        } else {
+          ws_out[static_cast<std::size_t>(s)] += ws[i];
+        }
+      }
+    }
+    for (const Index cu : nbrs_out) slot[static_cast<std::size_t>(cu)] =
+        kInvalidIndex;
+    coarse_counts[static_cast<std::size_t>(cv)] =
+        static_cast<Index>(nbrs_out.size());
+  }
+
+  std::vector<Index> offsets = counts_to_offsets(std::move(coarse_counts));
+  std::vector<Index> adjacency(static_cast<std::size_t>(offsets.back()));
+  std::vector<Weight> eweights(adjacency.size());
+  for (Index c = 0; c < num_coarse; ++c) {
+    const auto begin = static_cast<std::size_t>(
+        offsets[static_cast<std::size_t>(c)]);
+    std::copy(coarse_nbrs[static_cast<std::size_t>(c)].begin(),
+              coarse_nbrs[static_cast<std::size_t>(c)].end(),
+              adjacency.begin() + static_cast<std::ptrdiff_t>(begin));
+    std::copy(coarse_ws[static_cast<std::size_t>(c)].begin(),
+              coarse_ws[static_cast<std::size_t>(c)].end(),
+              eweights.begin() + static_cast<std::ptrdiff_t>(begin));
+  }
+  out.coarse = Graph(std::move(offsets), std::move(adjacency),
+                     std::move(eweights), std::move(weights),
+                     std::move(sizes));
+  return out;
+}
+
+}  // namespace hgr

@@ -1,0 +1,34 @@
+// Graph coarsening for the METIS-like baseline partitioner: heavy-edge
+// matching (HEM) and graph contraction.
+//
+// The adaptive-repartitioning path restricts matching to vertices with the
+// same *old* partition ("local matching", as in ParMETIS AdaptiveRepart),
+// so the old partition projects exactly through the hierarchy.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hypergraph/graph.hpp"
+
+namespace hgr {
+
+/// Heavy-edge matching: visit vertices in random order; match each
+/// unmatched vertex with its unmatched neighbor of maximum edge weight.
+/// match[v] == v for unmatched. max_vertex_weight 0 disables the cap.
+/// restrict_labels: when non-empty, u and v may match only if their labels
+/// are equal (used to keep matches within one old part).
+std::vector<Index> heavy_edge_matching(const Graph& g,
+                                       Weight max_vertex_weight, Rng& rng,
+                                       std::span<const PartId> restrict_labels
+                                       = {});
+
+struct GraphCoarseLevel {
+  Graph coarse;
+  std::vector<Index> fine_to_coarse;
+};
+
+GraphCoarseLevel contract_graph(const Graph& g, std::span<const Index> match);
+
+}  // namespace hgr

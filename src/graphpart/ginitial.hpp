@@ -1,0 +1,22 @@
+// Initial k-way assignment for the graph partitioner: greedy graph growing
+// from random seeds at the coarsest level.
+#pragma once
+
+#include "common/rng.hpp"
+#include "hypergraph/graph.hpp"
+#include "metrics/partition.hpp"
+#include "partition/config.hpp"
+
+namespace hgr {
+
+/// One greedy-growing k-way attempt: k random seeds, regions grown in
+/// round-robin by absorbing the frontier vertex with the strongest
+/// connection to the region, subject to the balance cap.
+Partition greedy_graph_growing(const Graph& g, const PartitionConfig& cfg,
+                               Rng& rng);
+
+/// Multi-trial wrapper returning the attempt with the best (balance, cut).
+Partition initial_graph_partition(const Graph& g, const PartitionConfig& cfg,
+                                  Rng& rng);
+
+}  // namespace hgr

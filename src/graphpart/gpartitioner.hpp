@@ -1,0 +1,16 @@
+// Multilevel graph partitioner facade: the Partkway (partition-from-
+// scratch) analog of the paper's ParMETIS baseline.
+#pragma once
+
+#include "hypergraph/graph.hpp"
+#include "metrics/partition.hpp"
+#include "partition/config.hpp"
+
+namespace hgr {
+
+/// Direct k-way multilevel graph partitioning: heavy-edge matching
+/// coarsening, greedy graph growing at the coarsest level, greedy k-way
+/// edge-cut refinement on every level. Deterministic in (g, cfg).
+Partition partition_graph(const Graph& g, const PartitionConfig& cfg);
+
+}  // namespace hgr

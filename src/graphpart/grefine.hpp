@@ -1,0 +1,43 @@
+// k-way greedy refinement for the graph baseline.
+//
+// Optimizes either plain edge cut (the Partkway analog) or, when an old
+// partition is supplied, the composite objective of Schloegel-Karypis-Kumar
+// unified repartitioning:  alpha * edge_cut + migration_volume  — the
+// algorithm behind ParMETIS AdaptiveRepart (alpha plays the role of the
+// ITR parameter; the paper notes "Our alpha corresponds to the ITR
+// parameter in ParMETIS").
+//
+// Includes an explicit rebalance phase: adaptive runs start from the old
+// partition, which after dynamic changes (especially the AMR
+// weight-scaling workload) violates the balance constraint and must first
+// be repaired by forced moves off overweight parts.
+#pragma once
+
+#include "common/rng.hpp"
+#include "hypergraph/graph.hpp"
+#include "metrics/partition.hpp"
+
+namespace hgr {
+
+struct GRefineOptions {
+  double epsilon = 0.05;
+  Index max_passes = 4;
+  /// Multiplies the edge-cut component of the gain.
+  Weight alpha = 1;
+  /// When set, the migration component (vertex size, relative to this old
+  /// partition) is added to the gain.
+  const Partition* old_partition = nullptr;
+};
+
+struct GRefineResult {
+  Weight initial_cut = 0;
+  Weight final_cut = 0;
+  Index moves = 0;
+  Index passes = 0;
+  bool balanced = false;
+};
+
+GRefineResult graph_kway_refine(const Graph& g, Partition& p,
+                                const GRefineOptions& opt, Rng& rng);
+
+}  // namespace hgr

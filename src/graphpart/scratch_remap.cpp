@@ -1,0 +1,24 @@
+#include "graphpart/scratch_remap.hpp"
+
+#include "common/assert.hpp"
+#include "graphpart/gpartitioner.hpp"
+#include "metrics/migration.hpp"
+#include "partition/partitioner.hpp"
+
+namespace hgr {
+
+Partition graph_scratch_remap(const Graph& g, const Partition& old_p,
+                              const PartitionConfig& cfg) {
+  HGR_ASSERT(old_p.k == cfg.num_parts);
+  const Partition fresh = partition_graph(g, cfg);
+  return remap_parts_for_migration(g.vertex_sizes(), old_p, fresh);
+}
+
+Partition hypergraph_scratch_remap(const Hypergraph& h, const Partition& old_p,
+                                   const PartitionConfig& cfg) {
+  HGR_ASSERT(old_p.k == cfg.num_parts);
+  const Partition fresh = partition_hypergraph(h, cfg);
+  return remap_parts_for_migration(h.vertex_sizes(), old_p, fresh);
+}
+
+}  // namespace hgr

@@ -1,0 +1,25 @@
+// Partition-from-scratch followed by part-label remapping.
+//
+// The paper's two scratch baselines ignore the old distribution while
+// partitioning, then relabel parts to salvage locality: "For the scratch
+// methods, we used a maximal matching heuristic in Zoltan to map partition
+// numbers to reduce migration cost." Wrappers for both the graph
+// (ParMETIS-scratch) and hypergraph (Zoltan-scratch) paths.
+#pragma once
+
+#include "hypergraph/graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "metrics/partition.hpp"
+#include "partition/config.hpp"
+
+namespace hgr {
+
+/// partition_graph from scratch, then remap labels against old_p.
+Partition graph_scratch_remap(const Graph& g, const Partition& old_p,
+                              const PartitionConfig& cfg);
+
+/// partition_hypergraph from scratch, then remap labels against old_p.
+Partition hypergraph_scratch_remap(const Hypergraph& h, const Partition& old_p,
+                                   const PartitionConfig& cfg);
+
+}  // namespace hgr

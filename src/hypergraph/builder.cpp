@@ -1,0 +1,149 @@
+#include "hypergraph/builder.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/csr_utils.hpp"
+
+namespace hgr {
+
+HypergraphBuilder::HypergraphBuilder(Index num_vertices)
+    : num_vertices_(num_vertices),
+      vertex_weights_(static_cast<std::size_t>(num_vertices), 1),
+      vertex_sizes_(static_cast<std::size_t>(num_vertices), 1),
+      fixed_(static_cast<std::size_t>(num_vertices), kNoPart) {
+  HGR_ASSERT(num_vertices >= 0);
+}
+
+Index HypergraphBuilder::add_net(std::span<const Index> pins, Weight cost) {
+  HGR_ASSERT(cost >= 0);
+  std::vector<Index> ps(pins.begin(), pins.end());
+  std::sort(ps.begin(), ps.end());
+  ps.erase(std::unique(ps.begin(), ps.end()), ps.end());
+  for (const Index v : ps) HGR_ASSERT(v >= 0 && v < num_vertices_);
+  nets_.push_back(std::move(ps));
+  net_costs_.push_back(cost);
+  return static_cast<Index>(nets_.size()) - 1;
+}
+
+Index HypergraphBuilder::add_net(std::initializer_list<Index> pins,
+                                 Weight cost) {
+  return add_net(std::span<const Index>(pins.begin(), pins.size()), cost);
+}
+
+void HypergraphBuilder::set_vertex_weight(Index v, Weight w) {
+  HGR_ASSERT(v >= 0 && v < num_vertices_ && w >= 0);
+  vertex_weights_[static_cast<std::size_t>(v)] = w;
+}
+
+void HypergraphBuilder::set_vertex_size(Index v, Weight s) {
+  HGR_ASSERT(v >= 0 && v < num_vertices_ && s >= 0);
+  vertex_sizes_[static_cast<std::size_t>(v)] = s;
+}
+
+void HypergraphBuilder::set_all_vertex_weights(Weight w) {
+  HGR_ASSERT(w >= 0);
+  std::fill(vertex_weights_.begin(), vertex_weights_.end(), w);
+}
+
+void HypergraphBuilder::set_all_vertex_sizes(Weight s) {
+  HGR_ASSERT(s >= 0);
+  std::fill(vertex_sizes_.begin(), vertex_sizes_.end(), s);
+}
+
+void HypergraphBuilder::set_fixed_part(Index v, PartId part) {
+  HGR_ASSERT(v >= 0 && v < num_vertices_);
+  fixed_[static_cast<std::size_t>(v)] = part;
+  if (part != kNoPart) any_fixed_ = true;
+}
+
+Hypergraph HypergraphBuilder::finalize() {
+  const Index min_pins = keep_single_pin_ ? 1 : 2;
+  std::vector<Index> counts;
+  std::vector<Weight> costs;
+  counts.reserve(nets_.size());
+  for (std::size_t n = 0; n < nets_.size(); ++n) {
+    if (static_cast<Index>(nets_[n].size()) >= min_pins) {
+      counts.push_back(static_cast<Index>(nets_[n].size()));
+      costs.push_back(net_costs_[n]);
+    }
+  }
+  std::vector<Index> offsets = counts_to_offsets(std::move(counts));
+  std::vector<Index> pins(static_cast<std::size_t>(offsets.back()));
+  std::size_t kept = 0;
+  for (std::size_t n = 0; n < nets_.size(); ++n) {
+    if (static_cast<Index>(nets_[n].size()) < min_pins) continue;
+    std::copy(nets_[n].begin(), nets_[n].end(),
+              pins.begin() + offsets[kept]);
+    ++kept;
+  }
+  std::vector<PartId> fixed;
+  if (any_fixed_) fixed = std::move(fixed_);
+  return Hypergraph(std::move(offsets), std::move(pins),
+                    std::move(vertex_weights_), std::move(vertex_sizes_),
+                    std::move(costs), std::move(fixed));
+}
+
+GraphBuilder::GraphBuilder(Index num_vertices)
+    : num_vertices_(num_vertices),
+      vertex_weights_(static_cast<std::size_t>(num_vertices), 1),
+      vertex_sizes_(static_cast<std::size_t>(num_vertices), 1) {
+  HGR_ASSERT(num_vertices >= 0);
+}
+
+void GraphBuilder::add_edge(Index u, Index v, Weight w) {
+  HGR_ASSERT(u >= 0 && u < num_vertices_ && v >= 0 && v < num_vertices_);
+  HGR_ASSERT(w >= 0);
+  if (u == v) return;
+  if (u > v) std::swap(u, v);
+  edges_.push_back({u, v, w});
+}
+
+void GraphBuilder::set_vertex_weight(Index v, Weight w) {
+  HGR_ASSERT(v >= 0 && v < num_vertices_ && w >= 0);
+  vertex_weights_[static_cast<std::size_t>(v)] = w;
+}
+
+void GraphBuilder::set_vertex_size(Index v, Weight s) {
+  HGR_ASSERT(v >= 0 && v < num_vertices_ && s >= 0);
+  vertex_sizes_[static_cast<std::size_t>(v)] = s;
+}
+
+Graph GraphBuilder::finalize() {
+  // Merge parallel edges: sort by (u, v) and sum weights.
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  std::vector<Edge> merged;
+  merged.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    if (!merged.empty() && merged.back().u == e.u && merged.back().v == e.v) {
+      merged.back().w += e.w;
+    } else {
+      merged.push_back(e);
+    }
+  }
+  std::vector<Index> degree(static_cast<std::size_t>(num_vertices_), 0);
+  for (const Edge& e : merged) {
+    ++degree[static_cast<std::size_t>(e.u)];
+    ++degree[static_cast<std::size_t>(e.v)];
+  }
+  std::vector<Index> offsets = counts_to_offsets(std::move(degree));
+  std::vector<Index> adjacency(static_cast<std::size_t>(offsets.back()));
+  std::vector<Weight> eweights(adjacency.size());
+  std::vector<Index> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : merged) {
+    auto& cu = cursor[static_cast<std::size_t>(e.u)];
+    adjacency[static_cast<std::size_t>(cu)] = e.v;
+    eweights[static_cast<std::size_t>(cu)] = e.w;
+    ++cu;
+    auto& cv = cursor[static_cast<std::size_t>(e.v)];
+    adjacency[static_cast<std::size_t>(cv)] = e.u;
+    eweights[static_cast<std::size_t>(cv)] = e.w;
+    ++cv;
+  }
+  return Graph(std::move(offsets), std::move(adjacency), std::move(eweights),
+               std::move(vertex_weights_), std::move(vertex_sizes_));
+}
+
+}  // namespace hgr

@@ -1,0 +1,59 @@
+#include "hypergraph/convert.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "hypergraph/builder.hpp"
+
+namespace hgr {
+
+Hypergraph graph_to_hypergraph(const Graph& g) {
+  HypergraphBuilder b(g.num_vertices());
+  for (Index v = 0; v < g.num_vertices(); ++v) {
+    b.set_vertex_weight(v, g.vertex_weight(v));
+    b.set_vertex_size(v, g.vertex_size(v));
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] > v) {  // each undirected edge once
+        const Index pin_pair[2] = {v, nbrs[i]};
+        b.add_net(std::span<const Index>(pin_pair, 2), ws[i]);
+      }
+    }
+  }
+  return b.finalize();
+}
+
+Hypergraph graph_to_column_net_hypergraph(const Graph& g) {
+  HypergraphBuilder b(g.num_vertices());
+  std::vector<Index> pins;
+  for (Index v = 0; v < g.num_vertices(); ++v) {
+    b.set_vertex_weight(v, g.vertex_weight(v));
+    b.set_vertex_size(v, g.vertex_size(v));
+    const auto nbrs = g.neighbors(v);
+    pins.assign(nbrs.begin(), nbrs.end());
+    pins.push_back(v);
+    b.add_net(pins, 1);
+  }
+  return b.finalize();
+}
+
+Graph hypergraph_to_graph_clique(const Hypergraph& h, Index max_clique_size) {
+  GraphBuilder b(h.num_vertices());
+  for (Index v = 0; v < h.num_vertices(); ++v) {
+    b.set_vertex_weight(v, h.vertex_weight(v));
+    b.set_vertex_size(v, h.vertex_size(v));
+  }
+  for (Index n = 0; n < h.num_nets(); ++n) {
+    const auto ps = h.pins(n);
+    const auto s = static_cast<Index>(ps.size());
+    if (s < 2 || s > max_clique_size) continue;
+    const Weight w = std::max<Weight>(1, h.net_cost(n) / (s - 1));
+    for (std::size_t i = 0; i < ps.size(); ++i)
+      for (std::size_t j = i + 1; j < ps.size(); ++j)
+        b.add_edge(ps[i], ps[j], w);
+  }
+  return b.finalize();
+}
+
+}  // namespace hgr

@@ -1,0 +1,69 @@
+#include "hypergraph/graph.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace hgr {
+
+Graph::Graph(std::vector<Index> offsets, std::vector<Index> adjacency,
+             std::vector<Weight> edge_weights,
+             std::vector<Weight> vertex_weights,
+             std::vector<Weight> vertex_sizes)
+    : num_vertices_(static_cast<Index>(vertex_weights.size())),
+      offsets_(std::move(offsets)),
+      adjacency_(std::move(adjacency)),
+      edge_weights_(std::move(edge_weights)),
+      vertex_weight_(std::move(vertex_weights)),
+      vertex_size_(std::move(vertex_sizes)) {
+  HGR_ASSERT(offsets_.size() == static_cast<std::size_t>(num_vertices_) + 1);
+  HGR_ASSERT(edge_weights_.size() == adjacency_.size());
+  HGR_ASSERT(vertex_size_.size() == vertex_weight_.size());
+  total_vertex_weight_ =
+      std::accumulate(vertex_weight_.begin(), vertex_weight_.end(), Weight{0});
+}
+
+void Graph::set_vertex_weight(Index v, Weight w) {
+  HGR_ASSERT(v >= 0 && v < num_vertices_ && w >= 0);
+  total_vertex_weight_ += w - vertex_weight_[static_cast<std::size_t>(v)];
+  vertex_weight_[static_cast<std::size_t>(v)] = w;
+}
+
+void Graph::set_vertex_size(Index v, Weight s) {
+  HGR_ASSERT(v >= 0 && v < num_vertices_ && s >= 0);
+  vertex_size_[static_cast<std::size_t>(v)] = s;
+}
+
+void Graph::validate() const {
+  HGR_ASSERT(offsets_.front() == 0);
+  HGR_ASSERT(offsets_.back() == static_cast<Index>(adjacency_.size()));
+  for (Index v = 0; v < num_vertices_; ++v) {
+    HGR_ASSERT(offsets_[static_cast<std::size_t>(v)] <=
+               offsets_[static_cast<std::size_t>(v) + 1]);
+    HGR_ASSERT_MSG(vertex_weight(v) >= 0, "negative vertex weight");
+    HGR_ASSERT_MSG(vertex_size(v) >= 0, "negative vertex size");
+    const auto nbrs = neighbors(v);
+    const auto ws = edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const Index u = nbrs[i];
+      HGR_ASSERT_MSG(u >= 0 && u < num_vertices_, "neighbor out of range");
+      HGR_ASSERT_MSG(u != v, "self loop");
+      HGR_ASSERT_MSG(ws[i] >= 0, "negative edge weight");
+      // Symmetry: v must appear in u's list with the same weight.
+      const auto back = neighbors(u);
+      const auto it = std::find(back.begin(), back.end(), v);
+      HGR_ASSERT_MSG(it != back.end(), "asymmetric adjacency");
+      const auto j = static_cast<std::size_t>(it - back.begin());
+      HGR_ASSERT_MSG(edge_weights(u)[j] == ws[i], "asymmetric edge weight");
+    }
+  }
+}
+
+std::string Graph::summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "|V|=%d |E|=%d totalW=%lld", num_vertices_,
+                num_edges(), static_cast<long long>(total_vertex_weight_));
+  return buf;
+}
+
+}  // namespace hgr

@@ -1,0 +1,77 @@
+// Undirected weighted graph in CSR form: the substrate for the METIS-like
+// baseline partitioner (paper Section 5 compares against ParMETIS).
+//
+// Vertices carry weight (load) and size (migration bytes), mirroring the
+// hypergraph conventions so both models run on the same workloads.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace hgr {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// CSR arrays; adjacency must be symmetric (u in adj(v) <=> v in adj(u)
+  /// with equal edge weight). Prefer GraphBuilder.
+  Graph(std::vector<Index> offsets, std::vector<Index> adjacency,
+        std::vector<Weight> edge_weights, std::vector<Weight> vertex_weights,
+        std::vector<Weight> vertex_sizes);
+
+  Index num_vertices() const { return num_vertices_; }
+  /// Number of undirected edges (each stored twice in CSR).
+  Index num_edges() const { return static_cast<Index>(adjacency_.size()) / 2; }
+
+  std::span<const Index> neighbors(Index v) const {
+    HGR_DASSERT(v >= 0 && v < num_vertices_);
+    return {adjacency_.data() + offsets_[static_cast<std::size_t>(v)],
+            adjacency_.data() + offsets_[static_cast<std::size_t>(v) + 1]};
+  }
+
+  /// Edge weights aligned with neighbors(v).
+  std::span<const Weight> edge_weights(Index v) const {
+    HGR_DASSERT(v >= 0 && v < num_vertices_);
+    return {edge_weights_.data() + offsets_[static_cast<std::size_t>(v)],
+            edge_weights_.data() + offsets_[static_cast<std::size_t>(v) + 1]};
+  }
+
+  Index degree(Index v) const {
+    return offsets_[static_cast<std::size_t>(v) + 1] -
+           offsets_[static_cast<std::size_t>(v)];
+  }
+
+  Weight vertex_weight(Index v) const {
+    return vertex_weight_[static_cast<std::size_t>(v)];
+  }
+  Weight vertex_size(Index v) const {
+    return vertex_size_[static_cast<std::size_t>(v)];
+  }
+  std::span<const Weight> vertex_weights() const { return vertex_weight_; }
+  std::span<const Weight> vertex_sizes() const { return vertex_size_; }
+  Weight total_vertex_weight() const { return total_vertex_weight_; }
+
+  void set_vertex_weight(Index v, Weight w);
+  void set_vertex_size(Index v, Weight s);
+
+  /// Abort on violated invariants (symmetry, ranges, non-negativity).
+  void validate() const;
+
+  std::string summary() const;
+
+ private:
+  Index num_vertices_ = 0;
+  std::vector<Index> offsets_;
+  std::vector<Index> adjacency_;
+  std::vector<Weight> edge_weights_;
+  std::vector<Weight> vertex_weight_;
+  std::vector<Weight> vertex_size_;
+  Weight total_vertex_weight_ = 0;
+};
+
+}  // namespace hgr

@@ -1,0 +1,42 @@
+#include "metrics/balance.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace hgr {
+
+std::vector<Weight> part_weights(std::span<const Weight> vertex_weights,
+                                 const Partition& p) {
+  HGR_ASSERT(static_cast<Index>(vertex_weights.size()) == p.num_vertices());
+  std::vector<Weight> w(static_cast<std::size_t>(p.k), 0);
+  for (Index v = 0; v < p.num_vertices(); ++v) {
+    const PartId part = p[v];
+    HGR_ASSERT(part >= 0 && part < p.k);
+    w[static_cast<std::size_t>(part)] +=
+        vertex_weights[static_cast<std::size_t>(v)];
+  }
+  return w;
+}
+
+double imbalance_of(const std::vector<Weight>& pw) {
+  if (pw.empty()) return 0.0;
+  const Weight total = std::accumulate(pw.begin(), pw.end(), Weight{0});
+  if (total == 0) return 0.0;
+  const Weight maxw = *std::max_element(pw.begin(), pw.end());
+  const double avg =
+      static_cast<double>(total) / static_cast<double>(pw.size());
+  return static_cast<double>(maxw) / avg - 1.0;
+}
+
+double imbalance(std::span<const Weight> vertex_weights, const Partition& p) {
+  return imbalance_of(part_weights(vertex_weights, p));
+}
+
+bool is_balanced(std::span<const Weight> vertex_weights, const Partition& p,
+                 double eps) {
+  return imbalance(vertex_weights, p) <= eps + 1e-12;
+}
+
+}  // namespace hgr

@@ -1,0 +1,25 @@
+// Load-balance metrics (paper Eq. 1): a partition is balanced when every
+// part weight W_p <= W_avg * (1 + eps).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "metrics/partition.hpp"
+
+namespace hgr {
+
+/// Per-part total vertex weight.
+std::vector<Weight> part_weights(std::span<const Weight> vertex_weights,
+                                 const Partition& p);
+
+/// max_p W_p / W_avg - 1 (0 == perfectly balanced). Returns 0 for empty.
+double imbalance(std::span<const Weight> vertex_weights, const Partition& p);
+double imbalance_of(const std::vector<Weight>& part_weights);
+
+/// Eq. 1 check with tolerance eps.
+bool is_balanced(std::span<const Weight> vertex_weights, const Partition& p,
+                 double eps);
+
+}  // namespace hgr

@@ -1,0 +1,27 @@
+#include "metrics/cost_model.hpp"
+
+#include "metrics/cut.hpp"
+#include "metrics/migration.hpp"
+
+namespace hgr {
+
+RepartitionCost evaluate_repartition(const Hypergraph& h,
+                                     const Partition& old_p,
+                                     const Partition& new_p, Weight alpha) {
+  RepartitionCost cost;
+  cost.alpha = alpha;
+  cost.comm_volume = connectivity_cut(h, new_p);
+  cost.migration_volume = migration_volume(h.vertex_sizes(), old_p, new_p);
+  return cost;
+}
+
+RepartitionCost evaluate_repartition(const Graph& g, const Partition& old_p,
+                                     const Partition& new_p, Weight alpha) {
+  RepartitionCost cost;
+  cost.alpha = alpha;
+  cost.comm_volume = edge_cut(g, new_p);
+  cost.migration_volume = migration_volume(g.vertex_sizes(), old_p, new_p);
+  return cost;
+}
+
+}  // namespace hgr

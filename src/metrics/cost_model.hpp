@@ -1,0 +1,43 @@
+// The paper's total-cost model (Section 1-3):
+//
+//   t_tot = alpha * (t_comp + t_comm) + t_mig + t_repart
+//
+// with t_comp balanced away and t_repart ignored, the minimized objective is
+//   alpha * t_comm + t_mig.
+//
+// The figures report the *normalized* total cost
+//   comm_volume + migration_volume / alpha
+// (i.e. total cost divided by alpha), stacked into its two components.
+#pragma once
+
+#include "hypergraph/graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "metrics/partition.hpp"
+
+namespace hgr {
+
+struct RepartitionCost {
+  Weight comm_volume = 0;       // connectivity-1 cut of the epoch hypergraph
+  Weight migration_volume = 0;  // size of data moved old -> new
+  Weight alpha = 1;             // iterations per epoch
+
+  /// alpha * comm + mig: the objective the repartitioner minimizes.
+  Weight total() const { return alpha * comm_volume + migration_volume; }
+
+  /// comm + mig/alpha: what the paper's bar charts plot.
+  double normalized_total() const {
+    return static_cast<double>(comm_volume) +
+           static_cast<double>(migration_volume) / static_cast<double>(alpha);
+  }
+};
+
+/// Evaluate a repartitioning decision on an epoch hypergraph.
+RepartitionCost evaluate_repartition(const Hypergraph& h,
+                                     const Partition& old_p,
+                                     const Partition& new_p, Weight alpha);
+
+/// Graph-model equivalent (comm volume = edge cut), for the baselines.
+RepartitionCost evaluate_repartition(const Graph& g, const Partition& old_p,
+                                     const Partition& new_p, Weight alpha);
+
+}  // namespace hgr

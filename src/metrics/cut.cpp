@@ -1,0 +1,102 @@
+#include "metrics/cut.hpp"
+
+#include <vector>
+
+namespace hgr {
+
+namespace {
+
+/// Scratch marker for counting distinct parts per net without clearing a
+/// k-sized array per net: mark[part] == stamp means "seen for current net".
+struct PartMarker {
+  explicit PartMarker(PartId k) : mark(static_cast<std::size_t>(k), -1) {}
+
+  /// Returns true the first time a part is seen for the current stamp.
+  bool mark_new(PartId part, Index stamp) {
+    auto& m = mark[static_cast<std::size_t>(part)];
+    if (m == stamp) return false;
+    m = stamp;
+    return true;
+  }
+
+  std::vector<Index> mark;
+};
+
+}  // namespace
+
+PartId net_connectivity(const Hypergraph& h, const Partition& p, Index net) {
+  HGR_ASSERT(net >= 0 && net < h.num_nets());
+  PartMarker marker(p.k);
+  PartId lambda = 0;
+  for (const Index v : h.pins(net))
+    if (marker.mark_new(p[v], 0)) ++lambda;
+  return lambda;
+}
+
+Weight connectivity_cut_range(const Hypergraph& h, const Partition& p,
+                              Index net_begin, Index net_end) {
+  HGR_ASSERT(net_begin >= 0 && net_begin <= net_end &&
+             net_end <= h.num_nets());
+  HGR_ASSERT(p.num_vertices() == h.num_vertices());
+  PartMarker marker(p.k);
+  Weight total = 0;
+  for (Index net = net_begin; net < net_end; ++net) {
+    PartId lambda = 0;
+    for (const Index v : h.pins(net))
+      if (marker.mark_new(p[v], net)) ++lambda;
+    if (lambda > 1) total += h.net_cost(net) * (lambda - 1);
+  }
+  return total;
+}
+
+Weight connectivity_cut(const Hypergraph& h, const Partition& p) {
+  return connectivity_cut_range(h, p, 0, h.num_nets());
+}
+
+Weight cut_net_cost(const Hypergraph& h, const Partition& p) {
+  HGR_ASSERT(p.num_vertices() == h.num_vertices());
+  Weight total = 0;
+  for (Index net = 0; net < h.num_nets(); ++net) {
+    const auto ps = h.pins(net);
+    if (ps.empty()) continue;
+    const PartId first = p[ps.front()];
+    for (const Index v : ps) {
+      if (p[v] != first) {
+        total += h.net_cost(net);
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+Index num_cut_nets(const Hypergraph& h, const Partition& p) {
+  Index count = 0;
+  for (Index net = 0; net < h.num_nets(); ++net) {
+    const auto ps = h.pins(net);
+    if (ps.empty()) continue;
+    const PartId first = p[ps.front()];
+    for (const Index v : ps) {
+      if (p[v] != first) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+Weight edge_cut(const Graph& g, const Partition& p) {
+  HGR_ASSERT(p.num_vertices() == g.num_vertices());
+  Weight total = 0;
+  for (Index v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] > v && p[v] != p[nbrs[i]]) total += ws[i];
+    }
+  }
+  return total;
+}
+
+}  // namespace hgr

@@ -1,0 +1,36 @@
+// Cut-size metrics (paper Section 2.1).
+//
+// The paper's objective is the connectivity-1 ("k-1") cut, Eq. 2:
+//   cuts(H, P) = sum over nets of  c_j * (lambda_j - 1),
+// which equals the true communication volume of the modeled computation.
+#pragma once
+
+#include "hypergraph/graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "metrics/partition.hpp"
+
+namespace hgr {
+
+/// Number of distinct parts the net's pins touch (lambda_j in the paper).
+PartId net_connectivity(const Hypergraph& h, const Partition& p, Index net);
+
+/// Eq. 2: sum of cost * (connectivity - 1) over all nets.
+Weight connectivity_cut(const Hypergraph& h, const Partition& p);
+
+/// Same sum restricted to nets [net_begin, net_end): used to split the
+/// augmented repartitioning hypergraph's cut into its communication part
+/// (original nets) and migration part (appended migration nets).
+Weight connectivity_cut_range(const Hypergraph& h, const Partition& p,
+                              Index net_begin, Index net_end);
+
+/// Cut-net metric: sum of costs of nets with connectivity > 1 (not the
+/// paper's objective; provided for comparison and ablation).
+Weight cut_net_cost(const Hypergraph& h, const Partition& p);
+
+/// Number of nets with connectivity > 1.
+Index num_cut_nets(const Hypergraph& h, const Partition& p);
+
+/// Standard graph edge cut: sum of weights of edges crossing parts.
+Weight edge_cut(const Graph& g, const Partition& p);
+
+}  // namespace hgr

@@ -1,0 +1,37 @@
+// Migration-cost metrics: the data volume that must move when the partition
+// changes (objective 3 in the paper's introduction), and the scratch-remap
+// part-relabeling heuristic the paper applies to the from-scratch methods
+// ("we used a maximal matching heuristic in Zoltan to map partition numbers
+// to reduce migration cost").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "metrics/partition.hpp"
+
+namespace hgr {
+
+/// Sum of vertex sizes over vertices whose part changed.
+Weight migration_volume(std::span<const Weight> vertex_sizes,
+                        const Partition& old_p, const Partition& new_p);
+
+/// Number of vertices whose part changed.
+Index num_migrated(const Partition& old_p, const Partition& new_p);
+
+/// overlap[i][j] = total size of vertices in old part i and new part j.
+std::vector<std::vector<Weight>> part_overlap_sizes(
+    std::span<const Weight> vertex_sizes, const Partition& old_p,
+    const Partition& new_p);
+
+/// Relabel new_p's parts to maximize the retained (non-migrated) data size,
+/// via greedy maximal matching on the overlap matrix: repeatedly pick the
+/// heaviest unmatched (old part, new part) pair and map that new label to
+/// that old label. Returns the permuted partition; never increases
+/// migration volume relative to new_p.
+Partition remap_parts_for_migration(std::span<const Weight> vertex_sizes,
+                                    const Partition& old_p,
+                                    const Partition& new_p);
+
+}  // namespace hgr

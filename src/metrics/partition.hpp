@@ -1,0 +1,38 @@
+// A k-way partition: part assignment per vertex.
+#pragma once
+
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace hgr {
+
+struct Partition {
+  PartId k = 0;
+  std::vector<PartId> assignment;  // one entry per vertex, in [0, k)
+
+  Partition() = default;
+  Partition(PartId num_parts, Index num_vertices, PartId initial = 0)
+      : k(num_parts),
+        assignment(static_cast<std::size_t>(num_vertices), initial) {}
+
+  Index num_vertices() const { return static_cast<Index>(assignment.size()); }
+
+  PartId operator[](Index v) const {
+    HGR_DASSERT(v >= 0 && v < num_vertices());
+    return assignment[static_cast<std::size_t>(v)];
+  }
+  PartId& operator[](Index v) {
+    HGR_DASSERT(v >= 0 && v < num_vertices());
+    return assignment[static_cast<std::size_t>(v)];
+  }
+
+  /// Abort if any vertex is unassigned or out of range.
+  void validate() const {
+    for (const PartId p : assignment)
+      HGR_ASSERT_MSG(p >= 0 && p < k, "vertex not assigned to a valid part");
+  }
+};
+
+}  // namespace hgr

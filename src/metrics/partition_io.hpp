@@ -1,0 +1,24 @@
+// Partition-file I/O: one part id per line in vertex order (the METIS /
+// hMETIS convention). Used by the CLI and by applications checkpointing
+// their distribution between epochs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "metrics/partition.hpp"
+
+namespace hgr {
+
+void write_partition(const Partition& p, std::ostream& out);
+void write_partition_file(const Partition& p, const std::string& path);
+
+/// Reads num_vertices lines; k is inferred as max+1 unless k_hint > 0 (the
+/// hint also validates ids against [0, k_hint)). Throws std::runtime_error
+/// on malformed input.
+Partition read_partition(std::istream& in, Index num_vertices,
+                         PartId k_hint = 0);
+Partition read_partition_file(const std::string& path, Index num_vertices,
+                              PartId k_hint = 0);
+
+}  // namespace hgr

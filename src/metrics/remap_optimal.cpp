@@ -1,0 +1,105 @@
+#include "metrics/remap_optimal.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "metrics/migration.hpp"
+
+namespace hgr {
+
+// Hungarian algorithm (Jonker-style O(n^3) shortest augmenting paths),
+// formulated for minimization; maximization negates the weights.
+std::vector<Index> max_assignment(const std::vector<std::vector<Weight>>& w) {
+  const auto n = static_cast<Index>(w.size());
+  HGR_ASSERT(n > 0);
+  for (const auto& row : w)
+    HGR_ASSERT(static_cast<Index>(row.size()) == n);
+
+  constexpr Weight kInf = std::numeric_limits<Weight>::max() / 4;
+  // 1-based potentials/arrays per the classic formulation.
+  std::vector<Weight> u(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<Weight> v(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<Index> way(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<Index> col_of(static_cast<std::size_t>(n) + 1, 0);  // col->row
+
+  const auto cost = [&](Index row, Index col) {
+    // Minimize the negated retained volume.
+    return -w[static_cast<std::size_t>(row - 1)][static_cast<std::size_t>(
+        col - 1)];
+  };
+
+  for (Index row = 1; row <= n; ++row) {
+    col_of[0] = row;
+    Index j0 = 0;
+    std::vector<Weight> minv(static_cast<std::size_t>(n) + 1, kInf);
+    std::vector<bool> used(static_cast<std::size_t>(n) + 1, false);
+    do {
+      used[static_cast<std::size_t>(j0)] = true;
+      const Index i0 = col_of[static_cast<std::size_t>(j0)];
+      Weight delta = kInf;
+      Index j1 = 0;
+      for (Index j = 1; j <= n; ++j) {
+        if (used[static_cast<std::size_t>(j)]) continue;
+        const Weight cur = cost(i0, j) - u[static_cast<std::size_t>(i0)] -
+                           v[static_cast<std::size_t>(j)];
+        if (cur < minv[static_cast<std::size_t>(j)]) {
+          minv[static_cast<std::size_t>(j)] = cur;
+          way[static_cast<std::size_t>(j)] = j0;
+        }
+        if (minv[static_cast<std::size_t>(j)] < delta) {
+          delta = minv[static_cast<std::size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (Index j = 0; j <= n; ++j) {
+        if (used[static_cast<std::size_t>(j)]) {
+          u[static_cast<std::size_t>(
+              col_of[static_cast<std::size_t>(j)])] += delta;
+          v[static_cast<std::size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<std::size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (col_of[static_cast<std::size_t>(j0)] != 0);
+    // Augment along the path.
+    do {
+      const Index j1 = way[static_cast<std::size_t>(j0)];
+      col_of[static_cast<std::size_t>(j0)] =
+          col_of[static_cast<std::size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<Index> assignment(static_cast<std::size_t>(n), kInvalidIndex);
+  for (Index j = 1; j <= n; ++j) {
+    const Index row = col_of[static_cast<std::size_t>(j)];
+    if (row >= 1)
+      assignment[static_cast<std::size_t>(row - 1)] = j - 1;
+  }
+  for (const Index a : assignment) HGR_ASSERT(a != kInvalidIndex);
+  return assignment;
+}
+
+Partition remap_parts_optimal(std::span<const Weight> vertex_sizes,
+                              const Partition& old_p,
+                              const Partition& new_p) {
+  HGR_ASSERT(old_p.k == new_p.k);
+  const PartId k = new_p.k;
+  const auto overlap = part_overlap_sizes(vertex_sizes, old_p, new_p);
+  // Row = old label, column = new label; maximize retained volume, then
+  // read off new->old.
+  const std::vector<Index> old_to_new = max_assignment(overlap);
+  std::vector<PartId> new_to_old(static_cast<std::size_t>(k), kNoPart);
+  for (PartId i = 0; i < k; ++i)
+    new_to_old[static_cast<std::size_t>(
+        old_to_new[static_cast<std::size_t>(i)])] = i;
+
+  Partition out(k, new_p.num_vertices());
+  for (Index v = 0; v < new_p.num_vertices(); ++v)
+    out[v] = new_to_old[static_cast<std::size_t>(new_p[v])];
+  return out;
+}
+
+}  // namespace hgr

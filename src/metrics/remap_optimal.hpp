@@ -1,0 +1,29 @@
+// Optimal part relabeling via the Hungarian algorithm.
+//
+// The paper relabels from-scratch partitions with "a maximal matching
+// heuristic" (implemented in metrics/migration.*). Relabeling is exactly a
+// linear assignment problem — maximize retained (non-migrated) data over
+// all label permutations — so the Hungarian algorithm gives the true
+// optimum in O(k^3), trivially affordable for k <= 1024. Exposed to
+// quantify the heuristic's gap (bench/ablation_design_choices) and for
+// users who want the last few percent.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "metrics/partition.hpp"
+
+namespace hgr {
+
+/// Like remap_parts_for_migration, but optimal: the returned relabeling of
+/// new_p minimizes migration volume from old_p over all k! label
+/// permutations.
+Partition remap_parts_optimal(std::span<const Weight> vertex_sizes,
+                              const Partition& old_p, const Partition& new_p);
+
+/// Solve max-weight perfect assignment on a k x k matrix (row r ->
+/// column assignment[r]). Exposed for tests.
+std::vector<Index> max_assignment(const std::vector<std::vector<Weight>>& w);
+
+}  // namespace hgr

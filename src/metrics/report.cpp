@@ -1,0 +1,95 @@
+#include "metrics/report.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <cstdio>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "metrics/balance.hpp"
+#include "metrics/cut.hpp"
+
+namespace hgr {
+
+PartitionReport analyze_partition(const Hypergraph& h, const Partition& p) {
+  HGR_ASSERT(p.num_vertices() == h.num_vertices());
+  PartitionReport report;
+  report.k = p.k;
+  report.part_weight = part_weights(h.vertex_weights(), p);
+  report.imbalance = imbalance_of(report.part_weight);
+  report.part_vertices.assign(static_cast<std::size_t>(p.k), 0);
+  for (Index v = 0; v < h.num_vertices(); ++v)
+    ++report.part_vertices[static_cast<std::size_t>(p[v])];
+  report.boundary_vertices.assign(static_cast<std::size_t>(p.k), 0);
+  report.pairwise_comm.assign(
+      static_cast<std::size_t>(p.k) * static_cast<std::size_t>(p.k), 0.0);
+
+  std::vector<bool> is_boundary(static_cast<std::size_t>(h.num_vertices()),
+                                false);
+  std::vector<PartId> parts;
+  for (Index net = 0; net < h.num_nets(); ++net) {
+    parts.clear();
+    for (const Index v : h.pins(net)) {
+      const PartId q = p[v];
+      if (std::find(parts.begin(), parts.end(), q) == parts.end())
+        parts.push_back(q);
+    }
+    const auto lambda = static_cast<PartId>(parts.size());
+    if (lambda <= 1) continue;
+    report.total_cut += h.net_cost(net) * (lambda - 1);
+    for (const Index v : h.pins(net))
+      is_boundary[static_cast<std::size_t>(v)] = true;
+    // Spread the net's volume over its spanned pairs.
+    const double pairs =
+        static_cast<double>(lambda) * (lambda - 1) / 2.0;
+    const double share =
+        static_cast<double>(h.net_cost(net)) * (lambda - 1) / pairs;
+    for (std::size_t a = 0; a < parts.size(); ++a) {
+      for (std::size_t b = a + 1; b < parts.size(); ++b) {
+        const PartId i = std::min(parts[a], parts[b]);
+        const PartId j = std::max(parts[a], parts[b]);
+        report.pairwise_comm[static_cast<std::size_t>(i) *
+                                 static_cast<std::size_t>(p.k) +
+                             static_cast<std::size_t>(j)] += share;
+      }
+    }
+  }
+  for (Index v = 0; v < h.num_vertices(); ++v)
+    if (is_boundary[static_cast<std::size_t>(v)])
+      ++report.boundary_vertices[static_cast<std::size_t>(p[v])];
+  return report;
+}
+
+std::string PartitionReport::to_string() const {
+  std::ostringstream out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "k=%d cut=%lld imbalance=%.4f\n%-6s %12s %10s %10s\n", k,
+                static_cast<long long>(total_cut), imbalance, "part",
+                "weight", "vertices", "boundary");
+  out << line;
+  for (PartId q = 0; q < k; ++q) {
+    std::snprintf(line, sizeof(line), "%-6d %12lld %10d %10d\n", q,
+                  static_cast<long long>(
+                      part_weight[static_cast<std::size_t>(q)]),
+                  part_vertices[static_cast<std::size_t>(q)],
+                  boundary_vertices[static_cast<std::size_t>(q)]);
+    out << line;
+  }
+  // Top pairwise channels.
+  std::vector<std::tuple<double, PartId, PartId>> channels;
+  for (PartId i = 0; i < k; ++i)
+    for (PartId j = i + 1; j < k; ++j)
+      if (pair_comm(i, j) > 0) channels.emplace_back(pair_comm(i, j), i, j);
+  std::sort(channels.rbegin(), channels.rend());
+  const std::size_t show = std::min<std::size_t>(channels.size(), 8);
+  if (show > 0) out << "heaviest channels:\n";
+  for (std::size_t c = 0; c < show; ++c) {
+    const auto& [vol, i, j] = channels[c];
+    std::snprintf(line, sizeof(line), "  %d <-> %d : %.1f\n", i, j, vol);
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace hgr

@@ -1,0 +1,38 @@
+// Partition quality report: the per-part breakdown an operator wants when
+// inspecting a distribution — weights, boundary sizes, and the
+// part-to-part communication matrix implied by the connectivity-1 model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+#include "metrics/partition.hpp"
+
+namespace hgr {
+
+struct PartitionReport {
+  PartId k = 0;
+  Weight total_cut = 0;          // connectivity-1
+  double imbalance = 0.0;
+  std::vector<Weight> part_weight;
+  std::vector<Index> part_vertices;
+  std::vector<Index> boundary_vertices;  // vertices touching a cut net
+  /// comm[i*k + j], i < j: volume on nets spanning parts i and j (a net
+  /// with connectivity lambda contributes cost*(lambda-1) split evenly
+  /// across its spanned pairs' buckets; exact for 2-part nets).
+  std::vector<double> pairwise_comm;
+
+  double pair_comm(PartId i, PartId j) const {
+    return pairwise_comm[static_cast<std::size_t>(i) *
+                             static_cast<std::size_t>(k) +
+                         static_cast<std::size_t>(j)];
+  }
+
+  /// Multi-line human-readable rendering.
+  std::string to_string() const;
+};
+
+PartitionReport analyze_partition(const Hypergraph& h, const Partition& p);
+
+}  // namespace hgr

@@ -1,0 +1,117 @@
+#include "parallel/comm.hpp"
+
+#include <thread>
+
+namespace hgr {
+
+Comm::Comm(int num_ranks)
+    : num_ranks_(num_ranks),
+      mailboxes_(static_cast<std::size_t>(num_ranks)),
+      stats_(static_cast<std::size_t>(num_ranks)),
+      slots_(static_cast<std::size_t>(num_ranks)) {
+  HGR_ASSERT(num_ranks >= 1);
+}
+
+void Comm::run(const std::function<void(RankContext&)>& f) {
+  for (auto& s : stats_) s = CommStats{};
+  for (auto& box : mailboxes_) {
+    std::lock_guard lock(box.mutex);
+    box.queues.clear();
+  }
+  barrier_arrived_ = 0;
+  barrier_generation_ = 0;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ranks_));
+  for (int r = 0; r < num_ranks_; ++r) {
+    threads.emplace_back([this, r, &f] {
+      RankContext ctx(*this, r);
+      f(ctx);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+CommStats Comm::total_stats() const {
+  CommStats total;
+  for (const CommStats& s : stats_) {
+    total.bytes_sent += s.bytes_sent;
+    total.messages_sent += s.messages_sent;
+    total.collectives += s.collectives;
+  }
+  return total;
+}
+
+void Comm::barrier_wait() {
+  std::unique_lock lock(barrier_mutex_);
+  const std::uint64_t my_generation = barrier_generation_;
+  if (++barrier_arrived_ == num_ranks_) {
+    barrier_arrived_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [this, my_generation] {
+      return barrier_generation_ != my_generation;
+    });
+  }
+}
+
+int RankContext::size() const { return comm_.num_ranks(); }
+
+const CommStats& RankContext::stats() const {
+  return comm_.stats_[static_cast<std::size_t>(rank_)];
+}
+
+void RankContext::account(std::size_t bytes, std::size_t messages) {
+  CommStats& s = comm_.stats_[static_cast<std::size_t>(rank_)];
+  s.bytes_sent += bytes;
+  s.messages_sent += messages;
+}
+
+void RankContext::send_bytes(int dest, int tag,
+                             std::span<const std::uint8_t> data) {
+  HGR_ASSERT(dest >= 0 && dest < size());
+  // Self-sends stay local (MPI implementations also bypass the network).
+  if (dest != rank_) account(data.size(), 1);
+  Comm::Mailbox& box = comm_.mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard lock(box.mutex);
+    box.queues[{rank_, tag}].emplace_back(data.begin(), data.end());
+  }
+  box.ready.notify_all();
+}
+
+std::vector<std::uint8_t> RankContext::recv_bytes(int src, int tag) {
+  HGR_ASSERT(src >= 0 && src < size());
+  Comm::Mailbox& box = comm_.mailboxes_[static_cast<std::size_t>(rank_)];
+  std::unique_lock lock(box.mutex);
+  const auto key = std::make_pair(src, tag);
+  box.ready.wait(lock, [&box, &key] {
+    const auto it = box.queues.find(key);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  auto& queue = box.queues[key];
+  std::vector<std::uint8_t> msg = std::move(queue.front());
+  queue.pop_front();
+  return msg;
+}
+
+void RankContext::barrier() {
+  comm_.stats_[static_cast<std::size_t>(rank_)].collectives += 1;
+  comm_.barrier_wait();
+}
+
+void RankContext::exchange_slot(
+    const std::vector<std::uint8_t>& mine,
+    std::vector<std::vector<std::uint8_t>>& all_out) {
+  // Write-barrier-read-barrier around the shared slot area. Traffic model:
+  // each rank ships its contribution to the other p-1 ranks.
+  comm_.slots_[static_cast<std::size_t>(rank_)] = mine;
+  account(mine.size() * static_cast<std::size_t>(size() - 1), 0);
+  comm_.stats_[static_cast<std::size_t>(rank_)].collectives += 1;
+  comm_.barrier_wait();
+  all_out = comm_.slots_;
+  comm_.barrier_wait();
+}
+
+}  // namespace hgr

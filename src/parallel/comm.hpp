@@ -1,0 +1,204 @@
+// In-process message-passing runtime: the MPI substitute.
+//
+// The paper's partitioner is an MPI program on a 64-node cluster. This
+// container has no MPI and one core, so the parallel algorithms here run
+// against an in-process communicator: p ranks on p threads, typed
+// point-to-point mailboxes, and the collectives the algorithms need
+// (barrier, broadcast, all-reduce, all-gather, all-to-all). Every transfer
+// is counted in bytes per rank, so communication *volume* — the metric the
+// paper's claims rest on — is measured exactly even though wall-clock
+// scalability is not reproducible on one core.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace hgr {
+
+/// Per-rank traffic counters (bytes that would cross the network).
+struct CommStats {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t collectives = 0;
+};
+
+class Comm;
+
+/// Reserved tag used internally by alltoallv.
+inline constexpr int kAlltoallTag = -424242;
+
+/// Handle a rank uses inside Comm::run. All operations are blocking and
+/// must be called congruently across ranks (like MPI collectives).
+class RankContext {
+ public:
+  RankContext(Comm& comm, int rank) : comm_(comm), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const;
+
+  void send_bytes(int dest, int tag, std::span<const std::uint8_t> data);
+  std::vector<std::uint8_t> recv_bytes(int src, int tag);
+
+  template <typename T>
+  void send(int dest, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag,
+               {reinterpret_cast<const std::uint8_t*>(data.data()),
+                data.size() * sizeof(T)});
+  }
+
+  template <typename T>
+  std::vector<T> recv(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::vector<std::uint8_t> raw = recv_bytes(src, tag);
+    HGR_ASSERT(raw.size() % sizeof(T) == 0);
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  void barrier();
+
+  /// Gather each rank's vector; every rank receives the concatenation in
+  /// rank order (returned per-rank to preserve boundaries).
+  template <typename T>
+  std::vector<std::vector<T>> allgather(const std::vector<T>& mine);
+
+  template <typename T>
+  T allreduce(T value, const std::function<T(T, T)>& op);
+
+  template <typename T>
+  T allreduce_sum(T value) {
+    return allreduce<T>(value, [](T a, T b) { return a + b; });
+  }
+  template <typename T>
+  T allreduce_max(T value) {
+    return allreduce<T>(value, [](T a, T b) { return a > b ? a : b; });
+  }
+  template <typename T>
+  T allreduce_min(T value) {
+    return allreduce<T>(value, [](T a, T b) { return a < b ? a : b; });
+  }
+
+  /// Personalized all-to-all: outgoing[d] goes to rank d; returns one
+  /// vector per source rank.
+  template <typename T>
+  std::vector<std::vector<T>> alltoallv(
+      const std::vector<std::vector<T>>& outgoing);
+
+  /// Broadcast root's vector to everyone.
+  template <typename T>
+  std::vector<T> bcast(const std::vector<T>& mine, int root);
+
+  const CommStats& stats() const;
+
+ private:
+  void account(std::size_t bytes, std::size_t messages);
+  void exchange_slot(const std::vector<std::uint8_t>& mine,
+                     std::vector<std::vector<std::uint8_t>>& all_out);
+
+  Comm& comm_;
+  int rank_;
+};
+
+/// The communicator: owns the shared mailboxes and collective areas and
+/// launches one thread per rank.
+class Comm {
+ public:
+  explicit Comm(int num_ranks);
+
+  int num_ranks() const { return num_ranks_; }
+
+  /// Run f as rank r on each of num_ranks threads; returns when all ranks
+  /// finish. Exceptions in a rank abort the process (no recovery story, as
+  /// with MPI).
+  void run(const std::function<void(RankContext&)>& f);
+
+  /// Aggregate traffic over all ranks from the last run().
+  CommStats total_stats() const;
+  const CommStats& rank_stats(int rank) const {
+    return stats_[static_cast<std::size_t>(rank)];
+  }
+
+ private:
+  friend class RankContext;
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::map<std::pair<int, int>, std::deque<std::vector<std::uint8_t>>>
+        queues;  // (src, tag) -> messages in order
+  };
+
+  // Sense-reversing generation barrier.
+  void barrier_wait();
+
+  int num_ranks_;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<CommStats> stats_;
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  // Collective exchange area: one slot per rank, fenced by barriers.
+  std::vector<std::vector<std::uint8_t>> slots_;
+};
+
+template <typename T>
+std::vector<std::vector<T>> RankContext::allgather(
+    const std::vector<T>& mine) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::uint8_t> raw(mine.size() * sizeof(T));
+  std::memcpy(raw.data(), mine.data(), raw.size());
+  std::vector<std::vector<std::uint8_t>> all;
+  exchange_slot(raw, all);
+  std::vector<std::vector<T>> out(all.size());
+  for (std::size_t r = 0; r < all.size(); ++r) {
+    HGR_ASSERT(all[r].size() % sizeof(T) == 0);
+    out[r].resize(all[r].size() / sizeof(T));
+    std::memcpy(out[r].data(), all[r].data(), all[r].size());
+  }
+  return out;
+}
+
+template <typename T>
+T RankContext::allreduce(T value, const std::function<T(T, T)>& op) {
+  const std::vector<std::vector<T>> all = allgather<T>({value});
+  T acc = all[0][0];
+  for (std::size_t r = 1; r < all.size(); ++r) acc = op(acc, all[r][0]);
+  return acc;
+}
+
+template <typename T>
+std::vector<std::vector<T>> RankContext::alltoallv(
+    const std::vector<std::vector<T>>& outgoing) {
+  HGR_ASSERT(static_cast<int>(outgoing.size()) == size());
+  for (int d = 0; d < size(); ++d)
+    send<T>(d, /*tag=*/kAlltoallTag, outgoing[static_cast<std::size_t>(d)]);
+  std::vector<std::vector<T>> incoming(static_cast<std::size_t>(size()));
+  for (int s = 0; s < size(); ++s)
+    incoming[static_cast<std::size_t>(s)] = recv<T>(s, kAlltoallTag);
+  barrier();
+  return incoming;
+}
+
+template <typename T>
+std::vector<T> RankContext::bcast(const std::vector<T>& mine, int root) {
+  // Built on the slot area: only the root's slot is read.
+  const std::vector<std::vector<T>> all = allgather<T>(
+      rank() == root ? mine : std::vector<T>{});
+  return all[static_cast<std::size_t>(root)];
+}
+
+}  // namespace hgr

@@ -1,0 +1,38 @@
+#include "parallel/par_coarsen.hpp"
+
+#include "common/assert.hpp"
+
+namespace hgr {
+
+std::uint64_t hypergraph_checksum(const Hypergraph& h) {
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  const auto mix = [&x](std::uint64_t v) {
+    x ^= v + 0x9e3779b97f4a7c15ULL + (x << 6) + (x >> 2);
+  };
+  mix(static_cast<std::uint64_t>(h.num_vertices()));
+  mix(static_cast<std::uint64_t>(h.num_nets()));
+  for (Index v = 0; v < h.num_vertices(); ++v) {
+    mix(static_cast<std::uint64_t>(h.vertex_weight(v)));
+    mix(static_cast<std::uint64_t>(h.vertex_size(v)));
+    mix(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(h.fixed_part(v))));
+  }
+  for (Index net = 0; net < h.num_nets(); ++net) {
+    mix(static_cast<std::uint64_t>(h.net_cost(net)));
+    for (const Index v : h.pins(net)) mix(static_cast<std::uint64_t>(v));
+  }
+  return x;
+}
+
+CoarseLevel parallel_contract(RankContext& ctx, const Hypergraph& h,
+                              std::span<const Index> match) {
+  CoarseLevel level = contract(h, match);
+  const std::uint64_t mine = hypergraph_checksum(level.coarse);
+  const std::uint64_t lowest = ctx.allreduce_min<std::uint64_t>(mine);
+  const std::uint64_t highest = ctx.allreduce_max<std::uint64_t>(mine);
+  HGR_ASSERT_MSG(lowest == highest,
+                 "ranks contracted divergent coarse hypergraphs");
+  return level;
+}
+
+}  // namespace hgr

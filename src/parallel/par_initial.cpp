@@ -1,0 +1,67 @@
+#include "parallel/par_initial.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "metrics/balance.hpp"
+#include "metrics/cut.hpp"
+#include "partition/kway_refine.hpp"
+#include "partition/partitioner.hpp"
+
+namespace hgr {
+
+namespace {
+
+/// Serialized quality header preceding the assignment on the wire.
+struct Quality {
+  Weight overweight;
+  Weight cut;
+  std::int32_t rank;
+
+  bool better_than(const Quality& other) const {
+    if (overweight != other.overweight) return overweight < other.overweight;
+    if (cut != other.cut) return cut < other.cut;
+    return rank < other.rank;  // deterministic tie-break
+  }
+};
+
+Weight total_overweight(const Hypergraph& h, const Partition& p,
+                        double epsilon) {
+  const std::vector<Weight> pw = part_weights(h.vertex_weights(), p);
+  const double avg = static_cast<double>(h.total_vertex_weight()) /
+                     static_cast<double>(p.k);
+  const auto max_w = static_cast<Weight>(avg * (1.0 + epsilon));
+  Weight over = 0;
+  for (const Weight w : pw) over += std::max<Weight>(0, w - max_w);
+  return over;
+}
+
+}  // namespace
+
+Partition parallel_coarse_partition(RankContext& ctx, const Hypergraph& h,
+                                    const PartitionConfig& cfg,
+                                    std::uint64_t seed) {
+  // Rank-specific seed: every processor computes a *different* partition.
+  PartitionConfig local_cfg = cfg;
+  local_cfg.seed = derive_seed(seed, static_cast<std::uint64_t>(ctx.rank()));
+  Partition mine = direct_kway_partition(h, local_cfg);
+
+  Quality q{total_overweight(h, mine, cfg.epsilon),
+            connectivity_cut(h, mine), static_cast<std::int32_t>(ctx.rank())};
+  const std::vector<std::vector<Quality>> all_quality =
+      ctx.allgather(std::vector<Quality>{q});
+  Quality best = all_quality[0][0];
+  for (const auto& per_rank : all_quality)
+    if (per_rank[0].better_than(best)) best = per_rank[0];
+
+  // Winner broadcasts its assignment.
+  const std::vector<PartId> winning =
+      ctx.bcast(mine.assignment, static_cast<int>(best.rank));
+  Partition result(cfg.num_parts, h.num_vertices());
+  result.assignment = winning;
+  result.validate();
+  return result;
+}
+
+}  // namespace hgr

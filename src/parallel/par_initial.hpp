@@ -1,0 +1,21 @@
+// Parallel coarse partitioning (paper §4.2): "we replicate it on every
+// processor and each processor runs a randomized greedy hypergraph growing
+// algorithm to compute a different partitioning into k partitions" — the
+// globally best result wins. Fixed coarse vertices stay in their parts.
+#pragma once
+
+#include "hypergraph/hypergraph.hpp"
+#include "metrics/partition.hpp"
+#include "parallel/comm.hpp"
+#include "partition/config.hpp"
+
+namespace hgr {
+
+/// Every rank computes an independent randomized k-way partition of the
+/// (replicated) coarsest hypergraph, refines it, and the partition with the
+/// lowest (infeasibility, cut) is adopted by all ranks.
+Partition parallel_coarse_partition(RankContext& ctx, const Hypergraph& h,
+                                    const PartitionConfig& cfg,
+                                    std::uint64_t seed);
+
+}  // namespace hgr

@@ -1,0 +1,234 @@
+#include "parallel/par_ipm.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "partition/matching_ipm.hpp"
+
+namespace hgr {
+
+namespace {
+
+/// Wire format of a match proposal: (candidate, partner, score, rank).
+struct Proposal {
+  Index candidate;
+  Index partner;
+  Weight score;
+  std::int32_t rank;
+};
+
+}  // namespace
+
+std::vector<Index> parallel_ipm_matching(RankContext& ctx,
+                                         const Hypergraph& h,
+                                         const PartitionConfig& cfg,
+                                         Weight max_vertex_weight,
+                                         std::uint64_t seed) {
+  const Index n = h.num_vertices();
+  std::vector<Index> match(static_cast<std::size_t>(n));
+  for (Index v = 0; v < n; ++v) match[static_cast<std::size_t>(v)] = v;
+
+  const auto [lo, hi] = block_range(n, ctx.size(), ctx.rank());
+  Rng rng(derive_seed(seed, static_cast<std::uint64_t>(ctx.rank())));
+
+  // Local unmatched vertices in random visit order.
+  std::vector<Index> local;
+  for (Index v = lo; v < hi; ++v) local.push_back(v);
+  rng.shuffle(local);
+  std::size_t cursor = 0;
+
+  const int rounds = 4;
+  std::vector<Weight> score(static_cast<std::size_t>(n), 0);
+  std::vector<Index> touched;
+
+  for (int round = 0; round < rounds; ++round) {
+    // Select this round's candidates from the still-unmatched local
+    // vertices (an even share per round, the leftovers in the last round).
+    std::vector<Index> candidates;
+    const std::size_t budget =
+        round + 1 == rounds
+            ? local.size()
+            : (local.size() + rounds - 1) / static_cast<std::size_t>(rounds);
+    while (cursor < local.size() && candidates.size() < budget) {
+      const Index v = local[cursor++];
+      if (match[static_cast<std::size_t>(v)] == v &&
+          h.vertex_degree(v) <= cfg.max_matching_degree)
+        candidates.push_back(v);
+    }
+
+    // Broadcast candidates to every rank.
+    const std::vector<std::vector<Index>> all_candidates =
+        ctx.allgather(candidates);
+
+    // Score every foreign and local candidate against *our* unmatched
+    // vertices; emit our best proposal per candidate.
+    std::vector<Proposal> proposals;
+    for (const auto& from_rank : all_candidates) {
+      for (const Index c : from_rank) {
+        if (match[static_cast<std::size_t>(c)] != c) continue;
+        const PartId fc = h.fixed_part(c);
+        const Weight wc = h.vertex_weight(c);
+        touched.clear();
+        for (const Index net : h.incident_nets(c)) {
+          const Index net_size = h.net_size(net);
+          if (net_size < 2 || net_size > cfg.max_scored_net_size) continue;
+          const Weight cost = h.net_cost(net);
+          if (cost == 0) continue;
+          for (const Index u : h.pins(net)) {
+            if (u == c || u < lo || u >= hi) continue;  // not ours
+            if (match[static_cast<std::size_t>(u)] != u) continue;
+            if (score[static_cast<std::size_t>(u)] == 0) touched.push_back(u);
+            score[static_cast<std::size_t>(u)] += cost;
+          }
+        }
+        Index best = kInvalidIndex;
+        Weight best_score = 0;
+        Weight best_weight = 0;
+        for (const Index u : touched) {
+          const Weight s = score[static_cast<std::size_t>(u)];
+          score[static_cast<std::size_t>(u)] = 0;
+          if (!fixed_compatible(fc, h.fixed_part(u))) continue;
+          if (max_vertex_weight > 0 &&
+              wc + h.vertex_weight(u) > max_vertex_weight)
+            continue;
+          const Weight wu = h.vertex_weight(u);
+          if (best == kInvalidIndex || s > best_score ||
+              (s == best_score &&
+               (wu < best_weight || (wu == best_weight && u < best)))) {
+            best = u;
+            best_score = s;
+            best_weight = wu;
+          }
+        }
+        if (best != kInvalidIndex)
+          proposals.push_back({c, best, best_score,
+                               static_cast<std::int32_t>(ctx.rank())});
+      }
+    }
+
+    // Gather all proposals; every rank finalizes identically: candidates
+    // in ascending id order, each taking its globally best still-valid
+    // partner.
+    const std::vector<std::vector<Proposal>> all_proposals =
+        ctx.allgather(proposals);
+    std::vector<Proposal> flat;
+    for (const auto& per_rank : all_proposals)
+      flat.insert(flat.end(), per_rank.begin(), per_rank.end());
+    std::sort(flat.begin(), flat.end(), [](const Proposal& a,
+                                           const Proposal& b) {
+      if (a.candidate != b.candidate) return a.candidate < b.candidate;
+      if (a.score != b.score) return a.score > b.score;
+      if (a.rank != b.rank) return a.rank < b.rank;
+      return a.partner < b.partner;
+    });
+    for (std::size_t i = 0; i < flat.size();) {
+      const Index c = flat[i].candidate;
+      if (match[static_cast<std::size_t>(c)] == c) {
+        for (std::size_t j = i; j < flat.size() && flat[j].candidate == c;
+             ++j) {
+          const Index u = flat[j].partner;
+          if (u != c && match[static_cast<std::size_t>(u)] == u) {
+            match[static_cast<std::size_t>(c)] = u;
+            match[static_cast<std::size_t>(u)] = c;
+            break;
+          }
+        }
+      }
+      while (i < flat.size() && flat[i].candidate == c) ++i;
+    }
+  }
+
+#ifndef NDEBUG
+  for (Index v = 0; v < n; ++v)
+    HGR_ASSERT(match[static_cast<std::size_t>(
+                   match[static_cast<std::size_t>(v)])] == v);
+#endif
+  return match;
+}
+
+std::vector<Index> local_ipm_matching(RankContext& ctx, const Hypergraph& h,
+                                      const PartitionConfig& cfg,
+                                      Weight max_vertex_weight,
+                                      std::uint64_t seed) {
+  const Index n = h.num_vertices();
+  std::vector<Index> match(static_cast<std::size_t>(n));
+  for (Index v = 0; v < n; ++v) match[static_cast<std::size_t>(v)] = v;
+
+  const auto [lo, hi] = block_range(n, ctx.size(), ctx.rank());
+  Rng rng(derive_seed(seed, 31 + static_cast<std::uint64_t>(ctx.rank())));
+
+  // Serial first-choice IPM restricted to the local vertex block: both the
+  // initiating vertex and its partner must be owned here.
+  std::vector<Weight> score(static_cast<std::size_t>(n), 0);
+  std::vector<Index> touched;
+  std::vector<Index> order;
+  for (Index v = lo; v < hi; ++v) order.push_back(v);
+  rng.shuffle(order);
+
+  std::vector<Index> pairs;  // flat (v, u) list of local matches
+  for (const Index v : order) {
+    if (match[static_cast<std::size_t>(v)] != v) continue;
+    if (h.vertex_degree(v) > cfg.max_matching_degree) continue;
+    const PartId fv = h.fixed_part(v);
+    const Weight wv = h.vertex_weight(v);
+    touched.clear();
+    for (const Index net : h.incident_nets(v)) {
+      const Index size = h.net_size(net);
+      if (size < 2 || size > cfg.max_scored_net_size) continue;
+      const Weight c = h.net_cost(net);
+      if (c == 0) continue;
+      for (const Index u : h.pins(net)) {
+        if (u == v || u < lo || u >= hi) continue;  // local partners only
+        if (match[static_cast<std::size_t>(u)] != u) continue;
+        if (score[static_cast<std::size_t>(u)] == 0) touched.push_back(u);
+        score[static_cast<std::size_t>(u)] += c;
+      }
+    }
+    Index best = kInvalidIndex;
+    Weight best_score = 0;
+    Weight best_weight = 0;
+    for (const Index u : touched) {
+      const Weight s = score[static_cast<std::size_t>(u)];
+      score[static_cast<std::size_t>(u)] = 0;
+      if (!fixed_compatible(fv, h.fixed_part(u))) continue;
+      if (max_vertex_weight > 0 && wv + h.vertex_weight(u) > max_vertex_weight)
+        continue;
+      const Weight wu = h.vertex_weight(u);
+      if (best == kInvalidIndex || s > best_score ||
+          (s == best_score &&
+           (wu < best_weight || (wu == best_weight && u < best)))) {
+        best = u;
+        best_score = s;
+        best_weight = wu;
+      }
+    }
+    if (best != kInvalidIndex) {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+      pairs.push_back(v);
+      pairs.push_back(best);
+    }
+  }
+
+  // One exchange replicates every rank's decisions; blocks are disjoint so
+  // no conflicts are possible.
+  const std::vector<std::vector<Index>> all_pairs = ctx.allgather(pairs);
+  for (const auto& per_rank : all_pairs) {
+    HGR_ASSERT(per_rank.size() % 2 == 0);
+    for (std::size_t i = 0; i < per_rank.size(); i += 2) {
+      const Index v = per_rank[i];
+      const Index u = per_rank[i + 1];
+      match[static_cast<std::size_t>(v)] = u;
+      match[static_cast<std::size_t>(u)] = v;
+    }
+  }
+
+#ifndef NDEBUG
+  for (Index v = 0; v < n; ++v)
+    HGR_ASSERT(match[static_cast<std::size_t>(
+                   match[static_cast<std::size_t>(v)])] == v);
+#endif
+  return match;
+}
+
+}  // namespace hgr

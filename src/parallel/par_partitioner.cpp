@@ -1,0 +1,122 @@
+#include "parallel/par_partitioner.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/timer.hpp"
+#include "core/repartition_model.hpp"
+#include "parallel/par_coarsen.hpp"
+#include "parallel/par_initial.hpp"
+#include "parallel/par_ipm.hpp"
+#include "parallel/par_refine.hpp"
+
+namespace hgr {
+
+ParallelPartitionResult parallel_partition_hypergraph(
+    const Hypergraph& h, const ParallelPartitionConfig& cfg) {
+  HGR_ASSERT(cfg.num_ranks >= 1);
+  HGR_ASSERT(cfg.base.num_parts >= 1);
+  h.validate(cfg.base.num_parts);
+
+  ParallelPartitionResult result;
+  result.partition = Partition(cfg.base.num_parts, h.num_vertices(), 0);
+  if (cfg.base.num_parts == 1 || h.num_vertices() == 0) return result;
+
+  WallTimer timer;
+  Comm comm(cfg.num_ranks);
+  std::mutex out_mutex;
+
+  comm.run([&](RankContext& ctx) {
+    const Index stop_size =
+        std::max<Index>(cfg.base.coarsen_to, 2 * cfg.base.num_parts);
+    const Weight max_vertex_weight = std::max<Weight>(
+        1,
+        static_cast<Weight>(cfg.base.max_coarse_weight_factor *
+                            static_cast<double>(h.total_vertex_weight()) /
+                            std::max<Index>(1, stop_size)));
+
+    // Coarsening: every rank holds the (replicated) current level; the
+    // matching itself is computed cooperatively and is identical on all
+    // ranks, so contraction is too (parallel_contract asserts it).
+    std::vector<CoarseLevel> levels;
+    const Hypergraph* current = &h;
+    for (Index level = 0; level < cfg.base.max_levels; ++level) {
+      if (current->num_vertices() <= stop_size) break;
+      const std::uint64_t level_seed =
+          derive_seed(cfg.base.seed, static_cast<std::uint64_t>(level));
+      const std::vector<Index> match =
+          cfg.local_matching
+              ? local_ipm_matching(ctx, *current, cfg.base,
+                                   max_vertex_weight, level_seed)
+              : parallel_ipm_matching(ctx, *current, cfg.base,
+                                      max_vertex_weight, level_seed);
+      CoarseLevel next = parallel_contract(ctx, *current, match);
+      const double reduction =
+          1.0 - static_cast<double>(next.coarse.num_vertices()) /
+                    static_cast<double>(current->num_vertices());
+      if (reduction < cfg.base.min_coarsen_reduction) break;
+      levels.push_back(std::move(next));
+      current = &levels.back().coarse;
+    }
+
+    // Coarse partitioning: every rank tries its own seed; best wins.
+    Partition p = parallel_coarse_partition(ctx, *current, cfg.base,
+                                            derive_seed(cfg.base.seed, 5000));
+
+    // Uncoarsening with synchronized localized refinement.
+    parallel_refine(ctx, *current, p, cfg.base,
+                    derive_seed(cfg.base.seed, 6000));
+    for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+      const Hypergraph& finer =
+          (std::next(it) == levels.rend()) ? h : std::next(it)->coarse;
+      Partition fine_p(cfg.base.num_parts, finer.num_vertices());
+      for (Index v = 0; v < finer.num_vertices(); ++v)
+        fine_p[v] = p[it->fine_to_coarse[static_cast<std::size_t>(v)]];
+      p = std::move(fine_p);
+      parallel_refine(
+          ctx, finer, p, cfg.base,
+          derive_seed(cfg.base.seed,
+                      6001 + static_cast<std::uint64_t>(
+                                 std::distance(levels.rbegin(), it))));
+    }
+
+    if (ctx.rank() == 0) {
+      std::lock_guard lock(out_mutex);
+      result.partition = std::move(p);
+      result.levels = static_cast<Index>(levels.size());
+    }
+  });
+
+  result.seconds = timer.seconds();
+  result.traffic = comm.total_stats();
+
+  result.partition.validate();
+  if (h.has_fixed()) {
+    for (Index v = 0; v < h.num_vertices(); ++v) {
+      const PartId f = h.fixed_part(v);
+      HGR_ASSERT_MSG(f == kNoPart || result.partition[v] == f,
+                     "parallel partitioner violated a fixed constraint");
+    }
+  }
+  return result;
+}
+
+ParallelPartitionResult parallel_hypergraph_repartition(
+    const Hypergraph& h, const Partition& old_p, Weight alpha,
+    const ParallelPartitionConfig& cfg) {
+  HGR_ASSERT(old_p.k == cfg.base.num_parts);
+  WallTimer timer;
+  const RepartitionModel model = build_repartition_model(h, old_p, alpha);
+  ParallelPartitionResult augmented =
+      parallel_partition_hypergraph(model.augmented, cfg);
+  ParallelPartitionResult result;
+  result.partition = decode_augmented_partition(model, augmented.partition);
+  result.traffic = augmented.traffic;
+  result.levels = augmented.levels;
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace hgr

@@ -1,0 +1,178 @@
+#include "parallel/par_refine.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "metrics/balance.hpp"
+#include "metrics/cut.hpp"
+#include "parallel/par_ipm.hpp"  // block_range
+
+namespace hgr {
+
+namespace {
+
+struct MoveProposal {
+  Index vertex;
+  PartId to;
+  Weight gain;
+};
+
+/// Replicated refinement state: pins-per-part table and part weights.
+class State {
+ public:
+  State(const Hypergraph& h, Partition& p, double epsilon)
+      : h_(h), p_(p), k_(p.k) {
+    counts_.assign(static_cast<std::size_t>(h.num_nets()) *
+                       static_cast<std::size_t>(k_),
+                   0);
+    for (Index net = 0; net < h.num_nets(); ++net)
+      for (const Index v : h.pins(net)) ++at(net, p[v]);
+    part_w_ = part_weights(h.vertex_weights(), p);
+    const double avg = static_cast<double>(h.total_vertex_weight()) /
+                       static_cast<double>(k_);
+    max_w_ = static_cast<Weight>(avg * (1.0 + epsilon));
+  }
+
+  Weight max_part_weight() const { return max_w_; }
+  Weight part_weight(PartId q) const {
+    return part_w_[static_cast<std::size_t>(q)];
+  }
+
+  /// Connectivity-1 gain of moving v to q (negative if it hurts).
+  Weight gain(Index v, PartId q) const {
+    const PartId from = p_[v];
+    if (q == from) return 0;
+    Weight g = 0;
+    for (const Index net : h_.incident_nets(v)) {
+      const Weight c = h_.net_cost(net);
+      if (count(net, from) == 1) g += c;
+      if (count(net, q) == 0) g -= c;
+    }
+    return g;
+  }
+
+  /// Best positive-gain feasible destination for v, or kNoPart.
+  std::pair<PartId, Weight> best_move(Index v) const {
+    const PartId from = p_[v];
+    PartId best = kNoPart;
+    Weight best_gain = 0;
+    const Weight wv = h_.vertex_weight(v);
+    // Candidate parts: those adjacent through v's nets.
+    for (const Index net : h_.incident_nets(v)) {
+      for (const Index u : h_.pins(net)) {
+        const PartId q = p_[u];
+        if (q == from) continue;
+        if (part_weight(q) + wv > max_w_) continue;
+        const Weight g = gain(v, q);
+        if (g > best_gain ||
+            (g == best_gain && best != kNoPart && q < best)) {
+          best = q;
+          best_gain = g;
+        }
+      }
+    }
+    return {best, best_gain};
+  }
+
+  void apply(Index v, PartId to) {
+    const PartId from = p_[v];
+    HGR_DASSERT(from != to);
+    for (const Index net : h_.incident_nets(v)) {
+      --at(net, from);
+      ++at(net, to);
+    }
+    part_w_[static_cast<std::size_t>(from)] -= h_.vertex_weight(v);
+    part_w_[static_cast<std::size_t>(to)] += h_.vertex_weight(v);
+    p_[v] = to;
+  }
+
+ private:
+  Index& at(Index net, PartId q) {
+    return counts_[static_cast<std::size_t>(net) *
+                       static_cast<std::size_t>(k_) +
+                   static_cast<std::size_t>(q)];
+  }
+  Index count(Index net, PartId q) const {
+    return counts_[static_cast<std::size_t>(net) *
+                       static_cast<std::size_t>(k_) +
+                   static_cast<std::size_t>(q)];
+  }
+
+  const Hypergraph& h_;
+  Partition& p_;
+  PartId k_;
+  std::vector<Index> counts_;
+  std::vector<Weight> part_w_;
+  Weight max_w_ = 0;
+};
+
+}  // namespace
+
+ParRefineResult parallel_refine(RankContext& ctx, const Hypergraph& h,
+                                Partition& p, const PartitionConfig& cfg,
+                                std::uint64_t seed) {
+  ParRefineResult result;
+  result.initial_cut = connectivity_cut(h, p);
+  result.final_cut = result.initial_cut;
+  if (p.k <= 1) return result;
+
+  State state(h, p, cfg.epsilon);
+  const auto [lo, hi] = block_range(h.num_vertices(), ctx.size(), ctx.rank());
+  Rng rng(derive_seed(seed, 77 + static_cast<std::uint64_t>(ctx.rank())));
+
+  Weight cut = result.initial_cut;
+  for (Index pass = 0; pass < cfg.max_refine_passes; ++pass) {
+    ++result.passes;
+
+    // Propose: scan owned vertices in random order against the current
+    // (pass-start) state.
+    std::vector<Index> owned;
+    for (Index v = lo; v < hi; ++v) owned.push_back(v);
+    rng.shuffle(owned);
+    std::vector<MoveProposal> proposals;
+    for (const Index v : owned) {
+      if (h.fixed_part(v) != kNoPart) continue;
+      const auto [to, gain] = state.best_move(v);
+      if (to != kNoPart && gain > 0) proposals.push_back({v, to, gain});
+    }
+
+    // Exchange and apply in deterministic global order (descending gain,
+    // then vertex id), revalidating each move against the evolving state.
+    const std::vector<std::vector<MoveProposal>> all =
+        ctx.allgather(proposals);
+    std::vector<MoveProposal> flat;
+    for (const auto& per_rank : all)
+      flat.insert(flat.end(), per_rank.begin(), per_rank.end());
+    std::sort(flat.begin(), flat.end(),
+              [](const MoveProposal& a, const MoveProposal& b) {
+                if (a.gain != b.gain) return a.gain > b.gain;
+                return a.vertex < b.vertex;
+              });
+    Index applied = 0;
+    for (const MoveProposal& m : flat) {
+      if (p[m.vertex] == m.to) continue;
+      const Weight g = state.gain(m.vertex, m.to);
+      if (g <= 0) continue;
+      if (state.part_weight(m.to) + h.vertex_weight(m.vertex) >
+          state.max_part_weight())
+        continue;
+      state.apply(m.vertex, m.to);
+      cut -= g;
+      ++applied;
+    }
+    result.moves += applied;
+    const Index applied_anywhere = static_cast<Index>(
+        ctx.allreduce_sum<std::int64_t>(applied));
+    // Every rank applied the identical global move list, so `applied` is
+    // already global; the reduction doubles as a lockstep check.
+    HGR_ASSERT(applied_anywhere == applied * ctx.size());
+    if (applied == 0) break;
+  }
+  result.final_cut = cut;
+  HGR_DASSERT(result.final_cut == connectivity_cut(h, p));
+  return result;
+}
+
+}  // namespace hgr

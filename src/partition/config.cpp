@@ -1,0 +1,21 @@
+#include "partition/config.hpp"
+
+#include <cstdio>
+
+namespace hgr {
+
+std::string PartitionConfig::to_string() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "k=%d eps=%.3f seed=%llu coarsen_to=%d trials=%d passes=%d method=%s "
+      "queue=%s postpass=%d vcycles=%d",
+      num_parts, epsilon, static_cast<unsigned long long>(seed), coarsen_to,
+      num_initial_trials, max_refine_passes,
+      kway_method == KwayMethod::kRecursiveBisection ? "rb" : "kway",
+      gain_queue == GainQueueKind::kHeap ? "heap" : "bucket", kway_postpass,
+      num_vcycles);
+  return buf;
+}
+
+}  // namespace hgr

@@ -1,0 +1,75 @@
+// Configuration for the multilevel hypergraph partitioner.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace hgr {
+
+enum class KwayMethod {
+  kRecursiveBisection,  // Zoltan's production path (paper Section 4.4)
+  kDirectKway,          // extension: direct k-way coarse + k-way FM
+};
+
+enum class GainQueueKind {
+  kHeap,    // indexed binary heap: range-independent (default)
+  kBucket,  // classic FM gain buckets: O(1) but gain-range-bounded
+};
+
+struct PartitionConfig {
+  PartId num_parts = 2;
+
+  /// Eq. 1 imbalance tolerance epsilon.
+  double epsilon = 0.05;
+
+  /// Seed for every randomized stage; same seed => identical partition.
+  std::uint64_t seed = 1;
+
+  /// Coarsening stops when the hypergraph has at most
+  /// max(coarsen_to, 2 * num_parts) vertices (paper: "less than 2k")...
+  Index coarsen_to = 100;
+
+  /// ...or when a level shrinks by less than this fraction (paper: 10%).
+  double min_coarsen_reduction = 0.10;
+
+  Index max_levels = 60;
+
+  /// Vertices heavier than max_coarse_weight_factor * (total / coarsen_to)
+  /// are not merged further, preventing unbalanced coarse vertices.
+  double max_coarse_weight_factor = 1.5;
+
+  /// Vertices with degree above this do not initiate IPM matches (they can
+  /// still be chosen as partners); guards against quadratic blowup on hubs
+  /// such as the repartitioning model's partition vertices.
+  Index max_matching_degree = 4096;
+
+  /// Nets larger than this are ignored while scoring inner products (their
+  /// contribution to the match quality is negligible and they are costly).
+  Index max_scored_net_size = 1024;
+
+  /// Randomized greedy-hypergraph-growing restarts at the coarsest level.
+  Index num_initial_trials = 8;
+
+  /// FM pass-pairs per uncoarsening level.
+  Index max_refine_passes = 4;
+
+  /// Moves allowed past the last improvement within an FM pass before the
+  /// pass aborts (classic FM early termination).
+  Index fm_move_limit = 350;
+
+  KwayMethod kway_method = KwayMethod::kRecursiveBisection;
+  GainQueueKind gain_queue = GainQueueKind::kHeap;
+
+  /// Extra direct k-way refinement sweep over the final partition.
+  bool kway_postpass = false;
+
+  /// Additional V-cycles: restricted re-coarsening + refinement of the
+  /// final k-way partition (quality extension, costs time).
+  Index num_vcycles = 0;
+
+  std::string to_string() const;
+};
+
+}  // namespace hgr

@@ -1,0 +1,117 @@
+#include "partition/contract.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+#include "common/csr_utils.hpp"
+#include "partition/matching_ipm.hpp"
+
+namespace hgr {
+
+namespace {
+
+std::uint64_t hash_pins(std::span<const Index> pins) {
+  // FNV-1a over the sorted pin list.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const Index v : pins) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+CoarseLevel contract(const Hypergraph& h, std::span<const Index> match) {
+  const Index n = h.num_vertices();
+  HGR_ASSERT(static_cast<Index>(match.size()) == n);
+
+  CoarseLevel out;
+  out.fine_to_coarse.assign(static_cast<std::size_t>(n), kInvalidIndex);
+
+  // Coarse ids: the smaller endpoint of each pair is the representative.
+  Index num_coarse = 0;
+  for (Index v = 0; v < n; ++v) {
+    const Index u = match[static_cast<std::size_t>(v)];
+    HGR_ASSERT(u >= 0 && u < n && match[static_cast<std::size_t>(u)] == v);
+    if (u >= v) out.fine_to_coarse[static_cast<std::size_t>(v)] = num_coarse++;
+  }
+  for (Index v = 0; v < n; ++v) {
+    const Index u = match[static_cast<std::size_t>(v)];
+    if (u < v)
+      out.fine_to_coarse[static_cast<std::size_t>(v)] =
+          out.fine_to_coarse[static_cast<std::size_t>(u)];
+  }
+
+  // Coarse vertex attributes.
+  std::vector<Weight> weights(static_cast<std::size_t>(num_coarse), 0);
+  std::vector<Weight> sizes(static_cast<std::size_t>(num_coarse), 0);
+  std::vector<PartId> fixed(static_cast<std::size_t>(num_coarse), kNoPart);
+  bool any_fixed = false;
+  for (Index v = 0; v < n; ++v) {
+    const auto c = static_cast<std::size_t>(
+        out.fine_to_coarse[static_cast<std::size_t>(v)]);
+    weights[c] += h.vertex_weight(v);
+    sizes[c] += h.vertex_size(v);
+    const PartId fv = h.fixed_part(v);
+    if (fv != kNoPart) {
+      HGR_ASSERT_MSG(fixed[c] == kNoPart || fixed[c] == fv,
+                     "matching merged incompatible fixed vertices");
+      fixed[c] = fv;
+      any_fixed = true;
+    }
+  }
+
+  // Coarse nets: map, dedup within net, drop < 2 pins, merge identical nets.
+  std::vector<Index> coarse_pins;           // concatenated kept pin lists
+  std::vector<Index> coarse_net_counts;     // pins per kept net
+  std::vector<Weight> coarse_net_costs;
+  std::vector<Index> net_begin_of;          // kept net -> begin in coarse_pins
+  std::unordered_map<std::uint64_t, std::vector<Index>> dedup;
+  dedup.reserve(static_cast<std::size_t>(h.num_nets()));
+
+  std::vector<Index> mapped;
+  for (Index net = 0; net < h.num_nets(); ++net) {
+    mapped.clear();
+    for (const Index v : h.pins(net))
+      mapped.push_back(out.fine_to_coarse[static_cast<std::size_t>(v)]);
+    std::sort(mapped.begin(), mapped.end());
+    mapped.erase(std::unique(mapped.begin(), mapped.end()), mapped.end());
+    if (static_cast<Index>(mapped.size()) < 2) continue;
+
+    const std::uint64_t key = hash_pins(mapped);
+    auto& bucket = dedup[key];
+    bool merged = false;
+    for (const Index existing : bucket) {
+      const auto begin = net_begin_of[static_cast<std::size_t>(existing)];
+      const auto count = coarse_net_counts[static_cast<std::size_t>(existing)];
+      if (count == static_cast<Index>(mapped.size()) &&
+          std::equal(mapped.begin(), mapped.end(),
+                     coarse_pins.begin() + begin)) {
+        coarse_net_costs[static_cast<std::size_t>(existing)] +=
+            h.net_cost(net);
+        merged = true;
+        break;
+      }
+    }
+    if (merged) continue;
+
+    const Index id = static_cast<Index>(coarse_net_counts.size());
+    bucket.push_back(id);
+    net_begin_of.push_back(static_cast<Index>(coarse_pins.size()));
+    coarse_net_counts.push_back(static_cast<Index>(mapped.size()));
+    coarse_net_costs.push_back(h.net_cost(net));
+    coarse_pins.insert(coarse_pins.end(), mapped.begin(), mapped.end());
+  }
+
+  std::vector<Index> offsets = counts_to_offsets(std::move(coarse_net_counts));
+  out.coarse = Hypergraph(std::move(offsets), std::move(coarse_pins),
+                          std::move(weights), std::move(sizes),
+                          std::move(coarse_net_costs),
+                          any_fixed ? std::move(fixed)
+                                    : std::vector<PartId>{});
+  return out;
+}
+
+}  // namespace hgr

@@ -1,0 +1,24 @@
+// Contraction: build the coarse hypergraph induced by a matching.
+//
+// Matched pairs merge into one coarse vertex (weights and sizes summed,
+// fixed parts merged per §4.1). Net pin lists are mapped and deduplicated;
+// nets reduced to fewer than 2 pins vanish (they can no longer be cut) and
+// nets with identical pin sets are merged with summed costs — both standard
+// multilevel-partitioning reductions that keep coarse levels small.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace hgr {
+
+struct CoarseLevel {
+  Hypergraph coarse;
+  std::vector<Index> fine_to_coarse;  // one entry per fine vertex
+};
+
+CoarseLevel contract(const Hypergraph& h, std::span<const Index> match);
+
+}  // namespace hgr

@@ -1,0 +1,64 @@
+// Runtime-selectable gain queue for FM refinement.
+//
+// Two interchangeable backends (an ablation subject, see bench/ablation_*):
+//   - kBucket: classic FM gain buckets, O(1) ops, memory linear in the gain
+//     range — only safe when the range is modest;
+//   - kHeap: indexed binary max-heap, O(log n) ops, range-independent.
+// The wrapper silently falls back to the heap when the requested bucket
+// range would be excessive (alpha-scaled net costs can push gains into the
+// millions).
+#pragma once
+
+#include <optional>
+
+#include "common/bucket_pq.hpp"
+#include "common/indexed_heap.hpp"
+#include "partition/config.hpp"
+
+namespace hgr {
+
+class GainQueue {
+ public:
+  /// Buckets beyond this gain range would cost more memory than the
+  /// hypergraph itself; fall back to the heap.
+  static constexpr Weight kMaxBucketRange = Weight{1} << 21;
+
+  GainQueue(Index num_items, Weight max_abs_gain, GainQueueKind kind) {
+    if (kind == GainQueueKind::kBucket && max_abs_gain <= kMaxBucketRange) {
+      bucket_.emplace(num_items, max_abs_gain);
+    } else {
+      heap_.emplace(num_items);
+    }
+  }
+
+  bool empty() const { return bucket_ ? bucket_->empty() : heap_->empty(); }
+  bool contains(Index item) const {
+    return bucket_ ? bucket_->contains(item) : heap_->contains(item);
+  }
+  void insert(Index item, Weight gain) {
+    bucket_ ? bucket_->insert(item, gain) : heap_->insert(item, gain);
+  }
+  void remove(Index item) {
+    bucket_ ? bucket_->remove(item) : heap_->remove(item);
+  }
+  void adjust(Index item, Weight gain) {
+    bucket_ ? bucket_->adjust(item, gain) : heap_->adjust(item, gain);
+  }
+  Weight gain(Index item) const {
+    return bucket_ ? bucket_->gain(item) : heap_->key(item);
+  }
+  Index top() const { return bucket_ ? bucket_->top() : heap_->top(); }
+  Weight top_gain() const {
+    return bucket_ ? bucket_->top_gain() : heap_->top_key();
+  }
+  Index pop() { return bucket_ ? bucket_->pop() : heap_->pop(); }
+  void clear() { bucket_ ? bucket_->clear() : heap_->clear(); }
+
+  bool uses_buckets() const { return bucket_.has_value(); }
+
+ private:
+  std::optional<BucketPQ> bucket_;
+  std::optional<IndexedMaxHeap> heap_;
+};
+
+}  // namespace hgr

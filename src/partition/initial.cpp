@@ -1,0 +1,155 @@
+#include "partition/initial.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/indexed_heap.hpp"
+
+namespace hgr {
+
+namespace {
+
+/// Cut cost of a bisection (2-way connectivity-1 == cut-net cost).
+Weight bisection_cut(const Hypergraph& h, const std::vector<PartId>& side) {
+  Weight cut = 0;
+  for (Index net = 0; net < h.num_nets(); ++net) {
+    const auto ps = h.pins(net);
+    const PartId first = side[static_cast<std::size_t>(ps.front())];
+    for (const Index v : ps) {
+      if (side[static_cast<std::size_t>(v)] != first) {
+        cut += h.net_cost(net);
+        break;
+      }
+    }
+  }
+  return cut;
+}
+
+Weight side_weight(const Hypergraph& h, const std::vector<PartId>& side,
+                   PartId s) {
+  Weight w = 0;
+  for (Index v = 0; v < h.num_vertices(); ++v)
+    if (side[static_cast<std::size_t>(v)] == s) w += h.vertex_weight(v);
+  return w;
+}
+
+}  // namespace
+
+std::vector<PartId> greedy_growing_bisection(const Hypergraph& h,
+                                             const BisectionTargets& t,
+                                             Rng& rng) {
+  const Index n = h.num_vertices();
+  std::vector<PartId> side(static_cast<std::size_t>(n), 1);
+  std::vector<bool> movable(static_cast<std::size_t>(n), true);
+  Weight w0 = 0;
+
+  for (Index v = 0; v < n; ++v) {
+    const PartId f = h.fixed_part(v);
+    if (f == kNoPart) continue;
+    HGR_ASSERT_MSG(f == 0 || f == 1, "bisection fixed part must be 0 or 1");
+    side[static_cast<std::size_t>(v)] = f;
+    movable[static_cast<std::size_t>(v)] = false;
+    if (f == 0) w0 += h.vertex_weight(v);
+  }
+
+  // pins0[net] = pins currently on side 0.
+  std::vector<Index> pins0(static_cast<std::size_t>(h.num_nets()), 0);
+  for (Index net = 0; net < h.num_nets(); ++net)
+    for (const Index v : h.pins(net))
+      if (side[static_cast<std::size_t>(v)] == 0)
+        ++pins0[static_cast<std::size_t>(net)];
+
+  // FM-style gain of moving v from side 1 to side 0.
+  auto gain_of = [&](Index v) {
+    Weight g = 0;
+    for (const Index net : h.incident_nets(v)) {
+      const Weight c = h.net_cost(net);
+      const Index p0 = pins0[static_cast<std::size_t>(net)];
+      if (p0 == h.net_size(net) - 1) g += c;  // net becomes internal to 0
+      if (p0 == 0) g -= c;                    // net becomes cut
+    }
+    return g;
+  };
+
+  IndexedMaxHeap frontier(n);
+  std::vector<bool> queued(static_cast<std::size_t>(n), false);
+
+  auto enqueue = [&](Index v) {
+    if (side[static_cast<std::size_t>(v)] != 1 ||
+        !movable[static_cast<std::size_t>(v)] ||
+        queued[static_cast<std::size_t>(v)])
+      return;
+    frontier.insert(v, gain_of(v));
+    queued[static_cast<std::size_t>(v)] = true;
+  };
+
+  // Seed the frontier with neighbors of pre-placed (fixed side-0) vertices.
+  for (Index v = 0; v < n; ++v) {
+    if (side[static_cast<std::size_t>(v)] != 0) continue;
+    for (const Index net : h.incident_nets(v))
+      for (const Index u : h.pins(net)) enqueue(u);
+  }
+
+  std::vector<Index> free_order = random_permutation(n, rng);
+  std::size_t free_cursor = 0;
+
+  while (w0 < t.target0) {
+    if (frontier.empty()) {
+      // Disconnected growth (or empty seed): restart from a random vertex.
+      while (free_cursor < free_order.size()) {
+        const Index v = free_order[free_cursor++];
+        if (side[static_cast<std::size_t>(v)] == 1 &&
+            movable[static_cast<std::size_t>(v)]) {
+          enqueue(v);
+          break;
+        }
+      }
+      if (frontier.empty()) break;  // nothing left to move
+    }
+    const Index v = frontier.pop();
+    queued[static_cast<std::size_t>(v)] = false;
+    if (w0 + h.vertex_weight(v) > t.max_weight(0)) continue;  // too heavy
+
+    side[static_cast<std::size_t>(v)] = 0;
+    w0 += h.vertex_weight(v);
+    for (const Index net : h.incident_nets(v)) {
+      ++pins0[static_cast<std::size_t>(net)];
+      for (const Index u : h.pins(net)) {
+        if (u == v) continue;
+        if (queued[static_cast<std::size_t>(u)]) {
+          frontier.adjust(u, gain_of(u));
+        } else {
+          enqueue(u);
+        }
+      }
+    }
+  }
+  return side;
+}
+
+std::vector<PartId> initial_bisection(const Hypergraph& h,
+                                      const BisectionTargets& t, Index trials,
+                                      Rng& rng) {
+  HGR_ASSERT(trials >= 1);
+  std::vector<PartId> best;
+  // Lexicographic score: (infeasible?, overweight, cut).
+  Weight best_over = std::numeric_limits<Weight>::max();
+  Weight best_cut = std::numeric_limits<Weight>::max();
+  for (Index trial = 0; trial < trials; ++trial) {
+    std::vector<PartId> side = greedy_growing_bisection(h, t, rng);
+    const Weight w0 = side_weight(h, side, 0);
+    const Weight w1 = h.total_vertex_weight() - w0;
+    const Weight over = std::max<Weight>(0, w0 - t.max_weight(0)) +
+                        std::max<Weight>(0, w1 - t.max_weight(1));
+    const Weight cut = bisection_cut(h, side);
+    if (over < best_over || (over == best_over && cut < best_cut)) {
+      best_over = over;
+      best_cut = cut;
+      best = std::move(side);
+    }
+  }
+  return best;
+}
+
+}  // namespace hgr

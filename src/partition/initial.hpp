@@ -1,0 +1,46 @@
+// Coarse (initial) bisection by randomized greedy hypergraph growing.
+//
+// Paper §4.2: at the coarsest level each processor runs "a randomized
+// greedy hypergraph growing algorithm" from a different seed and the best
+// result wins; fixed coarse vertices are pre-assigned to their parts. The
+// serial partitioner reproduces this with num_initial_trials restarts.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "partition/config.hpp"
+
+namespace hgr {
+
+/// Targets for one bisection step of recursive bisection. Side s is
+/// feasible while its weight stays <= max_weight(s).
+struct BisectionTargets {
+  Weight target0 = 0;  // ideal weight of side 0
+  Weight target1 = 0;  // ideal weight of side 1
+  double epsilon = 0.05;
+
+  Weight target(int side) const { return side == 0 ? target0 : target1; }
+  Weight max_weight(int side) const {
+    return static_cast<Weight>(
+        static_cast<double>(target(side)) * (1.0 + epsilon));
+  }
+};
+
+/// One greedy-growing bisection attempt. Returns side (0/1) per vertex;
+/// fixed vertices (h.fixed_part() in {0,1}) are honored. Vertices start on
+/// side 1 and side 0 is grown to its target weight by repeatedly absorbing
+/// the highest-gain frontier vertex.
+std::vector<PartId> greedy_growing_bisection(const Hypergraph& h,
+                                             const BisectionTargets& t,
+                                             Rng& rng);
+
+/// Multi-trial wrapper: runs `trials` attempts (each FM-polished by the
+/// caller if desired) and returns the bisection with the best
+/// (feasible, cut) score.
+std::vector<PartId> initial_bisection(const Hypergraph& h,
+                                      const BisectionTargets& t, Index trials,
+                                      Rng& rng);
+
+}  // namespace hgr

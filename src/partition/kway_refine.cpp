@@ -1,0 +1,142 @@
+#include "partition/kway_refine.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "metrics/balance.hpp"
+#include "metrics/cut.hpp"
+
+namespace hgr {
+
+namespace {
+
+/// Dense pins-per-part table: row per net, k columns. The workloads this
+/// library targets keep num_nets * k comfortably in memory; the caller
+/// guards against pathological sizes.
+class PinTable {
+ public:
+  PinTable(const Hypergraph& h, const Partition& p)
+      : k_(p.k), counts_(static_cast<std::size_t>(h.num_nets()) *
+                             static_cast<std::size_t>(p.k),
+                         0) {
+    for (Index net = 0; net < h.num_nets(); ++net)
+      for (const Index v : h.pins(net)) ++at(net, p[v]);
+  }
+
+  Index& at(Index net, PartId part) {
+    return counts_[static_cast<std::size_t>(net) *
+                       static_cast<std::size_t>(k_) +
+                   static_cast<std::size_t>(part)];
+  }
+  Index count(Index net, PartId part) const {
+    return counts_[static_cast<std::size_t>(net) *
+                       static_cast<std::size_t>(k_) +
+                   static_cast<std::size_t>(part)];
+  }
+
+ private:
+  PartId k_;
+  std::vector<Index> counts_;
+};
+
+}  // namespace
+
+KwayRefineResult kway_refine(const Hypergraph& h, Partition& p,
+                             const PartitionConfig& cfg, Rng& rng,
+                             Index max_passes) {
+  KwayRefineResult result;
+  result.initial_cut = connectivity_cut(h, p);
+  result.final_cut = result.initial_cut;
+  const PartId k = p.k;
+  if (k <= 1 || h.num_vertices() == 0) return result;
+  // Memory guard: the dense table must stay sane (~1 GiB of Index).
+  if (static_cast<std::size_t>(h.num_nets()) * static_cast<std::size_t>(k) >
+      (std::size_t{1} << 28))
+    return result;
+
+  PinTable pins(h, p);
+  std::vector<Weight> part_w = part_weights(h.vertex_weights(), p);
+  const double avg = static_cast<double>(h.total_vertex_weight()) /
+                     static_cast<double>(k);
+  const auto max_part_weight =
+      static_cast<Weight>(avg * (1.0 + cfg.epsilon));
+
+  std::vector<Weight> gain_to(static_cast<std::size_t>(k), 0);
+  std::vector<PartId> candidates;
+
+  Weight cut = result.initial_cut;
+  for (Index pass = 0; pass < max_passes; ++pass) {
+    ++result.passes;
+    Index moves_this_pass = 0;
+    const std::vector<Index> order = random_permutation(h.num_vertices(), rng);
+    for (const Index v : order) {
+      if (h.fixed_part(v) != kNoPart) continue;
+      const PartId from = p[v];
+
+      // Collect candidate parts among this vertex's nets and the gain of
+      // leaving `from` / entering each candidate.
+      candidates.clear();
+      Weight leave_gain = 0;
+      for (const Index net : h.incident_nets(v)) {
+        const Weight c = h.net_cost(net);
+        if (pins.count(net, from) == 1) leave_gain += c;
+        for (const Index u : h.pins(net)) {
+          const PartId q = p[u];
+          if (q == from) continue;
+          if (gain_to[static_cast<std::size_t>(q)] == 0 &&
+              std::find(candidates.begin(), candidates.end(), q) ==
+                  candidates.end())
+            candidates.push_back(q);
+        }
+      }
+      if (candidates.empty()) continue;
+      for (const Index net : h.incident_nets(v)) {
+        const Weight c = h.net_cost(net);
+        for (const PartId q : candidates)
+          if (pins.count(net, q) == 0)
+            gain_to[static_cast<std::size_t>(q)] -= c;
+      }
+      // gain(from -> q) = leave_gain + gain_to[q] (gain_to holds the
+      // entering penalty, <= 0).
+      PartId best = kNoPart;
+      Weight best_gain = 0;
+      const Weight wv = h.vertex_weight(v);
+      for (const PartId q : candidates) {
+        const Weight g = leave_gain + gain_to[static_cast<std::size_t>(q)];
+        gain_to[static_cast<std::size_t>(q)] = 0;  // reset accumulator
+        if (part_w[static_cast<std::size_t>(q)] + wv > max_part_weight)
+          continue;
+        const bool improves_balance =
+            part_w[static_cast<std::size_t>(from)] >
+            part_w[static_cast<std::size_t>(q)] + wv;
+        if (g > best_gain || (g == best_gain && g >= 0 && improves_balance &&
+                              best == kNoPart)) {
+          // Accept strictly better gain, or zero-gain balance improvement.
+          if (g > 0 || improves_balance) {
+            best = q;
+            best_gain = g;
+          }
+        }
+      }
+      if (best == kNoPart) continue;
+
+      for (const Index net : h.incident_nets(v)) {
+        --pins.at(net, from);
+        ++pins.at(net, best);
+      }
+      part_w[static_cast<std::size_t>(from)] -= wv;
+      part_w[static_cast<std::size_t>(best)] += wv;
+      p[v] = best;
+      cut -= best_gain;
+      ++moves_this_pass;
+    }
+    result.moves += moves_this_pass;
+    if (moves_this_pass == 0) break;
+  }
+  result.final_cut = cut;
+  HGR_DASSERT(result.final_cut == connectivity_cut(h, p));
+  return result;
+}
+
+}  // namespace hgr

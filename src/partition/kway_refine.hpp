@@ -1,0 +1,31 @@
+// Direct k-way greedy refinement of the connectivity-1 objective.
+//
+// Greedy boundary sweeps in the style of k-way FM without rollback: each
+// pass visits vertices in random order and applies the best
+// positive-gain (or balance-improving zero-gain) move among the parts the
+// vertex's nets touch. Respects fixed vertices and Eq. 1 balance. Used as
+// an optional post-pass after recursive bisection, inside V-cycles, and as
+// the refinement stage of the direct k-way method.
+#pragma once
+
+#include "common/rng.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "metrics/partition.hpp"
+#include "partition/config.hpp"
+
+namespace hgr {
+
+struct KwayRefineResult {
+  Weight initial_cut = 0;
+  Weight final_cut = 0;
+  Index moves = 0;
+  Index passes = 0;
+};
+
+/// Refine p in place. max_passes caps the number of sweeps; a sweep that
+/// applies no move ends refinement early.
+KwayRefineResult kway_refine(const Hypergraph& h, Partition& p,
+                             const PartitionConfig& cfg, Rng& rng,
+                             Index max_passes);
+
+}  // namespace hgr

@@ -1,0 +1,83 @@
+#include "partition/matching_ipm.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace hgr {
+
+std::vector<Index> ipm_matching(const Hypergraph& h,
+                                const PartitionConfig& cfg,
+                                Weight max_vertex_weight, Rng& rng) {
+  const Index n = h.num_vertices();
+  std::vector<Index> match(static_cast<std::size_t>(n));
+  for (Index v = 0; v < n; ++v) match[static_cast<std::size_t>(v)] = v;
+
+  // Sparse score accumulator: score[u] valid iff u is in `touched`.
+  std::vector<Weight> score(static_cast<std::size_t>(n), 0);
+  std::vector<Index> touched;
+
+  const std::vector<Index> order = random_permutation(n, rng);
+  for (const Index v : order) {
+    if (match[static_cast<std::size_t>(v)] != v) continue;  // already matched
+    if (h.vertex_degree(v) > cfg.max_matching_degree) continue;
+    const PartId fv = h.fixed_part(v);
+    const Weight wv = h.vertex_weight(v);
+
+    touched.clear();
+    for (const Index net : h.incident_nets(v)) {
+      const Index size = h.net_size(net);
+      if (size < 2 || size > cfg.max_scored_net_size) continue;
+      const Weight c = h.net_cost(net);
+      if (c == 0) continue;
+      for (const Index u : h.pins(net)) {
+        if (u == v) continue;
+        if (match[static_cast<std::size_t>(u)] != u) continue;
+        if (score[static_cast<std::size_t>(u)] == 0) touched.push_back(u);
+        score[static_cast<std::size_t>(u)] += c;
+      }
+    }
+
+    // First-choice selection: highest inner product among feasible partners;
+    // ties prefer the lighter partner (balances coarse weights), then the
+    // smaller id (determinism).
+    Index best = kInvalidIndex;
+    Weight best_score = 0;
+    Weight best_weight = 0;
+    for (const Index u : touched) {
+      const Weight s = score[static_cast<std::size_t>(u)];
+      score[static_cast<std::size_t>(u)] = 0;  // reset for next candidate
+      if (!fixed_compatible(fv, h.fixed_part(u))) continue;
+      if (max_vertex_weight > 0 && wv + h.vertex_weight(u) > max_vertex_weight)
+        continue;
+      const Weight wu = h.vertex_weight(u);
+      const bool better =
+          s > best_score ||
+          (s == best_score &&
+           (best == kInvalidIndex || wu < best_weight ||
+            (wu == best_weight && u < best)));
+      if (better) {
+        best = u;
+        best_score = s;
+        best_weight = wu;
+      }
+    }
+    if (best != kInvalidIndex) {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    }
+  }
+
+  // Postcondition: match is an involution and respects fixed compatibility.
+#ifndef NDEBUG
+  for (Index v = 0; v < n; ++v) {
+    const Index u = match[static_cast<std::size_t>(v)];
+    HGR_ASSERT(match[static_cast<std::size_t>(u)] == v);
+    if (u != v)
+      HGR_ASSERT(fixed_compatible(h.fixed_part(v), h.fixed_part(u)));
+  }
+#endif
+  return match;
+}
+
+}  // namespace hgr

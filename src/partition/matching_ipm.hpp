@@ -1,0 +1,36 @@
+// Inner-product matching (IPM) with fixed-vertex constraints.
+//
+// IPM — "heavy-connectivity matching" in PaToH, adopted by hMETIS and
+// Mondriaan — pairs a vertex with the neighbor sharing the largest
+// cost-weighted set of nets. This is the coarsening kernel of the paper's
+// Section 4.1. Fixed-vertex rule (cases 1-3): two vertices may match iff
+// they are fixed to the same part or at least one is free; the coarse
+// vertex inherits the fixed part of whichever constituent was fixed.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "partition/config.hpp"
+
+namespace hgr {
+
+/// Greedy first-choice IPM. Returns match[v] = partner (match[v] == v for
+/// unmatched). max_vertex_weight: pairs whose combined weight exceeds it
+/// are rejected (0 disables the cap). Fixed parts are read from h.
+std::vector<Index> ipm_matching(const Hypergraph& h,
+                                const PartitionConfig& cfg,
+                                Weight max_vertex_weight, Rng& rng);
+
+/// True iff the fixed parts allow u and v to merge (cases 1-3 of §4.1).
+inline bool fixed_compatible(PartId fu, PartId fv) {
+  return fu == kNoPart || fv == kNoPart || fu == fv;
+}
+
+/// Fixed part of the merged coarse vertex.
+inline PartId merged_fixed(PartId fu, PartId fv) {
+  return fu != kNoPart ? fu : fv;
+}
+
+}  // namespace hgr

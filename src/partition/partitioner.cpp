@@ -1,0 +1,247 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "metrics/balance.hpp"
+#include "metrics/cut.hpp"
+#include "partition/contract.hpp"
+#include "partition/kway_refine.hpp"
+#include "partition/matching_ipm.hpp"
+#include "partition/recursive_bisect.hpp"
+
+namespace hgr {
+
+namespace {
+
+/// Greedy k-way assignment at the coarsest level of the direct k-way path:
+/// fixed vertices first, then heaviest-first placement into the feasible
+/// part with the best connectivity gain (ties: lightest part).
+Partition greedy_kway_initial(const Hypergraph& h, const PartitionConfig& cfg,
+                              Rng& rng) {
+  const PartId k = cfg.num_parts;
+  Partition p(k, h.num_vertices(), kNoPart);
+  std::vector<Weight> part_w(static_cast<std::size_t>(k), 0);
+  const double avg =
+      static_cast<double>(h.total_vertex_weight()) / static_cast<double>(k);
+  const auto max_w = static_cast<Weight>(avg * (1.0 + cfg.epsilon));
+
+  for (Index v = 0; v < h.num_vertices(); ++v) {
+    const PartId f = h.fixed_part(v);
+    if (f != kNoPart) {
+      p[v] = f;
+      part_w[static_cast<std::size_t>(f)] += h.vertex_weight(v);
+    }
+  }
+
+  std::vector<Index> order = random_permutation(h.num_vertices(), rng);
+  std::stable_sort(order.begin(), order.end(), [&](Index a, Index b) {
+    return h.vertex_weight(a) > h.vertex_weight(b);
+  });
+
+  std::vector<Weight> affinity(static_cast<std::size_t>(k), 0);
+  for (const Index v : order) {
+    if (p[v] != kNoPart) continue;
+    std::fill(affinity.begin(), affinity.end(), Weight{0});
+    for (const Index net : h.incident_nets(v)) {
+      const Weight c = h.net_cost(net);
+      for (const Index u : h.pins(net))
+        if (u != v && p[u] != kNoPart)
+          affinity[static_cast<std::size_t>(p[u])] += c;
+    }
+    PartId best = kNoPart;
+    for (PartId q = 0; q < k; ++q) {
+      const bool fits =
+          part_w[static_cast<std::size_t>(q)] + h.vertex_weight(v) <= max_w;
+      if (!fits) continue;
+      if (best == kNoPart ||
+          affinity[static_cast<std::size_t>(q)] >
+              affinity[static_cast<std::size_t>(best)] ||
+          (affinity[static_cast<std::size_t>(q)] ==
+               affinity[static_cast<std::size_t>(best)] &&
+           part_w[static_cast<std::size_t>(q)] <
+               part_w[static_cast<std::size_t>(best)]))
+        best = q;
+    }
+    if (best == kNoPart) {
+      // Nothing fits: overflow into the lightest part (best effort).
+      best = static_cast<PartId>(
+          std::min_element(part_w.begin(), part_w.end()) - part_w.begin());
+    }
+    p[v] = best;
+    part_w[static_cast<std::size_t>(best)] += h.vertex_weight(v);
+  }
+  return p;
+}
+
+}  // namespace
+
+Partition direct_kway_partition(const Hypergraph& h,
+                                const PartitionConfig& cfg) {
+  Rng rng(cfg.seed);
+  const Index stop_size =
+      std::max<Index>(cfg.coarsen_to, 2 * cfg.num_parts);
+
+  std::vector<CoarseLevel> levels;
+  const Hypergraph* current = &h;
+  const Weight max_vertex_weight = std::max<Weight>(
+      1, static_cast<Weight>(cfg.max_coarse_weight_factor *
+                             static_cast<double>(h.total_vertex_weight()) /
+                             std::max<Index>(1, stop_size)));
+  for (Index level = 0; level < cfg.max_levels; ++level) {
+    if (current->num_vertices() <= stop_size) break;
+    const std::vector<Index> match =
+        ipm_matching(*current, cfg, max_vertex_weight, rng);
+    CoarseLevel next = contract(*current, match);
+    const double reduction =
+        1.0 - static_cast<double>(next.coarse.num_vertices()) /
+                  static_cast<double>(current->num_vertices());
+    if (reduction < cfg.min_coarsen_reduction) break;
+    levels.push_back(std::move(next));
+    current = &levels.back().coarse;
+  }
+
+  Partition p = greedy_kway_initial(*current, cfg, rng);
+  kway_refine(*current, p, cfg, rng, cfg.max_refine_passes);
+
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    const Hypergraph& finer =
+        (std::next(it) == levels.rend()) ? h : std::next(it)->coarse;
+    Partition fine_p(cfg.num_parts, finer.num_vertices());
+    for (Index v = 0; v < finer.num_vertices(); ++v)
+      fine_p[v] = p[it->fine_to_coarse[static_cast<std::size_t>(v)]];
+    p = std::move(fine_p);
+    kway_refine(finer, p, cfg, rng, cfg.max_refine_passes);
+  }
+  p.validate();
+  return p;
+}
+
+void refinement_vcycle(const Hypergraph& h, Partition& p,
+                       const PartitionConfig& cfg, Rng& rng) {
+  // Restrict matching to same-part pairs by temporarily fixing every vertex
+  // to its current part; the original fixed labels are re-derived on the
+  // coarse side from the contraction so true constraints survive.
+  Hypergraph work = h;
+  std::vector<PartId> part_as_fixed(p.assignment.begin(), p.assignment.end());
+  work.set_fixed_parts(std::move(part_as_fixed));
+
+  const Index stop_size = std::max<Index>(cfg.coarsen_to, 2 * cfg.num_parts);
+  const Weight max_vertex_weight = std::max<Weight>(
+      1, static_cast<Weight>(cfg.max_coarse_weight_factor *
+                             static_cast<double>(h.total_vertex_weight()) /
+                             std::max<Index>(1, stop_size)));
+
+  struct VLevel {
+    CoarseLevel cl;
+    std::vector<PartId> orig_fixed;  // true constraints at this level
+  };
+  std::vector<VLevel> levels;
+
+  // True fixed labels at the current (finest) level.
+  std::vector<PartId> fixed_now;
+  if (h.has_fixed())
+    fixed_now.assign(h.fixed_parts().begin(), h.fixed_parts().end());
+
+  const Hypergraph* current = &work;
+  for (Index level = 0; level < cfg.max_levels; ++level) {
+    if (current->num_vertices() <= stop_size) break;
+    const std::vector<Index> match =
+        ipm_matching(*current, cfg, max_vertex_weight, rng);
+    VLevel next;
+    next.cl = contract(*current, match);
+    const double reduction =
+        1.0 - static_cast<double>(next.cl.coarse.num_vertices()) /
+                  static_cast<double>(current->num_vertices());
+    if (reduction < cfg.min_coarsen_reduction) break;
+    // Propagate the *true* fixed constraints to the coarse level.
+    if (!fixed_now.empty()) {
+      std::vector<PartId> coarse_fixed(
+          static_cast<std::size_t>(next.cl.coarse.num_vertices()), kNoPart);
+      const Index fine_n = static_cast<Index>(next.cl.fine_to_coarse.size());
+      for (Index v = 0; v < fine_n; ++v) {
+        const PartId f = fixed_now[static_cast<std::size_t>(v)];
+        if (f == kNoPart) continue;
+        auto& cf = coarse_fixed[static_cast<std::size_t>(
+            next.cl.fine_to_coarse[static_cast<std::size_t>(v)])];
+        HGR_ASSERT(cf == kNoPart || cf == f);
+        cf = f;
+      }
+      next.orig_fixed = coarse_fixed;
+      fixed_now = std::move(coarse_fixed);
+    }
+    levels.push_back(std::move(next));
+    current = &levels.back().cl.coarse;
+  }
+
+  if (levels.empty()) {
+    // Nothing coarsened; a plain refinement sweep still helps.
+    kway_refine(h, p, cfg, rng, cfg.max_refine_passes);
+    return;
+  }
+
+  // The coarse partition is encoded in the contraction-propagated
+  // "fixed" labels (every vertex was fixed to its part).
+  Partition cp(cfg.num_parts, levels.back().cl.coarse.num_vertices());
+  for (Index v = 0; v < levels.back().cl.coarse.num_vertices(); ++v) {
+    const PartId f = levels.back().cl.coarse.fixed_part(v);
+    HGR_ASSERT(f != kNoPart);
+    cp[v] = f;
+  }
+
+  // Refine down the hierarchy with only the true constraints fixed.
+  for (std::size_t i = levels.size(); i-- > 0;) {
+    Hypergraph& level_h = levels[i].cl.coarse;
+    level_h.set_fixed_parts(levels[i].orig_fixed);
+    kway_refine(level_h, cp, cfg, rng, cfg.max_refine_passes);
+    // Project to the next finer level.
+    const Hypergraph& finer = (i == 0) ? h : levels[i - 1].cl.coarse;
+    Partition fine_p(cfg.num_parts, finer.num_vertices());
+    for (Index v = 0; v < finer.num_vertices(); ++v)
+      fine_p[v] = cp[levels[i].cl.fine_to_coarse[static_cast<std::size_t>(v)]];
+    cp = std::move(fine_p);
+  }
+  kway_refine(h, cp, cfg, rng, cfg.max_refine_passes);
+
+  // V-cycles must never regress.
+  if (connectivity_cut(h, cp) <= connectivity_cut(h, p)) p = std::move(cp);
+}
+
+Partition partition_hypergraph(const Hypergraph& h,
+                               const PartitionConfig& cfg) {
+  HGR_ASSERT(cfg.num_parts >= 1);
+  HGR_ASSERT(cfg.epsilon >= 0.0);
+  h.validate(cfg.num_parts);
+
+  if (cfg.num_parts == 1 || h.num_vertices() == 0) {
+    Partition p(std::max<PartId>(1, cfg.num_parts), h.num_vertices(), 0);
+    if (h.has_fixed()) {
+      for (Index v = 0; v < h.num_vertices(); ++v)
+        if (h.fixed_part(v) != kNoPart) p[v] = h.fixed_part(v);
+    }
+    return p;
+  }
+
+  Partition p = (cfg.kway_method == KwayMethod::kRecursiveBisection)
+                    ? recursive_bisection_partition(h, cfg)
+                    : direct_kway_partition(h, cfg);
+
+  Rng post_rng(derive_seed(cfg.seed, 0xFACE));
+  if (cfg.kway_postpass)
+    kway_refine(h, p, cfg, post_rng, cfg.max_refine_passes);
+  for (Index i = 0; i < cfg.num_vcycles; ++i)
+    refinement_vcycle(h, p, cfg, post_rng);
+
+  // Fixed constraints are hard: verify.
+  if (h.has_fixed()) {
+    for (Index v = 0; v < h.num_vertices(); ++v) {
+      const PartId f = h.fixed_part(v);
+      HGR_ASSERT_MSG(f == kNoPart || p[v] == f,
+                     "partitioner violated a fixed-vertex constraint");
+    }
+  }
+  return p;
+}
+
+}  // namespace hgr

@@ -1,0 +1,213 @@
+#include "partition/recursive_bisect.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/csr_utils.hpp"
+#include "partition/contract.hpp"
+#include "partition/initial.hpp"
+#include "partition/matching_ipm.hpp"
+#include "partition/refine_fm.hpp"
+
+namespace hgr {
+
+namespace {
+
+/// A sub-problem of recursive bisection: an extracted hypergraph, the map
+/// back to the root vertex ids, and the *original* (k-way) fixed labels,
+/// kept separately because the hypergraph's own fixed field is rewritten
+/// with 2-way side labels before each bisection.
+struct SubProblem {
+  Hypergraph h;
+  std::vector<Index> to_root;
+  std::vector<PartId> fixed_orig;  // empty if nothing fixed
+};
+
+/// Extract the side-s induced sub-hypergraph: nets restricted to side-s
+/// pins, degenerate (<2 pin) remainders dropped, costs preserved.
+SubProblem extract_side(const Hypergraph& h,
+                        const std::vector<PartId>& side,
+                        const std::vector<Index>& to_root,
+                        const std::vector<PartId>& fixed_orig, PartId s) {
+  const Index n = h.num_vertices();
+  std::vector<Index> old_to_new(static_cast<std::size_t>(n), kInvalidIndex);
+  SubProblem sub;
+  Index count = 0;
+  for (Index v = 0; v < n; ++v) {
+    if (side[static_cast<std::size_t>(v)] == s) {
+      old_to_new[static_cast<std::size_t>(v)] = count++;
+      sub.to_root.push_back(to_root[static_cast<std::size_t>(v)]);
+    }
+  }
+
+  std::vector<Weight> weights(static_cast<std::size_t>(count));
+  std::vector<Weight> sizes(static_cast<std::size_t>(count));
+  for (Index v = 0; v < n; ++v) {
+    const Index nv = old_to_new[static_cast<std::size_t>(v)];
+    if (nv == kInvalidIndex) continue;
+    weights[static_cast<std::size_t>(nv)] = h.vertex_weight(v);
+    sizes[static_cast<std::size_t>(nv)] = h.vertex_size(v);
+  }
+  if (!fixed_orig.empty()) {
+    sub.fixed_orig.assign(static_cast<std::size_t>(count), kNoPart);
+    for (Index v = 0; v < n; ++v) {
+      const Index nv = old_to_new[static_cast<std::size_t>(v)];
+      if (nv != kInvalidIndex)
+        sub.fixed_orig[static_cast<std::size_t>(nv)] =
+            fixed_orig[static_cast<std::size_t>(v)];
+    }
+  }
+
+  std::vector<Index> counts;
+  std::vector<Weight> costs;
+  for (Index net = 0; net < h.num_nets(); ++net) {
+    Index kept = 0;
+    for (const Index v : h.pins(net))
+      if (old_to_new[static_cast<std::size_t>(v)] != kInvalidIndex) ++kept;
+    if (kept >= 2) {
+      counts.push_back(kept);
+      costs.push_back(h.net_cost(net));
+    }
+  }
+  std::vector<Index> offsets = counts_to_offsets(std::move(counts));
+  std::vector<Index> pins(static_cast<std::size_t>(offsets.back()));
+  Index cursor = 0;
+  for (Index net = 0; net < h.num_nets(); ++net) {
+    Index kept = 0;
+    for (const Index v : h.pins(net))
+      if (old_to_new[static_cast<std::size_t>(v)] != kInvalidIndex) ++kept;
+    if (kept < 2) continue;
+    for (const Index v : h.pins(net)) {
+      const Index nv = old_to_new[static_cast<std::size_t>(v)];
+      if (nv != kInvalidIndex)
+        pins[static_cast<std::size_t>(cursor++)] = nv;
+    }
+  }
+  HGR_ASSERT(cursor == offsets.back());
+  sub.h = Hypergraph(std::move(offsets), std::move(pins), std::move(weights),
+                     std::move(sizes), std::move(costs));
+  return sub;
+}
+
+void rb_recurse(SubProblem sp, PartId part_begin, PartId part_count,
+                double global_eps, const PartitionConfig& cfg, Rng& rng,
+                Partition& out) {
+  if (sp.h.num_vertices() == 0) return;
+  if (part_count == 1) {
+    for (const Index root_v : sp.to_root) out[root_v] = part_begin;
+    return;
+  }
+
+  const PartId k0 = (part_count + 1) / 2;
+  const PartId k1 = part_count - k0;
+  const PartId mid = part_begin + k0;
+
+  // Per-bisection tolerance so that the compounded imbalance over the
+  // remaining ceil(log2 k) levels stays within the global epsilon.
+  const int levels_left = static_cast<int>(
+      std::ceil(std::log2(static_cast<double>(part_count))));
+  const double eps_b =
+      std::pow(1.0 + global_eps, 1.0 / std::max(1, levels_left)) - 1.0;
+
+  BisectionTargets targets;
+  const Weight total = sp.h.total_vertex_weight();
+  targets.target0 = static_cast<Weight>(
+      (static_cast<double>(total) * k0) / part_count + 0.5);
+  targets.target1 = total - targets.target0;
+  targets.epsilon = eps_b;
+
+  // Map k-way fixed labels to 2-way side labels for this bisection.
+  if (!sp.fixed_orig.empty()) {
+    std::vector<PartId> fixed2(sp.fixed_orig.size(), kNoPart);
+    for (std::size_t v = 0; v < sp.fixed_orig.size(); ++v) {
+      const PartId f = sp.fixed_orig[v];
+      if (f == kNoPart) continue;
+      HGR_ASSERT(f >= part_begin && f < part_begin + part_count);
+      fixed2[v] = f < mid ? 0 : 1;
+    }
+    sp.h.set_fixed_parts(std::move(fixed2));
+  }
+
+  const std::vector<PartId> side = multilevel_bisect(sp.h, targets, cfg, rng);
+
+  SubProblem left = extract_side(sp.h, side, sp.to_root, sp.fixed_orig, 0);
+  SubProblem right = extract_side(sp.h, side, sp.to_root, sp.fixed_orig, 1);
+  // Free the parent before recursing to bound peak memory.
+  sp = SubProblem{};
+  rb_recurse(std::move(left), part_begin, k0, global_eps, cfg, rng, out);
+  rb_recurse(std::move(right), mid, k1, global_eps, cfg, rng, out);
+}
+
+}  // namespace
+
+std::vector<PartId> multilevel_bisect(const Hypergraph& h,
+                                      const BisectionTargets& targets,
+                                      const PartitionConfig& cfg, Rng& rng) {
+  const Index stop_size = std::max<Index>(cfg.coarsen_to, 20);
+
+  // Coarsening: IPM matching + contraction until small or stalled.
+  std::vector<CoarseLevel> levels;
+  const Hypergraph* current = &h;
+  const Weight max_vertex_weight = std::max<Weight>(
+      1, static_cast<Weight>(cfg.max_coarse_weight_factor *
+                             static_cast<double>(h.total_vertex_weight()) /
+                             std::max<Index>(1, stop_size)));
+  for (Index level = 0; level < cfg.max_levels; ++level) {
+    if (current->num_vertices() <= stop_size) break;
+    const std::vector<Index> match =
+        ipm_matching(*current, cfg, max_vertex_weight, rng);
+    CoarseLevel next = contract(*current, match);
+    const double reduction =
+        1.0 - static_cast<double>(next.coarse.num_vertices()) /
+                  static_cast<double>(current->num_vertices());
+    if (reduction < cfg.min_coarsen_reduction) break;  // stalled
+    levels.push_back(std::move(next));
+    current = &levels.back().coarse;
+  }
+
+  // Coarsest partitioning: randomized greedy growing, several trials, then
+  // FM polish.
+  std::vector<PartId> side =
+      initial_bisection(*current, targets, cfg.num_initial_trials, rng);
+  fm_refine_bisection(*current, side, targets, cfg, rng);
+
+  // Uncoarsening: project and refine at each level.
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    const Hypergraph& finer =
+        (std::next(it) == levels.rend()) ? h : std::next(it)->coarse;
+    std::vector<PartId> fine_side(
+        static_cast<std::size_t>(finer.num_vertices()));
+    for (Index v = 0; v < finer.num_vertices(); ++v)
+      fine_side[static_cast<std::size_t>(v)] =
+          side[static_cast<std::size_t>(
+              it->fine_to_coarse[static_cast<std::size_t>(v)])];
+    side = std::move(fine_side);
+    fm_refine_bisection(finer, side, targets, cfg, rng);
+  }
+  return side;
+}
+
+Partition recursive_bisection_partition(const Hypergraph& h,
+                                        const PartitionConfig& cfg) {
+  HGR_ASSERT(cfg.num_parts >= 1);
+  Partition out(cfg.num_parts, h.num_vertices());
+  if (h.num_vertices() == 0) return out;
+
+  Rng rng(cfg.seed);
+
+  SubProblem root;
+  root.h = h;  // working copy: rb_recurse rewrites fixed labels per level
+  root.to_root.resize(static_cast<std::size_t>(h.num_vertices()));
+  for (Index v = 0; v < h.num_vertices(); ++v)
+    root.to_root[static_cast<std::size_t>(v)] = v;
+  if (h.has_fixed())
+    root.fixed_orig.assign(h.fixed_parts().begin(), h.fixed_parts().end());
+
+  rb_recurse(std::move(root), 0, cfg.num_parts, cfg.epsilon, cfg, rng, out);
+  out.validate();
+  return out;
+}
+
+}  // namespace hgr

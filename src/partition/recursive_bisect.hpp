@@ -1,0 +1,33 @@
+// Multilevel recursive bisection with fixed vertices (paper §4.4).
+//
+// k-way partitioning by repeated 2-way splits. Before each bisection the
+// fixed-vertex labels are mapped onto the two sides exactly as the paper
+// prescribes: "vertices that are originally fixed to partitions
+// 1 <= p <= k/2 are fixed to partition 1, and vertices originally fixed to
+// partitions k/2 < p <= k are fixed to partition 2", recursively.
+// Odd k is handled by splitting into ceil(k/2) / floor(k/2) parts with
+// proportional target weights.
+#pragma once
+
+#include "common/rng.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "metrics/partition.hpp"
+#include "partition/config.hpp"
+#include "partition/initial.hpp"
+
+namespace hgr {
+
+/// One multilevel bisection of `h` (whose fixed parts, if any, must already
+/// be 2-way: 0, 1, or free): coarsen by IPM until small, greedy-growing
+/// initial bisection, FM refinement on every uncoarsening level.
+/// Returns the side (0/1) of every vertex.
+std::vector<PartId> multilevel_bisect(const Hypergraph& h,
+                                      const BisectionTargets& targets,
+                                      const PartitionConfig& cfg, Rng& rng);
+
+/// Full k-way partition of `h` via recursive bisection. Honors
+/// h.fixed_part() as k-way fixed constraints.
+Partition recursive_bisection_partition(const Hypergraph& h,
+                                        const PartitionConfig& cfg);
+
+}  // namespace hgr

@@ -1,0 +1,303 @@
+#include "partition/refine_fm.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "partition/gain_queue.hpp"
+
+namespace hgr {
+
+namespace {
+
+/// Lexicographic quality of a bisection state: feasible beats infeasible,
+/// then less overweight, then lower cut. Smaller is better.
+struct StateScore {
+  Weight overweight = 0;
+  Weight cut = 0;
+
+  bool better_than(const StateScore& other) const {
+    if (overweight != other.overweight) return overweight < other.overweight;
+    return cut < other.cut;
+  }
+};
+
+class FmPass {
+ public:
+  FmPass(const Hypergraph& h, std::vector<PartId>& side,
+         const BisectionTargets& targets, const PartitionConfig& cfg)
+      : h_(h),
+        side_(side),
+        targets_(targets),
+        cfg_(cfg),
+        locked_(static_cast<std::size_t>(h.num_vertices()), false),
+        gain_(static_cast<std::size_t>(h.num_vertices()), 0),
+        pins_(static_cast<std::size_t>(h.num_nets())) {
+    weight_[0] = weight_[1] = 0;
+    for (Index v = 0; v < h_.num_vertices(); ++v) {
+      weight_[side_at(v)] += h_.vertex_weight(v);
+      if (movable(v)) slack_ = std::max(slack_, h_.vertex_weight(v));
+    }
+    cut_ = 0;
+    for (Index net = 0; net < h_.num_nets(); ++net) {
+      auto& p = pins_[static_cast<std::size_t>(net)];
+      p = {0, 0};
+      for (const Index v : h_.pins(net)) ++p[side_at(v)];
+      if (p[0] > 0 && p[1] > 0) cut_ += h_.net_cost(net);
+    }
+  }
+
+  Weight cut() const { return cut_; }
+
+  StateScore score() const {
+    return {overweight(), cut_};
+  }
+
+  /// One FM pass. Returns true if the state strictly improved.
+  bool run(Rng& rng) {
+    const StateScore start = score();
+    build_queues(rng);
+
+    std::vector<Index> moves;
+    StateScore best = start;
+    Index best_prefix = 0;  // number of moves kept
+    Index since_best = 0;
+
+    while (since_best <= cfg_.fm_move_limit) {
+      const Index v = select_move();
+      if (v == kInvalidIndex) break;
+      apply_move(v);
+      moves.push_back(v);
+      const StateScore now = score();
+      if (now.better_than(best)) {
+        best = now;
+        best_prefix = static_cast<Index>(moves.size());
+        since_best = 0;
+      } else {
+        ++since_best;
+      }
+    }
+
+    // Roll back everything after the best prefix.
+    for (Index i = static_cast<Index>(moves.size()); i > best_prefix; --i)
+      undo_move(moves[static_cast<std::size_t>(i - 1)]);
+
+    queues_[0]->clear();
+    queues_[1]->clear();
+    return best.better_than(start);
+  }
+
+ private:
+  int side_at(Index v) const {
+    return static_cast<int>(side_[static_cast<std::size_t>(v)]);
+  }
+
+  Weight overweight() const {
+    return std::max<Weight>(0, weight_[0] - targets_.max_weight(0)) +
+           std::max<Weight>(0, weight_[1] - targets_.max_weight(1));
+  }
+
+  bool movable(Index v) const { return h_.fixed_part(v) == kNoPart; }
+
+  /// FM gain of moving v to the other side under the cut-net metric
+  /// (== connectivity-1 for a bisection).
+  Weight compute_gain(Index v) const {
+    const int from = side_at(v);
+    const int to = 1 - from;
+    Weight g = 0;
+    for (const Index net : h_.incident_nets(v)) {
+      const auto& p = pins_[static_cast<std::size_t>(net)];
+      const Weight c = h_.net_cost(net);
+      if (p[from] == 1) g += c;  // v is the last pin on `from`: net uncut
+      if (p[to] == 0) g -= c;    // net becomes newly cut
+    }
+    return g;
+  }
+
+  void build_queues(Rng& rng) {
+    // Max |gain| bound: the heaviest incident-cost sum over all vertices.
+    Weight max_abs = 1;
+    for (Index v = 0; v < h_.num_vertices(); ++v) {
+      Weight s = 0;
+      for (const Index net : h_.incident_nets(v)) s += h_.net_cost(net);
+      max_abs = std::max(max_abs, s);
+    }
+    for (int s = 0; s < 2; ++s)
+      queues_[s].emplace(h_.num_vertices(), max_abs, cfg_.gain_queue);
+
+    // Random insertion order randomizes tie-breaking between passes.
+    const std::vector<Index> order =
+        random_permutation(h_.num_vertices(), rng);
+    for (const Index v : order) {
+      if (!movable(v)) continue;
+      locked_[static_cast<std::size_t>(v)] = false;
+      gain_[static_cast<std::size_t>(v)] = compute_gain(v);
+      queues_[side_at(v)]->insert(v, gain_[static_cast<std::size_t>(v)]);
+    }
+    for (Index v = 0; v < h_.num_vertices(); ++v)
+      if (!movable(v)) locked_[static_cast<std::size_t>(v)] = true;
+  }
+
+  /// Pick the next vertex to move, honoring the balance constraint.
+  /// Returns kInvalidIndex when no legal move remains.
+  Index select_move() {
+    // Rebalance mode: if a side is overweight, only that side may emit.
+    int forced = -1;
+    if (weight_[0] > targets_.max_weight(0)) forced = 0;
+    if (weight_[1] > targets_.max_weight(1)) forced = 1;
+
+    // Examine each queue's top; skip (stash) tops whose move would overload
+    // the destination, then reinsert the stash.
+    std::array<Index, 2> cand = {kInvalidIndex, kInvalidIndex};
+    std::array<Weight, 2> cand_gain = {0, 0};
+    std::vector<std::pair<Index, Weight>> stash;
+    for (int s = 0; s < 2; ++s) {
+      if (forced != -1 && s != forced) continue;
+      const int dest = 1 - s;
+      int tries = 0;
+      while (!queues_[s]->empty() && tries < 16) {
+        const Index v = queues_[s]->top();
+        const Weight g = queues_[s]->top_gain();
+        // One-heaviest-vertex slack lets tight-balance swaps be explored
+        // mid-pass; the rollback to the best *feasible* prefix restores
+        // Eq. 1 at pass end (classic FM practice).
+        const bool dest_ok =
+            forced == s ||  // moving off an overweight side is always legal
+            weight_[dest] + h_.vertex_weight(v) <=
+                targets_.max_weight(dest) + slack_;
+        if (dest_ok) {
+          cand[s] = v;
+          cand_gain[s] = g;
+          break;
+        }
+        queues_[s]->pop();
+        stash.emplace_back(v, g);
+        ++tries;
+      }
+    }
+    for (const auto& [v, g] : stash) queues_[side_at(v)]->insert(v, g);
+
+    if (cand[0] == kInvalidIndex && cand[1] == kInvalidIndex)
+      return kInvalidIndex;
+    if (cand[0] == kInvalidIndex) return cand[1];
+    if (cand[1] == kInvalidIndex) return cand[0];
+    if (cand_gain[0] != cand_gain[1])
+      return cand_gain[0] > cand_gain[1] ? cand[0] : cand[1];
+    // Equal gains: prefer moving off the heavier side.
+    return weight_[0] >= weight_[1] ? cand[0] : cand[1];
+  }
+
+  void update_neighbor_gain(Index u, Weight delta) {
+    if (locked_[static_cast<std::size_t>(u)]) return;
+    auto& g = gain_[static_cast<std::size_t>(u)];
+    g += delta;
+    queues_[side_at(u)]->adjust(u, g);
+  }
+
+  /// The unique unlocked pin of `net` on side `s` other than v, if the
+  /// count says exactly one pin lives there.
+  Index sole_pin_on_side(Index net, int s, Index skip) const {
+    for (const Index u : h_.pins(net)) {
+      if (u != skip && side_at(u) == s) return u;
+    }
+    return kInvalidIndex;
+  }
+
+  void apply_move(Index v) {
+    const int from = side_at(v);
+    const int to = 1 - from;
+    queues_[from]->remove(v);
+    locked_[static_cast<std::size_t>(v)] = true;
+
+    // Classic FM delta-gain rules, phase 1 before / phase 2 after the move.
+    for (const Index net : h_.incident_nets(v)) {
+      auto& p = pins_[static_cast<std::size_t>(net)];
+      const Weight c = h_.net_cost(net);
+      if (c != 0) {
+        if (p[to] == 0) {
+          cut_ += c;  // net becomes cut
+          for (const Index u : h_.pins(net))
+            if (u != v) update_neighbor_gain(u, +c);
+        } else if (p[to] == 1) {
+          const Index u = sole_pin_on_side(net, to, v);
+          if (u != kInvalidIndex) update_neighbor_gain(u, -c);
+        }
+      }
+      --p[from];
+      ++p[to];
+      if (c != 0) {
+        if (p[from] == 0) {
+          cut_ -= c;  // net no longer cut
+          for (const Index u : h_.pins(net))
+            if (u != v) update_neighbor_gain(u, -c);
+        } else if (p[from] == 1) {
+          const Index u = sole_pin_on_side(net, from, v);
+          if (u != kInvalidIndex) update_neighbor_gain(u, +c);
+        }
+      }
+    }
+
+    side_[static_cast<std::size_t>(v)] = static_cast<PartId>(to);
+    weight_[from] -= h_.vertex_weight(v);
+    weight_[to] += h_.vertex_weight(v);
+  }
+
+  /// Reverse a move during rollback (queues/gains are dead by then).
+  void undo_move(Index v) {
+    const int from = side_at(v);  // side it was moved TO
+    const int to = 1 - from;      // original side
+    for (const Index net : h_.incident_nets(v)) {
+      auto& p = pins_[static_cast<std::size_t>(net)];
+      const Weight c = h_.net_cost(net);
+      if (p[to] == 0) cut_ += c;
+      --p[from];
+      ++p[to];
+      if (p[from] == 0) cut_ -= c;
+    }
+    side_[static_cast<std::size_t>(v)] = static_cast<PartId>(to);
+    weight_[from] -= h_.vertex_weight(v);
+    weight_[to] += h_.vertex_weight(v);
+  }
+
+  const Hypergraph& h_;
+  std::vector<PartId>& side_;
+  const BisectionTargets& targets_;
+  const PartitionConfig& cfg_;
+
+  std::vector<bool> locked_;
+  std::vector<Weight> gain_;
+  std::vector<std::array<Index, 2>> pins_;
+  std::array<std::optional<GainQueue>, 2> queues_;
+  Weight weight_[2];
+  Weight cut_ = 0;
+  Weight slack_ = 0;  // heaviest movable vertex: intra-pass balance slack
+};
+
+}  // namespace
+
+FmResult fm_refine_bisection(const Hypergraph& h, std::vector<PartId>& side,
+                             const BisectionTargets& targets,
+                             const PartitionConfig& cfg, Rng& rng) {
+  HGR_ASSERT(static_cast<Index>(side.size()) == h.num_vertices());
+#ifndef NDEBUG
+  for (Index v = 0; v < h.num_vertices(); ++v) {
+    HGR_ASSERT(side[static_cast<std::size_t>(v)] == 0 ||
+               side[static_cast<std::size_t>(v)] == 1);
+    const PartId f = h.fixed_part(v);
+    HGR_ASSERT_MSG(f == kNoPart || f == side[static_cast<std::size_t>(v)],
+                   "fixed vertex on wrong side entering refinement");
+  }
+#endif
+  FmPass pass(h, side, targets, cfg);
+  FmResult result;
+  result.initial_cut = pass.cut();
+  for (Index i = 0; i < cfg.max_refine_passes; ++i) {
+    ++result.passes;
+    if (!pass.run(rng)) break;
+  }
+  result.final_cut = pass.cut();
+  return result;
+}
+
+}  // namespace hgr

@@ -1,0 +1,212 @@
+#include "workload/experiment.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "workload/datasets.hpp"
+#include "workload/perturb.hpp"
+
+namespace hgr {
+
+std::string to_string(PerturbKind kind) {
+  return kind == PerturbKind::kStructure ? "perturbed-structure"
+                                         : "perturbed-weights";
+}
+
+namespace {
+
+std::vector<long long> parse_int_list(const std::string& s) {
+  std::vector<long long> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stoll(item));
+  return out;
+}
+
+std::unique_ptr<EpochScenario> make_scenario(const ExperimentConfig& cfg,
+                                             std::uint64_t seed) {
+  Graph base = make_dataset(cfg.dataset, cfg.scale, derive_seed(seed, 1));
+  if (cfg.perturb == PerturbKind::kStructure) {
+    return std::make_unique<StructuralPerturbScenario>(
+        std::move(base), StructuralPerturbOptions{}, derive_seed(seed, 2));
+  }
+  return std::make_unique<WeightPerturbScenario>(
+      std::move(base), WeightPerturbOptions{}, derive_seed(seed, 2));
+}
+
+}  // namespace
+
+void ExperimentConfig::apply_cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--scale") {
+      scale = std::stod(value);
+    } else if (key == "--epochs") {
+      num_epochs = static_cast<Index>(std::stol(value));
+    } else if (key == "--trials") {
+      num_trials = static_cast<Index>(std::stol(value));
+    } else if (key == "--seed") {
+      seed = std::stoull(value);
+    } else if (key == "--k") {
+      k_values.clear();
+      for (const long long k : parse_int_list(value))
+        k_values.push_back(static_cast<PartId>(k));
+    } else if (key == "--alpha") {
+      alphas.clear();
+      for (const long long a : parse_int_list(value))
+        alphas.push_back(static_cast<Weight>(a));
+    } else if (key == "--dataset") {
+      dataset = value;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag: %s\n"
+                   "known: --scale= --epochs= --trials= --seed= --k= "
+                   "--alpha= --dataset=\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+}
+
+std::vector<CellResult> run_experiment(const ExperimentConfig& cfg,
+                                       std::ostream* log) {
+  std::vector<CellResult> cells;
+  for (const PartId k : cfg.k_values) {
+    for (const Weight alpha : cfg.alphas) {
+      for (const RepartAlgorithm algorithm : cfg.algorithms) {
+        CellResult cell;
+        cell.algorithm = algorithm;
+        cell.k = k;
+        cell.alpha = alpha;
+        for (Index trial = 0; trial < cfg.num_trials; ++trial) {
+          const std::uint64_t trial_seed =
+              derive_seed(cfg.seed, static_cast<std::uint64_t>(trial));
+          auto scenario = make_scenario(cfg, trial_seed);
+          RepartitionerConfig rcfg;
+          rcfg.alpha = alpha;
+          rcfg.partition.num_parts = k;
+          rcfg.partition.epsilon = cfg.epsilon;
+          rcfg.partition.seed = derive_seed(trial_seed, 3);
+          const EpochRunSummary summary =
+              run_epochs(*scenario, algorithm, rcfg, cfg.num_epochs);
+          cell.comm_volume += summary.mean_comm_volume();
+          cell.migration_volume += summary.mean_migration_volume();
+          cell.normalized_total += summary.mean_normalized_total_cost();
+          cell.repart_seconds += summary.mean_repart_seconds();
+        }
+        const double inv = 1.0 / std::max<Index>(1, cfg.num_trials);
+        cell.comm_volume *= inv;
+        cell.migration_volume *= inv;
+        cell.normalized_total *= inv;
+        cell.repart_seconds *= inv;
+        cells.push_back(cell);
+        if (log != nullptr) {
+          *log << "  done " << to_string(cell.algorithm) << " k=" << k
+               << " alpha=" << alpha
+               << " total=" << cell.normalized_total
+               << " time=" << cell.repart_seconds << "s\n";
+          log->flush();
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+namespace {
+
+std::string bar(double value, double max_value, int width) {
+  const int filled =
+      max_value <= 0.0
+          ? 0
+          : static_cast<int>(value / max_value * width + 0.5);
+  std::string s(static_cast<std::size_t>(std::clamp(filled, 0, width)), '#');
+  s.resize(static_cast<std::size_t>(width), ' ');
+  return s;
+}
+
+}  // namespace
+
+void print_cost_figure(const std::string& title, const ExperimentConfig& cfg,
+                       const std::vector<CellResult>& cells,
+                       std::ostream& out) {
+  out << "=== " << title << " — " << cfg.dataset << " ("
+      << to_string(cfg.perturb) << ") ===\n";
+  out << "normalized total cost = comm volume + (migration volume)/alpha\n\n";
+  out << "csv,dataset,perturb,k,alpha,algorithm,comm,mig,norm_total\n";
+  for (const CellResult& c : cells) {
+    out << "csv," << cfg.dataset << ',' << to_string(cfg.perturb) << ','
+        << c.k << ',' << c.alpha << ',' << to_string(c.algorithm) << ','
+        << c.comm_volume << ',' << c.migration_volume << ','
+        << c.normalized_total << '\n';
+  }
+  out << '\n';
+  for (const PartId k : cfg.k_values) {
+    for (const Weight alpha : cfg.alphas) {
+      double group_max = 0.0;
+      for (const CellResult& c : cells)
+        if (c.k == k && c.alpha == alpha)
+          group_max = std::max(group_max, c.normalized_total);
+      out << "k=" << k << " alpha=" << alpha << '\n';
+      for (const CellResult& c : cells) {
+        if (c.k != k || c.alpha != alpha) continue;
+        char line[256];
+        std::snprintf(line, sizeof(line),
+                      "  %-14s |%s| total=%.0f (comm=%.0f mig=%.0f)\n",
+                      to_string(c.algorithm).c_str(),
+                      bar(c.normalized_total, group_max, 40).c_str(),
+                      c.normalized_total, c.comm_volume, c.migration_volume);
+        out << line;
+      }
+      out << '\n';
+    }
+  }
+  out.flush();
+}
+
+void print_runtime_figure(const std::string& title,
+                          const ExperimentConfig& cfg,
+                          const std::vector<CellResult>& cells,
+                          std::ostream& out) {
+  out << "=== " << title << " — " << cfg.dataset << " ("
+      << to_string(cfg.perturb) << ") — repartitioning time ===\n";
+  out << "csv,dataset,perturb,k,alpha,algorithm,seconds\n";
+  for (const CellResult& c : cells) {
+    out << "csv," << cfg.dataset << ',' << to_string(cfg.perturb) << ','
+        << c.k << ',' << c.alpha << ',' << to_string(c.algorithm) << ','
+        << c.repart_seconds << '\n';
+  }
+  out << '\n';
+  for (const PartId k : cfg.k_values) {
+    for (const Weight alpha : cfg.alphas) {
+      double group_max = 0.0;
+      for (const CellResult& c : cells)
+        if (c.k == k && c.alpha == alpha)
+          group_max = std::max(group_max, c.repart_seconds);
+      out << "k=" << k << " alpha=" << alpha << '\n';
+      for (const CellResult& c : cells) {
+        if (c.k != k || c.alpha != alpha) continue;
+        char line[256];
+        std::snprintf(line, sizeof(line), "  %-14s |%s| %.3f s\n",
+                      to_string(c.algorithm).c_str(),
+                      bar(c.repart_seconds, group_max, 40).c_str(),
+                      c.repart_seconds);
+        out << line;
+      }
+      out << '\n';
+    }
+  }
+  out.flush();
+}
+
+}  // namespace hgr

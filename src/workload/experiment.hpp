@@ -1,0 +1,73 @@
+// Experiment harness for the paper's Section 5 figures.
+//
+// One *cell* = (dataset, perturbation, k, alpha, algorithm): a sequence of
+// epochs run end-to-end with that algorithm, averaged over trials with
+// distinct seeds. Figures 2-6 plot the normalized total cost
+// (comm + mig/alpha) per cell as stacked bars; Figures 7-8 plot the
+// repartitioning wall time. The harness prints both an ASCII rendering of
+// the bar chart and machine-readable CSV rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/epoch_driver.hpp"
+#include "core/repartitioner.hpp"
+
+namespace hgr {
+
+enum class PerturbKind { kStructure, kWeights };
+
+std::string to_string(PerturbKind kind);
+
+struct ExperimentConfig {
+  std::string dataset = "auto-like";
+  double scale = 1.0;
+  PerturbKind perturb = PerturbKind::kStructure;
+  std::vector<PartId> k_values = {16, 64};
+  std::vector<Weight> alphas = {1, 10, 100, 1000};
+  std::vector<RepartAlgorithm> algorithms = {
+      RepartAlgorithm::kHypergraphRepart,
+      RepartAlgorithm::kGraphRepart,
+      RepartAlgorithm::kHypergraphScratch,
+      RepartAlgorithm::kGraphScratch,
+  };
+  Index num_epochs = 4;   // epoch 1 is the static bootstrap
+  Index num_trials = 3;   // distinct scenario/partitioner seeds
+  double epsilon = 0.05;
+  std::uint64_t seed = 42;
+
+  /// Parse harness flags: --scale=F --epochs=N --trials=N --k=16,64
+  /// --alpha=1,10,100,1000 --seed=S. Unknown flags abort with a message.
+  void apply_cli(int argc, char** argv);
+};
+
+struct CellResult {
+  RepartAlgorithm algorithm{};
+  PartId k = 0;
+  Weight alpha = 1;
+  double comm_volume = 0.0;        // mean over repartitioning epochs+trials
+  double migration_volume = 0.0;
+  double normalized_total = 0.0;   // comm + mig/alpha
+  double repart_seconds = 0.0;
+};
+
+/// Run the full sweep. Progress lines go to `log` when non-null.
+std::vector<CellResult> run_experiment(const ExperimentConfig& cfg,
+                                       std::ostream* log = nullptr);
+
+/// Figures 2-6 style output: per (k, alpha) group, one stacked bar per
+/// algorithm, plus CSV.
+void print_cost_figure(const std::string& title,
+                       const ExperimentConfig& cfg,
+                       const std::vector<CellResult>& cells,
+                       std::ostream& out);
+
+/// Figures 7-8 style output: run-time bars.
+void print_runtime_figure(const std::string& title,
+                          const ExperimentConfig& cfg,
+                          const std::vector<CellResult>& cells,
+                          std::ostream& out);
+
+}  // namespace hgr

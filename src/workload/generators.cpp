@@ -1,0 +1,209 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/dsu.hpp"
+#include "hypergraph/builder.hpp"
+
+namespace hgr {
+
+namespace {
+
+Graph from_edges(Index n, const std::vector<std::pair<Index, Index>>& edges) {
+  GraphBuilder b(n);
+  for (const auto& [u, v] : edges) b.add_edge(u, v, 1);
+  return b.finalize();
+}
+
+}  // namespace
+
+void connect_components(Index n,
+                        std::vector<std::pair<Index, Index>>& edges) {
+  DisjointSets dsu(n);
+  for (const auto& [u, v] : edges) dsu.unite(u, v);
+  Index prev_root = kInvalidIndex;
+  for (Index v = 0; v < n; ++v) {
+    if (dsu.find(v) != v) continue;
+    if (prev_root != kInvalidIndex) {
+      edges.emplace_back(prev_root, v);
+      dsu.unite(prev_root, v);
+    }
+    prev_root = v;
+  }
+}
+
+Graph make_grid3d(Index nx, Index ny, Index nz, bool body_diagonals) {
+  HGR_ASSERT(nx >= 1 && ny >= 1 && nz >= 1);
+  const auto id = [=](Index x, Index y, Index z) {
+    return (z * ny + y) * nx + x;
+  };
+  std::vector<std::pair<Index, Index>> edges;
+  for (Index z = 0; z < nz; ++z) {
+    for (Index y = 0; y < ny; ++y) {
+      for (Index x = 0; x < nx; ++x) {
+        const Index v = id(x, y, z);
+        if (x + 1 < nx) edges.emplace_back(v, id(x + 1, y, z));
+        if (y + 1 < ny) edges.emplace_back(v, id(x, y + 1, z));
+        if (z + 1 < nz) edges.emplace_back(v, id(x, y, z + 1));
+        if (body_diagonals && x + 1 < nx && y + 1 < ny && z + 1 < nz) {
+          edges.emplace_back(v, id(x + 1, y + 1, z + 1));
+          edges.emplace_back(id(x + 1, y, z), id(x, y + 1, z + 1));
+          edges.emplace_back(id(x, y + 1, z), id(x + 1, y, z + 1));
+          edges.emplace_back(id(x, y, z + 1), id(x + 1, y + 1, z));
+        }
+      }
+    }
+  }
+  return from_edges(nx * ny * nz, edges);
+}
+
+Graph make_random_geometric(Index n, int dim, double target_avg_degree,
+                            std::uint64_t seed) {
+  HGR_ASSERT(n >= 2 && (dim == 2 || dim == 3));
+  HGR_ASSERT(target_avg_degree >= 1.0);
+  Rng rng(seed);
+  std::vector<double> coords(static_cast<std::size_t>(n) * dim);
+  for (auto& c : coords) c = rng.uniform();
+
+  // Radius so the expected neighborhood holds target_avg_degree points:
+  // 2D: pi r^2 n = d  =>  r = sqrt(d / (pi n));
+  // 3D: (4/3) pi r^3 n = d.
+  const double d = target_avg_degree;
+  const double r =
+      dim == 2 ? std::sqrt(d / (M_PI * n))
+               : std::cbrt(3.0 * d / (4.0 * M_PI * n));
+
+  // Uniform grid buckets of cell size r: neighbors live in adjacent cells.
+  const Index cells = std::max<Index>(1, static_cast<Index>(1.0 / r));
+  const double cell_size = 1.0 / cells;
+  const auto cell_of = [&](double x) {
+    return std::min<Index>(cells - 1, static_cast<Index>(x / cell_size));
+  };
+  const auto cell_id = [&](Index cx, Index cy, Index cz) {
+    return (cz * cells + cy) * cells + cx;
+  };
+  const Index num_cells = dim == 2 ? cells * cells : cells * cells * cells;
+  std::vector<std::vector<Index>> bucket(static_cast<std::size_t>(num_cells));
+  for (Index v = 0; v < n; ++v) {
+    const double* p = &coords[static_cast<std::size_t>(v) * dim];
+    const Index cx = cell_of(p[0]);
+    const Index cy = cell_of(p[1]);
+    const Index cz = dim == 3 ? cell_of(p[2]) : 0;
+    bucket[static_cast<std::size_t>(cell_id(cx, cy, cz))].push_back(v);
+  }
+
+  std::vector<std::pair<Index, Index>> edges;
+  const double r2 = r * r;
+  for (Index v = 0; v < n; ++v) {
+    const double* p = &coords[static_cast<std::size_t>(v) * dim];
+    const Index cx = cell_of(p[0]);
+    const Index cy = cell_of(p[1]);
+    const Index cz = dim == 3 ? cell_of(p[2]) : 0;
+    const Index zlo = dim == 3 ? std::max<Index>(0, cz - 1) : 0;
+    const Index zhi = dim == 3 ? std::min<Index>(cells - 1, cz + 1) : 0;
+    for (Index z = zlo; z <= zhi; ++z) {
+      for (Index y = std::max<Index>(0, cy - 1);
+           y <= std::min<Index>(cells - 1, cy + 1); ++y) {
+        for (Index x = std::max<Index>(0, cx - 1);
+             x <= std::min<Index>(cells - 1, cx + 1); ++x) {
+          for (const Index u : bucket[static_cast<std::size_t>(
+                   cell_id(x, y, z))]) {
+            if (u <= v) continue;
+            const double* q = &coords[static_cast<std::size_t>(u) * dim];
+            double dist2 = 0.0;
+            for (int c = 0; c < dim; ++c) {
+              const double diff = p[c] - q[c];
+              dist2 += diff * diff;
+            }
+            if (dist2 <= r2) edges.emplace_back(v, u);
+          }
+        }
+      }
+    }
+  }
+  connect_components(n, edges);
+  return from_edges(n, edges);
+}
+
+Graph make_circuit_like(Index n, double avg_degree, Index num_hubs,
+                        Index hub_degree, std::uint64_t seed) {
+  HGR_ASSERT(n >= 2 && avg_degree >= 1.0);
+  Rng rng(seed);
+  std::vector<std::pair<Index, Index>> edges;
+
+  // Random spanning tree with small locality bias (circuits are mostly
+  // local chains): vertex v attaches to a recent predecessor.
+  for (Index v = 1; v < n; ++v) {
+    const Index window = std::min<Index>(v, 16);
+    const Index u =
+        v - 1 - static_cast<Index>(rng.below(static_cast<std::uint64_t>(
+                    window)));
+    edges.emplace_back(u, v);
+  }
+
+  // Extra sparse edges to reach the average degree. Circuits are mostly
+  // local (placement locality), with a thin tail of long wires: 90% of the
+  // extras land in a small index window, 10% anywhere.
+  const auto extra = static_cast<Index>(
+      std::max(0.0, (avg_degree - 2.0) * n / 2.0));
+  const Index window = std::max<Index>(4, n / 256);
+  for (Index e = 0; e < extra; ++e) {
+    const auto u = static_cast<Index>(rng.below(static_cast<std::uint64_t>(n)));
+    Index v;
+    if (rng.chance(0.9)) {
+      const Index offset = 1 + static_cast<Index>(rng.below(
+                                   static_cast<std::uint64_t>(window)));
+      v = rng.chance(0.5) ? u + offset : u - offset;
+      if (v < 0 || v >= n) v = (u + offset) % n;
+    } else {
+      v = static_cast<Index>(rng.below(static_cast<std::uint64_t>(n)));
+    }
+    if (u != v) edges.emplace_back(u, v);
+  }
+
+  // Hubs: power/ground-rail style high-degree vertices.
+  for (Index hub = 0; hub < std::min(num_hubs, n); ++hub) {
+    for (Index e = 0; e < hub_degree; ++e) {
+      const auto v =
+          static_cast<Index>(rng.below(static_cast<std::uint64_t>(n)));
+      if (v != hub) edges.emplace_back(hub, v);
+    }
+  }
+  connect_components(n, edges);
+  return from_edges(n, edges);
+}
+
+Graph make_regular_random(Index n, Index degree, std::uint64_t seed) {
+  HGR_ASSERT(n >= 2 && degree >= 1 && degree < n);
+  Rng rng(seed);
+  std::vector<std::pair<Index, Index>> edges;
+  // Each vertex proposes degree/2 edges; merged duplicates leave the
+  // realized degree in a tight band around `degree`. Neighbors are drawn
+  // from a banded index window (cage-style matrices are strongly banded —
+  // good cuts must exist), with a 5% tail of uniform fill-in.
+  const Index proposals = std::max<Index>(1, degree / 2);
+  const Index band = std::max<Index>(degree * 4, n / 32);
+  for (Index v = 0; v < n; ++v) {
+    for (Index e = 0; e < proposals; ++e) {
+      Index u;
+      if (rng.chance(0.95)) {
+        const Index offset = 1 + static_cast<Index>(rng.below(
+                                     static_cast<std::uint64_t>(band)));
+        u = rng.chance(0.5) ? v + offset : v - offset;
+        if (u < 0 || u >= n) u = (v + offset) % n;
+      } else {
+        u = static_cast<Index>(rng.below(static_cast<std::uint64_t>(n)));
+      }
+      if (u == v) u = (u + 1) % n;
+      edges.emplace_back(v, u);
+    }
+  }
+  connect_components(n, edges);
+  return from_edges(n, edges);
+}
+
+}  // namespace hgr

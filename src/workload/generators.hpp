@@ -1,0 +1,43 @@
+// Deterministic synthetic graph generators.
+//
+// The paper evaluates on five real matrices/graphs (Table 1) spanning very
+// different density regimes. Real inputs are not redistributable here, so
+// datasets.cpp composes these generators into *structural analogs* matched
+// to each dataset's published degree statistics. All generators are
+// deterministic in their seed and always return a connected graph
+// (connectivity is repaired by linking components).
+#pragma once
+
+#include "common/rng.hpp"
+#include "hypergraph/graph.hpp"
+
+namespace hgr {
+
+/// 3D structured mesh nx*ny*nz with the 6-point stencil; when
+/// body_diagonals is true the 8 corner neighbors are added too (average
+/// degree ~14, resembling tetrahedral FEM meshes such as `auto`).
+Graph make_grid3d(Index nx, Index ny, Index nz, bool body_diagonals);
+
+/// Random geometric graph: n points uniform in the unit square/cube,
+/// vertices within the radius that yields ~target_avg_degree are connected.
+/// Models particle/molecular neighbor lists (apoa1) and dense short-range
+/// interaction systems (2DLipid, with a large target degree).
+Graph make_random_geometric(Index n, int dim, double target_avg_degree,
+                            std::uint64_t seed);
+
+/// Circuit-like sparse graph: a random spanning tree backbone plus sparse
+/// extra edges up to ~avg_degree, plus num_hubs high-degree vertices
+/// (power/ground rails) of degree ~hub_degree. Matches xyce680s's profile:
+/// tiny average degree with a heavy tail.
+Graph make_circuit_like(Index n, double avg_degree, Index num_hubs,
+                        Index hub_degree, std::uint64_t seed);
+
+/// Near-regular random graph: every vertex has approximately `degree`
+/// distinct random neighbors (cage14's shape: tight degree band).
+Graph make_regular_random(Index n, Index degree, std::uint64_t seed);
+
+/// Connect the components of an edge list by chaining component
+/// representatives (used internally; exposed for tests).
+void connect_components(Index n, std::vector<std::pair<Index, Index>>& edges);
+
+}  // namespace hgr

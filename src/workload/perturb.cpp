@@ -1,0 +1,195 @@
+#include "workload/perturb.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "hypergraph/builder.hpp"
+
+namespace hgr {
+
+Graph induced_subgraph(const Graph& g, const std::vector<bool>& keep,
+                       std::vector<Index>& to_base) {
+  HGR_ASSERT(static_cast<Index>(keep.size()) == g.num_vertices());
+  std::vector<Index> base_to_new(keep.size(), kInvalidIndex);
+  to_base.clear();
+  for (Index v = 0; v < g.num_vertices(); ++v) {
+    if (keep[static_cast<std::size_t>(v)]) {
+      base_to_new[static_cast<std::size_t>(v)] =
+          static_cast<Index>(to_base.size());
+      to_base.push_back(v);
+    }
+  }
+  GraphBuilder b(static_cast<Index>(to_base.size()));
+  for (std::size_t nv = 0; nv < to_base.size(); ++nv) {
+    const Index v = to_base[nv];
+    b.set_vertex_weight(static_cast<Index>(nv), g.vertex_weight(v));
+    b.set_vertex_size(static_cast<Index>(nv), g.vertex_size(v));
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const Index nu = base_to_new[static_cast<std::size_t>(nbrs[i])];
+      if (nu != kInvalidIndex && nbrs[i] > v)
+        b.add_edge(static_cast<Index>(nv), nu, ws[i]);
+    }
+  }
+  return b.finalize();
+}
+
+namespace {
+
+/// Pick ceil(fraction * k) distinct random parts.
+std::vector<PartId> pick_parts(PartId k, double fraction, Rng& rng) {
+  const auto count = std::max<PartId>(
+      1, static_cast<PartId>(std::ceil(fraction * k)));
+  std::vector<PartId> all(static_cast<std::size_t>(k));
+  for (PartId q = 0; q < k; ++q) all[static_cast<std::size_t>(q)] = q;
+  rng.shuffle(all);
+  all.resize(static_cast<std::size_t>(std::min(count, k)));
+  return all;
+}
+
+}  // namespace
+
+StructuralPerturbScenario::StructuralPerturbScenario(
+    Graph base, StructuralPerturbOptions options, std::uint64_t seed)
+    : base_(std::move(base)),
+      options_(options),
+      rng_(seed),
+      active_(static_cast<std::size_t>(base_.num_vertices()), true),
+      last_part_(static_cast<std::size_t>(base_.num_vertices()), kNoPart) {
+  HGR_ASSERT(options_.vertex_fraction > 0.0 &&
+             options_.vertex_fraction < 1.0);
+  HGR_ASSERT(options_.parts_fraction > 0.0 && options_.parts_fraction <= 1.0);
+}
+
+EpochProblem StructuralPerturbScenario::next_epoch() {
+  ++epoch_;
+  EpochProblem problem;
+  if (epoch_ == 1) {
+    // Epoch 1: the full base dataset, statically partitioned by the driver.
+    problem.first = true;
+    std::fill(active_.begin(), active_.end(), true);
+    problem.graph = base_;
+    problem.to_base.resize(static_cast<std::size_t>(base_.num_vertices()));
+    for (Index v = 0; v < base_.num_vertices(); ++v)
+      problem.to_base[static_cast<std::size_t>(v)] = v;
+    current_to_base_ = problem.to_base;
+    return problem;
+  }
+  HGR_ASSERT_MSG(k_ > 0, "record_partition must be called between epochs");
+
+  // Choose the affected half of the partitions, then delete
+  // vertex_fraction * |V| vertices drawn from those parts. Everything not
+  // newly deleted is present (previously deleted vertices return).
+  const std::vector<PartId> affected =
+      pick_parts(k_, options_.parts_fraction, rng_);
+  std::vector<bool> is_affected(static_cast<std::size_t>(k_), false);
+  for (const PartId q : affected) is_affected[static_cast<std::size_t>(q)] =
+      true;
+
+  std::vector<Index> pool;
+  for (Index v = 0; v < base_.num_vertices(); ++v) {
+    const PartId q = last_part_[static_cast<std::size_t>(v)];
+    if (q != kNoPart && is_affected[static_cast<std::size_t>(q)])
+      pool.push_back(v);
+  }
+  rng_.shuffle(pool);
+  const auto target = static_cast<std::size_t>(
+      options_.vertex_fraction * base_.num_vertices());
+  const std::size_t deletions = std::min(pool.size(), target);
+
+  std::fill(active_.begin(), active_.end(), true);
+  for (std::size_t i = 0; i < deletions; ++i)
+    active_[static_cast<std::size_t>(pool[i])] = false;
+
+  problem.graph = induced_subgraph(base_, active_, problem.to_base);
+  current_to_base_ = problem.to_base;
+  problem.old_partition =
+      Partition(k_, problem.graph.num_vertices());
+  for (Index nv = 0; nv < problem.graph.num_vertices(); ++nv) {
+    const PartId q = last_part_[static_cast<std::size_t>(
+        problem.to_base[static_cast<std::size_t>(nv)])];
+    HGR_ASSERT(q != kNoPart);
+    problem.old_partition[nv] = q;
+  }
+  return problem;
+}
+
+void StructuralPerturbScenario::record_partition(const Partition& p) {
+  HGR_ASSERT(p.num_vertices() ==
+             static_cast<Index>(current_to_base_.size()));
+  k_ = p.k;
+  for (Index nv = 0; nv < p.num_vertices(); ++nv)
+    last_part_[static_cast<std::size_t>(
+        current_to_base_[static_cast<std::size_t>(nv)])] = p[nv];
+}
+
+WeightPerturbScenario::WeightPerturbScenario(Graph base,
+                                             WeightPerturbOptions options,
+                                             std::uint64_t seed)
+    : base_(std::move(base)),
+      options_(options),
+      rng_(seed),
+      last_part_(static_cast<std::size_t>(base_.num_vertices()), kNoPart) {
+  HGR_ASSERT(options_.min_factor >= 1.0 &&
+             options_.max_factor >= options_.min_factor);
+  original_weights_.assign(base_.vertex_weights().begin(),
+                           base_.vertex_weights().end());
+  original_sizes_.assign(base_.vertex_sizes().begin(),
+                         base_.vertex_sizes().end());
+}
+
+EpochProblem WeightPerturbScenario::next_epoch() {
+  ++epoch_;
+  EpochProblem problem;
+  problem.to_base.resize(static_cast<std::size_t>(base_.num_vertices()));
+  for (Index v = 0; v < base_.num_vertices(); ++v)
+    problem.to_base[static_cast<std::size_t>(v)] = v;
+
+  if (epoch_ == 1) {
+    problem.first = true;
+    problem.graph = base_;
+    return problem;
+  }
+  HGR_ASSERT_MSG(k_ > 0, "record_partition must be called between epochs");
+
+  // "Mesh refinement": the selected parts' vertices grow to a random
+  // 1.5-7.5x of their *original* weight and size; everything else reverts
+  // to the original (refinement elsewhere coarsened back).
+  const std::vector<PartId> refined =
+      pick_parts(k_, options_.parts_fraction, rng_);
+  std::vector<bool> is_refined(static_cast<std::size_t>(k_), false);
+  for (const PartId q : refined) is_refined[static_cast<std::size_t>(q)] =
+      true;
+
+  for (Index v = 0; v < base_.num_vertices(); ++v) {
+    const PartId q = last_part_[static_cast<std::size_t>(v)];
+    Weight w = original_weights_[static_cast<std::size_t>(v)];
+    Weight s = original_sizes_[static_cast<std::size_t>(v)];
+    if (q != kNoPart && is_refined[static_cast<std::size_t>(q)]) {
+      const double factor =
+          options_.min_factor +
+          rng_.uniform() * (options_.max_factor - options_.min_factor);
+      w = std::max<Weight>(1, static_cast<Weight>(w * factor));
+      s = std::max<Weight>(1, static_cast<Weight>(s * factor));
+    }
+    base_.set_vertex_weight(v, w);
+    base_.set_vertex_size(v, s);
+  }
+
+  problem.graph = base_;
+  problem.old_partition = Partition(k_, base_.num_vertices());
+  for (Index v = 0; v < base_.num_vertices(); ++v)
+    problem.old_partition[v] = last_part_[static_cast<std::size_t>(v)];
+  return problem;
+}
+
+void WeightPerturbScenario::record_partition(const Partition& p) {
+  HGR_ASSERT(p.num_vertices() == base_.num_vertices());
+  k_ = p.k;
+  for (Index v = 0; v < p.num_vertices(); ++v)
+    last_part_[static_cast<std::size_t>(v)] = p[v];
+}
+
+}  // namespace hgr

@@ -1,0 +1,90 @@
+// The paper's two synthetic dynamic-data generators (Section 5):
+//
+// 1. *Biased random structural perturbation*: each epoch, a fraction of the
+//    vertices — drawn from a randomly chosen half of the partitions — is
+//    deleted along with incident edges; a different subset is deleted each
+//    epoch, so previously deleted vertices return. "Half of the partitions
+//    lose or gain 25% of the total number of vertices at each iteration."
+//
+// 2. *Simulated adaptive mesh refinement*: structure stays fixed; each
+//    epoch, 10% of the partitions are selected and every vertex in them has
+//    its weight and size set to a random 1.5-7.5x of the original value.
+//
+// Both scenarios are partition-aware (they read the parts the driver
+// recorded), exactly as the paper's generators reference partitions, so
+// each algorithm experiences perturbations relative to its own current
+// distribution.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/epoch_driver.hpp"
+#include "hypergraph/graph.hpp"
+
+namespace hgr {
+
+struct StructuralPerturbOptions {
+  /// Fraction of |V| deleted each epoch (paper: 0.25).
+  double vertex_fraction = 0.25;
+  /// Fraction of the partitions the deletions are drawn from (paper: 0.5).
+  double parts_fraction = 0.5;
+};
+
+class StructuralPerturbScenario final : public EpochScenario {
+ public:
+  StructuralPerturbScenario(Graph base, StructuralPerturbOptions options,
+                            std::uint64_t seed);
+
+  EpochProblem next_epoch() override;
+  void record_partition(const Partition& p) override;
+
+  const Graph& base() const { return base_; }
+
+ private:
+  Graph base_;
+  StructuralPerturbOptions options_;
+  Rng rng_;
+  Index epoch_ = 0;
+  std::vector<bool> active_;          // base ids present in current epoch
+  std::vector<Index> current_to_base_;  // epoch id -> base id
+  std::vector<PartId> last_part_;     // base ids; part before any deletion
+  PartId k_ = 0;
+};
+
+struct WeightPerturbOptions {
+  /// Fraction of the partitions refined each epoch (paper: 0.10).
+  double parts_fraction = 0.10;
+  /// Weight/size multiplier range relative to the original (paper:
+  /// 1.5 - 7.5).
+  double min_factor = 1.5;
+  double max_factor = 7.5;
+};
+
+class WeightPerturbScenario final : public EpochScenario {
+ public:
+  WeightPerturbScenario(Graph base, WeightPerturbOptions options,
+                        std::uint64_t seed);
+
+  EpochProblem next_epoch() override;
+  void record_partition(const Partition& p) override;
+
+  const Graph& base() const { return base_; }
+
+ private:
+  Graph base_;       // carries the *current* weights
+  std::vector<Weight> original_weights_;
+  std::vector<Weight> original_sizes_;
+  WeightPerturbOptions options_;
+  Rng rng_;
+  Index epoch_ = 0;
+  std::vector<PartId> last_part_;
+  PartId k_ = 0;
+};
+
+/// Induced subgraph on the vertices with keep[v] == true; fills to_base
+/// with the surviving vertices' original ids.
+Graph induced_subgraph(const Graph& g, const std::vector<bool>& keep,
+                       std::vector<Index>& to_base);
+
+}  // namespace hgr

@@ -1,0 +1,100 @@
+#include "common/bucket_pq.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hgr {
+namespace {
+
+TEST(BucketPQ, StartsEmpty) {
+  BucketPQ pq(10, 5);
+  EXPECT_TRUE(pq.empty());
+  EXPECT_EQ(pq.size(), 0);
+  EXPECT_FALSE(pq.contains(3));
+}
+
+TEST(BucketPQ, InsertPopMax) {
+  BucketPQ pq(5, 10);
+  pq.insert(0, 3);
+  pq.insert(1, -2);
+  pq.insert(2, 7);
+  EXPECT_EQ(pq.top(), 2);
+  EXPECT_EQ(pq.top_gain(), 7);
+  EXPECT_EQ(pq.pop(), 2);
+  EXPECT_EQ(pq.pop(), 0);
+  EXPECT_EQ(pq.pop(), 1);
+  EXPECT_TRUE(pq.empty());
+}
+
+TEST(BucketPQ, LifoWithinBucket) {
+  BucketPQ pq(4, 3);
+  pq.insert(0, 2);
+  pq.insert(1, 2);
+  pq.insert(2, 2);
+  // Most recently inserted in the same bucket pops first (FM convention).
+  EXPECT_EQ(pq.pop(), 2);
+  EXPECT_EQ(pq.pop(), 1);
+  EXPECT_EQ(pq.pop(), 0);
+}
+
+TEST(BucketPQ, AdjustMovesItem) {
+  BucketPQ pq(3, 10);
+  pq.insert(0, 1);
+  pq.insert(1, 2);
+  pq.adjust(0, 9);
+  EXPECT_EQ(pq.top(), 0);
+  EXPECT_EQ(pq.gain(0), 9);
+  pq.adjust(0, -9);
+  EXPECT_EQ(pq.top(), 1);
+}
+
+TEST(BucketPQ, AdjustToSameGainKeepsItem) {
+  BucketPQ pq(2, 4);
+  pq.insert(0, 2);
+  pq.adjust(0, 2);
+  EXPECT_TRUE(pq.contains(0));
+  EXPECT_EQ(pq.gain(0), 2);
+}
+
+TEST(BucketPQ, RemoveMiddleOfBucket) {
+  BucketPQ pq(4, 2);
+  pq.insert(0, 1);
+  pq.insert(1, 1);
+  pq.insert(2, 1);
+  pq.remove(1);
+  EXPECT_FALSE(pq.contains(1));
+  EXPECT_EQ(pq.size(), 2);
+  EXPECT_EQ(pq.pop(), 2);
+  EXPECT_EQ(pq.pop(), 0);
+}
+
+TEST(BucketPQ, MaxGainSettlesDownAfterRemoval) {
+  BucketPQ pq(3, 5);
+  pq.insert(0, 5);
+  pq.insert(1, -5);
+  pq.remove(0);
+  EXPECT_EQ(pq.top(), 1);
+  EXPECT_EQ(pq.top_gain(), -5);
+}
+
+TEST(BucketPQ, ClearEmptiesEverything) {
+  BucketPQ pq(4, 3);
+  pq.insert(0, 1);
+  pq.insert(3, -3);
+  pq.clear();
+  EXPECT_TRUE(pq.empty());
+  EXPECT_FALSE(pq.contains(0));
+  pq.insert(0, 2);  // usable after clear
+  EXPECT_EQ(pq.top(), 0);
+}
+
+TEST(BucketPQ, BoundaryGains) {
+  BucketPQ pq(2, 4);
+  pq.insert(0, 4);
+  pq.insert(1, -4);
+  EXPECT_EQ(pq.top_gain(), 4);
+  pq.remove(0);
+  EXPECT_EQ(pq.top_gain(), -4);
+}
+
+}  // namespace
+}  // namespace hgr

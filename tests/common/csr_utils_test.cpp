@@ -1,0 +1,32 @@
+#include "common/csr_utils.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hgr {
+namespace {
+
+TEST(CsrUtils, CountsToOffsets) {
+  const std::vector<Index> offsets = counts_to_offsets({3, 0, 2, 1});
+  EXPECT_EQ(offsets, (std::vector<Index>{0, 3, 3, 5, 6}));
+}
+
+TEST(CsrUtils, EmptyCounts) {
+  const std::vector<Index> offsets = counts_to_offsets({});
+  EXPECT_EQ(offsets, (std::vector<Index>{0}));
+}
+
+TEST(CsrUtils, CsrRowView) {
+  const std::vector<Index> offsets{0, 2, 2, 5};
+  const std::vector<Index> values{10, 11, 20, 21, 22};
+  const auto row0 = csr_row(offsets, values, 0);
+  ASSERT_EQ(row0.size(), 2u);
+  EXPECT_EQ(row0[0], 10);
+  const auto row1 = csr_row(offsets, values, 1);
+  EXPECT_TRUE(row1.empty());
+  const auto row2 = csr_row(offsets, values, 2);
+  ASSERT_EQ(row2.size(), 3u);
+  EXPECT_EQ(row2[2], 22);
+}
+
+}  // namespace
+}  // namespace hgr

@@ -1,0 +1,43 @@
+#include "common/dsu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hgr {
+namespace {
+
+TEST(DisjointSets, SingletonsInitially) {
+  DisjointSets dsu(5);
+  EXPECT_EQ(dsu.num_sets(), 5);
+  for (Index i = 0; i < 5; ++i) EXPECT_EQ(dsu.find(i), i);
+  EXPECT_FALSE(dsu.same(0, 1));
+}
+
+TEST(DisjointSets, UniteMerges) {
+  DisjointSets dsu(4);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_TRUE(dsu.same(0, 1));
+  EXPECT_EQ(dsu.num_sets(), 3);
+  EXPECT_FALSE(dsu.unite(1, 0));  // already together
+}
+
+TEST(DisjointSets, TransitiveUnion) {
+  DisjointSets dsu(6);
+  dsu.unite(0, 1);
+  dsu.unite(2, 3);
+  dsu.unite(1, 2);
+  EXPECT_TRUE(dsu.same(0, 3));
+  EXPECT_FALSE(dsu.same(0, 4));
+  EXPECT_EQ(dsu.set_size(3), 4);
+  EXPECT_EQ(dsu.set_size(5), 1);
+}
+
+TEST(DisjointSets, ChainCollapsesToOneSet) {
+  DisjointSets dsu(100);
+  for (Index i = 0; i + 1 < 100; ++i) dsu.unite(i, i + 1);
+  EXPECT_EQ(dsu.num_sets(), 1);
+  EXPECT_EQ(dsu.set_size(0), 100);
+  EXPECT_TRUE(dsu.same(0, 99));
+}
+
+}  // namespace
+}  // namespace hgr

@@ -1,0 +1,111 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace hgr {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = rng.below(17);
+    EXPECT_LT(x, 17u);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto x = rng.range(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= x == -3;
+    saw_hi |= x == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, RandomPermutationIsPermutation) {
+  Rng rng(19);
+  const auto perm = random_permutation(50, rng);
+  std::set<std::int32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 49);
+}
+
+TEST(Rng, DeriveSeedIsDeterministicAndStreamSeparated) {
+  EXPECT_EQ(derive_seed(42, 0), derive_seed(42, 0));
+  EXPECT_NE(derive_seed(42, 0), derive_seed(42, 1));
+  EXPECT_NE(derive_seed(42, 0), derive_seed(43, 0));
+}
+
+TEST(Rng, SplitmixAdvancesState) {
+  std::uint64_t s = 1;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace hgr

@@ -1,0 +1,33 @@
+#include "common/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace hgr {
+namespace {
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.009);
+  EXPECT_LT(s, 5.0);
+  EXPECT_NEAR(t.milliseconds(), t.seconds() * 1e3, 1.0);
+}
+
+TEST(WallTimer, ResetRestartsClock) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.005);
+}
+
+TEST(FormatSeconds, PicksUnits) {
+  EXPECT_EQ(format_seconds(0.0000005), "0.5 us");
+  EXPECT_EQ(format_seconds(0.0123), "12.30 ms");
+  EXPECT_EQ(format_seconds(2.5), "2.500 s");
+}
+
+}  // namespace
+}  // namespace hgr

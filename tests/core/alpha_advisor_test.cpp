@@ -1,0 +1,55 @@
+#include "core/alpha_advisor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hgr {
+namespace {
+
+TEST(AlphaAdvisor, DefaultsToMinimumWithoutHistory) {
+  AlphaAdvisor advisor;
+  EXPECT_EQ(advisor.recommend(), 1);
+  EXPECT_EQ(advisor.num_observations(), 0);
+}
+
+TEST(AlphaAdvisor, TracksConstantEpochLength) {
+  AlphaAdvisor advisor;
+  for (int i = 0; i < 5; ++i) advisor.record({100, 10, 5});
+  EXPECT_EQ(advisor.recommend(), 100);
+}
+
+TEST(AlphaAdvisor, SmoothsTowardRecentLengths) {
+  AlphaAdvisor advisor(0.5);
+  advisor.record({10, 1, 1});
+  advisor.record({1000, 1, 1});
+  const Weight rec = advisor.recommend();
+  EXPECT_GT(rec, 10);
+  EXPECT_LT(rec, 1000);
+  // More recent long epochs pull the estimate up.
+  advisor.record({1000, 1, 1});
+  EXPECT_GT(advisor.recommend(), rec);
+}
+
+TEST(AlphaAdvisor, ClampsToPaperRange) {
+  AlphaAdvisor advisor;  // default clamp [1, 1000]
+  advisor.record({50000, 1, 1});
+  EXPECT_EQ(advisor.recommend(), 1000);
+}
+
+TEST(AlphaAdvisor, CustomClampRange) {
+  AlphaAdvisor advisor(0.5, 10, 200);
+  advisor.record({1, 0, 0});
+  EXPECT_EQ(advisor.recommend(), 10);
+  advisor.record({100000, 0, 0});
+  EXPECT_EQ(advisor.recommend(), 200);
+}
+
+TEST(AlphaAdvisor, ReplayTotalsObjective) {
+  AlphaAdvisor advisor;
+  advisor.record({5, 10, 100});  // alpha*10 + 100
+  advisor.record({5, 20, 50});   // alpha*20 + 50
+  EXPECT_EQ(advisor.replay_total_cost(1), 10 + 100 + 20 + 50);
+  EXPECT_EQ(advisor.replay_total_cost(10), 100 + 100 + 200 + 50);
+}
+
+}  // namespace
+}  // namespace hgr

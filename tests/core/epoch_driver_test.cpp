@@ -1,0 +1,87 @@
+#include "core/epoch_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "workload/generators.hpp"
+#include "workload/perturb.hpp"
+
+namespace hgr {
+namespace {
+
+RepartitionerConfig small_cfg(PartId k, Weight alpha) {
+  RepartitionerConfig cfg;
+  cfg.alpha = alpha;
+  cfg.partition.num_parts = k;
+  cfg.partition.epsilon = 0.1;
+  cfg.partition.seed = 7;
+  return cfg;
+}
+
+TEST(EpochDriver, RunsStructuralScenario) {
+  StructuralPerturbScenario scenario(make_grid3d(6, 6, 6, false),
+                                     StructuralPerturbOptions{}, 11);
+  const EpochRunSummary s = run_epochs(
+      scenario, RepartAlgorithm::kHypergraphRepart, small_cfg(4, 10), 3);
+  ASSERT_EQ(s.epochs.size(), 3u);
+  EXPECT_EQ(s.epochs[0].epoch, 1);
+  EXPECT_EQ(s.epochs[0].cost.migration_volume, 0);  // static bootstrap
+  for (const EpochRecord& r : s.epochs) {
+    EXPECT_GT(r.num_vertices, 0);
+    EXPECT_GE(r.cost.comm_volume, 0);
+  }
+  // Means cover only repartitioning epochs.
+  EXPECT_GT(s.mean_comm_volume(), 0.0);
+}
+
+TEST(EpochDriver, RunsWeightScenarioForEveryAlgorithm) {
+  for (const RepartAlgorithm alg :
+       {RepartAlgorithm::kHypergraphRepart, RepartAlgorithm::kGraphRepart,
+        RepartAlgorithm::kHypergraphScratch,
+        RepartAlgorithm::kGraphScratch}) {
+    WeightPerturbScenario scenario(make_grid3d(5, 5, 5, false),
+                                   WeightPerturbOptions{}, 13);
+    const EpochRunSummary s =
+        run_epochs(scenario, alg, small_cfg(4, 100), 3);
+    ASSERT_EQ(s.epochs.size(), 3u) << to_string(alg);
+    // Imbalance after each repartition stays sane.
+    for (const EpochRecord& r : s.epochs)
+      EXPECT_LT(r.imbalance, 0.6) << to_string(alg);
+  }
+}
+
+TEST(EpochDriver, SummaryMeansMatchRecords) {
+  EpochRunSummary s;
+  EpochRecord e1;
+  e1.epoch = 1;
+  e1.cost = {100, 0, 10};
+  EpochRecord e2;
+  e2.epoch = 2;
+  e2.cost = {10, 20, 10};
+  e2.repart_seconds = 2.0;
+  EpochRecord e3;
+  e3.epoch = 3;
+  e3.cost = {30, 40, 10};
+  e3.repart_seconds = 4.0;
+  s.epochs = {e1, e2, e3};
+  EXPECT_DOUBLE_EQ(s.mean_comm_volume(), 20.0);
+  EXPECT_DOUBLE_EQ(s.mean_migration_volume(), 30.0);
+  EXPECT_DOUBLE_EQ(s.mean_repart_seconds(), 3.0);
+  EXPECT_DOUBLE_EQ(s.mean_normalized_total_cost(),
+                   ((10 + 2.0) + (30 + 4.0)) / 2.0);
+}
+
+TEST(EpochDriver, MigrationHappensAfterPerturbation) {
+  StructuralPerturbScenario scenario(make_grid3d(6, 6, 6, false),
+                                     StructuralPerturbOptions{}, 17);
+  const EpochRunSummary s = run_epochs(
+      scenario, RepartAlgorithm::kGraphScratch, small_cfg(4, 1), 3);
+  // Scratch methods at alpha=1 migrate plenty once the data changes.
+  bool migrated = false;
+  for (const EpochRecord& r : s.epochs)
+    if (r.epoch >= 2 && r.cost.migration_volume > 0) migrated = true;
+  EXPECT_TRUE(migrated);
+}
+
+}  // namespace
+}  // namespace hgr

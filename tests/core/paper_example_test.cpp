@@ -1,0 +1,130 @@
+// The worked example of the paper's Section 3 / Figure 1, asserted with
+// exact numbers.
+//
+// Epoch j: the seven surviving vertices 1..7 plus new vertices a, b.
+// Old distribution: {1,2,3,a} in V1, {4,5,6} in V2, {7,b} in V3 (new
+// vertices belong to the part where they were created). alpha_j = 5, every
+// vertex has size 3 (so each migration net costs 3), and every
+// communication net has unit base cost (so each costs 5 after alpha
+// scaling). In the example's result, vertex 3 moves to V2 and vertex 6
+// moves to V3:
+//   migration  = 2 moved vertices * 3 * (2-1)            = 6
+//   comm       = {2,3,a} and {5,6,7} cut with lambda 2, {4,6,a} with
+//                lambda 3 = 2*5*(2-1) + 1*5*(3-1)        = 20
+//   total                                                = 26
+#include <gtest/gtest.h>
+
+#include "core/repartition_model.hpp"
+#include "metrics/cut.hpp"
+#include "partition/partitioner.hpp"
+#include "test_util.hpp"
+
+namespace hgr {
+namespace {
+
+using F = testing::PaperFigure1;
+
+Hypergraph epoch_j_hypergraph() {
+  HypergraphBuilder b(9);
+  // Cut nets of the example.
+  b.add_net({F::v2, F::v3, F::va}, 1);
+  b.add_net({F::v5, F::v6, F::v7}, 1);
+  b.add_net({F::v4, F::v6, F::va}, 1);
+  // Internal nets (never cut in the example's partition).
+  b.add_net({F::v1, F::v2}, 1);
+  b.add_net({F::v4, F::v5}, 1);
+  b.add_net({F::v7, F::vb}, 1);
+  b.set_all_vertex_sizes(3);  // "each vertex has size three"
+  return b.finalize();
+}
+
+Partition old_distribution() {
+  Partition p(3, 9);
+  p[F::v1] = 0; p[F::v2] = 0; p[F::v3] = 0; p[F::va] = 0;
+  p[F::v4] = 1; p[F::v5] = 1; p[F::v6] = 1;
+  p[F::v7] = 2; p[F::vb] = 2;
+  return p;
+}
+
+TEST(PaperExample, ModelStructureMatchesSection3) {
+  const Hypergraph h = epoch_j_hypergraph();
+  const RepartitionModel model =
+      build_repartition_model(h, old_distribution(), 5);
+  // |V| + k vertices, |N| + |V| nets.
+  EXPECT_EQ(model.augmented.num_vertices(), 9 + 3);
+  EXPECT_EQ(model.augmented.num_nets(), 6 + 9);
+  // Partition vertices are weightless and fixed to their parts.
+  for (PartId i = 0; i < 3; ++i) {
+    const Index u = model.partition_vertex(i);
+    EXPECT_EQ(model.augmented.vertex_weight(u), 0);
+    EXPECT_EQ(model.augmented.fixed_part(u), i);
+  }
+  // Communication nets were scaled by alpha ("the cost of each
+  // communication net is five").
+  for (Index net = 0; net < 6; ++net)
+    EXPECT_EQ(model.augmented.net_cost(net), 5);
+  // Migration nets cost the vertex size ("the cost of each migration net,
+  // is three") and join the vertex to its old part's partition vertex.
+  for (Index net = 6; net < model.augmented.num_nets(); ++net) {
+    EXPECT_EQ(model.augmented.net_cost(net), 3);
+    EXPECT_EQ(model.augmented.net_size(net), 2);
+  }
+  model.augmented.validate(3);
+}
+
+TEST(PaperExample, TotalCostIs26) {
+  const Hypergraph h = epoch_j_hypergraph();
+  const Partition old_p = old_distribution();
+  const RepartitionModel model = build_repartition_model(h, old_p, 5);
+
+  // The example's outcome: vertex 3 -> V2, vertex 6 -> V3.
+  Partition aug(3, model.augmented.num_vertices());
+  for (Index v = 0; v < 9; ++v) aug[v] = old_p[v];
+  aug[F::v3] = 1;
+  aug[F::v6] = 2;
+  for (PartId i = 0; i < 3; ++i) aug[model.partition_vertex(i)] = i;
+
+  // "Total migration cost is then 2 x 3 x (2-1) = 6."
+  // "They represent a total communication volume of
+  //  2 x 5 x (2-1) + 1 x 5 x (3-1) = 20, resulting in a total cost of 26."
+  const RepartitionCost cost = split_augmented_cut(model, aug, old_p);
+  EXPECT_EQ(cost.migration_volume, 6);
+  EXPECT_EQ(cost.alpha * cost.comm_volume, 20);
+  EXPECT_EQ(cost.total(), 26);
+
+  // And the augmented hypergraph's raw connectivity-1 cut equals the same
+  // 26 — the model identity.
+  EXPECT_EQ(connectivity_cut(model.augmented, aug), 26);
+}
+
+TEST(PaperExample, EpochJm1CommunicationVolumeIs3) {
+  // Figure 1 (left): nine unit vertices, three parts, three cut nets of
+  // unit cost and connectivity two => per-iteration volume 3.
+  HypergraphBuilder b(9);
+  b.add_net({0, 1, 2});
+  b.add_net({3, 4, 5});
+  b.add_net({6, 7, 8});
+  b.add_net({2, 3});
+  b.add_net({5, 6});
+  b.add_net({1, 4});
+  const Hypergraph h = b.finalize();
+  Partition p(3, 9);
+  for (Index v = 0; v < 9; ++v) p[v] = v / 3;
+  EXPECT_EQ(connectivity_cut(h, p), 3);
+}
+
+TEST(PaperExample, PartitionerFindsCostAtMost26) {
+  // The example's solution costs 26; the real partitioner must do at least
+  // as well on this toy instance.
+  const Hypergraph h = epoch_j_hypergraph();
+  const Partition old_p = old_distribution();
+  const RepartitionModel model = build_repartition_model(h, old_p, 5);
+  PartitionConfig cfg;
+  cfg.num_parts = 3;
+  cfg.epsilon = 0.5;  // 9 unit vertices over 3 parts: allow 3 +- 1
+  const Partition aug = partition_hypergraph(model.augmented, cfg);
+  EXPECT_LE(connectivity_cut(model.augmented, aug), 26);
+}
+
+}  // namespace
+}  // namespace hgr

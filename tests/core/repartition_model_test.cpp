@@ -1,0 +1,114 @@
+#include "core/repartition_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/cut.hpp"
+#include "metrics/migration.hpp"
+#include "test_util.hpp"
+
+namespace hgr {
+namespace {
+
+using testing::random_hypergraph;
+using testing::random_partition;
+
+TEST(RepartitionModel, AugmentedShape) {
+  const Hypergraph h = random_hypergraph(30, 50, 4, 3, 1);
+  const Partition old_p = random_partition(30, 4, 2);
+  const RepartitionModel model = build_repartition_model(h, old_p, 10);
+  EXPECT_EQ(model.augmented.num_vertices(), 34);
+  EXPECT_EQ(model.augmented.num_nets(), h.num_nets() + 30);
+  EXPECT_EQ(model.num_real_vertices, 30);
+  EXPECT_EQ(model.num_comm_nets, h.num_nets());
+  EXPECT_EQ(model.k, 4);
+  model.augmented.validate(4);
+}
+
+TEST(RepartitionModel, MigrationNetsWireToOldParts) {
+  const Hypergraph h = random_hypergraph(20, 30, 4, 2, 3);
+  const Partition old_p = random_partition(20, 3, 4);
+  const RepartitionModel model = build_repartition_model(h, old_p, 2);
+  for (Index v = 0; v < 20; ++v) {
+    const Index net = model.num_comm_nets + v;
+    const auto pins = model.augmented.pins(net);
+    ASSERT_EQ(pins.size(), 2u);
+    EXPECT_EQ(pins[0], v);
+    EXPECT_EQ(pins[1], model.partition_vertex(old_p[v]));
+    EXPECT_EQ(model.augmented.net_cost(net), h.vertex_size(v));
+  }
+}
+
+TEST(RepartitionModel, AlphaScalesOnlyCommNets) {
+  HypergraphBuilder b(3);
+  b.add_net({0, 1}, 4);
+  b.set_all_vertex_sizes(9);
+  const Hypergraph h = b.finalize();
+  const Partition old_p(2, 3, 0);
+  const RepartitionModel model = build_repartition_model(h, old_p, 100);
+  EXPECT_EQ(model.augmented.net_cost(0), 400);
+  EXPECT_EQ(model.augmented.net_cost(1), 9);
+}
+
+// The central identity (paper Section 3): for ANY valid assignment of the
+// augmented hypergraph (partition vertices fixed), its connectivity-1 cut
+// equals alpha * comm_volume + migration_volume of the decoded partition.
+TEST(RepartitionModel, CutIdentityOnRandomInstances) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Hypergraph h = random_hypergraph(40, 70, 5, 3, seed);
+    const Partition old_p = random_partition(40, 4, seed + 10);
+    const Weight alpha = 1 + static_cast<Weight>(seed * 7);
+    const RepartitionModel model = build_repartition_model(h, old_p, alpha);
+
+    Partition aug(4, model.augmented.num_vertices());
+    const Partition next = random_partition(40, 4, seed + 20);
+    for (Index v = 0; v < 40; ++v) aug[v] = next[v];
+    for (PartId i = 0; i < 4; ++i) aug[model.partition_vertex(i)] = i;
+
+    const Weight aug_cut = connectivity_cut(model.augmented, aug);
+    const Weight comm = connectivity_cut(h, next);
+    const Weight mig = migration_volume(h.vertex_sizes(), old_p, next);
+    EXPECT_EQ(aug_cut, alpha * comm + mig);
+
+    const RepartitionCost split = split_augmented_cut(model, aug, old_p);
+    EXPECT_EQ(split.comm_volume, comm);
+    EXPECT_EQ(split.migration_volume, mig);
+    EXPECT_EQ(split.total(), aug_cut);
+  }
+}
+
+TEST(RepartitionModel, DecodeStripsPartitionVertices) {
+  const Hypergraph h = random_hypergraph(25, 40, 4, 2, 5);
+  const Partition old_p = random_partition(25, 3, 6);
+  const RepartitionModel model = build_repartition_model(h, old_p, 3);
+  Partition aug(3, model.augmented.num_vertices());
+  for (Index v = 0; v < 25; ++v) aug[v] = old_p[v];
+  for (PartId i = 0; i < 3; ++i) aug[model.partition_vertex(i)] = i;
+  const Partition real = decode_augmented_partition(model, aug);
+  EXPECT_EQ(real.num_vertices(), 25);
+  for (Index v = 0; v < 25; ++v) EXPECT_EQ(real[v], old_p[v]);
+}
+
+TEST(RepartitionModel, StayingPutCostsOnlyComm) {
+  const Hypergraph h = random_hypergraph(30, 60, 4, 2, 7);
+  const Partition old_p = random_partition(30, 4, 8);
+  const RepartitionModel model = build_repartition_model(h, old_p, 10);
+  Partition aug(4, model.augmented.num_vertices());
+  for (Index v = 0; v < 30; ++v) aug[v] = old_p[v];
+  for (PartId i = 0; i < 4; ++i) aug[model.partition_vertex(i)] = i;
+  const RepartitionCost cost = split_augmented_cut(model, aug, old_p);
+  EXPECT_EQ(cost.migration_volume, 0);
+  EXPECT_EQ(cost.comm_volume, connectivity_cut(h, old_p));
+}
+
+TEST(RepartitionModelDeathTest, DecodeRejectsEscapedPartitionVertex) {
+  const Hypergraph h = random_hypergraph(10, 15, 3, 2, 9);
+  const Partition old_p = random_partition(10, 2, 10);
+  const RepartitionModel model = build_repartition_model(h, old_p, 2);
+  Partition aug(2, model.augmented.num_vertices(), 0);
+  aug[model.partition_vertex(1)] = 0;  // violates the fixed constraint
+  EXPECT_DEATH(decode_augmented_partition(model, aug),
+               "partition vertex escaped");
+}
+
+}  // namespace
+}  // namespace hgr

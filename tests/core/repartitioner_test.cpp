@@ -1,0 +1,105 @@
+#include "core/repartitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graphpart/gpartitioner.hpp"
+#include "hypergraph/convert.hpp"
+#include "metrics/balance.hpp"
+#include "metrics/cut.hpp"
+#include "partition/partitioner.hpp"
+#include "test_util.hpp"
+#include "workload/generators.hpp"
+
+namespace hgr {
+namespace {
+
+using testing::random_graph;
+
+struct RepartProblem {
+  Graph g;
+  Hypergraph h;
+  Partition old_p;
+  RepartitionerConfig cfg;
+};
+
+RepartProblem make_setup(PartId k, Weight alpha, std::uint64_t seed) {
+  RepartProblem s{random_graph(150, 350, seed), {}, {}, {}};
+  s.h = graph_to_hypergraph(s.g);
+  s.cfg.alpha = alpha;
+  s.cfg.partition.num_parts = k;
+  s.cfg.partition.epsilon = 0.1;
+  s.cfg.partition.seed = seed + 1;
+  // The old partition comes from an *independent* static run (different
+  // seed), as a fresh epoch's would: otherwise the scratch methods can
+  // reproduce it bit-for-bit and migrate nothing.
+  PartitionConfig static_cfg = s.cfg.partition;
+  static_cfg.seed = seed + 500;
+  s.old_p = partition_hypergraph(s.h, static_cfg);
+  return s;
+}
+
+TEST(Repartitioner, HypergraphRepartProducesConsistentResult) {
+  RepartProblem s = make_setup(4, 10, 1);
+  const RepartitionResult r = hypergraph_repartition(s.h, s.old_p, s.cfg);
+  r.partition.validate();
+  EXPECT_EQ(r.cost.comm_volume, connectivity_cut(s.h, r.partition));
+  EXPECT_EQ(r.cost.alpha, 10);
+  EXPECT_EQ(r.plan.total_volume, r.cost.migration_volume);
+  EXPECT_GE(r.seconds, 0.0);
+}
+
+TEST(Repartitioner, UnchangedProblemMigratesLittle) {
+  // Repartitioning the very problem the old partition solves should keep
+  // almost everything in place (the migration nets see to it).
+  RepartProblem s = make_setup(4, 1, 2);
+  const RepartitionResult r = hypergraph_repartition(s.h, s.old_p, s.cfg);
+  EXPECT_LT(r.cost.migration_volume,
+            s.h.total_vertex_weight() / 20);
+}
+
+TEST(Repartitioner, LargeAlphaApproachesStaticQuality) {
+  RepartProblem s = make_setup(4, 1000, 3);
+  const RepartitionResult r = hypergraph_repartition(s.h, s.old_p, s.cfg);
+  // With alpha=1000 the comm term dominates: quality must be within a
+  // factor of the static partitioner's.
+  PartitionConfig static_cfg = s.cfg.partition;
+  static_cfg.seed = 777;
+  const Partition fresh = partition_hypergraph(s.h, static_cfg);
+  EXPECT_LE(r.cost.comm_volume, 2 * connectivity_cut(s.h, fresh) + 10);
+}
+
+TEST(Repartitioner, AllFourAlgorithmsRun) {
+  RepartProblem s = make_setup(3, 10, 4);
+  for (const RepartAlgorithm alg :
+       {RepartAlgorithm::kHypergraphRepart, RepartAlgorithm::kGraphRepart,
+        RepartAlgorithm::kHypergraphScratch,
+        RepartAlgorithm::kGraphScratch}) {
+    const RepartitionResult r =
+        run_repartition_algorithm(alg, s.h, s.g, s.old_p, s.cfg);
+    r.partition.validate();
+    EXPECT_EQ(r.partition.k, 3) << to_string(alg);
+    // Costs are reported on the hypergraph metric for every algorithm.
+    EXPECT_EQ(r.cost.comm_volume, connectivity_cut(s.h, r.partition))
+        << to_string(alg);
+  }
+}
+
+TEST(Repartitioner, RepartBeatsScratchOnTotalCostAtAlpha1) {
+  // The paper's headline observation, on a single instance: for alpha = 1
+  // the repartitioning methods' total cost beats partitioning from scratch.
+  RepartProblem s = make_setup(4, 1, 5);
+  const RepartitionResult repart =
+      hypergraph_repartition(s.h, s.old_p, s.cfg);
+  const RepartitionResult scratch = hypergraph_scratch(s.h, s.old_p, s.cfg);
+  EXPECT_LT(repart.cost.total(), scratch.cost.total());
+}
+
+TEST(Repartitioner, AlgorithmNames) {
+  EXPECT_EQ(to_string(RepartAlgorithm::kHypergraphRepart), "hg-repart");
+  EXPECT_EQ(to_string(RepartAlgorithm::kGraphRepart), "graph-repart");
+  EXPECT_EQ(to_string(RepartAlgorithm::kHypergraphScratch), "hg-scratch");
+  EXPECT_EQ(to_string(RepartAlgorithm::kGraphScratch), "graph-scratch");
+}
+
+}  // namespace
+}  // namespace hgr

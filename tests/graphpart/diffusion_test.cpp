@@ -1,0 +1,81 @@
+#include "graphpart/diffusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graphpart/gpartitioner.hpp"
+#include "metrics/balance.hpp"
+#include "metrics/cut.hpp"
+#include "metrics/migration.hpp"
+#include "test_util.hpp"
+#include "workload/generators.hpp"
+
+namespace hgr {
+namespace {
+
+using testing::random_graph;
+
+TEST(Diffusion, BalancedInputBarelyMoves) {
+  const Graph g = make_grid3d(8, 8, 8, false);
+  PartitionConfig scfg;
+  scfg.num_parts = 4;
+  const Partition old_p = partition_graph(g, scfg);
+  DiffusionConfig cfg;
+  const Partition p = diffusive_repartition(g, old_p, cfg);
+  EXPECT_LT(num_migrated(old_p, p), g.num_vertices() / 20);
+}
+
+TEST(Diffusion, RepairsOverload) {
+  Graph g = random_graph(200, 400, 3);
+  PartitionConfig scfg;
+  scfg.num_parts = 4;
+  const Partition old_p = partition_graph(g, scfg);
+  for (Index v = 0; v < g.num_vertices(); ++v)
+    if (old_p[v] == 0) g.set_vertex_weight(v, g.vertex_weight(v) * 5);
+  ASSERT_GT(imbalance(g.vertex_weights(), old_p), 0.3);
+  DiffusionConfig cfg;
+  cfg.epsilon = 0.15;
+  const Partition p = diffusive_repartition(g, old_p, cfg);
+  EXPECT_LT(imbalance(g.vertex_weights(), p),
+            imbalance(g.vertex_weights(), old_p) / 2);
+}
+
+TEST(Diffusion, MigratesLessThanScratch) {
+  Graph g = make_grid3d(9, 9, 9, false);
+  PartitionConfig scfg;
+  scfg.num_parts = 8;
+  const Partition old_p = partition_graph(g, scfg);
+  Rng rng(5);
+  for (Index v = 0; v < g.num_vertices(); ++v)
+    if (rng.chance(0.2)) g.set_vertex_weight(v, 4);
+  DiffusionConfig cfg;
+  const Partition diffused = diffusive_repartition(g, old_p, cfg);
+  PartitionConfig fresh = scfg;
+  fresh.seed = 99;
+  const Partition scratch = partition_graph(g, fresh);
+  EXPECT_LT(migration_volume(g.vertex_sizes(), old_p, diffused),
+            migration_volume(g.vertex_sizes(), old_p, scratch));
+}
+
+TEST(Diffusion, SinglePartNoop) {
+  const Graph g = random_graph(30, 60, 7);
+  const Partition old_p(1, 30, 0);
+  DiffusionConfig cfg;
+  const Partition p = diffusive_repartition(g, old_p, cfg);
+  EXPECT_EQ(p.assignment, old_p.assignment);
+}
+
+TEST(Diffusion, DeterministicForSeed) {
+  Graph g = random_graph(100, 200, 9);
+  PartitionConfig scfg;
+  scfg.num_parts = 4;
+  const Partition old_p = partition_graph(g, scfg);
+  for (Index v = 0; v < 50; ++v) g.set_vertex_weight(v, 6);
+  DiffusionConfig cfg;
+  cfg.seed = 5;
+  const Partition a = diffusive_repartition(g, old_p, cfg);
+  const Partition b = diffusive_repartition(g, old_p, cfg);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+}  // namespace
+}  // namespace hgr

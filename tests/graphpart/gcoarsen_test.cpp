@@ -1,0 +1,107 @@
+#include "graphpart/gcoarsen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/cut.hpp"
+#include "test_util.hpp"
+
+namespace hgr {
+namespace {
+
+using testing::make_graph;
+using testing::random_graph;
+
+TEST(HeavyEdgeMatching, IsAnInvolution) {
+  const Graph g = random_graph(50, 100, 3);
+  Rng rng(1);
+  const auto match = heavy_edge_matching(g, 0, rng);
+  for (Index v = 0; v < 50; ++v)
+    EXPECT_EQ(match[static_cast<std::size_t>(
+                  match[static_cast<std::size_t>(v)])],
+              v);
+}
+
+TEST(HeavyEdgeMatching, PrefersHeaviestEdge) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 1);
+  b.add_edge(0, 2, 10);
+  const Graph g = b.finalize();
+  Rng rng(2);
+  const auto match = heavy_edge_matching(g, 0, rng);
+  EXPECT_EQ(match[0], 2);
+  EXPECT_EQ(match[2], 0);
+  EXPECT_EQ(match[1], 1);
+}
+
+TEST(HeavyEdgeMatching, WeightCapBlocksHeavyMerges) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 1);
+  b.set_vertex_weight(0, 8);
+  b.set_vertex_weight(1, 8);
+  const Graph g = b.finalize();
+  Rng rng(3);
+  EXPECT_EQ(heavy_edge_matching(g, 10, rng)[0], 0);
+  Rng rng2(3);
+  EXPECT_EQ(heavy_edge_matching(g, 16, rng2)[0], 1);
+}
+
+TEST(HeavyEdgeMatching, RestrictLabelsKeepsMatchesWithin) {
+  const Graph g = make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  const std::vector<PartId> labels{0, 1, 1, 0};
+  Rng rng(4);
+  const auto match =
+      heavy_edge_matching(g, 0, rng, std::span<const PartId>(labels));
+  for (Index v = 0; v < 4; ++v) {
+    const Index u = match[static_cast<std::size_t>(v)];
+    if (u != v) {
+      EXPECT_EQ(labels[static_cast<std::size_t>(u)],
+                labels[static_cast<std::size_t>(v)]);
+    }
+  }
+  // Only the {1,2} edge is label-internal.
+  EXPECT_EQ(match[1], 2);
+}
+
+TEST(ContractGraph, WeightsAndSizesSummed) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 2);
+  b.add_edge(1, 2, 3);
+  b.add_edge(2, 3, 4);
+  b.set_vertex_weight(0, 5);
+  b.set_vertex_size(1, 7);
+  const Graph g = b.finalize();
+  std::vector<Index> match{1, 0, 3, 2};
+  const GraphCoarseLevel level = contract_graph(g, match);
+  EXPECT_EQ(level.coarse.num_vertices(), 2);
+  EXPECT_EQ(level.coarse.total_vertex_weight(), g.total_vertex_weight());
+  const Index c0 = level.fine_to_coarse[0];
+  EXPECT_EQ(level.coarse.vertex_weight(c0), 6);   // 5 + 1
+  EXPECT_EQ(level.coarse.vertex_size(c0), 8);     // 1 + 7
+  level.coarse.validate();
+}
+
+TEST(ContractGraph, ParallelCoarseEdgesMerge) {
+  // Square 0-1-2-3: matching {0,1} and {2,3} leaves two coarse parallel
+  // edges (1-2 and 3-0) which must merge into one of weight 2.
+  const Graph g = make_graph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  std::vector<Index> match{1, 0, 3, 2};
+  const GraphCoarseLevel level = contract_graph(g, match);
+  EXPECT_EQ(level.coarse.num_edges(), 1);
+  EXPECT_EQ(level.coarse.edge_weights(0)[0], 2);
+}
+
+TEST(ContractGraph, EdgeCutPreservedUnderProjection) {
+  const Graph g = random_graph(60, 120, 7);
+  Rng rng(8);
+  const auto match = heavy_edge_matching(g, 0, rng);
+  const GraphCoarseLevel level = contract_graph(g, match);
+  const Partition coarse_p =
+      testing::random_partition(level.coarse.num_vertices(), 3, 9);
+  Partition fine_p(3, g.num_vertices());
+  for (Index v = 0; v < g.num_vertices(); ++v)
+    fine_p[v] = coarse_p[level.fine_to_coarse[static_cast<std::size_t>(v)]];
+  EXPECT_EQ(edge_cut(level.coarse, coarse_p), edge_cut(g, fine_p));
+}
+
+}  // namespace
+}  // namespace hgr

@@ -1,0 +1,114 @@
+#include "graphpart/grefine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/balance.hpp"
+#include "metrics/cut.hpp"
+#include "metrics/migration.hpp"
+#include "test_util.hpp"
+
+namespace hgr {
+namespace {
+
+using testing::make_graph;
+using testing::random_graph;
+using testing::random_partition;
+
+TEST(GraphRefine, NeverWorsensEdgeCut) {
+  GRefineOptions opt;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = random_graph(60, 120, seed);
+    Partition p = random_partition(60, 4, seed + 5);
+    Rng rng(seed);
+    const GRefineResult r = graph_kway_refine(g, p, opt, rng);
+    EXPECT_LE(r.final_cut, r.initial_cut);
+    EXPECT_EQ(r.final_cut, edge_cut(g, p));
+  }
+}
+
+TEST(GraphRefine, RebalancesOverloadedPart) {
+  const Graph g = random_graph(60, 120, 9);
+  Partition p(3, 60, 0);  // everything on part 0
+  GRefineOptions opt;
+  opt.epsilon = 0.2;
+  opt.max_passes = 6;
+  Rng rng(1);
+  const GRefineResult r = graph_kway_refine(g, p, opt, rng);
+  EXPECT_TRUE(r.balanced);
+  EXPECT_LE(imbalance(g.vertex_weights(), p), 0.25);
+}
+
+TEST(GraphRefine, CompositeGainRespectsMigration) {
+  // A vertex with equal edge pull both ways returns home when the old
+  // partition is supplied.
+  const Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  Partition old_p(2, 3);
+  old_p[0] = 0;
+  old_p[1] = 1;  // home of vertex 1 is part 1
+  old_p[2] = 1;
+  Partition p = old_p;
+  p[1] = 0;  // vertex 1 displaced
+  GRefineOptions opt;
+  opt.alpha = 1;
+  opt.epsilon = 1.0;  // balance never binds here
+  opt.old_partition = &old_p;
+  Rng rng(2);
+  graph_kway_refine(g, p, opt, rng);
+  EXPECT_EQ(p[1], 1);
+  EXPECT_EQ(migration_volume(g.vertex_sizes(), old_p, p), 0);
+}
+
+TEST(GraphRefine, LargeAlphaPrioritizesEdgeCut) {
+  // Vertex 1's home is part 1, but all its edges go to part 0. With a huge
+  // alpha the edge-cut term dominates and it stays with its neighbors.
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 5);
+  b.add_edge(1, 2, 5);
+  b.add_edge(2, 3, 1);
+  const Graph g = b.finalize();
+  Partition old_p(2, 4);
+  old_p[0] = 0; old_p[1] = 1; old_p[2] = 0; old_p[3] = 1;
+  Partition p(2, 4);
+  p[0] = 0; p[1] = 0; p[2] = 0; p[3] = 1;  // 1 moved next to its neighbors
+  GRefineOptions opt;
+  opt.alpha = 1000;
+  opt.epsilon = 1.0;
+  opt.old_partition = &old_p;
+  Rng rng(3);
+  graph_kway_refine(g, p, opt, rng);
+  EXPECT_EQ(p[1], 0);  // kept with neighbors despite migration pull
+}
+
+TEST(GraphRefine, SmallAlphaPrioritizesMigration) {
+  // Same situation, alpha = 1 and a heavy vertex size: return home wins.
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  b.add_edge(2, 3, 1);
+  b.set_vertex_size(1, 100);
+  const Graph g = b.finalize();
+  Partition old_p(2, 4);
+  old_p[0] = 0; old_p[1] = 1; old_p[2] = 0; old_p[3] = 1;
+  Partition p(2, 4);
+  p[0] = 0; p[1] = 0; p[2] = 0; p[3] = 1;
+  GRefineOptions opt;
+  opt.alpha = 1;
+  opt.epsilon = 1.0;
+  opt.old_partition = &old_p;
+  Rng rng(4);
+  graph_kway_refine(g, p, opt, rng);
+  EXPECT_EQ(p[1], 1);  // migration gain 100 beats edge loss
+}
+
+TEST(GraphRefine, SinglePartReturnsImmediately) {
+  const Graph g = random_graph(20, 30, 13);
+  Partition p(1, 20, 0);
+  GRefineOptions opt;
+  Rng rng(5);
+  const GRefineResult r = graph_kway_refine(g, p, opt, rng);
+  EXPECT_TRUE(r.balanced);
+  EXPECT_EQ(r.moves, 0);
+}
+
+}  // namespace
+}  // namespace hgr

@@ -1,0 +1,59 @@
+#include "graphpart/scratch_remap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graphpart/gpartitioner.hpp"
+#include "hypergraph/convert.hpp"
+#include "metrics/cut.hpp"
+#include "metrics/migration.hpp"
+#include "partition/partitioner.hpp"
+#include "test_util.hpp"
+
+namespace hgr {
+namespace {
+
+using testing::random_graph;
+
+TEST(ScratchRemap, GraphRemapNeverIncreasesMigration) {
+  const Graph g = random_graph(150, 350, 3);
+  PartitionConfig cfg;
+  cfg.num_parts = 4;
+  const Partition old_p = partition_graph(g, cfg);
+  PartitionConfig cfg2 = cfg;
+  cfg2.seed = 77;
+  const Partition raw = partition_graph(g, cfg2);
+  const Partition remapped = graph_scratch_remap(g, old_p, cfg2);
+  // Same cut (labels permuted), migration not worse.
+  EXPECT_EQ(edge_cut(g, raw), edge_cut(g, remapped));
+  EXPECT_LE(migration_volume(g.vertex_sizes(), old_p, remapped),
+            migration_volume(g.vertex_sizes(), old_p, raw));
+}
+
+TEST(ScratchRemap, HypergraphRemapKeepsCut) {
+  const Graph g = random_graph(120, 240, 5);
+  const Hypergraph h = graph_to_hypergraph(g);
+  PartitionConfig cfg;
+  cfg.num_parts = 4;
+  const Partition old_p = partition_hypergraph(h, cfg);
+  PartitionConfig cfg2 = cfg;
+  cfg2.seed = 99;
+  const Partition raw = partition_hypergraph(h, cfg2);
+  const Partition remapped = hypergraph_scratch_remap(h, old_p, cfg2);
+  EXPECT_EQ(connectivity_cut(h, raw), connectivity_cut(h, remapped));
+  EXPECT_LE(migration_volume(h.vertex_sizes(), old_p, remapped),
+            migration_volume(h.vertex_sizes(), old_p, raw));
+}
+
+TEST(ScratchRemap, IdenticalProblemYieldsNearZeroMigrationAfterRemap) {
+  // Repartitioning an unchanged graph from scratch with the same seed gives
+  // the same partition up to labels; remap must recover it exactly.
+  const Graph g = random_graph(100, 200, 7);
+  PartitionConfig cfg;
+  cfg.num_parts = 4;
+  const Partition old_p = partition_graph(g, cfg);
+  const Partition remapped = graph_scratch_remap(g, old_p, cfg);
+  EXPECT_EQ(migration_volume(g.vertex_sizes(), old_p, remapped), 0);
+}
+
+}  // namespace
+}  // namespace hgr

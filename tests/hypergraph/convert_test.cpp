@@ -1,0 +1,73 @@
+#include "hypergraph/convert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/cut.hpp"
+#include "test_util.hpp"
+
+namespace hgr {
+namespace {
+
+using testing::make_graph;
+using testing::random_graph;
+using testing::random_partition;
+
+TEST(Convert, GraphToHypergraphStructure) {
+  const Graph g = make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  const Hypergraph h = graph_to_hypergraph(g);
+  EXPECT_EQ(h.num_vertices(), 4);
+  EXPECT_EQ(h.num_nets(), 3);
+  for (Index net = 0; net < h.num_nets(); ++net) EXPECT_EQ(h.net_size(net), 2);
+}
+
+TEST(Convert, GraphToHypergraphPreservesAttributes) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 7);
+  b.set_vertex_weight(2, 9);
+  b.set_vertex_size(2, 4);
+  const Graph g = b.finalize();
+  const Hypergraph h = graph_to_hypergraph(g);
+  EXPECT_EQ(h.net_cost(0), 7);
+  EXPECT_EQ(h.vertex_weight(2), 9);
+  EXPECT_EQ(h.vertex_size(2), 4);
+}
+
+TEST(Convert, EdgeCutEqualsConnectivityCutOn2PinNets) {
+  // On symmetric problems the two objectives coincide — the property that
+  // makes the paper's graph/hypergraph comparison apples-to-apples.
+  const Graph g = random_graph(60, 120, 7);
+  const Hypergraph h = graph_to_hypergraph(g);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Partition p = random_partition(60, 4, seed);
+    EXPECT_EQ(edge_cut(g, p), connectivity_cut(h, p));
+  }
+}
+
+TEST(Convert, ColumnNetModel) {
+  const Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  const Hypergraph h = graph_to_column_net_hypergraph(g);
+  // One net per vertex: {v} + neighbors.
+  EXPECT_EQ(h.num_nets(), 3);
+  EXPECT_EQ(h.net_size(1), 3);  // vertex 1 with neighbors 0 and 2
+}
+
+TEST(Convert, CliqueExpansionRoundTrip) {
+  const Hypergraph h = testing::make_hypergraph(4, {{0, 1, 2}, {2, 3}});
+  const Graph g = hypergraph_to_graph_clique(h);
+  // Net {0,1,2} -> triangle; net {2,3} -> edge.
+  EXPECT_EQ(g.num_edges(), 4);
+  g.validate();
+}
+
+TEST(Convert, CliqueExpansionSkipsHugeNets) {
+  HypergraphBuilder b(10);
+  std::vector<Index> big;
+  for (Index v = 0; v < 10; ++v) big.push_back(v);
+  b.add_net(big);
+  const Hypergraph h = b.finalize();
+  const Graph g = hypergraph_to_graph_clique(h, /*max_clique_size=*/5);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+}  // namespace
+}  // namespace hgr

@@ -1,0 +1,85 @@
+#include "hypergraph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/builder.hpp"
+#include "test_util.hpp"
+
+namespace hgr {
+namespace {
+
+using testing::make_graph;
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(Graph, TriangleStructure) {
+  const Graph g = make_graph(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.degree(0), 2);
+  g.validate();
+}
+
+TEST(Graph, NeighborsAndWeightsAligned) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 5);
+  b.add_edge(0, 2, 7);
+  const Graph g = b.finalize();
+  const auto nbrs = g.neighbors(0);
+  const auto ws = g.edge_weights(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (nbrs[i] == 1) {
+      EXPECT_EQ(ws[i], 5);
+    }
+    if (nbrs[i] == 2) {
+      EXPECT_EQ(ws[i], 7);
+    }
+  }
+}
+
+TEST(Graph, SelfLoopsIgnored) {
+  GraphBuilder b(2);
+  b.add_edge(0, 0, 3);
+  b.add_edge(0, 1, 1);
+  const Graph g = b.finalize();
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(Graph, ParallelEdgesMerged) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 2);
+  b.add_edge(1, 0, 3);
+  const Graph g = b.finalize();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.edge_weights(0)[0], 5);
+  g.validate();
+}
+
+TEST(Graph, VertexWeightMutation) {
+  Graph g = make_graph(2, {{0, 1}});
+  EXPECT_EQ(g.total_vertex_weight(), 2);
+  g.set_vertex_weight(0, 42);
+  EXPECT_EQ(g.total_vertex_weight(), 43);
+  g.set_vertex_size(1, 9);
+  EXPECT_EQ(g.vertex_size(1), 9);
+}
+
+TEST(Graph, IsolatedVertexAllowed) {
+  const Graph g = make_graph(3, {{0, 1}});
+  EXPECT_EQ(g.degree(2), 0);
+  g.validate();
+}
+
+TEST(Graph, SummaryFormat) {
+  const Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  EXPECT_NE(g.summary().find("|V|=3"), std::string::npos);
+  EXPECT_NE(g.summary().find("|E|=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hgr

@@ -1,0 +1,113 @@
+#include "hypergraph/hypergraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/builder.hpp"
+#include "test_util.hpp"
+
+namespace hgr {
+namespace {
+
+using testing::make_hypergraph;
+
+TEST(Hypergraph, EmptyHypergraph) {
+  Hypergraph h;
+  EXPECT_EQ(h.num_vertices(), 0);
+  EXPECT_EQ(h.num_nets(), 0);
+  EXPECT_EQ(h.num_pins(), 0);
+  EXPECT_EQ(h.total_vertex_weight(), 0);
+}
+
+TEST(Hypergraph, BasicStructure) {
+  const Hypergraph h = make_hypergraph(5, {{0, 1, 2}, {2, 3}, {3, 4, 0}});
+  EXPECT_EQ(h.num_vertices(), 5);
+  EXPECT_EQ(h.num_nets(), 3);
+  EXPECT_EQ(h.num_pins(), 8);
+  EXPECT_EQ(h.net_size(0), 3);
+  EXPECT_EQ(h.net_size(1), 2);
+  h.validate();
+}
+
+TEST(Hypergraph, TransposeConsistency) {
+  const Hypergraph h = make_hypergraph(4, {{0, 1}, {1, 2}, {1, 3}, {0, 3}});
+  EXPECT_EQ(h.vertex_degree(1), 3);
+  EXPECT_EQ(h.vertex_degree(2), 1);
+  // Vertex 1 is in nets 0, 1, 2.
+  const auto nets = h.incident_nets(1);
+  EXPECT_EQ(std::vector<Index>(nets.begin(), nets.end()),
+            (std::vector<Index>{0, 1, 2}));
+}
+
+TEST(Hypergraph, WeightsAndSizes) {
+  HypergraphBuilder b(3);
+  b.add_net({0, 1, 2});
+  b.set_vertex_weight(0, 10);
+  b.set_vertex_size(0, 7);
+  b.set_vertex_weight(2, 5);
+  const Hypergraph h = b.finalize();
+  EXPECT_EQ(h.vertex_weight(0), 10);
+  EXPECT_EQ(h.vertex_size(0), 7);
+  EXPECT_EQ(h.vertex_weight(1), 1);
+  EXPECT_EQ(h.total_vertex_weight(), 16);
+}
+
+TEST(Hypergraph, SetVertexWeightUpdatesTotal) {
+  Hypergraph h = make_hypergraph(3, {{0, 1, 2}});
+  EXPECT_EQ(h.total_vertex_weight(), 3);
+  h.set_vertex_weight(1, 100);
+  EXPECT_EQ(h.total_vertex_weight(), 102);
+  h.set_vertex_size(1, 9);
+  EXPECT_EQ(h.vertex_size(1), 9);
+}
+
+TEST(Hypergraph, ScaleNetCosts) {
+  HypergraphBuilder b(3);
+  b.add_net({0, 1}, 2);
+  b.add_net({1, 2}, 5);
+  Hypergraph h = b.finalize();
+  h.scale_net_costs(10);
+  EXPECT_EQ(h.net_cost(0), 20);
+  EXPECT_EQ(h.net_cost(1), 50);
+}
+
+TEST(Hypergraph, FixedPartsDefaultFree) {
+  const Hypergraph h = make_hypergraph(3, {{0, 1, 2}});
+  EXPECT_FALSE(h.has_fixed());
+  EXPECT_EQ(h.fixed_part(0), kNoPart);
+}
+
+TEST(Hypergraph, FixedPartsViaBuilder) {
+  HypergraphBuilder b(3);
+  b.add_net({0, 1, 2});
+  b.set_fixed_part(1, 2);
+  const Hypergraph h = b.finalize();
+  EXPECT_TRUE(h.has_fixed());
+  EXPECT_EQ(h.fixed_part(0), kNoPart);
+  EXPECT_EQ(h.fixed_part(1), 2);
+  h.validate(3);
+}
+
+TEST(Hypergraph, SetFixedPartsAndClear) {
+  Hypergraph h = make_hypergraph(2, {{0, 1}});
+  h.set_fixed_parts({0, kNoPart});
+  EXPECT_TRUE(h.has_fixed());
+  EXPECT_EQ(h.fixed_part(0), 0);
+  h.set_fixed_parts({});
+  EXPECT_FALSE(h.has_fixed());
+}
+
+TEST(Hypergraph, SummaryMentionsCounts) {
+  const Hypergraph h = make_hypergraph(4, {{0, 1}, {2, 3}});
+  const std::string s = h.summary();
+  EXPECT_NE(s.find("|V|=4"), std::string::npos);
+  EXPECT_NE(s.find("|N|=2"), std::string::npos);
+}
+
+TEST(HypergraphDeathTest, ValidateCatchesBadFixed) {
+  Hypergraph h = make_hypergraph(2, {{0, 1}});
+  h.set_fixed_parts({5, kNoPart});
+  EXPECT_DEATH(h.validate(2), "fixed part out of range");
+}
+
+}  // namespace
+}  // namespace hgr

@@ -1,0 +1,110 @@
+// Optimality-gap checks on exhaustively solvable instances: the heuristics
+// must land near the true optimum where we can afford to compute it.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/repartition_model.hpp"
+#include "core/repartitioner.hpp"
+#include "metrics/balance.hpp"
+#include "metrics/cut.hpp"
+#include "metrics/migration.hpp"
+#include "partition/partitioner.hpp"
+#include "test_util.hpp"
+
+namespace hgr {
+namespace {
+
+using testing::random_hypergraph;
+
+/// Exhaustive best balanced bisection by 2^n enumeration (n <= ~16).
+Weight optimal_bisection_cut(const Hypergraph& h, double eps) {
+  const Index n = h.num_vertices();
+  const Weight total = h.total_vertex_weight();
+  const auto max_w =
+      static_cast<Weight>(static_cast<double>(total) / 2.0 * (1.0 + eps));
+  Weight best = std::numeric_limits<Weight>::max();
+  Partition p(2, n);
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    Weight w0 = 0;
+    for (Index v = 0; v < n; ++v) {
+      p[v] = static_cast<PartId>((mask >> v) & 1u);
+      if (p[v] == 0) w0 += h.vertex_weight(v);
+    }
+    if (w0 > max_w || total - w0 > max_w) continue;
+    best = std::min(best, connectivity_cut(h, p));
+  }
+  return best;
+}
+
+TEST(Optimality, BisectionNearOptimalOnTinyInstances) {
+  // Deterministic seeds: verified once, stable forever.
+  for (const std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    Hypergraph h = random_hypergraph(12, 24, 4, 3, seed);
+    // Unit weights keep the enumeration's balance envelope simple.
+    for (Index v = 0; v < 12; ++v) h.set_vertex_weight(v, 1);
+    const Weight optimal = optimal_bisection_cut(h, 0.2);
+    PartitionConfig cfg;
+    cfg.num_parts = 2;
+    cfg.epsilon = 0.2;
+    cfg.seed = seed;
+    const Partition p = partition_hypergraph(h, cfg);
+    ASSERT_TRUE(is_balanced(h.vertex_weights(), p, 0.2));
+    const Weight got = connectivity_cut(h, p);
+    EXPECT_LE(got, optimal * 2 + 2) << "seed " << seed;
+    EXPECT_GE(got, optimal) << "enumeration bug?";
+  }
+}
+
+TEST(Optimality, RepartitionModelOptimumNeverBelowDirectTradeoff) {
+  // For a tiny instance, enumerate all assignments of the augmented
+  // hypergraph (partition vertices fixed) and confirm the best equals the
+  // best alpha*comm+mig over all real assignments: the model loses
+  // nothing.
+  Hypergraph h = random_hypergraph(8, 14, 3, 2, 7);
+  for (Index v = 0; v < 8; ++v) h.set_vertex_weight(v, 1);
+  const Partition old_p = testing::random_partition(8, 2, 9);
+  const Weight alpha = 3;
+  const RepartitionModel model = build_repartition_model(h, old_p, alpha);
+
+  Weight best_direct = std::numeric_limits<Weight>::max();
+  Weight best_model = std::numeric_limits<Weight>::max();
+  Partition real(2, 8);
+  Partition aug(2, model.augmented.num_vertices());
+  for (PartId i = 0; i < 2; ++i) aug[model.partition_vertex(i)] = i;
+  for (std::uint32_t mask = 0; mask < (1u << 8); ++mask) {
+    for (Index v = 0; v < 8; ++v) {
+      real[v] = static_cast<PartId>((mask >> v) & 1u);
+      aug[v] = real[v];
+    }
+    const Weight direct =
+        alpha * connectivity_cut(h, real) +
+        migration_volume(h.vertex_sizes(), old_p, real);
+    const Weight via_model = connectivity_cut(model.augmented, aug);
+    EXPECT_EQ(direct, via_model);  // identity holds pointwise
+    best_direct = std::min(best_direct, direct);
+    best_model = std::min(best_model, via_model);
+  }
+  EXPECT_EQ(best_direct, best_model);
+}
+
+TEST(Optimality, HugeSizesFreezeTheDistribution) {
+  // When every vertex's data is enormous and alpha=1, the optimal move is
+  // no move; the solver must find (essentially) that.
+  Hypergraph h = random_hypergraph(60, 120, 4, 2, 11);
+  for (Index v = 0; v < 60; ++v) h.set_vertex_size(v, 100000);
+  PartitionConfig scfg;
+  scfg.num_parts = 4;
+  scfg.epsilon = 0.2;
+  const Partition old_p = partition_hypergraph(h, scfg);
+  RepartitionerConfig rcfg;
+  rcfg.partition = scfg;
+  rcfg.partition.seed = 999;
+  rcfg.alpha = 1;
+  const RepartitionResult r = hypergraph_repartition(h, old_p, rcfg);
+  EXPECT_EQ(r.cost.migration_volume, 0);
+  EXPECT_EQ(r.partition.assignment, old_p.assignment);
+}
+
+}  // namespace
+}  // namespace hgr

@@ -1,0 +1,70 @@
+// End-to-end pipelines: dataset -> epochs -> all four algorithms, on both
+// perturbation modes, checking the structural invariants the paper's
+// experiments rely on.
+#include <gtest/gtest.h>
+
+#include "core/epoch_driver.hpp"
+#include "metrics/balance.hpp"
+#include "workload/datasets.hpp"
+#include "workload/perturb.hpp"
+
+namespace hgr {
+namespace {
+
+RepartitionerConfig cfg_for(PartId k, Weight alpha) {
+  RepartitionerConfig cfg;
+  cfg.alpha = alpha;
+  cfg.partition.num_parts = k;
+  cfg.partition.epsilon = 0.1;
+  cfg.partition.seed = 31;
+  return cfg;
+}
+
+class PipelineSweep
+    : public ::testing::TestWithParam<std::tuple<RepartAlgorithm, int>> {};
+
+TEST_P(PipelineSweep, FourEpochsRunCleanly) {
+  const auto [alg, perturb_kind] = GetParam();
+  const Graph base = make_dataset("auto-like", 0.03, 5);
+  std::unique_ptr<EpochScenario> scenario;
+  if (perturb_kind == 0) {
+    scenario = std::make_unique<StructuralPerturbScenario>(
+        base, StructuralPerturbOptions{}, 77);
+  } else {
+    scenario = std::make_unique<WeightPerturbScenario>(
+        base, WeightPerturbOptions{}, 77);
+  }
+  const EpochRunSummary s = run_epochs(*scenario, alg, cfg_for(4, 10), 4);
+  ASSERT_EQ(s.epochs.size(), 4u);
+  for (const EpochRecord& r : s.epochs) {
+    EXPECT_GT(r.num_vertices, 0);
+    EXPECT_GE(r.cost.comm_volume, 0);
+    EXPECT_GE(r.repart_seconds, 0.0);
+    EXPECT_LT(r.imbalance, 0.6);
+  }
+  EXPECT_GT(s.mean_comm_volume(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsAndPerturbs, PipelineSweep,
+    ::testing::Combine(
+        ::testing::Values(RepartAlgorithm::kHypergraphRepart,
+                          RepartAlgorithm::kGraphRepart,
+                          RepartAlgorithm::kHypergraphScratch,
+                          RepartAlgorithm::kGraphScratch),
+        ::testing::Values(0, 1)));
+
+TEST(Pipeline, EveryDatasetSurvivesOneRepartition) {
+  for (const DatasetInfo& info : dataset_catalog()) {
+    const Graph base = make_dataset(info.name, 0.02, 3);
+    StructuralPerturbScenario scenario(base, StructuralPerturbOptions{}, 9);
+    const EpochRunSummary s =
+        run_epochs(scenario, RepartAlgorithm::kHypergraphRepart,
+                   cfg_for(4, 100), 2);
+    EXPECT_EQ(s.epochs.size(), 2u) << info.name;
+    EXPECT_GE(s.epochs[1].cost.migration_volume, 0) << info.name;
+  }
+}
+
+}  // namespace
+}  // namespace hgr

@@ -1,0 +1,134 @@
+// Property-based sweeps over randomized instances: invariants that must
+// hold for every (seed, k, alpha) combination.
+#include <gtest/gtest.h>
+
+#include "core/repartition_model.hpp"
+#include "core/repartitioner.hpp"
+#include "hypergraph/convert.hpp"
+#include "metrics/balance.hpp"
+#include "metrics/cut.hpp"
+#include "metrics/migration.hpp"
+#include "partition/partitioner.hpp"
+#include "test_util.hpp"
+
+namespace hgr {
+namespace {
+
+using testing::random_hypergraph;
+using testing::random_partition;
+
+class ModelIdentitySweep
+    : public ::testing::TestWithParam<std::tuple<PartId, Weight, std::uint64_t>> {
+};
+
+// For every instance: solving the augmented model yields a partition whose
+// measured alpha*comm+mig equals the augmented cut, is never worse than
+// staying put, and respects the fixed partition vertices.
+TEST_P(ModelIdentitySweep, SolvedModelBeatsOrMatchesStayingPut) {
+  const auto [k, alpha, seed] = GetParam();
+  const Hypergraph h = random_hypergraph(90, 180, 5, 3, seed);
+  const Partition old_p = random_partition(90, k, seed + 1000);
+
+  RepartitionerConfig cfg;
+  cfg.alpha = alpha;
+  cfg.partition.num_parts = k;
+  cfg.partition.epsilon = 0.25;  // random old partitions can be imbalanced
+  cfg.partition.seed = seed;
+  const RepartitionResult r = hypergraph_repartition(h, old_p, cfg);
+
+  // The partitioner start includes "stay put" as a feasible candidate only
+  // implicitly; allow a little slack for balance repair of the random old
+  // partition, which can force migrations.
+  const Weight stay_cost = alpha * connectivity_cut(h, old_p);
+  EXPECT_LE(r.cost.total(), stay_cost + static_cast<Weight>(
+                                             h.total_vertex_weight()));
+  // Identity: plan volume == measured migration volume.
+  EXPECT_EQ(r.plan.total_volume, r.cost.migration_volume);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModelIdentitySweep,
+    ::testing::Combine(::testing::Values<PartId>(2, 4, 8),
+                       ::testing::Values<Weight>(1, 100),
+                       ::testing::Values<std::uint64_t>(1, 2)));
+
+// Migration volume of any algorithm is bounded by the total data size, and
+// comm volume by the total net cost mass.
+TEST(Properties, CostBoundsHold) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Hypergraph h = random_hypergraph(70, 140, 5, 4, seed);
+    const Partition old_p = random_partition(70, 4, seed + 5);
+    RepartitionerConfig cfg;
+    cfg.alpha = 10;
+    cfg.partition.num_parts = 4;
+    cfg.partition.epsilon = 0.3;
+    const RepartitionResult r = hypergraph_repartition(h, old_p, cfg);
+    Weight total_size = 0;
+    for (Index v = 0; v < 70; ++v) total_size += h.vertex_size(v);
+    EXPECT_LE(r.cost.migration_volume, total_size);
+    Weight cost_mass = 0;
+    for (Index n = 0; n < h.num_nets(); ++n)
+      cost_mass += h.net_cost(n) * (h.net_size(n) - 1);
+    EXPECT_LE(r.cost.comm_volume, cost_mass);
+  }
+}
+
+// alpha monotonicity: raising alpha never raises the chosen communication
+// volume by much (it optimizes comm harder). Statistical: averaged over
+// seeds with slack.
+TEST(Properties, AlphaPushesCommDown) {
+  double comm_low = 0, comm_high = 0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const Hypergraph h = random_hypergraph(80, 160, 4, 3, seed + 40);
+    const Partition old_p = random_partition(80, 4, seed + 50);
+    RepartitionerConfig cfg;
+    cfg.partition.num_parts = 4;
+    cfg.partition.epsilon = 0.25;
+    cfg.partition.seed = seed;
+    cfg.alpha = 1;
+    comm_low += static_cast<double>(
+        hypergraph_repartition(h, old_p, cfg).cost.comm_volume);
+    cfg.alpha = 1000;
+    comm_high += static_cast<double>(
+        hypergraph_repartition(h, old_p, cfg).cost.comm_volume);
+  }
+  EXPECT_LE(comm_high, comm_low * 1.1 + 10.0);
+}
+
+// Decode/plan round trip: applying the plan to the old partition yields the
+// new partition.
+TEST(Properties, PlanAppliesToOldGivesNew) {
+  const Hypergraph h = random_hypergraph(60, 120, 4, 2, 9);
+  const Partition old_p = random_partition(60, 4, 10);
+  RepartitionerConfig cfg;
+  cfg.alpha = 5;
+  cfg.partition.num_parts = 4;
+  cfg.partition.epsilon = 0.3;
+  const RepartitionResult r = hypergraph_repartition(h, old_p, cfg);
+  Partition applied = old_p;
+  for (const MigrationPlan::Move& m : r.plan.moves) {
+    EXPECT_EQ(applied[m.vertex], m.from);
+    applied[m.vertex] = m.to;
+  }
+  EXPECT_EQ(applied.assignment, r.partition.assignment);
+}
+
+// Scratch + remap preserves the scratch partition's cut exactly (labels
+// are permuted, never reassigned).
+TEST(Properties, RemapOnlyPermutes) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const Hypergraph h = random_hypergraph(60, 120, 4, 2, seed + 70);
+    const Partition old_p = random_partition(60, 3, seed + 80);
+    RepartitionerConfig cfg;
+    cfg.alpha = 1;
+    cfg.partition.num_parts = 3;
+    cfg.partition.seed = seed;
+    const RepartitionResult r = hypergraph_scratch(h, old_p, cfg);
+    const Partition fresh = partition_hypergraph(h, cfg.partition);
+    EXPECT_EQ(connectivity_cut(h, fresh),
+              connectivity_cut(h, r.partition));
+  }
+}
+
+}  // namespace
+}  // namespace hgr

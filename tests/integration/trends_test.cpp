@@ -1,0 +1,101 @@
+// Trend assertions: the qualitative observations of the paper's Section 5
+// must hold on the synthetic analogs. These are statistical, so they run a
+// few trials and assert on means.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/epoch_driver.hpp"
+#include "workload/datasets.hpp"
+#include "workload/perturb.hpp"
+
+namespace hgr {
+namespace {
+
+struct MeanCosts {
+  double comm = 0.0;
+  double mig = 0.0;
+  double total(double alpha) const { return comm + mig / alpha; }
+};
+
+MeanCosts mean_costs(RepartAlgorithm alg, Weight alpha, PartId k,
+                     int trials, bool weight_perturb = false) {
+  MeanCosts m;
+  for (int t = 0; t < trials; ++t) {
+    // Scale must be large enough that |V| dwarfs the cut, as in the paper's
+    // meshes — that regime is where migration dominates scratch methods.
+    const Graph base =
+        make_dataset("auto-like", 0.15, 100 + static_cast<std::uint64_t>(t));
+    std::unique_ptr<EpochScenario> scenario;
+    if (weight_perturb) {
+      scenario = std::make_unique<WeightPerturbScenario>(
+          base, WeightPerturbOptions{},
+          200 + static_cast<std::uint64_t>(t));
+    } else {
+      scenario = std::make_unique<StructuralPerturbScenario>(
+          base, StructuralPerturbOptions{},
+          200 + static_cast<std::uint64_t>(t));
+    }
+    RepartitionerConfig cfg;
+    cfg.alpha = alpha;
+    cfg.partition.num_parts = k;
+    cfg.partition.epsilon = 0.1;
+    cfg.partition.seed = 300 + static_cast<std::uint64_t>(t);
+    const EpochRunSummary s = run_epochs(*scenario, alg, cfg, 3);
+    m.comm += s.mean_comm_volume() / trials;
+    m.mig += s.mean_migration_volume() / trials;
+  }
+  return m;
+}
+
+// Paper: "The total cost using Zoltan-scratch and ParMETIS-scratch is
+// comparable to Zoltan-repart only when alpha is greater than 100" — at
+// alpha=1 the repartitioners win decisively.
+TEST(Trends, RepartBeatsScratchAtAlphaOne) {
+  const MeanCosts repart =
+      mean_costs(RepartAlgorithm::kHypergraphRepart, 1, 4, 2);
+  const MeanCosts scratch =
+      mean_costs(RepartAlgorithm::kHypergraphScratch, 1, 4, 2);
+  EXPECT_LT(repart.total(1.0), scratch.total(1.0));
+}
+
+// For the graph pair, the robust small-scale separation is migration
+// volume on the AMR (weight) workload: adaptive repartitioning migrates
+// only to rebalance, scratch re-lays-out everything. (The paper's
+// *total*-cost dominance additionally needs its 450k-vertex regime, where
+// |V| dwarfs the cut — the figure benches at larger scales show it.)
+TEST(Trends, GraphRepartMigratesLessThanGraphScratchOnAmr) {
+  const MeanCosts repart = mean_costs(RepartAlgorithm::kGraphRepart, 1, 4, 2,
+                                      /*weight_perturb=*/true);
+  const MeanCosts scratch = mean_costs(RepartAlgorithm::kGraphScratch, 1, 4,
+                                       2, /*weight_perturb=*/true);
+  EXPECT_LT(repart.mig, scratch.mig);
+}
+
+// Paper: "As alpha grows, migration cost decreases relative to
+// communication cost... the partitioners find smaller communication cost
+// with increasing alpha."
+TEST(Trends, LargerAlphaShiftsRepartTowardComm) {
+  const MeanCosts a1 = mean_costs(RepartAlgorithm::kHypergraphRepart, 1, 4, 2);
+  const MeanCosts a1000 =
+      mean_costs(RepartAlgorithm::kHypergraphRepart, 1000, 4, 2);
+  // At alpha=1000 the chosen partitions communicate no more (usually less)
+  // than the migration-dominated alpha=1 ones, and migrate more.
+  EXPECT_LE(a1000.comm, a1.comm * 1.15 + 5.0);
+  EXPECT_GE(a1000.mig, a1.mig);
+}
+
+// Scratch methods' migration dwarfs repart's at small alpha (the stacked
+// dark bars of Figures 2-6).
+TEST(Trends, ScratchMigrationDominatesRepartMigration) {
+  const MeanCosts repart =
+      mean_costs(RepartAlgorithm::kHypergraphRepart, 1, 4, 2);
+  const MeanCosts scratch =
+      mean_costs(RepartAlgorithm::kGraphScratch, 1, 4, 2);
+  // The structural workload forces some migration on everyone (deleted
+  // parts must be rebalanced); scratch still migrates well beyond that.
+  EXPECT_GT(scratch.mig, 1.25 * repart.mig);
+}
+
+}  // namespace
+}  // namespace hgr

@@ -1,0 +1,61 @@
+#include "metrics/balance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace hgr {
+namespace {
+
+TEST(Balance, PartWeights) {
+  const std::vector<Weight> w{1, 2, 3, 4};
+  Partition p(2, 4);
+  p[0] = p[3] = 0;
+  p[1] = p[2] = 1;
+  const auto pw = part_weights(w, p);
+  EXPECT_EQ(pw, (std::vector<Weight>{5, 5}));
+}
+
+TEST(Balance, PerfectBalanceIsZero) {
+  const std::vector<Weight> w{2, 2, 2, 2};
+  Partition p(2, 4);
+  p[0] = p[1] = 0;
+  p[2] = p[3] = 1;
+  EXPECT_DOUBLE_EQ(imbalance(w, p), 0.0);
+  EXPECT_TRUE(is_balanced(w, p, 0.0));
+}
+
+TEST(Balance, ImbalanceValue) {
+  const std::vector<Weight> w{3, 1};
+  Partition p(2, 2);
+  p[0] = 0;
+  p[1] = 1;
+  // Weights 3 vs 1, avg 2 => imbalance 0.5.
+  EXPECT_DOUBLE_EQ(imbalance(w, p), 0.5);
+  EXPECT_FALSE(is_balanced(w, p, 0.4));
+  EXPECT_TRUE(is_balanced(w, p, 0.5));
+}
+
+TEST(Balance, EmptyPartCounts) {
+  const std::vector<Weight> w{1, 1};
+  Partition p(3, 2);
+  p[0] = 0;
+  p[1] = 0;
+  // Parts: {2, 0, 0}; avg 2/3 => imbalance = 2/(2/3) - 1 = 2.
+  EXPECT_DOUBLE_EQ(imbalance(w, p), 2.0);
+}
+
+TEST(Balance, ZeroTotalWeight) {
+  const std::vector<Weight> w{0, 0};
+  Partition p(2, 2);
+  EXPECT_DOUBLE_EQ(imbalance(w, p), 0.0);
+}
+
+TEST(Balance, ImbalanceOfDirect) {
+  EXPECT_DOUBLE_EQ(imbalance_of({4, 4, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(imbalance_of({6, 3, 3}), 0.5);
+  EXPECT_DOUBLE_EQ(imbalance_of({}), 0.0);
+}
+
+}  // namespace
+}  // namespace hgr

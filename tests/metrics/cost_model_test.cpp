@@ -1,0 +1,58 @@
+#include "metrics/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/cut.hpp"
+#include "metrics/migration.hpp"
+#include "test_util.hpp"
+
+namespace hgr {
+namespace {
+
+using testing::make_graph;
+using testing::make_hypergraph;
+
+TEST(CostModel, TotalAndNormalized) {
+  RepartitionCost c;
+  c.comm_volume = 10;
+  c.migration_volume = 40;
+  c.alpha = 4;
+  EXPECT_EQ(c.total(), 80);
+  EXPECT_DOUBLE_EQ(c.normalized_total(), 20.0);
+}
+
+TEST(CostModel, EvaluateHypergraph) {
+  const Hypergraph h = make_hypergraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  Partition old_p(2, 4), new_p(2, 4);
+  old_p[0] = old_p[1] = 0; old_p[2] = old_p[3] = 1;
+  new_p[0] = 0; new_p[1] = new_p[2] = new_p[3] = 1;  // vertex 1 moved
+  const RepartitionCost c = evaluate_repartition(h, old_p, new_p, 7);
+  EXPECT_EQ(c.alpha, 7);
+  EXPECT_EQ(c.comm_volume, connectivity_cut(h, new_p));
+  EXPECT_EQ(c.migration_volume,
+            migration_volume(h.vertex_sizes(), old_p, new_p));
+  EXPECT_EQ(c.migration_volume, 1);
+}
+
+TEST(CostModel, EvaluateGraph) {
+  const Graph g = make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  Partition old_p(2, 4), new_p(2, 4);
+  old_p[0] = old_p[1] = 0; old_p[2] = old_p[3] = 1;
+  new_p = old_p;
+  const RepartitionCost c = evaluate_repartition(g, old_p, new_p, 3);
+  EXPECT_EQ(c.comm_volume, 1);  // edge {1,2}
+  EXPECT_EQ(c.migration_volume, 0);
+  EXPECT_EQ(c.total(), 3);
+}
+
+TEST(CostModel, AlphaOneWeighsEqually) {
+  RepartitionCost c;
+  c.comm_volume = 3;
+  c.migration_volume = 5;
+  c.alpha = 1;
+  EXPECT_EQ(c.total(), 8);
+  EXPECT_DOUBLE_EQ(c.normalized_total(), 8.0);
+}
+
+}  // namespace
+}  // namespace hgr

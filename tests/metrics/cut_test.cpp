@@ -1,0 +1,98 @@
+#include "metrics/cut.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace hgr {
+namespace {
+
+using testing::brute_force_connectivity_cut;
+using testing::make_graph;
+using testing::make_hypergraph;
+using testing::random_hypergraph;
+using testing::random_partition;
+
+TEST(Cut, UncutNetContributesNothing) {
+  const Hypergraph h = make_hypergraph(4, {{0, 1}, {2, 3}});
+  Partition p(2, 4);
+  p[0] = p[1] = 0;
+  p[2] = p[3] = 1;
+  EXPECT_EQ(connectivity_cut(h, p), 0);
+  EXPECT_EQ(num_cut_nets(h, p), 0);
+}
+
+TEST(Cut, ConnectivityMinusOne) {
+  // One net spanning 3 parts: contributes cost * 2.
+  HypergraphBuilder b(3);
+  b.add_net({0, 1, 2}, 5);
+  const Hypergraph h = b.finalize();
+  Partition p(3, 3);
+  p[0] = 0;
+  p[1] = 1;
+  p[2] = 2;
+  EXPECT_EQ(net_connectivity(h, p, 0), 3);
+  EXPECT_EQ(connectivity_cut(h, p), 10);
+  EXPECT_EQ(cut_net_cost(h, p), 5);
+  EXPECT_EQ(num_cut_nets(h, p), 1);
+}
+
+TEST(Cut, RangeSplitsCut) {
+  const Hypergraph h =
+      make_hypergraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  Partition p(2, 4);
+  p[0] = p[1] = 0;
+  p[2] = p[3] = 1;  // only net {1,2} is cut
+  EXPECT_EQ(connectivity_cut_range(h, p, 0, 1), 0);
+  EXPECT_EQ(connectivity_cut_range(h, p, 1, 2), 1);
+  EXPECT_EQ(connectivity_cut_range(h, p, 0, 3), 1);
+}
+
+TEST(Cut, MatchesBruteForceOnRandomInstances) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Hypergraph h = random_hypergraph(40, 80, 6, 5, seed);
+    const Partition p = random_partition(40, 5, seed + 100);
+    EXPECT_EQ(connectivity_cut(h, p), brute_force_connectivity_cut(h, p));
+  }
+}
+
+TEST(Cut, EdgeCutBasics) {
+  const Graph g = make_graph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  Partition p(2, 4);
+  p[0] = p[1] = 0;
+  p[2] = p[3] = 1;
+  EXPECT_EQ(edge_cut(g, p), 2);
+}
+
+TEST(Cut, EdgeCutWeighted) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 9);
+  const Graph g = b.finalize();
+  Partition p(2, 2);
+  p[0] = 0;
+  p[1] = 1;
+  EXPECT_EQ(edge_cut(g, p), 9);
+  p[1] = 0;
+  EXPECT_EQ(edge_cut(g, p), 0);
+}
+
+TEST(Cut, SinglePartPartitionHasZeroCut) {
+  const Hypergraph h = random_hypergraph(20, 30, 5, 3, 1);
+  const Partition p(1, 20, 0);
+  EXPECT_EQ(connectivity_cut(h, p), 0);
+}
+
+// Paper Section 2.1 example embedded in Figure 1 (left): three cut nets,
+// each with connectivity 2 and unit cost => total volume 3.
+TEST(Cut, PaperEpochJm1Example) {
+  // Nine vertices in three parts of three. Nets chosen so that exactly
+  // three nets are cut with connectivity 2 each.
+  const Hypergraph h = make_hypergraph(
+      9, {{0, 1, 2}, {3, 4, 5}, {6, 7, 8}, {2, 3}, {5, 6}, {0, 8}});
+  Partition p(3, 9);
+  for (Index v = 0; v < 9; ++v) p[v] = v / 3;
+  EXPECT_EQ(connectivity_cut(h, p), 3);
+}
+
+}  // namespace
+}  // namespace hgr

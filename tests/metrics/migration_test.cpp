@@ -1,0 +1,77 @@
+#include "metrics/migration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace hgr {
+namespace {
+
+using testing::random_partition;
+
+TEST(Migration, NoChangeNoVolume) {
+  const std::vector<Weight> sizes{1, 2, 3};
+  const Partition p = random_partition(3, 2, 1);
+  EXPECT_EQ(migration_volume(sizes, p, p), 0);
+  EXPECT_EQ(num_migrated(p, p), 0);
+}
+
+TEST(Migration, VolumeCountsMovedSizes) {
+  const std::vector<Weight> sizes{5, 7, 11};
+  Partition a(2, 3), b(2, 3);
+  a[0] = 0; a[1] = 0; a[2] = 1;
+  b[0] = 1; b[1] = 0; b[2] = 1;  // only vertex 0 moved
+  EXPECT_EQ(migration_volume(sizes, a, b), 5);
+  EXPECT_EQ(num_migrated(a, b), 1);
+}
+
+TEST(Migration, OverlapMatrix) {
+  const std::vector<Weight> sizes{1, 1, 1, 1};
+  Partition a(2, 4), b(2, 4);
+  a[0] = a[1] = 0; a[2] = a[3] = 1;
+  b[0] = 0; b[1] = 1; b[2] = 1; b[3] = 0;
+  const auto overlap = part_overlap_sizes(sizes, a, b);
+  EXPECT_EQ(overlap[0][0], 1);
+  EXPECT_EQ(overlap[0][1], 1);
+  EXPECT_EQ(overlap[1][0], 1);
+  EXPECT_EQ(overlap[1][1], 1);
+}
+
+TEST(Migration, RemapRecoversRelabeledPartition) {
+  // new_p is old_p with labels swapped: remap should undo it entirely.
+  const std::vector<Weight> sizes(12, 1);
+  Partition old_p(3, 12);
+  for (Index v = 0; v < 12; ++v) old_p[v] = v % 3;
+  Partition new_p(3, 12);
+  for (Index v = 0; v < 12; ++v) new_p[v] = (v + 1) % 3;  // relabel 0->1 etc.
+  const Partition remapped = remap_parts_for_migration(sizes, old_p, new_p);
+  EXPECT_EQ(migration_volume(sizes, old_p, remapped), 0);
+}
+
+TEST(Migration, RemapNeverIncreasesMigration) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    std::vector<Weight> sizes(40);
+    Rng rng(seed);
+    for (auto& s : sizes) s = 1 + static_cast<Weight>(rng.below(5));
+    const Partition old_p = random_partition(40, 5, seed * 2 + 1);
+    const Partition new_p = random_partition(40, 5, seed * 2 + 2);
+    const Partition remapped =
+        remap_parts_for_migration(sizes, old_p, new_p);
+    EXPECT_LE(migration_volume(sizes, old_p, remapped),
+              migration_volume(sizes, old_p, new_p));
+  }
+}
+
+TEST(Migration, RemapIsAPermutationOfLabels) {
+  const std::vector<Weight> sizes(20, 1);
+  const Partition old_p = random_partition(20, 4, 3);
+  const Partition new_p = random_partition(20, 4, 4);
+  const Partition remapped = remap_parts_for_migration(sizes, old_p, new_p);
+  // Two vertices share a part in new_p iff they share one in remapped.
+  for (Index u = 0; u < 20; ++u)
+    for (Index v = 0; v < 20; ++v)
+      EXPECT_EQ(new_p[u] == new_p[v], remapped[u] == remapped[v]);
+}
+
+}  // namespace
+}  // namespace hgr

@@ -1,0 +1,52 @@
+#include "metrics/partition_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.hpp"
+
+namespace hgr {
+namespace {
+
+TEST(PartitionIo, RoundTrip) {
+  const Partition p = testing::random_partition(25, 5, 3);
+  std::stringstream ss;
+  write_partition(p, ss);
+  const Partition back = read_partition(ss, 25, 5);
+  EXPECT_EQ(back.assignment, p.assignment);
+  EXPECT_EQ(back.k, 5);
+}
+
+TEST(PartitionIo, InfersKWithoutHint) {
+  std::stringstream ss("0\n2\n1\n2\n");
+  const Partition p = read_partition(ss, 4);
+  EXPECT_EQ(p.k, 3);
+  EXPECT_EQ(p[1], 2);
+}
+
+TEST(PartitionIo, RejectsShortFile) {
+  std::stringstream ss("0\n1\n");
+  EXPECT_THROW(read_partition(ss, 3), std::runtime_error);
+}
+
+TEST(PartitionIo, RejectsOutOfRangeWithHint) {
+  std::stringstream ss("0\n7\n");
+  EXPECT_THROW(read_partition(ss, 2, 4), std::runtime_error);
+}
+
+TEST(PartitionIo, RejectsNegative) {
+  std::stringstream ss("0\n-1\n");
+  EXPECT_THROW(read_partition(ss, 2), std::runtime_error);
+}
+
+TEST(PartitionIo, FileRoundTrip) {
+  const Partition p = testing::random_partition(10, 3, 7);
+  const std::string path = ::testing::TempDir() + "/hgr_parts_test.txt";
+  write_partition_file(p, path);
+  const Partition back = read_partition_file(path, 10, 3);
+  EXPECT_EQ(back.assignment, p.assignment);
+}
+
+}  // namespace
+}  // namespace hgr

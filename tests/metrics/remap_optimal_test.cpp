@@ -1,0 +1,94 @@
+#include "metrics/remap_optimal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "metrics/migration.hpp"
+#include "test_util.hpp"
+
+namespace hgr {
+namespace {
+
+using testing::random_partition;
+
+TEST(MaxAssignment, TrivialIdentity) {
+  const std::vector<std::vector<Weight>> w{{5, 1}, {1, 5}};
+  EXPECT_EQ(max_assignment(w), (std::vector<Index>{0, 1}));
+}
+
+TEST(MaxAssignment, CrossIsBetter) {
+  const std::vector<std::vector<Weight>> w{{1, 9}, {9, 1}};
+  EXPECT_EQ(max_assignment(w), (std::vector<Index>{1, 0}));
+}
+
+TEST(MaxAssignment, MatchesBruteForceOnRandomMatrices) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Index n = 2 + static_cast<Index>(rng.below(4));  // up to 5
+    std::vector<std::vector<Weight>> w(
+        static_cast<std::size_t>(n),
+        std::vector<Weight>(static_cast<std::size_t>(n)));
+    for (auto& row : w)
+      for (auto& x : row) x = static_cast<Weight>(rng.below(100));
+
+    const std::vector<Index> got = max_assignment(w);
+    Weight got_value = 0;
+    for (Index r = 0; r < n; ++r)
+      got_value += w[static_cast<std::size_t>(r)][static_cast<std::size_t>(
+          got[static_cast<std::size_t>(r)])];
+
+    std::vector<Index> perm(static_cast<std::size_t>(n));
+    for (Index i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+    Weight best = 0;
+    do {
+      Weight value = 0;
+      for (Index r = 0; r < n; ++r)
+        value += w[static_cast<std::size_t>(r)][static_cast<std::size_t>(
+            perm[static_cast<std::size_t>(r)])];
+      best = std::max(best, value);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_EQ(got_value, best) << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST(RemapOptimal, NeverWorseThanGreedy) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    std::vector<Weight> sizes(60);
+    Rng rng(seed);
+    for (auto& s : sizes) s = 1 + static_cast<Weight>(rng.below(6));
+    const Partition old_p = random_partition(60, 6, seed * 3 + 1);
+    const Partition new_p = random_partition(60, 6, seed * 3 + 2);
+    const Partition greedy =
+        remap_parts_for_migration(sizes, old_p, new_p);
+    const Partition optimal = remap_parts_optimal(sizes, old_p, new_p);
+    EXPECT_LE(migration_volume(sizes, old_p, optimal),
+              migration_volume(sizes, old_p, greedy));
+    // And never worse than the unmapped labels.
+    EXPECT_LE(migration_volume(sizes, old_p, optimal),
+              migration_volume(sizes, old_p, new_p));
+  }
+}
+
+TEST(RemapOptimal, RecoversPermutedLabelsExactly) {
+  const std::vector<Weight> sizes(20, 1);
+  Partition old_p(4, 20);
+  for (Index v = 0; v < 20; ++v) old_p[v] = v % 4;
+  Partition new_p(4, 20);
+  for (Index v = 0; v < 20; ++v) new_p[v] = (old_p[v] + 3) % 4;
+  const Partition remapped = remap_parts_optimal(sizes, old_p, new_p);
+  EXPECT_EQ(migration_volume(sizes, old_p, remapped), 0);
+}
+
+TEST(RemapOptimal, IsAPermutationOfLabels) {
+  const std::vector<Weight> sizes(30, 2);
+  const Partition old_p = random_partition(30, 5, 11);
+  const Partition new_p = random_partition(30, 5, 12);
+  const Partition remapped = remap_parts_optimal(sizes, old_p, new_p);
+  for (Index u = 0; u < 30; ++u)
+    for (Index v = 0; v < 30; ++v)
+      EXPECT_EQ(new_p[u] == new_p[v], remapped[u] == remapped[v]);
+}
+
+}  // namespace
+}  // namespace hgr

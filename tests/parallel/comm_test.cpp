@@ -1,0 +1,157 @@
+#include "parallel/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace hgr {
+namespace {
+
+TEST(Comm, SingleRankRuns) {
+  Comm comm(1);
+  std::atomic<int> ran{0};
+  comm.run([&](RankContext& ctx) {
+    EXPECT_EQ(ctx.rank(), 0);
+    EXPECT_EQ(ctx.size(), 1);
+    ++ran;
+  });
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(Comm, AllRanksLaunch) {
+  Comm comm(4);
+  std::atomic<int> mask{0};
+  comm.run([&](RankContext& ctx) { mask |= 1 << ctx.rank(); });
+  EXPECT_EQ(mask.load(), 0b1111);
+}
+
+TEST(Comm, PointToPointRoundTrip) {
+  Comm comm(2);
+  comm.run([](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      const std::vector<std::int64_t> payload{1, 2, 3};
+      ctx.send<std::int64_t>(1, 7, payload);
+      const auto reply = ctx.recv<std::int64_t>(1, 8);
+      EXPECT_EQ(reply, (std::vector<std::int64_t>{6}));
+    } else {
+      const auto msg = ctx.recv<std::int64_t>(0, 7);
+      EXPECT_EQ(msg.size(), 3u);
+      const std::vector<std::int64_t> reply{
+          std::accumulate(msg.begin(), msg.end(), std::int64_t{0})};
+      ctx.send<std::int64_t>(0, 8, reply);
+    }
+  });
+  EXPECT_GT(comm.total_stats().bytes_sent, 0u);
+}
+
+TEST(Comm, MessagesWithSameTagArriveInOrder) {
+  Comm comm(2);
+  comm.run([](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      for (std::int32_t i = 0; i < 10; ++i)
+        ctx.send<std::int32_t>(1, 1, std::vector<std::int32_t>{i});
+    } else {
+      for (std::int32_t i = 0; i < 10; ++i) {
+        const auto m = ctx.recv<std::int32_t>(0, 1);
+        EXPECT_EQ(m[0], i);
+      }
+    }
+  });
+}
+
+TEST(Comm, BarrierSynchronizes) {
+  Comm comm(3);
+  std::atomic<int> phase1{0};
+  comm.run([&](RankContext& ctx) {
+    ++phase1;
+    ctx.barrier();
+    EXPECT_EQ(phase1.load(), 3);  // nobody passes before everyone arrives
+  });
+}
+
+TEST(Comm, AllgatherCollectsInRankOrder) {
+  Comm comm(4);
+  comm.run([](RankContext& ctx) {
+    const std::vector<std::int32_t> mine{ctx.rank(), ctx.rank() * 10};
+    const auto all = ctx.allgather(mine);
+    ASSERT_EQ(all.size(), 4u);
+    for (int r = 0; r < 4; ++r) {
+      ASSERT_EQ(all[static_cast<std::size_t>(r)].size(), 2u);
+      EXPECT_EQ(all[static_cast<std::size_t>(r)][0], r);
+      EXPECT_EQ(all[static_cast<std::size_t>(r)][1], r * 10);
+    }
+  });
+}
+
+TEST(Comm, AllgatherHandlesEmptyContributions) {
+  Comm comm(3);
+  comm.run([](RankContext& ctx) {
+    const std::vector<std::int32_t> mine =
+        ctx.rank() == 1 ? std::vector<std::int32_t>{5}
+                        : std::vector<std::int32_t>{};
+    const auto all = ctx.allgather(mine);
+    EXPECT_TRUE(all[0].empty());
+    EXPECT_EQ(all[1], (std::vector<std::int32_t>{5}));
+    EXPECT_TRUE(all[2].empty());
+  });
+}
+
+TEST(Comm, Allreduce) {
+  Comm comm(4);
+  comm.run([](RankContext& ctx) {
+    EXPECT_EQ(ctx.allreduce_sum<std::int64_t>(ctx.rank() + 1), 10);
+    EXPECT_EQ(ctx.allreduce_max<std::int64_t>(ctx.rank()), 3);
+    EXPECT_EQ(ctx.allreduce_min<std::int64_t>(ctx.rank()), 0);
+  });
+}
+
+TEST(Comm, Bcast) {
+  Comm comm(3);
+  comm.run([](RankContext& ctx) {
+    const std::vector<std::int32_t> mine =
+        ctx.rank() == 2 ? std::vector<std::int32_t>{42, 43}
+                        : std::vector<std::int32_t>{};
+    const auto got = ctx.bcast(mine, 2);
+    EXPECT_EQ(got, (std::vector<std::int32_t>{42, 43}));
+  });
+}
+
+TEST(Comm, Alltoallv) {
+  Comm comm(3);
+  comm.run([](RankContext& ctx) {
+    std::vector<std::vector<std::int32_t>> outgoing(3);
+    for (int d = 0; d < 3; ++d)
+      outgoing[static_cast<std::size_t>(d)] = {ctx.rank() * 10 + d};
+    const auto incoming = ctx.alltoallv(outgoing);
+    ASSERT_EQ(incoming.size(), 3u);
+    for (int s = 0; s < 3; ++s)
+      EXPECT_EQ(incoming[static_cast<std::size_t>(s)],
+                (std::vector<std::int32_t>{s * 10 + ctx.rank()}));
+  });
+}
+
+TEST(Comm, TrafficCountersExcludeSelfSends) {
+  Comm comm(2);
+  comm.run([](RankContext& ctx) {
+    ctx.send<std::int32_t>(ctx.rank(), 1, std::vector<std::int32_t>{1});
+    const auto m = ctx.recv<std::int32_t>(ctx.rank(), 1);
+    EXPECT_EQ(m[0], 1);
+    ctx.barrier();
+  });
+  EXPECT_EQ(comm.total_stats().bytes_sent, 0u);
+  EXPECT_GT(comm.total_stats().collectives, 0u);
+}
+
+TEST(Comm, ReusableAcrossRuns) {
+  Comm comm(2);
+  for (int run = 0; run < 3; ++run) {
+    comm.run([run](RankContext& ctx) {
+      const auto sum = ctx.allreduce_sum<std::int32_t>(run);
+      EXPECT_EQ(sum, 2 * run);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace hgr

@@ -1,0 +1,93 @@
+#include "parallel/par_refine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "metrics/balance.hpp"
+#include "metrics/cut.hpp"
+#include "test_util.hpp"
+
+namespace hgr {
+namespace {
+
+using testing::random_hypergraph;
+using testing::random_partition;
+
+TEST(ParRefine, NeverWorsensCutAndRanksAgree) {
+  const Hypergraph h = random_hypergraph(80, 160, 5, 3, 3);
+  const Partition start = random_partition(80, 4, 7);
+  PartitionConfig cfg;
+  cfg.num_parts = 4;
+  cfg.epsilon = 0.5;  // random start is unbalanced; allow generous cap
+
+  Comm comm(3);
+  std::mutex m;
+  std::vector<Partition> results;
+  std::vector<ParRefineResult> stats;
+  comm.run([&](RankContext& ctx) {
+    Partition p = start;
+    const ParRefineResult r = parallel_refine(ctx, h, p, cfg, 99);
+    std::lock_guard lock(m);
+    results.push_back(std::move(p));
+    stats.push_back(r);
+  });
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t i = 1; i < results.size(); ++i)
+    EXPECT_EQ(results[i].assignment, results[0].assignment);
+  EXPECT_LE(stats[0].final_cut, stats[0].initial_cut);
+  EXPECT_EQ(stats[0].final_cut, connectivity_cut(h, results[0]));
+}
+
+TEST(ParRefine, RespectsFixedVertices) {
+  Hypergraph h = random_hypergraph(60, 120, 4, 2, 5);
+  std::vector<PartId> fixed(60, kNoPart);
+  fixed[0] = 2;
+  fixed[5] = 1;
+  h.set_fixed_parts(fixed);
+  Partition start = random_partition(60, 3, 9);
+  start[0] = 2;
+  start[5] = 1;
+  PartitionConfig cfg;
+  cfg.num_parts = 3;
+  cfg.epsilon = 0.5;
+  Comm comm(2);
+  std::mutex m;
+  Partition result;
+  comm.run([&](RankContext& ctx) {
+    Partition p = start;
+    parallel_refine(ctx, h, p, cfg, 3);
+    if (ctx.rank() == 0) {
+      std::lock_guard lock(m);
+      result = std::move(p);
+    }
+  });
+  EXPECT_EQ(result[0], 2);
+  EXPECT_EQ(result[5], 1);
+}
+
+TEST(ParRefine, RespectsBalanceCap) {
+  const Hypergraph h = random_hypergraph(90, 180, 4, 2, 11);
+  // Balanced round-robin start.
+  Partition start(3, 90);
+  for (Index v = 0; v < 90; ++v) start[v] = static_cast<PartId>(v % 3);
+  PartitionConfig cfg;
+  cfg.num_parts = 3;
+  cfg.epsilon = 0.2;
+  Comm comm(4);
+  std::mutex m;
+  Partition result;
+  comm.run([&](RankContext& ctx) {
+    Partition p = start;
+    parallel_refine(ctx, h, p, cfg, 17);
+    if (ctx.rank() == 0) {
+      std::lock_guard lock(m);
+      result = std::move(p);
+    }
+  });
+  EXPECT_LE(imbalance(h.vertex_weights(), result),
+            imbalance(h.vertex_weights(), start) + cfg.epsilon + 0.05);
+}
+
+}  // namespace
+}  // namespace hgr

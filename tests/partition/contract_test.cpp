@@ -1,0 +1,130 @@
+#include "partition/contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/cut.hpp"
+#include "partition/matching_ipm.hpp"
+#include "test_util.hpp"
+
+namespace hgr {
+namespace {
+
+using testing::make_hypergraph;
+using testing::random_hypergraph;
+
+std::vector<Index> identity_match(Index n) {
+  std::vector<Index> m(static_cast<std::size_t>(n));
+  for (Index v = 0; v < n; ++v) m[static_cast<std::size_t>(v)] = v;
+  return m;
+}
+
+TEST(Contract, IdentityMatchingKeepsSizes) {
+  const Hypergraph h = make_hypergraph(4, {{0, 1}, {1, 2, 3}});
+  const CoarseLevel level = contract(h, identity_match(4));
+  EXPECT_EQ(level.coarse.num_vertices(), 4);
+  EXPECT_EQ(level.coarse.num_nets(), 2);
+  level.coarse.validate();
+}
+
+TEST(Contract, MergedPairSumsWeightsAndSizes) {
+  HypergraphBuilder b(4);
+  b.add_net({0, 1});
+  b.add_net({2, 3});
+  b.set_vertex_weight(0, 3);
+  b.set_vertex_weight(1, 4);
+  b.set_vertex_size(0, 5);
+  b.set_vertex_size(1, 6);
+  const Hypergraph h = b.finalize();
+  auto match = identity_match(4);
+  match[0] = 1;
+  match[1] = 0;
+  const CoarseLevel level = contract(h, match);
+  EXPECT_EQ(level.coarse.num_vertices(), 3);
+  const Index c01 = level.fine_to_coarse[0];
+  EXPECT_EQ(level.fine_to_coarse[1], c01);
+  EXPECT_EQ(level.coarse.vertex_weight(c01), 7);
+  EXPECT_EQ(level.coarse.vertex_size(c01), 11);
+}
+
+TEST(Contract, InternalNetDisappears) {
+  const Hypergraph h = make_hypergraph(3, {{0, 1}, {1, 2}});
+  auto match = identity_match(3);
+  match[0] = 1;
+  match[1] = 0;
+  const CoarseLevel level = contract(h, match);
+  // Net {0,1} collapsed to one pin and vanished; {1,2} survives.
+  EXPECT_EQ(level.coarse.num_nets(), 1);
+  EXPECT_EQ(level.coarse.net_size(0), 2);
+}
+
+TEST(Contract, IdenticalNetsMergeWithSummedCost) {
+  HypergraphBuilder b(4);
+  b.add_net({0, 2}, 3);
+  b.add_net({1, 3}, 4);
+  const Hypergraph h = b.finalize();
+  auto match = identity_match(4);
+  match[0] = 1;
+  match[1] = 0;
+  match[2] = 3;
+  match[3] = 2;
+  // Both nets map to {c01, c23}: they must merge into one of cost 7.
+  const CoarseLevel level = contract(h, match);
+  EXPECT_EQ(level.coarse.num_nets(), 1);
+  EXPECT_EQ(level.coarse.net_cost(0), 7);
+}
+
+TEST(Contract, FixedPartPropagates) {
+  HypergraphBuilder b(4);
+  b.add_net({0, 1});
+  b.add_net({2, 3});
+  b.set_fixed_part(0, 2);
+  const Hypergraph h = b.finalize();
+  auto match = identity_match(4);
+  match[0] = 1;
+  match[1] = 0;
+  const CoarseLevel level = contract(h, match);
+  EXPECT_EQ(level.coarse.fixed_part(level.fine_to_coarse[0]), 2);
+  EXPECT_EQ(level.coarse.fixed_part(level.fine_to_coarse[2]), kNoPart);
+}
+
+TEST(Contract, TotalWeightInvariant) {
+  const Hypergraph h = random_hypergraph(80, 150, 5, 3, 5);
+  Rng rng(6);
+  PartitionConfig cfg;
+  const auto match = ipm_matching(h, cfg, 0, rng);
+  const CoarseLevel level = contract(h, match);
+  EXPECT_EQ(level.coarse.total_vertex_weight(), h.total_vertex_weight());
+  level.coarse.validate();
+}
+
+TEST(Contract, CutPreservedUnderProjection) {
+  // Partitioning the coarse hypergraph and projecting up must give the
+  // same connectivity cut (nets that vanished were internal to a coarse
+  // vertex and cannot be cut by a projected partition).
+  const Hypergraph h = random_hypergraph(60, 120, 4, 4, 7);
+  Rng rng(8);
+  PartitionConfig cfg;
+  const auto match = ipm_matching(h, cfg, 0, rng);
+  const CoarseLevel level = contract(h, match);
+
+  const Partition coarse_p =
+      testing::random_partition(level.coarse.num_vertices(), 3, 99);
+  Partition fine_p(3, h.num_vertices());
+  for (Index v = 0; v < h.num_vertices(); ++v)
+    fine_p[v] = coarse_p[level.fine_to_coarse[static_cast<std::size_t>(v)]];
+  EXPECT_EQ(connectivity_cut(level.coarse, coarse_p),
+            connectivity_cut(h, fine_p));
+}
+
+TEST(ContractDeathTest, IncompatibleFixedPairAborts) {
+  HypergraphBuilder b(2);
+  b.add_net({0, 1});
+  b.set_fixed_part(0, 0);
+  b.set_fixed_part(1, 1);
+  const Hypergraph h = b.finalize();
+  std::vector<Index> match{1, 0};
+  EXPECT_DEATH(contract(h, match), "incompatible fixed");
+}
+
+}  // namespace
+}  // namespace hgr

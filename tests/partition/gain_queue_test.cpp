@@ -1,0 +1,64 @@
+#include "partition/gain_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hgr {
+namespace {
+
+TEST(GainQueue, HeapBackendBasics) {
+  GainQueue q(4, 100, GainQueueKind::kHeap);
+  EXPECT_FALSE(q.uses_buckets());
+  q.insert(0, 5);
+  q.insert(1, -3);
+  EXPECT_EQ(q.top(), 0);
+  EXPECT_EQ(q.top_gain(), 5);
+  q.adjust(1, 50);
+  EXPECT_EQ(q.top(), 1);
+  EXPECT_EQ(q.gain(1), 50);
+  q.remove(1);
+  EXPECT_EQ(q.pop(), 0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(GainQueue, BucketBackendBasics) {
+  GainQueue q(4, 100, GainQueueKind::kBucket);
+  EXPECT_TRUE(q.uses_buckets());
+  q.insert(0, 5);
+  q.insert(1, -3);
+  EXPECT_EQ(q.top(), 0);
+  q.adjust(0, -100);
+  EXPECT_EQ(q.top(), 1);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.contains(0));
+}
+
+TEST(GainQueue, BucketRequestFallsBackToHeapOnHugeRange) {
+  // alpha-scaled costs can push the gain range past any sane bucket array.
+  GainQueue q(4, GainQueue::kMaxBucketRange + 1, GainQueueKind::kBucket);
+  EXPECT_FALSE(q.uses_buckets());
+  q.insert(0, GainQueue::kMaxBucketRange);  // still representable
+  EXPECT_EQ(q.top_gain(), GainQueue::kMaxBucketRange);
+}
+
+TEST(GainQueue, BackendsAgreeOnSequence) {
+  GainQueue heap(8, 50, GainQueueKind::kHeap);
+  GainQueue bucket(8, 50, GainQueueKind::kBucket);
+  const Weight gains[8] = {3, -7, 50, 0, 12, -50, 12, 1};
+  for (Index i = 0; i < 8; ++i) {
+    heap.insert(i, gains[i]);
+    bucket.insert(i, gains[i]);
+  }
+  heap.adjust(3, 49);
+  bucket.adjust(3, 49);
+  // Pop order may differ on ties, but the gain sequence must match.
+  while (!heap.empty()) {
+    EXPECT_EQ(heap.top_gain(), bucket.top_gain());
+    heap.pop();
+    bucket.pop();
+  }
+  EXPECT_TRUE(bucket.empty());
+}
+
+}  // namespace
+}  // namespace hgr

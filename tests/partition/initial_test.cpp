@@ -1,0 +1,115 @@
+#include "partition/initial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/cut.hpp"
+#include "test_util.hpp"
+
+namespace hgr {
+namespace {
+
+using testing::make_hypergraph;
+using testing::random_hypergraph;
+
+BisectionTargets even_targets(const Hypergraph& h, double eps = 0.1) {
+  BisectionTargets t;
+  t.target0 = h.total_vertex_weight() / 2;
+  t.target1 = h.total_vertex_weight() - t.target0;
+  t.epsilon = eps;
+  return t;
+}
+
+Weight side_weight(const Hypergraph& h, const std::vector<PartId>& side,
+                   PartId s) {
+  Weight w = 0;
+  for (Index v = 0; v < h.num_vertices(); ++v)
+    if (side[static_cast<std::size_t>(v)] == s) w += h.vertex_weight(v);
+  return w;
+}
+
+TEST(GreedyGrowing, ProducesTwoSides) {
+  const Hypergraph h = random_hypergraph(40, 80, 4, 2, 3);
+  Rng rng(1);
+  const auto side = greedy_growing_bisection(h, even_targets(h), rng);
+  ASSERT_EQ(side.size(), 40u);
+  for (const PartId s : side) EXPECT_TRUE(s == 0 || s == 1);
+  EXPECT_GT(side_weight(h, side, 0), 0);
+  EXPECT_GT(side_weight(h, side, 1), 0);
+}
+
+TEST(GreedyGrowing, ReachesTargetWeightApproximately) {
+  const Hypergraph h = random_hypergraph(100, 200, 4, 2, 5);
+  Rng rng(2);
+  const BisectionTargets t = even_targets(h, 0.1);
+  const auto side = greedy_growing_bisection(h, t, rng);
+  const Weight w0 = side_weight(h, side, 0);
+  EXPECT_GE(w0, static_cast<Weight>(t.target0 * 0.7));
+  EXPECT_LE(w0, t.max_weight(0));
+}
+
+TEST(GreedyGrowing, HonorsFixedVertices) {
+  HypergraphBuilder b(6);
+  b.add_net({0, 1, 2});
+  b.add_net({3, 4, 5});
+  b.add_net({2, 3});
+  b.set_fixed_part(0, 0);
+  b.set_fixed_part(5, 1);
+  const Hypergraph h = b.finalize();
+  Rng rng(3);
+  const auto side = greedy_growing_bisection(h, even_targets(h), rng);
+  EXPECT_EQ(side[0], 0);
+  EXPECT_EQ(side[5], 1);
+}
+
+TEST(GreedyGrowing, AllFixedIsRespectedVerbatim) {
+  HypergraphBuilder b(4);
+  b.add_net({0, 1, 2, 3});
+  for (Index v = 0; v < 4; ++v)
+    b.set_fixed_part(v, v % 2);
+  const Hypergraph h = b.finalize();
+  Rng rng(4);
+  const auto side = greedy_growing_bisection(h, even_targets(h), rng);
+  for (Index v = 0; v < 4; ++v) EXPECT_EQ(side[static_cast<std::size_t>(v)],
+                                          v % 2);
+}
+
+TEST(GreedyGrowing, DisconnectedHypergraphStillFillsSideZero) {
+  // Two components; growth must reseed across the gap.
+  const Hypergraph h = make_hypergraph(8, {{0, 1}, {2, 3}, {4, 5}, {6, 7}});
+  Rng rng(5);
+  const BisectionTargets t = even_targets(h, 0.05);
+  const auto side = greedy_growing_bisection(h, t, rng);
+  EXPECT_EQ(side_weight(h, side, 0), 4);
+}
+
+TEST(InitialBisection, MultiTrialNotWorseThanSingle) {
+  const Hypergraph h = random_hypergraph(60, 150, 4, 3, 9);
+  const BisectionTargets t = even_targets(h);
+  Rng rng1(7), rng8(7);
+  const auto one = initial_bisection(h, t, 1, rng1);
+  const auto eight = initial_bisection(h, t, 8, rng8);
+
+  const auto cut = [&](const std::vector<PartId>& side) {
+    Partition p(2, h.num_vertices());
+    p.assignment = side;
+    return connectivity_cut(h, p);
+  };
+  EXPECT_LE(cut(eight), cut(one));
+}
+
+TEST(InitialBisection, UnevenTargets) {
+  // 3:1 split.
+  const Hypergraph h = random_hypergraph(80, 160, 4, 2, 11);
+  BisectionTargets t;
+  t.target0 = h.total_vertex_weight() * 3 / 4;
+  t.target1 = h.total_vertex_weight() - t.target0;
+  t.epsilon = 0.1;
+  Rng rng(8);
+  const auto side = initial_bisection(h, t, 4, rng);
+  const Weight w0 = side_weight(h, side, 0);
+  EXPECT_GT(w0, h.total_vertex_weight() / 2);
+  EXPECT_LE(w0, t.max_weight(0));
+}
+
+}  // namespace
+}  // namespace hgr

@@ -1,0 +1,108 @@
+#include "partition/kway_refine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/balance.hpp"
+#include "metrics/cut.hpp"
+#include "test_util.hpp"
+
+namespace hgr {
+namespace {
+
+using testing::make_hypergraph;
+using testing::random_hypergraph;
+using testing::random_partition;
+
+TEST(KwayRefine, NeverWorsensCut) {
+  PartitionConfig cfg;
+  cfg.num_parts = 4;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Hypergraph h = random_hypergraph(60, 120, 5, 3, seed);
+    Partition p = random_partition(60, 4, seed + 7);
+    const Weight before = connectivity_cut(h, p);
+    Rng rng(seed);
+    const KwayRefineResult r = kway_refine(h, p, cfg, rng, 3);
+    EXPECT_EQ(r.initial_cut, before);
+    EXPECT_LE(r.final_cut, before);
+    EXPECT_EQ(r.final_cut, connectivity_cut(h, p));
+  }
+}
+
+TEST(KwayRefine, FixedVerticesNeverMove) {
+  HypergraphBuilder b(6);
+  b.add_net({0, 1, 2});
+  b.add_net({3, 4, 5});
+  b.add_net({2, 3});
+  b.set_fixed_part(0, 2);
+  const Hypergraph h = b.finalize();
+  PartitionConfig cfg;
+  cfg.num_parts = 3;
+  Partition p(3, 6);
+  p[0] = 2;
+  p[1] = 0; p[2] = 0; p[3] = 1; p[4] = 1; p[5] = 1;
+  Rng rng(1);
+  kway_refine(h, p, cfg, rng, 4);
+  EXPECT_EQ(p[0], 2);
+}
+
+TEST(KwayRefine, DoesNotViolateBalance) {
+  PartitionConfig cfg;
+  cfg.num_parts = 3;
+  cfg.epsilon = 0.2;
+  const Hypergraph h = random_hypergraph(60, 150, 4, 2, 21);
+  // Balanced round-robin start.
+  Partition p(3, 60);
+  for (Index v = 0; v < 60; ++v) p[v] = static_cast<PartId>(v % 3);
+  const double before = imbalance(h.vertex_weights(), p);
+  Rng rng(2);
+  kway_refine(h, p, cfg, rng, 4);
+  // Moves were only allowed into parts that stayed under the cap.
+  EXPECT_LE(imbalance(h.vertex_weights(), p),
+            std::max(before, cfg.epsilon) + 1e-9);
+}
+
+TEST(KwayRefine, SinglePartNoop) {
+  const Hypergraph h = random_hypergraph(20, 30, 4, 2, 3);
+  PartitionConfig cfg;
+  cfg.num_parts = 1;
+  Partition p(1, 20, 0);
+  Rng rng(3);
+  const KwayRefineResult r = kway_refine(h, p, cfg, rng, 2);
+  EXPECT_EQ(r.moves, 0);
+}
+
+TEST(KwayRefine, ImprovesAPlantedBadAssignment) {
+  // A 2-clique-ish structure split across 2 of 2 parts the wrong way.
+  const Hypergraph h = make_hypergraph(
+      8, {{0, 1, 2, 3}, {0, 2}, {1, 3}, {4, 5, 6, 7}, {4, 6}, {5, 7},
+          {0, 4}});
+  PartitionConfig cfg;
+  cfg.num_parts = 2;
+  // Greedy sweeps cannot swap, so give single moves balance headroom.
+  cfg.epsilon = 0.3;
+  Partition p(2, 8);
+  // Two stray vertices on the wrong side: single moves fix each.
+  p[0] = 0; p[1] = 0; p[2] = 0; p[3] = 1;
+  p[4] = 0; p[5] = 1; p[6] = 1; p[7] = 1;
+  Rng rng(4);
+  const KwayRefineResult r = kway_refine(h, p, cfg, rng, 6);
+  EXPECT_LT(r.final_cut, r.initial_cut);
+}
+
+TEST(KwayRefine, StopsWhenNoMoveApplies) {
+  // Already optimal: one pass, zero moves.
+  const Hypergraph h = make_hypergraph(4, {{0, 1}, {2, 3}});
+  PartitionConfig cfg;
+  cfg.num_parts = 2;
+  Partition p(2, 4);
+  p[0] = p[1] = 0;
+  p[2] = p[3] = 1;
+  Rng rng(5);
+  const KwayRefineResult r = kway_refine(h, p, cfg, rng, 5);
+  EXPECT_EQ(r.moves, 0);
+  EXPECT_EQ(r.passes, 1);
+  EXPECT_EQ(r.final_cut, 0);
+}
+
+}  // namespace
+}  // namespace hgr

@@ -1,0 +1,142 @@
+#include "partition/matching_ipm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace hgr {
+namespace {
+
+using testing::make_hypergraph;
+using testing::random_hypergraph;
+
+PartitionConfig default_cfg() {
+  PartitionConfig cfg;
+  return cfg;
+}
+
+TEST(IpmMatching, IsAnInvolution) {
+  const Hypergraph h = random_hypergraph(50, 100, 5, 3, 1);
+  Rng rng(9);
+  const auto match = ipm_matching(h, default_cfg(), 0, rng);
+  ASSERT_EQ(match.size(), 50u);
+  for (Index v = 0; v < 50; ++v) {
+    EXPECT_EQ(match[static_cast<std::size_t>(
+                  match[static_cast<std::size_t>(v)])],
+              v);
+  }
+}
+
+TEST(IpmMatching, PrefersHeavilyConnectedPartner) {
+  // Vertices 0 and 1 share two nets; 0 and 2 share one.
+  const Hypergraph h = make_hypergraph(3, {{0, 1}, {0, 1}, {0, 2}});
+  Rng rng(1);
+  const auto match = ipm_matching(h, default_cfg(), 0, rng);
+  EXPECT_EQ(match[0], 1);
+  EXPECT_EQ(match[1], 0);
+  EXPECT_EQ(match[2], 2);  // left unmatched
+}
+
+TEST(IpmMatching, IsolatedVerticesStayUnmatched) {
+  const Hypergraph h = make_hypergraph(4, {{0, 1}});
+  Rng rng(2);
+  const auto match = ipm_matching(h, default_cfg(), 0, rng);
+  EXPECT_EQ(match[2], 2);
+  EXPECT_EQ(match[3], 3);
+}
+
+TEST(IpmMatching, RespectsWeightCap) {
+  HypergraphBuilder b(2);
+  b.add_net({0, 1});
+  b.set_vertex_weight(0, 10);
+  b.set_vertex_weight(1, 10);
+  const Hypergraph h = b.finalize();
+  Rng rng(3);
+  // Cap 15 < 20: the pair must not merge.
+  const auto match = ipm_matching(h, default_cfg(), 15, rng);
+  EXPECT_EQ(match[0], 0);
+  EXPECT_EQ(match[1], 1);
+  // Cap 0 disables the check.
+  Rng rng2(3);
+  const auto match2 = ipm_matching(h, default_cfg(), 0, rng2);
+  EXPECT_EQ(match2[0], 1);
+}
+
+TEST(IpmMatching, NeverMatchesConflictingFixedVertices) {
+  HypergraphBuilder b(2);
+  b.add_net({0, 1});
+  b.set_fixed_part(0, 0);
+  b.set_fixed_part(1, 1);
+  const Hypergraph h = b.finalize();
+  Rng rng(4);
+  const auto match = ipm_matching(h, default_cfg(), 0, rng);
+  EXPECT_EQ(match[0], 0);
+  EXPECT_EQ(match[1], 1);
+}
+
+TEST(IpmMatching, FixedWithFreeAllowed) {
+  HypergraphBuilder b(2);
+  b.add_net({0, 1});
+  b.set_fixed_part(0, 2);
+  const Hypergraph h = b.finalize();
+  Rng rng(5);
+  const auto match = ipm_matching(h, default_cfg(), 0, rng);
+  EXPECT_EQ(match[0], 1);
+}
+
+TEST(IpmMatching, SameFixedAllowed) {
+  HypergraphBuilder b(2);
+  b.add_net({0, 1});
+  b.set_fixed_part(0, 1);
+  b.set_fixed_part(1, 1);
+  const Hypergraph h = b.finalize();
+  Rng rng(6);
+  const auto match = ipm_matching(h, default_cfg(), 0, rng);
+  EXPECT_EQ(match[0], 1);
+}
+
+TEST(IpmMatching, FixedCompatibilityRules) {
+  EXPECT_TRUE(fixed_compatible(kNoPart, kNoPart));
+  EXPECT_TRUE(fixed_compatible(kNoPart, 3));
+  EXPECT_TRUE(fixed_compatible(3, kNoPart));
+  EXPECT_TRUE(fixed_compatible(2, 2));
+  EXPECT_FALSE(fixed_compatible(1, 2));
+  EXPECT_EQ(merged_fixed(kNoPart, 4), 4);
+  EXPECT_EQ(merged_fixed(4, kNoPart), 4);
+  EXPECT_EQ(merged_fixed(kNoPart, kNoPart), kNoPart);
+}
+
+TEST(IpmMatching, HighDegreeVerticesDoNotInitiate) {
+  PartitionConfig cfg;
+  cfg.max_matching_degree = 2;
+  // Vertex 0 has degree 3 (> cap): it must not initiate, but others can
+  // still match it passively.
+  const Hypergraph h =
+      make_hypergraph(4, {{0, 1}, {0, 2}, {0, 3}});
+  Rng rng(7);
+  const auto match = ipm_matching(h, cfg, 0, rng);
+  for (Index v = 0; v < 4; ++v)
+    EXPECT_EQ(match[static_cast<std::size_t>(
+                  match[static_cast<std::size_t>(v)])],
+              v);
+}
+
+TEST(IpmMatching, DeterministicGivenSeed) {
+  const Hypergraph h = random_hypergraph(60, 120, 5, 3, 11);
+  Rng a(42), b(42);
+  EXPECT_EQ(ipm_matching(h, default_cfg(), 0, a),
+            ipm_matching(h, default_cfg(), 0, b));
+}
+
+TEST(IpmMatching, MatchesMostVerticesOnDenseHypergraph) {
+  const Hypergraph h = random_hypergraph(100, 400, 4, 2, 13);
+  Rng rng(8);
+  const auto match = ipm_matching(h, default_cfg(), 0, rng);
+  Index matched = 0;
+  for (Index v = 0; v < 100; ++v)
+    if (match[static_cast<std::size_t>(v)] != v) ++matched;
+  EXPECT_GT(matched, 60);  // vast majority pairs up
+}
+
+}  // namespace
+}  // namespace hgr

@@ -1,0 +1,141 @@
+// Pathological and degenerate inputs: the partitioner must stay correct
+// (valid, fixed-respecting) even when the instance gives the heuristics
+// nothing to work with.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "metrics/balance.hpp"
+#include "metrics/cut.hpp"
+#include "partition/partitioner.hpp"
+#include "test_util.hpp"
+
+namespace hgr {
+namespace {
+
+TEST(Pathological, NoNetsAtAll) {
+  HypergraphBuilder b(40);
+  const Hypergraph h = b.finalize();
+  PartitionConfig cfg;
+  cfg.num_parts = 4;
+  const Partition p = partition_hypergraph(h, cfg);
+  p.validate();
+  EXPECT_LE(imbalance(h.vertex_weights(), p), 0.11);
+}
+
+TEST(Pathological, SingleGiantNet) {
+  HypergraphBuilder b(30);
+  std::vector<Index> all;
+  for (Index v = 0; v < 30; ++v) all.push_back(v);
+  b.add_net(all, 7);
+  const Hypergraph h = b.finalize();
+  PartitionConfig cfg;
+  cfg.num_parts = 3;
+  const Partition p = partition_hypergraph(h, cfg);
+  p.validate();
+  // The net spans all three parts no matter what: cut = 7 * 2.
+  EXPECT_EQ(connectivity_cut(h, p), 14);
+  EXPECT_LE(imbalance(h.vertex_weights(), p), 0.2);
+}
+
+TEST(Pathological, StarHypergraph) {
+  // Vertex 0 shares a 2-pin net with everyone else.
+  HypergraphBuilder b(41);
+  for (Index v = 1; v < 41; ++v) b.add_net({0, v});
+  const Hypergraph h = b.finalize();
+  PartitionConfig cfg;
+  cfg.num_parts = 4;
+  const Partition p = partition_hypergraph(h, cfg);
+  p.validate();
+  // At least the spokes co-located with the hub are uncut; cut < 40.
+  EXPECT_LT(connectivity_cut(h, p), 40);
+}
+
+TEST(Pathological, AllVerticesZeroWeight) {
+  HypergraphBuilder b(20);
+  for (Index v = 0; v + 1 < 20; ++v) b.add_net({v, v + 1});
+  b.set_all_vertex_weights(0);
+  const Hypergraph h = b.finalize();
+  PartitionConfig cfg;
+  cfg.num_parts = 2;
+  const Partition p = partition_hypergraph(h, cfg);
+  p.validate();  // must not divide by zero or spin
+}
+
+TEST(Pathological, OneHeavyVertexDominates) {
+  HypergraphBuilder b(21);
+  for (Index v = 0; v + 1 < 21; ++v) b.add_net({v, v + 1});
+  b.set_vertex_weight(0, 1000);
+  const Hypergraph h = b.finalize();
+  PartitionConfig cfg;
+  cfg.num_parts = 2;
+  cfg.epsilon = 0.05;
+  const Partition p = partition_hypergraph(h, cfg);
+  p.validate();
+  // Perfect balance is impossible; the heavy vertex must sit alone-ish.
+  const auto pw = part_weights(h.vertex_weights(), p);
+  EXPECT_GE(*std::max_element(pw.begin(), pw.end()), 1000);
+}
+
+TEST(Pathological, DisconnectedComponents) {
+  HypergraphBuilder b(40);
+  for (Index c = 0; c < 4; ++c)
+    for (Index v = 0; v + 1 < 10; ++v)
+      b.add_net({c * 10 + v, c * 10 + v + 1});
+  const Hypergraph h = b.finalize();
+  PartitionConfig cfg;
+  cfg.num_parts = 4;
+  cfg.epsilon = 0.05;
+  const Partition p = partition_hypergraph(h, cfg);
+  p.validate();
+  // Components fit parts exactly: a good partitioner finds cut 0 or near.
+  EXPECT_LE(connectivity_cut(h, p), 3);
+  EXPECT_LE(imbalance(h.vertex_weights(), p), 0.05 + 1e-9);
+}
+
+TEST(Pathological, KEqualsN) {
+  const Hypergraph h = testing::random_hypergraph(8, 16, 3, 2, 3);
+  PartitionConfig cfg;
+  cfg.num_parts = 8;
+  cfg.epsilon = 1.0;  // weights vary; one vertex per part needs slack
+  const Partition p = partition_hypergraph(h, cfg);
+  p.validate();
+}
+
+TEST(Pathological, KGreaterThanN) {
+  const Hypergraph h = testing::random_hypergraph(5, 8, 3, 2, 5);
+  PartitionConfig cfg;
+  cfg.num_parts = 9;
+  cfg.epsilon = 1.0;
+  const Partition p = partition_hypergraph(h, cfg);
+  p.validate();  // some parts stay empty; ids must still be in range
+}
+
+TEST(Pathological, DuplicateNetsStackCost) {
+  HypergraphBuilder b(4);
+  for (int i = 0; i < 10; ++i) b.add_net({0, 1}, 1);
+  b.add_net({2, 3}, 1);
+  b.add_net({1, 2}, 1);
+  const Hypergraph h = b.finalize();
+  PartitionConfig cfg;
+  cfg.num_parts = 2;
+  cfg.epsilon = 0.1;
+  const Partition p = partition_hypergraph(h, cfg);
+  // The 10x duplicated net must not be cut.
+  EXPECT_EQ(p[0], p[1]);
+}
+
+TEST(Pathological, ZeroSizeVerticesPartition) {
+  // Zero-size vertices make migration nets free in the repartition model;
+  // the static partitioner must handle zero sizes without issue too.
+  Hypergraph h = testing::random_hypergraph(30, 60, 4, 2, 7);
+  for (Index v = 0; v < 30; ++v) h.set_vertex_size(v, 0);
+  PartitionConfig cfg;
+  cfg.num_parts = 3;
+  cfg.epsilon = 0.3;
+  const Partition p = partition_hypergraph(h, cfg);
+  p.validate();
+}
+
+}  // namespace
+}  // namespace hgr

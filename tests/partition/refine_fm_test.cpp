@@ -1,0 +1,162 @@
+#include "partition/refine_fm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/cut.hpp"
+#include "test_util.hpp"
+
+namespace hgr {
+namespace {
+
+using testing::make_hypergraph;
+using testing::random_hypergraph;
+
+BisectionTargets even_targets(const Hypergraph& h, double eps = 0.1) {
+  BisectionTargets t;
+  t.target0 = h.total_vertex_weight() / 2;
+  t.target1 = h.total_vertex_weight() - t.target0;
+  t.epsilon = eps;
+  return t;
+}
+
+Weight cut_of(const Hypergraph& h, const std::vector<PartId>& side) {
+  Partition p(2, h.num_vertices());
+  p.assignment = side;
+  return connectivity_cut(h, p);
+}
+
+Weight side_weight(const Hypergraph& h, const std::vector<PartId>& side,
+                   PartId s) {
+  Weight w = 0;
+  for (Index v = 0; v < h.num_vertices(); ++v)
+    if (side[static_cast<std::size_t>(v)] == s) w += h.vertex_weight(v);
+  return w;
+}
+
+TEST(FmRefine, NeverWorsensCut) {
+  PartitionConfig cfg;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Hypergraph h = random_hypergraph(50, 100, 5, 3, seed);
+    std::vector<PartId> side(50);
+    Rng init(seed + 50);
+    for (auto& s : side) s = static_cast<PartId>(init.below(2));
+    const Weight before = cut_of(h, side);
+    Rng rng(seed);
+    const FmResult r = fm_refine_bisection(h, side, even_targets(h), cfg, rng);
+    EXPECT_EQ(r.initial_cut, before);
+    EXPECT_LE(r.final_cut, before);
+    EXPECT_EQ(r.final_cut, cut_of(h, side));
+  }
+}
+
+TEST(FmRefine, FindsObviousImprovement) {
+  // Two cliques joined by one net; a deliberately terrible start.
+  const Hypergraph h = make_hypergraph(
+      8, {{0, 1, 2, 3}, {0, 1}, {2, 3}, {4, 5, 6, 7}, {4, 5}, {6, 7},
+          {3, 4}});
+  std::vector<PartId> side{0, 1, 0, 1, 0, 1, 0, 1};  // everything cut
+  PartitionConfig cfg;
+  Rng rng(1);
+  fm_refine_bisection(h, side, even_targets(h, 0.01), cfg, rng);
+  EXPECT_EQ(cut_of(h, side), 1);  // only the bridging net remains cut
+  EXPECT_EQ(side_weight(h, side, 0), 4);
+}
+
+TEST(FmRefine, RespectsFixedVertices) {
+  HypergraphBuilder b(6);
+  b.add_net({0, 1, 2});
+  b.add_net({3, 4, 5});
+  b.add_net({0, 5});
+  b.set_fixed_part(0, 0);
+  b.set_fixed_part(5, 1);
+  const Hypergraph h = b.finalize();
+  std::vector<PartId> side{0, 0, 0, 1, 1, 1};
+  PartitionConfig cfg;
+  Rng rng(2);
+  fm_refine_bisection(h, side, even_targets(h), cfg, rng);
+  EXPECT_EQ(side[0], 0);
+  EXPECT_EQ(side[5], 1);
+}
+
+TEST(FmRefine, RepairsImbalance) {
+  // Start with everything on side 0; FM must evacuate to meet targets.
+  const Hypergraph h = random_hypergraph(40, 80, 4, 2, 17);
+  std::vector<PartId> side(40, 0);
+  PartitionConfig cfg;
+  cfg.max_refine_passes = 8;
+  const BisectionTargets t = even_targets(h, 0.1);
+  Rng rng(3);
+  fm_refine_bisection(h, side, t, cfg, rng);
+  EXPECT_LE(side_weight(h, side, 0), t.max_weight(0));
+  EXPECT_LE(side_weight(h, side, 1), t.max_weight(1));
+}
+
+TEST(FmRefine, KeepsBalanceInvariant) {
+  PartitionConfig cfg;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Hypergraph h = random_hypergraph(60, 120, 5, 3, seed + 30);
+    const BisectionTargets t = even_targets(h, 0.15);
+    // Feasible start: round-robin by weight.
+    std::vector<PartId> side(60);
+    for (Index v = 0; v < 60; ++v)
+      side[static_cast<std::size_t>(v)] = static_cast<PartId>(v % 2);
+    Rng rng(seed);
+    fm_refine_bisection(h, side, t, cfg, rng);
+    EXPECT_LE(side_weight(h, side, 0), t.max_weight(0));
+    EXPECT_LE(side_weight(h, side, 1), t.max_weight(1));
+  }
+}
+
+TEST(FmRefine, BucketAndHeapQueuesAgreeOnQualityClass) {
+  const Hypergraph h = random_hypergraph(50, 120, 4, 2, 77);
+  const BisectionTargets t = even_targets(h, 0.1);
+  std::vector<PartId> side_heap(50), side_bucket(50);
+  Rng init(5);
+  for (Index v = 0; v < 50; ++v)
+    side_heap[static_cast<std::size_t>(v)] =
+        side_bucket[static_cast<std::size_t>(v)] =
+            static_cast<PartId>(init.below(2));
+
+  PartitionConfig heap_cfg;
+  heap_cfg.gain_queue = GainQueueKind::kHeap;
+  PartitionConfig bucket_cfg;
+  bucket_cfg.gain_queue = GainQueueKind::kBucket;
+  Rng r1(9), r2(9);
+  const FmResult rh =
+      fm_refine_bisection(h, side_heap, t, heap_cfg, r1);
+  const FmResult rb =
+      fm_refine_bisection(h, side_bucket, t, bucket_cfg, r2);
+  // Both must improve the same start; exact parity is not required (tie
+  // orders differ), but neither may regress.
+  EXPECT_LE(rh.final_cut, rh.initial_cut);
+  EXPECT_LE(rb.final_cut, rb.initial_cut);
+}
+
+TEST(FmRefine, AllFixedMeansNoMoves) {
+  HypergraphBuilder b(4);
+  b.add_net({0, 1, 2, 3});
+  for (Index v = 0; v < 4; ++v) b.set_fixed_part(v, v % 2);
+  const Hypergraph h = b.finalize();
+  std::vector<PartId> side{0, 1, 0, 1};
+  PartitionConfig cfg;
+  Rng rng(6);
+  const FmResult r = fm_refine_bisection(h, side, even_targets(h), cfg, rng);
+  EXPECT_EQ(r.initial_cut, r.final_cut);
+  EXPECT_EQ(side, (std::vector<PartId>{0, 1, 0, 1}));
+}
+
+TEST(FmRefine, ZeroCostNetsDoNotCrash) {
+  HypergraphBuilder b(4);
+  b.add_net({0, 1}, 0);
+  b.add_net({1, 2}, 2);
+  b.add_net({2, 3}, 0);
+  const Hypergraph h = b.finalize();
+  std::vector<PartId> side{0, 1, 0, 1};
+  PartitionConfig cfg;
+  Rng rng(7);
+  const FmResult r = fm_refine_bisection(h, side, even_targets(h), cfg, rng);
+  EXPECT_LE(r.final_cut, r.initial_cut);
+}
+
+}  // namespace
+}  // namespace hgr

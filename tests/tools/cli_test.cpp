@@ -1,0 +1,66 @@
+// End-to-end smoke tests of the hgr_cli binary (path injected by CMake).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef HGR_CLI_PATH
+#error "HGR_CLI_PATH must be defined by the build"
+#endif
+
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void write_chain_hgr(const std::string& path, int n) {
+  std::ofstream out(path);
+  out << (n - 1) << ' ' << n << "\n";
+  for (int v = 1; v < n; ++v) out << v << ' ' << (v + 1) << "\n";
+}
+
+int run(const std::string& args) {
+  const std::string cmd = std::string(HGR_CLI_PATH) + " " + args +
+                          " >/dev/null 2>/dev/null";
+  return std::system(cmd.c_str());
+}
+
+TEST(CliSmoke, InfoMode) {
+  const std::string in = tmp_path("cli_chain.hgr");
+  write_chain_hgr(in, 50);
+  EXPECT_EQ(run("info " + in), 0);
+}
+
+TEST(CliSmoke, PartitionThenRepartition) {
+  const std::string in = tmp_path("cli_chain2.hgr");
+  const std::string parts = tmp_path("cli_chain2.parts");
+  const std::string parts2 = tmp_path("cli_chain2b.parts");
+  write_chain_hgr(in, 64);
+  ASSERT_EQ(run("partition " + in + " --k=4 --out=" + parts), 0);
+  // The partition file must contain 64 valid ids.
+  std::ifstream pf(parts);
+  int count = 0;
+  long long id;
+  while (pf >> id) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, 4);
+    ++count;
+  }
+  EXPECT_EQ(count, 64);
+  ASSERT_EQ(run("repartition " + in + " --old=" + parts +
+                " --k=4 --alpha=10 --out=" + parts2),
+            0);
+}
+
+TEST(CliSmoke, BadUsageFails) {
+  EXPECT_NE(run("partition /nonexistent.hgr --k=2"), 0);
+  EXPECT_NE(run("bogusmode whatever"), 0);
+  const std::string in = tmp_path("cli_chain3.hgr");
+  write_chain_hgr(in, 10);
+  EXPECT_NE(run("repartition " + in + " --k=2"), 0);  // missing --old
+}
+
+}  // namespace

@@ -1,0 +1,63 @@
+#include "workload/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/stats.hpp"
+
+namespace hgr {
+namespace {
+
+TEST(Datasets, CatalogHasFiveEntriesInPaperOrder) {
+  const auto catalog = dataset_catalog();
+  ASSERT_EQ(catalog.size(), 5u);
+  EXPECT_EQ(catalog[0].paper_name, "xyce680s");
+  EXPECT_EQ(catalog[1].paper_name, "2DLipid");
+  EXPECT_EQ(catalog[2].paper_name, "auto");
+  EXPECT_EQ(catalog[3].paper_name, "apoa1-10");
+  EXPECT_EQ(catalog[4].paper_name, "cage14");
+}
+
+TEST(Datasets, EveryAnalogBuildsConnectedAtSmallScale) {
+  for (const DatasetInfo& info : dataset_catalog()) {
+    const Graph g = make_dataset(info.name, /*scale=*/0.08, /*seed=*/1);
+    EXPECT_GT(g.num_vertices(), 0) << info.name;
+    EXPECT_TRUE(is_connected(g)) << info.name;
+    g.validate();
+  }
+}
+
+TEST(Datasets, PaperNamesAccepted) {
+  const Graph g = make_dataset("xyce680s", 0.05, 2);
+  EXPECT_GT(g.num_vertices(), 100);
+}
+
+TEST(Datasets, UnknownNameThrows) {
+  EXPECT_THROW(make_dataset("no-such-dataset"), std::runtime_error);
+}
+
+TEST(Datasets, DensityOrderingMatchesTable1) {
+  // Table 1 avg degrees: xyce 2.4 < auto 14.8 < cage 18.0 < apoa1 370.9
+  // (scaled down) ... 2DLipid is the densest relative to its size.
+  const double s = 0.1;
+  const auto avg = [s](const std::string& name) {
+    return graph_degree_stats(make_dataset(name, s, 3)).avg;
+  };
+  const double xyce = avg("xyce680s-like");
+  const double autod = avg("auto-like");
+  const double cage = avg("cage14-like");
+  const double apoa = avg("apoa1-like");
+  const double lipid = avg("2DLipid-like");
+  EXPECT_LT(xyce, autod);
+  EXPECT_LT(autod, cage + 6.0);  // both mid-teens by design
+  EXPECT_GT(apoa, cage);
+  EXPECT_GT(lipid, autod);
+}
+
+TEST(Datasets, ScaleGrowsVertexCount) {
+  const Graph small = make_dataset("cage14-like", 0.05, 1);
+  const Graph big = make_dataset("cage14-like", 0.1, 1);
+  EXPECT_GT(big.num_vertices(), small.num_vertices());
+}
+
+}  // namespace
+}  // namespace hgr

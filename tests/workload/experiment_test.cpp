@@ -1,0 +1,80 @@
+#include "workload/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hgr {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg;
+  cfg.dataset = "auto-like";
+  cfg.scale = 0.02;  // a few hundred vertices
+  cfg.k_values = {4};
+  cfg.alphas = {1, 100};
+  cfg.num_epochs = 3;
+  cfg.num_trials = 1;
+  return cfg;
+}
+
+TEST(Experiment, ProducesOneCellPerCombination) {
+  const ExperimentConfig cfg = tiny_config();
+  const auto cells = run_experiment(cfg);
+  // 1 k * 2 alphas * 4 algorithms.
+  EXPECT_EQ(cells.size(), 8u);
+  for (const CellResult& c : cells) {
+    EXPECT_GE(c.comm_volume, 0.0);
+    EXPECT_GE(c.migration_volume, 0.0);
+    EXPECT_GT(c.normalized_total, 0.0);
+    EXPECT_NEAR(c.normalized_total,
+                c.comm_volume + c.migration_volume / static_cast<double>(
+                                                         c.alpha),
+                1e-6);
+  }
+}
+
+TEST(Experiment, CostFigureOutputContainsCsvAndBars) {
+  const ExperimentConfig cfg = tiny_config();
+  const auto cells = run_experiment(cfg);
+  std::ostringstream out;
+  print_cost_figure("Figure T", cfg, cells, out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("Figure T"), std::string::npos);
+  EXPECT_NE(s.find("csv,dataset"), std::string::npos);
+  EXPECT_NE(s.find("hg-repart"), std::string::npos);
+  EXPECT_NE(s.find("k=4 alpha=1"), std::string::npos);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(Experiment, RuntimeFigureOutput) {
+  const ExperimentConfig cfg = tiny_config();
+  const auto cells = run_experiment(cfg);
+  std::ostringstream out;
+  print_runtime_figure("Figure R", cfg, cells, out);
+  EXPECT_NE(out.str().find("repartitioning time"), std::string::npos);
+  EXPECT_NE(out.str().find("graph-scratch"), std::string::npos);
+}
+
+TEST(Experiment, CliParsing) {
+  ExperimentConfig cfg;
+  const char* argv[] = {"prog", "--scale=0.5",  "--epochs=7", "--trials=2",
+                        "--k=8,16", "--alpha=1,1000", "--seed=9",
+                        "--dataset=cage14-like"};
+  cfg.apply_cli(8, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(cfg.scale, 0.5);
+  EXPECT_EQ(cfg.num_epochs, 7);
+  EXPECT_EQ(cfg.num_trials, 2);
+  EXPECT_EQ(cfg.k_values, (std::vector<PartId>{8, 16}));
+  EXPECT_EQ(cfg.alphas, (std::vector<Weight>{1, 1000}));
+  EXPECT_EQ(cfg.seed, 9u);
+  EXPECT_EQ(cfg.dataset, "cage14-like");
+}
+
+TEST(Experiment, PerturbNames) {
+  EXPECT_EQ(to_string(PerturbKind::kStructure), "perturbed-structure");
+  EXPECT_EQ(to_string(PerturbKind::kWeights), "perturbed-weights");
+}
+
+}  // namespace
+}  // namespace hgr

@@ -1,0 +1,86 @@
+#include "workload/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/builder.hpp"
+#include "hypergraph/stats.hpp"
+
+namespace hgr {
+namespace {
+
+TEST(Generators, Grid3dStructure) {
+  const Graph g = make_grid3d(4, 3, 2, false);
+  EXPECT_EQ(g.num_vertices(), 24);
+  // 6-point stencil edge count: (nx-1)nynz + nx(ny-1)nz + nxny(nz-1).
+  EXPECT_EQ(g.num_edges(), 3 * 3 * 2 + 4 * 2 * 2 + 4 * 3 * 1);
+  EXPECT_TRUE(is_connected(g));
+  g.validate();
+}
+
+TEST(Generators, Grid3dWithDiagonalsDenser) {
+  const Graph plain = make_grid3d(5, 5, 5, false);
+  const Graph diag = make_grid3d(5, 5, 5, true);
+  EXPECT_GT(diag.num_edges(), plain.num_edges());
+  EXPECT_TRUE(is_connected(diag));
+  // Interior degree ~14 (6 axis + 8 diagonal).
+  const DegreeStats s = graph_degree_stats(diag);
+  EXPECT_GE(s.max, 12);
+  diag.validate();
+}
+
+TEST(Generators, GeometricHitsTargetDegree) {
+  const Graph g = make_random_geometric(2000, 2, 30.0, 1);
+  EXPECT_EQ(g.num_vertices(), 2000);
+  const DegreeStats s = graph_degree_stats(g);
+  // Boundary effects pull the average below the interior target; accept a
+  // generous band.
+  EXPECT_GT(s.avg, 15.0);
+  EXPECT_LT(s.avg, 45.0);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, Geometric3d) {
+  const Graph g = make_random_geometric(1000, 3, 20.0, 2);
+  const DegreeStats s = graph_degree_stats(g);
+  EXPECT_GT(s.avg, 8.0);
+  EXPECT_LT(s.avg, 35.0);
+  EXPECT_TRUE(is_connected(g));
+  g.validate();
+}
+
+TEST(Generators, CircuitLikeProfile) {
+  const Graph g = make_circuit_like(5000, 2.4, 4, 150, 3);
+  EXPECT_TRUE(is_connected(g));
+  const DegreeStats s = graph_degree_stats(g);
+  EXPECT_LT(s.avg, 6.0);       // sparse on average
+  EXPECT_GT(s.max, 100);       // but hubs exist
+  g.validate();
+}
+
+TEST(Generators, RegularRandomTightBand) {
+  const Graph g = make_regular_random(3000, 18, 4);
+  EXPECT_TRUE(is_connected(g));
+  const DegreeStats s = graph_degree_stats(g);
+  EXPECT_NEAR(s.avg, 18.0, 4.0);
+  EXPECT_GT(s.min, 4);  // no isolated or near-isolated vertices
+  g.validate();
+}
+
+TEST(Generators, DeterministicForSeed) {
+  const Graph a = make_random_geometric(500, 2, 12.0, 42);
+  const Graph b = make_random_geometric(500, 2, 12.0, 42);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  const Graph c = make_random_geometric(500, 2, 12.0, 43);
+  EXPECT_NE(a.num_edges(), c.num_edges());
+}
+
+TEST(Generators, ConnectComponentsRepairsGaps) {
+  std::vector<std::pair<Index, Index>> edges{{0, 1}, {2, 3}, {4, 5}};
+  connect_components(6, edges);
+  GraphBuilder b(6);
+  for (const auto& [u, v] : edges) b.add_edge(u, v);
+  EXPECT_TRUE(is_connected(b.finalize()));
+}
+
+}  // namespace
+}  // namespace hgr

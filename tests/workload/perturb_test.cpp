@@ -1,0 +1,146 @@
+#include "workload/perturb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/stats.hpp"
+#include "test_util.hpp"
+#include "workload/generators.hpp"
+
+namespace hgr {
+namespace {
+
+Partition blocks_of(const Graph& g, PartId k) {
+  Partition p(k, g.num_vertices());
+  for (Index v = 0; v < g.num_vertices(); ++v)
+    p[v] = static_cast<PartId>((static_cast<std::int64_t>(v) * k) /
+                               g.num_vertices());
+  return p;
+}
+
+TEST(InducedSubgraph, KeepsRequestedVerticesAndEdges) {
+  const Graph g = testing::make_graph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  std::vector<bool> keep{true, true, false, true, true};
+  std::vector<Index> to_base;
+  const Graph sub = induced_subgraph(g, keep, to_base);
+  EXPECT_EQ(sub.num_vertices(), 4);
+  EXPECT_EQ(to_base, (std::vector<Index>{0, 1, 3, 4}));
+  // Edges {0,1} and {3,4} survive; {1,2},{2,3} die with vertex 2.
+  EXPECT_EQ(sub.num_edges(), 2);
+  sub.validate();
+}
+
+TEST(InducedSubgraph, PreservesAttributes) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 7);
+  b.set_vertex_weight(1, 9);
+  b.set_vertex_size(1, 4);
+  const Graph g = b.finalize();
+  std::vector<bool> keep{false, true, true};
+  std::vector<Index> to_base;
+  const Graph sub = induced_subgraph(g, keep, to_base);
+  EXPECT_EQ(sub.vertex_weight(0), 9);
+  EXPECT_EQ(sub.vertex_size(0), 4);
+}
+
+TEST(StructuralPerturb, FirstEpochIsFullBase) {
+  StructuralPerturbScenario sc(make_grid3d(5, 5, 5, false),
+                               StructuralPerturbOptions{}, 1);
+  const EpochProblem e1 = sc.next_epoch();
+  EXPECT_TRUE(e1.first);
+  EXPECT_EQ(e1.graph.num_vertices(), 125);
+}
+
+TEST(StructuralPerturb, LaterEpochsDeleteRoughlyTheFraction) {
+  StructuralPerturbScenario sc(make_grid3d(6, 6, 6, false),
+                               StructuralPerturbOptions{}, 2);
+  const EpochProblem e1 = sc.next_epoch();
+  sc.record_partition(blocks_of(e1.graph, 4));
+  const EpochProblem e2 = sc.next_epoch();
+  EXPECT_FALSE(e2.first);
+  const Index base_n = 216;
+  const Index deleted = base_n - e2.graph.num_vertices();
+  // 25% of |V| drawn from half the parts; the pool may clip it slightly.
+  EXPECT_GT(deleted, base_n / 8);
+  EXPECT_LE(deleted, base_n / 3);
+  // Old partition covers every surviving vertex.
+  e2.old_partition.validate();
+  EXPECT_EQ(e2.old_partition.num_vertices(), e2.graph.num_vertices());
+}
+
+TEST(StructuralPerturb, DeletionsComeOnlyFromAffectedParts) {
+  StructuralPerturbScenario sc(make_grid3d(6, 6, 6, false),
+                               StructuralPerturbOptions{}, 3);
+  const EpochProblem e1 = sc.next_epoch();
+  const Partition p = blocks_of(e1.graph, 4);
+  sc.record_partition(p);
+  const EpochProblem e2 = sc.next_epoch();
+  // Count survivors per old part: at least two parts must be untouched
+  // (parts_fraction = 0.5 of k=4).
+  std::vector<Index> survivors(4, 0);
+  for (Index v = 0; v < e2.graph.num_vertices(); ++v)
+    ++survivors[static_cast<std::size_t>(e2.old_partition[v])];
+  std::vector<Index> original(4, 0);
+  for (Index v = 0; v < e1.graph.num_vertices(); ++v)
+    ++original[static_cast<std::size_t>(p[v])];
+  int untouched = 0;
+  for (int q = 0; q < 4; ++q)
+    if (survivors[static_cast<std::size_t>(q)] ==
+        original[static_cast<std::size_t>(q)])
+      ++untouched;
+  EXPECT_GE(untouched, 2);
+}
+
+TEST(StructuralPerturb, DeletedVerticesReturnInLaterEpochs) {
+  StructuralPerturbScenario sc(make_grid3d(6, 6, 6, false),
+                               StructuralPerturbOptions{}, 4);
+  EpochProblem e = sc.next_epoch();
+  sc.record_partition(blocks_of(e.graph, 4));
+  const Index n1 = e.graph.num_vertices();
+  e = sc.next_epoch();
+  sc.record_partition(blocks_of(e.graph, 4));
+  const Index n2 = e.graph.num_vertices();
+  e = sc.next_epoch();
+  const Index n3 = e.graph.num_vertices();
+  EXPECT_LT(n2, n1);
+  // Epoch 3 deletes a *different* subset, so its size rebounds to ~75%.
+  EXPECT_GT(n3, n2 / 2);
+  EXPECT_LT(n3, n1);
+}
+
+TEST(WeightPerturb, StructureConstantWeightsChange) {
+  WeightPerturbScenario sc(make_grid3d(5, 5, 5, false),
+                           WeightPerturbOptions{}, 5);
+  const EpochProblem e1 = sc.next_epoch();
+  EXPECT_TRUE(e1.first);
+  sc.record_partition(blocks_of(e1.graph, 10));
+  const EpochProblem e2 = sc.next_epoch();
+  EXPECT_EQ(e2.graph.num_vertices(), e1.graph.num_vertices());
+  EXPECT_EQ(e2.graph.num_edges(), e1.graph.num_edges());
+  EXPECT_GT(e2.graph.total_vertex_weight(), e1.graph.total_vertex_weight());
+}
+
+TEST(WeightPerturb, ScalingStaysWithinPaperBand) {
+  WeightPerturbScenario sc(make_grid3d(5, 5, 5, false),
+                           WeightPerturbOptions{}, 6);
+  const EpochProblem e1 = sc.next_epoch();
+  sc.record_partition(blocks_of(e1.graph, 10));
+  const EpochProblem e2 = sc.next_epoch();
+  for (Index v = 0; v < e2.graph.num_vertices(); ++v) {
+    const Weight w = e2.graph.vertex_weight(v);
+    EXPECT_GE(w, 1);
+    EXPECT_LE(w, static_cast<Weight>(7.5) + 1);  // original weight 1
+  }
+}
+
+TEST(WeightPerturb, OldPartitionCarriedThrough) {
+  WeightPerturbScenario sc(make_grid3d(4, 4, 4, false),
+                           WeightPerturbOptions{}, 7);
+  const EpochProblem e1 = sc.next_epoch();
+  const Partition p = blocks_of(e1.graph, 4);
+  sc.record_partition(p);
+  const EpochProblem e2 = sc.next_epoch();
+  EXPECT_EQ(e2.old_partition.assignment, p.assignment);
+}
+
+}  // namespace
+}  // namespace hgr

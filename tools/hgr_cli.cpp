@@ -1,0 +1,177 @@
+// hgr_cli — command-line (re)partitioner, the Zoltan-binary analog.
+//
+// Modes:
+//   partition:   hgr_cli partition <input> --k=16 [--eps=0.05] [--seed=1]
+//                [--graph] [--out=parts.txt]
+//   repartition: hgr_cli repartition <input> --old=parts.txt --alpha=100
+//                --k=16 [...]
+//   info:        hgr_cli info <input> [--graph|--mm]
+//
+// <input> is an hMETIS hypergraph file by default, a METIS graph file with
+// --graph, or a MatrixMarket file with --mm (both converted to 2-pin
+// nets). The partition file format is one part id per line, vertex order.
+// Prints connectivity-1 cut, balance, and (for repartition) the
+// comm/migration cost split; --report adds the per-part breakdown.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/repartitioner.hpp"
+#include "hypergraph/convert.hpp"
+#include "hypergraph/io.hpp"
+#include "hypergraph/stats.hpp"
+#include "metrics/balance.hpp"
+#include "metrics/cut.hpp"
+#include "metrics/partition_io.hpp"
+#include "metrics/report.hpp"
+#include "partition/partitioner.hpp"
+
+namespace {
+
+using namespace hgr;
+
+struct CliOptions {
+  std::string mode;
+  std::string input;
+  std::string old_parts_path;
+  std::string out_path;
+  PartId k = 2;
+  double eps = 0.05;
+  std::uint64_t seed = 1;
+  Weight alpha = 100;
+  bool graph_input = false;
+  bool mm_input = false;
+  bool report = false;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  hgr_cli partition   <input> --k=N [--eps=F] [--seed=S] "
+               "[--graph|--mm] [--report] [--out=FILE]\n"
+               "  hgr_cli repartition <input> --old=FILE --k=N [--alpha=A] "
+               "[--eps=F] [--seed=S] [--graph] [--out=FILE]\n"
+               "  hgr_cli info        <input> [--graph]\n");
+  std::exit(2);
+}
+
+CliOptions parse(int argc, char** argv) {
+  if (argc < 3) usage();
+  CliOptions opt;
+  opt.mode = argv[1];
+  opt.input = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value = eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--k") {
+      opt.k = static_cast<PartId>(std::stol(value));
+    } else if (key == "--eps") {
+      opt.eps = std::stod(value);
+    } else if (key == "--seed") {
+      opt.seed = std::stoull(value);
+    } else if (key == "--alpha") {
+      opt.alpha = static_cast<Weight>(std::stoll(value));
+    } else if (key == "--old") {
+      opt.old_parts_path = value;
+    } else if (key == "--out") {
+      opt.out_path = value;
+    } else if (key == "--graph") {
+      opt.graph_input = true;
+    } else if (key == "--mm") {
+      opt.mm_input = true;
+    } else if (key == "--report") {
+      opt.report = true;
+    } else {
+      usage(("unknown flag: " + arg).c_str());
+    }
+  }
+  return opt;
+}
+
+Hypergraph load(const CliOptions& opt) {
+  if (opt.mm_input)
+    return graph_to_hypergraph(read_matrix_market_file(opt.input));
+  if (opt.graph_input)
+    return graph_to_hypergraph(read_metis_graph_file(opt.input));
+  return read_hmetis_file(opt.input);
+}
+
+void write_parts(const Partition& p, const std::string& path) {
+  if (path.empty()) {
+    write_partition(p, std::cout);
+    return;
+  }
+  write_partition_file(p, path);
+  std::fprintf(stderr, "wrote %d assignments to %s\n", p.num_vertices(),
+               path.c_str());
+}
+
+void report_quality(const Hypergraph& h, const Partition& p,
+                    bool full_report) {
+  std::fprintf(stderr, "k=%d cut=%lld imbalance=%.4f cut_nets=%d\n", p.k,
+               static_cast<long long>(connectivity_cut(h, p)),
+               imbalance(h.vertex_weights(), p), num_cut_nets(h, p));
+  if (full_report)
+    std::fprintf(stderr, "%s", analyze_partition(h, p).to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opt = parse(argc, argv);
+  try {
+    const Hypergraph h = load(opt);
+    if (opt.mode == "info") {
+      const DegreeStats vd = hypergraph_vertex_degree_stats(h);
+      const DegreeStats ns = hypergraph_net_size_stats(h);
+      std::printf("%s\n", h.summary().c_str());
+      std::printf("vertex degree: min=%d max=%d avg=%.2f\n", vd.min, vd.max,
+                  vd.avg);
+      std::printf("net size:      min=%d max=%d avg=%.2f\n", ns.min, ns.max,
+                  ns.avg);
+      return 0;
+    }
+
+    PartitionConfig pcfg;
+    pcfg.num_parts = opt.k;
+    pcfg.epsilon = opt.eps;
+    pcfg.seed = opt.seed;
+
+    if (opt.mode == "partition") {
+      const Partition p = partition_hypergraph(h, pcfg);
+      report_quality(h, p, opt.report);
+      write_parts(p, opt.out_path);
+      return 0;
+    }
+    if (opt.mode == "repartition") {
+      if (opt.old_parts_path.empty()) usage("repartition requires --old=");
+      const Partition old_p =
+          read_partition_file(opt.old_parts_path, h.num_vertices(), opt.k);
+      RepartitionerConfig rcfg;
+      rcfg.partition = pcfg;
+      rcfg.alpha = opt.alpha;
+      const RepartitionResult r = hypergraph_repartition(h, old_p, rcfg);
+      report_quality(h, r.partition, opt.report);
+      std::fprintf(stderr,
+                   "alpha=%lld comm=%lld migration=%lld total=%lld "
+                   "moves=%zu time=%.3fs\n",
+                   static_cast<long long>(opt.alpha),
+                   static_cast<long long>(r.cost.comm_volume),
+                   static_cast<long long>(r.cost.migration_volume),
+                   static_cast<long long>(r.cost.total()), r.plan.moves.size(),
+                   r.seconds);
+      write_parts(r.partition, opt.out_path);
+      return 0;
+    }
+    usage(("unknown mode: " + opt.mode).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
