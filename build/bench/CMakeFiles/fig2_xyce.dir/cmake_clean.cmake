@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_xyce.dir/fig2_xyce.cpp.o"
+  "CMakeFiles/fig2_xyce.dir/fig2_xyce.cpp.o.d"
+  "fig2_xyce"
+  "fig2_xyce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_xyce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_lipid.dir/fig3_lipid.cpp.o"
+  "CMakeFiles/fig3_lipid.dir/fig3_lipid.cpp.o.d"
+  "fig3_lipid"
+  "fig3_lipid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_lipid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_auto.dir/fig4_auto.cpp.o"
+  "CMakeFiles/fig4_auto.dir/fig4_auto.cpp.o.d"
+  "fig4_auto"
+  "fig4_auto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_auto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_apoa1.dir/fig5_apoa1.cpp.o"
+  "CMakeFiles/fig5_apoa1.dir/fig5_apoa1.cpp.o.d"
+  "fig5_apoa1"
+  "fig5_apoa1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_apoa1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

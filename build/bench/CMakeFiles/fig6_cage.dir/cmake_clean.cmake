@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_cage.dir/fig6_cage.cpp.o"
+  "CMakeFiles/fig6_cage.dir/fig6_cage.cpp.o.d"
+  "fig6_cage"
+  "fig6_cage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_runtime_xyce.dir/fig7_runtime_xyce.cpp.o"
+  "CMakeFiles/fig7_runtime_xyce.dir/fig7_runtime_xyce.cpp.o.d"
+  "fig7_runtime_xyce"
+  "fig7_runtime_xyce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_runtime_xyce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_runtime_xyce.
+# This may be replaced when dependencies are built.

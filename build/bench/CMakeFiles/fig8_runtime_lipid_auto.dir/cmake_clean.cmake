@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_runtime_lipid_auto.dir/fig8_runtime_lipid_auto.cpp.o"
+  "CMakeFiles/fig8_runtime_lipid_auto.dir/fig8_runtime_lipid_auto.cpp.o.d"
+  "fig8_runtime_lipid_auto"
+  "fig8_runtime_lipid_auto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_runtime_lipid_auto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

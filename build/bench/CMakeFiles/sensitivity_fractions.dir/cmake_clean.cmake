@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_fractions.dir/sensitivity_fractions.cpp.o"
+  "CMakeFiles/sensitivity_fractions.dir/sensitivity_fractions.cpp.o.d"
+  "sensitivity_fractions"
+  "sensitivity_fractions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_fractions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_simulation.dir/amr_simulation.cpp.o"
+  "CMakeFiles/amr_simulation.dir/amr_simulation.cpp.o.d"
+  "amr_simulation"
+  "amr_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/particle_drift.dir/particle_drift.cpp.o"
+  "CMakeFiles/particle_drift.dir/particle_drift.cpp.o.d"
+  "particle_drift"
+  "particle_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/particle_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_dynamic.dir/spmv_dynamic.cpp.o"
+  "CMakeFiles/spmv_dynamic.dir/spmv_dynamic.cpp.o.d"
+  "spmv_dynamic"
+  "spmv_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

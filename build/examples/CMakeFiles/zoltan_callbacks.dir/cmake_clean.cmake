@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoltan_callbacks.dir/zoltan_callbacks.cpp.o"
+  "CMakeFiles/zoltan_callbacks.dir/zoltan_callbacks.cpp.o.d"
+  "zoltan_callbacks"
+  "zoltan_callbacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoltan_callbacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

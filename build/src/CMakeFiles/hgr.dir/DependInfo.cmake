@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/timer.cpp" "src/CMakeFiles/hgr.dir/common/timer.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/common/timer.cpp.o.d"
+  "/root/repo/src/core/alpha_advisor.cpp" "src/CMakeFiles/hgr.dir/core/alpha_advisor.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/core/alpha_advisor.cpp.o.d"
+  "/root/repo/src/core/callback_api.cpp" "src/CMakeFiles/hgr.dir/core/callback_api.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/core/callback_api.cpp.o.d"
+  "/root/repo/src/core/epoch_driver.cpp" "src/CMakeFiles/hgr.dir/core/epoch_driver.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/core/epoch_driver.cpp.o.d"
+  "/root/repo/src/core/migration_plan.cpp" "src/CMakeFiles/hgr.dir/core/migration_plan.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/core/migration_plan.cpp.o.d"
+  "/root/repo/src/core/repartition_model.cpp" "src/CMakeFiles/hgr.dir/core/repartition_model.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/core/repartition_model.cpp.o.d"
+  "/root/repo/src/core/repartitioner.cpp" "src/CMakeFiles/hgr.dir/core/repartitioner.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/core/repartitioner.cpp.o.d"
+  "/root/repo/src/graphpart/adaptive_repart.cpp" "src/CMakeFiles/hgr.dir/graphpart/adaptive_repart.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/graphpart/adaptive_repart.cpp.o.d"
+  "/root/repo/src/graphpart/diffusion.cpp" "src/CMakeFiles/hgr.dir/graphpart/diffusion.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/graphpart/diffusion.cpp.o.d"
+  "/root/repo/src/graphpart/gcoarsen.cpp" "src/CMakeFiles/hgr.dir/graphpart/gcoarsen.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/graphpart/gcoarsen.cpp.o.d"
+  "/root/repo/src/graphpart/ginitial.cpp" "src/CMakeFiles/hgr.dir/graphpart/ginitial.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/graphpart/ginitial.cpp.o.d"
+  "/root/repo/src/graphpart/gpartitioner.cpp" "src/CMakeFiles/hgr.dir/graphpart/gpartitioner.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/graphpart/gpartitioner.cpp.o.d"
+  "/root/repo/src/graphpart/grefine.cpp" "src/CMakeFiles/hgr.dir/graphpart/grefine.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/graphpart/grefine.cpp.o.d"
+  "/root/repo/src/graphpart/scratch_remap.cpp" "src/CMakeFiles/hgr.dir/graphpart/scratch_remap.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/graphpart/scratch_remap.cpp.o.d"
+  "/root/repo/src/hypergraph/builder.cpp" "src/CMakeFiles/hgr.dir/hypergraph/builder.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/hypergraph/builder.cpp.o.d"
+  "/root/repo/src/hypergraph/convert.cpp" "src/CMakeFiles/hgr.dir/hypergraph/convert.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/hypergraph/convert.cpp.o.d"
+  "/root/repo/src/hypergraph/graph.cpp" "src/CMakeFiles/hgr.dir/hypergraph/graph.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/hypergraph/graph.cpp.o.d"
+  "/root/repo/src/hypergraph/hypergraph.cpp" "src/CMakeFiles/hgr.dir/hypergraph/hypergraph.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/hypergraph/hypergraph.cpp.o.d"
+  "/root/repo/src/hypergraph/io.cpp" "src/CMakeFiles/hgr.dir/hypergraph/io.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/hypergraph/io.cpp.o.d"
+  "/root/repo/src/hypergraph/stats.cpp" "src/CMakeFiles/hgr.dir/hypergraph/stats.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/hypergraph/stats.cpp.o.d"
+  "/root/repo/src/metrics/balance.cpp" "src/CMakeFiles/hgr.dir/metrics/balance.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/metrics/balance.cpp.o.d"
+  "/root/repo/src/metrics/cost_model.cpp" "src/CMakeFiles/hgr.dir/metrics/cost_model.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/metrics/cost_model.cpp.o.d"
+  "/root/repo/src/metrics/cut.cpp" "src/CMakeFiles/hgr.dir/metrics/cut.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/metrics/cut.cpp.o.d"
+  "/root/repo/src/metrics/migration.cpp" "src/CMakeFiles/hgr.dir/metrics/migration.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/metrics/migration.cpp.o.d"
+  "/root/repo/src/metrics/partition_io.cpp" "src/CMakeFiles/hgr.dir/metrics/partition_io.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/metrics/partition_io.cpp.o.d"
+  "/root/repo/src/metrics/remap_optimal.cpp" "src/CMakeFiles/hgr.dir/metrics/remap_optimal.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/metrics/remap_optimal.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/CMakeFiles/hgr.dir/metrics/report.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/metrics/report.cpp.o.d"
+  "/root/repo/src/parallel/comm.cpp" "src/CMakeFiles/hgr.dir/parallel/comm.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/parallel/comm.cpp.o.d"
+  "/root/repo/src/parallel/dist_app.cpp" "src/CMakeFiles/hgr.dir/parallel/dist_app.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/parallel/dist_app.cpp.o.d"
+  "/root/repo/src/parallel/par_coarsen.cpp" "src/CMakeFiles/hgr.dir/parallel/par_coarsen.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/parallel/par_coarsen.cpp.o.d"
+  "/root/repo/src/parallel/par_initial.cpp" "src/CMakeFiles/hgr.dir/parallel/par_initial.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/parallel/par_initial.cpp.o.d"
+  "/root/repo/src/parallel/par_ipm.cpp" "src/CMakeFiles/hgr.dir/parallel/par_ipm.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/parallel/par_ipm.cpp.o.d"
+  "/root/repo/src/parallel/par_partitioner.cpp" "src/CMakeFiles/hgr.dir/parallel/par_partitioner.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/parallel/par_partitioner.cpp.o.d"
+  "/root/repo/src/parallel/par_refine.cpp" "src/CMakeFiles/hgr.dir/parallel/par_refine.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/parallel/par_refine.cpp.o.d"
+  "/root/repo/src/partition/config.cpp" "src/CMakeFiles/hgr.dir/partition/config.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/partition/config.cpp.o.d"
+  "/root/repo/src/partition/contract.cpp" "src/CMakeFiles/hgr.dir/partition/contract.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/partition/contract.cpp.o.d"
+  "/root/repo/src/partition/initial.cpp" "src/CMakeFiles/hgr.dir/partition/initial.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/partition/initial.cpp.o.d"
+  "/root/repo/src/partition/kway_refine.cpp" "src/CMakeFiles/hgr.dir/partition/kway_refine.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/partition/kway_refine.cpp.o.d"
+  "/root/repo/src/partition/matching_ipm.cpp" "src/CMakeFiles/hgr.dir/partition/matching_ipm.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/partition/matching_ipm.cpp.o.d"
+  "/root/repo/src/partition/partitioner.cpp" "src/CMakeFiles/hgr.dir/partition/partitioner.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/partition/partitioner.cpp.o.d"
+  "/root/repo/src/partition/recursive_bisect.cpp" "src/CMakeFiles/hgr.dir/partition/recursive_bisect.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/partition/recursive_bisect.cpp.o.d"
+  "/root/repo/src/partition/refine_fm.cpp" "src/CMakeFiles/hgr.dir/partition/refine_fm.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/partition/refine_fm.cpp.o.d"
+  "/root/repo/src/workload/datasets.cpp" "src/CMakeFiles/hgr.dir/workload/datasets.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/workload/datasets.cpp.o.d"
+  "/root/repo/src/workload/experiment.cpp" "src/CMakeFiles/hgr.dir/workload/experiment.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/workload/experiment.cpp.o.d"
+  "/root/repo/src/workload/generators.cpp" "src/CMakeFiles/hgr.dir/workload/generators.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/workload/generators.cpp.o.d"
+  "/root/repo/src/workload/perturb.cpp" "src/CMakeFiles/hgr.dir/workload/perturb.cpp.o" "gcc" "src/CMakeFiles/hgr.dir/workload/perturb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/bucket_pq_test.cpp" "tests/CMakeFiles/common_test.dir/common/bucket_pq_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/bucket_pq_test.cpp.o.d"
+  "/root/repo/tests/common/csr_utils_test.cpp" "tests/CMakeFiles/common_test.dir/common/csr_utils_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/csr_utils_test.cpp.o.d"
+  "/root/repo/tests/common/dsu_test.cpp" "tests/CMakeFiles/common_test.dir/common/dsu_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/dsu_test.cpp.o.d"
+  "/root/repo/tests/common/indexed_heap_test.cpp" "tests/CMakeFiles/common_test.dir/common/indexed_heap_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/indexed_heap_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/common_test.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/timer_test.cpp" "tests/CMakeFiles/common_test.dir/common/timer_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/timer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hgr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

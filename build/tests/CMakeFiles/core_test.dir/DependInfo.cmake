@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/alpha_advisor_test.cpp" "tests/CMakeFiles/core_test.dir/core/alpha_advisor_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/alpha_advisor_test.cpp.o.d"
+  "/root/repo/tests/core/callback_api_test.cpp" "tests/CMakeFiles/core_test.dir/core/callback_api_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/callback_api_test.cpp.o.d"
+  "/root/repo/tests/core/epoch_driver_test.cpp" "tests/CMakeFiles/core_test.dir/core/epoch_driver_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/epoch_driver_test.cpp.o.d"
+  "/root/repo/tests/core/migration_plan_test.cpp" "tests/CMakeFiles/core_test.dir/core/migration_plan_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/migration_plan_test.cpp.o.d"
+  "/root/repo/tests/core/paper_example_test.cpp" "tests/CMakeFiles/core_test.dir/core/paper_example_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/paper_example_test.cpp.o.d"
+  "/root/repo/tests/core/repartition_model_test.cpp" "tests/CMakeFiles/core_test.dir/core/repartition_model_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/repartition_model_test.cpp.o.d"
+  "/root/repo/tests/core/repartitioner_test.cpp" "tests/CMakeFiles/core_test.dir/core/repartitioner_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/repartitioner_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hgr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/alpha_advisor_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/alpha_advisor_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/callback_api_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/callback_api_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/epoch_driver_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/epoch_driver_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/migration_plan_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/migration_plan_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/paper_example_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/paper_example_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/repartition_model_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/repartition_model_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/repartitioner_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/repartitioner_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graphpart/adaptive_repart_test.cpp" "tests/CMakeFiles/graphpart_test.dir/graphpart/adaptive_repart_test.cpp.o" "gcc" "tests/CMakeFiles/graphpart_test.dir/graphpart/adaptive_repart_test.cpp.o.d"
+  "/root/repo/tests/graphpart/diffusion_test.cpp" "tests/CMakeFiles/graphpart_test.dir/graphpart/diffusion_test.cpp.o" "gcc" "tests/CMakeFiles/graphpart_test.dir/graphpart/diffusion_test.cpp.o.d"
+  "/root/repo/tests/graphpart/gcoarsen_test.cpp" "tests/CMakeFiles/graphpart_test.dir/graphpart/gcoarsen_test.cpp.o" "gcc" "tests/CMakeFiles/graphpart_test.dir/graphpart/gcoarsen_test.cpp.o.d"
+  "/root/repo/tests/graphpart/ginitial_test.cpp" "tests/CMakeFiles/graphpart_test.dir/graphpart/ginitial_test.cpp.o" "gcc" "tests/CMakeFiles/graphpart_test.dir/graphpart/ginitial_test.cpp.o.d"
+  "/root/repo/tests/graphpart/gpartitioner_test.cpp" "tests/CMakeFiles/graphpart_test.dir/graphpart/gpartitioner_test.cpp.o" "gcc" "tests/CMakeFiles/graphpart_test.dir/graphpart/gpartitioner_test.cpp.o.d"
+  "/root/repo/tests/graphpart/grefine_test.cpp" "tests/CMakeFiles/graphpart_test.dir/graphpart/grefine_test.cpp.o" "gcc" "tests/CMakeFiles/graphpart_test.dir/graphpart/grefine_test.cpp.o.d"
+  "/root/repo/tests/graphpart/scratch_remap_test.cpp" "tests/CMakeFiles/graphpart_test.dir/graphpart/scratch_remap_test.cpp.o" "gcc" "tests/CMakeFiles/graphpart_test.dir/graphpart/scratch_remap_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hgr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

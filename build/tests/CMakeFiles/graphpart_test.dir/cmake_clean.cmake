@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphpart_test.dir/graphpart/adaptive_repart_test.cpp.o"
+  "CMakeFiles/graphpart_test.dir/graphpart/adaptive_repart_test.cpp.o.d"
+  "CMakeFiles/graphpart_test.dir/graphpart/diffusion_test.cpp.o"
+  "CMakeFiles/graphpart_test.dir/graphpart/diffusion_test.cpp.o.d"
+  "CMakeFiles/graphpart_test.dir/graphpart/gcoarsen_test.cpp.o"
+  "CMakeFiles/graphpart_test.dir/graphpart/gcoarsen_test.cpp.o.d"
+  "CMakeFiles/graphpart_test.dir/graphpart/ginitial_test.cpp.o"
+  "CMakeFiles/graphpart_test.dir/graphpart/ginitial_test.cpp.o.d"
+  "CMakeFiles/graphpart_test.dir/graphpart/gpartitioner_test.cpp.o"
+  "CMakeFiles/graphpart_test.dir/graphpart/gpartitioner_test.cpp.o.d"
+  "CMakeFiles/graphpart_test.dir/graphpart/grefine_test.cpp.o"
+  "CMakeFiles/graphpart_test.dir/graphpart/grefine_test.cpp.o.d"
+  "CMakeFiles/graphpart_test.dir/graphpart/scratch_remap_test.cpp.o"
+  "CMakeFiles/graphpart_test.dir/graphpart/scratch_remap_test.cpp.o.d"
+  "graphpart_test"
+  "graphpart_test.pdb"
+  "graphpart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphpart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hypergraph/builder_test.cpp" "tests/CMakeFiles/hypergraph_test.dir/hypergraph/builder_test.cpp.o" "gcc" "tests/CMakeFiles/hypergraph_test.dir/hypergraph/builder_test.cpp.o.d"
+  "/root/repo/tests/hypergraph/convert_test.cpp" "tests/CMakeFiles/hypergraph_test.dir/hypergraph/convert_test.cpp.o" "gcc" "tests/CMakeFiles/hypergraph_test.dir/hypergraph/convert_test.cpp.o.d"
+  "/root/repo/tests/hypergraph/graph_test.cpp" "tests/CMakeFiles/hypergraph_test.dir/hypergraph/graph_test.cpp.o" "gcc" "tests/CMakeFiles/hypergraph_test.dir/hypergraph/graph_test.cpp.o.d"
+  "/root/repo/tests/hypergraph/hypergraph_test.cpp" "tests/CMakeFiles/hypergraph_test.dir/hypergraph/hypergraph_test.cpp.o" "gcc" "tests/CMakeFiles/hypergraph_test.dir/hypergraph/hypergraph_test.cpp.o.d"
+  "/root/repo/tests/hypergraph/io_test.cpp" "tests/CMakeFiles/hypergraph_test.dir/hypergraph/io_test.cpp.o" "gcc" "tests/CMakeFiles/hypergraph_test.dir/hypergraph/io_test.cpp.o.d"
+  "/root/repo/tests/hypergraph/stats_test.cpp" "tests/CMakeFiles/hypergraph_test.dir/hypergraph/stats_test.cpp.o" "gcc" "tests/CMakeFiles/hypergraph_test.dir/hypergraph/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hgr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

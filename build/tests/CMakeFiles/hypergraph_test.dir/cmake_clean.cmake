@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypergraph_test.dir/hypergraph/builder_test.cpp.o"
+  "CMakeFiles/hypergraph_test.dir/hypergraph/builder_test.cpp.o.d"
+  "CMakeFiles/hypergraph_test.dir/hypergraph/convert_test.cpp.o"
+  "CMakeFiles/hypergraph_test.dir/hypergraph/convert_test.cpp.o.d"
+  "CMakeFiles/hypergraph_test.dir/hypergraph/graph_test.cpp.o"
+  "CMakeFiles/hypergraph_test.dir/hypergraph/graph_test.cpp.o.d"
+  "CMakeFiles/hypergraph_test.dir/hypergraph/hypergraph_test.cpp.o"
+  "CMakeFiles/hypergraph_test.dir/hypergraph/hypergraph_test.cpp.o.d"
+  "CMakeFiles/hypergraph_test.dir/hypergraph/io_test.cpp.o"
+  "CMakeFiles/hypergraph_test.dir/hypergraph/io_test.cpp.o.d"
+  "CMakeFiles/hypergraph_test.dir/hypergraph/stats_test.cpp.o"
+  "CMakeFiles/hypergraph_test.dir/hypergraph/stats_test.cpp.o.d"
+  "hypergraph_test"
+  "hypergraph_test.pdb"
+  "hypergraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypergraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

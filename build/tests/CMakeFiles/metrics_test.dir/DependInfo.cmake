@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/metrics/balance_test.cpp" "tests/CMakeFiles/metrics_test.dir/metrics/balance_test.cpp.o" "gcc" "tests/CMakeFiles/metrics_test.dir/metrics/balance_test.cpp.o.d"
+  "/root/repo/tests/metrics/cost_model_test.cpp" "tests/CMakeFiles/metrics_test.dir/metrics/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/metrics_test.dir/metrics/cost_model_test.cpp.o.d"
+  "/root/repo/tests/metrics/cut_test.cpp" "tests/CMakeFiles/metrics_test.dir/metrics/cut_test.cpp.o" "gcc" "tests/CMakeFiles/metrics_test.dir/metrics/cut_test.cpp.o.d"
+  "/root/repo/tests/metrics/migration_test.cpp" "tests/CMakeFiles/metrics_test.dir/metrics/migration_test.cpp.o" "gcc" "tests/CMakeFiles/metrics_test.dir/metrics/migration_test.cpp.o.d"
+  "/root/repo/tests/metrics/partition_io_test.cpp" "tests/CMakeFiles/metrics_test.dir/metrics/partition_io_test.cpp.o" "gcc" "tests/CMakeFiles/metrics_test.dir/metrics/partition_io_test.cpp.o.d"
+  "/root/repo/tests/metrics/remap_optimal_test.cpp" "tests/CMakeFiles/metrics_test.dir/metrics/remap_optimal_test.cpp.o" "gcc" "tests/CMakeFiles/metrics_test.dir/metrics/remap_optimal_test.cpp.o.d"
+  "/root/repo/tests/metrics/report_test.cpp" "tests/CMakeFiles/metrics_test.dir/metrics/report_test.cpp.o" "gcc" "tests/CMakeFiles/metrics_test.dir/metrics/report_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hgr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_test.dir/metrics/balance_test.cpp.o"
+  "CMakeFiles/metrics_test.dir/metrics/balance_test.cpp.o.d"
+  "CMakeFiles/metrics_test.dir/metrics/cost_model_test.cpp.o"
+  "CMakeFiles/metrics_test.dir/metrics/cost_model_test.cpp.o.d"
+  "CMakeFiles/metrics_test.dir/metrics/cut_test.cpp.o"
+  "CMakeFiles/metrics_test.dir/metrics/cut_test.cpp.o.d"
+  "CMakeFiles/metrics_test.dir/metrics/migration_test.cpp.o"
+  "CMakeFiles/metrics_test.dir/metrics/migration_test.cpp.o.d"
+  "CMakeFiles/metrics_test.dir/metrics/partition_io_test.cpp.o"
+  "CMakeFiles/metrics_test.dir/metrics/partition_io_test.cpp.o.d"
+  "CMakeFiles/metrics_test.dir/metrics/remap_optimal_test.cpp.o"
+  "CMakeFiles/metrics_test.dir/metrics/remap_optimal_test.cpp.o.d"
+  "CMakeFiles/metrics_test.dir/metrics/report_test.cpp.o"
+  "CMakeFiles/metrics_test.dir/metrics/report_test.cpp.o.d"
+  "metrics_test"
+  "metrics_test.pdb"
+  "metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parallel/comm_stress_test.cpp" "tests/CMakeFiles/parallel_test.dir/parallel/comm_stress_test.cpp.o" "gcc" "tests/CMakeFiles/parallel_test.dir/parallel/comm_stress_test.cpp.o.d"
+  "/root/repo/tests/parallel/comm_test.cpp" "tests/CMakeFiles/parallel_test.dir/parallel/comm_test.cpp.o" "gcc" "tests/CMakeFiles/parallel_test.dir/parallel/comm_test.cpp.o.d"
+  "/root/repo/tests/parallel/dist_app_test.cpp" "tests/CMakeFiles/parallel_test.dir/parallel/dist_app_test.cpp.o" "gcc" "tests/CMakeFiles/parallel_test.dir/parallel/dist_app_test.cpp.o.d"
+  "/root/repo/tests/parallel/par_ipm_test.cpp" "tests/CMakeFiles/parallel_test.dir/parallel/par_ipm_test.cpp.o" "gcc" "tests/CMakeFiles/parallel_test.dir/parallel/par_ipm_test.cpp.o.d"
+  "/root/repo/tests/parallel/par_partitioner_test.cpp" "tests/CMakeFiles/parallel_test.dir/parallel/par_partitioner_test.cpp.o" "gcc" "tests/CMakeFiles/parallel_test.dir/parallel/par_partitioner_test.cpp.o.d"
+  "/root/repo/tests/parallel/par_refine_test.cpp" "tests/CMakeFiles/parallel_test.dir/parallel/par_refine_test.cpp.o" "gcc" "tests/CMakeFiles/parallel_test.dir/parallel/par_refine_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hgr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

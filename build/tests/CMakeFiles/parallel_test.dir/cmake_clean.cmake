@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_test.dir/parallel/comm_stress_test.cpp.o"
+  "CMakeFiles/parallel_test.dir/parallel/comm_stress_test.cpp.o.d"
+  "CMakeFiles/parallel_test.dir/parallel/comm_test.cpp.o"
+  "CMakeFiles/parallel_test.dir/parallel/comm_test.cpp.o.d"
+  "CMakeFiles/parallel_test.dir/parallel/dist_app_test.cpp.o"
+  "CMakeFiles/parallel_test.dir/parallel/dist_app_test.cpp.o.d"
+  "CMakeFiles/parallel_test.dir/parallel/par_ipm_test.cpp.o"
+  "CMakeFiles/parallel_test.dir/parallel/par_ipm_test.cpp.o.d"
+  "CMakeFiles/parallel_test.dir/parallel/par_partitioner_test.cpp.o"
+  "CMakeFiles/parallel_test.dir/parallel/par_partitioner_test.cpp.o.d"
+  "CMakeFiles/parallel_test.dir/parallel/par_refine_test.cpp.o"
+  "CMakeFiles/parallel_test.dir/parallel/par_refine_test.cpp.o.d"
+  "parallel_test"
+  "parallel_test.pdb"
+  "parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

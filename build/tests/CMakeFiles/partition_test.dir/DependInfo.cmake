@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/partition/contract_test.cpp" "tests/CMakeFiles/partition_test.dir/partition/contract_test.cpp.o" "gcc" "tests/CMakeFiles/partition_test.dir/partition/contract_test.cpp.o.d"
+  "/root/repo/tests/partition/fixed_vertices_test.cpp" "tests/CMakeFiles/partition_test.dir/partition/fixed_vertices_test.cpp.o" "gcc" "tests/CMakeFiles/partition_test.dir/partition/fixed_vertices_test.cpp.o.d"
+  "/root/repo/tests/partition/gain_queue_test.cpp" "tests/CMakeFiles/partition_test.dir/partition/gain_queue_test.cpp.o" "gcc" "tests/CMakeFiles/partition_test.dir/partition/gain_queue_test.cpp.o.d"
+  "/root/repo/tests/partition/initial_test.cpp" "tests/CMakeFiles/partition_test.dir/partition/initial_test.cpp.o" "gcc" "tests/CMakeFiles/partition_test.dir/partition/initial_test.cpp.o.d"
+  "/root/repo/tests/partition/kway_refine_test.cpp" "tests/CMakeFiles/partition_test.dir/partition/kway_refine_test.cpp.o" "gcc" "tests/CMakeFiles/partition_test.dir/partition/kway_refine_test.cpp.o.d"
+  "/root/repo/tests/partition/matching_ipm_test.cpp" "tests/CMakeFiles/partition_test.dir/partition/matching_ipm_test.cpp.o" "gcc" "tests/CMakeFiles/partition_test.dir/partition/matching_ipm_test.cpp.o.d"
+  "/root/repo/tests/partition/partitioner_test.cpp" "tests/CMakeFiles/partition_test.dir/partition/partitioner_test.cpp.o" "gcc" "tests/CMakeFiles/partition_test.dir/partition/partitioner_test.cpp.o.d"
+  "/root/repo/tests/partition/pathological_test.cpp" "tests/CMakeFiles/partition_test.dir/partition/pathological_test.cpp.o" "gcc" "tests/CMakeFiles/partition_test.dir/partition/pathological_test.cpp.o.d"
+  "/root/repo/tests/partition/refine_fm_test.cpp" "tests/CMakeFiles/partition_test.dir/partition/refine_fm_test.cpp.o" "gcc" "tests/CMakeFiles/partition_test.dir/partition/refine_fm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hgr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_test.dir/partition/contract_test.cpp.o"
+  "CMakeFiles/partition_test.dir/partition/contract_test.cpp.o.d"
+  "CMakeFiles/partition_test.dir/partition/fixed_vertices_test.cpp.o"
+  "CMakeFiles/partition_test.dir/partition/fixed_vertices_test.cpp.o.d"
+  "CMakeFiles/partition_test.dir/partition/gain_queue_test.cpp.o"
+  "CMakeFiles/partition_test.dir/partition/gain_queue_test.cpp.o.d"
+  "CMakeFiles/partition_test.dir/partition/initial_test.cpp.o"
+  "CMakeFiles/partition_test.dir/partition/initial_test.cpp.o.d"
+  "CMakeFiles/partition_test.dir/partition/kway_refine_test.cpp.o"
+  "CMakeFiles/partition_test.dir/partition/kway_refine_test.cpp.o.d"
+  "CMakeFiles/partition_test.dir/partition/matching_ipm_test.cpp.o"
+  "CMakeFiles/partition_test.dir/partition/matching_ipm_test.cpp.o.d"
+  "CMakeFiles/partition_test.dir/partition/partitioner_test.cpp.o"
+  "CMakeFiles/partition_test.dir/partition/partitioner_test.cpp.o.d"
+  "CMakeFiles/partition_test.dir/partition/pathological_test.cpp.o"
+  "CMakeFiles/partition_test.dir/partition/pathological_test.cpp.o.d"
+  "CMakeFiles/partition_test.dir/partition/refine_fm_test.cpp.o"
+  "CMakeFiles/partition_test.dir/partition/refine_fm_test.cpp.o.d"
+  "partition_test"
+  "partition_test.pdb"
+  "partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/datasets_test.cpp" "tests/CMakeFiles/workload_test.dir/workload/datasets_test.cpp.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/datasets_test.cpp.o.d"
+  "/root/repo/tests/workload/experiment_test.cpp" "tests/CMakeFiles/workload_test.dir/workload/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/experiment_test.cpp.o.d"
+  "/root/repo/tests/workload/generators_test.cpp" "tests/CMakeFiles/workload_test.dir/workload/generators_test.cpp.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/generators_test.cpp.o.d"
+  "/root/repo/tests/workload/perturb_test.cpp" "tests/CMakeFiles/workload_test.dir/workload/perturb_test.cpp.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/perturb_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hgr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hgr_cli.dir/hgr_cli.cpp.o"
+  "CMakeFiles/hgr_cli.dir/hgr_cli.cpp.o.d"
+  "hgr_cli"
+  "hgr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hgr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
