@@ -10,9 +10,21 @@
 #include <iostream>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "workload/experiment.hpp"
 
 namespace hgr::bench {
+
+/// Dump the accumulated trace (phase tree + counters) if the user passed
+/// --trace-json=FILE; the schema is shared with hgr_cli (see
+/// docs/OBSERVABILITY.md), so BENCH_*.json tooling can consume either.
+inline void maybe_dump_trace(const ExperimentConfig& cfg) {
+  if (cfg.trace_json.empty()) return;
+  if (obs::write_trace_json(cfg.trace_json))
+    std::cerr << "wrote trace to " << cfg.trace_json << "\n";
+  else
+    std::cerr << "error: could not write trace to " << cfg.trace_json << "\n";
+}
 
 inline ExperimentConfig default_config(const std::string& dataset,
                                        int argc, char** argv) {
@@ -41,6 +53,7 @@ inline int run_cost_figure(const std::string& figure,
     const auto cells = run_experiment(cfg, &std::cerr);
     print_cost_figure(figure, cfg, cells, std::cout);
   }
+  maybe_dump_trace(cfg);
   return 0;
 }
 
@@ -55,6 +68,7 @@ inline int run_runtime_figure(const std::string& figure,
             << " (scale=" << cfg.scale << ")\n";
   const auto cells = run_experiment(cfg, &std::cerr);
   print_runtime_figure(figure, cfg, cells, std::cout);
+  maybe_dump_trace(cfg);
   return 0;
 }
 

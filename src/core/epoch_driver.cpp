@@ -7,6 +7,7 @@
 #include "metrics/balance.hpp"
 #include "metrics/cut.hpp"
 #include "metrics/migration.hpp"
+#include "obs/trace.hpp"
 #include "partition/partitioner.hpp"
 
 namespace hgr {
@@ -53,6 +54,7 @@ double EpochRunSummary::mean_repart_seconds() const {
 EpochRunSummary run_epochs(EpochScenario& scenario,
                            RepartAlgorithm algorithm,
                            const RepartitionerConfig& cfg, Index num_epochs) {
+  obs::TraceScope run_scope("epochs");
   EpochRunSummary summary;
   for (Index e = 1; e <= num_epochs; ++e) {
     EpochProblem problem = scenario.next_epoch();
@@ -62,6 +64,8 @@ EpochRunSummary run_epochs(EpochScenario& scenario,
     record.epoch = e;
     record.num_vertices = problem.graph.num_vertices();
 
+    obs::TraceScope epoch_scope(problem.first ? "epoch.static"
+                                              : "epoch.repartition");
     Partition chosen;
     if (problem.first) {
       // Epoch 1: static partitioning (paper Section 3). Each family uses
@@ -87,6 +91,15 @@ EpochRunSummary run_epochs(EpochScenario& scenario,
       chosen = std::move(result.partition);
     }
     record.imbalance = imbalance(problem.graph.vertex_weights(), chosen);
+    obs::counter("epoch.count") += 1;
+    obs::counter("epoch.comm_volume") +=
+        static_cast<std::uint64_t>(record.cost.comm_volume);
+    obs::counter("epoch.migration_volume") +=
+        static_cast<std::uint64_t>(record.cost.migration_volume);
+    obs::counter("epoch.total_cost") +=
+        static_cast<std::uint64_t>(record.cost.total());
+    obs::counter("epoch.migrated_vertices") +=
+        static_cast<std::uint64_t>(record.num_migrated);
     summary.epochs.push_back(record);
     scenario.record_partition(chosen);
   }

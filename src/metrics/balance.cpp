@@ -39,4 +39,15 @@ bool is_balanced(std::span<const Weight> vertex_weights, const Partition& p,
   return imbalance(vertex_weights, p) <= eps + 1e-12;
 }
 
+Weight max_part_weight(Weight total_weight, PartId k, double epsilon) {
+  HGR_ASSERT(k >= 1);
+  HGR_ASSERT(epsilon >= 0.0);
+  const double avg =
+      static_cast<double>(total_weight) / static_cast<double>(k);
+  const auto relaxed = static_cast<Weight>(avg * (1.0 + epsilon));
+  const Weight ceil_avg =
+      (total_weight + static_cast<Weight>(k) - 1) / static_cast<Weight>(k);
+  return std::max(relaxed, ceil_avg);
+}
+
 }  // namespace hgr

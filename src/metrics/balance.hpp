@@ -22,4 +22,12 @@ double imbalance_of(const std::vector<Weight>& part_weights);
 bool is_balanced(std::span<const Weight> vertex_weights, const Partition& p,
                  double eps);
 
+/// Eq. 1 balance bound with ceil semantics: the largest weight a part may
+/// hold, max(floor(W_avg * (1 + eps)), ceil(W_avg)). Plain truncation of
+/// W_avg * (1 + eps) floors below ceil(W_avg) whenever the average is
+/// fractional and eps is small, which rejects moves into parts that a
+/// perfectly balanced partition must fill; some part always weighs at
+/// least ceil(W_avg), so that is the tightest enforceable bound.
+Weight max_part_weight(Weight total_weight, PartId k, double epsilon);
+
 }  // namespace hgr

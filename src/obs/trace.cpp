@@ -1,0 +1,224 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/assert.hpp"
+
+namespace hgr::obs {
+
+namespace {
+
+std::atomic<Registry*> g_override{nullptr};
+
+void json_escape_to(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void phase_to_json(std::string& out, const PhaseSnapshot& node) {
+  out += "{\"name\":\"";
+  json_escape_to(out, node.name);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\",\"seconds\":%.9g,\"calls\":%llu",
+                node.seconds, static_cast<unsigned long long>(node.calls));
+  out += buf;
+  if (!node.children.empty()) {
+    out += ",\"children\":[";
+    for (std::size_t i = 0; i < node.children.size(); ++i) {
+      if (i != 0) out += ',';
+      phase_to_json(out, node.children[i]);
+    }
+    out += ']';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+const PhaseSnapshot* find_phase(const PhaseSnapshot& root,
+                                std::initializer_list<std::string_view> path) {
+  const PhaseSnapshot* node = &root;
+  for (const std::string_view part : path) {
+    const PhaseSnapshot* next = nullptr;
+    for (const PhaseSnapshot& child : node->children) {
+      if (child.name == part) {
+        next = &child;
+        break;
+      }
+    }
+    if (next == nullptr) return nullptr;
+    node = next;
+  }
+  return node;
+}
+
+std::atomic<std::uint64_t>& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  auto cell = std::make_unique<std::atomic<std::uint64_t>>(0);
+  std::atomic<std::uint64_t>& ref = *cell;
+  counters_.emplace(std::string(name), std::move(cell));
+  return ref;
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->load();
+}
+
+std::map<std::string, std::uint64_t> Registry::counters() const {
+  std::lock_guard lock(mutex_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, cell] : counters_) out[name] = cell->load();
+  return out;
+}
+
+Registry::Node* Registry::find_or_add_child(Node& parent,
+                                            std::string_view name) {
+  for (const auto& child : parent.children)
+    if (child->name == name) return child.get();
+  auto node = std::make_unique<Node>();
+  node->name = std::string(name);
+  parent.children.push_back(std::move(node));
+  return parent.children.back().get();
+}
+
+void Registry::begin_phase(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  std::vector<Node*>& stack = stacks_[std::this_thread::get_id()];
+  Node& parent = stack.empty() ? root_ : *stack.back();
+  stack.push_back(find_or_add_child(parent, name));
+}
+
+void Registry::end_phase(double seconds) {
+  std::lock_guard lock(mutex_);
+  std::vector<Node*>& stack = stacks_[std::this_thread::get_id()];
+  HGR_ASSERT_MSG(!stack.empty(), "TraceScope end without matching begin");
+  Node* node = stack.back();
+  stack.pop_back();
+  node->seconds += seconds;
+  ++node->calls;
+}
+
+namespace {
+
+PhaseSnapshot snapshot_node(const std::string& name, double seconds,
+                            std::uint64_t calls) {
+  PhaseSnapshot s;
+  s.name = name;
+  s.seconds = seconds;
+  s.calls = calls;
+  return s;
+}
+
+}  // namespace
+
+PhaseSnapshot Registry::phase_tree() const {
+  std::lock_guard lock(mutex_);
+  // Iterative deep copy (the tree is shallow; recursion would be fine too,
+  // but this keeps the lock-held work simple and allocation-bounded).
+  struct Frame {
+    const Node* src;
+    PhaseSnapshot* dst;
+  };
+  PhaseSnapshot root = snapshot_node(root_.name, root_.seconds, root_.calls);
+  std::vector<Frame> work{{&root_, &root}};
+  while (!work.empty()) {
+    const Frame f = work.back();
+    work.pop_back();
+    f.dst->children.reserve(f.src->children.size());
+    for (const auto& child : f.src->children) {
+      f.dst->children.push_back(
+          snapshot_node(child->name, child->seconds, child->calls));
+      work.push_back({child.get(), &f.dst->children.back()});
+    }
+  }
+  return root;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  for (const auto& [tid, stack] : stacks_)
+    HGR_ASSERT_MSG(stack.empty(), "Registry::reset inside an open TraceScope");
+  stacks_.clear();
+  root_ = Node{};
+  counters_.clear();
+}
+
+Registry& global_registry() {
+  static Registry default_registry;
+  Registry* injected = g_override.load(std::memory_order_acquire);
+  return injected != nullptr ? *injected : default_registry;
+}
+
+Registry* set_global_registry(Registry* r) {
+  return g_override.exchange(r, std::memory_order_acq_rel);
+}
+
+std::string trace_to_json(const Registry& reg) {
+  const PhaseSnapshot root = reg.phase_tree();
+  const std::map<std::string, std::uint64_t> counters = reg.counters();
+  std::string out = "{\"schema\":\"hgr-trace-v1\",\"phases\":[";
+  for (std::size_t i = 0; i < root.children.size(); ++i) {
+    if (i != 0) out += ',';
+    phase_to_json(out, root.children[i]);
+  }
+  out += "],\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    json_escape_to(out, name);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "\":%llu",
+                  static_cast<unsigned long long>(value));
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+std::string trace_to_json() { return trace_to_json(global_registry()); }
+
+bool write_trace_json(const std::string& path, const Registry& reg) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << trace_to_json(reg) << '\n';
+  return static_cast<bool>(out);
+}
+
+bool write_trace_json(const std::string& path) {
+  return write_trace_json(path, global_registry());
+}
+
+}  // namespace hgr::obs

@@ -1,0 +1,145 @@
+// Phase-level observability: hierarchical trace scopes, named monotonic
+// counters, and a JSON exporter.
+//
+// The paper's evaluation is a measurement story (total cost alpha*comm +
+// mig, partitioner run time broken down by phase), so instrumentation is a
+// first-class subsystem: every pipeline stage opens a TraceScope and bumps
+// counters, and any driver (hgr_cli --trace-json=, the bench binaries) can
+// dump the whole run as machine-readable JSON. See docs/OBSERVABILITY.md
+// for the schema and the counter naming convention.
+//
+// Threading model: counters are atomics and may be bumped from any thread
+// (the parallel runtime's rank threads do). The phase tree keeps one scope
+// stack per thread; scopes opened on different threads with the same name
+// under the same parent merge into one node (seconds summed, calls
+// counted), so per-rank instrumentation aggregates naturally.
+//
+// The global registry is injectable: tests isolate themselves with
+//   obs::Registry reg;
+//   obs::ScopedRegistry scope(reg);
+// which routes obs::counter()/TraceScope to `reg` until scope exits.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/timer.hpp"
+
+namespace hgr::obs {
+
+/// Immutable copy of the phase tree, safe to inspect while the live
+/// registry keeps accumulating.
+struct PhaseSnapshot {
+  std::string name;
+  double seconds = 0.0;       // total wall time across all calls
+  std::uint64_t calls = 0;    // completed scopes merged into this node
+  std::vector<PhaseSnapshot> children;
+};
+
+/// Find a node by path from `root` (children only, not root itself).
+/// Returns nullptr if any path element is missing.
+const PhaseSnapshot* find_phase(const PhaseSnapshot& root,
+                                std::initializer_list<std::string_view> path);
+
+/// Holds one run's phase tree and counters.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Named monotonic counter; created on first use. The returned atomic
+  /// stays valid for the registry's lifetime.
+  std::atomic<std::uint64_t>& counter(std::string_view name);
+
+  /// Current value, 0 if the counter was never touched.
+  std::uint64_t counter_value(std::string_view name) const;
+
+  /// Snapshot of all counters.
+  std::map<std::string, std::uint64_t> counters() const;
+
+  /// Snapshot of the phase tree (root is a synthetic "" node whose
+  /// children are the top-level phases).
+  PhaseSnapshot phase_tree() const;
+
+  /// Drop all phases and counters (scope stacks must be empty).
+  void reset();
+
+  // TraceScope plumbing: open/close a phase on the calling thread's stack.
+  void begin_phase(std::string_view name);
+  void end_phase(double seconds);
+
+ private:
+  struct Node {
+    std::string name;
+    double seconds = 0.0;
+    std::uint64_t calls = 0;
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  Node* find_or_add_child(Node& parent, std::string_view name);
+
+  mutable std::mutex mutex_;
+  Node root_;
+  std::map<std::thread::id, std::vector<Node*>> stacks_;
+  std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>,
+           std::less<>>
+      counters_;
+};
+
+/// The process-global registry, unless one was injected.
+Registry& global_registry();
+
+/// Inject `r` as the global registry (nullptr restores the default).
+/// Returns the previous override (nullptr if none).
+Registry* set_global_registry(Registry* r);
+
+/// RAII injection, for tests and scoped measurement runs.
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(Registry& r) : prev_(set_global_registry(&r)) {}
+  ~ScopedRegistry() { set_global_registry(prev_); }
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+ private:
+  Registry* prev_;
+};
+
+/// Shorthand: obs::counter("refine.moves") += n;
+inline std::atomic<std::uint64_t>& counter(std::string_view name) {
+  return global_registry().counter(name);
+}
+
+/// RAII phase timer. Nest freely; same-named siblings merge.
+class TraceScope {
+ public:
+  explicit TraceScope(std::string_view name, Registry* reg = nullptr)
+      : reg_(reg != nullptr ? reg : &global_registry()) {
+    reg_->begin_phase(name);
+  }
+  ~TraceScope() { reg_->end_phase(timer_.seconds()); }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Registry* reg_;
+  WallTimer timer_;
+};
+
+/// Serialize phases + counters as JSON (schema "hgr-trace-v1").
+std::string trace_to_json(const Registry& reg);
+std::string trace_to_json();  // global registry
+
+/// Write trace_to_json(reg) to `path`. Returns false on I/O failure.
+bool write_trace_json(const std::string& path, const Registry& reg);
+bool write_trace_json(const std::string& path);  // global registry
+
+}  // namespace hgr::obs

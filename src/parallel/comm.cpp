@@ -1,6 +1,10 @@
 #include "parallel/comm.hpp"
 
+#include <exception>
+#include <string>
 #include <thread>
+
+#include "obs/trace.hpp"
 
 namespace hgr {
 
@@ -20,16 +24,42 @@ void Comm::run(const std::function<void(RankContext&)>& f) {
   }
   barrier_arrived_ = 0;
   barrier_generation_ = 0;
+  aborted_.store(false, std::memory_order_relaxed);
 
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(num_ranks_));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(num_ranks_));
   for (int r = 0; r < num_ranks_; ++r) {
-    threads.emplace_back([this, r, &f] {
-      RankContext ctx(*this, r);
-      f(ctx);
+    threads.emplace_back([this, r, &f, &errors] {
+      try {
+        RankContext ctx(*this, r);
+        f(ctx);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        abort_all();
+      }
     });
   }
   for (auto& t : threads) t.join();
+  aborted_.store(false, std::memory_order_relaxed);
+
+  // Rethrow the lowest-rank *original* failure; secondary CommAborted
+  // unwinds (ranks woken because a peer died) only surface if, somehow, no
+  // primary exception was captured.
+  std::exception_ptr fallback;
+  for (const std::exception_ptr& e : errors) {
+    if (!e) continue;
+    if (!fallback) fallback = e;
+    try {
+      std::rethrow_exception(e);
+    } catch (const CommAborted&) {
+      continue;
+    } catch (...) {
+      throw;
+    }
+  }
+  if (fallback) std::rethrow_exception(fallback);
 }
 
 CommStats Comm::total_stats() const {
@@ -42,8 +72,21 @@ CommStats Comm::total_stats() const {
   return total;
 }
 
+void Comm::abort_all() {
+  aborted_.store(true, std::memory_order_release);
+  // Lock each waiter's mutex before notifying so the flag cannot slip in
+  // between a predicate check and the wait.
+  for (auto& box : mailboxes_) {
+    std::lock_guard lock(box.mutex);
+    box.ready.notify_all();
+  }
+  std::lock_guard lock(barrier_mutex_);
+  barrier_cv_.notify_all();
+}
+
 void Comm::barrier_wait() {
   std::unique_lock lock(barrier_mutex_);
+  if (aborted_.load(std::memory_order_acquire)) throw CommAborted{};
   const std::uint64_t my_generation = barrier_generation_;
   if (++barrier_arrived_ == num_ranks_) {
     barrier_arrived_ = 0;
@@ -51,8 +94,10 @@ void Comm::barrier_wait() {
     barrier_cv_.notify_all();
   } else {
     barrier_cv_.wait(lock, [this, my_generation] {
-      return barrier_generation_ != my_generation;
+      return barrier_generation_ != my_generation ||
+             aborted_.load(std::memory_order_acquire);
     });
+    if (barrier_generation_ == my_generation) throw CommAborted{};
   }
 }
 
@@ -68,8 +113,31 @@ void RankContext::account(std::size_t bytes, std::size_t messages) {
   s.messages_sent += messages;
 }
 
+void RankContext::record_collective(const char* type, std::size_t bytes) {
+  const std::string base = std::string("comm.") + type;
+  obs::counter(base + ".count") += 1;
+  if (bytes != 0) obs::counter(base + ".bytes") += bytes;
+}
+
 void RankContext::send_bytes(int dest, int tag,
                              std::span<const std::uint8_t> data) {
+  HGR_ASSERT_MSG(tag != kAlltoallTag,
+                 "user tag collides with the reserved alltoall tag");
+  if (dest != rank_) {
+    obs::counter("comm.p2p.count") += 1;
+    obs::counter("comm.p2p.bytes") += data.size();
+  }
+  send_bytes_impl(dest, tag, data);
+}
+
+std::vector<std::uint8_t> RankContext::recv_bytes(int src, int tag) {
+  HGR_ASSERT_MSG(tag != kAlltoallTag,
+                 "user tag collides with the reserved alltoall tag");
+  return recv_bytes_impl(src, tag);
+}
+
+void RankContext::send_bytes_impl(int dest, int tag,
+                                  std::span<const std::uint8_t> data) {
   HGR_ASSERT(dest >= 0 && dest < size());
   // Self-sends stay local (MPI implementations also bypass the network).
   if (dest != rank_) account(data.size(), 1);
@@ -81,15 +149,17 @@ void RankContext::send_bytes(int dest, int tag,
   box.ready.notify_all();
 }
 
-std::vector<std::uint8_t> RankContext::recv_bytes(int src, int tag) {
+std::vector<std::uint8_t> RankContext::recv_bytes_impl(int src, int tag) {
   HGR_ASSERT(src >= 0 && src < size());
   Comm::Mailbox& box = comm_.mailboxes_[static_cast<std::size_t>(rank_)];
   std::unique_lock lock(box.mutex);
   const auto key = std::make_pair(src, tag);
-  box.ready.wait(lock, [&box, &key] {
+  box.ready.wait(lock, [this, &box, &key] {
+    if (comm_.aborted_.load(std::memory_order_acquire)) return true;
     const auto it = box.queues.find(key);
     return it != box.queues.end() && !it->second.empty();
   });
+  if (comm_.aborted_.load(std::memory_order_acquire)) throw CommAborted{};
   auto& queue = box.queues[key];
   std::vector<std::uint8_t> msg = std::move(queue.front());
   queue.pop_front();
@@ -97,6 +167,7 @@ std::vector<std::uint8_t> RankContext::recv_bytes(int src, int tag) {
 }
 
 void RankContext::barrier() {
+  record_collective("barrier", 0);
   comm_.stats_[static_cast<std::size_t>(rank_)].collectives += 1;
   comm_.barrier_wait();
 }

@@ -8,8 +8,15 @@
 // is counted in bytes per rank, so communication *volume* — the metric the
 // paper's claims rest on — is measured exactly even though wall-clock
 // scalability is not reproducible on one core.
+//
+// Failure model: an exception escaping one rank's function aborts the
+// communicator — every rank blocked in a recv or collective is woken with
+// CommAborted, all threads are joined, and Comm::run rethrows the
+// lowest-rank original exception to the caller. The communicator stays
+// reusable afterwards.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <cstring>
@@ -18,6 +25,7 @@
 #include <map>
 #include <mutex>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -33,8 +41,17 @@ struct CommStats {
 
 class Comm;
 
-/// Reserved tag used internally by alltoallv.
+/// Reserved tag used internally by alltoallv. User sends/recvs must not
+/// use it (asserted), or they would interleave with collective traffic.
 inline constexpr int kAlltoallTag = -424242;
+
+/// Thrown inside ranks blocked on communication when a peer rank failed;
+/// Comm::run translates it back into the peer's original exception.
+class CommAborted : public std::runtime_error {
+ public:
+  CommAborted()
+      : std::runtime_error("communication aborted: a peer rank threw") {}
+};
 
 /// Handle a rank uses inside Comm::run. All operations are blocking and
 /// must be called congruently across ranks (like MPI collectives).
@@ -50,20 +67,16 @@ class RankContext {
 
   template <typename T>
   void send(int dest, int tag, std::span<const T> data) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    send_bytes(dest, tag,
-               {reinterpret_cast<const std::uint8_t*>(data.data()),
-                data.size() * sizeof(T)});
+    HGR_ASSERT_MSG(tag != kAlltoallTag,
+                   "user tag collides with the reserved alltoall tag");
+    send_typed<T>(dest, tag, data);
   }
 
   template <typename T>
   std::vector<T> recv(int src, int tag) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    const std::vector<std::uint8_t> raw = recv_bytes(src, tag);
-    HGR_ASSERT(raw.size() % sizeof(T) == 0);
-    std::vector<T> out(raw.size() / sizeof(T));
-    std::memcpy(out.data(), raw.data(), raw.size());
-    return out;
+    HGR_ASSERT_MSG(tag != kAlltoallTag,
+                   "user tag collides with the reserved alltoall tag");
+    return recv_typed<T>(src, tag);
   }
 
   void barrier();
@@ -71,10 +84,21 @@ class RankContext {
   /// Gather each rank's vector; every rank receives the concatenation in
   /// rank order (returned per-rank to preserve boundaries).
   template <typename T>
-  std::vector<std::vector<T>> allgather(const std::vector<T>& mine);
+  std::vector<std::vector<T>> allgather(const std::vector<T>& mine) {
+    record_collective("allgather", mine.size() * sizeof(T) *
+                                       static_cast<std::size_t>(size() - 1));
+    return allgather_impl<T>(mine);
+  }
 
   template <typename T>
-  T allreduce(T value, const std::function<T(T, T)>& op);
+  T allreduce(T value, const std::function<T(T, T)>& op) {
+    record_collective("allreduce",
+                      sizeof(T) * static_cast<std::size_t>(size() - 1));
+    const std::vector<std::vector<T>> all = allgather_impl<T>({value});
+    T acc = all[0][0];
+    for (std::size_t r = 1; r < all.size(); ++r) acc = op(acc, all[r][0]);
+    return acc;
+  }
 
   template <typename T>
   T allreduce_sum(T value) {
@@ -93,18 +117,82 @@ class RankContext {
   /// vector per source rank.
   template <typename T>
   std::vector<std::vector<T>> alltoallv(
-      const std::vector<std::vector<T>>& outgoing);
+      const std::vector<std::vector<T>>& outgoing) {
+    HGR_ASSERT(static_cast<int>(outgoing.size()) == size());
+    std::size_t off_rank_bytes = 0;
+    for (int d = 0; d < size(); ++d)
+      if (d != rank_)
+        off_rank_bytes +=
+            outgoing[static_cast<std::size_t>(d)].size() * sizeof(T);
+    record_collective("alltoallv", off_rank_bytes);
+    for (int d = 0; d < size(); ++d)
+      send_typed<T>(d, /*tag=*/kAlltoallTag,
+                    outgoing[static_cast<std::size_t>(d)]);
+    std::vector<std::vector<T>> incoming(static_cast<std::size_t>(size()));
+    for (int s = 0; s < size(); ++s)
+      incoming[static_cast<std::size_t>(s)] = recv_typed<T>(s, kAlltoallTag);
+    barrier();
+    return incoming;
+  }
 
   /// Broadcast root's vector to everyone.
   template <typename T>
-  std::vector<T> bcast(const std::vector<T>& mine, int root);
+  std::vector<T> bcast(const std::vector<T>& mine, int root) {
+    record_collective("bcast",
+                      rank_ == root
+                          ? mine.size() * sizeof(T) *
+                                static_cast<std::size_t>(size() - 1)
+                          : 0);
+    // Built on the slot area: only the root's slot is read.
+    const std::vector<std::vector<T>> all =
+        allgather_impl<T>(rank() == root ? mine : std::vector<T>{});
+    return all[static_cast<std::size_t>(root)];
+  }
 
   const CommStats& stats() const;
 
  private:
   void account(std::size_t bytes, std::size_t messages);
+  /// Bump obs counters comm.<type>.count / comm.<type>.bytes.
+  void record_collective(const char* type, std::size_t bytes);
+  void send_bytes_impl(int dest, int tag, std::span<const std::uint8_t> data);
+  std::vector<std::uint8_t> recv_bytes_impl(int src, int tag);
   void exchange_slot(const std::vector<std::uint8_t>& mine,
                      std::vector<std::vector<std::uint8_t>>& all_out);
+
+  template <typename T>
+  void send_typed(int dest, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes_impl(dest, tag,
+                    {reinterpret_cast<const std::uint8_t*>(data.data()),
+                     data.size() * sizeof(T)});
+  }
+
+  template <typename T>
+  std::vector<T> recv_typed(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::vector<std::uint8_t> raw = recv_bytes_impl(src, tag);
+    HGR_ASSERT(raw.size() % sizeof(T) == 0);
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  template <typename T>
+  std::vector<std::vector<T>> allgather_impl(const std::vector<T>& mine) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::uint8_t> raw(mine.size() * sizeof(T));
+    std::memcpy(raw.data(), mine.data(), raw.size());
+    std::vector<std::vector<std::uint8_t>> all;
+    exchange_slot(raw, all);
+    std::vector<std::vector<T>> out(all.size());
+    for (std::size_t r = 0; r < all.size(); ++r) {
+      HGR_ASSERT(all[r].size() % sizeof(T) == 0);
+      out[r].resize(all[r].size() / sizeof(T));
+      std::memcpy(out[r].data(), all[r].data(), all[r].size());
+    }
+    return out;
+  }
 
   Comm& comm_;
   int rank_;
@@ -119,8 +207,9 @@ class Comm {
   int num_ranks() const { return num_ranks_; }
 
   /// Run f as rank r on each of num_ranks threads; returns when all ranks
-  /// finish. Exceptions in a rank abort the process (no recovery story, as
-  /// with MPI).
+  /// finish. If any rank throws, every other rank blocked in communication
+  /// is aborted (it observes CommAborted), all threads are joined, and the
+  /// lowest-rank original exception is rethrown here.
   void run(const std::function<void(RankContext&)>& f);
 
   /// Aggregate traffic over all ranks from the last run().
@@ -142,6 +231,9 @@ class Comm {
   // Sense-reversing generation barrier.
   void barrier_wait();
 
+  // Wake every rank blocked in a recv or barrier; they throw CommAborted.
+  void abort_all();
+
   int num_ranks_;
   std::vector<Mailbox> mailboxes_;
   std::vector<CommStats> stats_;
@@ -150,55 +242,10 @@ class Comm {
   std::condition_variable barrier_cv_;
   int barrier_arrived_ = 0;
   std::uint64_t barrier_generation_ = 0;
+  std::atomic<bool> aborted_{false};
 
   // Collective exchange area: one slot per rank, fenced by barriers.
   std::vector<std::vector<std::uint8_t>> slots_;
 };
-
-template <typename T>
-std::vector<std::vector<T>> RankContext::allgather(
-    const std::vector<T>& mine) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  std::vector<std::uint8_t> raw(mine.size() * sizeof(T));
-  std::memcpy(raw.data(), mine.data(), raw.size());
-  std::vector<std::vector<std::uint8_t>> all;
-  exchange_slot(raw, all);
-  std::vector<std::vector<T>> out(all.size());
-  for (std::size_t r = 0; r < all.size(); ++r) {
-    HGR_ASSERT(all[r].size() % sizeof(T) == 0);
-    out[r].resize(all[r].size() / sizeof(T));
-    std::memcpy(out[r].data(), all[r].data(), all[r].size());
-  }
-  return out;
-}
-
-template <typename T>
-T RankContext::allreduce(T value, const std::function<T(T, T)>& op) {
-  const std::vector<std::vector<T>> all = allgather<T>({value});
-  T acc = all[0][0];
-  for (std::size_t r = 1; r < all.size(); ++r) acc = op(acc, all[r][0]);
-  return acc;
-}
-
-template <typename T>
-std::vector<std::vector<T>> RankContext::alltoallv(
-    const std::vector<std::vector<T>>& outgoing) {
-  HGR_ASSERT(static_cast<int>(outgoing.size()) == size());
-  for (int d = 0; d < size(); ++d)
-    send<T>(d, /*tag=*/kAlltoallTag, outgoing[static_cast<std::size_t>(d)]);
-  std::vector<std::vector<T>> incoming(static_cast<std::size_t>(size()));
-  for (int s = 0; s < size(); ++s)
-    incoming[static_cast<std::size_t>(s)] = recv<T>(s, kAlltoallTag);
-  barrier();
-  return incoming;
-}
-
-template <typename T>
-std::vector<T> RankContext::bcast(const std::vector<T>& mine, int root) {
-  // Built on the slot area: only the root's slot is read.
-  const std::vector<std::vector<T>> all = allgather<T>(
-      rank() == root ? mine : std::vector<T>{});
-  return all[static_cast<std::size_t>(root)];
-}
 
 }  // namespace hgr

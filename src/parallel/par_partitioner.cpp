@@ -2,15 +2,18 @@
 
 #include <algorithm>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/timer.hpp"
 #include "core/repartition_model.hpp"
+#include "obs/trace.hpp"
 #include "parallel/par_coarsen.hpp"
 #include "parallel/par_initial.hpp"
 #include "parallel/par_ipm.hpp"
 #include "parallel/par_refine.hpp"
+#include "partition/partitioner.hpp"  // record_coarsen_level
 
 namespace hgr {
 
@@ -29,6 +32,13 @@ ParallelPartitionResult parallel_partition_hypergraph(
   std::mutex out_mutex;
 
   comm.run([&](RankContext& ctx) {
+    // Phases are timed on rank 0 only: the ranks run in lockstep (every
+    // stage ends in a collective), so rank 0's wall time is representative
+    // and the trace stays one tree instead of p overlapping ones.
+    const bool lead = ctx.rank() == 0;
+    std::optional<obs::TraceScope> run_scope;
+    if (lead) run_scope.emplace("par_partition");
+
     const Index stop_size =
         std::max<Index>(cfg.base.coarsen_to, 2 * cfg.base.num_parts);
     const Weight max_vertex_weight = std::max<Weight>(
@@ -42,47 +52,65 @@ ParallelPartitionResult parallel_partition_hypergraph(
     // ranks, so contraction is too (parallel_contract asserts it).
     std::vector<CoarseLevel> levels;
     const Hypergraph* current = &h;
-    for (Index level = 0; level < cfg.base.max_levels; ++level) {
-      if (current->num_vertices() <= stop_size) break;
-      const std::uint64_t level_seed =
-          derive_seed(cfg.base.seed, static_cast<std::uint64_t>(level));
-      const std::vector<Index> match =
-          cfg.local_matching
-              ? local_ipm_matching(ctx, *current, cfg.base,
-                                   max_vertex_weight, level_seed)
-              : parallel_ipm_matching(ctx, *current, cfg.base,
-                                      max_vertex_weight, level_seed);
-      CoarseLevel next = parallel_contract(ctx, *current, match);
-      const double reduction =
-          1.0 - static_cast<double>(next.coarse.num_vertices()) /
-                    static_cast<double>(current->num_vertices());
-      if (reduction < cfg.base.min_coarsen_reduction) break;
-      levels.push_back(std::move(next));
-      current = &levels.back().coarse;
+    {
+      std::optional<obs::TraceScope> coarsen_scope;
+      if (lead) coarsen_scope.emplace("coarsen");
+      for (Index level = 0; level < cfg.base.max_levels; ++level) {
+        if (current->num_vertices() <= stop_size) break;
+        const std::uint64_t level_seed =
+            derive_seed(cfg.base.seed, static_cast<std::uint64_t>(level));
+        const std::vector<Index> match =
+            cfg.local_matching
+                ? local_ipm_matching(ctx, *current, cfg.base,
+                                     max_vertex_weight, level_seed)
+                : parallel_ipm_matching(ctx, *current, cfg.base,
+                                        max_vertex_weight, level_seed);
+        CoarseLevel next = parallel_contract(ctx, *current, match);
+        const double reduction =
+            1.0 - static_cast<double>(next.coarse.num_vertices()) /
+                      static_cast<double>(current->num_vertices());
+        if (reduction < cfg.base.min_coarsen_reduction) break;
+        if (lead)
+          record_coarsen_level(current->num_vertices(),
+                               next.coarse.num_vertices(), match);
+        levels.push_back(std::move(next));
+        current = &levels.back().coarse;
+      }
     }
 
     // Coarse partitioning: every rank tries its own seed; best wins.
-    Partition p = parallel_coarse_partition(ctx, *current, cfg.base,
-                                            derive_seed(cfg.base.seed, 5000));
-
-    // Uncoarsening with synchronized localized refinement.
-    parallel_refine(ctx, *current, p, cfg.base,
-                    derive_seed(cfg.base.seed, 6000));
-    for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
-      const Hypergraph& finer =
-          (std::next(it) == levels.rend()) ? h : std::next(it)->coarse;
-      Partition fine_p(cfg.base.num_parts, finer.num_vertices());
-      for (Index v = 0; v < finer.num_vertices(); ++v)
-        fine_p[v] = p[it->fine_to_coarse[static_cast<std::size_t>(v)]];
-      p = std::move(fine_p);
-      parallel_refine(
-          ctx, finer, p, cfg.base,
-          derive_seed(cfg.base.seed,
-                      6001 + static_cast<std::uint64_t>(
-                                 std::distance(levels.rbegin(), it))));
+    Partition p(cfg.base.num_parts, current->num_vertices());
+    {
+      std::optional<obs::TraceScope> initial_scope;
+      if (lead) initial_scope.emplace("initial");
+      p = parallel_coarse_partition(ctx, *current, cfg.base,
+                                    derive_seed(cfg.base.seed, 5000));
     }
 
-    if (ctx.rank() == 0) {
+    // Uncoarsening with synchronized localized refinement.
+    {
+      std::optional<obs::TraceScope> refine_scope;
+      if (lead) refine_scope.emplace("refine");
+      parallel_refine(ctx, *current, p, cfg.base,
+                      derive_seed(cfg.base.seed, 6000));
+      for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+        const Hypergraph& finer =
+            (std::next(it) == levels.rend()) ? h : std::next(it)->coarse;
+        Partition fine_p(cfg.base.num_parts, finer.num_vertices());
+        for (Index v = 0; v < finer.num_vertices(); ++v)
+          fine_p[v] = p[it->fine_to_coarse[static_cast<std::size_t>(v)]];
+        p = std::move(fine_p);
+        parallel_refine(
+            ctx, finer, p, cfg.base,
+            derive_seed(cfg.base.seed,
+                        6001 + static_cast<std::uint64_t>(
+                                   std::distance(levels.rbegin(), it))));
+      }
+    }
+
+    if (lead) {
+      obs::counter("par_partition.levels") +=
+          static_cast<std::uint64_t>(levels.size());
       std::lock_guard lock(out_mutex);
       result.partition = std::move(p);
       result.levels = static_cast<Index>(levels.size());

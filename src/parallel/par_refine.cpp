@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "metrics/balance.hpp"
 #include "metrics/cut.hpp"
+#include "obs/trace.hpp"
 #include "parallel/par_ipm.hpp"  // block_range
 
 namespace hgr {
@@ -30,15 +31,15 @@ class State {
     for (Index net = 0; net < h.num_nets(); ++net)
       for (const Index v : h.pins(net)) ++at(net, p[v]);
     part_w_ = part_weights(h.vertex_weights(), p);
-    const double avg = static_cast<double>(h.total_vertex_weight()) /
-                       static_cast<double>(k_);
-    max_w_ = static_cast<Weight>(avg * (1.0 + epsilon));
+    max_w_ = hgr::max_part_weight(h.total_vertex_weight(), k_, epsilon);
+    cand_seen_.assign(static_cast<std::size_t>(k_), 0);
   }
 
   Weight max_part_weight() const { return max_w_; }
   Weight part_weight(PartId q) const {
     return part_w_[static_cast<std::size_t>(q)];
   }
+  std::uint64_t gain_evals() const { return gain_evals_; }
 
   /// Connectivity-1 gain of moving v to q (negative if it hurts).
   Weight gain(Index v, PartId q) const {
@@ -56,21 +57,32 @@ class State {
   /// Best positive-gain feasible destination for v, or kNoPart.
   std::pair<PartId, Weight> best_move(Index v) const {
     const PartId from = p_[v];
-    PartId best = kNoPart;
-    Weight best_gain = 0;
     const Weight wv = h_.vertex_weight(v);
-    // Candidate parts: those adjacent through v's nets.
+    // Candidate parts: those adjacent through v's nets, deduplicated with
+    // a stamp array so gain() runs once per distinct part rather than once
+    // per pin (dense nets repeat the same part thousands of times).
+    ++stamp_;
+    candidates_.clear();
     for (const Index net : h_.incident_nets(v)) {
       for (const Index u : h_.pins(net)) {
         const PartId q = p_[u];
         if (q == from) continue;
-        if (part_weight(q) + wv > max_w_) continue;
-        const Weight g = gain(v, q);
-        if (g > best_gain ||
-            (g == best_gain && best != kNoPart && q < best)) {
-          best = q;
-          best_gain = g;
-        }
+        std::uint64_t& seen = cand_seen_[static_cast<std::size_t>(q)];
+        if (seen == stamp_) continue;
+        seen = stamp_;
+        candidates_.push_back(q);
+      }
+    }
+    PartId best = kNoPart;
+    Weight best_gain = 0;
+    for (const PartId q : candidates_) {
+      if (part_weight(q) + wv > max_w_) continue;
+      ++gain_evals_;
+      const Weight g = gain(v, q);
+      if (g > best_gain ||
+          (g == best_gain && best != kNoPart && q < best)) {
+        best = q;
+        best_gain = g;
       }
     }
     return {best, best_gain};
@@ -106,6 +118,11 @@ class State {
   std::vector<Index> counts_;
   std::vector<Weight> part_w_;
   Weight max_w_ = 0;
+  // best_move scratch (logically const: caches, not state).
+  mutable std::vector<std::uint64_t> cand_seen_;
+  mutable std::uint64_t stamp_ = 0;
+  mutable std::vector<PartId> candidates_;
+  mutable std::uint64_t gain_evals_ = 0;
 };
 
 }  // namespace
@@ -122,6 +139,11 @@ ParRefineResult parallel_refine(RankContext& ctx, const Hypergraph& h,
   const auto [lo, hi] = block_range(h.num_vertices(), ctx.size(), ctx.rank());
   Rng rng(derive_seed(seed, 77 + static_cast<std::uint64_t>(ctx.rank())));
 
+  // Global quantities (identical on every rank) are counted by rank 0
+  // only; per-rank work (proposals scanned, gain evaluations) is summed
+  // over ranks.
+  const bool lead = ctx.rank() == 0;
+
   Weight cut = result.initial_cut;
   for (Index pass = 0; pass < cfg.max_refine_passes; ++pass) {
     ++result.passes;
@@ -137,6 +159,7 @@ ParRefineResult parallel_refine(RankContext& ctx, const Hypergraph& h,
       const auto [to, gain] = state.best_move(v);
       if (to != kNoPart && gain > 0) proposals.push_back({v, to, gain});
     }
+    obs::counter("refine.proposals") += proposals.size();
 
     // Exchange and apply in deterministic global order (descending gain,
     // then vertex id), revalidating each move against the evolving state.
@@ -151,18 +174,34 @@ ParRefineResult parallel_refine(RankContext& ctx, const Hypergraph& h,
                 return a.vertex < b.vertex;
               });
     Index applied = 0;
+    Index rejected_gain = 0;
+    Index rejected_balance = 0;
     for (const MoveProposal& m : flat) {
       if (p[m.vertex] == m.to) continue;
       const Weight g = state.gain(m.vertex, m.to);
-      if (g <= 0) continue;
-      if (state.part_weight(m.to) + h.vertex_weight(m.vertex) >
-          state.max_part_weight())
+      if (g <= 0) {
+        ++rejected_gain;
         continue;
+      }
+      if (state.part_weight(m.to) + h.vertex_weight(m.vertex) >
+          state.max_part_weight()) {
+        ++rejected_balance;
+        continue;
+      }
       state.apply(m.vertex, m.to);
       cut -= g;
       ++applied;
     }
     result.moves += applied;
+    if (lead) {
+      obs::counter("refine.passes") += 1;
+      obs::counter("refine.applied_moves") +=
+          static_cast<std::uint64_t>(applied);
+      obs::counter("refine.rejected_gain") +=
+          static_cast<std::uint64_t>(rejected_gain);
+      obs::counter("refine.rejected_balance") +=
+          static_cast<std::uint64_t>(rejected_balance);
+    }
     const Index applied_anywhere = static_cast<Index>(
         ctx.allreduce_sum<std::int64_t>(applied));
     // Every rank applied the identical global move list, so `applied` is
@@ -170,6 +209,7 @@ ParRefineResult parallel_refine(RankContext& ctx, const Hypergraph& h,
     HGR_ASSERT(applied_anywhere == applied * ctx.size());
     if (applied == 0) break;
   }
+  obs::counter("refine.gain_evals") += state.gain_evals();
   result.final_cut = cut;
   HGR_DASSERT(result.final_cut == connectivity_cut(h, p));
   return result;

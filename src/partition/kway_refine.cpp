@@ -6,6 +6,7 @@
 #include "common/assert.hpp"
 #include "metrics/balance.hpp"
 #include "metrics/cut.hpp"
+#include "obs/trace.hpp"
 
 namespace hgr {
 
@@ -57,10 +58,8 @@ KwayRefineResult kway_refine(const Hypergraph& h, Partition& p,
 
   PinTable pins(h, p);
   std::vector<Weight> part_w = part_weights(h.vertex_weights(), p);
-  const double avg = static_cast<double>(h.total_vertex_weight()) /
-                     static_cast<double>(k);
-  const auto max_part_weight =
-      static_cast<Weight>(avg * (1.0 + cfg.epsilon));
+  const Weight max_part_weight =
+      hgr::max_part_weight(h.total_vertex_weight(), k, cfg.epsilon);
 
   std::vector<Weight> gain_to(static_cast<std::size_t>(k), 0);
   std::vector<PartId> candidates;
@@ -134,6 +133,8 @@ KwayRefineResult kway_refine(const Hypergraph& h, Partition& p,
     result.moves += moves_this_pass;
     if (moves_this_pass == 0) break;
   }
+  obs::counter("kway.passes") += static_cast<std::uint64_t>(result.passes);
+  obs::counter("kway.moves") += static_cast<std::uint64_t>(result.moves);
   result.final_cut = cut;
   HGR_DASSERT(result.final_cut == connectivity_cut(h, p));
   return result;

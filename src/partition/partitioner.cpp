@@ -6,6 +6,7 @@
 #include "common/assert.hpp"
 #include "metrics/balance.hpp"
 #include "metrics/cut.hpp"
+#include "obs/trace.hpp"
 #include "partition/contract.hpp"
 #include "partition/kway_refine.hpp"
 #include "partition/matching_ipm.hpp"
@@ -77,6 +78,19 @@ Partition greedy_kway_initial(const Hypergraph& h, const PartitionConfig& cfg,
 
 }  // namespace
 
+void record_coarsen_level(Index fine_vertices, Index coarse_vertices,
+                          const std::vector<Index>& match) {
+  std::uint64_t matched = 0;
+  for (std::size_t v = 0; v < match.size(); ++v)
+    if (match[v] != static_cast<Index>(v)) ++matched;
+  obs::counter("coarsen.levels") += 1;
+  obs::counter("coarsen.fine_vertices") +=
+      static_cast<std::uint64_t>(fine_vertices);
+  obs::counter("coarsen.coarse_vertices") +=
+      static_cast<std::uint64_t>(coarse_vertices);
+  obs::counter("coarsen.matched_vertices") += matched;
+}
+
 Partition direct_kway_partition(const Hypergraph& h,
                                 const PartitionConfig& cfg) {
   Rng rng(cfg.seed);
@@ -89,30 +103,42 @@ Partition direct_kway_partition(const Hypergraph& h,
       1, static_cast<Weight>(cfg.max_coarse_weight_factor *
                              static_cast<double>(h.total_vertex_weight()) /
                              std::max<Index>(1, stop_size)));
-  for (Index level = 0; level < cfg.max_levels; ++level) {
-    if (current->num_vertices() <= stop_size) break;
-    const std::vector<Index> match =
-        ipm_matching(*current, cfg, max_vertex_weight, rng);
-    CoarseLevel next = contract(*current, match);
-    const double reduction =
-        1.0 - static_cast<double>(next.coarse.num_vertices()) /
-                  static_cast<double>(current->num_vertices());
-    if (reduction < cfg.min_coarsen_reduction) break;
-    levels.push_back(std::move(next));
-    current = &levels.back().coarse;
+  {
+    obs::TraceScope coarsen_scope("coarsen");
+    for (Index level = 0; level < cfg.max_levels; ++level) {
+      if (current->num_vertices() <= stop_size) break;
+      const std::vector<Index> match =
+          ipm_matching(*current, cfg, max_vertex_weight, rng);
+      CoarseLevel next = contract(*current, match);
+      const double reduction =
+          1.0 - static_cast<double>(next.coarse.num_vertices()) /
+                    static_cast<double>(current->num_vertices());
+      if (reduction < cfg.min_coarsen_reduction) break;
+      record_coarsen_level(current->num_vertices(),
+                           next.coarse.num_vertices(), match);
+      levels.push_back(std::move(next));
+      current = &levels.back().coarse;
+    }
   }
 
-  Partition p = greedy_kway_initial(*current, cfg, rng);
-  kway_refine(*current, p, cfg, rng, cfg.max_refine_passes);
+  Partition p(cfg.num_parts, current->num_vertices());
+  {
+    obs::TraceScope initial_scope("initial");
+    p = greedy_kway_initial(*current, cfg, rng);
+    kway_refine(*current, p, cfg, rng, cfg.max_refine_passes);
+  }
 
-  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
-    const Hypergraph& finer =
-        (std::next(it) == levels.rend()) ? h : std::next(it)->coarse;
-    Partition fine_p(cfg.num_parts, finer.num_vertices());
-    for (Index v = 0; v < finer.num_vertices(); ++v)
-      fine_p[v] = p[it->fine_to_coarse[static_cast<std::size_t>(v)]];
-    p = std::move(fine_p);
-    kway_refine(finer, p, cfg, rng, cfg.max_refine_passes);
+  {
+    obs::TraceScope refine_scope("refine");
+    for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+      const Hypergraph& finer =
+          (std::next(it) == levels.rend()) ? h : std::next(it)->coarse;
+      Partition fine_p(cfg.num_parts, finer.num_vertices());
+      for (Index v = 0; v < finer.num_vertices(); ++v)
+        fine_p[v] = p[it->fine_to_coarse[static_cast<std::size_t>(v)]];
+      p = std::move(fine_p);
+      kway_refine(finer, p, cfg, rng, cfg.max_refine_passes);
+    }
   }
   p.validate();
   return p;
@@ -120,6 +146,7 @@ Partition direct_kway_partition(const Hypergraph& h,
 
 void refinement_vcycle(const Hypergraph& h, Partition& p,
                        const PartitionConfig& cfg, Rng& rng) {
+  obs::TraceScope trace("vcycle");
   // Restrict matching to same-part pairs by temporarily fixing every vertex
   // to its current part; the original fixed labels are re-derived on the
   // coarse side from the contraction so true constraints survive.
@@ -210,6 +237,7 @@ void refinement_vcycle(const Hypergraph& h, Partition& p,
 
 Partition partition_hypergraph(const Hypergraph& h,
                                const PartitionConfig& cfg) {
+  obs::TraceScope trace("partition");
   HGR_ASSERT(cfg.num_parts >= 1);
   HGR_ASSERT(cfg.epsilon >= 0.0);
   h.validate(cfg.num_parts);

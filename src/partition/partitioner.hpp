@@ -5,12 +5,21 @@
 // direct k-way, optional k-way refinement post-pass, and optional V-cycles.
 #pragma once
 
+#include <vector>
+
 #include "common/rng.hpp"
 #include "hypergraph/hypergraph.hpp"
 #include "metrics/partition.hpp"
 #include "partition/config.hpp"
 
 namespace hgr {
+
+/// Bump the obs coarsening counters for one accepted level: level count,
+/// fine/coarse vertex totals (contraction ratio) and matched vertices
+/// (match fraction). Shared by the serial, bisection, and parallel
+/// coarsening loops.
+void record_coarsen_level(Index fine_vertices, Index coarse_vertices,
+                          const std::vector<Index>& match);
 
 /// Compute a k-way partition of h honoring h.fixed_part() constraints and
 /// the Eq. 1 balance tolerance cfg.epsilon (best effort when fixed vertices

@@ -6,7 +6,9 @@
 
 #include "common/assert.hpp"
 #include "common/csr_utils.hpp"
+#include "obs/trace.hpp"
 #include "partition/contract.hpp"
+#include "partition/partitioner.hpp"  // record_coarsen_level
 #include "partition/initial.hpp"
 #include "partition/matching_ipm.hpp"
 #include "partition/refine_fm.hpp"
@@ -154,37 +156,48 @@ std::vector<PartId> multilevel_bisect(const Hypergraph& h,
       1, static_cast<Weight>(cfg.max_coarse_weight_factor *
                              static_cast<double>(h.total_vertex_weight()) /
                              std::max<Index>(1, stop_size)));
-  for (Index level = 0; level < cfg.max_levels; ++level) {
-    if (current->num_vertices() <= stop_size) break;
-    const std::vector<Index> match =
-        ipm_matching(*current, cfg, max_vertex_weight, rng);
-    CoarseLevel next = contract(*current, match);
-    const double reduction =
-        1.0 - static_cast<double>(next.coarse.num_vertices()) /
-                  static_cast<double>(current->num_vertices());
-    if (reduction < cfg.min_coarsen_reduction) break;  // stalled
-    levels.push_back(std::move(next));
-    current = &levels.back().coarse;
+  {
+    obs::TraceScope coarsen_scope("coarsen");
+    for (Index level = 0; level < cfg.max_levels; ++level) {
+      if (current->num_vertices() <= stop_size) break;
+      const std::vector<Index> match =
+          ipm_matching(*current, cfg, max_vertex_weight, rng);
+      CoarseLevel next = contract(*current, match);
+      const double reduction =
+          1.0 - static_cast<double>(next.coarse.num_vertices()) /
+                    static_cast<double>(current->num_vertices());
+      if (reduction < cfg.min_coarsen_reduction) break;  // stalled
+      record_coarsen_level(current->num_vertices(),
+                           next.coarse.num_vertices(), match);
+      levels.push_back(std::move(next));
+      current = &levels.back().coarse;
+    }
   }
 
   // Coarsest partitioning: randomized greedy growing, several trials, then
   // FM polish.
-  std::vector<PartId> side =
-      initial_bisection(*current, targets, cfg.num_initial_trials, rng);
-  fm_refine_bisection(*current, side, targets, cfg, rng);
+  std::vector<PartId> side;
+  {
+    obs::TraceScope initial_scope("initial");
+    side = initial_bisection(*current, targets, cfg.num_initial_trials, rng);
+    fm_refine_bisection(*current, side, targets, cfg, rng);
+  }
 
   // Uncoarsening: project and refine at each level.
-  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
-    const Hypergraph& finer =
-        (std::next(it) == levels.rend()) ? h : std::next(it)->coarse;
-    std::vector<PartId> fine_side(
-        static_cast<std::size_t>(finer.num_vertices()));
-    for (Index v = 0; v < finer.num_vertices(); ++v)
-      fine_side[static_cast<std::size_t>(v)] =
-          side[static_cast<std::size_t>(
-              it->fine_to_coarse[static_cast<std::size_t>(v)])];
-    side = std::move(fine_side);
-    fm_refine_bisection(finer, side, targets, cfg, rng);
+  {
+    obs::TraceScope refine_scope("refine");
+    for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+      const Hypergraph& finer =
+          (std::next(it) == levels.rend()) ? h : std::next(it)->coarse;
+      std::vector<PartId> fine_side(
+          static_cast<std::size_t>(finer.num_vertices()));
+      for (Index v = 0; v < finer.num_vertices(); ++v)
+        fine_side[static_cast<std::size_t>(v)] =
+            side[static_cast<std::size_t>(
+                it->fine_to_coarse[static_cast<std::size_t>(v)])];
+      side = std::move(fine_side);
+      fm_refine_bisection(finer, side, targets, cfg, rng);
+    }
   }
   return side;
 }

@@ -67,11 +67,13 @@ void ExperimentConfig::apply_cli(int argc, char** argv) {
         alphas.push_back(static_cast<Weight>(a));
     } else if (key == "--dataset") {
       dataset = value;
+    } else if (key == "--trace-json") {
+      trace_json = value;
     } else {
       std::fprintf(stderr,
                    "unknown flag: %s\n"
                    "known: --scale= --epochs= --trials= --seed= --k= "
-                   "--alpha= --dataset=\n",
+                   "--alpha= --dataset= --trace-json=\n",
                    arg.c_str());
       std::exit(2);
     }

@@ -38,8 +38,13 @@ struct ExperimentConfig {
   double epsilon = 0.05;
   std::uint64_t seed = 42;
 
+  /// When non-empty, the bench driver dumps the run's phase timings and
+  /// counters (obs::trace_to_json) to this path after the sweep.
+  std::string trace_json;
+
   /// Parse harness flags: --scale=F --epochs=N --trials=N --k=16,64
-  /// --alpha=1,10,100,1000 --seed=S. Unknown flags abort with a message.
+  /// --alpha=1,10,100,1000 --seed=S --trace-json=FILE. Unknown flags abort
+  /// with a message.
   void apply_cli(int argc, char** argv);
 };
 

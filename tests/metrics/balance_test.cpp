@@ -57,5 +57,38 @@ TEST(Balance, ImbalanceOfDirect) {
   EXPECT_DOUBLE_EQ(imbalance_of({}), 0.0);
 }
 
+TEST(Balance, MaxPartWeightMatchesRelaxedAverage) {
+  // avg = 50, eps = 0.1 -> 55; exact, no rounding involved.
+  EXPECT_EQ(max_part_weight(100, 2, 0.1), 55);
+  // avg = 25, eps = 0.04 -> 26.
+  EXPECT_EQ(max_part_weight(100, 4, 0.04), 26);
+}
+
+TEST(Balance, MaxPartWeightNeverBelowCeilAverage) {
+  // Regression: avg = 3.5 with small eps used to truncate to 3, making a
+  // perfectly balanced {4, 3} split inadmissible.
+  EXPECT_EQ(max_part_weight(7, 2, 0.0), 4);
+  EXPECT_EQ(max_part_weight(7, 2, 0.05), 4);
+  // avg = 10/3; floor(avg * 1.05) = 3 < ceil(avg) = 4.
+  EXPECT_EQ(max_part_weight(10, 3, 0.05), 4);
+  // Large enough eps dominates the ceiling again.
+  EXPECT_EQ(max_part_weight(7, 2, 1.0), 7);
+}
+
+TEST(Balance, MaxPartWeightMonotonicInEpsilon) {
+  for (const Weight total : {1, 7, 10, 97, 1000}) {
+    for (const PartId k : {1, 2, 3, 8}) {
+      Weight prev = 0;
+      for (const double eps : {0.0, 0.01, 0.05, 0.2, 1.0}) {
+        const Weight cap = max_part_weight(total, k, eps);
+        EXPECT_GE(cap, prev);
+        // Eq. 1 admissibility: a perfectly balanced split always fits.
+        EXPECT_GE(cap, (total + k - 1) / k);
+        prev = cap;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace hgr

@@ -1,0 +1,364 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+namespace hgr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser, enough to round-trip the hgr-trace-v1 schema. A
+// parse failure fails the test, so trace_to_json output is validated as
+// real JSON, not just by substring.
+// ---------------------------------------------------------------------------
+
+struct JsonValue;
+using JsonObject = std::map<std::string, std::shared_ptr<JsonValue>>;
+using JsonArray = std::vector<std::shared_ptr<JsonValue>>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  std::shared_ptr<JsonValue> parse() {
+    auto value = parse_value();
+    skip_ws();
+    EXPECT_EQ(pos_, s_.size()) << "trailing garbage after JSON document";
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    EXPECT_LT(pos_, s_.size()) << "unexpected end of JSON";
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+
+  void expect(char c) {
+    EXPECT_EQ(peek(), c) << "at offset " << pos_;
+    ++pos_;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        EXPECT_LT(pos_, s_.size());
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'u':
+            pos_ += 4;  // tests only use ASCII names; skip the code point
+            out += '?';
+            break;
+          default:
+            out += esc;
+        }
+      } else {
+        out += c;
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  std::shared_ptr<JsonValue> parse_value() {
+    skip_ws();
+    auto value = std::make_shared<JsonValue>();
+    const char c = peek();
+    if (c == '{') {
+      ++pos_;
+      JsonObject obj;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+      } else {
+        while (true) {
+          skip_ws();
+          std::string key = parse_string();
+          skip_ws();
+          expect(':');
+          obj[key] = parse_value();
+          skip_ws();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect('}');
+          break;
+        }
+      }
+      value->v = std::move(obj);
+    } else if (c == '[') {
+      ++pos_;
+      JsonArray arr;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+      } else {
+        while (true) {
+          arr.push_back(parse_value());
+          skip_ws();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect(']');
+          break;
+        }
+      }
+      value->v = std::move(arr);
+    } else if (c == '"') {
+      value->v = parse_string();
+    } else {
+      std::size_t end = pos_;
+      while (end < s_.size() &&
+             (std::isdigit(static_cast<unsigned char>(s_[end])) ||
+              s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
+              s_[end] == 'e' || s_[end] == 'E'))
+        ++end;
+      EXPECT_GT(end, pos_) << "expected a number at offset " << pos_;
+      value->v = std::stod(s_.substr(pos_, end - pos_));
+      pos_ = end;
+    }
+    return value;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+const JsonObject& as_object(const JsonValue& v) {
+  return std::get<JsonObject>(v.v);
+}
+const JsonArray& as_array(const JsonValue& v) {
+  return std::get<JsonArray>(v.v);
+}
+double as_number(const JsonValue& v) { return std::get<double>(v.v); }
+const std::string& as_string(const JsonValue& v) {
+  return std::get<std::string>(v.v);
+}
+
+const JsonValue* find_child_phase(const JsonValue& phase,
+                                  const std::string& name) {
+  const JsonObject& obj = as_object(phase);
+  const auto it = obj.find("children");
+  if (it == obj.end()) return nullptr;
+  for (const auto& child : as_array(*it->second))
+    if (as_string(*as_object(*child).at("name")) == name) return child.get();
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Counter basics
+// ---------------------------------------------------------------------------
+
+TEST(ObsCounters, CreateAndAccumulate) {
+  obs::Registry reg;
+  EXPECT_EQ(reg.counter_value("a.b"), 0u);
+  reg.counter("a.b") += 3;
+  reg.counter("a.b") += 4;
+  EXPECT_EQ(reg.counter_value("a.b"), 7u);
+  const auto all = reg.counters();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all.at("a.b"), 7u);
+}
+
+TEST(ObsCounters, GlobalInjection) {
+  obs::Registry reg;
+  {
+    obs::ScopedRegistry scope(reg);
+    obs::counter("injected") += 5;
+  }
+  EXPECT_EQ(reg.counter_value("injected"), 5u);
+  // After the scope exits, the same counter name routes elsewhere.
+  obs::counter("injected") += 1;
+  EXPECT_EQ(reg.counter_value("injected"), 5u);
+}
+
+TEST(ObsCounters, ThreadSafeIncrements) {
+  obs::Registry reg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < 1000; ++i) reg.counter("contended") += 1;
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter_value("contended"), 4000u);
+}
+
+// ---------------------------------------------------------------------------
+// Phase tree
+// ---------------------------------------------------------------------------
+
+TEST(ObsTrace, ScopesNestAndMerge) {
+  obs::Registry reg;
+  {
+    obs::TraceScope outer("outer", &reg);
+    {
+      obs::TraceScope inner("inner", &reg);
+    }
+    {
+      obs::TraceScope inner("inner", &reg);  // merges with the first
+    }
+    {
+      obs::TraceScope other("other", &reg);
+    }
+  }
+  {
+    obs::TraceScope outer("outer", &reg);  // second call of the root phase
+  }
+  const obs::PhaseSnapshot tree = reg.phase_tree();
+  ASSERT_EQ(tree.children.size(), 1u);
+  const obs::PhaseSnapshot& outer = tree.children[0];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.calls, 2u);
+  ASSERT_EQ(outer.children.size(), 2u);
+
+  const obs::PhaseSnapshot* inner = obs::find_phase(tree, {"outer", "inner"});
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->calls, 2u);
+  EXPECT_GE(inner->seconds, 0.0);
+  const obs::PhaseSnapshot* other = obs::find_phase(tree, {"outer", "other"});
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->calls, 1u);
+  EXPECT_EQ(obs::find_phase(tree, {"outer", "missing"}), nullptr);
+  // Parent time includes child time.
+  EXPECT_GE(outer.seconds, inner->seconds + other->seconds - 1e-9);
+}
+
+TEST(ObsTrace, PerThreadStacksMergeByName) {
+  obs::Registry reg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t)
+    threads.emplace_back([&reg] {
+      obs::TraceScope scope("worker", &reg);
+      obs::TraceScope inner("step", &reg);
+    });
+  for (auto& t : threads) t.join();
+  const obs::PhaseSnapshot tree = reg.phase_tree();
+  const obs::PhaseSnapshot* worker = obs::find_phase(tree, {"worker"});
+  ASSERT_NE(worker, nullptr);
+  EXPECT_EQ(worker->calls, 3u);
+  const obs::PhaseSnapshot* step = obs::find_phase(tree, {"worker", "step"});
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(step->calls, 3u);
+}
+
+TEST(ObsTrace, ResetClearsEverything) {
+  obs::Registry reg;
+  reg.counter("x") += 1;
+  {
+    obs::TraceScope scope("p", &reg);
+  }
+  reg.reset();
+  EXPECT_EQ(reg.counter_value("x"), 0u);
+  EXPECT_TRUE(reg.phase_tree().children.empty());
+}
+
+// ---------------------------------------------------------------------------
+// JSON round-trip
+// ---------------------------------------------------------------------------
+
+TEST(ObsTrace, JsonRoundTrip) {
+  obs::Registry reg;
+  {
+    obs::TraceScope partition("partition", &reg);
+    {
+      obs::TraceScope coarsen("coarsen", &reg);
+    }
+    {
+      obs::TraceScope refine("refine", &reg);
+    }
+  }
+  reg.counter("refine.moves") += 42;
+  reg.counter("comm.allgather.bytes") += 1024;
+
+  const std::string json = obs::trace_to_json(reg);
+  JsonParser parser(json);
+  const auto doc = parser.parse();
+  const JsonObject& root = as_object(*doc);
+
+  EXPECT_EQ(as_string(*root.at("schema")), "hgr-trace-v1");
+
+  const JsonArray& phases = as_array(*root.at("phases"));
+  ASSERT_EQ(phases.size(), 1u);
+  const JsonValue& partition = *phases[0];
+  EXPECT_EQ(as_string(*as_object(partition).at("name")), "partition");
+  EXPECT_EQ(as_number(*as_object(partition).at("calls")), 1.0);
+  EXPECT_GE(as_number(*as_object(partition).at("seconds")), 0.0);
+  EXPECT_NE(find_child_phase(partition, "coarsen"), nullptr);
+  EXPECT_NE(find_child_phase(partition, "refine"), nullptr);
+  EXPECT_EQ(find_child_phase(partition, "initial"), nullptr);
+
+  const JsonObject& counters = as_object(*root.at("counters"));
+  EXPECT_EQ(as_number(*counters.at("refine.moves")), 42.0);
+  EXPECT_EQ(as_number(*counters.at("comm.allgather.bytes")), 1024.0);
+}
+
+TEST(ObsTrace, JsonEscapesSpecialCharacters) {
+  obs::Registry reg;
+  reg.counter("weird\"name\\with\nstuff") += 1;
+  const std::string json = obs::trace_to_json(reg);
+  JsonParser parser(json);
+  const auto doc = parser.parse();
+  const JsonObject& counters = as_object(*as_object(*doc).at("counters"));
+  EXPECT_EQ(as_number(*counters.at("weird\"name\\with\nstuff")), 1.0);
+}
+
+TEST(ObsTrace, EmptyRegistrySerializes) {
+  obs::Registry reg;
+  const std::string json = obs::trace_to_json(reg);
+  JsonParser parser(json);
+  const auto doc = parser.parse();
+  EXPECT_TRUE(as_array(*as_object(*doc).at("phases")).empty());
+  EXPECT_TRUE(as_object(*as_object(*doc).at("counters")).empty());
+}
+
+TEST(ObsTrace, WriteTraceJsonFile) {
+  obs::Registry reg;
+  reg.counter("k") += 9;
+  const std::string path = ::testing::TempDir() + "/trace_test_out.json";
+  ASSERT_TRUE(obs::write_trace_json(path, reg));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  JsonParser parser(content);
+  const auto doc = parser.parse();
+  EXPECT_EQ(
+      as_number(*as_object(*as_object(*doc).at("counters")).at("k")), 9.0);
+  EXPECT_FALSE(obs::write_trace_json("/nonexistent-dir/x/y.json", reg));
+}
+
+}  // namespace
+}  // namespace hgr

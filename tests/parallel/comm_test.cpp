@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 namespace hgr {
 namespace {
@@ -151,6 +153,103 @@ TEST(Comm, ReusableAcrossRuns) {
       EXPECT_EQ(sum, 2 * run);
     });
   }
+}
+
+// A rank that throws while its peers sit in a barrier must not
+// std::terminate or deadlock: the peers are woken, all threads joined, and
+// the original exception surfaces from run().
+TEST(Comm, ExceptionPropagatesWhilePeersBlockInBarrier) {
+  Comm comm(3);
+  try {
+    comm.run([](RankContext& ctx) {
+      if (ctx.rank() == 1) throw std::runtime_error("rank 1 boom");
+      ctx.barrier();  // would wait forever without abort wake-up
+    });
+    FAIL() << "run() should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rank 1 boom");
+  }
+}
+
+TEST(Comm, ExceptionPropagatesWhilePeersBlockInRecv) {
+  Comm comm(2);
+  try {
+    comm.run([](RankContext& ctx) {
+      if (ctx.rank() == 0) throw std::runtime_error("sender died");
+      const auto m = ctx.recv<std::int32_t>(0, 3);  // never sent
+      (void)m;
+    });
+    FAIL() << "run() should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "sender died");
+  }
+}
+
+TEST(Comm, ExceptionPropagatesWhilePeersBlockInCollective) {
+  Comm comm(4);
+  EXPECT_THROW(comm.run([](RankContext& ctx) {
+                 if (ctx.rank() == 2) throw std::runtime_error("boom");
+                 ctx.allreduce_sum<std::int64_t>(1);
+               }),
+               std::runtime_error);
+}
+
+TEST(Comm, LowestRankExceptionWins) {
+  Comm comm(4);
+  try {
+    comm.run([](RankContext& ctx) {
+      throw std::runtime_error("rank " + std::to_string(ctx.rank()));
+    });
+    FAIL() << "run() should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rank 0");
+  }
+}
+
+TEST(Comm, ReusableAfterFailedRun) {
+  Comm comm(3);
+  EXPECT_THROW(comm.run([](RankContext& ctx) {
+                 if (ctx.rank() == 0) throw std::runtime_error("x");
+                 ctx.barrier();
+               }),
+               std::runtime_error);
+  // The next run starts from a clean slate: barriers, mailboxes, and the
+  // abort flag are all reset.
+  comm.run([](RankContext& ctx) {
+    EXPECT_EQ(ctx.allreduce_sum<std::int32_t>(1), 3);
+    ctx.barrier();
+    std::vector<std::vector<std::int32_t>> outgoing(3);
+    for (int d = 0; d < 3; ++d)
+      outgoing[static_cast<std::size_t>(d)] = {ctx.rank()};
+    const auto incoming = ctx.alltoallv(outgoing);
+    for (int s = 0; s < 3; ++s)
+      EXPECT_EQ(incoming[static_cast<std::size_t>(s)],
+                (std::vector<std::int32_t>{s}));
+  });
+}
+
+TEST(CommDeathTest, UserSendMustNotUseReservedAlltoallTag) {
+  EXPECT_DEATH(
+      {
+        Comm comm(1);
+        comm.run([](RankContext& ctx) {
+          ctx.send<std::int32_t>(0, kAlltoallTag,
+                                 std::vector<std::int32_t>{1});
+        });
+      },
+      "reserved alltoall tag");
+}
+
+TEST(CommDeathTest, UserRecvMustNotUseReservedAlltoallTag) {
+  EXPECT_DEATH(
+      {
+        Comm comm(1);
+        comm.run([](RankContext& ctx) {
+          const auto m = ctx.recv<std::int32_t>(0, kAlltoallTag);
+          (void)m;
+        });
+      },
+      "reserved alltoall tag");
 }
 
 }  // namespace

@@ -89,6 +89,35 @@ TEST(KwayRefine, ImprovesAPlantedBadAssignment) {
   EXPECT_LT(r.final_cut, r.initial_cut);
 }
 
+// Regression: with total weight 7 over k=2 parts the average is 3.5, and
+// the old bound static_cast<Weight>(avg * (1 + eps)) truncated to 3 for
+// small eps — below ceil(avg) — so no part could ever reach weight 4 and
+// the obvious cut-clearing move was rejected forever.
+TEST(KwayRefine, AcceptsMoveUpToCeilOfFractionalAverage) {
+  HypergraphBuilder b(3);
+  b.add_net({0, 2});  // cut in the start partition; internal after the move
+  b.set_vertex_weight(0, 3);
+  b.set_vertex_weight(1, 3);
+  b.set_vertex_weight(2, 1);
+  const Hypergraph h = b.finalize();
+  PartitionConfig cfg;
+  cfg.num_parts = 2;
+  cfg.epsilon = 0.05;
+  Partition p(2, 3);
+  p[0] = 0;
+  p[1] = 0;
+  p[2] = 1;
+  Rng rng(6);
+  // Moving v0 (weight 3) to part 1 (weight 1) reaches 4 = ceil(3.5): legal
+  // under Eq. 1, rejected by the truncated bound.
+  const KwayRefineResult r = kway_refine(h, p, cfg, rng, 4);
+  EXPECT_GE(r.moves, 1);
+  EXPECT_EQ(r.final_cut, 0);
+  EXPECT_EQ(connectivity_cut(h, p), 0);
+  EXPECT_EQ(p[0], 1);
+  EXPECT_EQ(p[2], 1);
+}
+
 TEST(KwayRefine, StopsWhenNoMoveApplies) {
   // Already optimal: one pass, zero moves.
   const Hypergraph h = make_hypergraph(4, {{0, 1}, {2, 3}});

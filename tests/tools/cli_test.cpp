@@ -55,6 +55,94 @@ TEST(CliSmoke, PartitionThenRepartition) {
             0);
 }
 
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Structural sanity for the emitted trace: braces/brackets balance when
+// string literals are skipped. Schema-level checks are substring asserts;
+// the JSON grammar itself is covered by obs_test's real parser.
+void expect_balanced_json(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\')
+        ++i;
+      else if (c == '"')
+        in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(CliTrace, SerialPartitionEmitsNestedPhases) {
+  const std::string trace = tmp_path("cli_trace_serial.json");
+  ASSERT_EQ(run("partition " + std::string(HGR_EXAMPLE_HGR) +
+                " --k=4 --out=" + tmp_path("cli_trace_serial.parts") +
+                " --trace-json=" + trace),
+            0);
+  const std::string json = read_file(trace);
+  ASSERT_FALSE(json.empty());
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"schema\":\"hgr-trace-v1\""), std::string::npos);
+  // The multilevel phases appear inside the partition phase tree.
+  EXPECT_NE(json.find("\"name\":\"partition\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"coarsen\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"initial\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"refine\""), std::string::npos);
+  EXPECT_NE(json.find("\"coarsen.levels\""), std::string::npos);
+}
+
+TEST(CliTrace, ParallelRepartitionEmitsCommAndEpochCounters) {
+  const std::string in = std::string(HGR_EXAMPLE_HGR);
+  const std::string parts = tmp_path("cli_trace_par.parts");
+  const std::string trace = tmp_path("cli_trace_par.json");
+  ASSERT_EQ(run("partition " + in + " --k=4 --out=" + parts), 0);
+  ASSERT_EQ(run("repartition " + in + " --old=" + parts +
+                " --k=4 --alpha=10 --ranks=2 --out=" +
+                tmp_path("cli_trace_par2.parts") + " --trace-json=" + trace),
+            0);
+  const std::string json = read_file(trace);
+  ASSERT_FALSE(json.empty());
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"schema\":\"hgr-trace-v1\""), std::string::npos);
+  // Per-collective byte/message counters from the parallel runtime.
+  EXPECT_NE(json.find("\"comm.allgather.bytes\""), std::string::npos);
+  EXPECT_NE(json.find("\"comm.allgather.count\""), std::string::npos);
+  // Per-epoch cost metrics.
+  EXPECT_NE(json.find("\"epoch.count\":1,"), std::string::npos);
+  EXPECT_NE(json.find("\"epoch.total_cost\""), std::string::npos);
+  EXPECT_NE(json.find("\"epoch.comm_volume\""), std::string::npos);
+  EXPECT_NE(json.find("\"epoch.migration_volume\""), std::string::npos);
+  // The repartition phase wraps the parallel partitioner's phase tree.
+  EXPECT_NE(json.find("\"name\":\"repartition\""), std::string::npos);
+}
+
+TEST(CliTrace, BadTracePathFails) {
+  EXPECT_NE(run("partition " + std::string(HGR_EXAMPLE_HGR) +
+                " --k=2 --out=" + tmp_path("cli_trace_bad.parts") +
+                " --trace-json=/nonexistent-dir/x/trace.json"),
+            0);
+}
+
+TEST(CliSmoke, BundledExampleInfoAndPartition) {
+  EXPECT_EQ(run("info " + std::string(HGR_EXAMPLE_HGR)), 0);
+  EXPECT_EQ(run("partition " + std::string(HGR_EXAMPLE_HGR) +
+                " --k=4 --report --out=" + tmp_path("grid.parts")),
+            0);
+}
+
 TEST(CliSmoke, BadUsageFails) {
   EXPECT_NE(run("partition /nonexistent.hgr --k=2"), 0);
   EXPECT_NE(run("bogusmode whatever"), 0);

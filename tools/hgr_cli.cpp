@@ -2,9 +2,9 @@
 //
 // Modes:
 //   partition:   hgr_cli partition <input> --k=16 [--eps=0.05] [--seed=1]
-//                [--graph] [--out=parts.txt]
+//                [--graph] [--ranks=P] [--out=parts.txt]
 //   repartition: hgr_cli repartition <input> --old=parts.txt --alpha=100
-//                --k=16 [...]
+//                --k=16 [--ranks=P] [...]
 //   info:        hgr_cli info <input> [--graph|--mm]
 //
 // <input> is an hMETIS hypergraph file by default, a METIS graph file with
@@ -12,6 +12,10 @@
 // nets). The partition file format is one part id per line, vertex order.
 // Prints connectivity-1 cut, balance, and (for repartition) the
 // comm/migration cost split; --report adds the per-part breakdown.
+//
+// --ranks=P runs the parallel (in-process message passing) partitioner on
+// P ranks instead of the serial multilevel one. --trace-json=FILE dumps
+// the run's phase timings and counters as JSON (docs/OBSERVABILITY.md).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,9 +28,13 @@
 #include "hypergraph/io.hpp"
 #include "hypergraph/stats.hpp"
 #include "metrics/balance.hpp"
+#include "metrics/cost_model.hpp"
 #include "metrics/cut.hpp"
+#include "metrics/migration.hpp"
 #include "metrics/partition_io.hpp"
 #include "metrics/report.hpp"
+#include "obs/trace.hpp"
+#include "parallel/par_partitioner.hpp"
 #include "partition/partitioner.hpp"
 
 namespace {
@@ -38,10 +46,12 @@ struct CliOptions {
   std::string input;
   std::string old_parts_path;
   std::string out_path;
+  std::string trace_json_path;
   PartId k = 2;
   double eps = 0.05;
   std::uint64_t seed = 1;
   Weight alpha = 100;
+  int ranks = 0;  // 0 = serial partitioner
   bool graph_input = false;
   bool mm_input = false;
   bool report = false;
@@ -52,9 +62,11 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage:\n"
                "  hgr_cli partition   <input> --k=N [--eps=F] [--seed=S] "
-               "[--graph|--mm] [--report] [--out=FILE]\n"
+               "[--graph|--mm] [--ranks=P] [--report] [--out=FILE] "
+               "[--trace-json=FILE]\n"
                "  hgr_cli repartition <input> --old=FILE --k=N [--alpha=A] "
-               "[--eps=F] [--seed=S] [--graph] [--out=FILE]\n"
+               "[--eps=F] [--seed=S] [--graph] [--ranks=P] [--out=FILE] "
+               "[--trace-json=FILE]\n"
                "  hgr_cli info        <input> [--graph]\n");
   std::exit(2);
 }
@@ -77,10 +89,14 @@ CliOptions parse(int argc, char** argv) {
       opt.seed = std::stoull(value);
     } else if (key == "--alpha") {
       opt.alpha = static_cast<Weight>(std::stoll(value));
+    } else if (key == "--ranks") {
+      opt.ranks = static_cast<int>(std::stol(value));
     } else if (key == "--old") {
       opt.old_parts_path = value;
     } else if (key == "--out") {
       opt.out_path = value;
+    } else if (key == "--trace-json") {
+      opt.trace_json_path = value;
     } else if (key == "--graph") {
       opt.graph_input = true;
     } else if (key == "--mm") {
@@ -121,6 +137,37 @@ void report_quality(const Hypergraph& h, const Partition& p,
     std::fprintf(stderr, "%s", analyze_partition(h, p).to_string().c_str());
 }
 
+void maybe_dump_trace(const CliOptions& opt) {
+  if (opt.trace_json_path.empty()) return;
+  if (!obs::write_trace_json(opt.trace_json_path)) {
+    std::fprintf(stderr, "error: could not write trace to %s\n",
+                 opt.trace_json_path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(stderr, "wrote trace to %s\n", opt.trace_json_path.c_str());
+}
+
+ParallelPartitionConfig parallel_config(const CliOptions& opt,
+                                        const PartitionConfig& pcfg) {
+  ParallelPartitionConfig cfg;
+  cfg.base = pcfg;
+  cfg.num_ranks = opt.ranks;
+  return cfg;
+}
+
+/// Record the CLI's single (re)partitioning decision as one epoch so the
+/// trace carries the same per-epoch cost counters run_epochs emits.
+void record_epoch_cost(const RepartitionCost& cost, Index migrated) {
+  obs::counter("epoch.count") += 1;
+  obs::counter("epoch.comm_volume") +=
+      static_cast<std::uint64_t>(cost.comm_volume);
+  obs::counter("epoch.migration_volume") +=
+      static_cast<std::uint64_t>(cost.migration_volume);
+  obs::counter("epoch.total_cost") += static_cast<std::uint64_t>(cost.total());
+  obs::counter("epoch.migrated_vertices") +=
+      static_cast<std::uint64_t>(migrated);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -144,29 +191,65 @@ int main(int argc, char** argv) {
     pcfg.seed = opt.seed;
 
     if (opt.mode == "partition") {
-      const Partition p = partition_hypergraph(h, pcfg);
+      Partition p(opt.k, h.num_vertices());
+      if (opt.ranks > 0) {
+        const ParallelPartitionResult r =
+            parallel_partition_hypergraph(h, parallel_config(opt, pcfg));
+        std::fprintf(stderr,
+                     "parallel: ranks=%d levels=%d bytes_sent=%llu "
+                     "messages=%llu time=%.3fs\n",
+                     opt.ranks, r.levels,
+                     static_cast<unsigned long long>(r.traffic.bytes_sent),
+                     static_cast<unsigned long long>(r.traffic.messages_sent),
+                     r.seconds);
+        p = r.partition;
+      } else {
+        p = partition_hypergraph(h, pcfg);
+      }
       report_quality(h, p, opt.report);
       write_parts(p, opt.out_path);
+      maybe_dump_trace(opt);
       return 0;
     }
     if (opt.mode == "repartition") {
       if (opt.old_parts_path.empty()) usage("repartition requires --old=");
       const Partition old_p =
           read_partition_file(opt.old_parts_path, h.num_vertices(), opt.k);
-      RepartitionerConfig rcfg;
-      rcfg.partition = pcfg;
-      rcfg.alpha = opt.alpha;
-      const RepartitionResult r = hypergraph_repartition(h, old_p, rcfg);
-      report_quality(h, r.partition, opt.report);
+      Partition p(opt.k, h.num_vertices());
+      RepartitionCost cost;
+      double seconds = 0.0;
+      std::size_t moves = 0;
+      {
+        obs::TraceScope repart_scope("repartition");
+        if (opt.ranks > 0) {
+          const ParallelPartitionResult r = parallel_hypergraph_repartition(
+              h, old_p, opt.alpha, parallel_config(opt, pcfg));
+          p = r.partition;
+          cost = evaluate_repartition(h, old_p, p, opt.alpha);
+          seconds = r.seconds;
+          moves = static_cast<std::size_t>(num_migrated(old_p, p));
+        } else {
+          RepartitionerConfig rcfg;
+          rcfg.partition = pcfg;
+          rcfg.alpha = opt.alpha;
+          RepartitionResult r = hypergraph_repartition(h, old_p, rcfg);
+          p = std::move(r.partition);
+          cost = r.cost;
+          seconds = r.seconds;
+          moves = r.plan.moves.size();
+        }
+      }
+      record_epoch_cost(cost, num_migrated(old_p, p));
+      report_quality(h, p, opt.report);
       std::fprintf(stderr,
                    "alpha=%lld comm=%lld migration=%lld total=%lld "
                    "moves=%zu time=%.3fs\n",
                    static_cast<long long>(opt.alpha),
-                   static_cast<long long>(r.cost.comm_volume),
-                   static_cast<long long>(r.cost.migration_volume),
-                   static_cast<long long>(r.cost.total()), r.plan.moves.size(),
-                   r.seconds);
-      write_parts(r.partition, opt.out_path);
+                   static_cast<long long>(cost.comm_volume),
+                   static_cast<long long>(cost.migration_volume),
+                   static_cast<long long>(cost.total()), moves, seconds);
+      write_parts(p, opt.out_path);
+      maybe_dump_trace(opt);
       return 0;
     }
     usage(("unknown mode: " + opt.mode).c_str());
