@@ -1,0 +1,30 @@
+#include "check/check_level.hpp"
+
+namespace hgr::check {
+
+const char* to_string(CheckLevel level) {
+  switch (level) {
+    case CheckLevel::kOff:
+      return "off";
+    case CheckLevel::kCheap:
+      return "cheap";
+    case CheckLevel::kParanoid:
+      return "paranoid";
+  }
+  return "unknown";
+}
+
+bool parse_check_level(std::string_view text, CheckLevel& out) {
+  if (text == "off") {
+    out = CheckLevel::kOff;
+  } else if (text == "cheap") {
+    out = CheckLevel::kCheap;
+  } else if (text == "paranoid") {
+    out = CheckLevel::kParanoid;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hgr::check

@@ -1,0 +1,33 @@
+// Check levels for the invariant-verification subsystem (src/check/).
+//
+// Kept in its own dependency-free header so configuration structs
+// (partition/config.hpp, and anything built on it) can carry the knob
+// without pulling in the validators.
+#pragma once
+
+#include <string_view>
+
+namespace hgr::check {
+
+/// How much runtime invariant verification to perform.
+///   kOff      — no validator runs (default; zero overhead).
+///   kCheap    — O(V + k) checks per call site: partition range, fixed
+///               vertices respected, ceil-aware balance, weight and
+///               fixed-label conservation across contraction.
+///   kParanoid — adds O(pins) recomputation: full CSR/transpose structural
+///               validation, cut and migration volume recomputed from
+///               scratch and cross-checked against the cost model, and
+///               projected-partition cut equality across contraction.
+enum class CheckLevel { kOff, kCheap, kParanoid };
+
+constexpr bool enabled(CheckLevel level) { return level != CheckLevel::kOff; }
+constexpr bool paranoid(CheckLevel level) {
+  return level == CheckLevel::kParanoid;
+}
+
+const char* to_string(CheckLevel level);
+
+/// Parse "off" / "cheap" / "paranoid". Returns false on anything else.
+bool parse_check_level(std::string_view text, CheckLevel& out);
+
+}  // namespace hgr::check

@@ -1,0 +1,304 @@
+#include "check/validate.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "metrics/balance.hpp"
+#include "metrics/cut.hpp"
+#include "metrics/migration.hpp"
+
+namespace hgr::check {
+
+namespace {
+
+/// From-scratch connectivity-1 cut, deliberately independent of
+/// metrics/cut.cpp (a seen-flags sweep per net) so the two implementations
+/// cross-check each other.
+Weight recompute_cut(const Hypergraph& h, const Partition& p) {
+  std::vector<char> seen(static_cast<std::size_t>(p.k), 0);
+  Weight total = 0;
+  for (Index net = 0; net < h.num_nets(); ++net) {
+    PartId lambda = 0;
+    const auto pins = h.pins(net);
+    for (const Index v : pins) {
+      char& flag = seen[static_cast<std::size_t>(p[v])];
+      if (!flag) {
+        flag = 1;
+        ++lambda;
+      }
+    }
+    for (const Index v : pins) seen[static_cast<std::size_t>(p[v])] = 0;
+    if (lambda > 1) total += h.net_cost(net) * (lambda - 1);
+  }
+  return total;
+}
+
+Weight recompute_migration(const Hypergraph& h, const Partition& old_p,
+                           const Partition& new_p) {
+  Weight moved = 0;
+  for (Index v = 0; v < h.num_vertices(); ++v)
+    if (old_p[v] != new_p[v]) moved += h.vertex_size(v);
+  return moved;
+}
+
+}  // namespace
+
+void validate_hypergraph(const Hypergraph& h, CheckLevel level,
+                         PartId num_parts) {
+  if (!enabled(level)) return;
+
+  const auto n = static_cast<std::size_t>(h.num_vertices());
+  HGR_ASSERT_FMT(h.num_vertices() >= 0 && h.num_nets() >= 0,
+                 "negative extents |V|=%d |N|=%d", h.num_vertices(),
+                 h.num_nets());
+  Index pin_total = 0;
+  for (Index net = 0; net < h.num_nets(); ++net) {
+    HGR_ASSERT_FMT(h.net_size(net) >= 0, "net %d has negative size %d", net,
+                   h.net_size(net));
+    HGR_ASSERT_FMT(h.net_cost(net) >= 0, "net %d has negative cost %lld", net,
+                   static_cast<long long>(h.net_cost(net)));
+    pin_total += h.net_size(net);
+  }
+  HGR_ASSERT_FMT(pin_total == h.num_pins(),
+                 "net sizes sum to %d but num_pins()=%d", pin_total,
+                 h.num_pins());
+  Weight weight_total = 0;
+  for (Index v = 0; v < h.num_vertices(); ++v) {
+    HGR_ASSERT_FMT(h.vertex_weight(v) >= 0, "vertex %d has weight %lld", v,
+                   static_cast<long long>(h.vertex_weight(v)));
+    HGR_ASSERT_FMT(h.vertex_size(v) >= 0, "vertex %d has size %lld", v,
+                   static_cast<long long>(h.vertex_size(v)));
+    weight_total += h.vertex_weight(v);
+  }
+  HGR_ASSERT_FMT(weight_total == h.total_vertex_weight(),
+                 "vertex weights sum to %lld but total_vertex_weight()=%lld",
+                 static_cast<long long>(weight_total),
+                 static_cast<long long>(h.total_vertex_weight()));
+  if (h.has_fixed()) {
+    HGR_ASSERT_FMT(h.fixed_parts().size() == n,
+                   "fixed array has %zu entries for %zu vertices",
+                   h.fixed_parts().size(), n);
+    if (num_parts >= 0) {
+      for (Index v = 0; v < h.num_vertices(); ++v)
+        HGR_ASSERT_FMT(
+            h.fixed_part(v) >= kNoPart && h.fixed_part(v) < num_parts,
+            "vertex %d fixed to part %d, valid range is [-1, %d)", v,
+            h.fixed_part(v), num_parts);
+    }
+  }
+
+  if (!paranoid(level)) return;
+
+  // Pins in range, no duplicates, and the transpose an exact mirror: count
+  // each vertex's appearances in pin lists and match against its incident
+  // list, then verify every incident net really contains the vertex.
+  std::vector<Index> appearances(n, 0);
+  for (Index net = 0; net < h.num_nets(); ++net) {
+    const auto pins = h.pins(net);
+    for (const Index v : pins) {
+      HGR_ASSERT_FMT(v >= 0 && v < h.num_vertices(),
+                     "net %d has out-of-range pin %d (|V|=%d)", net, v,
+                     h.num_vertices());
+      ++appearances[static_cast<std::size_t>(v)];
+    }
+    for (std::size_t i = 0; i < pins.size(); ++i)
+      for (std::size_t j = i + 1; j < pins.size(); ++j)
+        HGR_ASSERT_FMT(pins[i] != pins[j], "net %d repeats pin %d", net,
+                       pins[i]);
+  }
+  for (Index v = 0; v < h.num_vertices(); ++v) {
+    HGR_ASSERT_FMT(h.vertex_degree(v) == appearances[static_cast<std::size_t>(v)],
+                   "vertex %d: transpose degree %d but %d pin appearances", v,
+                   h.vertex_degree(v), appearances[static_cast<std::size_t>(v)]);
+    for (const Index net : h.incident_nets(v)) {
+      HGR_ASSERT_FMT(net >= 0 && net < h.num_nets(),
+                     "vertex %d lists out-of-range net %d", v, net);
+      const auto pins = h.pins(net);
+      HGR_ASSERT_FMT(std::find(pins.begin(), pins.end(), v) != pins.end(),
+                     "vertex %d lists net %d which does not pin it", v, net);
+    }
+  }
+}
+
+void validate_partition(const Hypergraph& h, const Partition& p,
+                        CheckLevel level,
+                        const PartitionExpectations& expect) {
+  if (!enabled(level)) return;
+  const char* ctx = expect.context;
+
+  HGR_ASSERT_FMT(p.k >= 1, "[%s] partition has k=%d", ctx, p.k);
+  HGR_ASSERT_FMT(p.num_vertices() == h.num_vertices(),
+                 "[%s] partition covers %d vertices, hypergraph has %d", ctx,
+                 p.num_vertices(), h.num_vertices());
+  for (Index v = 0; v < h.num_vertices(); ++v)
+    HGR_ASSERT_FMT(p[v] >= 0 && p[v] < p.k,
+                   "[%s] vertex %d assigned to part %d, valid range [0, %d)",
+                   ctx, v, p[v], p.k);
+
+  if (h.has_fixed()) {
+    for (Index v = 0; v < h.num_vertices(); ++v) {
+      const PartId f = h.fixed_part(v);
+      HGR_ASSERT_FMT(f == kNoPart || p[v] == f,
+                     "[%s] vertex %d fixed to part %d but assigned to %d",
+                     ctx, v, f, p[v]);
+    }
+  }
+  if (expect.old_partition != nullptr) {
+    const Partition& old_p = *expect.old_partition;
+    HGR_ASSERT_FMT(old_p.num_vertices() == h.num_vertices(),
+                   "[%s] old partition covers %d vertices, hypergraph has %d",
+                   ctx, old_p.num_vertices(), h.num_vertices());
+    HGR_ASSERT_FMT(old_p.k == p.k, "[%s] old partition k=%d, new k=%d", ctx,
+                   old_p.k, p.k);
+  }
+
+  if (expect.epsilon >= 0.0 && h.num_vertices() > 0) {
+    // The Eq. 1 bound, enforced up to vertex granularity: a move-based
+    // refiner cannot split vertices, so on lumpy weights the provable
+    // guarantee is bound + (heaviest vertex - 1). For unit weights the
+    // allowance vanishes and the bound is exact. Parts whose *fixed*
+    // vertices alone exceed even that are exempt: no assignment can help.
+    const Weight bound =
+        max_part_weight(h.total_vertex_weight(), p.k, expect.epsilon);
+    Weight heaviest = 0;
+    for (Index v = 0; v < h.num_vertices(); ++v)
+      heaviest = std::max(heaviest, h.vertex_weight(v));
+    const Weight limit = bound + std::max<Weight>(heaviest, 1) - 1;
+    std::vector<Weight> fixed_w(static_cast<std::size_t>(p.k), 0);
+    if (h.has_fixed()) {
+      for (Index v = 0; v < h.num_vertices(); ++v)
+        if (h.fixed_part(v) != kNoPart)
+          fixed_w[static_cast<std::size_t>(h.fixed_part(v))] +=
+              h.vertex_weight(v);
+    }
+    const std::vector<Weight> weights = part_weights(h.vertex_weights(), p);
+    for (PartId q = 0; q < p.k; ++q) {
+      if (h.has_fixed() && fixed_w[static_cast<std::size_t>(q)] > limit)
+        continue;
+      HGR_ASSERT_FMT(
+          weights[static_cast<std::size_t>(q)] <= limit,
+          "[%s] part %d weighs %lld, balance bound is %lld (+%lld vertex "
+          "granularity, eps=%.4f)",
+          ctx, q, static_cast<long long>(weights[static_cast<std::size_t>(q)]),
+          static_cast<long long>(bound),
+          static_cast<long long>(limit - bound), expect.epsilon);
+    }
+  }
+
+  if (!paranoid(level)) return;
+
+  const Weight recomputed = recompute_cut(h, p);
+  const Weight model_cut = connectivity_cut(h, p);
+  HGR_ASSERT_FMT(recomputed == model_cut,
+                 "[%s] independent cut recomputation %lld disagrees with "
+                 "metrics/cut %lld",
+                 ctx, static_cast<long long>(recomputed),
+                 static_cast<long long>(model_cut));
+  if (expect.reported_cut >= 0)
+    HGR_ASSERT_FMT(recomputed == expect.reported_cut,
+                   "[%s] reported cut %lld but recomputation gives %lld", ctx,
+                   static_cast<long long>(expect.reported_cut),
+                   static_cast<long long>(recomputed));
+  if (expect.old_partition != nullptr) {
+    const Weight moved = recompute_migration(h, *expect.old_partition, p);
+    const Weight model_moved =
+        migration_volume(h.vertex_sizes(), *expect.old_partition, p);
+    HGR_ASSERT_FMT(moved == model_moved,
+                   "[%s] independent migration recomputation %lld disagrees "
+                   "with metrics/migration %lld",
+                   ctx, static_cast<long long>(moved),
+                   static_cast<long long>(model_moved));
+    if (expect.reported_migration >= 0)
+      HGR_ASSERT_FMT(
+          moved == expect.reported_migration,
+          "[%s] reported migration volume %lld but recomputation gives %lld",
+          ctx, static_cast<long long>(expect.reported_migration),
+          static_cast<long long>(moved));
+  }
+}
+
+void validate_coarsening(const Hypergraph& fine, const CoarseLevel& level_data,
+                         CheckLevel level,
+                         const Partition* coarse_partition) {
+  if (!enabled(level)) return;
+  const Hypergraph& coarse = level_data.coarse;
+  const std::vector<Index>& map = level_data.fine_to_coarse;
+
+  HGR_ASSERT_FMT(static_cast<Index>(map.size()) == fine.num_vertices(),
+                 "fine_to_coarse has %zu entries for %d fine vertices",
+                 map.size(), fine.num_vertices());
+  std::vector<char> hit(static_cast<std::size_t>(coarse.num_vertices()), 0);
+  for (Index v = 0; v < fine.num_vertices(); ++v) {
+    const Index c = map[static_cast<std::size_t>(v)];
+    HGR_ASSERT_FMT(c >= 0 && c < coarse.num_vertices(),
+                   "fine vertex %d maps to coarse %d (|coarse V|=%d)", v, c,
+                   coarse.num_vertices());
+    hit[static_cast<std::size_t>(c)] = 1;
+  }
+  for (Index c = 0; c < coarse.num_vertices(); ++c)
+    HGR_ASSERT_FMT(hit[static_cast<std::size_t>(c)],
+                   "coarse vertex %d has no fine preimage", c);
+
+  HGR_ASSERT_FMT(
+      fine.total_vertex_weight() == coarse.total_vertex_weight(),
+      "contraction changed total vertex weight %lld -> %lld",
+      static_cast<long long>(fine.total_vertex_weight()),
+      static_cast<long long>(coarse.total_vertex_weight()));
+  Weight fine_size = 0, coarse_size = 0;
+  for (Index v = 0; v < fine.num_vertices(); ++v)
+    fine_size += fine.vertex_size(v);
+  for (Index c = 0; c < coarse.num_vertices(); ++c)
+    coarse_size += coarse.vertex_size(c);
+  HGR_ASSERT_FMT(fine_size == coarse_size,
+                 "contraction changed total vertex size %lld -> %lld",
+                 static_cast<long long>(fine_size),
+                 static_cast<long long>(coarse_size));
+
+  // Fixed labels conserved: each fixed fine vertex's image carries the same
+  // label, and no coarse label lacks a fine justification.
+  if (fine.has_fixed()) {
+    for (Index v = 0; v < fine.num_vertices(); ++v) {
+      const PartId f = fine.fixed_part(v);
+      if (f == kNoPart) continue;
+      const Index c = map[static_cast<std::size_t>(v)];
+      HGR_ASSERT_FMT(coarse.fixed_part(c) == f,
+                     "fine vertex %d fixed to %d but coarse vertex %d fixed "
+                     "to %d",
+                     v, f, c, coarse.fixed_part(c));
+    }
+  }
+  if (coarse.has_fixed()) {
+    std::vector<char> justified(
+        static_cast<std::size_t>(coarse.num_vertices()), 0);
+    for (Index v = 0; v < fine.num_vertices(); ++v)
+      if (fine.fixed_part(v) != kNoPart)
+        justified[static_cast<std::size_t>(map[static_cast<std::size_t>(v)])] =
+            1;
+    for (Index c = 0; c < coarse.num_vertices(); ++c)
+      HGR_ASSERT_FMT(coarse.fixed_part(c) == kNoPart ||
+                         justified[static_cast<std::size_t>(c)],
+                     "coarse vertex %d fixed to %d without any fixed fine "
+                     "preimage",
+                     c, coarse.fixed_part(c));
+  }
+
+  if (!paranoid(level) || coarse_partition == nullptr) return;
+
+  const Partition& cp = *coarse_partition;
+  HGR_ASSERT_FMT(cp.num_vertices() == coarse.num_vertices(),
+                 "coarse partition covers %d vertices, coarse hypergraph "
+                 "has %d",
+                 cp.num_vertices(), coarse.num_vertices());
+  Partition projected(cp.k, fine.num_vertices());
+  for (Index v = 0; v < fine.num_vertices(); ++v)
+    projected[v] = cp[map[static_cast<std::size_t>(v)]];
+  const Weight fine_cut = recompute_cut(fine, projected);
+  const Weight coarse_cut = recompute_cut(coarse, cp);
+  HGR_ASSERT_FMT(fine_cut == coarse_cut,
+                 "projected fine cut %lld != coarse cut %lld",
+                 static_cast<long long>(fine_cut),
+                 static_cast<long long>(coarse_cut));
+}
+
+}  // namespace hgr::check

@@ -1,0 +1,60 @@
+#include "common/assert.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hgr::detail {
+
+namespace {
+
+std::atomic<AssertHandler> g_handler{nullptr};
+
+std::string format_failure(const char* expr, const char* file, int line,
+                           const char* msg) {
+  std::string out = "hgr assertion failed: ";
+  out += expr;
+  out += "\n  at ";
+  out += file;
+  out += ':';
+  out += std::to_string(line);
+  if (msg != nullptr && *msg != '\0') {
+    out += "\n  ";
+    out += msg;
+  }
+  return out;
+}
+
+}  // namespace
+
+AssertHandler set_assert_handler(AssertHandler handler) {
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+void throwing_assert_handler(const char* expr, const char* file, int line,
+                             const char* msg) {
+  throw AssertionError(format_failure(expr, file, line, msg));
+}
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const char* msg) {
+  const AssertHandler handler = g_handler.load(std::memory_order_acquire);
+  if (handler != nullptr) handler(expr, file, line, msg);
+  // Default path, or a custom handler that declined to throw: print and
+  // abort so a failed invariant can never be silently ignored.
+  std::fprintf(stderr, "%s\n", format_failure(expr, file, line, msg).c_str());
+  std::abort();
+}
+
+void assert_fail_fmt(const char* expr, const char* file, int line,
+                     const char* fmt, ...) {
+  char buf[512];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  assert_fail(expr, file, line, buf);
+}
+
+}  // namespace hgr::detail

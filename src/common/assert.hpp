@@ -3,21 +3,70 @@
 // Partitioning bugs tend to produce silently-wrong partitions rather than
 // crashes, so invariant checks stay enabled in release builds; the hot inner
 // loops use HGR_DASSERT which compiles away outside debug builds.
+//
+// Failure handling is pluggable: by default a failed assertion prints and
+// aborts (the right behavior in the CLI and in production drivers), but a
+// handler that throws AssertionError can be installed so tests can assert
+// on failures without death tests. The invariant validators in src/check/
+// route their failures through the same handler.
 #pragma once
 
-#include <cstdio>
-#include <cstdlib>
+#include <stdexcept>
+#include <string>
 
-namespace hgr::detail {
+namespace hgr {
 
-[[noreturn]] inline void assert_fail(const char* expr, const char* file,
-                                     int line, const char* msg) {
-  std::fprintf(stderr, "hgr assertion failed: %s\n  at %s:%d\n  %s\n", expr,
-               file, line, msg ? msg : "");
-  std::abort();
-}
+/// Thrown instead of aborting when the throwing failure handler is
+/// installed (see ScopedAssertHandler). what() carries the full diagnostic
+/// (expression, location, message).
+class AssertionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
 
-}  // namespace hgr::detail
+namespace detail {
+
+/// A failure handler receives the stringified expression, source location,
+/// and an optional message. It may throw (the normal way to take over
+/// control); if it returns, the process aborts to preserve the [[noreturn]]
+/// contract of assert_fail.
+using AssertHandler = void (*)(const char* expr, const char* file, int line,
+                               const char* msg);
+
+/// Install a failure handler; nullptr restores the default print-and-abort
+/// behavior. Returns the previously installed handler (nullptr if default).
+AssertHandler set_assert_handler(AssertHandler handler);
+
+/// The handler ScopedAssertHandler installs: throws AssertionError.
+[[noreturn]] void throwing_assert_handler(const char* expr, const char* file,
+                                          int line, const char* msg);
+
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const char* msg);
+
+/// printf-formats the message, then calls assert_fail.
+[[noreturn]] void assert_fail_fmt(const char* expr, const char* file,
+                                  int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+}  // namespace detail
+
+/// RAII: route assertion and validator failures into AssertionError for the
+/// scope's lifetime. Not reentrant across threads: the handler is global,
+/// so install it once around the code under test.
+class ScopedAssertHandler {
+ public:
+  ScopedAssertHandler()
+      : prev_(detail::set_assert_handler(detail::throwing_assert_handler)) {}
+  ~ScopedAssertHandler() { detail::set_assert_handler(prev_); }
+  ScopedAssertHandler(const ScopedAssertHandler&) = delete;
+  ScopedAssertHandler& operator=(const ScopedAssertHandler&) = delete;
+
+ private:
+  detail::AssertHandler prev_;
+};
+
+}  // namespace hgr
 
 #define HGR_ASSERT(expr)                                              \
   do {                                                                \
@@ -29,6 +78,15 @@ namespace hgr::detail {
   do {                                                             \
     if (!(expr))                                                   \
       ::hgr::detail::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+  } while (0)
+
+/// Assertion with a printf-style message so the diagnostic carries operand
+/// values: HGR_ASSERT_FMT(w >= 0, "vertex %d has weight %lld", v, w);
+#define HGR_ASSERT_FMT(expr, fmt, ...)                                   \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::hgr::detail::assert_fail_fmt(#expr, __FILE__, __LINE__,          \
+                                     fmt __VA_OPT__(, ) __VA_ARGS__);    \
   } while (0)
 
 #ifndef NDEBUG

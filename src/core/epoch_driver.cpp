@@ -1,5 +1,6 @@
 #include "core/epoch_driver.hpp"
 
+#include "check/validate.hpp"
 #include "common/assert.hpp"
 #include "common/timer.hpp"
 #include "graphpart/gpartitioner.hpp"
@@ -89,6 +90,20 @@ EpochRunSummary run_epochs(EpochScenario& scenario,
       record.num_migrated =
           num_migrated(problem.old_partition, result.partition);
       chosen = std::move(result.partition);
+    }
+    // Per-epoch invariant verification: the epoch hypergraph is
+    // well-formed and the chosen assignment respects part range, fixed
+    // vertices, and (at paranoid level) the reported cost components.
+    if (check::enabled(cfg.partition.check_level)) {
+      check::validate_hypergraph(h, cfg.partition.check_level);
+      check::PartitionExpectations expect;
+      expect.context = problem.first ? "epoch.static" : "epoch.repartition";
+      expect.reported_cut = record.cost.comm_volume;
+      if (!problem.first) {
+        expect.old_partition = &problem.old_partition;
+        expect.reported_migration = record.cost.migration_volume;
+      }
+      check::validate_partition(h, chosen, cfg.partition.check_level, expect);
     }
     record.imbalance = imbalance(problem.graph.vertex_weights(), chosen);
     obs::counter("epoch.count") += 1;

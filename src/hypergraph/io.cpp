@@ -51,12 +51,19 @@ Hypergraph read_hmetis(std::istream& in) {
     std::istringstream ls(line);
     Weight cost = 1;
     if (has_net_costs && !(ls >> cost)) parse_error("missing net cost");
+    if (cost < 0)
+      parse_error("negative net cost " + std::to_string(cost) + " on net " +
+                  std::to_string(n + 1));
     pins.clear();
     long long pin;
     while (ls >> pin) {
-      if (pin < 1 || pin > num_vertices) parse_error("pin out of range");
+      if (pin < 1 || pin > num_vertices)
+        parse_error("pin " + std::to_string(pin) + " out of range [1, " +
+                    std::to_string(num_vertices) + "] on net " +
+                    std::to_string(n + 1));
       pins.push_back(static_cast<Index>(pin - 1));
     }
+    if (!ls.eof()) parse_error("non-numeric pin on net " + std::to_string(n + 1));
     if (pins.empty()) parse_error("empty net");
     b.add_net(pins, cost);
   }
@@ -67,6 +74,12 @@ Hypergraph read_hmetis(std::istream& in) {
       Weight w = 1, s = 1;
       if (!(ls >> w)) parse_error("bad vertex weight");
       if (has_vsizes && !(ls >> s)) parse_error("missing vertex size");
+      if (w < 0)
+        parse_error("negative weight " + std::to_string(w) + " for vertex " +
+                    std::to_string(v + 1));
+      if (s < 0)
+        parse_error("negative size " + std::to_string(s) + " for vertex " +
+                    std::to_string(v + 1));
       b.set_vertex_weight(static_cast<Index>(v), w);
       b.set_vertex_size(static_cast<Index>(v), has_vsizes ? s : w);
     }

@@ -1,5 +1,8 @@
 #include "parallel/comm.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <exception>
 #include <string>
 #include <thread>
@@ -12,8 +15,102 @@ Comm::Comm(int num_ranks)
     : num_ranks_(num_ranks),
       mailboxes_(static_cast<std::size_t>(num_ranks)),
       stats_(static_cast<std::size_t>(num_ranks)),
+      wait_states_(
+          std::make_unique<WaitState[]>(static_cast<std::size_t>(num_ranks))),
       slots_(static_cast<std::size_t>(num_ranks)) {
   HGR_ASSERT(num_ranks >= 1);
+}
+
+Comm::ScopedWait::ScopedWait(Comm& comm, int rank, int kind, int src, int tag)
+    : state_(comm.wait_states_[static_cast<std::size_t>(rank)]),
+      progress_(comm.progress_) {
+  state_.src.store(src, std::memory_order_relaxed);
+  state_.tag.store(tag, std::memory_order_relaxed);
+  state_.kind.store(kind, std::memory_order_release);
+  progress_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+Comm::ScopedWait::~ScopedWait() {
+  state_.kind.store(WaitState::kNotWaiting, std::memory_order_release);
+  progress_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::string Comm::compose_deadlock_diagnosis(double stuck_seconds) {
+  char head[128];
+  std::snprintf(head, sizeof(head),
+                "comm deadlock: all %d ranks blocked with no progress for "
+                "%.2fs",
+                num_ranks_, stuck_seconds);
+  std::string out = head;
+  int arrived = 0;
+  {
+    std::lock_guard lock(barrier_mutex_);
+    arrived = barrier_arrived_;
+  }
+  for (int r = 0; r < num_ranks_; ++r) {
+    const WaitState& w = wait_states_[static_cast<std::size_t>(r)];
+    char line[96];
+    switch (w.kind.load(std::memory_order_acquire)) {
+      case WaitState::kRecv:
+        std::snprintf(line, sizeof(line), "\n  rank %d: recv(src=%d, tag=%d)",
+                      r, w.src.load(std::memory_order_relaxed),
+                      w.tag.load(std::memory_order_relaxed));
+        break;
+      case WaitState::kBarrier:
+        std::snprintf(line, sizeof(line),
+                      "\n  rank %d: barrier (%d of %d arrived)", r, arrived,
+                      num_ranks_);
+        break;
+      default:
+        std::snprintf(line, sizeof(line), "\n  rank %d: not blocked", r);
+        break;
+    }
+    out += line;
+  }
+  return out;
+}
+
+void Comm::watchdog_loop() {
+  using Clock = std::chrono::steady_clock;
+  const double timeout = deadlock_timeout_;
+  const auto poll = std::chrono::milliseconds(std::clamp(
+      static_cast<long>(timeout * 1000.0 / 20.0), 1L, 100L));
+  std::uint64_t last_progress = progress_.load(std::memory_order_acquire);
+  Clock::time_point stuck_since{};
+  bool stuck = false;
+
+  std::unique_lock lock(watchdog_mutex_);
+  for (;;) {
+    if (watchdog_cv_.wait_for(lock, poll, [this] { return watchdog_stop_; }))
+      return;
+    if (aborted_.load(std::memory_order_acquire)) {
+      stuck = false;
+      continue;
+    }
+    bool all_blocked = true;
+    for (int r = 0; r < num_ranks_ && all_blocked; ++r)
+      all_blocked = wait_states_[static_cast<std::size_t>(r)].kind.load(
+                        std::memory_order_acquire) != WaitState::kNotWaiting;
+    const std::uint64_t now_progress =
+        progress_.load(std::memory_order_acquire);
+    if (!all_blocked || now_progress != last_progress) {
+      stuck = false;
+      last_progress = now_progress;
+      continue;
+    }
+    if (!stuck) {
+      stuck = true;
+      stuck_since = Clock::now();
+      continue;
+    }
+    const double stuck_seconds =
+        std::chrono::duration<double>(Clock::now() - stuck_since).count();
+    if (stuck_seconds < timeout) continue;
+    deadlock_diagnosis_ = compose_deadlock_diagnosis(stuck_seconds);
+    lock.unlock();
+    abort_all();
+    return;
+  }
 }
 
 void Comm::run(const std::function<void(RankContext&)>& f) {
@@ -25,6 +122,18 @@ void Comm::run(const std::function<void(RankContext&)>& f) {
   barrier_arrived_ = 0;
   barrier_generation_ = 0;
   aborted_.store(false, std::memory_order_relaxed);
+  progress_.store(0, std::memory_order_relaxed);
+  for (int r = 0; r < num_ranks_; ++r)
+    wait_states_[static_cast<std::size_t>(r)].kind.store(
+        WaitState::kNotWaiting, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(watchdog_mutex_);
+    watchdog_stop_ = false;
+    deadlock_diagnosis_.clear();
+  }
+
+  std::thread watchdog;
+  if (deadlock_timeout_ > 0.0) watchdog = std::thread([this] { watchdog_loop(); });
 
   std::vector<std::exception_ptr> errors(
       static_cast<std::size_t>(num_ranks_));
@@ -42,11 +151,23 @@ void Comm::run(const std::function<void(RankContext&)>& f) {
     });
   }
   for (auto& t : threads) t.join();
+  std::string deadlock_diagnosis;
+  if (watchdog.joinable()) {
+    {
+      std::lock_guard lock(watchdog_mutex_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog.join();
+    std::lock_guard lock(watchdog_mutex_);
+    deadlock_diagnosis = deadlock_diagnosis_;
+  }
   aborted_.store(false, std::memory_order_relaxed);
 
   // Rethrow the lowest-rank *original* failure; secondary CommAborted
-  // unwinds (ranks woken because a peer died) only surface if, somehow, no
-  // primary exception was captured.
+  // unwinds (ranks woken because a peer died) only surface if no primary
+  // exception was captured — and if the watchdog aborted the run, the
+  // deadlock diagnosis outranks those secondary unwinds.
   std::exception_ptr fallback;
   for (const std::exception_ptr& e : errors) {
     if (!e) continue;
@@ -59,6 +180,7 @@ void Comm::run(const std::function<void(RankContext&)>& f) {
       throw;
     }
   }
+  if (!deadlock_diagnosis.empty()) throw CommDeadlock(deadlock_diagnosis);
   if (fallback) std::rethrow_exception(fallback);
 }
 
@@ -84,15 +206,17 @@ void Comm::abort_all() {
   barrier_cv_.notify_all();
 }
 
-void Comm::barrier_wait() {
+void Comm::barrier_wait(int rank) {
   std::unique_lock lock(barrier_mutex_);
   if (aborted_.load(std::memory_order_acquire)) throw CommAborted{};
   const std::uint64_t my_generation = barrier_generation_;
   if (++barrier_arrived_ == num_ranks_) {
     barrier_arrived_ = 0;
     ++barrier_generation_;
+    progress_.fetch_add(1, std::memory_order_acq_rel);
     barrier_cv_.notify_all();
   } else {
+    ScopedWait waiting(*this, rank, WaitState::kBarrier, -1, 0);
     barrier_cv_.wait(lock, [this, my_generation] {
       return barrier_generation_ != my_generation ||
              aborted_.load(std::memory_order_acquire);
@@ -146,6 +270,7 @@ void RankContext::send_bytes_impl(int dest, int tag,
     std::lock_guard lock(box.mutex);
     box.queues[{rank_, tag}].emplace_back(data.begin(), data.end());
   }
+  comm_.progress_.fetch_add(1, std::memory_order_acq_rel);
   box.ready.notify_all();
 }
 
@@ -154,11 +279,14 @@ std::vector<std::uint8_t> RankContext::recv_bytes_impl(int src, int tag) {
   Comm::Mailbox& box = comm_.mailboxes_[static_cast<std::size_t>(rank_)];
   std::unique_lock lock(box.mutex);
   const auto key = std::make_pair(src, tag);
-  box.ready.wait(lock, [this, &box, &key] {
-    if (comm_.aborted_.load(std::memory_order_acquire)) return true;
-    const auto it = box.queues.find(key);
-    return it != box.queues.end() && !it->second.empty();
-  });
+  {
+    Comm::ScopedWait waiting(comm_, rank_, Comm::WaitState::kRecv, src, tag);
+    box.ready.wait(lock, [this, &box, &key] {
+      if (comm_.aborted_.load(std::memory_order_acquire)) return true;
+      const auto it = box.queues.find(key);
+      return it != box.queues.end() && !it->second.empty();
+    });
+  }
   if (comm_.aborted_.load(std::memory_order_acquire)) throw CommAborted{};
   auto& queue = box.queues[key];
   std::vector<std::uint8_t> msg = std::move(queue.front());
@@ -169,7 +297,7 @@ std::vector<std::uint8_t> RankContext::recv_bytes_impl(int src, int tag) {
 void RankContext::barrier() {
   record_collective("barrier", 0);
   comm_.stats_[static_cast<std::size_t>(rank_)].collectives += 1;
-  comm_.barrier_wait();
+  comm_.barrier_wait(rank_);
 }
 
 void RankContext::exchange_slot(
@@ -180,9 +308,9 @@ void RankContext::exchange_slot(
   comm_.slots_[static_cast<std::size_t>(rank_)] = mine;
   account(mine.size() * static_cast<std::size_t>(size() - 1), 0);
   comm_.stats_[static_cast<std::size_t>(rank_)].collectives += 1;
-  comm_.barrier_wait();
+  comm_.barrier_wait(rank_);
   all_out = comm_.slots_;
-  comm_.barrier_wait();
+  comm_.barrier_wait(rank_);
 }
 
 }  // namespace hgr

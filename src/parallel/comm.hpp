@@ -14,6 +14,14 @@
 // CommAborted, all threads are joined, and Comm::run rethrows the
 // lowest-rank original exception to the caller. The communicator stays
 // reusable afterwards.
+//
+// Deadlock watchdog: every blocking point (recv, barrier, and the
+// collectives built on them) publishes per-rank "waiting on what" state. A
+// watchdog thread detects the all-ranks-blocked-no-progress configuration
+// (mismatched barriers, a recv nobody sends, tag mix-ups), composes a
+// who-waits-on-whom diagnosis, and aborts the communicator through the
+// CommAborted path; Comm::run then throws CommDeadlock instead of hanging
+// forever. See docs/CHECKING.md.
 #pragma once
 
 #include <atomic>
@@ -23,9 +31,12 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -51,6 +62,15 @@ class CommAborted : public std::runtime_error {
  public:
   CommAborted()
       : std::runtime_error("communication aborted: a peer rank threw") {}
+};
+
+/// Thrown by Comm::run when the watchdog detected that every rank was
+/// blocked in communication with no progress for longer than the deadlock
+/// timeout. what() carries the per-rank who-waits-on-whom diagnosis.
+class CommDeadlock : public std::runtime_error {
+ public:
+  explicit CommDeadlock(const std::string& diagnosis)
+      : std::runtime_error(diagnosis) {}
 };
 
 /// Handle a rank uses inside Comm::run. All operations are blocking and
@@ -209,8 +229,17 @@ class Comm {
   /// Run f as rank r on each of num_ranks threads; returns when all ranks
   /// finish. If any rank throws, every other rank blocked in communication
   /// is aborted (it observes CommAborted), all threads are joined, and the
-  /// lowest-rank original exception is rethrown here.
+  /// lowest-rank original exception is rethrown here. If the watchdog
+  /// detected a deadlock instead, CommDeadlock is thrown.
   void run(const std::function<void(RankContext&)>& f);
+
+  /// Seconds of all-ranks-blocked-with-no-progress before the watchdog
+  /// declares a deadlock. 0 disables the watchdog. Default 30s: far above
+  /// any legitimate full-quiescence window (a satisfiable recv or barrier
+  /// is woken at notify time), yet bounded enough that CI fails with a
+  /// diagnosis instead of timing out.
+  void set_deadlock_timeout(double seconds) { deadlock_timeout_ = seconds; }
+  double deadlock_timeout() const { return deadlock_timeout_; }
 
   /// Aggregate traffic over all ranks from the last run().
   CommStats total_stats() const;
@@ -228,11 +257,42 @@ class Comm {
         queues;  // (src, tag) -> messages in order
   };
 
-  // Sense-reversing generation barrier.
-  void barrier_wait();
+  // Sense-reversing generation barrier. `rank` identifies the caller for
+  // the watchdog's wait-state bookkeeping.
+  void barrier_wait(int rank);
 
   // Wake every rank blocked in a recv or barrier; they throw CommAborted.
   void abort_all();
+
+  // --- deadlock watchdog ---
+
+  /// What a rank is currently blocked on, published for the watchdog.
+  /// kind is written last (release) so src/tag are valid whenever the
+  /// watchdog observes kind != kNotWaiting.
+  struct WaitState {
+    static constexpr int kNotWaiting = 0;
+    static constexpr int kRecv = 1;
+    static constexpr int kBarrier = 2;
+    std::atomic<int> kind{kNotWaiting};
+    std::atomic<int> src{-1};
+    std::atomic<int> tag{0};
+  };
+
+  /// RAII: publish "rank r is blocked on ..." around a cv wait.
+  class ScopedWait {
+   public:
+    ScopedWait(Comm& comm, int rank, int kind, int src, int tag);
+    ~ScopedWait();
+    ScopedWait(const ScopedWait&) = delete;
+    ScopedWait& operator=(const ScopedWait&) = delete;
+
+   private:
+    WaitState& state_;
+    std::atomic<std::uint64_t>& progress_;
+  };
+
+  void watchdog_loop();
+  std::string compose_deadlock_diagnosis(double stuck_seconds);
 
   int num_ranks_;
   std::vector<Mailbox> mailboxes_;
@@ -243,6 +303,17 @@ class Comm {
   int barrier_arrived_ = 0;
   std::uint64_t barrier_generation_ = 0;
   std::atomic<bool> aborted_{false};
+
+  // Watchdog state. progress_ is bumped on every send, every wait
+  // entry/exit, and every barrier release; a frozen counter with every
+  // rank's WaitState published means no rank can ever make progress again.
+  std::unique_ptr<WaitState[]> wait_states_;
+  std::atomic<std::uint64_t> progress_{0};
+  double deadlock_timeout_ = 30.0;
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::string deadlock_diagnosis_;  // guarded by watchdog_mutex_
 
   // Collective exchange area: one slot per rank, fenced by barriers.
   std::vector<std::vector<std::uint8_t>> slots_;

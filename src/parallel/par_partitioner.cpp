@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/validate.hpp"
 #include "common/assert.hpp"
 #include "common/timer.hpp"
 #include "core/repartition_model.hpp"
@@ -70,9 +71,13 @@ ParallelPartitionResult parallel_partition_hypergraph(
             1.0 - static_cast<double>(next.coarse.num_vertices()) /
                       static_cast<double>(current->num_vertices());
         if (reduction < cfg.base.min_coarsen_reduction) break;
-        if (lead)
+        // Only the lead rank validates: the level is replicated and
+        // parallel_contract already checksums cross-rank agreement.
+        if (lead) {
           record_coarsen_level(current->num_vertices(),
                                next.coarse.num_vertices(), match);
+          check::validate_coarsening(*current, next, cfg.base.check_level);
+        }
         levels.push_back(std::move(next));
         current = &levels.back().coarse;
       }
@@ -96,6 +101,8 @@ ParallelPartitionResult parallel_partition_hypergraph(
       for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
         const Hypergraph& finer =
             (std::next(it) == levels.rend()) ? h : std::next(it)->coarse;
+        if (lead)
+          check::validate_coarsening(finer, *it, cfg.base.check_level, &p);
         Partition fine_p(cfg.base.num_parts, finer.num_vertices());
         for (Index v = 0; v < finer.num_vertices(); ++v)
           fine_p[v] = p[it->fine_to_coarse[static_cast<std::size_t>(v)]];
@@ -127,6 +134,13 @@ ParallelPartitionResult parallel_partition_hypergraph(
       HGR_ASSERT_MSG(f == kNoPart || result.partition[v] == f,
                      "parallel partitioner violated a fixed constraint");
     }
+  }
+  {
+    check::PartitionExpectations expect;
+    expect.epsilon = cfg.base.epsilon;
+    expect.context = "par_partition";
+    check::validate_partition(h, result.partition, cfg.base.check_level,
+                              expect);
   }
   return result;
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "check/check_level.hpp"
 #include "common/types.hpp"
 
 namespace hgr {
@@ -68,6 +69,11 @@ struct PartitionConfig {
   /// Additional V-cycles: restricted re-coarsening + refinement of the
   /// final k-way partition (quality extension, costs time).
   Index num_vcycles = 0;
+
+  /// Runtime invariant verification (src/check/): validators run at every
+  /// coarsening level, after every (re)partitioning stage, and per epoch.
+  /// kOff (default) costs nothing; see docs/CHECKING.md.
+  check::CheckLevel check_level = check::CheckLevel::kOff;
 
   std::string to_string() const;
 };

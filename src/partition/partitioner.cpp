@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "check/validate.hpp"
 #include "common/assert.hpp"
 #include "metrics/balance.hpp"
 #include "metrics/cut.hpp"
@@ -116,6 +117,7 @@ Partition direct_kway_partition(const Hypergraph& h,
       if (reduction < cfg.min_coarsen_reduction) break;
       record_coarsen_level(current->num_vertices(),
                            next.coarse.num_vertices(), match);
+      check::validate_coarsening(*current, next, cfg.check_level);
       levels.push_back(std::move(next));
       current = &levels.back().coarse;
     }
@@ -133,6 +135,7 @@ Partition direct_kway_partition(const Hypergraph& h,
     for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
       const Hypergraph& finer =
           (std::next(it) == levels.rend()) ? h : std::next(it)->coarse;
+      check::validate_coarsening(finer, *it, cfg.check_level, &p);
       Partition fine_p(cfg.num_parts, finer.num_vertices());
       for (Index v = 0; v < finer.num_vertices(); ++v)
         fine_p[v] = p[it->fine_to_coarse[static_cast<std::size_t>(v)]];
@@ -182,6 +185,7 @@ void refinement_vcycle(const Hypergraph& h, Partition& p,
         1.0 - static_cast<double>(next.cl.coarse.num_vertices()) /
                   static_cast<double>(current->num_vertices());
     if (reduction < cfg.min_coarsen_reduction) break;
+    check::validate_coarsening(*current, next.cl, cfg.check_level);
     // Propagate the *true* fixed constraints to the coarse level.
     if (!fixed_now.empty()) {
       std::vector<PartId> coarse_fixed(
@@ -241,6 +245,7 @@ Partition partition_hypergraph(const Hypergraph& h,
   HGR_ASSERT(cfg.num_parts >= 1);
   HGR_ASSERT(cfg.epsilon >= 0.0);
   h.validate(cfg.num_parts);
+  check::validate_hypergraph(h, cfg.check_level, cfg.num_parts);
 
   if (cfg.num_parts == 1 || h.num_vertices() == 0) {
     Partition p(std::max<PartId>(1, cfg.num_parts), h.num_vertices(), 0);
@@ -268,6 +273,12 @@ Partition partition_hypergraph(const Hypergraph& h,
       HGR_ASSERT_MSG(f == kNoPart || p[v] == f,
                      "partitioner violated a fixed-vertex constraint");
     }
+  }
+  {
+    check::PartitionExpectations expect;
+    expect.epsilon = cfg.epsilon;
+    expect.context = "partition_hypergraph";
+    check::validate_partition(h, p, cfg.check_level, expect);
   }
   return p;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "check/validate.hpp"
 #include "common/assert.hpp"
 #include "common/csr_utils.hpp"
 #include "obs/trace.hpp"
@@ -169,6 +170,7 @@ std::vector<PartId> multilevel_bisect(const Hypergraph& h,
       if (reduction < cfg.min_coarsen_reduction) break;  // stalled
       record_coarsen_level(current->num_vertices(),
                            next.coarse.num_vertices(), match);
+      check::validate_coarsening(*current, next, cfg.check_level);
       levels.push_back(std::move(next));
       current = &levels.back().coarse;
     }
@@ -189,6 +191,11 @@ std::vector<PartId> multilevel_bisect(const Hypergraph& h,
     for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
       const Hypergraph& finer =
           (std::next(it) == levels.rend()) ? h : std::next(it)->coarse;
+      if (check::paranoid(cfg.check_level)) {
+        Partition coarse_p(2, it->coarse.num_vertices());
+        coarse_p.assignment = side;
+        check::validate_coarsening(finer, *it, cfg.check_level, &coarse_p);
+      }
       std::vector<PartId> fine_side(
           static_cast<std::size_t>(finer.num_vertices()));
       for (Index v = 0; v < finer.num_vertices(); ++v)
@@ -220,6 +227,14 @@ Partition recursive_bisection_partition(const Hypergraph& h,
 
   rb_recurse(std::move(root), 0, cfg.num_parts, cfg.epsilon, cfg, rng, out);
   out.validate();
+  {
+    // Balance is asserted by partition_hypergraph against the global
+    // epsilon; here only structure and fixed constraints are checked (each
+    // bisection level used its own compounded tolerance).
+    check::PartitionExpectations expect;
+    expect.context = "recursive_bisect";
+    check::validate_partition(h, out, cfg.check_level, expect);
+  }
   return out;
 }
 

@@ -1,0 +1,76 @@
+#include "common/assert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hgr {
+namespace {
+
+TEST(Assert, PassingAssertionsAreSilent) {
+  ScopedAssertHandler guard;
+  HGR_ASSERT(1 + 1 == 2);
+  HGR_ASSERT_MSG(true, "never shown");
+  HGR_ASSERT_FMT(3 > 2, "never shown %d", 42);
+}
+
+TEST(Assert, ThrowingHandlerConvertsFailureToException) {
+  ScopedAssertHandler guard;
+  EXPECT_THROW(HGR_ASSERT(false), AssertionError);
+  EXPECT_THROW(HGR_ASSERT_MSG(false, "context"), AssertionError);
+}
+
+TEST(Assert, MessageCarriesExpressionAndLocation) {
+  ScopedAssertHandler guard;
+  try {
+    HGR_ASSERT_MSG(2 + 2 == 5, "arithmetic is broken");
+    FAIL() << "assertion did not fire";
+  } catch (const AssertionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("assert_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("arithmetic is broken"), std::string::npos) << what;
+  }
+}
+
+TEST(Assert, FmtMessageCarriesOperandValues) {
+  ScopedAssertHandler guard;
+  const int vertex = 17;
+  const long long weight = -3;
+  try {
+    HGR_ASSERT_FMT(weight >= 0, "vertex %d has weight %lld", vertex, weight);
+    FAIL() << "assertion did not fire";
+  } catch (const AssertionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("weight >= 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("vertex 17"), std::string::npos) << what;
+    EXPECT_NE(what.find("-3"), std::string::npos) << what;
+  }
+}
+
+TEST(Assert, FmtWithNoVarargsCompilesAndFires) {
+  ScopedAssertHandler guard;
+  try {
+    HGR_ASSERT_FMT(false, "plain message, no arguments");
+    FAIL() << "assertion did not fire";
+  } catch (const AssertionError& e) {
+    EXPECT_NE(std::string(e.what()).find("plain message, no arguments"),
+              std::string::npos);
+  }
+}
+
+TEST(Assert, ScopedHandlerRestoresPrevious) {
+  // Install a throwing scope inside a throwing scope; after both unwind the
+  // default (abort) handler is back. We can't test the abort itself without
+  // a death test, but we can verify the inner scope restored the outer one:
+  // the assertion must still throw after the inner guard is gone.
+  ScopedAssertHandler outer;
+  {
+    ScopedAssertHandler inner;
+    EXPECT_THROW(HGR_ASSERT(false), AssertionError);
+  }
+  EXPECT_THROW(HGR_ASSERT(false), AssertionError);
+}
+
+}  // namespace
+}  // namespace hgr

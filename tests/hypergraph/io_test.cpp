@@ -61,6 +61,48 @@ TEST(Io, RejectsMissingNetLine) {
   EXPECT_THROW(read_hmetis(ss), std::runtime_error);
 }
 
+TEST(Io, RejectsNegativeNetCost) {
+  std::stringstream ss("1 2 1\n-4 1 2\n");
+  EXPECT_THROW(read_hmetis(ss), std::runtime_error);
+}
+
+TEST(Io, RejectsNegativeVertexWeight) {
+  std::stringstream ss("1 2 10\n1 2\n3\n-1\n");
+  EXPECT_THROW(read_hmetis(ss), std::runtime_error);
+}
+
+TEST(Io, RejectsNegativeVertexSize) {
+  std::stringstream ss("1 2 110\n1 2\n3 1\n2 -6\n");
+  EXPECT_THROW(read_hmetis(ss), std::runtime_error);
+}
+
+TEST(Io, RejectsNonNumericPin) {
+  std::stringstream ss("1 3\n1 two 3\n");
+  EXPECT_THROW(read_hmetis(ss), std::runtime_error);
+}
+
+// The checked-in malformed corpus: each file must be rejected with a
+// message that names the offending entity, not just "bad file".
+TEST(Io, MalformedCorpusRejectedWithClearErrors) {
+  const std::string dir = HGR_TEST_DATA_DIR;
+  const auto error_of = [](const std::string& path) -> std::string {
+    try {
+      read_hmetis_file(path);
+    } catch (const std::runtime_error& e) {
+      return e.what();
+    }
+    return "";
+  };
+  EXPECT_NE(error_of(dir + "/truncated.hgr").find("missing net line"),
+            std::string::npos);
+  EXPECT_NE(error_of(dir + "/pin_out_of_range.hgr").find("pin 9"),
+            std::string::npos);
+  EXPECT_NE(error_of(dir + "/negative_weight.hgr").find("vertex 2"),
+            std::string::npos);
+  EXPECT_NE(error_of(dir + "/negative_cost.hgr").find("net 1"),
+            std::string::npos);
+}
+
 TEST(Io, GraphRoundTrip) {
   GraphBuilder b(3);
   b.add_edge(0, 1, 4);

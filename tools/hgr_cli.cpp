@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "check/check_level.hpp"
+#include "check/validate.hpp"
 #include "core/repartitioner.hpp"
 #include "hypergraph/convert.hpp"
 #include "hypergraph/io.hpp"
@@ -52,6 +54,7 @@ struct CliOptions {
   std::uint64_t seed = 1;
   Weight alpha = 100;
   int ranks = 0;  // 0 = serial partitioner
+  check::CheckLevel check_level = check::CheckLevel::kOff;
   bool graph_input = false;
   bool mm_input = false;
   bool report = false;
@@ -63,10 +66,10 @@ struct CliOptions {
                "usage:\n"
                "  hgr_cli partition   <input> --k=N [--eps=F] [--seed=S] "
                "[--graph|--mm] [--ranks=P] [--report] [--out=FILE] "
-               "[--trace-json=FILE]\n"
+               "[--trace-json=FILE] [--validate=cheap|paranoid]\n"
                "  hgr_cli repartition <input> --old=FILE --k=N [--alpha=A] "
                "[--eps=F] [--seed=S] [--graph] [--ranks=P] [--out=FILE] "
-               "[--trace-json=FILE]\n"
+               "[--trace-json=FILE] [--validate=cheap|paranoid]\n"
                "  hgr_cli info        <input> [--graph]\n");
   std::exit(2);
 }
@@ -97,6 +100,11 @@ CliOptions parse(int argc, char** argv) {
       opt.out_path = value;
     } else if (key == "--trace-json") {
       opt.trace_json_path = value;
+    } else if (key == "--validate") {
+      if (!check::parse_check_level(value, opt.check_level))
+        usage(("bad --validate level: " + value +
+               " (expected off|cheap|paranoid)")
+                  .c_str());
     } else if (key == "--graph") {
       opt.graph_input = true;
     } else if (key == "--mm") {
@@ -189,6 +197,9 @@ int main(int argc, char** argv) {
     pcfg.num_parts = opt.k;
     pcfg.epsilon = opt.eps;
     pcfg.seed = opt.seed;
+    pcfg.check_level = opt.check_level;
+    if (check::enabled(opt.check_level))
+      check::validate_hypergraph(h, opt.check_level, opt.k);
 
     if (opt.mode == "partition") {
       Partition p(opt.k, h.num_vertices());
@@ -205,6 +216,14 @@ int main(int argc, char** argv) {
         p = r.partition;
       } else {
         p = partition_hypergraph(h, pcfg);
+      }
+      if (check::enabled(opt.check_level)) {
+        check::PartitionExpectations expect;
+        expect.epsilon = opt.eps;
+        expect.context = "hgr_cli partition";
+        check::validate_partition(h, p, opt.check_level, expect);
+        std::fprintf(stderr, "validate: partition ok (%s)\n",
+                     check::to_string(opt.check_level));
       }
       report_quality(h, p, opt.report);
       write_parts(p, opt.out_path);
@@ -238,6 +257,16 @@ int main(int argc, char** argv) {
           seconds = r.seconds;
           moves = r.plan.moves.size();
         }
+      }
+      if (check::enabled(opt.check_level)) {
+        check::PartitionExpectations expect;
+        expect.context = "hgr_cli repartition";
+        expect.old_partition = &old_p;
+        expect.reported_cut = cost.comm_volume;
+        expect.reported_migration = cost.migration_volume;
+        check::validate_partition(h, p, opt.check_level, expect);
+        std::fprintf(stderr, "validate: repartition ok (%s)\n",
+                     check::to_string(opt.check_level));
       }
       record_epoch_cost(cost, num_migrated(old_p, p));
       report_quality(h, p, opt.report);

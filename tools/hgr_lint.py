@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Project-specific lint for the hgr codebase (docs/CHECKING.md).
+
+Rules (all scoped to src/ and tools/ C++ sources):
+
+  nondeterminism   No rand()/srand()/random_device-or-time seeding. Every
+                   random decision must flow through common/rng.hpp seeded
+                   from the config, or runs stop being reproducible.
+  raw-new          No raw `new` expressions; containers or unique_ptr own
+                   all allocations (exception-unwind paths in the comm
+                   layer must not leak).
+  plain-assert     No C `assert(...)`: it compiles away under NDEBUG, and
+                   partitioning bugs produce silently-wrong partitions, not
+                   crashes. Use HGR_ASSERT / HGR_ASSERT_FMT (always on) or
+                   HGR_DASSERT (hot loops, intentionally debug-only).
+  reserved-tag     kAlltoallTag is internal to the alltoallv implementation;
+                   user-level sends or recvs on it would interleave with
+                   collective traffic.
+
+A finding line may be suppressed with a trailing `// hgr-lint: allow`
+comment. Exit status is the number of findings (0 = clean).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SUPPRESS = "hgr-lint: allow"
+
+# Each rule: (name, regex, explanation, file-filter or None).
+RULES = [
+    (
+        "nondeterminism",
+        re.compile(r"(?<![\w:])(?:rand|srand)\s*\(|std::random_device"
+                   r"|seed\s*\(\s*time\s*\("),
+        "use common/rng.hpp seeded from the config (reproducible runs)",
+        None,
+    ),
+    (
+        "raw-new",
+        re.compile(r"(?<![\w_])new\s+[A-Za-z_][\w:]*(?:\s*[<({[]|\s*[;,)])"),
+        "own allocations with containers or std::unique_ptr",
+        None,
+    ),
+    (
+        "plain-assert",
+        re.compile(r"(?<![\w_.])assert\s*\("),
+        "use HGR_ASSERT (always-on) or HGR_DASSERT (debug-only) instead",
+        None,
+    ),
+    (
+        "reserved-tag",
+        re.compile(r"kAlltoallTag"),
+        "the alltoall tag is reserved for internal collective traffic",
+        # The comm layer itself defines and guards the tag.
+        lambda path: not (path.parts[-2:] in (("parallel", "comm.hpp"),
+                                              ("parallel", "comm.cpp"))),
+    ),
+]
+
+LINE_COMMENT = re.compile(r"//.*$")
+STRING = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def strip_noise(line: str) -> str:
+    """Drop string literals and line comments so they can't false-positive."""
+    line = STRING.sub('""', line)
+    return LINE_COMMENT.sub("", line)
+
+
+def lint_file(path: Path) -> list[str]:
+    findings = []
+    in_block_comment = False
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        if SUPPRESS in raw:
+            continue
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        # Strip (possibly several) block comments opening on this line.
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block_comment = True
+                break
+            line = line[:start] + line[end + 2:]
+        line = strip_noise(line)
+        if not line.strip():
+            continue
+        for name, pattern, why, file_filter in RULES:
+            if file_filter is not None and not file_filter(path):
+                continue
+            if pattern.search(line):
+                findings.append(
+                    f"{path}:{lineno}: [{name}] {raw.strip()}\n"
+                    f"    -> {why}")
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(".")
+    files = []
+    for sub in ("src", "tools"):
+        base = root / sub
+        if base.is_dir():
+            files += sorted(p for p in base.rglob("*")
+                            if p.suffix in (".hpp", ".cpp", ".h", ".cc"))
+    if not files:
+        print(f"hgr_lint: no sources found under {root}", file=sys.stderr)
+        return 1
+    findings = []
+    for path in files:
+        findings += lint_file(path)
+    for f in findings:
+        print(f)
+    print(f"hgr_lint: {len(files)} files scanned, {len(findings)} finding(s)")
+    return min(len(findings), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
