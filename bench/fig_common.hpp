@@ -7,9 +7,13 @@
 // --trials, --seed) unlock the full sweep.
 #pragma once
 
+#include <cstdio>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "obs/trace.hpp"
 #include "workload/experiment.hpp"
 
@@ -36,7 +40,75 @@ inline ExperimentConfig default_config(const std::string& dataset,
   cfg.num_epochs = 4;        // 1 static bootstrap + 3 repartitions
   cfg.num_trials = 1;        // paper used 20; raise with --trials=
   cfg.apply_cli(argc, argv);
+  // The timeline must be recording before any work runs.
+  if (!cfg.chrome_trace.empty()) obs::set_events_enabled(true);
   return cfg;
+}
+
+/// One figure cell tagged with its perturbation mode (CellResult itself is
+/// perturbation-agnostic).
+using TaggedCell = std::pair<std::string, CellResult>;
+
+/// "cells" array of the hgr-bench-v1 document.
+inline std::string cells_to_json(const std::vector<TaggedCell>& cells) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i].second;
+    if (i != 0) out += ',';
+    out += "{\"perturb\":\"";
+    obs::json_escape(out, cells[i].first);
+    out += "\",\"algorithm\":\"";
+    obs::json_escape(out, to_string(c.algorithm));
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"k\":%lld,\"alpha\":%lld,\"comm_volume\":%.9g,"
+                  "\"migration_volume\":%.9g,\"normalized_total\":%.9g,"
+                  "\"repart_seconds\":%.9g}",
+                  static_cast<long long>(c.k),
+                  static_cast<long long>(c.alpha), c.comm_volume,
+                  c.migration_volume, c.normalized_total, c.repart_seconds);
+    out += buf;
+  }
+  out += ']';
+  return out;
+}
+
+/// Write every artifact the flags asked for: --trace-json, --epoch-csv,
+/// --chrome-trace, --json (hgr-bench-v1 with the figure cells).
+inline void dump_artifacts(const ExperimentConfig& cfg,
+                           const std::string& bench_name,
+                           const std::vector<TaggedCell>& cells,
+                           const EpochSeries& series) {
+  maybe_dump_trace(cfg);
+  if (!cfg.epoch_csv.empty()) {
+    if (series.write_csv(cfg.epoch_csv))
+      std::cerr << "wrote epoch csv to " << cfg.epoch_csv << "\n";
+    else
+      std::cerr << "error: could not write " << cfg.epoch_csv << "\n";
+  }
+  if (!cfg.chrome_trace.empty()) {
+    if (obs::write_chrome_trace(cfg.chrome_trace))
+      std::cerr << "wrote chrome trace to " << cfg.chrome_trace << "\n";
+    else
+      std::cerr << "error: could not write " << cfg.chrome_trace << "\n";
+  }
+  if (!cfg.bench_json.empty()) {
+    BenchJson doc(bench_name);
+    doc.add_string("dataset", cfg.dataset);
+    char config[160];
+    std::snprintf(config, sizeof(config),
+                  "{\"scale\":%.9g,\"epochs\":%lld,\"trials\":%lld,"
+                  "\"seed\":%llu,\"epsilon\":%.9g}",
+                  cfg.scale, static_cast<long long>(cfg.num_epochs),
+                  static_cast<long long>(cfg.num_trials),
+                  static_cast<unsigned long long>(cfg.seed), cfg.epsilon);
+    doc.add_raw("config", config);
+    doc.add_raw("cells", cells_to_json(cells));
+    if (doc.write(cfg.bench_json))
+      std::cerr << "wrote bench json to " << cfg.bench_json << "\n";
+    else
+      std::cerr << "error: could not write " << cfg.bench_json << "\n";
+  }
 }
 
 /// Cost figure (like Figures 2-6): (a) perturbed structure, (b) perturbed
@@ -45,15 +117,19 @@ inline int run_cost_figure(const std::string& figure,
                            const std::string& dataset, int argc,
                            char** argv) {
   ExperimentConfig cfg = default_config(dataset, argc, argv);
+  std::vector<TaggedCell> all_cells;
+  EpochSeries series;
   for (const PerturbKind kind :
        {PerturbKind::kStructure, PerturbKind::kWeights}) {
     cfg.perturb = kind;
     std::cerr << "[" << figure << "] running " << cfg.dataset << " "
               << to_string(kind) << " (scale=" << cfg.scale << ")\n";
-    const auto cells = run_experiment(cfg, &std::cerr);
+    const auto cells = run_experiment(cfg, &std::cerr, &series);
     print_cost_figure(figure, cfg, cells, std::cout);
+    for (const CellResult& c : cells)
+      all_cells.emplace_back(to_string(kind), c);
   }
-  maybe_dump_trace(cfg);
+  dump_artifacts(cfg, figure, all_cells, series);
   return 0;
 }
 
@@ -66,9 +142,13 @@ inline int run_runtime_figure(const std::string& figure,
   cfg.perturb = PerturbKind::kStructure;
   std::cerr << "[" << figure << "] running " << cfg.dataset
             << " (scale=" << cfg.scale << ")\n";
-  const auto cells = run_experiment(cfg, &std::cerr);
+  EpochSeries series;
+  const auto cells = run_experiment(cfg, &std::cerr, &series);
   print_runtime_figure(figure, cfg, cells, std::cout);
-  maybe_dump_trace(cfg);
+  std::vector<TaggedCell> tagged;
+  for (const CellResult& c : cells)
+    tagged.emplace_back(to_string(cfg.perturb), c);
+  dump_artifacts(cfg, figure, tagged, series);
   return 0;
 }
 

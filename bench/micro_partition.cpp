@@ -1,13 +1,32 @@
 // google-benchmark microbenchmarks of the partitioner kernels: IPM
 // matching, contraction, FM refinement, greedy growing, model build, and
 // the end-to-end partitioners.
+//
+// --json=FILE switches to structured perf-smoke mode instead of running
+// google-benchmark: a fixed set of end-to-end trials (serial partition,
+// repartition, parallel partition) whose timings, quality metrics, and
+// comm telemetry are written as one hgr-bench-v1 document. CI runs this on
+// two datasets and tools/bench_report.py aggregates the results into
+// BENCH_partition.json. Other flags in that mode: --dataset= --scale=
+// --k= --alpha= --trials= --seed= --ranks=.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "common/timer.hpp"
 #include "core/repartition_model.hpp"
+#include "core/repartitioner.hpp"
 #include "graphpart/gcoarsen.hpp"
 #include "graphpart/gpartitioner.hpp"
 #include "hypergraph/convert.hpp"
 #include "metrics/cut.hpp"
+#include "obs/trace.hpp"
+#include "parallel/par_partitioner.hpp"
 #include "partition/contract.hpp"
 #include "partition/initial.hpp"
 #include "partition/matching_ipm.hpp"
@@ -136,4 +155,184 @@ void BM_ConnectivityCut(benchmark::State& state) {
 }
 BENCHMARK(BM_ConnectivityCut);
 
+// The hot-path counter comparison behind obs::CachedCounter (see
+// docs/OBSERVABILITY.md): counter() takes the registry mutex per bump,
+// the cached handle is two relaxed loads + a relaxed fetch_add.
+void BM_CounterBump(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::counter("bench.counter_bump") += 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterBump);
+
+void BM_CachedCounterBump(benchmark::State& state) {
+  static obs::CachedCounter counter("bench.cached_counter_bump");
+  for (auto _ : state) {
+    counter += 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CachedCounterBump);
+
+// --- structured perf-smoke mode (--json=FILE) ---
+
+struct MicroOptions {
+  std::string json_path;
+  std::string dataset = "auto-like";
+  double scale = 0.08;
+  PartId k = 16;
+  Weight alpha = 100;
+  Index trials = 3;
+  std::uint64_t seed = 42;
+  int ranks = 2;
+};
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// ns per bump of `fn` over `iters` iterations.
+template <typename Fn>
+double time_bumps_ns(Fn&& fn, int iters) {
+  WallTimer timer;
+  for (int i = 0; i < iters; ++i) fn();
+  return timer.seconds() * 1e9 / iters;
+}
+
+int run_structured(const MicroOptions& opt) {
+  // Mix dataset/k/alpha into the seed chain (not just the trial index) so
+  // sweeps over configurations use distinct RNG streams.
+  std::uint64_t base_seed = derive_seed(opt.seed, fnv1a(opt.dataset));
+  base_seed = derive_seed(base_seed, static_cast<std::uint64_t>(opt.k));
+  base_seed = derive_seed(base_seed, static_cast<std::uint64_t>(opt.alpha));
+
+  std::vector<double> partition_seconds, partition_cut;
+  std::vector<double> repartition_seconds, repartition_cost;
+  std::vector<double> parallel_seconds;
+
+  for (Index trial = 0; trial < opt.trials; ++trial) {
+    const std::uint64_t trial_seed =
+        derive_seed(base_seed, static_cast<std::uint64_t>(trial));
+    const Graph g =
+        make_dataset(opt.dataset, opt.scale, derive_seed(trial_seed, 1));
+    const Hypergraph h = graph_to_hypergraph(g);
+
+    PartitionConfig pcfg;
+    pcfg.num_parts = opt.k;
+    pcfg.seed = derive_seed(trial_seed, 2);
+
+    WallTimer timer;
+    const Partition p = partition_hypergraph(h, pcfg);
+    partition_seconds.push_back(timer.seconds());
+    partition_cut.push_back(static_cast<double>(connectivity_cut(h, p)));
+
+    // Repartition from an assignment produced by a different seed: a
+    // worst-case-ish migration instance, deterministic per trial.
+    PartitionConfig old_cfg = pcfg;
+    old_cfg.seed = derive_seed(trial_seed, 3);
+    const Partition old_p = partition_hypergraph(h, old_cfg);
+    RepartitionerConfig rcfg;
+    rcfg.partition = pcfg;
+    rcfg.alpha = opt.alpha;
+    const RepartitionResult r = hypergraph_repartition(h, old_p, rcfg);
+    repartition_seconds.push_back(r.seconds);
+    repartition_cost.push_back(r.cost.normalized_total());
+
+    if (opt.ranks > 1) {
+      ParallelPartitionConfig par_cfg;
+      par_cfg.base = pcfg;
+      par_cfg.base.seed = derive_seed(trial_seed, 4);
+      par_cfg.num_ranks = opt.ranks;
+      const ParallelPartitionResult pr =
+          parallel_partition_hypergraph(h, par_cfg);
+      parallel_seconds.push_back(pr.seconds);
+    }
+  }
+
+  const double counter_ns =
+      time_bumps_ns([] { obs::counter("bench.micro.counter") += 1; },
+                    200000);
+  static obs::CachedCounter cached("bench.micro.cached_counter");
+  const double cached_ns = time_bumps_ns([] { cached += 1; }, 200000);
+
+  bench::BenchJson doc("micro_partition");
+  doc.add_string("dataset", opt.dataset);
+  char config[192];
+  std::snprintf(config, sizeof(config),
+                "{\"scale\":%.9g,\"k\":%lld,\"alpha\":%lld,\"trials\":%lld,"
+                "\"seed\":%llu,\"ranks\":%d}",
+                opt.scale, static_cast<long long>(opt.k),
+                static_cast<long long>(opt.alpha),
+                static_cast<long long>(opt.trials),
+                static_cast<unsigned long long>(opt.seed), opt.ranks);
+  doc.add_raw("config", config);
+  std::string metrics = "{";
+  metrics += "\"partition_seconds\":" +
+             bench::TrialStats::of(partition_seconds).to_json();
+  metrics +=
+      ",\"partition_cut\":" + bench::TrialStats::of(partition_cut).to_json();
+  metrics += ",\"repartition_seconds\":" +
+             bench::TrialStats::of(repartition_seconds).to_json();
+  metrics += ",\"repartition_normalized_cost\":" +
+             bench::TrialStats::of(repartition_cost).to_json();
+  metrics += ",\"parallel_partition_seconds\":" +
+             bench::TrialStats::of(parallel_seconds).to_json();
+  char counters[96];
+  std::snprintf(counters, sizeof(counters),
+                ",\"counter_bump_ns\":%.4g,\"cached_counter_bump_ns\":%.4g}",
+                counter_ns, cached_ns);
+  metrics += counters;
+  doc.add_raw("metrics", metrics);
+  if (!doc.write(opt.json_path)) {
+    std::fprintf(stderr, "error: could not write %s\n",
+                 opt.json_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote bench json to %s\n", opt.json_path.c_str());
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  MicroOptions opt;
+  bool structured = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--json") {
+      opt.json_path = value;
+      structured = true;
+    } else if (key == "--dataset") {
+      opt.dataset = value;
+    } else if (key == "--scale") {
+      opt.scale = std::stod(value);
+    } else if (key == "--k") {
+      opt.k = static_cast<PartId>(std::stol(value));
+    } else if (key == "--alpha") {
+      opt.alpha = static_cast<Weight>(std::stoll(value));
+    } else if (key == "--trials") {
+      opt.trials = static_cast<Index>(std::stol(value));
+    } else if (key == "--seed") {
+      opt.seed = std::stoull(value);
+    } else if (key == "--ranks") {
+      opt.ranks = static_cast<int>(std::stol(value));
+    }
+    // Unrecognized flags fall through to google-benchmark below.
+  }
+  if (structured) return run_structured(opt);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

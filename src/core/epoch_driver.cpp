@@ -1,5 +1,9 @@
 #include "core/epoch_driver.hpp"
 
+#include <cstdio>
+#include <fstream>
+#include <string_view>
+
 #include "check/validate.hpp"
 #include "common/assert.hpp"
 #include "common/timer.hpp"
@@ -14,6 +18,31 @@
 namespace hgr {
 
 namespace {
+
+/// Sum of `seconds` over every node named `name` in the phase tree;
+/// diffed around an epoch's work to attribute phase time per epoch.
+double sum_phase_seconds(const obs::PhaseSnapshot& node,
+                         std::string_view name) {
+  double s = node.name == name ? node.seconds : 0.0;
+  for (const obs::PhaseSnapshot& child : node.children)
+    s += sum_phase_seconds(child, name);
+  return s;
+}
+
+struct PhaseSecondsMark {
+  double coarsen = 0.0;
+  double initial = 0.0;
+  double refine = 0.0;
+};
+
+PhaseSecondsMark mark_phase_seconds() {
+  const obs::PhaseSnapshot tree = obs::global_registry().phase_tree();
+  PhaseSecondsMark m;
+  m.coarsen = sum_phase_seconds(tree, "coarsen");
+  m.initial = sum_phase_seconds(tree, "initial");
+  m.refine = sum_phase_seconds(tree, "refine");
+  return m;
+}
 
 double mean_over_repart_epochs(const std::vector<EpochRecord>& records,
                                double (*value)(const EpochRecord&)) {
@@ -67,6 +96,7 @@ EpochRunSummary run_epochs(EpochScenario& scenario,
 
     obs::TraceScope epoch_scope(problem.first ? "epoch.static"
                                               : "epoch.repartition");
+    const PhaseSecondsMark before = mark_phase_seconds();
     Partition chosen;
     if (problem.first) {
       // Epoch 1: static partitioning (paper Section 3). Each family uses
@@ -105,6 +135,10 @@ EpochRunSummary run_epochs(EpochScenario& scenario,
       }
       check::validate_partition(h, chosen, cfg.partition.check_level, expect);
     }
+    const PhaseSecondsMark after = mark_phase_seconds();
+    record.coarsen_seconds = after.coarsen - before.coarsen;
+    record.initial_seconds = after.initial - before.initial;
+    record.refine_seconds = after.refine - before.refine;
     record.imbalance = imbalance(problem.graph.vertex_weights(), chosen);
     obs::counter("epoch.count") += 1;
     obs::counter("epoch.comm_volume") +=
@@ -119,6 +153,65 @@ EpochRunSummary run_epochs(EpochScenario& scenario,
     scenario.record_partition(chosen);
   }
   return summary;
+}
+
+void EpochSeries::append(std::string dataset, std::string perturb,
+                         std::string algorithm, PartId k, Weight alpha,
+                         Index trial, const EpochRunSummary& summary) {
+  for (const EpochRecord& r : summary.epochs) {
+    EpochSeriesRow row;
+    row.dataset = dataset;
+    row.perturb = perturb;
+    row.algorithm = algorithm;
+    row.k = k;
+    row.alpha = alpha;
+    row.trial = trial;
+    row.record = r;
+    rows.push_back(std::move(row));
+  }
+}
+
+std::string EpochSeries::csv_header() {
+  return "dataset,perturb,algorithm,k,alpha,trial,epoch,cut,"
+         "migration_volume,total_cost,normalized_cost,imbalance,"
+         "num_vertices,num_migrated,repart_seconds,coarsen_seconds,"
+         "initial_seconds,refine_seconds";
+}
+
+std::string EpochSeries::to_csv() const {
+  std::string out = csv_header();
+  out += '\n';
+  for (const EpochSeriesRow& row : rows) {
+    const EpochRecord& r = row.record;
+    out += row.dataset;
+    out += ',';
+    out += row.perturb;
+    out += ',';
+    out += row.algorithm;
+    char buf[224];
+    std::snprintf(
+        buf, sizeof(buf),
+        ",%lld,%lld,%lld,%lld,%lld,%lld,%lld,%.6g,%.6g,%lld,%lld,%.6g,%.6g,"
+        "%.6g,%.6g",
+        static_cast<long long>(row.k), static_cast<long long>(row.alpha),
+        static_cast<long long>(row.trial), static_cast<long long>(r.epoch),
+        static_cast<long long>(r.cost.comm_volume),
+        static_cast<long long>(r.cost.migration_volume),
+        static_cast<long long>(r.cost.total()), r.cost.normalized_total(),
+        r.imbalance, static_cast<long long>(r.num_vertices),
+        static_cast<long long>(r.num_migrated), r.repart_seconds,
+        r.coarsen_seconds, r.initial_seconds, r.refine_seconds);
+    out += buf;
+    out += '\n';
+  }
+  return out;
+}
+
+bool EpochSeries::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_csv();
+  return static_cast<bool>(out);
 }
 
 }  // namespace hgr

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/repartitioner.hpp"
@@ -45,6 +46,13 @@ struct EpochRecord {
   double imbalance = 0.0;
   Index num_vertices = 0;
   Index num_migrated = 0;
+  /// Wall seconds this epoch added to the coarsen/initial/refine phase
+  /// nodes of the global trace (phase-tree deltas; 0 for algorithms that
+  /// do not open those scopes). In the parallel path, scopes merge across
+  /// ranks, so these are cpu-seconds (sum over ranks).
+  double coarsen_seconds = 0.0;
+  double initial_seconds = 0.0;
+  double refine_seconds = 0.0;
 };
 
 struct EpochRunSummary {
@@ -62,5 +70,33 @@ struct EpochRunSummary {
 EpochRunSummary run_epochs(EpochScenario& scenario,
                            RepartAlgorithm algorithm,
                            const RepartitionerConfig& cfg, Index num_epochs);
+
+/// One row of the epoch time-series export: an EpochRecord tagged with the
+/// run configuration it came from, so sweeps concatenate into one table.
+struct EpochSeriesRow {
+  std::string dataset;
+  std::string perturb;
+  std::string algorithm;
+  PartId k = 0;
+  Weight alpha = 0;
+  Index trial = 0;
+  EpochRecord record;
+};
+
+/// Structured per-epoch time series (the paper's Figures 2-6 x-axis is the
+/// epoch number; this is that trajectory in machine-readable form).
+/// Dumped as CSV by `hgr_cli --epoch-csv=FILE` and the fig benches.
+struct EpochSeries {
+  std::vector<EpochSeriesRow> rows;
+
+  /// Append every epoch of `summary` tagged with the given run labels.
+  void append(std::string dataset, std::string perturb, std::string algorithm,
+              PartId k, Weight alpha, Index trial,
+              const EpochRunSummary& summary);
+
+  static std::string csv_header();
+  std::string to_csv() const;  // header + one line per row
+  bool write_csv(const std::string& path) const;
+};
 
 }  // namespace hgr

@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -11,7 +12,35 @@ namespace {
 
 std::atomic<Registry*> g_override{nullptr};
 
-void json_escape_to(std::string& out, std::string_view s) {
+std::uint64_t next_registry_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void phase_to_json(std::string& out, const PhaseSnapshot& node) {
+  out += "{\"name\":\"";
+  json_escape(out, node.name);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "\",\"seconds\":%.9g,\"calls\":%llu,"
+                "\"max_seconds\":%.9g,\"min_seconds\":%.9g",
+                node.seconds, static_cast<unsigned long long>(node.calls),
+                node.max_seconds, node.min_seconds);
+  out += buf;
+  if (!node.children.empty()) {
+    out += ",\"children\":[";
+    for (std::size_t i = 0; i < node.children.size(); ++i) {
+      if (i != 0) out += ',';
+      phase_to_json(out, node.children[i]);
+    }
+    out += ']';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+void json_escape(std::string& out, std::string_view s) {
   for (const char c : s) {
     switch (c) {
       case '"':
@@ -42,25 +71,21 @@ void json_escape_to(std::string& out, std::string_view s) {
   }
 }
 
-void phase_to_json(std::string& out, const PhaseSnapshot& node) {
-  out += "{\"name\":\"";
-  json_escape_to(out, node.name);
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "\",\"seconds\":%.9g,\"calls\":%llu",
-                node.seconds, static_cast<unsigned long long>(node.calls));
-  out += buf;
-  if (!node.children.empty()) {
-    out += ",\"children\":[";
-    for (std::size_t i = 0; i < node.children.size(); ++i) {
-      if (i != 0) out += ',';
-      phase_to_json(out, node.children[i]);
-    }
-    out += ']';
-  }
-  out += '}';
-}
+Registry::Registry() : id_(next_registry_id()) {}
 
-}  // namespace
+const CachedCounter::Entry* CachedCounter::resolve(Registry& reg) {
+  std::lock_guard lock(mutex_);
+  // Re-check under the lock: another thread may have resolved already.
+  const Entry* e = current_.load(std::memory_order_acquire);
+  if (e != nullptr && e->registry_id == reg.id()) return e;
+  auto entry = std::make_unique<Entry>();
+  entry->registry_id = reg.id();
+  entry->cell = &reg.counter(name_);
+  const Entry* published = entry.get();
+  owned_.push_back(std::move(entry));
+  current_.store(published, std::memory_order_release);
+  return published;
+}
 
 const PhaseSnapshot* find_phase(const PhaseSnapshot& root,
                                 std::initializer_list<std::string_view> path) {
@@ -126,21 +151,21 @@ void Registry::end_phase(double seconds) {
   Node* node = stack.back();
   stack.pop_back();
   node->seconds += seconds;
+  node->max_seconds = std::max(node->max_seconds, seconds);
+  node->min_seconds =
+      node->calls == 0 ? seconds : std::min(node->min_seconds, seconds);
   ++node->calls;
 }
 
-namespace {
-
-PhaseSnapshot snapshot_node(const std::string& name, double seconds,
-                            std::uint64_t calls) {
-  PhaseSnapshot s;
-  s.name = name;
-  s.seconds = seconds;
-  s.calls = calls;
-  return s;
+void Registry::set_section(std::string_view name, std::string json) {
+  std::lock_guard lock(mutex_);
+  sections_[std::string(name)] = std::move(json);
 }
 
-}  // namespace
+std::map<std::string, std::string> Registry::sections() const {
+  std::lock_guard lock(mutex_);
+  return {sections_.begin(), sections_.end()};
+}
 
 PhaseSnapshot Registry::phase_tree() const {
   std::lock_guard lock(mutex_);
@@ -150,15 +175,23 @@ PhaseSnapshot Registry::phase_tree() const {
     const Node* src;
     PhaseSnapshot* dst;
   };
-  PhaseSnapshot root = snapshot_node(root_.name, root_.seconds, root_.calls);
+  const auto snapshot_node = [](const Node& n) {
+    PhaseSnapshot s;
+    s.name = n.name;
+    s.seconds = n.seconds;
+    s.calls = n.calls;
+    s.max_seconds = n.max_seconds;
+    s.min_seconds = n.min_seconds;
+    return s;
+  };
+  PhaseSnapshot root = snapshot_node(root_);
   std::vector<Frame> work{{&root_, &root}};
   while (!work.empty()) {
     const Frame f = work.back();
     work.pop_back();
     f.dst->children.reserve(f.src->children.size());
     for (const auto& child : f.src->children) {
-      f.dst->children.push_back(
-          snapshot_node(child->name, child->seconds, child->calls));
+      f.dst->children.push_back(snapshot_node(*child));
       work.push_back({child.get(), &f.dst->children.back()});
     }
   }
@@ -172,6 +205,7 @@ void Registry::reset() {
   stacks_.clear();
   root_ = Node{};
   counters_.clear();
+  sections_.clear();
 }
 
 Registry& global_registry() {
@@ -198,13 +232,20 @@ std::string trace_to_json(const Registry& reg) {
     if (!first) out += ',';
     first = false;
     out += '"';
-    json_escape_to(out, name);
+    json_escape(out, name);
     char buf[32];
     std::snprintf(buf, sizeof(buf), "\":%llu",
                   static_cast<unsigned long long>(value));
     out += buf;
   }
-  out += "}}";
+  out += '}';
+  for (const auto& [name, json] : reg.sections()) {
+    out += ",\"";
+    json_escape(out, name);
+    out += "\":";
+    out += json;
+  }
+  out += '}';
   return out;
 }
 

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/timer.hpp"
+#include "obs/events.hpp"
 
 namespace hgr::obs {
 
@@ -40,6 +41,13 @@ struct PhaseSnapshot {
   std::string name;
   double seconds = 0.0;       // total wall time across all calls
   std::uint64_t calls = 0;    // completed scopes merged into this node
+  /// Longest / shortest single call merged into this node. Same-named
+  /// scopes merge across threads (the parallel runtime's rank threads
+  /// do), so `seconds` alone hides skew: p ranks timing the same phase
+  /// sum to ~p× the wall time. max_seconds is the representative per-call
+  /// (per-rank) wall time and max-min is the skew.
+  double max_seconds = 0.0;
+  double min_seconds = 0.0;   // 0 when calls == 0
   std::vector<PhaseSnapshot> children;
 };
 
@@ -51,7 +59,7 @@ const PhaseSnapshot* find_phase(const PhaseSnapshot& root,
 /// Holds one run's phase tree and counters.
 class Registry {
  public:
-  Registry() = default;
+  Registry();
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
@@ -69,7 +77,19 @@ class Registry {
   /// children are the top-level phases).
   PhaseSnapshot phase_tree() const;
 
-  /// Drop all phases and counters (scope stacks must be empty).
+  /// Attach a pre-serialized JSON value under top-level key `name` in the
+  /// trace export (e.g. the comm runtime's telemetry). Overwrites any
+  /// previous value for the same key. `json` must be a valid JSON value.
+  void set_section(std::string_view name, std::string json);
+
+  /// All attached sections, keyed by name.
+  std::map<std::string, std::string> sections() const;
+
+  /// Unique per-registry id (never reused); lets cached counter handles
+  /// detect that the global registry was swapped or recreated.
+  std::uint64_t id() const { return id_; }
+
+  /// Drop all phases, counters and sections (scope stacks must be empty).
   void reset();
 
   // TraceScope plumbing: open/close a phase on the calling thread's stack.
@@ -81,17 +101,21 @@ class Registry {
     std::string name;
     double seconds = 0.0;
     std::uint64_t calls = 0;
+    double max_seconds = 0.0;
+    double min_seconds = 0.0;
     std::vector<std::unique_ptr<Node>> children;
   };
 
   Node* find_or_add_child(Node& parent, std::string_view name);
 
+  const std::uint64_t id_;
   mutable std::mutex mutex_;
   Node root_;
   std::map<std::thread::id, std::vector<Node*>> stacks_;
   std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>,
            std::less<>>
       counters_;
+  std::map<std::string, std::string, std::less<>> sections_;
 };
 
 /// The process-global registry, unless one was injected.
@@ -118,21 +142,77 @@ inline std::atomic<std::uint64_t>& counter(std::string_view name) {
   return global_registry().counter(name);
 }
 
-/// RAII phase timer. Nest freely; same-named siblings merge.
+/// Cached handle for a hot-path counter. obs::counter() takes the registry
+/// mutex on every lookup; a CachedCounter resolves the name once per
+/// registry and then bumps the atomic directly — the steady-state cost is
+/// two relaxed loads plus the increment. Handles are safe to share across
+/// threads and survive ScopedRegistry swaps: each Registry has a unique
+/// id, and a mismatch triggers re-resolution (so a stale handle never
+/// touches a destroyed registry's storage).
+///
+///   static obs::CachedCounter moves("refine.moves");  // function-local
+///   moves += n;                                       // hot loop
+class CachedCounter {
+ public:
+  explicit CachedCounter(std::string name) : name_(std::move(name)) {}
+  CachedCounter(const CachedCounter&) = delete;
+  CachedCounter& operator=(const CachedCounter&) = delete;
+
+  std::atomic<std::uint64_t>& cell() {
+    Registry& reg = global_registry();
+    const Entry* e = current_.load(std::memory_order_acquire);
+    if (e == nullptr || e->registry_id != reg.id()) e = resolve(reg);
+    return *e->cell;
+  }
+
+  std::uint64_t operator+=(std::uint64_t n) {
+    return cell().fetch_add(n, std::memory_order_relaxed) + n;
+  }
+
+ private:
+  // An Entry is immutable after publication; stale entries are kept alive
+  // (owned_) so concurrent readers never see freed memory.
+  struct Entry {
+    std::uint64_t registry_id;
+    std::atomic<std::uint64_t>* cell;
+  };
+
+  const Entry* resolve(Registry& reg);
+
+  std::string name_;
+  std::atomic<const Entry*> current_{nullptr};
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> owned_;
+};
+
+/// RAII phase timer. Nest freely; same-named siblings merge. When event
+/// capture is on (events.hpp), also emits begin/end timeline events.
 class TraceScope {
  public:
   explicit TraceScope(std::string_view name, Registry* reg = nullptr)
       : reg_(reg != nullptr ? reg : &global_registry()) {
     reg_->begin_phase(name);
+    if (events_enabled()) {
+      event_name_ = intern_event_name(name);
+      emit_begin(event_name_);
+    }
   }
-  ~TraceScope() { reg_->end_phase(timer_.seconds()); }
+  ~TraceScope() {
+    reg_->end_phase(timer_.seconds());
+    if (event_name_ != nullptr) emit_end(event_name_);
+  }
   TraceScope(const TraceScope&) = delete;
   TraceScope& operator=(const TraceScope&) = delete;
 
  private:
   Registry* reg_;
+  const char* event_name_ = nullptr;
   WallTimer timer_;
 };
+
+/// Append a JSON-escaped copy of `s` to `out` (shared by the trace and
+/// bench JSON writers).
+void json_escape(std::string& out, std::string_view s);
 
 /// Serialize phases + counters as JSON (schema "hgr-trace-v1").
 std::string trace_to_json(const Registry& reg);

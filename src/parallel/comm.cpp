@@ -15,6 +15,11 @@ Comm::Comm(int num_ranks)
     : num_ranks_(num_ranks),
       mailboxes_(static_cast<std::size_t>(num_ranks)),
       stats_(static_cast<std::size_t>(num_ranks)),
+      p2p_bytes_(static_cast<std::size_t>(num_ranks) *
+                 static_cast<std::size_t>(num_ranks)),
+      p2p_messages_(static_cast<std::size_t>(num_ranks) *
+                    static_cast<std::size_t>(num_ranks)),
+      collective_calls_(static_cast<std::size_t>(num_ranks)),
       wait_states_(
           std::make_unique<WaitState[]>(static_cast<std::size_t>(num_ranks))),
       slots_(static_cast<std::size_t>(num_ranks)) {
@@ -23,14 +28,26 @@ Comm::Comm(int num_ranks)
 
 Comm::ScopedWait::ScopedWait(Comm& comm, int rank, int kind, int src, int tag)
     : state_(comm.wait_states_[static_cast<std::size_t>(rank)]),
-      progress_(comm.progress_) {
+      progress_(comm.progress_),
+      stats_(comm.stats_[static_cast<std::size_t>(rank)]),
+      kind_(kind) {
   state_.src.store(src, std::memory_order_relaxed);
   state_.tag.store(tag, std::memory_order_relaxed);
   state_.kind.store(kind, std::memory_order_release);
   progress_.fetch_add(1, std::memory_order_acq_rel);
+  if (obs::events_enabled()) {
+    event_name_ = kind_ == WaitState::kRecv ? "wait.recv" : "wait.barrier";
+    obs::emit_begin(event_name_, "comm");
+  }
 }
 
 Comm::ScopedWait::~ScopedWait() {
+  const double waited = timer_.seconds();
+  if (kind_ == WaitState::kRecv)
+    stats_.recv_wait_seconds += waited;
+  else
+    stats_.barrier_wait_seconds += waited;
+  if (event_name_ != nullptr) obs::emit_end(event_name_, "comm");
   state_.kind.store(WaitState::kNotWaiting, std::memory_order_release);
   progress_.fetch_add(1, std::memory_order_acq_rel);
 }
@@ -71,12 +88,11 @@ std::string Comm::compose_deadlock_diagnosis(double stuck_seconds) {
 }
 
 void Comm::watchdog_loop() {
-  using Clock = std::chrono::steady_clock;
   const double timeout = deadlock_timeout_;
   const auto poll = std::chrono::milliseconds(std::clamp(
       static_cast<long>(timeout * 1000.0 / 20.0), 1L, 100L));
   std::uint64_t last_progress = progress_.load(std::memory_order_acquire);
-  Clock::time_point stuck_since{};
+  WallTimer stuck_timer;
   bool stuck = false;
 
   std::unique_lock lock(watchdog_mutex_);
@@ -100,11 +116,10 @@ void Comm::watchdog_loop() {
     }
     if (!stuck) {
       stuck = true;
-      stuck_since = Clock::now();
+      stuck_timer.reset();
       continue;
     }
-    const double stuck_seconds =
-        std::chrono::duration<double>(Clock::now() - stuck_since).count();
+    const double stuck_seconds = stuck_timer.seconds();
     if (stuck_seconds < timeout) continue;
     deadlock_diagnosis_ = compose_deadlock_diagnosis(stuck_seconds);
     lock.unlock();
@@ -114,7 +129,11 @@ void Comm::watchdog_loop() {
 }
 
 void Comm::run(const std::function<void(RankContext&)>& f) {
+  WallTimer run_timer;
   for (auto& s : stats_) s = CommStats{};
+  for (auto& v : p2p_bytes_) v = 0;
+  for (auto& v : p2p_messages_) v = 0;
+  for (auto& calls : collective_calls_) calls.fill(0);
   for (auto& box : mailboxes_) {
     std::lock_guard lock(box.mutex);
     box.queues.clear();
@@ -141,6 +160,7 @@ void Comm::run(const std::function<void(RankContext&)>& f) {
   threads.reserve(static_cast<std::size_t>(num_ranks_));
   for (int r = 0; r < num_ranks_; ++r) {
     threads.emplace_back([this, r, &f, &errors] {
+      obs::set_thread_rank(r);  // timeline events land on rank r's track
       try {
         RankContext ctx(*this, r);
         f(ctx);
@@ -163,6 +183,16 @@ void Comm::run(const std::function<void(RankContext&)>& f) {
     deadlock_diagnosis = deadlock_diagnosis_;
   }
   aborted_.store(false, std::memory_order_relaxed);
+  last_run_seconds_ = run_timer.seconds();
+
+  // Fold this run into the process-global telemetry (even failed runs:
+  // partial traffic is still real traffic) and refresh the "comm" section
+  // of the trace export so any later JSON dump carries it.
+  {
+    accumulate_comm_telemetry(telemetry());
+    obs::global_registry().set_section(
+        "comm", comm_telemetry_snapshot().to_json());
+  }
 
   // Rethrow the lowest-rank *original* failure; secondary CommAborted
   // unwinds (ranks woken because a peer died) only surface if no primary
@@ -189,9 +219,34 @@ CommStats Comm::total_stats() const {
   for (const CommStats& s : stats_) {
     total.bytes_sent += s.bytes_sent;
     total.messages_sent += s.messages_sent;
+    total.bytes_recv += s.bytes_recv;
+    total.messages_recv += s.messages_recv;
     total.collectives += s.collectives;
+    total.recv_wait_seconds += s.recv_wait_seconds;
+    total.barrier_wait_seconds += s.barrier_wait_seconds;
   }
   return total;
+}
+
+CommTelemetry Comm::telemetry() const {
+  CommTelemetry t;
+  t.resize(num_ranks_);
+  for (int r = 0; r < num_ranks_; ++r) {
+    const CommStats& s = stats_[static_cast<std::size_t>(r)];
+    RankCommTelemetry& rt = t.ranks[static_cast<std::size_t>(r)];
+    rt.bytes_sent = s.bytes_sent;
+    rt.bytes_recv = s.bytes_recv;
+    rt.messages_sent = s.messages_sent;
+    rt.messages_recv = s.messages_recv;
+    rt.recv_wait_seconds = s.recv_wait_seconds;
+    rt.barrier_wait_seconds = s.barrier_wait_seconds;
+    rt.collective_calls = collective_calls_[static_cast<std::size_t>(r)];
+  }
+  t.p2p_bytes = p2p_bytes_;
+  t.p2p_messages = p2p_messages_;
+  t.run_seconds = last_run_seconds_;
+  t.runs = last_run_seconds_ > 0.0 ? 1 : 0;
+  return t;
 }
 
 void Comm::abort_all() {
@@ -237,10 +292,40 @@ void RankContext::account(std::size_t bytes, std::size_t messages) {
   s.messages_sent += messages;
 }
 
-void RankContext::record_collective(const char* type, std::size_t bytes) {
-  const std::string base = std::string("comm.") + type;
-  obs::counter(base + ".count") += 1;
-  if (bytes != 0) obs::counter(base + ".bytes") += bytes;
+namespace {
+
+struct CollectiveCounters {
+  obs::CachedCounter count;
+  obs::CachedCounter bytes;
+};
+
+// Cached per-kind handles: record_collective runs once per collective per
+// rank, so the old name-building (std::string concat + two registry mutex
+// lookups) was measurable on collective-heavy refinement loops.
+CollectiveCounters& collective_counters(CollectiveKind kind) {
+  static CollectiveCounters counters[kNumCollectiveKinds] = {
+      {obs::CachedCounter("comm.barrier.count"),
+       obs::CachedCounter("comm.barrier.bytes")},
+      {obs::CachedCounter("comm.allgather.count"),
+       obs::CachedCounter("comm.allgather.bytes")},
+      {obs::CachedCounter("comm.allreduce.count"),
+       obs::CachedCounter("comm.allreduce.bytes")},
+      {obs::CachedCounter("comm.bcast.count"),
+       obs::CachedCounter("comm.bcast.bytes")},
+      {obs::CachedCounter("comm.alltoallv.count"),
+       obs::CachedCounter("comm.alltoallv.bytes")},
+  };
+  return counters[static_cast<std::size_t>(kind)];
+}
+
+}  // namespace
+
+void RankContext::record_collective(CollectiveKind kind, std::size_t bytes) {
+  CollectiveCounters& c = collective_counters(kind);
+  c.count += 1;
+  if (bytes != 0) c.bytes += bytes;
+  comm_.collective_calls_[static_cast<std::size_t>(rank_)]
+                         [static_cast<std::size_t>(kind)] += 1;
 }
 
 void RankContext::send_bytes(int dest, int tag,
@@ -248,8 +333,10 @@ void RankContext::send_bytes(int dest, int tag,
   HGR_ASSERT_MSG(tag != kAlltoallTag,
                  "user tag collides with the reserved alltoall tag");
   if (dest != rank_) {
-    obs::counter("comm.p2p.count") += 1;
-    obs::counter("comm.p2p.bytes") += data.size();
+    static obs::CachedCounter p2p_count("comm.p2p.count");
+    static obs::CachedCounter p2p_bytes("comm.p2p.bytes");
+    p2p_count += 1;
+    p2p_bytes += data.size();
   }
   send_bytes_impl(dest, tag, data);
 }
@@ -264,7 +351,16 @@ void RankContext::send_bytes_impl(int dest, int tag,
                                   std::span<const std::uint8_t> data) {
   HGR_ASSERT(dest >= 0 && dest < size());
   // Self-sends stay local (MPI implementations also bypass the network).
-  if (dest != rank_) account(data.size(), 1);
+  if (dest != rank_) {
+    account(data.size(), 1);
+    const std::size_t cell =
+        static_cast<std::size_t>(rank_) *
+            static_cast<std::size_t>(comm_.num_ranks_) +
+        static_cast<std::size_t>(dest);
+    comm_.p2p_bytes_[cell] += data.size();
+    comm_.p2p_messages_[cell] += 1;
+    if (obs::events_enabled()) obs::emit_instant("send", "comm", data.size());
+  }
   Comm::Mailbox& box = comm_.mailboxes_[static_cast<std::size_t>(dest)];
   {
     std::lock_guard lock(box.mutex);
@@ -291,11 +387,17 @@ std::vector<std::uint8_t> RankContext::recv_bytes_impl(int src, int tag) {
   auto& queue = box.queues[key];
   std::vector<std::uint8_t> msg = std::move(queue.front());
   queue.pop_front();
+  if (src != rank_) {
+    CommStats& s = comm_.stats_[static_cast<std::size_t>(rank_)];
+    s.bytes_recv += msg.size();
+    s.messages_recv += 1;
+  }
   return msg;
 }
 
 void RankContext::barrier() {
-  record_collective("barrier", 0);
+  obs::EventSpan span("barrier", "comm");
+  record_collective(CollectiveKind::kBarrier, 0);
   comm_.stats_[static_cast<std::size_t>(rank_)].collectives += 1;
   comm_.barrier_wait(rank_);
 }

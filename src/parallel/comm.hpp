@@ -40,14 +40,23 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/timer.hpp"
+#include "obs/events.hpp"
+#include "parallel/comm_telemetry.hpp"
 
 namespace hgr {
 
-/// Per-rank traffic counters (bytes that would cross the network).
+/// Per-rank traffic counters (bytes that would cross the network) and wait
+/// time, split by blocking point. Each rank's entry is written only by its
+/// own thread while a run is live.
 struct CommStats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_recv = 0;
+  std::uint64_t messages_recv = 0;
   std::uint64_t collectives = 0;
+  double recv_wait_seconds = 0.0;
+  double barrier_wait_seconds = 0.0;
 };
 
 class Comm;
@@ -105,14 +114,17 @@ class RankContext {
   /// rank order (returned per-rank to preserve boundaries).
   template <typename T>
   std::vector<std::vector<T>> allgather(const std::vector<T>& mine) {
-    record_collective("allgather", mine.size() * sizeof(T) *
-                                       static_cast<std::size_t>(size() - 1));
+    obs::EventSpan span("allgather", "comm");
+    record_collective(CollectiveKind::kAllgather,
+                      mine.size() * sizeof(T) *
+                          static_cast<std::size_t>(size() - 1));
     return allgather_impl<T>(mine);
   }
 
   template <typename T>
   T allreduce(T value, const std::function<T(T, T)>& op) {
-    record_collective("allreduce",
+    obs::EventSpan span("allreduce", "comm");
+    record_collective(CollectiveKind::kAllreduce,
                       sizeof(T) * static_cast<std::size_t>(size() - 1));
     const std::vector<std::vector<T>> all = allgather_impl<T>({value});
     T acc = all[0][0];
@@ -139,12 +151,13 @@ class RankContext {
   std::vector<std::vector<T>> alltoallv(
       const std::vector<std::vector<T>>& outgoing) {
     HGR_ASSERT(static_cast<int>(outgoing.size()) == size());
+    obs::EventSpan span("alltoallv", "comm");
     std::size_t off_rank_bytes = 0;
     for (int d = 0; d < size(); ++d)
       if (d != rank_)
         off_rank_bytes +=
             outgoing[static_cast<std::size_t>(d)].size() * sizeof(T);
-    record_collective("alltoallv", off_rank_bytes);
+    record_collective(CollectiveKind::kAlltoallv, off_rank_bytes);
     for (int d = 0; d < size(); ++d)
       send_typed<T>(d, /*tag=*/kAlltoallTag,
                     outgoing[static_cast<std::size_t>(d)]);
@@ -158,7 +171,8 @@ class RankContext {
   /// Broadcast root's vector to everyone.
   template <typename T>
   std::vector<T> bcast(const std::vector<T>& mine, int root) {
-    record_collective("bcast",
+    obs::EventSpan span("bcast", "comm");
+    record_collective(CollectiveKind::kBcast,
                       rank_ == root
                           ? mine.size() * sizeof(T) *
                                 static_cast<std::size_t>(size() - 1)
@@ -173,8 +187,9 @@ class RankContext {
 
  private:
   void account(std::size_t bytes, std::size_t messages);
-  /// Bump obs counters comm.<type>.count / comm.<type>.bytes.
-  void record_collective(const char* type, std::size_t bytes);
+  /// Bump obs counters comm.<kind>.count / comm.<kind>.bytes and the
+  /// per-rank collective call tally.
+  void record_collective(CollectiveKind kind, std::size_t bytes);
   void send_bytes_impl(int dest, int tag, std::span<const std::uint8_t> data);
   std::vector<std::uint8_t> recv_bytes_impl(int src, int tag);
   void exchange_slot(const std::vector<std::uint8_t>& mine,
@@ -247,6 +262,11 @@ class Comm {
     return stats_[static_cast<std::size_t>(rank)];
   }
 
+  /// Full telemetry (per-rank stats, p2p matrix, collective counts, wait
+  /// times) from the last run(). Also folded into the process-global
+  /// accumulator (comm_telemetry_snapshot()) at the end of every run.
+  CommTelemetry telemetry() const;
+
  private:
   friend class RankContext;
 
@@ -278,7 +298,10 @@ class Comm {
     std::atomic<int> tag{0};
   };
 
-  /// RAII: publish "rank r is blocked on ..." around a cv wait.
+  /// RAII: publish "rank r is blocked on ..." around a cv wait. Doubles as
+  /// the wait-time probe: the same bracket that feeds the watchdog times
+  /// the wait and accumulates it into the rank's CommStats (and emits a
+  /// "wait.recv"/"wait.barrier" timeline span when event capture is on).
   class ScopedWait {
    public:
     ScopedWait(Comm& comm, int rank, int kind, int src, int tag);
@@ -289,6 +312,10 @@ class Comm {
    private:
     WaitState& state_;
     std::atomic<std::uint64_t>& progress_;
+    CommStats& stats_;
+    int kind_;
+    const char* event_name_ = nullptr;
+    WallTimer timer_;
   };
 
   void watchdog_loop();
@@ -297,6 +324,15 @@ class Comm {
   int num_ranks_;
   std::vector<Mailbox> mailboxes_;
   std::vector<CommStats> stats_;
+  // Row-major p x p traffic matrices (row = sender). Each row is written
+  // only by its own rank's thread during a run; read after join.
+  std::vector<std::uint64_t> p2p_bytes_;
+  std::vector<std::uint64_t> p2p_messages_;
+  // Per-rank collective call counts, indexed by CollectiveKind.
+  std::vector<std::array<std::uint64_t, kNumCollectiveKinds>>
+      collective_calls_;
+  // Wall time of the last completed run() (denominator of wait fractions).
+  double last_run_seconds_ = 0.0;
 
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;

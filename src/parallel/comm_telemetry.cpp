@@ -1,0 +1,209 @@
+#include "parallel/comm_telemetry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace hgr {
+
+const char* collective_kind_name(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::kBarrier:
+      return "barrier";
+    case CollectiveKind::kAllgather:
+      return "allgather";
+    case CollectiveKind::kAllreduce:
+      return "allreduce";
+    case CollectiveKind::kBcast:
+      return "bcast";
+    case CollectiveKind::kAlltoallv:
+      return "alltoallv";
+  }
+  return "unknown";
+}
+
+void CommTelemetry::resize(int n) {
+  HGR_ASSERT(n >= 0);
+  num_ranks = n;
+  ranks.assign(static_cast<std::size_t>(n), RankCommTelemetry{});
+  p2p_bytes.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                   0);
+  p2p_messages.assign(
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0);
+}
+
+void CommTelemetry::accumulate(const CommTelemetry& other) {
+  if (other.num_ranks > num_ranks) {
+    // Expand in place: rebuild the row-major matrices at the new width.
+    CommTelemetry grown;
+    grown.resize(other.num_ranks);
+    for (int r = 0; r < num_ranks; ++r) {
+      grown.ranks[static_cast<std::size_t>(r)] =
+          ranks[static_cast<std::size_t>(r)];
+      for (int d = 0; d < num_ranks; ++d) {
+        grown.p2p_bytes_at(r, d) = p2p_bytes_at(r, d);
+        grown.p2p_messages[static_cast<std::size_t>(r) *
+                               static_cast<std::size_t>(grown.num_ranks) +
+                           static_cast<std::size_t>(d)] =
+            p2p_messages_at(r, d);
+      }
+    }
+    grown.run_seconds = run_seconds;
+    grown.runs = runs;
+    *this = std::move(grown);
+  }
+  for (int r = 0; r < other.num_ranks; ++r) {
+    RankCommTelemetry& mine = ranks[static_cast<std::size_t>(r)];
+    const RankCommTelemetry& theirs =
+        other.ranks[static_cast<std::size_t>(r)];
+    mine.bytes_sent += theirs.bytes_sent;
+    mine.bytes_recv += theirs.bytes_recv;
+    mine.messages_sent += theirs.messages_sent;
+    mine.messages_recv += theirs.messages_recv;
+    mine.recv_wait_seconds += theirs.recv_wait_seconds;
+    mine.barrier_wait_seconds += theirs.barrier_wait_seconds;
+    for (std::size_t k = 0; k < kNumCollectiveKinds; ++k)
+      mine.collective_calls[k] += theirs.collective_calls[k];
+    for (int d = 0; d < other.num_ranks; ++d) {
+      p2p_bytes_at(r, d) += other.p2p_bytes_at(r, d);
+      p2p_messages[static_cast<std::size_t>(r) *
+                       static_cast<std::size_t>(num_ranks) +
+                   static_cast<std::size_t>(d)] +=
+          other.p2p_messages_at(r, d);
+    }
+  }
+  run_seconds += other.run_seconds;
+  runs += other.runs;
+}
+
+double CommTelemetry::send_byte_imbalance() const {
+  if (ranks.empty()) return 0.0;
+  std::uint64_t total = 0;
+  std::uint64_t max = 0;
+  for (const RankCommTelemetry& r : ranks) {
+    total += r.bytes_sent;
+    max = std::max(max, r.bytes_sent);
+  }
+  if (total == 0) return 0.0;
+  const double avg =
+      static_cast<double>(total) / static_cast<double>(ranks.size());
+  return static_cast<double>(max) / avg;
+}
+
+double CommTelemetry::max_wait_fraction() const {
+  if (run_seconds <= 0.0) return 0.0;
+  double max = 0.0;
+  for (const RankCommTelemetry& r : ranks)
+    max = std::max(max, (r.recv_wait_seconds + r.barrier_wait_seconds) /
+                            run_seconds);
+  return max;
+}
+
+namespace {
+
+void append_u64_array(std::string& out, const std::vector<std::uint64_t>& v,
+                      int width) {
+  // Emit a row-major matrix as an array of rows so the JSON is readable.
+  out += '[';
+  for (int r = 0; r * width < static_cast<int>(v.size()); ++r) {
+    if (r != 0) out += ',';
+    out += '[';
+    for (int c = 0; c < width; ++c) {
+      if (c != 0) out += ',';
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(
+                        v[static_cast<std::size_t>(r) *
+                              static_cast<std::size_t>(width) +
+                          static_cast<std::size_t>(c)]));
+      out += buf;
+    }
+    out += ']';
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string CommTelemetry::to_json() const {
+  std::string out;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "{\"num_ranks\":%d,\"runs\":%llu,\"run_seconds\":%.9g,",
+                num_ranks, static_cast<unsigned long long>(runs),
+                run_seconds);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\"send_byte_imbalance\":%.6g,\"max_wait_fraction\":%.6g,",
+                send_byte_imbalance(), max_wait_fraction());
+  out += buf;
+  out += "\"ranks\":[";
+  for (int r = 0; r < num_ranks; ++r) {
+    const RankCommTelemetry& t = ranks[static_cast<std::size_t>(r)];
+    if (r != 0) out += ',';
+    std::snprintf(buf, sizeof(buf), "{\"rank\":%d,\"bytes_sent\":%llu,", r,
+                  static_cast<unsigned long long>(t.bytes_sent));
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "\"bytes_recv\":%llu,\"messages_sent\":%llu,",
+                  static_cast<unsigned long long>(t.bytes_recv),
+                  static_cast<unsigned long long>(t.messages_sent));
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "\"messages_recv\":%llu,\"recv_wait_seconds\":%.9g,",
+                  static_cast<unsigned long long>(t.messages_recv),
+                  t.recv_wait_seconds);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "\"barrier_wait_seconds\":%.9g,",
+                  t.barrier_wait_seconds);
+    out += buf;
+    const double wait_fraction =
+        run_seconds > 0.0
+            ? (t.recv_wait_seconds + t.barrier_wait_seconds) / run_seconds
+            : 0.0;
+    std::snprintf(buf, sizeof(buf), "\"wait_fraction\":%.6g,", wait_fraction);
+    out += buf;
+    out += "\"collectives\":{";
+    for (std::size_t k = 0; k < kNumCollectiveKinds; ++k) {
+      if (k != 0) out += ',';
+      std::snprintf(buf, sizeof(buf), "\"%s\":%llu",
+                    collective_kind_name(static_cast<CollectiveKind>(k)),
+                    static_cast<unsigned long long>(t.collective_calls[k]));
+      out += buf;
+    }
+    out += "}}";
+  }
+  out += "],\"p2p_bytes\":";
+  append_u64_array(out, p2p_bytes, num_ranks);
+  out += ",\"p2p_messages\":";
+  append_u64_array(out, p2p_messages, num_ranks);
+  out += '}';
+  return out;
+}
+
+namespace {
+
+std::mutex g_telemetry_mutex;
+CommTelemetry g_telemetry;  // guarded by g_telemetry_mutex
+
+}  // namespace
+
+void accumulate_comm_telemetry(const CommTelemetry& run) {
+  std::lock_guard lock(g_telemetry_mutex);
+  g_telemetry.accumulate(run);
+}
+
+CommTelemetry comm_telemetry_snapshot() {
+  std::lock_guard lock(g_telemetry_mutex);
+  return g_telemetry;
+}
+
+void reset_comm_telemetry() {
+  std::lock_guard lock(g_telemetry_mutex);
+  g_telemetry = CommTelemetry{};
+}
+
+}  // namespace hgr

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <mutex>
-#include <optional>
 #include <vector>
 
 #include "check/validate.hpp"
@@ -33,12 +32,12 @@ ParallelPartitionResult parallel_partition_hypergraph(
   std::mutex out_mutex;
 
   comm.run([&](RankContext& ctx) {
-    // Phases are timed on rank 0 only: the ranks run in lockstep (every
-    // stage ends in a collective), so rank 0's wall time is representative
-    // and the trace stays one tree instead of p overlapping ones.
+    // Every rank opens the phase scopes: same-named scopes merge into one
+    // node with calls == p, seconds == sum over ranks (cpu-seconds), and
+    // max_seconds as the representative per-rank wall time — max-min is
+    // the skew the per-rank timeline (events.hpp) drills into.
     const bool lead = ctx.rank() == 0;
-    std::optional<obs::TraceScope> run_scope;
-    if (lead) run_scope.emplace("par_partition");
+    obs::TraceScope run_scope("par_partition");
 
     const Index stop_size =
         std::max<Index>(cfg.base.coarsen_to, 2 * cfg.base.num_parts);
@@ -54,8 +53,7 @@ ParallelPartitionResult parallel_partition_hypergraph(
     std::vector<CoarseLevel> levels;
     const Hypergraph* current = &h;
     {
-      std::optional<obs::TraceScope> coarsen_scope;
-      if (lead) coarsen_scope.emplace("coarsen");
+      obs::TraceScope coarsen_scope("coarsen");
       for (Index level = 0; level < cfg.base.max_levels; ++level) {
         if (current->num_vertices() <= stop_size) break;
         const std::uint64_t level_seed =
@@ -86,16 +84,14 @@ ParallelPartitionResult parallel_partition_hypergraph(
     // Coarse partitioning: every rank tries its own seed; best wins.
     Partition p(cfg.base.num_parts, current->num_vertices());
     {
-      std::optional<obs::TraceScope> initial_scope;
-      if (lead) initial_scope.emplace("initial");
+      obs::TraceScope initial_scope("initial");
       p = parallel_coarse_partition(ctx, *current, cfg.base,
                                     derive_seed(cfg.base.seed, 5000));
     }
 
     // Uncoarsening with synchronized localized refinement.
     {
-      std::optional<obs::TraceScope> refine_scope;
-      if (lead) refine_scope.emplace("refine");
+      obs::TraceScope refine_scope("refine");
       parallel_refine(ctx, *current, p, cfg.base,
                       derive_seed(cfg.base.seed, 6000));
       for (auto it = levels.rbegin(); it != levels.rend(); ++it) {

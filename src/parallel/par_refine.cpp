@@ -159,7 +159,8 @@ ParRefineResult parallel_refine(RankContext& ctx, const Hypergraph& h,
       const auto [to, gain] = state.best_move(v);
       if (to != kNoPart && gain > 0) proposals.push_back({v, to, gain});
     }
-    obs::counter("refine.proposals") += proposals.size();
+    static obs::CachedCounter proposals_counter("refine.proposals");
+    proposals_counter += proposals.size();
 
     // Exchange and apply in deterministic global order (descending gain,
     // then vertex id), revalidating each move against the evolving state.
@@ -194,12 +195,15 @@ ParRefineResult parallel_refine(RankContext& ctx, const Hypergraph& h,
     }
     result.moves += applied;
     if (lead) {
-      obs::counter("refine.passes") += 1;
-      obs::counter("refine.applied_moves") +=
-          static_cast<std::uint64_t>(applied);
-      obs::counter("refine.rejected_gain") +=
-          static_cast<std::uint64_t>(rejected_gain);
-      obs::counter("refine.rejected_balance") +=
+      static obs::CachedCounter passes_counter("refine.passes");
+      static obs::CachedCounter applied_counter("refine.applied_moves");
+      static obs::CachedCounter rejected_gain_counter("refine.rejected_gain");
+      static obs::CachedCounter rejected_balance_counter(
+          "refine.rejected_balance");
+      passes_counter += 1;
+      applied_counter += static_cast<std::uint64_t>(applied);
+      rejected_gain_counter += static_cast<std::uint64_t>(rejected_gain);
+      rejected_balance_counter +=
           static_cast<std::uint64_t>(rejected_balance);
     }
     const Index applied_anywhere = static_cast<Index>(
@@ -209,7 +213,8 @@ ParRefineResult parallel_refine(RankContext& ctx, const Hypergraph& h,
     HGR_ASSERT(applied_anywhere == applied * ctx.size());
     if (applied == 0) break;
   }
-  obs::counter("refine.gain_evals") += state.gain_evals();
+  static obs::CachedCounter gain_evals_counter("refine.gain_evals");
+  gain_evals_counter += state.gain_evals();
   result.final_cut = cut;
   HGR_DASSERT(result.final_cut == connectivity_cut(h, p));
   return result;

@@ -133,8 +133,10 @@ KwayRefineResult kway_refine(const Hypergraph& h, Partition& p,
     result.moves += moves_this_pass;
     if (moves_this_pass == 0) break;
   }
-  obs::counter("kway.passes") += static_cast<std::uint64_t>(result.passes);
-  obs::counter("kway.moves") += static_cast<std::uint64_t>(result.moves);
+  static obs::CachedCounter passes_counter("kway.passes");
+  static obs::CachedCounter moves_counter("kway.moves");
+  passes_counter += static_cast<std::uint64_t>(result.passes);
+  moves_counter += static_cast<std::uint64_t>(result.moves);
   result.final_cut = cut;
   HGR_DASSERT(result.final_cut == connectivity_cut(h, p));
   return result;

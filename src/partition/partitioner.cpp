@@ -84,12 +84,14 @@ void record_coarsen_level(Index fine_vertices, Index coarse_vertices,
   std::uint64_t matched = 0;
   for (std::size_t v = 0; v < match.size(); ++v)
     if (match[v] != static_cast<Index>(v)) ++matched;
-  obs::counter("coarsen.levels") += 1;
-  obs::counter("coarsen.fine_vertices") +=
-      static_cast<std::uint64_t>(fine_vertices);
-  obs::counter("coarsen.coarse_vertices") +=
-      static_cast<std::uint64_t>(coarse_vertices);
-  obs::counter("coarsen.matched_vertices") += matched;
+  static obs::CachedCounter levels_counter("coarsen.levels");
+  static obs::CachedCounter fine_counter("coarsen.fine_vertices");
+  static obs::CachedCounter coarse_counter("coarsen.coarse_vertices");
+  static obs::CachedCounter matched_counter("coarsen.matched_vertices");
+  levels_counter += 1;
+  fine_counter += static_cast<std::uint64_t>(fine_vertices);
+  coarse_counter += static_cast<std::uint64_t>(coarse_vertices);
+  matched_counter += matched;
 }
 
 Partition direct_kway_partition(const Hypergraph& h,

@@ -7,6 +7,7 @@
 #include <memory>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 
 #include "common/assert.hpp"
 #include "workload/datasets.hpp"
@@ -27,6 +28,17 @@ std::vector<long long> parse_int_list(const std::string& s) {
   std::string item;
   while (std::getline(ss, item, ',')) out.push_back(std::stoll(item));
   return out;
+}
+
+/// FNV-1a: mixes the dataset name into the seed chain so sweeps over
+/// datasets do not reuse identical RNG streams.
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 std::unique_ptr<EpochScenario> make_scenario(const ExperimentConfig& cfg,
@@ -69,11 +81,18 @@ void ExperimentConfig::apply_cli(int argc, char** argv) {
       dataset = value;
     } else if (key == "--trace-json") {
       trace_json = value;
+    } else if (key == "--epoch-csv") {
+      epoch_csv = value;
+    } else if (key == "--chrome-trace") {
+      chrome_trace = value;
+    } else if (key == "--json") {
+      bench_json = value;
     } else {
       std::fprintf(stderr,
                    "unknown flag: %s\n"
                    "known: --scale= --epochs= --trials= --seed= --k= "
-                   "--alpha= --dataset= --trace-json=\n",
+                   "--alpha= --dataset= --trace-json= --epoch-csv= "
+                   "--chrome-trace= --json=\n",
                    arg.c_str());
       std::exit(2);
     }
@@ -81,10 +100,21 @@ void ExperimentConfig::apply_cli(int argc, char** argv) {
 }
 
 std::vector<CellResult> run_experiment(const ExperimentConfig& cfg,
-                                       std::ostream* log) {
+                                       std::ostream* log,
+                                       EpochSeries* series) {
   std::vector<CellResult> cells;
+  // Per-configuration seed base: mixing dataset/perturb/k/alpha in (not
+  // just the trial index) keeps RNG streams distinct across sweep cells.
+  // The algorithm is deliberately excluded so the four algorithms see the
+  // same scenario instances (paired comparison, as in the paper).
+  std::uint64_t sweep_seed = derive_seed(cfg.seed, fnv1a(cfg.dataset));
+  sweep_seed = derive_seed(
+      sweep_seed, cfg.perturb == PerturbKind::kStructure ? 1u : 2u);
   for (const PartId k : cfg.k_values) {
     for (const Weight alpha : cfg.alphas) {
+      const std::uint64_t cell_seed = derive_seed(
+          derive_seed(sweep_seed, static_cast<std::uint64_t>(k)),
+          static_cast<std::uint64_t>(alpha));
       for (const RepartAlgorithm algorithm : cfg.algorithms) {
         CellResult cell;
         cell.algorithm = algorithm;
@@ -92,7 +122,7 @@ std::vector<CellResult> run_experiment(const ExperimentConfig& cfg,
         cell.alpha = alpha;
         for (Index trial = 0; trial < cfg.num_trials; ++trial) {
           const std::uint64_t trial_seed =
-              derive_seed(cfg.seed, static_cast<std::uint64_t>(trial));
+              derive_seed(cell_seed, static_cast<std::uint64_t>(trial));
           auto scenario = make_scenario(cfg, trial_seed);
           RepartitionerConfig rcfg;
           rcfg.alpha = alpha;
@@ -101,6 +131,9 @@ std::vector<CellResult> run_experiment(const ExperimentConfig& cfg,
           rcfg.partition.seed = derive_seed(trial_seed, 3);
           const EpochRunSummary summary =
               run_epochs(*scenario, algorithm, rcfg, cfg.num_epochs);
+          if (series != nullptr)
+            series->append(cfg.dataset, to_string(cfg.perturb),
+                           to_string(algorithm), k, alpha, trial, summary);
           cell.comm_volume += summary.mean_comm_volume();
           cell.migration_volume += summary.mean_migration_volume();
           cell.normalized_total += summary.mean_normalized_total_cost();

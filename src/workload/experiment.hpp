@@ -42,9 +42,21 @@ struct ExperimentConfig {
   /// counters (obs::trace_to_json) to this path after the sweep.
   std::string trace_json;
 
+  /// When non-empty, the per-epoch time series (EpochSeries) is written to
+  /// this path as CSV after the sweep.
+  std::string epoch_csv;
+
+  /// When non-empty, event capture is enabled for the sweep and the
+  /// timeline is written to this path in Chrome trace-event format.
+  std::string chrome_trace;
+
+  /// When non-empty, the bench driver writes an hgr-bench-v1 JSON document
+  /// (cells + trace + comm telemetry) to this path after the sweep.
+  std::string bench_json;
+
   /// Parse harness flags: --scale=F --epochs=N --trials=N --k=16,64
-  /// --alpha=1,10,100,1000 --seed=S --trace-json=FILE. Unknown flags abort
-  /// with a message.
+  /// --alpha=1,10,100,1000 --seed=S --trace-json=FILE --epoch-csv=FILE
+  /// --chrome-trace=FILE --json=FILE. Unknown flags abort with a message.
   void apply_cli(int argc, char** argv);
 };
 
@@ -58,9 +70,12 @@ struct CellResult {
   double repart_seconds = 0.0;
 };
 
-/// Run the full sweep. Progress lines go to `log` when non-null.
+/// Run the full sweep. Progress lines go to `log` when non-null. When
+/// `series` is non-null, every epoch of every (cell, trial) run is appended
+/// to it (the per-epoch trajectory behind the aggregated CellResults).
 std::vector<CellResult> run_experiment(const ExperimentConfig& cfg,
-                                       std::ostream* log = nullptr);
+                                       std::ostream* log = nullptr,
+                                       EpochSeries* series = nullptr);
 
 /// Figures 2-6 style output: per (k, alpha) group, one stacked bar per
 /// algorithm, plus CSV.

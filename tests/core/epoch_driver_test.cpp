@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <fstream>
+#include <iterator>
+#include <string>
+
 #include "test_util.hpp"
 #include "workload/generators.hpp"
 #include "workload/perturb.hpp"
@@ -81,6 +86,91 @@ TEST(EpochDriver, MigrationHappensAfterPerturbation) {
   for (const EpochRecord& r : s.epochs)
     if (r.epoch >= 2 && r.cost.migration_volume > 0) migrated = true;
   EXPECT_TRUE(migrated);
+}
+
+TEST(EpochSeries, AppendTagsEveryEpoch) {
+  EpochRunSummary s;
+  for (Index e = 1; e <= 3; ++e) {
+    EpochRecord r;
+    r.epoch = e;
+    r.cost = {100 * e, 10 * e, 10};
+    s.epochs.push_back(r);
+  }
+  EpochSeries series;
+  series.append("grid", "structure", "hypergraph-repart", 4, 10, 0, s);
+  series.append("grid", "structure", "graph-scratch", 4, 10, 1, s);
+  ASSERT_EQ(series.rows.size(), 6u);
+  EXPECT_EQ(series.rows[0].dataset, "grid");
+  EXPECT_EQ(series.rows[0].record.epoch, 1);
+  EXPECT_EQ(series.rows[2].record.epoch, 3);
+  EXPECT_EQ(series.rows[3].algorithm, "graph-scratch");
+  EXPECT_EQ(series.rows[3].trial, 1);
+}
+
+TEST(EpochSeries, CsvHasHeaderAndOneLinePerRow) {
+  EpochRunSummary s;
+  EpochRecord r;
+  r.epoch = 2;
+  r.cost = {50, 7, 10};
+  r.repart_seconds = 0.25;
+  r.imbalance = 1.02;
+  r.num_vertices = 216;
+  r.num_migrated = 12;
+  r.coarsen_seconds = 0.1;
+  s.epochs = {r};
+  EpochSeries series;
+  series.append("grid", "weights", "hypergraph-repart", 8, 10, 3, s);
+  const std::string csv = series.to_csv();
+  const std::string header = EpochSeries::csv_header();
+  ASSERT_EQ(csv.compare(0, header.size(), header), 0);
+  // header + 1 data line, each newline-terminated.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+  EXPECT_NE(csv.find("grid,weights,hypergraph-repart,8,10,3,2,"),
+            std::string::npos);
+  // cut, migration, imbalance and vertex counts all appear in the row.
+  EXPECT_NE(csv.find(",50,"), std::string::npos);
+  EXPECT_NE(csv.find(",216,"), std::string::npos);
+}
+
+TEST(EpochSeries, RunEpochsFillsPhaseSecondsForHypergraphRepart) {
+  StructuralPerturbScenario scenario(make_grid3d(6, 6, 6, false),
+                                     StructuralPerturbOptions{}, 11);
+  const EpochRunSummary s = run_epochs(
+      scenario, RepartAlgorithm::kHypergraphRepart, small_cfg(4, 10), 3);
+  EpochSeries series;
+  series.append("grid", "structure", "hypergraph-repart", 4, 10, 0, s);
+  ASSERT_EQ(series.rows.size(), 3u);
+  // The multilevel pipeline opens coarsen/initial/refine scopes, so at
+  // least one epoch must show nonzero phase time (they are wall-time
+  // deltas, so allow zeros on a fast machine for individual epochs).
+  double total_phase = 0.0;
+  for (const EpochSeriesRow& row : series.rows)
+    total_phase += row.record.coarsen_seconds + row.record.initial_seconds +
+                   row.record.refine_seconds;
+  EXPECT_GT(total_phase, 0.0);
+  // Phase seconds can never exceed the epoch's repartition time by much
+  // (they are nested inside it).
+  for (const EpochSeriesRow& row : series.rows) {
+    EXPECT_GE(row.record.coarsen_seconds, 0.0);
+    EXPECT_GE(row.record.initial_seconds, 0.0);
+    EXPECT_GE(row.record.refine_seconds, 0.0);
+  }
+}
+
+TEST(EpochSeries, WriteCsvRoundTrips) {
+  EpochRunSummary s;
+  EpochRecord r;
+  r.epoch = 1;
+  s.epochs = {r};
+  EpochSeries series;
+  series.append("d", "none", "a", 2, 1, 0, s);
+  const std::string path = ::testing::TempDir() + "/epoch_series_test.csv";
+  ASSERT_TRUE(series.write_csv(path));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, series.to_csv());
+  EXPECT_FALSE(series.write_csv("/nonexistent-dir/x/y.csv"));
 }
 
 }  // namespace

@@ -1,0 +1,213 @@
+#include "obs/events.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iterator>
+#include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "mini_json.hpp"
+#include "obs/trace.hpp"
+
+namespace hgr {
+namespace {
+
+using testjson::JsonArray;
+using testjson::JsonObject;
+using testjson::JsonParser;
+using testjson::as_array;
+using testjson::as_number;
+using testjson::as_object;
+using testjson::as_string;
+
+// Every test owns the global capture state: events are process-global (by
+// design — rank threads emit into them), so serialize via a fixture that
+// resets before and after.
+class EventsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_events_enabled(false);
+    obs::reset_events();
+    obs::set_event_ring_capacity(4096);
+  }
+  void TearDown() override {
+    obs::set_events_enabled(false);
+    obs::reset_events();
+    obs::set_event_ring_capacity(4096);
+    obs::set_thread_rank(-1);
+  }
+};
+
+TEST_F(EventsTest, DisabledEmitIsDropped) {
+  obs::emit_instant("ghost");
+  const obs::EventsSnapshot snap = obs::snapshot_events();
+  EXPECT_TRUE(snap.events.empty());
+  EXPECT_EQ(snap.dropped, 0u);
+}
+
+TEST_F(EventsTest, EmitAndSnapshotRoundTrip) {
+  obs::set_events_enabled(true);
+  obs::set_thread_rank(2);
+  obs::emit_begin("phase-a");
+  obs::emit_instant("tick", "comm", 128);
+  obs::emit_end("phase-a");
+  const obs::EventsSnapshot snap = obs::snapshot_events();
+  ASSERT_EQ(snap.events.size(), 3u);
+  EXPECT_EQ(snap.dropped, 0u);
+  EXPECT_STREQ(snap.events[0].name, "phase-a");
+  EXPECT_EQ(snap.events[0].type, obs::EventType::kBegin);
+  EXPECT_EQ(snap.events[1].type, obs::EventType::kInstant);
+  EXPECT_STREQ(snap.events[1].category, "comm");
+  EXPECT_EQ(snap.events[1].arg, 128u);
+  EXPECT_EQ(snap.events[2].type, obs::EventType::kEnd);
+  for (const obs::Event& e : snap.events) EXPECT_EQ(e.rank, 2);
+  // Timestamps are monotone within one thread's buffer.
+  EXPECT_LE(snap.events[0].ts_ns, snap.events[1].ts_ns);
+  EXPECT_LE(snap.events[1].ts_ns, snap.events[2].ts_ns);
+}
+
+TEST_F(EventsTest, RingWraparoundKeepsNewestAndCountsDropped) {
+  obs::reset_events();
+  obs::set_event_ring_capacity(8);
+  obs::set_events_enabled(true);
+  const char* name = obs::intern_event_name("wrap");
+  for (std::uint64_t i = 0; i < 20; ++i)
+    obs::emit_event(name, "phase", obs::EventType::kInstant, i);
+  const obs::EventsSnapshot snap = obs::snapshot_events();
+  ASSERT_EQ(snap.events.size(), 8u);
+  EXPECT_EQ(snap.dropped, 12u);
+  // The survivors are the 8 newest, in emission order.
+  for (std::uint64_t i = 0; i < 8; ++i)
+    EXPECT_EQ(snap.events[i].arg, 12 + i);
+}
+
+TEST_F(EventsTest, ConcurrentEmittersAllLand) {
+  obs::set_events_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([t] {
+      obs::set_thread_rank(t);
+      const char* name = obs::intern_event_name("concurrent");
+      for (int i = 0; i < kPerThread; ++i)
+        obs::emit_event(name, "phase", obs::EventType::kInstant,
+                        static_cast<std::uint64_t>(i));
+    });
+  for (auto& t : threads) t.join();
+  const obs::EventsSnapshot snap = obs::snapshot_events();
+  EXPECT_EQ(snap.dropped, 0u);
+  // Count per rank: every emit must have landed on its own thread's ring.
+  std::vector<int> per_rank(kThreads, 0);
+  for (const obs::Event& e : snap.events) {
+    if (e.rank >= 0 && e.rank < kThreads) ++per_rank[e.rank];
+  }
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(per_rank[t], kPerThread);
+}
+
+TEST_F(EventsTest, SnapshotWhileEmitting) {
+  // Exercise the reader/writer race the stamp protocol guards: a writer
+  // wrapping a tiny ring while the main thread snapshots. TSan runs of
+  // obs_test cover the memory-order claims.
+  obs::reset_events();
+  obs::set_event_ring_capacity(8);
+  obs::set_events_enabled(true);
+  const char* name = obs::intern_event_name("race");
+  std::thread writer([name] {
+    for (int i = 0; i < 20000; ++i)
+      obs::emit_event(name, "phase", obs::EventType::kInstant,
+                      static_cast<std::uint64_t>(i));
+  });
+  for (int i = 0; i < 50; ++i) {
+    const obs::EventsSnapshot snap = obs::snapshot_events();
+    // Whatever survived must be well-formed: interned name, sane arg.
+    for (const obs::Event& e : snap.events) {
+      EXPECT_EQ(e.name, name);  // pointer identity: interned once
+      EXPECT_LT(e.arg, 20000u);
+    }
+  }
+  writer.join();
+}
+
+TEST_F(EventsTest, ChromeTraceJsonParsesBack) {
+  obs::set_events_enabled(true);
+  obs::set_thread_rank(0);
+  obs::emit_begin("partition");
+  obs::emit_instant("send", "comm", 512);
+  obs::emit_end("partition");
+  const std::string json = obs::chrome_trace_json();
+  JsonParser parser(json);
+  const auto doc = parser.parse();
+  const JsonObject& root = as_object(*doc);
+  const JsonArray& events = as_array(*root.at("traceEvents"));
+
+  std::size_t begins = 0, ends = 0, instants = 0, metadata = 0;
+  bool saw_rank_track_name = false;
+  double send_bytes = -1.0;
+  for (const auto& ev : events) {
+    const JsonObject& e = as_object(*ev);
+    const std::string& ph = as_string(*e.at("ph"));
+    if (ph == "B") ++begins;
+    if (ph == "E") ++ends;
+    if (ph == "i") ++instants;
+    if (ph == "M") {
+      ++metadata;
+      if (as_string(*e.at("name")) == "thread_name") {
+        const JsonObject& args = as_object(*e.at("args"));
+        if (as_string(*args.at("name")) == "rank 0")
+          saw_rank_track_name = true;
+      }
+    }
+    if (ph == "i" && as_string(*e.at("name")) == "send") {
+      send_bytes = as_number(*as_object(*e.at("args")).at("bytes"));
+      EXPECT_EQ(as_string(*e.at("cat")), "comm");
+    }
+  }
+  EXPECT_EQ(begins, 1u);
+  EXPECT_EQ(ends, 1u);
+  EXPECT_EQ(instants, 1u);
+  EXPECT_GE(metadata, 2u);  // thread_name + thread_sort_index per track
+  EXPECT_TRUE(saw_rank_track_name);
+  EXPECT_EQ(send_bytes, 512.0);
+}
+
+TEST_F(EventsTest, WriteChromeTraceFile) {
+  obs::set_events_enabled(true);
+  obs::emit_instant("tick");
+  const std::string path = ::testing::TempDir() + "/events_test_chrome.json";
+  ASSERT_TRUE(obs::write_chrome_trace(path));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  JsonParser parser(content);
+  const auto doc = parser.parse();
+  EXPECT_FALSE(as_array(*as_object(*doc).at("traceEvents")).empty());
+  EXPECT_FALSE(obs::write_chrome_trace("/nonexistent-dir/x/y.json"));
+}
+
+TEST_F(EventsTest, TraceScopeEmitsSpanWhenEnabled) {
+  obs::set_events_enabled(true);
+  obs::Registry reg;
+  {
+    obs::TraceScope scope("scoped-phase", &reg);
+  }
+  const obs::EventsSnapshot snap = obs::snapshot_events();
+  std::size_t begins = 0, ends = 0;
+  for (const obs::Event& e : snap.events) {
+    if (std::string_view(e.name) == "scoped-phase") {
+      if (e.type == obs::EventType::kBegin) ++begins;
+      if (e.type == obs::EventType::kEnd) ++ends;
+    }
+  }
+  EXPECT_EQ(begins, 1u);
+  EXPECT_EQ(ends, 1u);
+}
+
+}  // namespace
+}  // namespace hgr

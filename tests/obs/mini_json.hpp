@@ -1,0 +1,176 @@
+// Minimal JSON parser shared by the observability tests, enough to
+// round-trip the hgr-trace-v1 / hgr-bench-v1 / Chrome trace schemas. A
+// parse failure fails the test (via EXPECT_*), so JSON emitters are
+// validated as producing real JSON, not just by substring.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace hgr::testjson {
+
+struct JsonValue;
+using JsonObject = std::map<std::string, std::shared_ptr<JsonValue>>;
+using JsonArray = std::vector<std::shared_ptr<JsonValue>>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  std::shared_ptr<JsonValue> parse() {
+    auto value = parse_value();
+    skip_ws();
+    EXPECT_EQ(pos_, s_.size()) << "trailing garbage after JSON document";
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    EXPECT_LT(pos_, s_.size()) << "unexpected end of JSON";
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+
+  void expect(char c) {
+    EXPECT_EQ(peek(), c) << "at offset " << pos_;
+    ++pos_;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        EXPECT_LT(pos_, s_.size());
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'u':
+            pos_ += 4;  // tests only use ASCII names; skip the code point
+            out += '?';
+            break;
+          default:
+            out += esc;
+        }
+      } else {
+        out += c;
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  std::shared_ptr<JsonValue> parse_value() {
+    skip_ws();
+    auto value = std::make_shared<JsonValue>();
+    const char c = peek();
+    if (c == '{') {
+      ++pos_;
+      JsonObject obj;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+      } else {
+        while (true) {
+          skip_ws();
+          std::string key = parse_string();
+          skip_ws();
+          expect(':');
+          obj[key] = parse_value();
+          skip_ws();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect('}');
+          break;
+        }
+      }
+      value->v = std::move(obj);
+    } else if (c == '[') {
+      ++pos_;
+      JsonArray arr;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+      } else {
+        while (true) {
+          arr.push_back(parse_value());
+          skip_ws();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect(']');
+          break;
+        }
+      }
+      value->v = std::move(arr);
+    } else if (c == '"') {
+      value->v = parse_string();
+    } else if (c == 't' || c == 'f') {
+      const bool is_true = c == 't';
+      pos_ += is_true ? 4 : 5;
+      EXPECT_LE(pos_, s_.size());
+      value->v = is_true;
+    } else if (c == 'n') {
+      pos_ += 4;
+      EXPECT_LE(pos_, s_.size());
+      value->v = nullptr;
+    } else {
+      std::size_t end = pos_;
+      while (end < s_.size() &&
+             (std::isdigit(static_cast<unsigned char>(s_[end])) ||
+              s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
+              s_[end] == 'e' || s_[end] == 'E'))
+        ++end;
+      EXPECT_GT(end, pos_) << "expected a number at offset " << pos_;
+      value->v = std::stod(s_.substr(pos_, end - pos_));
+      pos_ = end;
+    }
+    return value;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+inline const JsonObject& as_object(const JsonValue& v) {
+  return std::get<JsonObject>(v.v);
+}
+inline const JsonArray& as_array(const JsonValue& v) {
+  return std::get<JsonArray>(v.v);
+}
+inline double as_number(const JsonValue& v) { return std::get<double>(v.v); }
+inline const std::string& as_string(const JsonValue& v) {
+  return std::get<std::string>(v.v);
+}
+
+}  // namespace hgr::testjson

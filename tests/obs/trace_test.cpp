@@ -2,172 +2,26 @@
 
 #include <gtest/gtest.h>
 
-#include <cctype>
+#include <chrono>
 #include <fstream>
 #include <iterator>
-#include <map>
-#include <memory>
 #include <string>
 #include <thread>
-#include <variant>
 #include <vector>
+
+#include "mini_json.hpp"
 
 namespace hgr {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal JSON parser, enough to round-trip the hgr-trace-v1 schema. A
-// parse failure fails the test, so trace_to_json output is validated as
-// real JSON, not just by substring.
-// ---------------------------------------------------------------------------
-
-struct JsonValue;
-using JsonObject = std::map<std::string, std::shared_ptr<JsonValue>>;
-using JsonArray = std::vector<std::shared_ptr<JsonValue>>;
-
-struct JsonValue {
-  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
-               JsonObject>
-      v;
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  std::shared_ptr<JsonValue> parse() {
-    auto value = parse_value();
-    skip_ws();
-    EXPECT_EQ(pos_, s_.size()) << "trailing garbage after JSON document";
-    return value;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_])))
-      ++pos_;
-  }
-
-  char peek() {
-    EXPECT_LT(pos_, s_.size()) << "unexpected end of JSON";
-    return pos_ < s_.size() ? s_[pos_] : '\0';
-  }
-
-  void expect(char c) {
-    EXPECT_EQ(peek(), c) << "at offset " << pos_;
-    ++pos_;
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      char c = s_[pos_++];
-      if (c == '\\') {
-        EXPECT_LT(pos_, s_.size());
-        const char esc = s_[pos_++];
-        switch (esc) {
-          case 'n':
-            out += '\n';
-            break;
-          case 't':
-            out += '\t';
-            break;
-          case 'r':
-            out += '\r';
-            break;
-          case 'u':
-            pos_ += 4;  // tests only use ASCII names; skip the code point
-            out += '?';
-            break;
-          default:
-            out += esc;
-        }
-      } else {
-        out += c;
-      }
-    }
-    expect('"');
-    return out;
-  }
-
-  std::shared_ptr<JsonValue> parse_value() {
-    skip_ws();
-    auto value = std::make_shared<JsonValue>();
-    const char c = peek();
-    if (c == '{') {
-      ++pos_;
-      JsonObject obj;
-      skip_ws();
-      if (peek() == '}') {
-        ++pos_;
-      } else {
-        while (true) {
-          skip_ws();
-          std::string key = parse_string();
-          skip_ws();
-          expect(':');
-          obj[key] = parse_value();
-          skip_ws();
-          if (peek() == ',') {
-            ++pos_;
-            continue;
-          }
-          expect('}');
-          break;
-        }
-      }
-      value->v = std::move(obj);
-    } else if (c == '[') {
-      ++pos_;
-      JsonArray arr;
-      skip_ws();
-      if (peek() == ']') {
-        ++pos_;
-      } else {
-        while (true) {
-          arr.push_back(parse_value());
-          skip_ws();
-          if (peek() == ',') {
-            ++pos_;
-            continue;
-          }
-          expect(']');
-          break;
-        }
-      }
-      value->v = std::move(arr);
-    } else if (c == '"') {
-      value->v = parse_string();
-    } else {
-      std::size_t end = pos_;
-      while (end < s_.size() &&
-             (std::isdigit(static_cast<unsigned char>(s_[end])) ||
-              s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
-              s_[end] == 'e' || s_[end] == 'E'))
-        ++end;
-      EXPECT_GT(end, pos_) << "expected a number at offset " << pos_;
-      value->v = std::stod(s_.substr(pos_, end - pos_));
-      pos_ = end;
-    }
-    return value;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
-
-const JsonObject& as_object(const JsonValue& v) {
-  return std::get<JsonObject>(v.v);
-}
-const JsonArray& as_array(const JsonValue& v) {
-  return std::get<JsonArray>(v.v);
-}
-double as_number(const JsonValue& v) { return std::get<double>(v.v); }
-const std::string& as_string(const JsonValue& v) {
-  return std::get<std::string>(v.v);
-}
+using testjson::JsonArray;
+using testjson::JsonObject;
+using testjson::JsonParser;
+using testjson::JsonValue;
+using testjson::as_array;
+using testjson::as_number;
+using testjson::as_object;
+using testjson::as_string;
 
 const JsonValue* find_child_phase(const JsonValue& phase,
                                   const std::string& name) {
@@ -358,6 +212,118 @@ TEST(ObsTrace, WriteTraceJsonFile) {
   EXPECT_EQ(
       as_number(*as_object(*as_object(*doc).at("counters")).at("k")), 9.0);
   EXPECT_FALSE(obs::write_trace_json("/nonexistent-dir/x/y.json", reg));
+}
+
+// ---------------------------------------------------------------------------
+// Per-call max/min seconds
+// ---------------------------------------------------------------------------
+
+TEST(ObsTrace, MaxMinSecondsPerMergedScope) {
+  obs::Registry reg;
+  {
+    obs::TraceScope scope("work", &reg);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  {
+    obs::TraceScope scope("work", &reg);  // much shorter second call
+  }
+  const obs::PhaseSnapshot* work = obs::find_phase(reg.phase_tree(), {"work"});
+  ASSERT_NE(work, nullptr);
+  EXPECT_EQ(work->calls, 2u);
+  EXPECT_GE(work->max_seconds, 0.015);
+  EXPECT_LT(work->min_seconds, work->max_seconds);
+  EXPECT_GE(work->min_seconds, 0.0);
+  // seconds is the sum of both calls, so it brackets max alone.
+  EXPECT_GE(work->seconds, work->max_seconds);
+  EXPECT_LE(work->max_seconds + work->min_seconds, work->seconds + 1e-9);
+}
+
+TEST(ObsTrace, JsonCarriesMaxMinSeconds) {
+  obs::Registry reg;
+  {
+    obs::TraceScope scope("p", &reg);
+  }
+  const std::string json = obs::trace_to_json(reg);
+  JsonParser parser(json);
+  const auto doc = parser.parse();
+  const JsonObject& phase =
+      as_object(*as_array(*as_object(*doc).at("phases"))[0]);
+  ASSERT_TRUE(phase.count("max_seconds"));
+  ASSERT_TRUE(phase.count("min_seconds"));
+  // One call: max == min == seconds.
+  EXPECT_DOUBLE_EQ(as_number(*phase.at("max_seconds")),
+                   as_number(*phase.at("min_seconds")));
+}
+
+// ---------------------------------------------------------------------------
+// CachedCounter
+// ---------------------------------------------------------------------------
+
+TEST(ObsCachedCounter, BumpsResolveToCurrentRegistry) {
+  obs::Registry reg;
+  obs::ScopedRegistry scope(reg);
+  obs::CachedCounter c("cached.basic");
+  c += 3;
+  c += 4;
+  EXPECT_EQ(reg.counter_value("cached.basic"), 7u);
+}
+
+TEST(ObsCachedCounter, SurvivesRegistrySwap) {
+  obs::CachedCounter c("cached.swap");
+  obs::Registry first;
+  {
+    obs::ScopedRegistry scope(first);
+    c += 2;
+  }
+  obs::Registry second;
+  {
+    obs::ScopedRegistry scope(second);
+    // The handle cached `first`'s cell; the id mismatch must re-resolve.
+    c += 5;
+  }
+  EXPECT_EQ(first.counter_value("cached.swap"), 2u);
+  EXPECT_EQ(second.counter_value("cached.swap"), 5u);
+  {
+    // Swapping back to an earlier registry re-resolves again.
+    obs::ScopedRegistry scope(first);
+    c += 1;
+  }
+  EXPECT_EQ(first.counter_value("cached.swap"), 3u);
+  EXPECT_EQ(second.counter_value("cached.swap"), 5u);
+}
+
+TEST(ObsCachedCounter, ConcurrentBumpsLandExactly) {
+  obs::Registry reg;
+  obs::ScopedRegistry scope(reg);
+  obs::CachedCounter c("cached.contended");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 1000; ++i) c += 1;
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter_value("cached.contended"), 4000u);
+}
+
+// ---------------------------------------------------------------------------
+// Attached sections
+// ---------------------------------------------------------------------------
+
+TEST(ObsTrace, SectionsAppearAsTopLevelKeys) {
+  obs::Registry reg;
+  reg.set_section("comm", "{\"num_ranks\":3}");
+  reg.set_section("comm", "{\"num_ranks\":4}");  // overwrite wins
+  reg.set_section("extra", "[1,2]");
+  const std::string json = obs::trace_to_json(reg);
+  JsonParser parser(json);
+  const auto doc = parser.parse();
+  const JsonObject& root = as_object(*doc);
+  ASSERT_TRUE(root.count("comm"));
+  EXPECT_EQ(as_number(*as_object(*root.at("comm")).at("num_ranks")), 4.0);
+  ASSERT_TRUE(root.count("extra"));
+  EXPECT_EQ(as_array(*root.at("extra")).size(), 2u);
+  reg.reset();
+  EXPECT_TRUE(reg.sections().empty());
 }
 
 }  // namespace

@@ -129,6 +129,68 @@ TEST(CliTrace, ParallelRepartitionEmitsCommAndEpochCounters) {
   EXPECT_NE(json.find("\"name\":\"repartition\""), std::string::npos);
 }
 
+TEST(CliTrace, ChromeTraceHasRankTracksAndCommEvents) {
+  const std::string in = std::string(HGR_EXAMPLE_HGR);
+  const std::string parts = tmp_path("cli_chrome.parts");
+  const std::string trace = tmp_path("cli_chrome.json");
+  ASSERT_EQ(run("partition " + in + " --k=4 --ranks=2 --out=" + parts +
+                " --chrome-trace=" + trace),
+            0);
+  const std::string json = read_file(trace);
+  ASSERT_FALSE(json.empty());
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // One named track per rank.
+  EXPECT_NE(json.find("\"name\":\"rank 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rank 1\""), std::string::npos);
+  // Phase spans and comm events both land on the timeline.
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"comm\""), std::string::npos);
+}
+
+// Golden-file shape check for the epoch CSV on the bundled example: the
+// header is fixed, and the serial partition run yields exactly one epoch
+// row with known tag columns.
+TEST(CliTrace, EpochCsvGoldenHeaderAndRow) {
+  const std::string in = std::string(HGR_EXAMPLE_HGR);
+  const std::string csv_path = tmp_path("cli_epoch.csv");
+  ASSERT_EQ(run("partition " + in + " --k=4 --out=" +
+                tmp_path("cli_epoch.parts") + " --epoch-csv=" + csv_path),
+            0);
+  std::ifstream csv(csv_path);
+  std::string header, row, extra;
+  ASSERT_TRUE(static_cast<bool>(std::getline(csv, header)));
+  ASSERT_TRUE(static_cast<bool>(std::getline(csv, row)));
+  EXPECT_FALSE(static_cast<bool>(std::getline(csv, extra)));
+  EXPECT_EQ(header,
+            "dataset,perturb,algorithm,k,alpha,trial,epoch,cut,"
+            "migration_volume,total_cost,normalized_cost,imbalance,"
+            "num_vertices,num_migrated,repart_seconds,coarsen_seconds,"
+            "initial_seconds,refine_seconds");
+  // Tag columns: dataset is the input path, serial algorithm, k=4,
+  // epoch 1, and the grid has 192 vertices, none migrated.
+  EXPECT_EQ(row.compare(0, in.size() + 1, in + ","), 0);
+  EXPECT_NE(row.find(",none,hypergraph,4,"), std::string::npos);
+  EXPECT_NE(row.find(",192,0,"), std::string::npos);
+}
+
+TEST(CliTrace, EpochCsvParallelRepartitionTagsAlgorithm) {
+  const std::string in = std::string(HGR_EXAMPLE_HGR);
+  const std::string parts = tmp_path("cli_epoch_par.parts");
+  const std::string csv_path = tmp_path("cli_epoch_par.csv");
+  ASSERT_EQ(run("partition " + in + " --k=4 --out=" + parts), 0);
+  ASSERT_EQ(run("repartition " + in + " --old=" + parts +
+                " --k=4 --alpha=10 --ranks=2 --out=" +
+                tmp_path("cli_epoch_par2.parts") + " --epoch-csv=" +
+                csv_path),
+            0);
+  const std::string csv = read_file(csv_path);
+  EXPECT_NE(csv.find(",none,par-hypergraph,4,10,"), std::string::npos);
+  // Repartition runs are tagged as epoch 2 (epoch 1 = static bootstrap).
+  EXPECT_NE(csv.find(",par-hypergraph,4,10,0,2,"), std::string::npos);
+}
+
 TEST(CliTrace, BadTracePathFails) {
   EXPECT_NE(run("partition " + std::string(HGR_EXAMPLE_HGR) +
                 " --k=2 --out=" + tmp_path("cli_trace_bad.parts") +

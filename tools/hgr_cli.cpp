@@ -15,7 +15,10 @@
 //
 // --ranks=P runs the parallel (in-process message passing) partitioner on
 // P ranks instead of the serial multilevel one. --trace-json=FILE dumps
-// the run's phase timings and counters as JSON (docs/OBSERVABILITY.md).
+// the run's phase timings and counters as JSON; --chrome-trace=FILE
+// captures the per-rank event timeline in Chrome trace-event format (open
+// in https://ui.perfetto.dev); --epoch-csv=FILE writes the run as a
+// one-epoch EpochSeries CSV row (docs/OBSERVABILITY.md).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -25,6 +28,8 @@
 
 #include "check/check_level.hpp"
 #include "check/validate.hpp"
+#include "common/timer.hpp"
+#include "core/epoch_driver.hpp"
 #include "core/repartitioner.hpp"
 #include "hypergraph/convert.hpp"
 #include "hypergraph/io.hpp"
@@ -49,6 +54,8 @@ struct CliOptions {
   std::string old_parts_path;
   std::string out_path;
   std::string trace_json_path;
+  std::string chrome_trace_path;
+  std::string epoch_csv_path;
   PartId k = 2;
   double eps = 0.05;
   std::uint64_t seed = 1;
@@ -66,10 +73,12 @@ struct CliOptions {
                "usage:\n"
                "  hgr_cli partition   <input> --k=N [--eps=F] [--seed=S] "
                "[--graph|--mm] [--ranks=P] [--report] [--out=FILE] "
-               "[--trace-json=FILE] [--validate=cheap|paranoid]\n"
+               "[--trace-json=FILE] [--chrome-trace=FILE] "
+               "[--epoch-csv=FILE] [--validate=cheap|paranoid]\n"
                "  hgr_cli repartition <input> --old=FILE --k=N [--alpha=A] "
                "[--eps=F] [--seed=S] [--graph] [--ranks=P] [--out=FILE] "
-               "[--trace-json=FILE] [--validate=cheap|paranoid]\n"
+               "[--trace-json=FILE] [--chrome-trace=FILE] "
+               "[--epoch-csv=FILE] [--validate=cheap|paranoid]\n"
                "  hgr_cli info        <input> [--graph]\n");
   std::exit(2);
 }
@@ -100,6 +109,10 @@ CliOptions parse(int argc, char** argv) {
       opt.out_path = value;
     } else if (key == "--trace-json") {
       opt.trace_json_path = value;
+    } else if (key == "--chrome-trace") {
+      opt.chrome_trace_path = value;
+    } else if (key == "--epoch-csv") {
+      opt.epoch_csv_path = value;
     } else if (key == "--validate") {
       if (!check::parse_check_level(value, opt.check_level))
         usage(("bad --validate level: " + value +
@@ -146,13 +159,64 @@ void report_quality(const Hypergraph& h, const Partition& p,
 }
 
 void maybe_dump_trace(const CliOptions& opt) {
-  if (opt.trace_json_path.empty()) return;
-  if (!obs::write_trace_json(opt.trace_json_path)) {
-    std::fprintf(stderr, "error: could not write trace to %s\n",
-                 opt.trace_json_path.c_str());
+  if (!opt.trace_json_path.empty()) {
+    if (!obs::write_trace_json(opt.trace_json_path)) {
+      std::fprintf(stderr, "error: could not write trace to %s\n",
+                   opt.trace_json_path.c_str());
+      std::exit(1);
+    }
+    std::fprintf(stderr, "wrote trace to %s\n", opt.trace_json_path.c_str());
+  }
+  if (!opt.chrome_trace_path.empty()) {
+    if (!obs::write_chrome_trace(opt.chrome_trace_path)) {
+      std::fprintf(stderr, "error: could not write chrome trace to %s\n",
+                   opt.chrome_trace_path.c_str());
+      std::exit(1);
+    }
+    std::fprintf(stderr, "wrote chrome trace to %s (open in ui.perfetto.dev)\n",
+                 opt.chrome_trace_path.c_str());
+  }
+}
+
+/// Total seconds attributed to phase nodes named `name` in the global
+/// trace (the CLI runs one (re)partition, so totals == this run).
+double phase_seconds(const obs::PhaseSnapshot& node, const std::string& name) {
+  double s = node.name == name ? node.seconds : 0.0;
+  for (const obs::PhaseSnapshot& child : node.children)
+    s += phase_seconds(child, name);
+  return s;
+}
+
+/// Write the CLI's single (re)partitioning decision as a one-row
+/// EpochSeries CSV: epoch 1 for a static partition, epoch 2 for a
+/// repartition (matching run_epochs' numbering).
+void maybe_dump_epoch_csv(const CliOptions& opt, const Hypergraph& h,
+                          const Partition& p, const RepartitionCost& cost,
+                          Index migrated, double seconds, Index epoch) {
+  if (opt.epoch_csv_path.empty()) return;
+  EpochRecord rec;
+  rec.epoch = epoch;
+  rec.cost = cost;
+  rec.repart_seconds = seconds;
+  rec.imbalance = imbalance(h.vertex_weights(), p);
+  rec.num_vertices = h.num_vertices();
+  rec.num_migrated = migrated;
+  const obs::PhaseSnapshot tree = obs::global_registry().phase_tree();
+  rec.coarsen_seconds = phase_seconds(tree, "coarsen");
+  rec.initial_seconds = phase_seconds(tree, "initial");
+  rec.refine_seconds = phase_seconds(tree, "refine");
+  EpochRunSummary summary;
+  summary.epochs.push_back(rec);
+  EpochSeries series;
+  series.append(opt.input, "none",
+                opt.ranks > 0 ? "par-hypergraph" : "hypergraph", opt.k,
+                cost.alpha, 0, summary);
+  if (!series.write_csv(opt.epoch_csv_path)) {
+    std::fprintf(stderr, "error: could not write epoch csv to %s\n",
+                 opt.epoch_csv_path.c_str());
     std::exit(1);
   }
-  std::fprintf(stderr, "wrote trace to %s\n", opt.trace_json_path.c_str());
+  std::fprintf(stderr, "wrote epoch csv to %s\n", opt.epoch_csv_path.c_str());
 }
 
 ParallelPartitionConfig parallel_config(const CliOptions& opt,
@@ -180,6 +244,9 @@ void record_epoch_cost(const RepartitionCost& cost, Index migrated) {
 
 int main(int argc, char** argv) {
   const CliOptions opt = parse(argc, argv);
+  // Turn event capture on before any work so the timeline covers the
+  // whole run (TraceScopes and comm events check the flag at emit time).
+  if (!opt.chrome_trace_path.empty()) obs::set_events_enabled(true);
   try {
     const Hypergraph h = load(opt);
     if (opt.mode == "info") {
@@ -203,6 +270,8 @@ int main(int argc, char** argv) {
 
     if (opt.mode == "partition") {
       Partition p(opt.k, h.num_vertices());
+      WallTimer partition_timer;
+      double partition_seconds = 0.0;
       if (opt.ranks > 0) {
         const ParallelPartitionResult r =
             parallel_partition_hypergraph(h, parallel_config(opt, pcfg));
@@ -217,6 +286,7 @@ int main(int argc, char** argv) {
       } else {
         p = partition_hypergraph(h, pcfg);
       }
+      partition_seconds = partition_timer.seconds();
       if (check::enabled(opt.check_level)) {
         check::PartitionExpectations expect;
         expect.epsilon = opt.eps;
@@ -227,6 +297,12 @@ int main(int argc, char** argv) {
       }
       report_quality(h, p, opt.report);
       write_parts(p, opt.out_path);
+      RepartitionCost cost;
+      cost.alpha = opt.alpha;
+      cost.comm_volume = connectivity_cut(h, p);
+      cost.migration_volume = 0;
+      maybe_dump_epoch_csv(opt, h, p, cost, 0, partition_seconds,
+                           /*epoch=*/1);
       maybe_dump_trace(opt);
       return 0;
     }
@@ -269,6 +345,8 @@ int main(int argc, char** argv) {
                      check::to_string(opt.check_level));
       }
       record_epoch_cost(cost, num_migrated(old_p, p));
+      maybe_dump_epoch_csv(opt, h, p, cost, num_migrated(old_p, p), seconds,
+                           /*epoch=*/2);
       report_quality(h, p, opt.report);
       std::fprintf(stderr,
                    "alpha=%lld comm=%lld migration=%lld total=%lld "

@@ -16,6 +16,10 @@ Rules (all scoped to src/ and tools/ C++ sources):
   reserved-tag     kAlltoallTag is internal to the alltoallv implementation;
                    user-level sends or recvs on it would interleave with
                    collective traffic.
+  steady-clock     No raw std::chrono::steady_clock::now() outside src/obs
+                   and common/timer.hpp. Timing flows through WallTimer or
+                   the obs event clock so every measurement shows up in the
+                   trace; scattered clock reads don't.
 
 A finding line may be suppressed with a trailing `// hgr-lint: allow`
 comment. Exit status is the number of findings (0 = clean).
@@ -57,6 +61,15 @@ RULES = [
         # The comm layer itself defines and guards the tag.
         lambda path: not (path.parts[-2:] in (("parallel", "comm.hpp"),
                                               ("parallel", "comm.cpp"))),
+    ),
+    (
+        "steady-clock",
+        re.compile(r"std::chrono::steady_clock\s*::\s*now"),
+        "time through common/timer.hpp (WallTimer) or the obs event clock "
+        "so the measurement reaches the trace",
+        # The obs layer and WallTimer are the sanctioned clock call sites.
+        lambda path: "obs" not in path.parts and
+                     path.parts[-2:] != ("common", "timer.hpp"),
     ),
 ]
 
