@@ -104,12 +104,20 @@ class Rng {
   std::uint64_t state_[4];
 };
 
+/// Identity permutation 0..n-1 shuffled with rng, written into an existing
+/// vector so per-level callers can reuse its capacity (Workspace arena).
+inline void random_permutation_into(std::vector<std::int32_t>& perm,
+                                    std::int32_t n, Rng& rng) {
+  perm.resize(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(perm);
+}
+
 /// Identity permutation 0..n-1 shuffled with rng: the canonical "visit
 /// vertices in random order" helper used by matching and refinement.
 inline std::vector<std::int32_t> random_permutation(std::int32_t n, Rng& rng) {
-  std::vector<std::int32_t> perm(static_cast<std::size_t>(n));
-  for (std::int32_t i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
-  rng.shuffle(perm);
+  std::vector<std::int32_t> perm;
+  random_permutation_into(perm, n, rng);
   return perm;
 }
 

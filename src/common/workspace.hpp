@@ -1,0 +1,123 @@
+// Workspace: a scratch-vector arena for the multilevel kernels.
+//
+// Every coarsening level runs the same kernels (matching, contraction,
+// refinement) on a smaller hypergraph, and before this arena existed each
+// invocation reallocated all of its scratch — score tables, dedup maps,
+// gain arrays, permutations — only to free them at level end. A Workspace
+// keeps those vectors alive between invocations: take<T>() hands out a
+// cleared vector with its old capacity intact, give() returns it. Across a
+// multilevel run the steady state is zero scratch allocation per level.
+//
+// Concurrency: a Workspace is single-threaded by design. The parallel
+// partitioner owns one per rank; serial code owns one per partitioner
+// call. Kernels accept `Workspace* ws = nullptr` and fall back to plain
+// locals through Borrowed, so standalone calls need no arena.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace hgr {
+
+class Workspace {
+ public:
+  struct Stats {
+    std::uint64_t takes = 0;        // total take<T>() calls
+    std::uint64_t reuses = 0;       // served from a pooled vector
+    std::uint64_t allocations = 0;  // served by a fresh (empty) vector
+  };
+
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// A cleared vector<T>, reusing pooled capacity when available.
+  template <typename T>
+  std::vector<T> take() {
+    TypedPool<T>& pool = typed_pool<T>();
+    ++stats_.takes;
+    if (!pool.free.empty()) {
+      ++stats_.reuses;
+      std::vector<T> v = std::move(pool.free.back());
+      pool.free.pop_back();
+      v.clear();
+      return v;
+    }
+    ++stats_.allocations;
+    return {};
+  }
+
+  /// Return a vector to the pool; its capacity is what gets recycled.
+  template <typename T>
+  void give(std::vector<T>&& v) {
+    typed_pool<T>().free.push_back(std::move(v));
+  }
+
+  /// Drop every pooled vector (frees all recycled capacity).
+  void clear() { pools_.clear(); }
+
+  /// Pooled vectors currently waiting for reuse (over all types).
+  std::size_t pooled() const {
+    std::size_t total = 0;
+    for (const auto& [type, pool] : pools_) total += pool->size();
+    return total;
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct PoolBase {
+    virtual ~PoolBase() = default;
+    virtual std::size_t size() const = 0;
+  };
+  template <typename T>
+  struct TypedPool final : PoolBase {
+    std::vector<std::vector<T>> free;
+    std::size_t size() const override { return free.size(); }
+  };
+
+  template <typename T>
+  TypedPool<T>& typed_pool() {
+    std::unique_ptr<PoolBase>& slot = pools_[std::type_index(typeid(T))];
+    if (slot == nullptr) slot = std::make_unique<TypedPool<T>>();
+    return static_cast<TypedPool<T>&>(*slot);
+  }
+
+  std::unordered_map<std::type_index, std::unique_ptr<PoolBase>> pools_;
+  Stats stats_;
+};
+
+/// RAII borrow of one scratch vector. With a null workspace it degrades to
+/// a plain local vector, so kernels can be called with or without an
+/// arena through the same code path.
+template <typename T>
+class Borrowed {
+ public:
+  explicit Borrowed(Workspace* ws) : ws_(ws) {
+    if (ws_ != nullptr) vec_ = ws_->take<T>();
+  }
+  ~Borrowed() {
+    if (ws_ != nullptr) ws_->give(std::move(vec_));
+  }
+  Borrowed(const Borrowed&) = delete;
+  Borrowed& operator=(const Borrowed&) = delete;
+
+  std::vector<T>& operator*() { return vec_; }
+  std::vector<T>* operator->() { return &vec_; }
+  const std::vector<T>* operator->() const { return &vec_; }
+  std::vector<T>& get() { return vec_; }
+  const std::vector<T>& get() const { return vec_; }
+
+  decltype(auto) operator[](std::size_t i) { return vec_[i]; }
+  decltype(auto) operator[](std::size_t i) const { return vec_[i]; }
+
+ private:
+  Workspace* ws_;
+  std::vector<T> vec_;
+};
+
+}  // namespace hgr

@@ -7,16 +7,23 @@
 
 namespace hgr {
 
-std::vector<Weight> part_weights(std::span<const Weight> vertex_weights,
-                                 const Partition& p) {
+void part_weights_into(std::vector<Weight>& out,
+                       std::span<const Weight> vertex_weights,
+                       const Partition& p) {
   HGR_ASSERT(static_cast<Index>(vertex_weights.size()) == p.num_vertices());
-  std::vector<Weight> w(static_cast<std::size_t>(p.k), 0);
+  out.assign(static_cast<std::size_t>(p.k), 0);
   for (Index v = 0; v < p.num_vertices(); ++v) {
     const PartId part = p[v];
     HGR_ASSERT(part >= 0 && part < p.k);
-    w[static_cast<std::size_t>(part)] +=
+    out[static_cast<std::size_t>(part)] +=
         vertex_weights[static_cast<std::size_t>(v)];
   }
+}
+
+std::vector<Weight> part_weights(std::span<const Weight> vertex_weights,
+                                 const Partition& p) {
+  std::vector<Weight> w;
+  part_weights_into(w, vertex_weights, p);
   return w;
 }
 

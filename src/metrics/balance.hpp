@@ -14,6 +14,12 @@ namespace hgr {
 std::vector<Weight> part_weights(std::span<const Weight> vertex_weights,
                                  const Partition& p);
 
+/// As part_weights, but fills an existing vector so per-level callers can
+/// reuse its capacity (Workspace arena).
+void part_weights_into(std::vector<Weight>& out,
+                       std::span<const Weight> vertex_weights,
+                       const Partition& p);
+
 /// max_p W_p / W_avg - 1 (0 == perfectly balanced). Returns 0 for empty.
 double imbalance(std::span<const Weight> vertex_weights, const Partition& p);
 double imbalance_of(const std::vector<Weight>& part_weights);

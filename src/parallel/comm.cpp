@@ -22,8 +22,12 @@ Comm::Comm(int num_ranks)
       collective_calls_(static_cast<std::size_t>(num_ranks)),
       wait_states_(
           std::make_unique<WaitState[]>(static_cast<std::size_t>(num_ranks))),
-      slots_(static_cast<std::size_t>(num_ranks)) {
+      collective_epochs_(static_cast<std::size_t>(num_ranks)),
+      rank_pools_(static_cast<std::size_t>(num_ranks)) {
   HGR_ASSERT(num_ranks >= 1);
+  for (auto& parity : slots_) parity.resize(static_cast<std::size_t>(num_ranks));
+  for (auto& parity : reduce_slots_)
+    parity.resize(static_cast<std::size_t>(num_ranks));
 }
 
 Comm::ScopedWait::ScopedWait(Comm& comm, int rank, int kind, int src, int tag)
@@ -136,8 +140,22 @@ void Comm::run(const std::function<void(RankContext&)>& f) {
   for (auto& calls : collective_calls_) calls.fill(0);
   for (auto& box : mailboxes_) {
     std::lock_guard lock(box.mutex);
+    // Return any undelivered message blocks to the mailbox pool so an
+    // aborted run does not leak capacity the next run would re-allocate.
+    for (auto& [key, queue] : box.queues)
+      for (RankContext::RawMessage& msg : queue)
+        box.pool.release(std::move(msg.block));
     box.queues.clear();
   }
+  // Window payload blocks are kept (they are the recycled capacity); only
+  // the live sizes and epochs reset.
+  for (auto& parity : slots_)
+    for (CollectiveSlot& slot : parity) {
+      slot.bytes = 0;
+      slot.counts.clear();
+      slot.displs.clear();
+    }
+  for (RankEpoch& epoch : collective_epochs_) epoch.value = 0;
   barrier_arrived_ = 0;
   barrier_generation_ = 0;
   aborted_.store(false, std::memory_order_relaxed);
@@ -292,6 +310,27 @@ void RankContext::account(std::size_t bytes, std::size_t messages) {
   s.messages_sent += messages;
 }
 
+void RankContext::account_recv(std::size_t bytes, std::size_t messages) {
+  CommStats& s = comm_.stats_[static_cast<std::size_t>(rank_)];
+  s.bytes_recv += bytes;
+  s.messages_recv += messages;
+}
+
+void RankContext::account_p2p_send(int dest, std::size_t bytes) {
+  HGR_DASSERT(dest != rank_);
+  account(bytes, 1);
+  const std::size_t cell = static_cast<std::size_t>(rank_) *
+                               static_cast<std::size_t>(comm_.num_ranks_) +
+                           static_cast<std::size_t>(dest);
+  comm_.p2p_bytes_[cell] += bytes;
+  comm_.p2p_messages_[cell] += 1;
+  if (obs::events_enabled()) obs::emit_instant("send", "comm", bytes);
+}
+
+void RankContext::bump_collectives() {
+  comm_.stats_[static_cast<std::size_t>(rank_)].collectives += 1;
+}
+
 namespace {
 
 struct CollectiveCounters {
@@ -344,33 +383,31 @@ void RankContext::send_bytes(int dest, int tag,
 std::vector<std::uint8_t> RankContext::recv_bytes(int src, int tag) {
   HGR_ASSERT_MSG(tag != kAlltoallTag,
                  "user tag collides with the reserved alltoall tag");
-  return recv_bytes_impl(src, tag);
+  RawMessage raw = recv_raw(src, tag);
+  std::vector<std::uint8_t> out(raw.bytes);
+  if (raw.bytes != 0) std::memcpy(out.data(), raw.block.data(), raw.bytes);
+  recycle(std::move(raw));
+  return out;
 }
 
 void RankContext::send_bytes_impl(int dest, int tag,
                                   std::span<const std::uint8_t> data) {
   HGR_ASSERT(dest >= 0 && dest < size());
   // Self-sends stay local (MPI implementations also bypass the network).
-  if (dest != rank_) {
-    account(data.size(), 1);
-    const std::size_t cell =
-        static_cast<std::size_t>(rank_) *
-            static_cast<std::size_t>(comm_.num_ranks_) +
-        static_cast<std::size_t>(dest);
-    comm_.p2p_bytes_[cell] += data.size();
-    comm_.p2p_messages_[cell] += 1;
-    if (obs::events_enabled()) obs::emit_instant("send", "comm", data.size());
-  }
+  if (dest != rank_) account_p2p_send(dest, data.size());
   Comm::Mailbox& box = comm_.mailboxes_[static_cast<std::size_t>(dest)];
   {
     std::lock_guard lock(box.mutex);
-    box.queues[{rank_, tag}].emplace_back(data.begin(), data.end());
+    RawMessage msg{box.pool.acquire(data.size()), data.size()};
+    if (!data.empty())
+      std::memcpy(msg.block.data(), data.data(), data.size());
+    box.queues[{rank_, tag}].push_back(std::move(msg));
   }
   comm_.progress_.fetch_add(1, std::memory_order_acq_rel);
   box.ready.notify_all();
 }
 
-std::vector<std::uint8_t> RankContext::recv_bytes_impl(int src, int tag) {
+RankContext::RawMessage RankContext::recv_raw(int src, int tag) {
   HGR_ASSERT(src >= 0 && src < size());
   Comm::Mailbox& box = comm_.mailboxes_[static_cast<std::size_t>(rank_)];
   std::unique_lock lock(box.mutex);
@@ -385,34 +422,92 @@ std::vector<std::uint8_t> RankContext::recv_bytes_impl(int src, int tag) {
   }
   if (comm_.aborted_.load(std::memory_order_acquire)) throw CommAborted{};
   auto& queue = box.queues[key];
-  std::vector<std::uint8_t> msg = std::move(queue.front());
+  RawMessage msg = std::move(queue.front());
   queue.pop_front();
-  if (src != rank_) {
-    CommStats& s = comm_.stats_[static_cast<std::size_t>(rank_)];
-    s.bytes_recv += msg.size();
-    s.messages_recv += 1;
-  }
+  if (src != rank_) account_recv(msg.bytes, 1);
   return msg;
+}
+
+void RankContext::recycle(RawMessage&& msg) {
+  Comm::Mailbox& box = comm_.mailboxes_[static_cast<std::size_t>(rank_)];
+  std::lock_guard lock(box.mutex);
+  box.pool.release(std::move(msg.block));
 }
 
 void RankContext::barrier() {
   obs::EventSpan span("barrier", "comm");
   record_collective(CollectiveKind::kBarrier, 0);
-  comm_.stats_[static_cast<std::size_t>(rank_)].collectives += 1;
+  bump_collectives();
   comm_.barrier_wait(rank_);
 }
 
-void RankContext::exchange_slot(
-    const std::vector<std::uint8_t>& mine,
-    std::vector<std::vector<std::uint8_t>>& all_out) {
-  // Write-barrier-read-barrier around the shared slot area. Traffic model:
-  // each rank ships its contribution to the other p-1 ranks.
-  comm_.slots_[static_cast<std::size_t>(rank_)] = mine;
-  account(mine.size() * static_cast<std::size_t>(size() - 1), 0);
-  comm_.stats_[static_cast<std::size_t>(rank_)].collectives += 1;
-  comm_.barrier_wait(rank_);
-  all_out = comm_.slots_;
-  comm_.barrier_wait(rank_);
+int RankContext::begin_collective() {
+  std::uint64_t& epoch =
+      comm_.collective_epochs_[static_cast<std::size_t>(rank_)].value;
+  const int parity = static_cast<int>(epoch & 1U);
+  ++epoch;
+  return parity;
 }
+
+void RankContext::publish_window(int parity, const void* data,
+                                 std::size_t bytes, const std::size_t* counts,
+                                 const std::size_t* displs) {
+  Comm::CollectiveSlot& slot =
+      comm_.slots_[static_cast<std::size_t>(parity)]
+                  [static_cast<std::size_t>(rank_)];
+  if (bytes > slot.payload.capacity()) {
+    BufferPool& p = pool();
+    p.release(std::move(slot.payload));
+    slot.payload = p.acquire(bytes);
+  }
+  if (bytes != 0) std::memcpy(slot.payload.data(), data, bytes);
+  slot.bytes = bytes;
+  if (counts != nullptr) {
+    const std::size_t p = static_cast<std::size_t>(size());
+    slot.counts.assign(counts, counts + p);
+    slot.displs.assign(displs, displs + p + 1);
+  } else {
+    slot.counts.clear();
+    slot.displs.clear();
+  }
+}
+
+const void* RankContext::window_data(int parity, int r) const {
+  return comm_.slots_[static_cast<std::size_t>(parity)]
+                     [static_cast<std::size_t>(r)]
+                         .payload.data();
+}
+
+std::size_t RankContext::window_bytes(int parity, int r) const {
+  return comm_.slots_[static_cast<std::size_t>(parity)]
+                     [static_cast<std::size_t>(r)]
+      .bytes;
+}
+
+std::size_t RankContext::window_count(int parity, int r, int slot) const {
+  const Comm::CollectiveSlot& s =
+      comm_.slots_[static_cast<std::size_t>(parity)]
+                  [static_cast<std::size_t>(r)];
+  HGR_DASSERT(!s.counts.empty());
+  return s.counts[static_cast<std::size_t>(slot)];
+}
+
+std::size_t RankContext::window_displ(int parity, int r, int slot) const {
+  const Comm::CollectiveSlot& s =
+      comm_.slots_[static_cast<std::size_t>(parity)]
+                  [static_cast<std::size_t>(r)];
+  HGR_DASSERT(!s.displs.empty());
+  return s.displs[static_cast<std::size_t>(slot)];
+}
+
+std::byte* RankContext::reduce_slot(int parity, int r, std::size_t bytes) {
+  HGR_ASSERT_MSG(bytes <= Comm::kReduceSlotBytes,
+                 "allreduce value exceeds the fixed reduce slot");
+  return comm_.reduce_slots_[static_cast<std::size_t>(parity)]
+                            [static_cast<std::size_t>(r)]
+      .bytes;
+}
+
+void RankContext::collective_fence() { comm_.barrier_wait(rank_); }
 
 }  // namespace hgr

@@ -9,6 +9,21 @@
 // paper's claims rest on — is measured exactly even though wall-clock
 // scalability is not reproducible on one core.
 //
+// Data model (see docs/COMM.md): collectives move FlatBuffer<T> payloads —
+// CSR-style counts/displs plus one contiguous typed block drawn from a
+// per-rank BufferPool — through a double-buffered per-rank exchange
+// window. There is no byte-vector serialization on the typed paths: the
+// sender memcpys its contiguous payload into its window half once, a
+// single barrier publishes it, and each receiver copies every slice
+// exactly once, straight into its own typed payload. The window is
+// double-buffered by collective-epoch parity, so one barrier per
+// collective is enough: the next collective's barrier is the previous
+// one's drain fence (a rank can only be one collective ahead of the
+// slowest reader). Rank-local slices never touch the mailboxes (self-send
+// fast path), and allreduce folds fixed-size per-rank slots instead of
+// allgathering vectors. The vector<vector<T>> overloads are compatibility
+// shims over the flat forms.
+//
 // Failure model: an exception escaping one rank's function aborts the
 // communicator — every rank blocked in a recv or collective is woken with
 // CommAborted, all threads are joined, and Comm::run rethrows the
@@ -43,6 +58,7 @@
 #include "common/timer.hpp"
 #include "obs/events.hpp"
 #include "parallel/comm_telemetry.hpp"
+#include "parallel/flat_buffer.hpp"
 
 namespace hgr {
 
@@ -61,8 +77,10 @@ struct CommStats {
 
 class Comm;
 
-/// Reserved tag used internally by alltoallv. User sends/recvs must not
-/// use it (asserted), or they would interleave with collective traffic.
+/// Historical reserved tag of the mailbox-based alltoallv. The flat
+/// exchange no longer routes collective traffic through the mailboxes, but
+/// the tag stays reserved (and asserted) so user code written against the
+/// old contract keeps its meaning.
 inline constexpr int kAlltoallTag = -424242;
 
 /// Thrown inside ranks blocked on communication when a peer rank failed;
@@ -91,6 +109,17 @@ class RankContext {
   int rank() const { return rank_; }
   int size() const;
 
+  /// This rank's payload pool. FlatBuffers built from it recycle their
+  /// blocks across collective calls; they must not outlive the Comm.
+  BufferPool& pool();
+
+  /// A p-slot FlatBuffer wired to this rank's pool — the canonical start
+  /// of a count pass for an alltoallv.
+  template <typename T>
+  FlatBuffer<T> make_buffer() {
+    return FlatBuffer<T>(size(), &pool());
+  }
+
   void send_bytes(int dest, int tag, std::span<const std::uint8_t> data);
   std::vector<std::uint8_t> recv_bytes(int src, int tag);
 
@@ -110,25 +139,69 @@ class RankContext {
 
   void barrier();
 
-  /// Gather each rank's vector; every rank receives the concatenation in
-  /// rank order (returned per-rank to preserve boundaries).
+  /// Gather every rank's contribution; slot s of the result holds rank s's
+  /// elements, contiguous in rank order.
   template <typename T>
-  std::vector<std::vector<T>> allgather(const std::vector<T>& mine) {
+  FlatBuffer<T> allgatherv(std::span<const T> mine) {
+    static_assert(std::is_trivially_copyable_v<T>);
     obs::EventSpan span("allgather", "comm");
+    const std::size_t mine_bytes = mine.size() * sizeof(T);
     record_collective(CollectiveKind::kAllgather,
-                      mine.size() * sizeof(T) *
-                          static_cast<std::size_t>(size() - 1));
-    return allgather_impl<T>(mine);
+                      mine_bytes * static_cast<std::size_t>(size() - 1));
+    // Traffic model: each rank ships its contribution to the other p-1
+    // ranks (same accounting as the pre-flat slot exchange).
+    account(mine_bytes * static_cast<std::size_t>(size() - 1), 0);
+    bump_collectives();
+    const int parity = begin_collective();
+    publish_window(parity, mine.data(), mine_bytes, nullptr, nullptr);
+    collective_fence();
+    FlatBuffer<T> incoming(size(), &pool());
+    for (int s = 0; s < size(); ++s)
+      incoming.count(s) = window_bytes(parity, s) / sizeof(T);
+    incoming.commit_counts();
+    for (int s = 0; s < size(); ++s) {
+      std::span<T> dst = incoming.push_n(s, incoming.size(s));
+      if (!dst.empty())
+        std::memcpy(dst.data(), window_data(parity, s), dst.size_bytes());
+    }
+    return incoming;
   }
 
+  /// Compatibility shim over allgatherv: gather each rank's vector; every
+  /// rank receives one vector per source rank, in rank order.
   template <typename T>
-  T allreduce(T value, const std::function<T(T, T)>& op) {
+  std::vector<std::vector<T>>  // hgr-lint: ragged-ok (compat shim)
+  allgather(const std::vector<T>& mine) {
+    const FlatBuffer<T> flat = allgatherv<T>({mine.data(), mine.size()});
+    std::vector<std::vector<T>> out(  // hgr-lint: ragged-ok (compat shim)
+        static_cast<std::size_t>(size()));
+    for (int s = 0; s < size(); ++s) {
+      const std::span<const T> slice = flat.slot(s);
+      out[static_cast<std::size_t>(s)].assign(slice.begin(), slice.end());
+    }
+    return out;
+  }
+
+  /// Reduce one value per rank with `op`, folded in rank order on a fixed
+  /// per-rank slot (no vector allgather, no allocation).
+  template <typename T, typename Op>
+  T allreduce(T value, Op op) {
+    static_assert(std::is_trivially_copyable_v<T>);
     obs::EventSpan span("allreduce", "comm");
     record_collective(CollectiveKind::kAllreduce,
                       sizeof(T) * static_cast<std::size_t>(size() - 1));
-    const std::vector<std::vector<T>> all = allgather_impl<T>({value});
-    T acc = all[0][0];
-    for (std::size_t r = 1; r < all.size(); ++r) acc = op(acc, all[r][0]);
+    account(sizeof(T) * static_cast<std::size_t>(size() - 1), 0);
+    bump_collectives();
+    const int parity = begin_collective();
+    std::memcpy(reduce_slot(parity, rank_, sizeof(T)), &value, sizeof(T));
+    collective_fence();
+    T acc;
+    std::memcpy(&acc, reduce_slot(parity, 0, sizeof(T)), sizeof(T));
+    for (int r = 1; r < size(); ++r) {
+      T next;
+      std::memcpy(&next, reduce_slot(parity, r, sizeof(T)), sizeof(T));
+      acc = op(acc, next);
+    }
     return acc;
   }
 
@@ -145,55 +218,137 @@ class RankContext {
     return allreduce<T>(value, [](T a, T b) { return a < b ? a : b; });
   }
 
-  /// Personalized all-to-all: outgoing[d] goes to rank d; returns one
-  /// vector per source rank.
+  /// Personalized all-to-all over flat buffers: outgoing slot d goes to
+  /// rank d; incoming slot s holds rank s's slice for this rank. The
+  /// rank-local slice is copied directly (never touches the mailboxes and
+  /// is excluded from traffic counters — see comm_telemetry.hpp).
   template <typename T>
-  std::vector<std::vector<T>> alltoallv(
-      const std::vector<std::vector<T>>& outgoing) {
-    HGR_ASSERT(static_cast<int>(outgoing.size()) == size());
+  FlatBuffer<T> alltoallv(const FlatBuffer<T>& outgoing) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    HGR_ASSERT(outgoing.slots() == size());
+    HGR_DASSERT(outgoing.filled());
     obs::EventSpan span("alltoallv", "comm");
     std::size_t off_rank_bytes = 0;
     for (int d = 0; d < size(); ++d)
-      if (d != rank_)
-        off_rank_bytes +=
-            outgoing[static_cast<std::size_t>(d)].size() * sizeof(T);
+      if (d != rank_) off_rank_bytes += outgoing.size(d) * sizeof(T);
     record_collective(CollectiveKind::kAlltoallv, off_rank_bytes);
+    // One accounting entry per destination, exactly as the mailbox path
+    // charged one message per dest (empty slices included).
     for (int d = 0; d < size(); ++d)
-      send_typed<T>(d, /*tag=*/kAlltoallTag,
-                    outgoing[static_cast<std::size_t>(d)]);
-    std::vector<std::vector<T>> incoming(static_cast<std::size_t>(size()));
+      if (d != rank_) account_p2p_send(d, outgoing.size(d) * sizeof(T));
+    const int parity = begin_collective();
+    publish_window(parity, outgoing.all().data(),
+                   outgoing.total() * sizeof(T), outgoing.counts_data(),
+                   outgoing.displs_data());
+    barrier();  // the one (counted) fence, as the mailbox-era alltoallv's
+    FlatBuffer<T> incoming(size(), &pool());
     for (int s = 0; s < size(); ++s)
-      incoming[static_cast<std::size_t>(s)] = recv_typed<T>(s, kAlltoallTag);
-    barrier();
+      incoming.count(s) = window_count(parity, s, rank_);
+    incoming.commit_counts();
+    for (int s = 0; s < size(); ++s) {
+      std::span<T> dst = incoming.push_n(s, incoming.size(s));
+      if (!dst.empty())
+        std::memcpy(dst.data(),
+                    static_cast<const T*>(window_data(parity, s)) +
+                        window_displ(parity, s, rank_),
+                    dst.size_bytes());
+      if (s != rank_) account_recv(dst.size_bytes(), 1);
+    }
     return incoming;
   }
 
-  /// Broadcast root's vector to everyone.
+  /// Compatibility shim over the flat alltoallv.
+  template <typename T>
+  std::vector<std::vector<T>> alltoallv(  // hgr-lint: ragged-ok (compat shim)
+      const std::vector<std::vector<T>>& outgoing) {  // hgr-lint: ragged-ok
+    HGR_ASSERT(static_cast<int>(outgoing.size()) == size());
+    FlatBuffer<T> out(size(), &pool());
+    for (int d = 0; d < size(); ++d)
+      out.count(d) = outgoing[static_cast<std::size_t>(d)].size();
+    out.commit_counts();
+    for (int d = 0; d < size(); ++d) {
+      const std::vector<T>& src = outgoing[static_cast<std::size_t>(d)];
+      std::span<T> dst = out.push_n(d, src.size());
+      if (!dst.empty()) std::memcpy(dst.data(), src.data(), dst.size_bytes());
+    }
+    const FlatBuffer<T> flat = alltoallv(out);
+    std::vector<std::vector<T>> incoming(  // hgr-lint: ragged-ok (compat shim)
+        static_cast<std::size_t>(size()));
+    for (int s = 0; s < size(); ++s) {
+      const std::span<const T> slice = flat.slot(s);
+      incoming[static_cast<std::size_t>(s)].assign(slice.begin(), slice.end());
+    }
+    return incoming;
+  }
+
+  /// Broadcast root's vector to everyone. Only the root publishes its slot
+  /// and only that slot is read; non-root ranks contribute nothing.
   template <typename T>
   std::vector<T> bcast(const std::vector<T>& mine, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
     obs::EventSpan span("bcast", "comm");
-    record_collective(CollectiveKind::kBcast,
-                      rank_ == root
-                          ? mine.size() * sizeof(T) *
-                                static_cast<std::size_t>(size() - 1)
-                          : 0);
-    // Built on the slot area: only the root's slot is read.
-    const std::vector<std::vector<T>> all =
-        allgather_impl<T>(rank() == root ? mine : std::vector<T>{});
-    return all[static_cast<std::size_t>(root)];
+    const std::size_t root_bytes =
+        rank_ == root ? mine.size() * sizeof(T) *
+                            static_cast<std::size_t>(size() - 1)
+                      : 0;
+    record_collective(CollectiveKind::kBcast, root_bytes);
+    account(root_bytes, 0);
+    bump_collectives();
+    const int parity = begin_collective();
+    if (rank_ == root)
+      publish_window(parity, mine.data(), mine.size() * sizeof(T), nullptr,
+                     nullptr);
+    collective_fence();
+    const std::size_t bytes = window_bytes(parity, root);
+    HGR_ASSERT(bytes % sizeof(T) == 0);
+    std::vector<T> out(bytes / sizeof(T));
+    if (bytes != 0) std::memcpy(out.data(), window_data(parity, root), bytes);
+    return out;
   }
 
   const CommStats& stats() const;
 
  private:
+  friend class Comm;  // Mailbox queues hold RawMessage
+
   void account(std::size_t bytes, std::size_t messages);
+  void account_recv(std::size_t bytes, std::size_t messages);
+  /// Per-destination charge of the collective send path: CommStats
+  /// bytes/messages, the p2p matrices, and the "send" timeline instant —
+  /// identical to what the mailbox send path records for off-rank traffic.
+  void account_p2p_send(int dest, std::size_t bytes);
   /// Bump obs counters comm.<kind>.count / comm.<kind>.bytes and the
   /// per-rank collective call tally.
   void record_collective(CollectiveKind kind, std::size_t bytes);
+  /// CommStats.collectives += 1 (each collective counts once; barriers
+  /// count through barrier()).
+  void bump_collectives();
   void send_bytes_impl(int dest, int tag, std::span<const std::uint8_t> data);
-  std::vector<std::uint8_t> recv_bytes_impl(int src, int tag);
-  void exchange_slot(const std::vector<std::uint8_t>& mine,
-                     std::vector<std::vector<std::uint8_t>>& all_out);
+
+  /// A message as it sits in a mailbox: a pooled block plus its live size.
+  struct RawMessage {
+    PoolBlock block;
+    std::size_t bytes = 0;
+  };
+  RawMessage recv_raw(int src, int tag);
+  /// Return a received message's block to this rank's mailbox pool.
+  void recycle(RawMessage&& msg);
+
+  // Double-buffered exchange window (owned by Comm, fenced by barriers).
+  // begin_collective() returns this collective's window parity and bumps
+  // the rank's epoch; exactly one barrier_wait must follow each publish
+  // (the parity invariant that lets one barrier double as the previous
+  // collective's drain fence).
+  int begin_collective();
+  void publish_window(int parity, const void* data, std::size_t bytes,
+                      const std::size_t* counts, const std::size_t* displs);
+  const void* window_data(int parity, int r) const;
+  std::size_t window_bytes(int parity, int r) const;
+  std::size_t window_count(int parity, int r, int slot) const;
+  std::size_t window_displ(int parity, int r, int slot) const;
+  std::byte* reduce_slot(int parity, int r, std::size_t bytes);
+  /// Uncounted barrier separating a collective's publishes from its reads.
+  void collective_fence();
 
   template <typename T>
   void send_typed(int dest, int tag, std::span<const T> data) {
@@ -206,26 +361,11 @@ class RankContext {
   template <typename T>
   std::vector<T> recv_typed(int src, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
-    const std::vector<std::uint8_t> raw = recv_bytes_impl(src, tag);
-    HGR_ASSERT(raw.size() % sizeof(T) == 0);
-    std::vector<T> out(raw.size() / sizeof(T));
-    std::memcpy(out.data(), raw.data(), raw.size());
-    return out;
-  }
-
-  template <typename T>
-  std::vector<std::vector<T>> allgather_impl(const std::vector<T>& mine) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    std::vector<std::uint8_t> raw(mine.size() * sizeof(T));
-    std::memcpy(raw.data(), mine.data(), raw.size());
-    std::vector<std::vector<std::uint8_t>> all;
-    exchange_slot(raw, all);
-    std::vector<std::vector<T>> out(all.size());
-    for (std::size_t r = 0; r < all.size(); ++r) {
-      HGR_ASSERT(all[r].size() % sizeof(T) == 0);
-      out[r].resize(all[r].size() / sizeof(T));
-      std::memcpy(out[r].data(), all[r].data(), all[r].size());
-    }
+    RawMessage raw = recv_raw(src, tag);
+    HGR_ASSERT(raw.bytes % sizeof(T) == 0);
+    std::vector<T> out(raw.bytes / sizeof(T));
+    if (raw.bytes != 0) std::memcpy(out.data(), raw.block.data(), raw.bytes);
+    recycle(std::move(raw));
     return out;
   }
 
@@ -262,6 +402,18 @@ class Comm {
     return stats_[static_cast<std::size_t>(rank)];
   }
 
+  /// Rank r's payload pool (persistent across runs — that is the point).
+  /// Must not be touched while a run is live except by rank r itself.
+  const BufferPool& rank_pool(int rank) const {
+    return rank_pools_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Drop every cached payload block (all rank pools). Only valid between
+  /// runs; outstanding FlatBuffers still release back safely afterwards.
+  void clear_buffer_pools() {
+    for (BufferPool& pool : rank_pools_) pool.clear();
+  }
+
   /// Full telemetry (per-rank stats, p2p matrix, collective counts, wait
   /// times) from the last run(). Also folded into the process-global
   /// accumulator (comm_telemetry_snapshot()) at the end of every run.
@@ -273,8 +425,28 @@ class Comm {
   struct Mailbox {
     std::mutex mutex;
     std::condition_variable ready;
-    std::map<std::pair<int, int>, std::deque<std::vector<std::uint8_t>>>
+    std::map<std::pair<int, int>, std::deque<RankContext::RawMessage>>
         queues;  // (src, tag) -> messages in order
+    BufferPool pool;  // recycles message blocks; guarded by mutex
+  };
+
+  /// One rank's half of the exchange window for one epoch parity: a
+  /// persistent payload block (grown from the rank's BufferPool, never
+  /// shrunk) plus the alltoallv slice layout (counts/displs in elements;
+  /// empty for allgather/bcast publishes). Written only by the owning rank
+  /// before its barrier, read by every rank after it.
+  struct CollectiveSlot {
+    PoolBlock payload;
+    std::size_t bytes = 0;
+    std::vector<std::size_t> counts;
+    std::vector<std::size_t> displs;
+  };
+
+  /// Fixed-size per-rank allreduce slot; 64 bytes covers every wire type
+  /// the partitioner reduces (asserted per call site).
+  static constexpr std::size_t kReduceSlotBytes = 64;
+  struct alignas(64) ReduceSlot {
+    std::byte bytes[kReduceSlotBytes];
   };
 
   // Sense-reversing generation barrier. `rank` identifies the caller for
@@ -351,8 +523,26 @@ class Comm {
   bool watchdog_stop_ = false;
   std::string deadlock_diagnosis_;  // guarded by watchdog_mutex_
 
-  // Collective exchange area: one slot per rank, fenced by barriers.
-  std::vector<std::vector<std::uint8_t>> slots_;
+  // Collective exchange window: one slot per rank per epoch parity,
+  // fenced by barriers (the barrier mutex provides the happens-before
+  // between a publish and the peers' reads). Double-buffering makes one
+  // barrier per collective sufficient: before a rank can overwrite parity
+  // P at epoch e+2 it must pass epoch e+1's barrier, which every reader
+  // only reaches after finishing its epoch-e reads of parity P.
+  std::array<std::vector<CollectiveSlot>, 2> slots_;
+  std::array<std::vector<ReduceSlot>, 2> reduce_slots_;
+  // Per-rank collective epoch (parity selector). Each entry is written
+  // only by its own rank's thread; congruent collectives keep them equal.
+  struct alignas(64) RankEpoch {
+    std::uint64_t value = 0;
+  };
+  std::vector<RankEpoch> collective_epochs_;
+  // Per-rank payload pools, persistent across runs.
+  std::vector<BufferPool> rank_pools_;
 };
+
+inline BufferPool& RankContext::pool() {
+  return comm_.rank_pools_[static_cast<std::size_t>(rank_)];
+}
 
 }  // namespace hgr

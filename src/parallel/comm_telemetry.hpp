@@ -14,6 +14,15 @@
 // plus two derived statistics: send-byte imbalance (max/avg over ranks) and
 // the largest per-rank wait fraction of the run's wall time.
 //
+// Self-send accounting decision: rank-local traffic never counts. The
+// flat alltoallv copies the self-destined slice directly (it bypasses the
+// mailboxes entirely), and — like the mailbox path before it, which
+// delivered self-sends but skipped the counters — charges no bytes_sent /
+// messages_sent, no bytes_recv / messages_recv, and no p2p matrix cell for
+// it. Only the off-rank slices appear in CommStats, the p2p matrices, and
+// the comm.alltoallv.bytes counter, so byte totals model what would cross
+// a real network and are unchanged from the pre-flat runtime.
+//
 // The comm runtime accumulates each run into a process-global accumulator
 // and attaches the JSON snapshot as the "comm" section of the hgr-trace-v1
 // export (obs::Registry::set_section), so `hgr_cli --trace-json=` and the

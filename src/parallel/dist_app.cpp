@@ -1,6 +1,7 @@
 #include "parallel/dist_app.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "common/assert.hpp"
 
@@ -27,60 +28,68 @@ HaloStats halo_exchange(RankContext& ctx, const Hypergraph& h,
   HGR_ASSERT(static_cast<Index>(values.size()) == h.num_vertices());
   const int ranks = ctx.size();
 
-  // Outgoing word streams, one per destination rank. Message framing per
-  // net contribution: [net, part, c_n, partial, filler...(c_n-1 words)] —
-  // the partial reduction plus the data item's remaining payload, modeling
-  // "the size of the data item that will be communicated" (paper §3).
-  std::vector<std::vector<std::int64_t>> outgoing(
-      static_cast<std::size_t>(ranks));
+  // Outgoing word streams, one flat-buffer slot per destination rank.
+  // Message framing per net contribution:
+  // [net, part, c_n, partial, filler...(c_n-1 words)] — the partial
+  // reduction plus the data item's remaining payload, modeling "the size
+  // of the data item that will be communicated" (paper §3). Built in two
+  // identical scans: a count pass sizing each destination slice, then a
+  // fill pass writing into the committed payload (checksum and stats are
+  // only accumulated in the fill pass).
+  FlatBuffer<std::int64_t> outgoing = ctx.make_buffer<std::int64_t>();
   HaloStats stats;
 
   std::vector<PartId> parts_touched;
   std::vector<std::int64_t> partial_of_part(static_cast<std::size_t>(p.k), 0);
   std::int64_t checksum = 0;
 
-  for (Index net = 0; net < h.num_nets(); ++net) {
-    const Weight c = h.net_cost(net);
-    parts_touched.clear();
-    for (const Index v : h.pins(net)) {
-      const PartId q = p[v];
-      if (partial_of_part[static_cast<std::size_t>(q)] == 0 &&
-          std::find(parts_touched.begin(), parts_touched.end(), q) ==
-              parts_touched.end())
-        parts_touched.push_back(q);
-      partial_of_part[static_cast<std::size_t>(q)] +=
-          values[static_cast<std::size_t>(v)];
-    }
-    const PartId root = p[h.pins(net).front()];
-    for (const PartId q : parts_touched) {
-      const std::int64_t partial = partial_of_part[static_cast<std::size_t>(q)];
-      partial_of_part[static_cast<std::size_t>(q)] = 0;
-      if (q == root) {
-        checksum += partial;  // root's own contribution, no transfer
-        continue;
+  for (int phase = 0; phase < 2; ++phase) {
+    const bool fill = phase == 1;
+    if (fill) outgoing.commit_counts();
+    for (Index net = 0; net < h.num_nets(); ++net) {
+      const Weight c = h.net_cost(net);
+      parts_touched.clear();
+      for (const Index v : h.pins(net)) {
+        const PartId q = p[v];
+        if (partial_of_part[static_cast<std::size_t>(q)] == 0 &&
+            std::find(parts_touched.begin(), parts_touched.end(), q) ==
+                parts_touched.end())
+          parts_touched.push_back(q);
+        partial_of_part[static_cast<std::size_t>(q)] +=
+            values[static_cast<std::size_t>(v)];
       }
-      checksum += partial;
-      // Only the owner of part q actually sends.
-      if (part_owner(q, ranks) != ctx.rank()) continue;
-      if (c == 0) continue;
-      auto& stream =
-          outgoing[static_cast<std::size_t>(part_owner(root, ranks))];
-      stream.push_back(net);
-      stream.push_back(q);
-      stream.push_back(c);
-      stream.push_back(partial);
-      for (Weight w = 1; w < c; ++w) stream.push_back(0);  // data payload
-      stats.words_sent += c;
+      const PartId root = p[h.pins(net).front()];
+      for (const PartId q : parts_touched) {
+        const std::int64_t partial =
+            partial_of_part[static_cast<std::size_t>(q)];
+        partial_of_part[static_cast<std::size_t>(q)] = 0;
+        if (fill) checksum += partial;
+        if (q == root) continue;  // root's own contribution, no transfer
+        // Only the owner of part q actually sends.
+        if (part_owner(q, ranks) != ctx.rank()) continue;
+        if (c == 0) continue;
+        const int dest = part_owner(root, ranks);
+        if (!fill) {
+          outgoing.count(dest) += 3 + static_cast<std::size_t>(c);
+          continue;
+        }
+        outgoing.push(dest, net);
+        outgoing.push(dest, q);
+        outgoing.push(dest, c);
+        outgoing.push(dest, partial);
+        for (Weight w = 1; w < c; ++w) outgoing.push(dest, 0);  // payload
+        stats.words_sent += c;
+      }
     }
   }
 
-  const std::vector<std::vector<std::int64_t>> incoming =
-      ctx.alltoallv(outgoing);
+  const FlatBuffer<std::int64_t> incoming = ctx.alltoallv(outgoing);
 
   // Root-side verification: every received partial must match the
   // replicated recomputation (the runtime delivered the right bytes to the
   // right rank).
-  for (const auto& stream : incoming) {
+  for (int s = 0; s < ranks; ++s) {
+    const std::span<const std::int64_t> stream = incoming.slot(s);
     std::size_t i = 0;
     while (i < stream.size()) {
       const auto net = static_cast<Index>(stream[i]);
@@ -110,28 +119,36 @@ MigrateStats migrate(RankContext& ctx, const MigrationPlan& plan,
                      const Hypergraph& h, PayloadStore& store) {
   const int ranks = ctx.size();
   MigrateStats stats;
-  std::vector<std::vector<std::int64_t>> outgoing(
-      static_cast<std::size_t>(ranks));
-
-  for (const MigrationPlan::Move& m : plan.moves) {
-    const int src = part_owner(m.from, ranks);
-    const int dst = part_owner(m.to, ranks);
-    if (src != ctx.rank()) continue;
-    const auto it = store.find(m.vertex);
-    HGR_ASSERT_MSG(it != store.end(), "migrating a vertex we do not own");
-    if (dst == ctx.rank()) continue;  // part moved, rank unchanged
-    auto& stream = outgoing[static_cast<std::size_t>(dst)];
-    stream.push_back(m.vertex);
-    stream.push_back(static_cast<std::int64_t>(it->second.size()));
-    stream.insert(stream.end(), it->second.begin(), it->second.end());
-    stats.words_moved += static_cast<Weight>(it->second.size());
-    ++stats.blobs_sent;
-    store.erase(it);
+  // Count pass sizes each destination slice; the fill pass (which alone
+  // mutates the store) writes [vertex, len, blob...] frames in place.
+  FlatBuffer<std::int64_t> outgoing = ctx.make_buffer<std::int64_t>();
+  for (int phase = 0; phase < 2; ++phase) {
+    const bool fill = phase == 1;
+    if (fill) outgoing.commit_counts();
+    for (const MigrationPlan::Move& m : plan.moves) {
+      const int src = part_owner(m.from, ranks);
+      const int dst = part_owner(m.to, ranks);
+      if (src != ctx.rank()) continue;
+      const auto it = store.find(m.vertex);
+      HGR_ASSERT_MSG(it != store.end(), "migrating a vertex we do not own");
+      if (dst == ctx.rank()) continue;  // part moved, rank unchanged
+      if (!fill) {
+        outgoing.count(dst) += 2 + it->second.size();
+        continue;
+      }
+      outgoing.push(dst, m.vertex);
+      outgoing.push(dst, static_cast<std::int64_t>(it->second.size()));
+      std::span<std::int64_t> blob = outgoing.push_n(dst, it->second.size());
+      std::copy(it->second.begin(), it->second.end(), blob.begin());
+      stats.words_moved += static_cast<Weight>(it->second.size());
+      ++stats.blobs_sent;
+      store.erase(it);
+    }
   }
 
-  const std::vector<std::vector<std::int64_t>> incoming =
-      ctx.alltoallv(outgoing);
-  for (const auto& stream : incoming) {
+  const FlatBuffer<std::int64_t> incoming = ctx.alltoallv(outgoing);
+  for (int s = 0; s < ranks; ++s) {
+    const std::span<const std::int64_t> stream = incoming.slot(s);
     std::size_t i = 0;
     while (i < stream.size()) {
       const auto v = static_cast<Index>(stream[i]);

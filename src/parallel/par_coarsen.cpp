@@ -25,12 +25,19 @@ std::uint64_t hypergraph_checksum(const Hypergraph& h) {
 }
 
 CoarseLevel parallel_contract(RankContext& ctx, const Hypergraph& h,
-                              std::span<const Index> match) {
-  CoarseLevel level = contract(h, match);
+                              std::span<const Index> match, Workspace* ws) {
+  CoarseLevel level = contract(h, match, ws);
   const std::uint64_t mine = hypergraph_checksum(level.coarse);
-  const std::uint64_t lowest = ctx.allreduce_min<std::uint64_t>(mine);
-  const std::uint64_t highest = ctx.allreduce_max<std::uint64_t>(mine);
-  HGR_ASSERT_MSG(lowest == highest,
+  // One fused min/max reduction (one barrier) instead of two.
+  struct MinMax {
+    std::uint64_t lo;
+    std::uint64_t hi;
+  };
+  const MinMax extremes =
+      ctx.allreduce<MinMax>({mine, mine}, [](MinMax a, MinMax b) {
+        return MinMax{a.lo < b.lo ? a.lo : b.lo, a.hi > b.hi ? a.hi : b.hi};
+      });
+  HGR_ASSERT_MSG(extremes.lo == extremes.hi,
                  "ranks contracted divergent coarse hypergraphs");
   return level;
 }

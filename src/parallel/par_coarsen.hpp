@@ -13,9 +13,11 @@ namespace hgr {
 /// Contract `h` by `match` (identical on every rank — the postcondition of
 /// parallel_ipm_matching) and verify with an all-reduce that every rank
 /// produced the same coarse hypergraph. Aborts on divergence, which would
-/// indicate a nondeterministic code path.
+/// indicate a nondeterministic code path. `ws` (optional, rank-local) pools
+/// the contraction scratch across levels.
 CoarseLevel parallel_contract(RankContext& ctx, const Hypergraph& h,
-                              std::span<const Index> match);
+                              std::span<const Index> match,
+                              Workspace* ws = nullptr);
 
 /// Structural checksum used by the consistency check (exposed for tests).
 std::uint64_t hypergraph_checksum(const Hypergraph& h);

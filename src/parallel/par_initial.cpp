@@ -41,19 +41,19 @@ Weight total_overweight(const Hypergraph& h, const Partition& p,
 
 Partition parallel_coarse_partition(RankContext& ctx, const Hypergraph& h,
                                     const PartitionConfig& cfg,
-                                    std::uint64_t seed) {
+                                    std::uint64_t seed, Workspace* ws) {
   // Rank-specific seed: every processor computes a *different* partition.
   PartitionConfig local_cfg = cfg;
   local_cfg.seed = derive_seed(seed, static_cast<std::uint64_t>(ctx.rank()));
-  Partition mine = direct_kway_partition(h, local_cfg);
+  Partition mine = direct_kway_partition(h, local_cfg, ws);
 
-  Quality q{total_overweight(h, mine, cfg.epsilon),
-            connectivity_cut(h, mine), static_cast<std::int32_t>(ctx.rank())};
-  const std::vector<std::vector<Quality>> all_quality =
-      ctx.allgather(std::vector<Quality>{q});
-  Quality best = all_quality[0][0];
-  for (const auto& per_rank : all_quality)
-    if (per_rank[0].better_than(best)) best = per_rank[0];
+  const Quality q{total_overweight(h, mine, cfg.epsilon),
+                  connectivity_cut(h, mine),
+                  static_cast<std::int32_t>(ctx.rank())};
+  const FlatBuffer<Quality> all_quality = ctx.allgatherv<Quality>({&q, 1});
+  Quality best = all_quality.all()[0];
+  for (const Quality& other : all_quality.all())
+    if (other.better_than(best)) best = other;
 
   // Winner broadcasts its assignment.
   const std::vector<PartId> winning =

@@ -4,6 +4,7 @@
 // globally best result wins. Fixed coarse vertices stay in their parts.
 #pragma once
 
+#include "common/workspace.hpp"
 #include "hypergraph/hypergraph.hpp"
 #include "metrics/partition.hpp"
 #include "parallel/comm.hpp"
@@ -13,9 +14,11 @@ namespace hgr {
 
 /// Every rank computes an independent randomized k-way partition of the
 /// (replicated) coarsest hypergraph, refines it, and the partition with the
-/// lowest (infeasibility, cut) is adopted by all ranks.
+/// lowest (infeasibility, cut) is adopted by all ranks. `ws` (optional,
+/// rank-local) pools the serial partitioner's scratch.
 Partition parallel_coarse_partition(RankContext& ctx, const Hypergraph& h,
                                     const PartitionConfig& cfg,
-                                    std::uint64_t seed);
+                                    std::uint64_t seed,
+                                    Workspace* ws = nullptr);
 
 }  // namespace hgr

@@ -1,6 +1,7 @@
 #include "parallel/par_ipm.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "common/assert.hpp"
 #include "partition/matching_ipm.hpp"
@@ -56,64 +57,62 @@ std::vector<Index> parallel_ipm_matching(RankContext& ctx,
         candidates.push_back(v);
     }
 
-    // Broadcast candidates to every rank.
-    const std::vector<std::vector<Index>> all_candidates =
-        ctx.allgather(candidates);
+    // Broadcast candidates to every rank (rank boundaries are irrelevant
+    // here, so the contiguous payload is consumed directly).
+    const FlatBuffer<Index> all_candidates =
+        ctx.allgatherv<Index>({candidates.data(), candidates.size()});
 
     // Score every foreign and local candidate against *our* unmatched
     // vertices; emit our best proposal per candidate.
     std::vector<Proposal> proposals;
-    for (const auto& from_rank : all_candidates) {
-      for (const Index c : from_rank) {
-        if (match[static_cast<std::size_t>(c)] != c) continue;
-        const PartId fc = h.fixed_part(c);
-        const Weight wc = h.vertex_weight(c);
-        touched.clear();
-        for (const Index net : h.incident_nets(c)) {
-          const Index net_size = h.net_size(net);
-          if (net_size < 2 || net_size > cfg.max_scored_net_size) continue;
-          const Weight cost = h.net_cost(net);
-          if (cost == 0) continue;
-          for (const Index u : h.pins(net)) {
-            if (u == c || u < lo || u >= hi) continue;  // not ours
-            if (match[static_cast<std::size_t>(u)] != u) continue;
-            if (score[static_cast<std::size_t>(u)] == 0) touched.push_back(u);
-            score[static_cast<std::size_t>(u)] += cost;
-          }
+    for (const Index c : all_candidates.all()) {
+      if (match[static_cast<std::size_t>(c)] != c) continue;
+      const PartId fc = h.fixed_part(c);
+      const Weight wc = h.vertex_weight(c);
+      touched.clear();
+      for (const Index net : h.incident_nets(c)) {
+        const Index net_size = h.net_size(net);
+        if (net_size < 2 || net_size > cfg.max_scored_net_size) continue;
+        const Weight cost = h.net_cost(net);
+        if (cost == 0) continue;
+        for (const Index u : h.pins(net)) {
+          if (u == c || u < lo || u >= hi) continue;  // not ours
+          if (match[static_cast<std::size_t>(u)] != u) continue;
+          if (score[static_cast<std::size_t>(u)] == 0) touched.push_back(u);
+          score[static_cast<std::size_t>(u)] += cost;
         }
-        Index best = kInvalidIndex;
-        Weight best_score = 0;
-        Weight best_weight = 0;
-        for (const Index u : touched) {
-          const Weight s = score[static_cast<std::size_t>(u)];
-          score[static_cast<std::size_t>(u)] = 0;
-          if (!fixed_compatible(fc, h.fixed_part(u))) continue;
-          if (max_vertex_weight > 0 &&
-              wc + h.vertex_weight(u) > max_vertex_weight)
-            continue;
-          const Weight wu = h.vertex_weight(u);
-          if (best == kInvalidIndex || s > best_score ||
-              (s == best_score &&
-               (wu < best_weight || (wu == best_weight && u < best)))) {
-            best = u;
-            best_score = s;
-            best_weight = wu;
-          }
-        }
-        if (best != kInvalidIndex)
-          proposals.push_back({c, best, best_score,
-                               static_cast<std::int32_t>(ctx.rank())});
       }
+      Index best = kInvalidIndex;
+      Weight best_score = 0;
+      Weight best_weight = 0;
+      for (const Index u : touched) {
+        const Weight s = score[static_cast<std::size_t>(u)];
+        score[static_cast<std::size_t>(u)] = 0;
+        if (!fixed_compatible(fc, h.fixed_part(u))) continue;
+        if (max_vertex_weight > 0 &&
+            wc + h.vertex_weight(u) > max_vertex_weight)
+          continue;
+        const Weight wu = h.vertex_weight(u);
+        if (best == kInvalidIndex || s > best_score ||
+            (s == best_score &&
+             (wu < best_weight || (wu == best_weight && u < best)))) {
+          best = u;
+          best_score = s;
+          best_weight = wu;
+        }
+      }
+      if (best != kInvalidIndex)
+        proposals.push_back({c, best, best_score,
+                             static_cast<std::int32_t>(ctx.rank())});
     }
 
     // Gather all proposals; every rank finalizes identically: candidates
     // in ascending id order, each taking its globally best still-valid
-    // partner.
-    const std::vector<std::vector<Proposal>> all_proposals =
-        ctx.allgather(proposals);
-    std::vector<Proposal> flat;
-    for (const auto& per_rank : all_proposals)
-      flat.insert(flat.end(), per_rank.begin(), per_rank.end());
+    // partner. The gathered payload is already one contiguous array, so it
+    // is sorted in place — no flatten pass.
+    FlatBuffer<Proposal> all_proposals =
+        ctx.allgatherv<Proposal>({proposals.data(), proposals.size()});
+    const std::span<Proposal> flat = all_proposals.all();
     std::sort(flat.begin(), flat.end(), [](const Proposal& a,
                                            const Proposal& b) {
       if (a.candidate != b.candidate) return a.candidate < b.candidate;
@@ -212,8 +211,10 @@ std::vector<Index> local_ipm_matching(RankContext& ctx, const Hypergraph& h,
 
   // One exchange replicates every rank's decisions; blocks are disjoint so
   // no conflicts are possible.
-  const std::vector<std::vector<Index>> all_pairs = ctx.allgather(pairs);
-  for (const auto& per_rank : all_pairs) {
+  const FlatBuffer<Index> all_pairs =
+      ctx.allgatherv<Index>({pairs.data(), pairs.size()});
+  for (int s = 0; s < ctx.size(); ++s) {
+    const std::span<const Index> per_rank = all_pairs.slot(s);
     HGR_ASSERT(per_rank.size() % 2 == 0);
     for (std::size_t i = 0; i < per_rank.size(); i += 2) {
       const Index v = per_rank[i];

@@ -7,6 +7,7 @@
 #include "check/validate.hpp"
 #include "common/assert.hpp"
 #include "common/timer.hpp"
+#include "common/workspace.hpp"
 #include "core/repartition_model.hpp"
 #include "obs/trace.hpp"
 #include "parallel/par_coarsen.hpp"
@@ -39,6 +40,11 @@ ParallelPartitionResult parallel_partition_hypergraph(
     const bool lead = ctx.rank() == 0;
     obs::TraceScope run_scope("par_partition");
 
+    // Rank-local scratch arena: each rank's kernels (contraction, the
+    // serial partitioner behind the coarse step) reuse capacity across
+    // levels. Never shared across ranks — Workspace is single-threaded.
+    Workspace ws;
+
     const Index stop_size =
         std::max<Index>(cfg.base.coarsen_to, 2 * cfg.base.num_parts);
     const Weight max_vertex_weight = std::max<Weight>(
@@ -64,7 +70,7 @@ ParallelPartitionResult parallel_partition_hypergraph(
                                      max_vertex_weight, level_seed)
                 : parallel_ipm_matching(ctx, *current, cfg.base,
                                         max_vertex_weight, level_seed);
-        CoarseLevel next = parallel_contract(ctx, *current, match);
+        CoarseLevel next = parallel_contract(ctx, *current, match, &ws);
         const double reduction =
             1.0 - static_cast<double>(next.coarse.num_vertices()) /
                       static_cast<double>(current->num_vertices());
@@ -86,7 +92,7 @@ ParallelPartitionResult parallel_partition_hypergraph(
     {
       obs::TraceScope initial_scope("initial");
       p = parallel_coarse_partition(ctx, *current, cfg.base,
-                                    derive_seed(cfg.base.seed, 5000));
+                                    derive_seed(cfg.base.seed, 5000), &ws);
     }
 
     // Uncoarsening with synchronized localized refinement.

@@ -1,6 +1,7 @@
 #include "parallel/par_refine.hpp"
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -164,11 +165,10 @@ ParRefineResult parallel_refine(RankContext& ctx, const Hypergraph& h,
 
     // Exchange and apply in deterministic global order (descending gain,
     // then vertex id), revalidating each move against the evolving state.
-    const std::vector<std::vector<MoveProposal>> all =
-        ctx.allgather(proposals);
-    std::vector<MoveProposal> flat;
-    for (const auto& per_rank : all)
-      flat.insert(flat.end(), per_rank.begin(), per_rank.end());
+    // The gathered payload is contiguous, so it is sorted in place.
+    FlatBuffer<MoveProposal> all =
+        ctx.allgatherv<MoveProposal>({proposals.data(), proposals.size()});
+    const std::span<MoveProposal> flat = all.all();
     std::sort(flat.begin(), flat.end(),
               [](const MoveProposal& a, const MoveProposal& b) {
                 if (a.gain != b.gain) return a.gain > b.gain;

@@ -23,7 +23,8 @@ std::uint64_t hash_pins(std::span<const Index> pins) {
 
 }  // namespace
 
-CoarseLevel contract(const Hypergraph& h, std::span<const Index> match) {
+CoarseLevel contract(const Hypergraph& h, std::span<const Index> match,
+                     Workspace* ws) {
   const Index n = h.num_vertices();
   HGR_ASSERT(static_cast<Index>(match.size()) == n);
 
@@ -64,14 +65,19 @@ CoarseLevel contract(const Hypergraph& h, std::span<const Index> match) {
   }
 
   // Coarse nets: map, dedup within net, drop < 2 pins, merge identical nets.
+  // The pin/count/cost arrays are moved into the coarse Hypergraph, so
+  // only the true scratch (per-net mapping and the dedup begin index) is
+  // pooled through the workspace.
   std::vector<Index> coarse_pins;           // concatenated kept pin lists
   std::vector<Index> coarse_net_counts;     // pins per kept net
   std::vector<Weight> coarse_net_costs;
-  std::vector<Index> net_begin_of;          // kept net -> begin in coarse_pins
+  Borrowed<Index> net_begin_b(ws);          // kept net -> begin in coarse_pins
+  std::vector<Index>& net_begin_of = net_begin_b.get();
   std::unordered_map<std::uint64_t, std::vector<Index>> dedup;
   dedup.reserve(static_cast<std::size_t>(h.num_nets()));
 
-  std::vector<Index> mapped;
+  Borrowed<Index> mapped_b(ws);
+  std::vector<Index>& mapped = mapped_b.get();
   for (Index net = 0; net < h.num_nets(); ++net) {
     mapped.clear();
     for (const Index v : h.pins(net))

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "common/workspace.hpp"
 #include "hypergraph/hypergraph.hpp"
 
 namespace hgr {
@@ -19,6 +20,8 @@ struct CoarseLevel {
   std::vector<Index> fine_to_coarse;  // one entry per fine vertex
 };
 
-CoarseLevel contract(const Hypergraph& h, std::span<const Index> match);
+/// `ws` (optional) pools the per-net mapping scratch across levels.
+CoarseLevel contract(const Hypergraph& h, std::span<const Index> match,
+                     Workspace* ws = nullptr);
 
 }  // namespace hgr

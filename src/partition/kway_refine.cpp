@@ -17,10 +17,11 @@ namespace {
 /// guards against pathological sizes.
 class PinTable {
  public:
-  PinTable(const Hypergraph& h, const Partition& p)
-      : k_(p.k), counts_(static_cast<std::size_t>(h.num_nets()) *
-                             static_cast<std::size_t>(p.k),
-                         0) {
+  PinTable(const Hypergraph& h, const Partition& p, Workspace* ws)
+      : k_(p.k), counts_(ws) {
+    counts_->assign(static_cast<std::size_t>(h.num_nets()) *
+                        static_cast<std::size_t>(p.k),
+                    0);
     for (Index net = 0; net < h.num_nets(); ++net)
       for (const Index v : h.pins(net)) ++at(net, p[v]);
   }
@@ -38,14 +39,14 @@ class PinTable {
 
  private:
   PartId k_;
-  std::vector<Index> counts_;
+  Borrowed<Index> counts_;
 };
 
 }  // namespace
 
 KwayRefineResult kway_refine(const Hypergraph& h, Partition& p,
                              const PartitionConfig& cfg, Rng& rng,
-                             Index max_passes) {
+                             Index max_passes, Workspace* ws) {
   KwayRefineResult result;
   result.initial_cut = connectivity_cut(h, p);
   result.final_cut = result.initial_cut;
@@ -56,19 +57,26 @@ KwayRefineResult kway_refine(const Hypergraph& h, Partition& p,
       (std::size_t{1} << 28))
     return result;
 
-  PinTable pins(h, p);
-  std::vector<Weight> part_w = part_weights(h.vertex_weights(), p);
+  PinTable pins(h, p, ws);
+  Borrowed<Weight> part_w_b(ws);
+  std::vector<Weight>& part_w = part_w_b.get();
+  part_weights_into(part_w, h.vertex_weights(), p);
   const Weight max_part_weight =
       hgr::max_part_weight(h.total_vertex_weight(), k, cfg.epsilon);
 
-  std::vector<Weight> gain_to(static_cast<std::size_t>(k), 0);
-  std::vector<PartId> candidates;
+  Borrowed<Weight> gain_to_b(ws);
+  std::vector<Weight>& gain_to = gain_to_b.get();
+  gain_to.assign(static_cast<std::size_t>(k), 0);
+  Borrowed<PartId> candidates_b(ws);
+  std::vector<PartId>& candidates = candidates_b.get();
 
+  Borrowed<Index> order_b(ws);
+  std::vector<Index>& order = order_b.get();
   Weight cut = result.initial_cut;
   for (Index pass = 0; pass < max_passes; ++pass) {
     ++result.passes;
     Index moves_this_pass = 0;
-    const std::vector<Index> order = random_permutation(h.num_vertices(), rng);
+    random_permutation_into(order, h.num_vertices(), rng);
     for (const Index v : order) {
       if (h.fixed_part(v) != kNoPart) continue;
       const PartId from = p[v];

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "common/rng.hpp"
+#include "common/workspace.hpp"
 #include "hypergraph/hypergraph.hpp"
 #include "metrics/partition.hpp"
 #include "partition/config.hpp"
@@ -23,9 +24,10 @@ struct KwayRefineResult {
 };
 
 /// Refine p in place. max_passes caps the number of sweeps; a sweep that
-/// applies no move ends refinement early.
+/// applies no move ends refinement early. `ws` (optional) pools the dense
+/// pin table and per-pass scratch across levels.
 KwayRefineResult kway_refine(const Hypergraph& h, Partition& p,
                              const PartitionConfig& cfg, Rng& rng,
-                             Index max_passes);
+                             Index max_passes, Workspace* ws = nullptr);
 
 }  // namespace hgr

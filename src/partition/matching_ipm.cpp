@@ -8,16 +8,22 @@ namespace hgr {
 
 std::vector<Index> ipm_matching(const Hypergraph& h,
                                 const PartitionConfig& cfg,
-                                Weight max_vertex_weight, Rng& rng) {
+                                Weight max_vertex_weight, Rng& rng,
+                                Workspace* ws) {
   const Index n = h.num_vertices();
   std::vector<Index> match(static_cast<std::size_t>(n));
   for (Index v = 0; v < n; ++v) match[static_cast<std::size_t>(v)] = v;
 
   // Sparse score accumulator: score[u] valid iff u is in `touched`.
-  std::vector<Weight> score(static_cast<std::size_t>(n), 0);
-  std::vector<Index> touched;
+  Borrowed<Weight> score_b(ws);
+  std::vector<Weight>& score = score_b.get();
+  score.assign(static_cast<std::size_t>(n), 0);
+  Borrowed<Index> touched_b(ws);
+  std::vector<Index>& touched = touched_b.get();
 
-  const std::vector<Index> order = random_permutation(n, rng);
+  Borrowed<Index> order_b(ws);
+  std::vector<Index>& order = order_b.get();
+  random_permutation_into(order, n, rng);
   for (const Index v : order) {
     if (match[static_cast<std::size_t>(v)] != v) continue;  // already matched
     if (h.vertex_degree(v) > cfg.max_matching_degree) continue;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/workspace.hpp"
 #include "hypergraph/hypergraph.hpp"
 #include "partition/config.hpp"
 
@@ -18,10 +19,12 @@ namespace hgr {
 
 /// Greedy first-choice IPM. Returns match[v] = partner (match[v] == v for
 /// unmatched). max_vertex_weight: pairs whose combined weight exceeds it
-/// are rejected (0 disables the cap). Fixed parts are read from h.
+/// are rejected (0 disables the cap). Fixed parts are read from h. `ws`
+/// (optional) pools the score/touched/order scratch across levels.
 std::vector<Index> ipm_matching(const Hypergraph& h,
                                 const PartitionConfig& cfg,
-                                Weight max_vertex_weight, Rng& rng);
+                                Weight max_vertex_weight, Rng& rng,
+                                Workspace* ws = nullptr);
 
 /// True iff the fixed parts allow u and v to merge (cases 1-3 of §4.1).
 inline bool fixed_compatible(PartId fu, PartId fv) {

@@ -95,7 +95,7 @@ void record_coarsen_level(Index fine_vertices, Index coarse_vertices,
 }
 
 Partition direct_kway_partition(const Hypergraph& h,
-                                const PartitionConfig& cfg) {
+                                const PartitionConfig& cfg, Workspace* ws) {
   Rng rng(cfg.seed);
   const Index stop_size =
       std::max<Index>(cfg.coarsen_to, 2 * cfg.num_parts);
@@ -111,8 +111,8 @@ Partition direct_kway_partition(const Hypergraph& h,
     for (Index level = 0; level < cfg.max_levels; ++level) {
       if (current->num_vertices() <= stop_size) break;
       const std::vector<Index> match =
-          ipm_matching(*current, cfg, max_vertex_weight, rng);
-      CoarseLevel next = contract(*current, match);
+          ipm_matching(*current, cfg, max_vertex_weight, rng, ws);
+      CoarseLevel next = contract(*current, match, ws);
       const double reduction =
           1.0 - static_cast<double>(next.coarse.num_vertices()) /
                     static_cast<double>(current->num_vertices());
@@ -129,7 +129,7 @@ Partition direct_kway_partition(const Hypergraph& h,
   {
     obs::TraceScope initial_scope("initial");
     p = greedy_kway_initial(*current, cfg, rng);
-    kway_refine(*current, p, cfg, rng, cfg.max_refine_passes);
+    kway_refine(*current, p, cfg, rng, cfg.max_refine_passes, ws);
   }
 
   {
@@ -142,7 +142,7 @@ Partition direct_kway_partition(const Hypergraph& h,
       for (Index v = 0; v < finer.num_vertices(); ++v)
         fine_p[v] = p[it->fine_to_coarse[static_cast<std::size_t>(v)]];
       p = std::move(fine_p);
-      kway_refine(finer, p, cfg, rng, cfg.max_refine_passes);
+      kway_refine(finer, p, cfg, rng, cfg.max_refine_passes, ws);
     }
   }
   p.validate();
@@ -150,7 +150,7 @@ Partition direct_kway_partition(const Hypergraph& h,
 }
 
 void refinement_vcycle(const Hypergraph& h, Partition& p,
-                       const PartitionConfig& cfg, Rng& rng) {
+                       const PartitionConfig& cfg, Rng& rng, Workspace* ws) {
   obs::TraceScope trace("vcycle");
   // Restrict matching to same-part pairs by temporarily fixing every vertex
   // to its current part; the original fixed labels are re-derived on the
@@ -180,9 +180,9 @@ void refinement_vcycle(const Hypergraph& h, Partition& p,
   for (Index level = 0; level < cfg.max_levels; ++level) {
     if (current->num_vertices() <= stop_size) break;
     const std::vector<Index> match =
-        ipm_matching(*current, cfg, max_vertex_weight, rng);
+        ipm_matching(*current, cfg, max_vertex_weight, rng, ws);
     VLevel next;
-    next.cl = contract(*current, match);
+    next.cl = contract(*current, match, ws);
     const double reduction =
         1.0 - static_cast<double>(next.cl.coarse.num_vertices()) /
                   static_cast<double>(current->num_vertices());
@@ -210,7 +210,7 @@ void refinement_vcycle(const Hypergraph& h, Partition& p,
 
   if (levels.empty()) {
     // Nothing coarsened; a plain refinement sweep still helps.
-    kway_refine(h, p, cfg, rng, cfg.max_refine_passes);
+    kway_refine(h, p, cfg, rng, cfg.max_refine_passes, ws);
     return;
   }
 
@@ -227,7 +227,7 @@ void refinement_vcycle(const Hypergraph& h, Partition& p,
   for (std::size_t i = levels.size(); i-- > 0;) {
     Hypergraph& level_h = levels[i].cl.coarse;
     level_h.set_fixed_parts(levels[i].orig_fixed);
-    kway_refine(level_h, cp, cfg, rng, cfg.max_refine_passes);
+    kway_refine(level_h, cp, cfg, rng, cfg.max_refine_passes, ws);
     // Project to the next finer level.
     const Hypergraph& finer = (i == 0) ? h : levels[i - 1].cl.coarse;
     Partition fine_p(cfg.num_parts, finer.num_vertices());
@@ -235,7 +235,7 @@ void refinement_vcycle(const Hypergraph& h, Partition& p,
       fine_p[v] = cp[levels[i].cl.fine_to_coarse[static_cast<std::size_t>(v)]];
     cp = std::move(fine_p);
   }
-  kway_refine(h, cp, cfg, rng, cfg.max_refine_passes);
+  kway_refine(h, cp, cfg, rng, cfg.max_refine_passes, ws);
 
   // V-cycles must never regress.
   if (connectivity_cut(h, cp) <= connectivity_cut(h, p)) p = std::move(cp);
@@ -258,15 +258,19 @@ Partition partition_hypergraph(const Hypergraph& h,
     return p;
   }
 
+  // One scratch arena for the whole call: every level of coarsening,
+  // initial partitioning, and refinement below draws its temporaries from
+  // here instead of reallocating per level.
+  Workspace ws;
   Partition p = (cfg.kway_method == KwayMethod::kRecursiveBisection)
-                    ? recursive_bisection_partition(h, cfg)
-                    : direct_kway_partition(h, cfg);
+                    ? recursive_bisection_partition(h, cfg, &ws)
+                    : direct_kway_partition(h, cfg, &ws);
 
   Rng post_rng(derive_seed(cfg.seed, 0xFACE));
   if (cfg.kway_postpass)
-    kway_refine(h, p, cfg, post_rng, cfg.max_refine_passes);
+    kway_refine(h, p, cfg, post_rng, cfg.max_refine_passes, &ws);
   for (Index i = 0; i < cfg.num_vcycles; ++i)
-    refinement_vcycle(h, p, cfg, post_rng);
+    refinement_vcycle(h, p, cfg, post_rng, &ws);
 
   // Fixed constraints are hard: verify.
   if (h.has_fixed()) {

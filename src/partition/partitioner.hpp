@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/workspace.hpp"
 #include "hypergraph/hypergraph.hpp"
 #include "metrics/partition.hpp"
 #include "partition/config.hpp"
@@ -30,15 +31,17 @@ Partition partition_hypergraph(const Hypergraph& h,
 
 /// Direct k-way multilevel partitioning (extension / ablation path):
 /// IPM coarsening, greedy k-way coarse assignment, k-way refinement on
-/// every level.
+/// every level. `ws` (optional) pools kernel scratch across levels.
 Partition direct_kway_partition(const Hypergraph& h,
-                                const PartitionConfig& cfg);
+                                const PartitionConfig& cfg,
+                                Workspace* ws = nullptr);
 
 /// One refinement V-cycle: re-coarsen with matches restricted to vertices
 /// in the same part (so the partition projects exactly), refine the coarse
 /// partition, project back and refine each level. Improves p in place;
 /// never worsens the cut.
 void refinement_vcycle(const Hypergraph& h, Partition& p,
-                       const PartitionConfig& cfg, Rng& rng);
+                       const PartitionConfig& cfg, Rng& rng,
+                       Workspace* ws = nullptr);
 
 }  // namespace hgr

@@ -96,7 +96,7 @@ SubProblem extract_side(const Hypergraph& h,
 
 void rb_recurse(SubProblem sp, PartId part_begin, PartId part_count,
                 double global_eps, const PartitionConfig& cfg, Rng& rng,
-                Partition& out) {
+                Workspace* ws, Partition& out) {
   if (sp.h.num_vertices() == 0) return;
   if (part_count == 1) {
     for (const Index root_v : sp.to_root) out[root_v] = part_begin;
@@ -133,21 +133,23 @@ void rb_recurse(SubProblem sp, PartId part_begin, PartId part_count,
     sp.h.set_fixed_parts(std::move(fixed2));
   }
 
-  const std::vector<PartId> side = multilevel_bisect(sp.h, targets, cfg, rng);
+  const std::vector<PartId> side =
+      multilevel_bisect(sp.h, targets, cfg, rng, ws);
 
   SubProblem left = extract_side(sp.h, side, sp.to_root, sp.fixed_orig, 0);
   SubProblem right = extract_side(sp.h, side, sp.to_root, sp.fixed_orig, 1);
   // Free the parent before recursing to bound peak memory.
   sp = SubProblem{};
-  rb_recurse(std::move(left), part_begin, k0, global_eps, cfg, rng, out);
-  rb_recurse(std::move(right), mid, k1, global_eps, cfg, rng, out);
+  rb_recurse(std::move(left), part_begin, k0, global_eps, cfg, rng, ws, out);
+  rb_recurse(std::move(right), mid, k1, global_eps, cfg, rng, ws, out);
 }
 
 }  // namespace
 
 std::vector<PartId> multilevel_bisect(const Hypergraph& h,
                                       const BisectionTargets& targets,
-                                      const PartitionConfig& cfg, Rng& rng) {
+                                      const PartitionConfig& cfg, Rng& rng,
+                                      Workspace* ws) {
   const Index stop_size = std::max<Index>(cfg.coarsen_to, 20);
 
   // Coarsening: IPM matching + contraction until small or stalled.
@@ -162,8 +164,8 @@ std::vector<PartId> multilevel_bisect(const Hypergraph& h,
     for (Index level = 0; level < cfg.max_levels; ++level) {
       if (current->num_vertices() <= stop_size) break;
       const std::vector<Index> match =
-          ipm_matching(*current, cfg, max_vertex_weight, rng);
-      CoarseLevel next = contract(*current, match);
+          ipm_matching(*current, cfg, max_vertex_weight, rng, ws);
+      CoarseLevel next = contract(*current, match, ws);
       const double reduction =
           1.0 - static_cast<double>(next.coarse.num_vertices()) /
                     static_cast<double>(current->num_vertices());
@@ -182,7 +184,7 @@ std::vector<PartId> multilevel_bisect(const Hypergraph& h,
   {
     obs::TraceScope initial_scope("initial");
     side = initial_bisection(*current, targets, cfg.num_initial_trials, rng);
-    fm_refine_bisection(*current, side, targets, cfg, rng);
+    fm_refine_bisection(*current, side, targets, cfg, rng, ws);
   }
 
   // Uncoarsening: project and refine at each level.
@@ -203,14 +205,15 @@ std::vector<PartId> multilevel_bisect(const Hypergraph& h,
             side[static_cast<std::size_t>(
                 it->fine_to_coarse[static_cast<std::size_t>(v)])];
       side = std::move(fine_side);
-      fm_refine_bisection(finer, side, targets, cfg, rng);
+      fm_refine_bisection(finer, side, targets, cfg, rng, ws);
     }
   }
   return side;
 }
 
 Partition recursive_bisection_partition(const Hypergraph& h,
-                                        const PartitionConfig& cfg) {
+                                        const PartitionConfig& cfg,
+                                        Workspace* ws) {
   HGR_ASSERT(cfg.num_parts >= 1);
   Partition out(cfg.num_parts, h.num_vertices());
   if (h.num_vertices() == 0) return out;
@@ -225,7 +228,8 @@ Partition recursive_bisection_partition(const Hypergraph& h,
   if (h.has_fixed())
     root.fixed_orig.assign(h.fixed_parts().begin(), h.fixed_parts().end());
 
-  rb_recurse(std::move(root), 0, cfg.num_parts, cfg.epsilon, cfg, rng, out);
+  rb_recurse(std::move(root), 0, cfg.num_parts, cfg.epsilon, cfg, rng, ws,
+             out);
   out.validate();
   {
     // Balance is asserted by partition_hypergraph against the global

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "common/rng.hpp"
+#include "common/workspace.hpp"
 #include "hypergraph/hypergraph.hpp"
 #include "metrics/partition.hpp"
 #include "partition/config.hpp"
@@ -19,15 +20,18 @@ namespace hgr {
 
 /// One multilevel bisection of `h` (whose fixed parts, if any, must already
 /// be 2-way: 0, 1, or free): coarsen by IPM until small, greedy-growing
-/// initial bisection, FM refinement on every uncoarsening level.
+/// initial bisection, FM refinement on every uncoarsening level. `ws`
+/// (optional) pools kernel scratch across levels and bisections.
 /// Returns the side (0/1) of every vertex.
 std::vector<PartId> multilevel_bisect(const Hypergraph& h,
                                       const BisectionTargets& targets,
-                                      const PartitionConfig& cfg, Rng& rng);
+                                      const PartitionConfig& cfg, Rng& rng,
+                                      Workspace* ws = nullptr);
 
 /// Full k-way partition of `h` via recursive bisection. Honors
 /// h.fixed_part() as k-way fixed constraints.
 Partition recursive_bisection_partition(const Hypergraph& h,
-                                        const PartitionConfig& cfg);
+                                        const PartitionConfig& cfg,
+                                        Workspace* ws = nullptr);
 
 }  // namespace hgr

@@ -26,14 +26,20 @@ struct StateScore {
 class FmPass {
  public:
   FmPass(const Hypergraph& h, std::vector<PartId>& side,
-         const BisectionTargets& targets, const PartitionConfig& cfg)
+         const BisectionTargets& targets, const PartitionConfig& cfg,
+         Workspace* ws)
       : h_(h),
         side_(side),
         targets_(targets),
         cfg_(cfg),
-        locked_(static_cast<std::size_t>(h.num_vertices()), false),
-        gain_(static_cast<std::size_t>(h.num_vertices()), 0),
-        pins_(static_cast<std::size_t>(h.num_nets())) {
+        ws_(ws),
+        locked_(ws),
+        gain_(ws),
+        pins_(ws),
+        stash_(ws) {
+    locked_->assign(static_cast<std::size_t>(h.num_vertices()), false);
+    gain_->assign(static_cast<std::size_t>(h.num_vertices()), 0);
+    pins_->resize(static_cast<std::size_t>(h.num_nets()));
     weight_[0] = weight_[1] = 0;
     for (Index v = 0; v < h_.num_vertices(); ++v) {
       weight_[side_at(v)] += h_.vertex_weight(v);
@@ -59,7 +65,7 @@ class FmPass {
     const StateScore start = score();
     build_queues(rng);
 
-    std::vector<Index> moves;
+    Borrowed<Index> moves(ws_);
     StateScore best = start;
     Index best_prefix = 0;  // number of moves kept
     Index since_best = 0;
@@ -68,11 +74,11 @@ class FmPass {
       const Index v = select_move();
       if (v == kInvalidIndex) break;
       apply_move(v);
-      moves.push_back(v);
+      moves->push_back(v);
       const StateScore now = score();
       if (now.better_than(best)) {
         best = now;
-        best_prefix = static_cast<Index>(moves.size());
+        best_prefix = static_cast<Index>(moves->size());
         since_best = 0;
       } else {
         ++since_best;
@@ -80,7 +86,7 @@ class FmPass {
     }
 
     // Roll back everything after the best prefix.
-    for (Index i = static_cast<Index>(moves.size()); i > best_prefix; --i)
+    for (Index i = static_cast<Index>(moves->size()); i > best_prefix; --i)
       undo_move(moves[static_cast<std::size_t>(i - 1)]);
 
     queues_[0]->clear();
@@ -127,9 +133,9 @@ class FmPass {
       queues_[s].emplace(h_.num_vertices(), max_abs, cfg_.gain_queue);
 
     // Random insertion order randomizes tie-breaking between passes.
-    const std::vector<Index> order =
-        random_permutation(h_.num_vertices(), rng);
-    for (const Index v : order) {
+    Borrowed<Index> order(ws_);
+    random_permutation_into(order.get(), h_.num_vertices(), rng);
+    for (const Index v : order.get()) {
       if (!movable(v)) continue;
       locked_[static_cast<std::size_t>(v)] = false;
       gain_[static_cast<std::size_t>(v)] = compute_gain(v);
@@ -151,7 +157,8 @@ class FmPass {
     // the destination, then reinsert the stash.
     std::array<Index, 2> cand = {kInvalidIndex, kInvalidIndex};
     std::array<Weight, 2> cand_gain = {0, 0};
-    std::vector<std::pair<Index, Weight>> stash;
+    std::vector<std::pair<Index, Weight>>& stash = stash_.get();
+    stash.clear();
     for (int s = 0; s < 2; ++s) {
       if (forced != -1 && s != forced) continue;
       const int dest = 1 - s;
@@ -264,10 +271,12 @@ class FmPass {
   std::vector<PartId>& side_;
   const BisectionTargets& targets_;
   const PartitionConfig& cfg_;
+  Workspace* ws_;
 
-  std::vector<bool> locked_;
-  std::vector<Weight> gain_;
-  std::vector<std::array<Index, 2>> pins_;
+  Borrowed<bool> locked_;
+  Borrowed<Weight> gain_;
+  Borrowed<std::array<Index, 2>> pins_;
+  Borrowed<std::pair<Index, Weight>> stash_;  // select_move scratch
   std::array<std::optional<GainQueue>, 2> queues_;
   Weight weight_[2];
   Weight cut_ = 0;
@@ -278,7 +287,8 @@ class FmPass {
 
 FmResult fm_refine_bisection(const Hypergraph& h, std::vector<PartId>& side,
                              const BisectionTargets& targets,
-                             const PartitionConfig& cfg, Rng& rng) {
+                             const PartitionConfig& cfg, Rng& rng,
+                             Workspace* ws) {
   HGR_ASSERT(static_cast<Index>(side.size()) == h.num_vertices());
 #ifndef NDEBUG
   for (Index v = 0; v < h.num_vertices(); ++v) {
@@ -289,7 +299,7 @@ FmResult fm_refine_bisection(const Hypergraph& h, std::vector<PartId>& side,
                    "fixed vertex on wrong side entering refinement");
   }
 #endif
-  FmPass pass(h, side, targets, cfg);
+  FmPass pass(h, side, targets, cfg, ws);
   FmResult result;
   result.initial_cut = pass.cut();
   for (Index i = 0; i < cfg.max_refine_passes; ++i) {

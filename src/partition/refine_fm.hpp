@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/workspace.hpp"
 #include "hypergraph/hypergraph.hpp"
 #include "partition/config.hpp"
 #include "partition/initial.hpp"
@@ -28,9 +29,11 @@ struct FmResult {
 };
 
 /// Refine `side` (0/1 per vertex) in place. Fixed vertices (h.fixed_part in
-/// {0,1}) never move. Returns pass statistics.
+/// {0,1}) never move. Returns pass statistics. `ws` (optional) pools the
+/// lock/gain/pin-count scratch across bisection levels.
 FmResult fm_refine_bisection(const Hypergraph& h, std::vector<PartId>& side,
                              const BisectionTargets& targets,
-                             const PartitionConfig& cfg, Rng& rng);
+                             const PartitionConfig& cfg, Rng& rng,
+                             Workspace* ws = nullptr);
 
 }  // namespace hgr

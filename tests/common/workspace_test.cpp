@@ -1,0 +1,127 @@
+// Workspace arena tests: take/give pooling semantics, the Borrowed
+// null-workspace fallback, and — the property the arena must never break —
+// that pooled scratch leaves kernel results bit-identical, verified by
+// running the multilevel partitioner under paranoid validation with a
+// reused arena.
+#include "common/workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "check/check_level.hpp"
+#include "metrics/cut.hpp"
+#include "partition/partitioner.hpp"
+#include "test_util.hpp"
+
+namespace hgr {
+namespace {
+
+using testing::random_hypergraph;
+
+TEST(Workspace, TakeAllocatesGiveRecycles) {
+  Workspace ws;
+  std::vector<int> v = ws.take<int>();
+  EXPECT_TRUE(v.empty());
+  v.resize(100);
+  int* const data = v.data();
+  ws.give(std::move(v));
+  EXPECT_EQ(ws.pooled(), 1u);
+
+  std::vector<int> again = ws.take<int>();
+  EXPECT_TRUE(again.empty());           // cleared...
+  EXPECT_GE(again.capacity(), 100u);    // ...but capacity survived
+  EXPECT_EQ(again.data(), data);        // same allocation came back
+  EXPECT_EQ(ws.pooled(), 0u);
+
+  EXPECT_EQ(ws.stats().takes, 2u);
+  EXPECT_EQ(ws.stats().allocations, 1u);
+  EXPECT_EQ(ws.stats().reuses, 1u);
+}
+
+TEST(Workspace, DistinctTypesPoolSeparately) {
+  Workspace ws;
+  ws.give(std::vector<int>(10));
+  ws.give(std::vector<double>(10));
+  EXPECT_EQ(ws.pooled(), 2u);
+  ws.take<int>();
+  EXPECT_EQ(ws.pooled(), 1u);  // the double vector is still cached
+  EXPECT_EQ(ws.stats().reuses, 1u);
+}
+
+TEST(Workspace, ClearDropsPooledCapacity) {
+  Workspace ws;
+  ws.give(std::vector<int>(10));
+  ws.clear();
+  EXPECT_EQ(ws.pooled(), 0u);
+  ws.take<int>();
+  EXPECT_EQ(ws.stats().allocations, 1u);  // nothing left to reuse
+}
+
+TEST(Workspace, BorrowedReturnsOnDestruction) {
+  Workspace ws;
+  {
+    Borrowed<std::int32_t> b(&ws);
+    b->push_back(7);
+    EXPECT_EQ(b[0], 7);
+    EXPECT_EQ(ws.pooled(), 0u);
+  }
+  EXPECT_EQ(ws.pooled(), 1u);
+}
+
+TEST(Workspace, BorrowedNullWorkspaceFallsBackToLocal) {
+  Borrowed<std::int32_t> b(nullptr);
+  b->assign(5, 3);
+  EXPECT_EQ(b.get().size(), 5u);
+  EXPECT_EQ(b[4], 3);
+  // Destruction must not touch any pool — just let the local vector die.
+}
+
+TEST(Workspace, ReuseAcrossLevelLoopsUnderParanoidValidation) {
+  // Two multilevel runs through one arena, with every paranoid validator
+  // on: stale scratch contents leaking between levels (or between runs)
+  // would either trip a validator or change the result.
+  const Hypergraph h = random_hypergraph(300, 600, 6, 3, 11);
+  PartitionConfig cfg;
+  cfg.num_parts = 4;
+  cfg.epsilon = 0.1;
+  cfg.check_level = check::CheckLevel::kParanoid;
+
+  const Partition baseline = direct_kway_partition(h, cfg, nullptr);
+
+  Workspace ws;
+  const Partition first = direct_kway_partition(h, cfg, &ws);
+  const std::uint64_t allocations_first = ws.stats().allocations;
+  EXPECT_GT(ws.stats().reuses, 0u);  // levels share scratch within a run
+
+  const Partition second = direct_kway_partition(h, cfg, &ws);
+  // The second run draws nearly everything from the pool. (A handful of
+  // fresh allocations is legal — e.g. a vector that grew on a path not
+  // taken before — but the steady state must dominate.)
+  EXPECT_LT(ws.stats().allocations - allocations_first,
+            allocations_first / 2 + 1);
+
+  EXPECT_EQ(baseline.assignment, first.assignment);
+  EXPECT_EQ(baseline.assignment, second.assignment);
+  EXPECT_EQ(connectivity_cut(h, baseline), connectivity_cut(h, first));
+}
+
+TEST(Workspace, ReuseAcrossVcyclesUnderParanoidValidation) {
+  const Hypergraph h = random_hypergraph(200, 400, 5, 3, 23);
+  PartitionConfig cfg;
+  cfg.num_parts = 3;
+  cfg.epsilon = 0.2;  // loose: this test is about scratch reuse, not quality
+  cfg.kway_method = KwayMethod::kDirectKway;
+  cfg.num_vcycles = 2;
+  cfg.check_level = check::CheckLevel::kParanoid;
+  // partition_hypergraph owns an internal arena threaded through
+  // bisection, refinement, and both V-cycles; paranoid validators confirm
+  // no cross-level contamination, and a second call must be identical.
+  const Partition a = partition_hypergraph(h, cfg);
+  const Partition b = partition_hypergraph(h, cfg);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+}  // namespace
+}  // namespace hgr

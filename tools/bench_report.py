@@ -42,6 +42,12 @@ TRACKED = [
     ("metrics.parallel_partition_seconds.mean", True),
     ("metrics.counter_bump_ns", True),
     ("metrics.cached_counter_bump_ns", True),
+    # micro_comm (flat-buffer collectives; absent from partition runs).
+    ("metrics.alltoallv_small_p4_ns_per_call", True),
+    ("metrics.alltoallv_large_p4_ns_per_call", True),
+    ("metrics.alltoallv_ragged_small_p4_ns_per_call", True),
+    ("metrics.allgather_large_p4_ns_per_call", True),
+    ("metrics.allreduce_p4_ns_per_call", True),
 ]
 
 

@@ -20,9 +20,16 @@ Rules (all scoped to src/ and tools/ C++ sources):
                    and common/timer.hpp. Timing flows through WallTimer or
                    the obs event clock so every measurement shows up in the
                    trace; scattered clock reads don't.
+  ragged-comm      No std::vector<std::vector<...>> in src/parallel/ or
+                   src/partition/: ragged buffers cost one allocation per
+                   slot plus a serialize copy on every exchange. Use
+                   FlatBuffer<T> (parallel/flat_buffer.hpp) or a Workspace
+                   borrow. Deliberate ragged use (the compat shims) is
+                   suppressed with `// hgr-lint: ragged-ok`.
 
 A finding line may be suppressed with a trailing `// hgr-lint: allow`
-comment. Exit status is the number of findings (0 = clean).
+comment (`// hgr-lint: ragged-ok` for the ragged-comm rule). Exit status is
+the number of findings (0 = clean).
 """
 
 from __future__ import annotations
@@ -32,6 +39,10 @@ import sys
 from pathlib import Path
 
 SUPPRESS = "hgr-lint: allow"
+
+# Rule-specific suppression markers: a line carrying the marker is exempt
+# from that one rule (unlike SUPPRESS, which silences every rule).
+RULE_SUPPRESS = {"ragged-comm": "hgr-lint: ragged-ok"}
 
 # Each rule: (name, regex, explanation, file-filter or None).
 RULES = [
@@ -70,6 +81,14 @@ RULES = [
         # The obs layer and WallTimer are the sanctioned clock call sites.
         lambda path: "obs" not in path.parts and
                      path.parts[-2:] != ("common", "timer.hpp"),
+    ),
+    (
+        "ragged-comm",
+        re.compile(r"std::vector<\s*std::vector<"),
+        "use FlatBuffer<T> (parallel/flat_buffer.hpp) or a Workspace "
+        "borrow; mark deliberate ragged use with `// hgr-lint: ragged-ok`",
+        # Only the hot comm/partition layers are held to the flat format.
+        lambda path: "parallel" in path.parts or "partition" in path.parts,
     ),
 ]
 
@@ -112,6 +131,9 @@ def lint_file(path: Path) -> list[str]:
             continue
         for name, pattern, why, file_filter in RULES:
             if file_filter is not None and not file_filter(path):
+                continue
+            marker = RULE_SUPPRESS.get(name)
+            if marker is not None and marker in raw:
                 continue
             if pattern.search(line):
                 findings.append(
