@@ -49,7 +49,9 @@ double mean_over_repart_epochs(const std::vector<EpochRecord>& records,
   double sum = 0.0;
   Index count = 0;
   for (const EpochRecord& r : records) {
-    if (r.epoch < 2) continue;
+    // Filter on the record's own flag, not its position: in degraded or
+    // restarted sequences the static bootstrap is not simply "epoch < 2".
+    if (r.is_static) continue;
     sum += value(r);
     ++count;
   }
@@ -113,14 +115,21 @@ EpochRunSummary run_epochs(EpochScenario& scenario,
       record.cost.comm_volume = connectivity_cut(h, chosen);
       record.cost.migration_volume = 0;
     } else {
-      RepartitionResult result = run_repartition_algorithm(
+      // Guarded by the graceful-degradation policy: a repartition attempt
+      // that throws (misbehaving rank, watchdog-detected deadlock,
+      // injected fault) or overruns the epoch budget is retried, then the
+      // epoch degrades to the configured fallback — the run keeps going.
+      GuardedRepartitionResult guarded = run_repartition_with_policy(
           algorithm, h, problem.graph, problem.old_partition, cfg);
-      record.repart_seconds = result.seconds;
-      record.cost = result.cost;
+      record.repart_seconds = guarded.result.seconds;
+      record.cost = guarded.result.cost;
+      record.degraded = guarded.degraded;
+      record.retries = guarded.retries;
       record.num_migrated =
-          num_migrated(problem.old_partition, result.partition);
-      chosen = std::move(result.partition);
+          num_migrated(problem.old_partition, guarded.result.partition);
+      chosen = std::move(guarded.result.partition);
     }
+    record.is_static = problem.first;
     // Per-epoch invariant verification: the epoch hypergraph is
     // well-formed and the chosen assignment respects part range, fixed
     // vertices, and (at paranoid level) the reported cost components.
@@ -175,8 +184,32 @@ std::string EpochSeries::csv_header() {
   return "dataset,perturb,algorithm,k,alpha,trial,epoch,cut,"
          "migration_volume,total_cost,normalized_cost,imbalance,"
          "num_vertices,num_migrated,repart_seconds,coarsen_seconds,"
-         "initial_seconds,refine_seconds";
+         "initial_seconds,refine_seconds,is_static,degraded,retries";
 }
+
+namespace {
+
+/// snprintf `fmt` onto `out`, growing past the stack buffer when the
+/// rendered row is longer (extreme alpha/weight/double magnitudes used to
+/// truncate silently against a fixed buffer). The stack size covers every
+/// typical row; pathological magnitudes take the heap path.
+template <typename... Args>
+void append_formatted(std::string& out, const char* fmt, Args... args) {
+  char buf[160];
+  const int needed = std::snprintf(buf, sizeof(buf), fmt, args...);
+  HGR_ASSERT_MSG(needed >= 0, "csv row formatting failed");
+  if (static_cast<std::size_t>(needed) < sizeof(buf)) {
+    out += buf;
+    return;
+  }
+  std::string big(static_cast<std::size_t>(needed) + 1, '\0');
+  const int written = std::snprintf(big.data(), big.size(), fmt, args...);
+  HGR_ASSERT(written == needed);
+  big.resize(static_cast<std::size_t>(needed));
+  out += big;
+}
+
+}  // namespace
 
 std::string EpochSeries::to_csv() const {
   std::string out = csv_header();
@@ -188,11 +221,10 @@ std::string EpochSeries::to_csv() const {
     out += row.perturb;
     out += ',';
     out += row.algorithm;
-    char buf[224];
-    std::snprintf(
-        buf, sizeof(buf),
+    append_formatted(
+        out,
         ",%lld,%lld,%lld,%lld,%lld,%lld,%lld,%.6g,%.6g,%lld,%lld,%.6g,%.6g,"
-        "%.6g,%.6g",
+        "%.6g,%.6g,%d,%d,%lld",
         static_cast<long long>(row.k), static_cast<long long>(row.alpha),
         static_cast<long long>(row.trial), static_cast<long long>(r.epoch),
         static_cast<long long>(r.cost.comm_volume),
@@ -200,8 +232,9 @@ std::string EpochSeries::to_csv() const {
         static_cast<long long>(r.cost.total()), r.cost.normalized_total(),
         r.imbalance, static_cast<long long>(r.num_vertices),
         static_cast<long long>(r.num_migrated), r.repart_seconds,
-        r.coarsen_seconds, r.initial_seconds, r.refine_seconds);
-    out += buf;
+        r.coarsen_seconds, r.initial_seconds, r.refine_seconds,
+        r.is_static ? 1 : 0, r.degraded ? 1 : 0,
+        static_cast<long long>(r.retries));
     out += '\n';
   }
   return out;

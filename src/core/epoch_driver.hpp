@@ -53,13 +53,26 @@ struct EpochRecord {
   double coarsen_seconds = 0.0;
   double initial_seconds = 0.0;
   double refine_seconds = 0.0;
+  /// True for the static bootstrap epoch (no previous assignment). The
+  /// summary means filter on this flag, not on the epoch number, so
+  /// degraded or restarted sequences don't leak the bootstrap into the
+  /// paper-figure averages.
+  bool is_static = false;
+  /// True when the repartition failed (exception or over-budget) through
+  /// all retries and the epoch fell back per RepartitionerConfig::fallback
+  /// (old partition kept, or serial scratch). See docs/ROBUSTNESS.md.
+  bool degraded = false;
+  /// Failed repartition attempts before this epoch's partition was chosen.
+  Index retries = 0;
 };
 
 struct EpochRunSummary {
   std::vector<EpochRecord> epochs;
 
-  /// Averages over repartitioning epochs (epoch >= 2, where the paper's
-  /// figures live; epoch 1 is the static bootstrap).
+  /// Averages over repartitioning epochs (is_static == false, where the
+  /// paper's figures live; the static bootstrap is excluded). Degraded
+  /// epochs stay included: a kept-old partition's cut is a real cost the
+  /// run paid.
   double mean_comm_volume() const;
   double mean_migration_volume() const;
   double mean_normalized_total_cost() const;

@@ -1,9 +1,15 @@
 #include "core/repartitioner.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "common/assert.hpp"
 #include "common/timer.hpp"
 #include "core/repartition_model.hpp"
 #include "graphpart/scratch_remap.hpp"
+#include "obs/trace.hpp"
+#include "parallel/par_partitioner.hpp"
 #include "partition/partitioner.hpp"
 
 namespace hgr {
@@ -125,6 +131,100 @@ RepartitionResult run_repartition_algorithm(RepartAlgorithm algorithm,
         evaluate_repartition(h, old_p, result.partition, cfg.alpha);
   }
   return result;
+}
+
+namespace {
+
+/// One attempt: the parallel runtime for the paper's method when
+/// cfg.num_ranks > 0 (the path fault plans can perturb), the serial
+/// dispatch otherwise. Throws whatever the attempt throws.
+RepartitionResult attempt_repartition(RepartAlgorithm algorithm,
+                                      const Hypergraph& h, const Graph& g,
+                                      const Partition& old_p,
+                                      const RepartitionerConfig& cfg) {
+  if (cfg.num_ranks > 0 &&
+      algorithm == RepartAlgorithm::kHypergraphRepart) {
+    ParallelPartitionConfig pcfg;
+    pcfg.num_ranks = cfg.num_ranks;
+    pcfg.base = cfg.partition;
+    pcfg.deadlock_timeout = cfg.deadlock_timeout;
+    ParallelPartitionResult pr =
+        parallel_hypergraph_repartition(h, old_p, cfg.alpha, pcfg);
+    RepartitionResult result;
+    result.cost = evaluate_repartition(h, old_p, pr.partition, cfg.alpha);
+    result.plan =
+        extract_migration_plan(h.vertex_sizes(), old_p, pr.partition);
+    result.partition = std::move(pr.partition);
+    result.seconds = pr.seconds;
+    return result;
+  }
+  return run_repartition_algorithm(algorithm, h, g, old_p, cfg);
+}
+
+/// The terminal fallback: keep the previous assignment. Zero migration by
+/// construction; the cut is recomputed on the epoch hypergraph so the
+/// record stays honest about what a stale partition costs.
+RepartitionResult keep_old_partition(const Hypergraph& h,
+                                     const Partition& old_p, Weight alpha) {
+  RepartitionResult result;
+  result.cost = evaluate_repartition(h, old_p, old_p, alpha);
+  result.plan = extract_migration_plan(h.vertex_sizes(), old_p, old_p);
+  result.partition = old_p;
+  return result;
+}
+
+}  // namespace
+
+GuardedRepartitionResult run_repartition_with_policy(
+    RepartAlgorithm algorithm, const Hypergraph& h, const Graph& g,
+    const Partition& old_p, const RepartitionerConfig& cfg) {
+  GuardedRepartitionResult out;
+  const int attempts = std::max(0, cfg.max_retries) + 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      obs::counter("epoch.retries") += 1;
+      if (cfg.retry_backoff_seconds > 0.0)
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            cfg.retry_backoff_seconds *
+            static_cast<double>(1 << (attempt - 1))));
+    }
+    try {
+      RepartitionResult r = attempt_repartition(algorithm, h, g, old_p, cfg);
+      if (cfg.epoch_time_budget > 0.0 && r.seconds > cfg.epoch_time_budget)
+        throw RepartitionOverBudget(r.seconds, cfg.epoch_time_budget);
+      out.result = std::move(r);
+      out.retries = attempt;
+      return out;
+    } catch (const std::exception& e) {
+      // Retryable by policy: a misbehaving rank (CommAborted /
+      // FaultInjected), a hung collective (CommDeadlock), an over-budget
+      // attempt — anything short of killing the epoch loop.
+      out.error = e.what();
+      obs::counter("epoch.repart_failures") += 1;
+    }
+  }
+
+  // Retries exhausted: degrade instead of aborting the run. The fallback
+  // never touches the comm runtime, so a poisoned fault plan or wedged
+  // parallel path cannot take it down too.
+  out.degraded = true;
+  out.retries = attempts - 1;
+  obs::counter("epoch.degraded") += 1;
+  WallTimer timer;
+  if (cfg.fallback == EpochFallback::kScratch) {
+    try {
+      RepartitionerConfig serial = cfg;
+      serial.num_ranks = 0;
+      out.result = hypergraph_scratch(h, old_p, serial);
+      out.result.seconds = timer.seconds();
+      return out;
+    } catch (const std::exception& e) {
+      out.error = e.what();  // fall through to keep-old: the last resort
+    }
+  }
+  out.result = keep_old_partition(h, old_p, cfg.alpha);
+  out.result.seconds = timer.seconds();
+  return out;
 }
 
 }  // namespace hgr

@@ -10,6 +10,7 @@
 // the experiment harness and applications can swap strategies.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 
 #include "core/migration_plan.hpp"
@@ -22,10 +23,42 @@
 
 namespace hgr {
 
+/// What run_repartition_with_policy falls back to once retries are
+/// exhausted (docs/ROBUSTNESS.md). A stale partition beats a dead run: the
+/// paper's premise is an application that keeps computing across epochs.
+enum class EpochFallback {
+  /// Keep the previous assignment: zero migration, cut recomputed on the
+  /// epoch hypergraph so reported costs stay honest.
+  kKeepOld,
+  /// Serial scratch partition + remap — never touches the comm runtime.
+  /// If the scratch attempt itself fails, degrades further to kKeepOld.
+  kScratch,
+};
+
 struct RepartitionerConfig {
   PartitionConfig partition;
   /// Iterations per epoch: the communication-vs-migration trade-off knob.
   Weight alpha = 100;
+
+  // --- parallel execution + graceful degradation (docs/ROBUSTNESS.md) ---
+
+  /// >0: kHypergraphRepart repartitions run on the in-process parallel
+  /// runtime with this many ranks (the surface fault plans perturb);
+  /// 0 (default) keeps every algorithm serial.
+  int num_ranks = 0;
+  /// Watchdog timeout for the parallel path (seconds; 0 disables). An
+  /// injected stall only surfaces as CommDeadlock while this is nonzero.
+  double deadlock_timeout = 30.0;
+  /// Failed repartition attempts are retried up to this many times before
+  /// the epoch degrades to `fallback`.
+  int max_retries = 1;
+  /// Sleep retry_backoff_seconds * 2^r before retry r (0 = no backoff).
+  double retry_backoff_seconds = 0.0;
+  /// Per-attempt wall budget (seconds; 0 = unlimited). An attempt that
+  /// completes but overruns the budget counts as a failure: at scale a
+  /// repartitioner slower than the epoch it serves is as bad as a hang.
+  double epoch_time_budget = 0.0;
+  EpochFallback fallback = EpochFallback::kKeepOld;
 };
 
 struct RepartitionResult {
@@ -74,5 +107,38 @@ RepartitionResult run_repartition_algorithm(RepartAlgorithm algorithm,
                                             const Graph& g,
                                             const Partition& old_p,
                                             const RepartitionerConfig& cfg);
+
+/// Thrown (internally) when an attempt completes over cfg.epoch_time_budget;
+/// the policy loop treats it like any other repartition failure.
+class RepartitionOverBudget : public std::runtime_error {
+ public:
+  RepartitionOverBudget(double seconds, double budget)
+      : std::runtime_error("repartition attempt took " +
+                           std::to_string(seconds) +
+                           "s, over the per-epoch budget of " +
+                           std::to_string(budget) + "s") {}
+};
+
+/// A repartitioning decision plus how it was reached: how many failed
+/// attempts preceded it and whether it came from the degradation fallback
+/// instead of the requested algorithm.
+struct GuardedRepartitionResult {
+  RepartitionResult result;
+  Index retries = 0;      // failed attempts before `result`
+  bool degraded = false;  // true: `result` is the fallback's, not the
+                          // algorithm's
+  std::string error;      // what() of the last failure ("" when clean)
+};
+
+/// run_repartition_algorithm wrapped in the graceful-degradation policy:
+/// attempts (parallel when cfg.num_ranks > 0 and the algorithm is
+/// kHypergraphRepart) are retried with exponential backoff on any thrown
+/// failure (CommAborted, CommDeadlock, FaultInjected, over-budget, ...);
+/// once cfg.max_retries are exhausted the epoch degrades to cfg.fallback
+/// instead of killing the run. Bumps the epoch.repart_failures /
+/// epoch.retries / epoch.degraded counters. See docs/ROBUSTNESS.md.
+GuardedRepartitionResult run_repartition_with_policy(
+    RepartAlgorithm algorithm, const Hypergraph& h, const Graph& g,
+    const Partition& old_p, const RepartitionerConfig& cfg);
 
 }  // namespace hgr

@@ -82,6 +82,10 @@ std::string Comm::compose_deadlock_diagnosis(double stuck_seconds) {
                       "\n  rank %d: barrier (%d of %d arrived)", r, arrived,
                       num_ranks_);
         break;
+      case WaitState::kStalled:
+        std::snprintf(line, sizeof(line),
+                      "\n  rank %d: stalled (injected fault)", r);
+        break;
       default:
         std::snprintf(line, sizeof(line), "\n  rank %d: not blocked", r);
         break;
@@ -92,18 +96,24 @@ std::string Comm::compose_deadlock_diagnosis(double stuck_seconds) {
 }
 
 void Comm::watchdog_loop() {
-  const double timeout = deadlock_timeout_;
-  const auto poll = std::chrono::milliseconds(std::clamp(
-      static_cast<long>(timeout * 1000.0 / 20.0), 1L, 100L));
   std::uint64_t last_progress = progress_.load(std::memory_order_acquire);
   WallTimer stuck_timer;
   bool stuck = false;
 
   std::unique_lock lock(watchdog_mutex_);
   for (;;) {
+    // Re-read the timeout every poll: set_deadlock_timeout may be called
+    // from any thread mid-run, and the update must take effect without
+    // waiting for the next run().
+    const double timeout = deadlock_timeout_.load(std::memory_order_acquire);
+    const auto poll = std::chrono::milliseconds(
+        timeout > 0.0 ? std::clamp(
+                            static_cast<long>(timeout * 1000.0 / 20.0), 1L,
+                            100L)
+                      : 100L);
     if (watchdog_cv_.wait_for(lock, poll, [this] { return watchdog_stop_; }))
       return;
-    if (aborted_.load(std::memory_order_acquire)) {
+    if (timeout <= 0.0 || aborted_.load(std::memory_order_acquire)) {
       stuck = false;
       continue;
     }
@@ -170,7 +180,8 @@ void Comm::run(const std::function<void(RankContext&)>& f) {
   }
 
   std::thread watchdog;
-  if (deadlock_timeout_ > 0.0) watchdog = std::thread([this] { watchdog_loop(); });
+  if (deadlock_timeout() > 0.0)
+    watchdog = std::thread([this] { watchdog_loop(); });
 
   std::vector<std::exception_ptr> errors(
       static_cast<std::size_t>(num_ranks_));
@@ -267,6 +278,40 @@ CommTelemetry Comm::telemetry() const {
   return t;
 }
 
+void Comm::maybe_inject(int rank, fault::FaultSite site) {
+  const fault::FaultPlan* plan = fault_plan_.get();
+  if (plan == nullptr) return;
+  const std::optional<fault::FaultDecision> d = plan->check(site, rank);
+  if (!d.has_value()) return;
+  switch (d->kind) {
+    case fault::FaultKind::kDelay:
+      obs::counter("fault.delay") += 1;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(d->delay_ms));
+      return;
+    case fault::FaultKind::kThrow:
+      obs::counter("fault.throw") += 1;
+      throw fault::FaultInjected(d->description);
+    case fault::FaultKind::kStall:
+      obs::counter("fault.stall") += 1;
+      stall_until_abort(rank);
+  }
+}
+
+void Comm::stall_until_abort(int rank) {
+  // Block on this rank's own mailbox condvar (abort_all notifies every
+  // mailbox), publishing a kStalled wait state so the watchdog counts the
+  // rank as blocked and the deadlock diagnosis names the injection.
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(rank)];
+  std::unique_lock lock(box.mutex);
+  {
+    ScopedWait waiting(*this, rank, WaitState::kStalled, -1, 0);
+    box.ready.wait(
+        lock, [this] { return aborted_.load(std::memory_order_acquire); });
+  }
+  throw CommAborted{};
+}
+
 void Comm::abort_all() {
   aborted_.store(true, std::memory_order_release);
   // Lock each waiter's mutex before notifying so the flag cannot slip in
@@ -299,6 +344,10 @@ void Comm::barrier_wait(int rank) {
 }
 
 int RankContext::size() const { return comm_.num_ranks(); }
+
+void RankContext::faultpoint(fault::FaultSite site) {
+  comm_.maybe_inject(rank_, site);
+}
 
 const CommStats& RankContext::stats() const {
   return comm_.stats_[static_cast<std::size_t>(rank_)];
@@ -393,6 +442,7 @@ std::vector<std::uint8_t> RankContext::recv_bytes(int src, int tag) {
 void RankContext::send_bytes_impl(int dest, int tag,
                                   std::span<const std::uint8_t> data) {
   HGR_ASSERT(dest >= 0 && dest < size());
+  faultpoint(fault::FaultSite::kSend);
   // Self-sends stay local (MPI implementations also bypass the network).
   if (dest != rank_) account_p2p_send(dest, data.size());
   Comm::Mailbox& box = comm_.mailboxes_[static_cast<std::size_t>(dest)];
@@ -409,6 +459,7 @@ void RankContext::send_bytes_impl(int dest, int tag,
 
 RankContext::RawMessage RankContext::recv_raw(int src, int tag) {
   HGR_ASSERT(src >= 0 && src < size());
+  faultpoint(fault::FaultSite::kRecv);
   Comm::Mailbox& box = comm_.mailboxes_[static_cast<std::size_t>(rank_)];
   std::unique_lock lock(box.mutex);
   const auto key = std::make_pair(src, tag);
@@ -435,6 +486,7 @@ void RankContext::recycle(RawMessage&& msg) {
 }
 
 void RankContext::barrier() {
+  faultpoint(fault::FaultSite::kBarrier);
   obs::EventSpan span("barrier", "comm");
   record_collective(CollectiveKind::kBarrier, 0);
   bump_collectives();

@@ -37,6 +37,12 @@
 // who-waits-on-whom diagnosis, and aborts the communicator through the
 // CommAborted path; Comm::run then throws CommDeadlock instead of hanging
 // forever. See docs/CHECKING.md.
+//
+// Fault injection: set_fault_plan installs a deterministic chaos schedule
+// (fault/fault_plan.hpp); every collective entry, send, and recv consults
+// it and may stall the rank (wakes only on abort — the watchdog's test
+// vector), sleep (delayed delivery), or throw FaultInjected mid-collective
+// (the abort path's test vector). See docs/ROBUSTNESS.md.
 #pragma once
 
 #include <atomic>
@@ -56,6 +62,7 @@
 
 #include "common/assert.hpp"
 #include "common/timer.hpp"
+#include "fault/fault_plan.hpp"
 #include "obs/events.hpp"
 #include "parallel/comm_telemetry.hpp"
 #include "parallel/flat_buffer.hpp"
@@ -144,6 +151,7 @@ class RankContext {
   template <typename T>
   FlatBuffer<T> allgatherv(std::span<const T> mine) {
     static_assert(std::is_trivially_copyable_v<T>);
+    faultpoint(fault::FaultSite::kAllgather);
     obs::EventSpan span("allgather", "comm");
     const std::size_t mine_bytes = mine.size() * sizeof(T);
     record_collective(CollectiveKind::kAllgather,
@@ -187,6 +195,7 @@ class RankContext {
   template <typename T, typename Op>
   T allreduce(T value, Op op) {
     static_assert(std::is_trivially_copyable_v<T>);
+    faultpoint(fault::FaultSite::kAllreduce);
     obs::EventSpan span("allreduce", "comm");
     record_collective(CollectiveKind::kAllreduce,
                       sizeof(T) * static_cast<std::size_t>(size() - 1));
@@ -227,6 +236,7 @@ class RankContext {
     static_assert(std::is_trivially_copyable_v<T>);
     HGR_ASSERT(outgoing.slots() == size());
     HGR_DASSERT(outgoing.filled());
+    faultpoint(fault::FaultSite::kAlltoallv);
     obs::EventSpan span("alltoallv", "comm");
     std::size_t off_rank_bytes = 0;
     for (int d = 0; d < size(); ++d)
@@ -286,6 +296,7 @@ class RankContext {
   template <typename T>
   std::vector<T> bcast(const std::vector<T>& mine, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
+    faultpoint(fault::FaultSite::kBcast);
     obs::EventSpan span("bcast", "comm");
     const std::size_t root_bytes =
         rank_ == root ? mine.size() * sizeof(T) *
@@ -310,6 +321,10 @@ class RankContext {
 
  private:
   friend class Comm;  // Mailbox queues hold RawMessage
+
+  /// Consult the communicator's fault plan (if any) at an instrumented
+  /// blocking point; may sleep, throw FaultInjected, or stall until abort.
+  void faultpoint(fault::FaultSite site);
 
   void account(std::size_t bytes, std::size_t messages);
   void account_recv(std::size_t bytes, std::size_t messages);
@@ -392,9 +407,27 @@ class Comm {
   /// declares a deadlock. 0 disables the watchdog. Default 30s: far above
   /// any legitimate full-quiescence window (a satisfiable recv or barrier
   /// is woken at notify time), yet bounded enough that CI fails with a
-  /// diagnosis instead of timing out.
-  void set_deadlock_timeout(double seconds) { deadlock_timeout_ = seconds; }
-  double deadlock_timeout() const { return deadlock_timeout_; }
+  /// diagnosis instead of timing out. Atomic: may be called from any
+  /// thread, even mid-run — the watchdog re-reads it every poll, so
+  /// shortening or extending a live run's timeout takes effect
+  /// immediately. (Setting 0 mid-run pauses detection but cannot retire
+  /// an already-started watchdog thread; enabling takes effect at the
+  /// next run().)
+  void set_deadlock_timeout(double seconds) {
+    deadlock_timeout_.store(seconds, std::memory_order_release);
+  }
+  double deadlock_timeout() const {
+    return deadlock_timeout_.load(std::memory_order_acquire);
+  }
+
+  /// Install (or clear, with nullptr) the deterministic fault plan every
+  /// subsequent run() consults at collective/send/recv boundaries. Only
+  /// valid between runs. The plan's match counters live in the plan, so
+  /// sharing one plan across Comms (or runs) continues its schedule.
+  void set_fault_plan(std::shared_ptr<const fault::FaultPlan> plan) {
+    fault_plan_ = std::move(plan);
+  }
+  const fault::FaultPlan* fault_plan() const { return fault_plan_.get(); }
 
   /// Aggregate traffic over all ranks from the last run().
   CommStats total_stats() const;
@@ -456,6 +489,18 @@ class Comm {
   // Wake every rank blocked in a recv or barrier; they throw CommAborted.
   void abort_all();
 
+  // --- fault injection (docs/ROBUSTNESS.md) ---
+
+  /// Act on a firing fault rule for `rank` at `site`: sleep, throw
+  /// FaultInjected, or block until abort_all (throwing CommAborted then).
+  void maybe_inject(int rank, fault::FaultSite site);
+  /// The kStall implementation: publish a kStalled wait state and block on
+  /// the rank's mailbox condvar until the run is aborted. Never returns
+  /// normally; without a live watchdog (deadlock_timeout 0) and with no
+  /// other rank failing, this hangs the run — exactly the failure the
+  /// watchdog exists to catch.
+  [[noreturn]] void stall_until_abort(int rank);
+
   // --- deadlock watchdog ---
 
   /// What a rank is currently blocked on, published for the watchdog.
@@ -465,6 +510,7 @@ class Comm {
     static constexpr int kNotWaiting = 0;
     static constexpr int kRecv = 1;
     static constexpr int kBarrier = 2;
+    static constexpr int kStalled = 3;  // injected fault, wakes on abort only
     std::atomic<int> kind{kNotWaiting};
     std::atomic<int> src{-1};
     std::atomic<int> tag{0};
@@ -517,7 +563,8 @@ class Comm {
   // rank's WaitState published means no rank can ever make progress again.
   std::unique_ptr<WaitState[]> wait_states_;
   std::atomic<std::uint64_t> progress_{0};
-  double deadlock_timeout_ = 30.0;
+  // Atomic: set_deadlock_timeout may race the watchdog's per-poll reads.
+  std::atomic<double> deadlock_timeout_{30.0};
   std::mutex watchdog_mutex_;
   std::condition_variable watchdog_cv_;
   bool watchdog_stop_ = false;
@@ -539,6 +586,9 @@ class Comm {
   std::vector<RankEpoch> collective_epochs_;
   // Per-rank payload pools, persistent across runs.
   std::vector<BufferPool> rank_pools_;
+
+  // Chaos schedule consulted by faultpoint(); null = no injection.
+  std::shared_ptr<const fault::FaultPlan> fault_plan_;
 };
 
 inline BufferPool& RankContext::pool() {

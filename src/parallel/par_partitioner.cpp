@@ -30,6 +30,8 @@ ParallelPartitionResult parallel_partition_hypergraph(
 
   WallTimer timer;
   Comm comm(cfg.num_ranks);
+  comm.set_deadlock_timeout(cfg.deadlock_timeout);
+  comm.set_fault_plan(cfg.base.fault_plan);
   std::mutex out_mutex;
 
   comm.run([&](RankContext& ctx) {

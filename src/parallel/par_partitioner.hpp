@@ -23,6 +23,10 @@ struct ParallelPartitionConfig {
   /// instead of the candidate-broadcast global IPM — the speed/quality
   /// trade the paper proposes as future work (Section 5/6).
   bool local_matching = false;
+  /// Watchdog timeout installed on the run's communicator (seconds; 0
+  /// disables detection). base.fault_plan, when set, is installed too —
+  /// injected stalls need a live watchdog to surface as CommDeadlock.
+  double deadlock_timeout = 30.0;
 };
 
 struct ParallelPartitionResult {

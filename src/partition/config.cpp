@@ -9,12 +9,13 @@ std::string PartitionConfig::to_string() const {
   std::snprintf(
       buf, sizeof(buf),
       "k=%d eps=%.3f seed=%llu coarsen_to=%d trials=%d passes=%d method=%s "
-      "queue=%s postpass=%d vcycles=%d check=%s",
+      "queue=%s postpass=%d vcycles=%d check=%s faults=%s",
       num_parts, epsilon, static_cast<unsigned long long>(seed), coarsen_to,
       num_initial_trials, max_refine_passes,
       kway_method == KwayMethod::kRecursiveBisection ? "rb" : "kway",
       gain_queue == GainQueueKind::kHeap ? "heap" : "bucket", kway_postpass,
-      num_vcycles, check::to_string(check_level));
+      num_vcycles, check::to_string(check_level),
+      fault_plan ? "on" : "off");
   return buf;
 }
 

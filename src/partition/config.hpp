@@ -2,12 +2,17 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "check/check_level.hpp"
 #include "common/types.hpp"
 
 namespace hgr {
+
+namespace fault {
+class FaultPlan;
+}
 
 enum class KwayMethod {
   kRecursiveBisection,  // Zoltan's production path (paper Section 4.4)
@@ -74,6 +79,11 @@ struct PartitionConfig {
   /// coarsening level, after every (re)partitioning stage, and per epoch.
   /// kOff (default) costs nothing; see docs/CHECKING.md.
   check::CheckLevel check_level = check::CheckLevel::kOff;
+
+  /// Deterministic fault-injection schedule (fault/fault_plan.hpp) that
+  /// parallel runs install on their communicator; null (default) injects
+  /// nothing. See docs/ROBUSTNESS.md.
+  std::shared_ptr<const fault::FaultPlan> fault_plan;
 
   std::string to_string() const;
 };

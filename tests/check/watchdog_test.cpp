@@ -103,6 +103,25 @@ TEST(Watchdog, DisabledTimeoutMeansNoWatchdog) {
   EXPECT_EQ(total, 1);
 }
 
+TEST(Watchdog, TimeoutUpdateMidRunIsHonored) {
+  // set_deadlock_timeout is atomic and re-read every watchdog poll, so
+  // shortening a live run's generous timeout takes effect immediately
+  // (regression: the old plain-double member was both a data race and a
+  // stale snapshot — a mid-run update was ignored until the next run).
+  Comm comm(2);
+  comm.set_deadlock_timeout(300.0);
+  WallTimer timer;
+  EXPECT_THROW(comm.run([&](RankContext& ctx) {
+                 if (ctx.rank() == 0) comm.set_deadlock_timeout(0.2);
+                 ctx.barrier();
+                 // Mutual recv: a textbook deadlock under the new 0.2s
+                 // timeout; under the stale 300s one this test times out.
+                 (void)ctx.recv<std::uint8_t>(1 - ctx.rank(), 4);
+               }),
+               CommDeadlock);
+  EXPECT_LT(timer.seconds(), 30.0);
+}
+
 TEST(Watchdog, CommStaysReusableAfterDeadlock) {
   Comm comm(2);
   comm.set_deadlock_timeout(0.2);

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <fstream>
 #include <iterator>
+#include <limits>
+#include <sstream>
 #include <string>
 
 #include "test_util.hpp"
@@ -59,6 +61,7 @@ TEST(EpochDriver, SummaryMeansMatchRecords) {
   EpochRunSummary s;
   EpochRecord e1;
   e1.epoch = 1;
+  e1.is_static = true;  // the means filter on this flag, not the number
   e1.cost = {100, 0, 10};
   EpochRecord e2;
   e2.epoch = 2;
@@ -74,6 +77,57 @@ TEST(EpochDriver, SummaryMeansMatchRecords) {
   EXPECT_DOUBLE_EQ(s.mean_repart_seconds(), 3.0);
   EXPECT_DOUBLE_EQ(s.mean_normalized_total_cost(),
                    ((10 + 2.0) + (30 + 4.0)) / 2.0);
+}
+
+TEST(EpochSeries, PathologicalMagnitudesDoNotTruncate) {
+  // Regression: to_csv used to format each row into a fixed buffer without
+  // checking the snprintf result, silently truncating rows whose fields hit
+  // extreme magnitudes. Worst-case int64/int32/double values must survive
+  // the round trip to text in full.
+  EpochRunSummary s;
+  EpochRecord r;
+  r.epoch = std::numeric_limits<Index>::min();
+  r.cost.alpha = 1;  // keeps total() = comm + mig inside int64
+  r.cost.comm_volume = -4611686018427387904LL;
+  r.cost.migration_volume = -4611686018427387904LL;
+  r.repart_seconds = -1.7976931348623157e308;
+  r.imbalance = -1.7976931348623157e308;
+  r.coarsen_seconds = -1.7976931348623157e308;
+  r.initial_seconds = -1.7976931348623157e308;
+  r.refine_seconds = -1.7976931348623157e308;
+  r.num_vertices = std::numeric_limits<Index>::min();
+  r.num_migrated = std::numeric_limits<Index>::min();
+  r.degraded = true;
+  r.retries = std::numeric_limits<Index>::min();
+  s.epochs.push_back(r);
+  EpochSeries series;
+  series.append("pathological-dataset", "perturb", "alg",
+                std::numeric_limits<PartId>::min(),
+                std::numeric_limits<Weight>::min(),
+                std::numeric_limits<Index>::min(), s);
+  const std::string csv = series.to_csv();
+  std::string header, row, extra;
+  {
+    std::istringstream lines(csv);
+    ASSERT_TRUE(static_cast<bool>(std::getline(lines, header)));
+    ASSERT_TRUE(static_cast<bool>(std::getline(lines, row)));
+    EXPECT_FALSE(static_cast<bool>(std::getline(lines, extra)));
+  }
+  // Every column made it out: the data row has exactly as many fields as
+  // the header.
+  EXPECT_EQ(std::count(row.begin(), row.end(), ','),
+            std::count(header.begin(), header.end(), ','));
+  // And the widest fields are present in full, not cut mid-digit.
+  EXPECT_NE(row.find("-9223372036854775808"), std::string::npos) << row;
+  EXPECT_NE(row.find("-4611686018427387904,-4611686018427387904"),
+            std::string::npos)
+      << row;
+  EXPECT_NE(row.find("-1.79769e+308"), std::string::npos) << row;
+  // The row ends with the retries column, uncut.
+  const std::string retries_text =
+      std::to_string(std::numeric_limits<Index>::min());
+  ASSERT_GE(row.size(), retries_text.size());
+  EXPECT_EQ(row.substr(row.size() - retries_text.size()), retries_text);
 }
 
 TEST(EpochDriver, MigrationHappensAfterPerturbation) {

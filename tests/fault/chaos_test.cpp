@@ -1,0 +1,289 @@
+// Chaos suite: deterministic fault injection driving the comm runtime's
+// abort/watchdog paths and the epoch driver's graceful-degradation policy.
+// Every scenario that used to require a hand-written misbehaving rank is
+// expressed as a FaultPlan here; all tests use explicit short watchdog
+// timeouts so a regression fails fast instead of hanging CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/epoch_driver.hpp"
+#include "core/repartitioner.hpp"
+#include "fault/fault_plan.hpp"
+#include "hypergraph/convert.hpp"
+#include "parallel/comm.hpp"
+#include "parallel/dist_app.hpp"
+#include "workload/generators.hpp"
+#include "workload/perturb.hpp"
+
+namespace hgr {
+namespace {
+
+std::shared_ptr<const fault::FaultPlan> plan(const std::string& spec) {
+  return std::make_shared<const fault::FaultPlan>(fault::FaultPlan::parse(spec));
+}
+
+TEST(Chaos, InjectedStallTripsWatchdogWithDiagnosis) {
+  Comm comm(3);
+  comm.set_deadlock_timeout(0.2);
+  comm.set_fault_plan(plan("stall@barrier:rank=1"));
+  try {
+    comm.run([](RankContext& ctx) { ctx.barrier(); });
+    FAIL() << "stalled run returned";
+  } catch (const CommDeadlock& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 1: stalled (injected fault)"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("rank 0: barrier"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 2: barrier"), std::string::npos) << what;
+  }
+}
+
+TEST(Chaos, InjectedThrowMidCollectivePropagatesToCaller) {
+  // Rank 1 throws FaultInjected on its second allreduce; the other ranks
+  // block in the collective, observe the abort, and Comm::run rethrows the
+  // injected fault (the lowest-rank original exception).
+  Comm comm(3);
+  comm.set_deadlock_timeout(2.0);
+  comm.set_fault_plan(plan("throw@allreduce:rank=1,after=2"));
+  try {
+    comm.run([](RankContext& ctx) {
+      (void)ctx.allreduce_sum<int>(1);
+      (void)ctx.allreduce_sum<int>(2);
+    });
+    FAIL() << "faulted run returned";
+  } catch (const fault::FaultInjected& e) {
+    EXPECT_NE(std::string(e.what()).find("throw@allreduce rank=1 match=2"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Chaos, ThrowDuringFlatExchangeFillPassAbortsPeers) {
+  // The regression the abort path exists for: user code dies *between* the
+  // count alltoallv and the payload alltoallv of a flat exchange. Peers
+  // already inside the payload collective must observe CommAborted and the
+  // original exception must surface from run().
+  Comm comm(3);
+  comm.set_deadlock_timeout(2.0);
+  std::atomic<int> peers_aborted{0};
+  try {
+    comm.run([&](RankContext& ctx) {
+      try {
+        FlatBuffer<std::int32_t> counts = ctx.make_buffer<std::int32_t>();
+        for (int d = 0; d < ctx.size(); ++d) counts.count(d) = 1;
+        counts.commit_counts();
+        for (int d = 0; d < ctx.size(); ++d)
+          counts.push(d, static_cast<std::int32_t>(ctx.rank()));
+        (void)ctx.alltoallv(counts);
+        if (ctx.rank() == 1)
+          throw std::runtime_error("payload fill failed on rank 1");
+        FlatBuffer<std::int64_t> payload = ctx.make_buffer<std::int64_t>();
+        for (int d = 0; d < ctx.size(); ++d) payload.count(d) = 2;
+        payload.commit_counts();
+        for (int d = 0; d < ctx.size(); ++d) {
+          payload.push(d, 10 * ctx.rank());
+          payload.push(d, 10 * ctx.rank() + 1);
+        }
+        (void)ctx.alltoallv(payload);
+      } catch (const CommAborted&) {
+        peers_aborted.fetch_add(1);
+        throw;
+      }
+    });
+    FAIL() << "faulted run returned";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("payload fill failed on rank 1"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(peers_aborted.load(), 2);
+}
+
+TEST(Chaos, DelayFaultsPreserveCollectiveResults) {
+  // Delays reorder thread interleavings but must not change any result:
+  // run a halo exchange with and without a pervasive delay plan and
+  // compare the checksums word for word.
+  const Hypergraph h = graph_to_hypergraph(make_grid3d(4, 4, 3, false));
+  Partition p(2, h.num_vertices());
+  for (Index v = 0; v < h.num_vertices(); ++v) p[v] = v % 2;
+  std::vector<std::int64_t> values(static_cast<std::size_t>(h.num_vertices()));
+  for (Index v = 0; v < h.num_vertices(); ++v)
+    values[static_cast<std::size_t>(v)] = 3 * v + 1;
+
+  auto run_once = [&](std::shared_ptr<const fault::FaultPlan> fp) {
+    Comm comm(2);
+    comm.set_deadlock_timeout(5.0);
+    comm.set_fault_plan(std::move(fp));
+    HaloStats out;
+    comm.run([&](RankContext& ctx) {
+      const HaloStats stats = halo_exchange(ctx, h, p, values);
+      if (ctx.rank() == 0) out = stats;
+      ctx.barrier();
+    });
+    return out;
+  };
+
+  const HaloStats clean = run_once(nullptr);
+  const HaloStats delayed =
+      run_once(plan("seed=11;delay@any:ms=0.2,count=0,prob=0.5"));
+  EXPECT_EQ(delayed.reduction_checksum, clean.reduction_checksum);
+  EXPECT_EQ(delayed.words_sent, clean.words_sent);
+}
+
+TEST(Chaos, CommStaysReusableAfterInjectedFaults) {
+  Comm comm(2);
+  comm.set_deadlock_timeout(0.2);
+  comm.set_fault_plan(plan("throw@barrier:rank=0"));
+  EXPECT_THROW(comm.run([](RankContext& ctx) { ctx.barrier(); }),
+               fault::FaultInjected);
+  comm.set_fault_plan(plan("stall@barrier:rank=1"));
+  EXPECT_THROW(comm.run([](RankContext& ctx) { ctx.barrier(); }),
+               CommDeadlock);
+  // Plan cleared: the same communicator completes a healthy run.
+  comm.set_fault_plan(nullptr);
+  int total = 0;
+  comm.run([&](RankContext& ctx) {
+    const int x = ctx.allreduce_sum<int>(1);
+    if (ctx.rank() == 0) total = x;
+  });
+  EXPECT_EQ(total, 2);
+}
+
+// --- graceful degradation (run_repartition_with_policy / run_epochs) ---
+
+RepartitionerConfig chaos_cfg(PartId k, const std::string& fault_spec) {
+  RepartitionerConfig cfg;
+  cfg.alpha = 10;
+  cfg.partition.num_parts = k;
+  cfg.partition.epsilon = 0.1;
+  cfg.partition.seed = 7;
+  cfg.num_ranks = 2;
+  cfg.deadlock_timeout = 0.25;
+  cfg.max_retries = 1;
+  if (!fault_spec.empty()) cfg.partition.fault_plan = plan(fault_spec);
+  return cfg;
+}
+
+TEST(Chaos, RunEpochsSurvivesInjectedThrow) {
+  // Every parallel attempt dies immediately, so each repartition epoch
+  // retries then degrades to keeping the old partition — but the run
+  // completes every epoch.
+  StructuralPerturbScenario scenario(make_grid3d(6, 6, 6, false),
+                                     StructuralPerturbOptions{}, 11);
+  RepartitionerConfig cfg = chaos_cfg(4, "throw@any:count=0");
+  const EpochRunSummary s =
+      run_epochs(scenario, RepartAlgorithm::kHypergraphRepart, cfg, 4);
+  ASSERT_EQ(s.epochs.size(), 4u);
+  EXPECT_TRUE(s.epochs[0].is_static);
+  EXPECT_FALSE(s.epochs[0].degraded);  // static bootstrap is serial
+  for (std::size_t e = 1; e < s.epochs.size(); ++e) {
+    EXPECT_FALSE(s.epochs[e].is_static);
+    EXPECT_TRUE(s.epochs[e].degraded) << "epoch " << e + 1;
+    EXPECT_EQ(s.epochs[e].retries, 1) << "epoch " << e + 1;
+    // Kept-old fallback: zero migration, honest recomputed cut.
+    EXPECT_EQ(s.epochs[e].num_migrated, 0);
+    EXPECT_EQ(s.epochs[e].cost.migration_volume, 0);
+    EXPECT_GT(s.epochs[e].cost.comm_volume, 0);
+  }
+}
+
+TEST(Chaos, RunEpochsSurvivesInjectedDeadlock) {
+  // A stalled rank wedges every attempt until the watchdog aborts it; the
+  // epoch driver must absorb the CommDeadlock and degrade, not hang.
+  StructuralPerturbScenario scenario(make_grid3d(5, 5, 5, false),
+                                     StructuralPerturbOptions{}, 13);
+  RepartitionerConfig cfg = chaos_cfg(4, "stall@any:rank=0,count=0");
+  const EpochRunSummary s =
+      run_epochs(scenario, RepartAlgorithm::kHypergraphRepart, cfg, 3);
+  ASSERT_EQ(s.epochs.size(), 3u);
+  for (std::size_t e = 1; e < s.epochs.size(); ++e) {
+    EXPECT_TRUE(s.epochs[e].degraded) << "epoch " << e + 1;
+    EXPECT_EQ(s.epochs[e].retries, 1) << "epoch " << e + 1;
+    EXPECT_EQ(s.epochs[e].num_migrated, 0);
+  }
+}
+
+TEST(Chaos, RetrySucceedsAfterTransientFault) {
+  // One single-shot fault: the first parallel attempt of epoch 2 dies, the
+  // retry is clean, and later epochs never see the (consumed) rule. The
+  // plan's counters persist across per-attempt Comms — that is the point.
+  StructuralPerturbScenario scenario(make_grid3d(6, 6, 6, false),
+                                     StructuralPerturbOptions{}, 17);
+  RepartitionerConfig cfg = chaos_cfg(4, "throw@any:rank=0,after=1,count=1");
+  const EpochRunSummary s =
+      run_epochs(scenario, RepartAlgorithm::kHypergraphRepart, cfg, 3);
+  ASSERT_EQ(s.epochs.size(), 3u);
+  EXPECT_FALSE(s.epochs[1].degraded);
+  EXPECT_EQ(s.epochs[1].retries, 1);
+  EXPECT_FALSE(s.epochs[2].degraded);
+  EXPECT_EQ(s.epochs[2].retries, 0);
+  // The successful retry did real repartitioning work.
+  EXPECT_GT(s.mean_comm_volume(), 0.0);
+}
+
+TEST(Chaos, ScratchFallbackProducesFreshPartition) {
+  const Hypergraph h = graph_to_hypergraph(make_grid3d(6, 6, 6, false));
+  Partition old_p(4, h.num_vertices());
+  for (Index v = 0; v < h.num_vertices(); ++v) old_p[v] = v % 4;
+  RepartitionerConfig cfg = chaos_cfg(4, "throw@any:count=0");
+  cfg.fallback = EpochFallback::kScratch;
+  const GuardedRepartitionResult guarded = run_repartition_with_policy(
+      RepartAlgorithm::kHypergraphRepart, h, Graph{}, old_p, cfg);
+  EXPECT_TRUE(guarded.degraded);
+  EXPECT_EQ(guarded.retries, 1);
+  EXPECT_FALSE(guarded.error.empty());
+  // The serial scratch fallback returned a real partition of the epoch
+  // hypergraph (not necessarily the old assignment).
+  ASSERT_EQ(guarded.result.partition.num_vertices(), h.num_vertices());
+  guarded.result.partition.validate();
+  EXPECT_GT(guarded.result.cost.comm_volume, 0);
+}
+
+TEST(Chaos, OverBudgetAttemptDegrades) {
+  // Serial attempts that complete but overrun the per-epoch budget count
+  // as failures: at scale a repartitioner slower than the epoch it serves
+  // is as bad as a hang.
+  const Hypergraph h = graph_to_hypergraph(make_grid3d(5, 5, 5, false));
+  Partition old_p(4, h.num_vertices());
+  for (Index v = 0; v < h.num_vertices(); ++v) old_p[v] = v % 4;
+  RepartitionerConfig cfg;
+  cfg.alpha = 10;
+  cfg.partition.num_parts = 4;
+  cfg.partition.seed = 7;
+  cfg.max_retries = 1;
+  cfg.epoch_time_budget = 1e-12;  // unmeetable
+  const GuardedRepartitionResult guarded = run_repartition_with_policy(
+      RepartAlgorithm::kHypergraphRepart, h, Graph{}, old_p, cfg);
+  EXPECT_TRUE(guarded.degraded);
+  EXPECT_NE(guarded.error.find("budget"), std::string::npos)
+      << guarded.error;
+  // Kept-old fallback.
+  EXPECT_EQ(guarded.result.cost.migration_volume, 0);
+  for (Index v = 0; v < h.num_vertices(); ++v)
+    EXPECT_EQ(guarded.result.partition[v], old_p[v]);
+}
+
+TEST(Chaos, DegradedEpochsAreRecordedInCsv) {
+  StructuralPerturbScenario scenario(make_grid3d(5, 5, 5, false),
+                                     StructuralPerturbOptions{}, 19);
+  RepartitionerConfig cfg = chaos_cfg(4, "throw@any:count=0");
+  const EpochRunSummary s =
+      run_epochs(scenario, RepartAlgorithm::kHypergraphRepart, cfg, 3);
+  EpochSeries series;
+  series.append("chaos-grid", "structural", "hg-repart", 4, cfg.alpha, 0, s);
+  const std::string csv = series.to_csv();
+  EXPECT_NE(csv.find("is_static,degraded,retries"), std::string::npos);
+  // Static bootstrap row: is_static=1, degraded=0, retries=0.
+  EXPECT_NE(csv.find(",1,0,0\n"), std::string::npos) << csv;
+  // Degraded repartition rows: is_static=0, degraded=1, retries=1.
+  EXPECT_NE(csv.find(",0,1,1\n"), std::string::npos) << csv;
+}
+
+}  // namespace
+}  // namespace hgr

@@ -167,7 +167,7 @@ TEST(CliTrace, EpochCsvGoldenHeaderAndRow) {
             "dataset,perturb,algorithm,k,alpha,trial,epoch,cut,"
             "migration_volume,total_cost,normalized_cost,imbalance,"
             "num_vertices,num_migrated,repart_seconds,coarsen_seconds,"
-            "initial_seconds,refine_seconds");
+            "initial_seconds,refine_seconds,is_static,degraded,retries");
   // Tag columns: dataset is the input path, serial algorithm, k=4,
   // epoch 1, and the grid has 192 vertices, none migrated.
   EXPECT_EQ(row.compare(0, in.size() + 1, in + ","), 0);

@@ -19,6 +19,13 @@
 // captures the per-rank event timeline in Chrome trace-event format (open
 // in https://ui.perfetto.dev); --epoch-csv=FILE writes the run as a
 // one-epoch EpochSeries CSV row (docs/OBSERVABILITY.md).
+//
+// Robustness knobs (docs/ROBUSTNESS.md): --fault-plan=SPEC installs a
+// deterministic fault-injection plan on the parallel runtime;
+// --epoch-retries=N and --epoch-timeout=S configure the repartition
+// retry/degradation policy (repartition mode runs through it, so an
+// injected deadlock or crash degrades to keeping the old partition
+// instead of failing the invocation).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -26,8 +33,11 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "check/check_level.hpp"
 #include "check/validate.hpp"
+#include "fault/fault_plan.hpp"
 #include "common/timer.hpp"
 #include "core/epoch_driver.hpp"
 #include "core/repartitioner.hpp"
@@ -56,6 +66,9 @@ struct CliOptions {
   std::string trace_json_path;
   std::string chrome_trace_path;
   std::string epoch_csv_path;
+  std::string fault_plan_spec;
+  int epoch_retries = 1;        // failed repartition attempts retried
+  double epoch_timeout = 0.0;   // per-attempt wall budget (0 = unlimited)
   PartId k = 2;
   double eps = 0.05;
   std::uint64_t seed = 1;
@@ -74,12 +87,16 @@ struct CliOptions {
                "  hgr_cli partition   <input> --k=N [--eps=F] [--seed=S] "
                "[--graph|--mm] [--ranks=P] [--report] [--out=FILE] "
                "[--trace-json=FILE] [--chrome-trace=FILE] "
-               "[--epoch-csv=FILE] [--validate=cheap|paranoid]\n"
+               "[--epoch-csv=FILE] [--fault-plan=SPEC] "
+               "[--validate=cheap|paranoid]\n"
                "  hgr_cli repartition <input> --old=FILE --k=N [--alpha=A] "
                "[--eps=F] [--seed=S] [--graph] [--ranks=P] [--out=FILE] "
                "[--trace-json=FILE] [--chrome-trace=FILE] "
-               "[--epoch-csv=FILE] [--validate=cheap|paranoid]\n"
-               "  hgr_cli info        <input> [--graph]\n");
+               "[--epoch-csv=FILE] [--fault-plan=SPEC] [--epoch-retries=N] "
+               "[--epoch-timeout=S] [--validate=cheap|paranoid]\n"
+               "  hgr_cli info        <input> [--graph]\n"
+               "fault plan SPEC: [seed=S;]<kind>@<site>[:key=val,...] "
+               "(docs/ROBUSTNESS.md)\n");
   std::exit(2);
 }
 
@@ -113,6 +130,12 @@ CliOptions parse(int argc, char** argv) {
       opt.chrome_trace_path = value;
     } else if (key == "--epoch-csv") {
       opt.epoch_csv_path = value;
+    } else if (key == "--fault-plan") {
+      opt.fault_plan_spec = value;
+    } else if (key == "--epoch-retries") {
+      opt.epoch_retries = static_cast<int>(std::stol(value));
+    } else if (key == "--epoch-timeout") {
+      opt.epoch_timeout = std::stod(value);
     } else if (key == "--validate") {
       if (!check::parse_check_level(value, opt.check_level))
         usage(("bad --validate level: " + value +
@@ -192,10 +215,14 @@ double phase_seconds(const obs::PhaseSnapshot& node, const std::string& name) {
 /// repartition (matching run_epochs' numbering).
 void maybe_dump_epoch_csv(const CliOptions& opt, const Hypergraph& h,
                           const Partition& p, const RepartitionCost& cost,
-                          Index migrated, double seconds, Index epoch) {
+                          Index migrated, double seconds, Index epoch,
+                          bool degraded = false, Index retries = 0) {
   if (opt.epoch_csv_path.empty()) return;
   EpochRecord rec;
   rec.epoch = epoch;
+  rec.is_static = epoch == 1;
+  rec.degraded = degraded;
+  rec.retries = retries;
   rec.cost = cost;
   rec.repart_seconds = seconds;
   rec.imbalance = imbalance(h.vertex_weights(), p);
@@ -265,6 +292,14 @@ int main(int argc, char** argv) {
     pcfg.epsilon = opt.eps;
     pcfg.seed = opt.seed;
     pcfg.check_level = opt.check_level;
+    if (!opt.fault_plan_spec.empty()) {
+      try {
+        pcfg.fault_plan = std::make_shared<const fault::FaultPlan>(
+            fault::FaultPlan::parse(opt.fault_plan_spec));
+      } catch (const std::invalid_argument& e) {
+        usage(e.what());
+      }
+    }
     if (check::enabled(opt.check_level))
       check::validate_hypergraph(h, opt.check_level, opt.k);
 
@@ -314,26 +349,33 @@ int main(int argc, char** argv) {
       RepartitionCost cost;
       double seconds = 0.0;
       std::size_t moves = 0;
+      GuardedRepartitionResult guarded;
       {
         obs::TraceScope repart_scope("repartition");
-        if (opt.ranks > 0) {
-          const ParallelPartitionResult r = parallel_hypergraph_repartition(
-              h, old_p, opt.alpha, parallel_config(opt, pcfg));
-          p = r.partition;
-          cost = evaluate_repartition(h, old_p, p, opt.alpha);
-          seconds = r.seconds;
-          moves = static_cast<std::size_t>(num_migrated(old_p, p));
-        } else {
-          RepartitionerConfig rcfg;
-          rcfg.partition = pcfg;
-          rcfg.alpha = opt.alpha;
-          RepartitionResult r = hypergraph_repartition(h, old_p, rcfg);
-          p = std::move(r.partition);
-          cost = r.cost;
-          seconds = r.seconds;
-          moves = r.plan.moves.size();
-        }
+        // Both paths run through the graceful-degradation policy: with
+        // --ranks=P the attempt is the parallel runtime (the surface
+        // --fault-plan perturbs), serially it is hypergraph_repartition.
+        RepartitionerConfig rcfg;
+        rcfg.partition = pcfg;
+        rcfg.alpha = opt.alpha;
+        rcfg.num_ranks = opt.ranks;
+        rcfg.max_retries = opt.epoch_retries;
+        rcfg.epoch_time_budget = opt.epoch_timeout;
+        guarded = run_repartition_with_policy(
+            RepartAlgorithm::kHypergraphRepart, h, Graph{}, old_p, rcfg);
+        p = std::move(guarded.result.partition);
+        cost = guarded.result.cost;
+        seconds = guarded.result.seconds;
+        moves = guarded.result.plan.moves.size();
       }
+      if (guarded.retries > 0 || guarded.degraded)
+        std::fprintf(stderr, "repartition %s after %lld failed attempt(s)%s%s\n",
+                     guarded.degraded ? "degraded (kept old partition)"
+                                      : "succeeded",
+                     static_cast<long long>(guarded.retries +
+                                            (guarded.degraded ? 1 : 0)),
+                     guarded.error.empty() ? "" : ": ",
+                     guarded.error.c_str());
       if (check::enabled(opt.check_level)) {
         check::PartitionExpectations expect;
         expect.context = "hgr_cli repartition";
@@ -346,7 +388,7 @@ int main(int argc, char** argv) {
       }
       record_epoch_cost(cost, num_migrated(old_p, p));
       maybe_dump_epoch_csv(opt, h, p, cost, num_migrated(old_p, p), seconds,
-                           /*epoch=*/2);
+                           /*epoch=*/2, guarded.degraded, guarded.retries);
       report_quality(h, p, opt.report);
       std::fprintf(stderr,
                    "alpha=%lld comm=%lld migration=%lld total=%lld "

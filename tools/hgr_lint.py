@@ -26,10 +26,17 @@ Rules (all scoped to src/ and tools/ C++ sources):
                    FlatBuffer<T> (parallel/flat_buffer.hpp) or a Workspace
                    borrow. Deliberate ragged use (the compat shims) is
                    suppressed with `// hgr-lint: ragged-ok`.
+  swallowed-failure  No `catch (...)` whose body neither rethrows nor
+                   aborts (throw / rethrow_exception / abort_all /
+                   std::abort / std::terminate / std::exit). A silently
+                   swallowed failure in the comm or degradation paths turns
+                   a diagnosable abort into a wrong answer or a hang
+                   (docs/ROBUSTNESS.md). Deliberate sinks are suppressed
+                   with `// hgr-lint: swallow-ok` on the catch line.
 
 A finding line may be suppressed with a trailing `// hgr-lint: allow`
-comment (`// hgr-lint: ragged-ok` for the ragged-comm rule). Exit status is
-the number of findings (0 = clean).
+comment (`// hgr-lint: ragged-ok` / `// hgr-lint: swallow-ok` for their
+rules). Exit status is the number of findings (0 = clean).
 """
 
 from __future__ import annotations
@@ -42,7 +49,10 @@ SUPPRESS = "hgr-lint: allow"
 
 # Rule-specific suppression markers: a line carrying the marker is exempt
 # from that one rule (unlike SUPPRESS, which silences every rule).
-RULE_SUPPRESS = {"ragged-comm": "hgr-lint: ragged-ok"}
+RULE_SUPPRESS = {
+    "ragged-comm": "hgr-lint: ragged-ok",
+    "swallowed-failure": "hgr-lint: swallow-ok",
+}
 
 # Each rule: (name, regex, explanation, file-filter or None).
 RULES = [
@@ -102,16 +112,20 @@ def strip_noise(line: str) -> str:
     return LINE_COMMENT.sub("", line)
 
 
-def lint_file(path: Path) -> list[str]:
-    findings = []
+def cleaned_lines(path: Path) -> list[tuple[int, str, str]]:
+    """(lineno, raw, cleaned) per line, with comments and strings blanked.
+
+    Keeps one entry per source line (cleaned may be empty) so multi-line
+    scans can brace-match across the whole file.
+    """
+    out = []
     in_block_comment = False
     for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
-        if SUPPRESS in raw:
-            continue
         line = raw
         if in_block_comment:
             end = line.find("*/")
             if end < 0:
+                out.append((lineno, raw, ""))
                 continue
             line = line[end + 2:]
             in_block_comment = False
@@ -126,7 +140,71 @@ def lint_file(path: Path) -> list[str]:
                 in_block_comment = True
                 break
             line = line[:start] + line[end + 2:]
-        line = strip_noise(line)
+        out.append((lineno, raw, strip_noise(line)))
+    return out
+
+
+CATCH_ALL = re.compile(r"catch\s*\(\s*\.\.\.\s*\)")
+# Anything that propagates or escalates the failure out of the handler.
+FAILURE_PROPAGATION = re.compile(
+    r"\bthrow\b|rethrow_exception|abort_all|std::abort\b|std::terminate\b"
+    r"|std::exit\b")
+
+
+def lint_swallowed_failures(path: Path,
+                            lines: list[tuple[int, str, str]]) -> list[str]:
+    """Flag `catch (...)` handlers that neither rethrow nor abort."""
+    findings = []
+    for i, (lineno, raw, cleaned) in enumerate(lines):
+        match = CATCH_ALL.search(cleaned)
+        if match is None:
+            continue
+        if SUPPRESS in raw or RULE_SUPPRESS["swallowed-failure"] in raw:
+            continue
+        # Collect the brace-matched handler body, which may span lines.
+        depth = 0
+        opened = closed = False
+        body_chars = []
+        j, col = i, match.end()
+        while j < len(lines) and not closed:
+            text = lines[j][2]
+            for k in range(col, len(text)):
+                ch = text[k]
+                if ch == "{":
+                    depth += 1
+                    opened = True
+                    if depth == 1:
+                        continue
+                elif ch == "}":
+                    depth -= 1
+                    if opened and depth == 0:
+                        closed = True
+                        break
+                if opened:
+                    body_chars.append(ch)
+            if not closed:
+                body_chars.append("\n")
+                j += 1
+                col = 0
+        if not closed:
+            continue  # unbalanced (macro soup): don't guess
+        if FAILURE_PROPAGATION.search("".join(body_chars)):
+            continue
+        findings.append(
+            f"{path}:{lineno}: [swallowed-failure] {raw.strip()}\n"
+            "    -> a catch-all must rethrow or abort (throw, "
+            "rethrow_exception, abort_all, std::abort, std::terminate, "
+            "std::exit); mark deliberate sinks with "
+            "`// hgr-lint: swallow-ok`")
+    return findings
+
+
+def lint_file(path: Path) -> list[str]:
+    findings = []
+    lines = cleaned_lines(path)
+    for lineno, raw, line in lines:
+        if SUPPRESS in raw:
+            continue
         if not line.strip():
             continue
         for name, pattern, why, file_filter in RULES:
@@ -139,6 +217,7 @@ def lint_file(path: Path) -> list[str]:
                 findings.append(
                     f"{path}:{lineno}: [{name}] {raw.strip()}\n"
                     f"    -> {why}")
+    findings += lint_swallowed_failures(path, lines)
     return findings
 
 
