@@ -7,6 +7,7 @@
 #include "check/validate.hpp"
 #include "common/assert.hpp"
 #include "common/timer.hpp"
+#include "core/incremental_repart.hpp"
 #include "graphpart/gpartitioner.hpp"
 #include "hypergraph/convert.hpp"
 #include "metrics/balance.hpp"
@@ -88,9 +89,15 @@ EpochRunSummary run_epochs(EpochScenario& scenario,
                            const RepartitionerConfig& cfg, Index num_epochs) {
   obs::TraceScope run_scope("epochs");
   EpochRunSummary summary;
+  // Two-tier routing state: the delta tracker diffs consecutive epochs,
+  // the incremental repartitioner holds the drift baseline across them.
+  EpochDeltaTracker delta_tracker;
+  IncrementalRepartitioner incremental;
   for (Index e = 1; e <= num_epochs; ++e) {
     EpochProblem problem = scenario.next_epoch();
     const Hypergraph h = graph_to_hypergraph(problem.graph);
+    const EpochDelta delta =
+        delta_tracker.observe(problem.graph, problem.to_base);
 
     EpochRecord record;
     record.epoch = e;
@@ -114,17 +121,27 @@ EpochRunSummary run_epochs(EpochScenario& scenario,
       record.cost.alpha = cfg.alpha;
       record.cost.comm_volume = connectivity_cut(h, chosen);
       record.cost.migration_volume = 0;
+      record.tier = RepartTier::kStatic;
+      // The bootstrap cut is the first drift baseline, so epoch 2 can
+      // already ride the fast path.
+      incremental.note_full(record.cost.comm_volume);
+      obs::counter("epoch.tier_static") += 1;
     } else {
       // Guarded by the graceful-degradation policy: a repartition attempt
       // that throws (misbehaving rank, watchdog-detected deadlock,
       // injected fault) or overruns the epoch budget is retried, then the
       // epoch degrades to the configured fallback — the run keeps going.
-      GuardedRepartitionResult guarded = run_repartition_with_policy(
-          algorithm, h, problem.graph, problem.old_partition, cfg);
+      // run_tiered_repartition first offers the epoch to the O(delta)
+      // incremental path (no-op when cfg.partition.incremental is kOff).
+      GuardedRepartitionResult guarded = run_tiered_repartition(
+          algorithm, h, problem.graph, problem.old_partition, cfg,
+          incremental, delta);
       record.repart_seconds = guarded.result.seconds;
       record.cost = guarded.result.cost;
       record.degraded = guarded.degraded;
       record.retries = guarded.retries;
+      record.tier = guarded.tier;
+      record.escalated = guarded.escalated;
       record.num_migrated =
           num_migrated(problem.old_partition, guarded.result.partition);
       chosen = std::move(guarded.result.partition);
@@ -184,7 +201,8 @@ std::string EpochSeries::csv_header() {
   return "dataset,perturb,algorithm,k,alpha,trial,epoch,cut,"
          "migration_volume,total_cost,normalized_cost,imbalance,"
          "num_vertices,num_migrated,repart_seconds,coarsen_seconds,"
-         "initial_seconds,refine_seconds,is_static,degraded,retries";
+         "initial_seconds,refine_seconds,is_static,degraded,retries,"
+         "tier,escalated";
 }
 
 namespace {
@@ -224,7 +242,7 @@ std::string EpochSeries::to_csv() const {
     append_formatted(
         out,
         ",%lld,%lld,%lld,%lld,%lld,%lld,%lld,%.6g,%.6g,%lld,%lld,%.6g,%.6g,"
-        "%.6g,%.6g,%d,%d,%lld",
+        "%.6g,%.6g,%d,%d,%lld,%s,%d",
         static_cast<long long>(row.k), static_cast<long long>(row.alpha),
         static_cast<long long>(row.trial), static_cast<long long>(r.epoch),
         static_cast<long long>(r.cost.comm_volume),
@@ -234,7 +252,8 @@ std::string EpochSeries::to_csv() const {
         static_cast<long long>(r.num_migrated), r.repart_seconds,
         r.coarsen_seconds, r.initial_seconds, r.refine_seconds,
         r.is_static ? 1 : 0, r.degraded ? 1 : 0,
-        static_cast<long long>(r.retries));
+        static_cast<long long>(r.retries), to_string(r.tier),
+        r.escalated ? 1 : 0);
     out += '\n';
   }
   return out;

@@ -64,6 +64,13 @@ struct EpochRecord {
   bool degraded = false;
   /// Failed repartition attempts before this epoch's partition was chosen.
   Index retries = 0;
+  /// Which tier produced the partition: the static bootstrap, a full
+  /// repartition, or the O(delta) incremental fast path
+  /// (docs/INCREMENTAL.md).
+  RepartTier tier = RepartTier::kFull;
+  /// True when the fast path was attempted but abandoned (drift or
+  /// residual imbalance) and the epoch escalated to the full tier.
+  bool escalated = false;
 };
 
 struct EpochRunSummary {

@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "common/timer.hpp"
+#include "core/incremental_repart.hpp"
 #include "core/repartition_model.hpp"
 #include "graphpart/scratch_remap.hpp"
 #include "obs/trace.hpp"
@@ -87,6 +88,18 @@ RepartitionResult graph_scratch(const Graph& g, const Partition& old_p,
   WallTimer timer;
   Partition new_p = graph_scratch_remap(g, old_p, cfg.partition);
   return finish(g, old_p, std::move(new_p), cfg.alpha, timer.seconds());
+}
+
+const char* to_string(RepartTier tier) {
+  switch (tier) {
+    case RepartTier::kStatic:
+      return "static";
+    case RepartTier::kFull:
+      return "full";
+    case RepartTier::kIncremental:
+      return "incremental";
+  }
+  return "unknown";
 }
 
 std::string to_string(RepartAlgorithm algorithm) {
@@ -224,6 +237,47 @@ GuardedRepartitionResult run_repartition_with_policy(
   }
   out.result = keep_old_partition(h, old_p, cfg.alpha);
   out.result.seconds = timer.seconds();
+  return out;
+}
+
+GuardedRepartitionResult run_tiered_repartition(
+    RepartAlgorithm algorithm, const Hypergraph& h, const Graph& g,
+    const Partition& old_p, const RepartitionerConfig& cfg,
+    IncrementalRepartitioner& inc, const EpochDelta& delta) {
+  // The fast path repairs a hypergraph partition through the gain cache;
+  // graph-family algorithms keep their own full pipelines.
+  const bool hypergraph_family =
+      algorithm == RepartAlgorithm::kHypergraphRepart ||
+      algorithm == RepartAlgorithm::kHypergraphScratch;
+  if (cfg.partition.incremental != IncrementalMode::kOff &&
+      hypergraph_family && old_p.k == cfg.partition.num_parts) {
+    IncrementalOutcome fast = inc.try_epoch(h, old_p, delta, cfg);
+    if (fast.accepted) {
+      GuardedRepartitionResult out;
+      out.tier = RepartTier::kIncremental;
+      out.result.cost =
+          evaluate_repartition(h, old_p, fast.partition, cfg.alpha);
+      out.result.plan =
+          extract_migration_plan(h.vertex_sizes(), old_p, fast.partition);
+      out.result.partition = std::move(fast.partition);
+      out.result.seconds = fast.seconds;
+      obs::counter("epoch.tier_incremental") += 1;
+      return out;
+    }
+    GuardedRepartitionResult out =
+        run_repartition_with_policy(algorithm, h, g, old_p, cfg);
+    out.tier = RepartTier::kFull;
+    out.escalated = fast.attempted;
+    out.tier_reason = fast.reason;
+    if (fast.attempted) obs::counter("epoch.escalations") += 1;
+    obs::counter("epoch.tier_full") += 1;
+    inc.note_full(out.result.cost.comm_volume);
+    return out;
+  }
+  GuardedRepartitionResult out =
+      run_repartition_with_policy(algorithm, h, g, old_p, cfg);
+  obs::counter("epoch.tier_full") += 1;
+  inc.note_full(out.result.cost.comm_volume);
   return out;
 }
 

@@ -119,6 +119,14 @@ class RepartitionOverBudget : public std::runtime_error {
                            std::to_string(budget) + "s") {}
 };
 
+/// Which tier of the two-tier epoch system produced a partition
+/// (docs/INCREMENTAL.md). kStatic is the bootstrap epoch; kFull is a full
+/// repartition (V-cycle / scratch / graph algorithm); kIncremental is the
+/// O(delta) gain-cache fast path.
+enum class RepartTier { kStatic, kFull, kIncremental };
+
+const char* to_string(RepartTier tier);
+
 /// A repartitioning decision plus how it was reached: how many failed
 /// attempts preceded it and whether it came from the degradation fallback
 /// instead of the requested algorithm.
@@ -128,6 +136,13 @@ struct GuardedRepartitionResult {
   bool degraded = false;  // true: `result` is the fallback's, not the
                           // algorithm's
   std::string error;      // what() of the last failure ("" when clean)
+  RepartTier tier = RepartTier::kFull;
+  /// True when the incremental fast path was attempted (moves applied) but
+  /// abandoned for drift/imbalance, falling through to the full tier.
+  bool escalated = false;
+  /// Why the fast path was not the final answer ("" when it was, or when
+  /// incremental routing was off).
+  std::string tier_reason;
 };
 
 /// run_repartition_algorithm wrapped in the graceful-degradation policy:
@@ -140,5 +155,18 @@ struct GuardedRepartitionResult {
 GuardedRepartitionResult run_repartition_with_policy(
     RepartAlgorithm algorithm, const Hypergraph& h, const Graph& g,
     const Partition& old_p, const RepartitionerConfig& cfg);
+
+class IncrementalRepartitioner;
+struct EpochDelta;
+
+/// Two-tier dispatch (docs/INCREMENTAL.md): when
+/// cfg.partition.incremental allows it and `inc` accepts the epoch, the
+/// O(delta) fast path answers; otherwise the call falls through to
+/// run_repartition_with_policy and the full result refreshes the drift
+/// baseline. Bumps the epoch.tier_* / epoch.escalations counters.
+GuardedRepartitionResult run_tiered_repartition(
+    RepartAlgorithm algorithm, const Hypergraph& h, const Graph& g,
+    const Partition& old_p, const RepartitionerConfig& cfg,
+    IncrementalRepartitioner& inc, const EpochDelta& delta);
 
 }  // namespace hgr

@@ -24,6 +24,16 @@ enum class GainQueueKind {
   kBucket,  // classic FM gain buckets: O(1) but gain-range-bounded
 };
 
+/// Two-tier epoch routing (docs/INCREMENTAL.md): whether an epoch may be
+/// served by the O(delta) incremental fast path instead of a full V-cycle.
+enum class IncrementalMode {
+  kOff,   // every epoch runs the full repartitioner (default)
+  kAuto,  // fast path when the epoch delta is small; escalates on drift
+  kOn,    // fast path whenever a baseline exists, regardless of delta size
+};
+
+const char* to_string(IncrementalMode mode);
+
 struct PartitionConfig {
   PartId num_parts = 2;
 
@@ -74,6 +84,21 @@ struct PartitionConfig {
   /// Additional V-cycles: restricted re-coarsening + refinement of the
   /// final k-way partition (quality extension, costs time).
   Index num_vcycles = 0;
+
+  /// Two-tier epoch routing: see IncrementalMode. The fast path applies
+  /// bounded greedy moves through the gain cache; it escalates to the full
+  /// V-cycle when the epoch delta or the accumulated drift crosses the
+  /// thresholds below (docs/INCREMENTAL.md).
+  IncrementalMode incremental = IncrementalMode::kOff;
+
+  /// Escalate when (incremental cut - last full-tier cut) / max(1, last
+  /// full-tier cut) exceeds this fraction.
+  double incremental_max_drift = 0.10;
+
+  /// kAuto only: epochs whose changed+removed vertex fraction exceeds this
+  /// go straight to the full tier (the fast path is O(delta); a large
+  /// delta is a full repartition in disguise).
+  double incremental_max_delta_frac = 0.02;
 
   /// Runtime invariant verification (src/check/): validators run at every
   /// coarsening level, after every (re)partitioning stage, and per epoch.

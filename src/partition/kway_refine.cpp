@@ -1,48 +1,15 @@
 #include "partition/kway_refine.hpp"
 
-#include <algorithm>
+#include <cstdio>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "metrics/balance.hpp"
 #include "metrics/cut.hpp"
 #include "obs/trace.hpp"
+#include "partition/gain_cache.hpp"
 
 namespace hgr {
-
-namespace {
-
-/// Dense pins-per-part table: row per net, k columns. The workloads this
-/// library targets keep num_nets * k comfortably in memory; the caller
-/// guards against pathological sizes.
-class PinTable {
- public:
-  PinTable(const Hypergraph& h, const Partition& p, Workspace* ws)
-      : k_(p.k), counts_(ws) {
-    counts_->assign(static_cast<std::size_t>(h.num_nets()) *
-                        static_cast<std::size_t>(p.k),
-                    0);
-    for (Index net = 0; net < h.num_nets(); ++net)
-      for (const Index v : h.pins(net)) ++at(net, p[v]);
-  }
-
-  Index& at(Index net, PartId part) {
-    return counts_[static_cast<std::size_t>(net) *
-                       static_cast<std::size_t>(k_) +
-                   static_cast<std::size_t>(part)];
-  }
-  Index count(Index net, PartId part) const {
-    return counts_[static_cast<std::size_t>(net) *
-                       static_cast<std::size_t>(k_) +
-                   static_cast<std::size_t>(part)];
-  }
-
- private:
-  PartId k_;
-  Borrowed<Index> counts_;
-};
-
-}  // namespace
 
 KwayRefineResult kway_refine(const Hypergraph& h, Partition& p,
                              const PartitionConfig& cfg, Rng& rng,
@@ -52,15 +19,20 @@ KwayRefineResult kway_refine(const Hypergraph& h, Partition& p,
   result.final_cut = result.initial_cut;
   const PartId k = p.k;
   if (k <= 1 || h.num_vertices() == 0) return result;
-  // Memory guard: the dense table must stay sane (~1 GiB of Index).
+  // Memory guard: the dense table must stay sane (~1 GiB of Index). The
+  // skip is counted and noted — never silent (docs/OBSERVABILITY.md).
   if (static_cast<std::size_t>(h.num_nets()) * static_cast<std::size_t>(k) >
-      (std::size_t{1} << 28))
+      (std::size_t{1} << 28)) {
+    static obs::CachedCounter skipped("kway.skipped_table_too_large");
+    skipped += 1;
+    std::fprintf(stderr,
+                 "kway_refine: pins-per-part table too large "
+                 "(num_nets=%lld x k=%d), returning unrefined partition\n",
+                 static_cast<long long>(h.num_nets()), k);
     return result;
+  }
 
-  PinTable pins(h, p, ws);
-  Borrowed<Weight> part_w_b(ws);
-  std::vector<Weight>& part_w = part_w_b.get();
-  part_weights_into(part_w, h.vertex_weights(), p);
+  GainCache cache(h, p, ws);
   const Weight max_part_weight =
       hgr::max_part_weight(h.total_vertex_weight(), k, cfg.epsilon);
 
@@ -72,7 +44,6 @@ KwayRefineResult kway_refine(const Hypergraph& h, Partition& p,
 
   Borrowed<Index> order_b(ws);
   std::vector<Index>& order = order_b.get();
-  Weight cut = result.initial_cut;
   for (Index pass = 0; pass < max_passes; ++pass) {
     ++result.passes;
     Index moves_this_pass = 0;
@@ -81,61 +52,47 @@ KwayRefineResult kway_refine(const Hypergraph& h, Partition& p,
       if (h.fixed_part(v) != kNoPart) continue;
       const PartId from = p[v];
 
-      // Collect candidate parts among this vertex's nets and the gain of
-      // leaving `from` / entering each candidate.
-      candidates.clear();
-      Weight leave_gain = 0;
-      for (const Index net : h.incident_nets(v)) {
-        const Weight c = h.net_cost(net);
-        if (pins.count(net, from) == 1) leave_gain += c;
-        for (const Index u : h.pins(net)) {
-          const PartId q = p[u];
-          if (q == from) continue;
-          if (gain_to[static_cast<std::size_t>(q)] == 0 &&
-              std::find(candidates.begin(), candidates.end(), q) ==
-                  candidates.end())
-            candidates.push_back(q);
-        }
-      }
+      // Candidate parts come straight off the connectivity bitsets: the
+      // distinct parts (other than `from`) the vertex's nets touch, in
+      // ascending part order — no pin-list traversal.
+      cache.candidate_parts_into(candidates, v);
       if (candidates.empty()) continue;
+      const Weight leave_gain = cache.leave_gain(v);
       for (const Index net : h.incident_nets(v)) {
         const Weight c = h.net_cost(net);
+        if (c == 0) continue;
         for (const PartId q : candidates)
-          if (pins.count(net, q) == 0)
+          if (!cache.net_touches(net, q))
             gain_to[static_cast<std::size_t>(q)] -= c;
       }
       // gain(from -> q) = leave_gain + gain_to[q] (gain_to holds the
-      // entering penalty, <= 0).
+      // entering penalty, <= 0). A move is acceptable on positive gain, or
+      // on zero gain when it strictly improves balance. Among acceptable
+      // moves: highest gain, then lightest destination, then lowest part
+      // id — deterministic and independent of candidate order.
       PartId best = kNoPart;
       Weight best_gain = 0;
+      Weight best_dest_w = 0;
       const Weight wv = h.vertex_weight(v);
       for (const PartId q : candidates) {
         const Weight g = leave_gain + gain_to[static_cast<std::size_t>(q)];
         gain_to[static_cast<std::size_t>(q)] = 0;  // reset accumulator
-        if (part_w[static_cast<std::size_t>(q)] + wv > max_part_weight)
-          continue;
+        const Weight dest_w = cache.part_weight(q);
+        if (dest_w + wv > max_part_weight) continue;
         const bool improves_balance =
-            part_w[static_cast<std::size_t>(from)] >
-            part_w[static_cast<std::size_t>(q)] + wv;
-        if (g > best_gain || (g == best_gain && g >= 0 && improves_balance &&
-                              best == kNoPart)) {
-          // Accept strictly better gain, or zero-gain balance improvement.
-          if (g > 0 || improves_balance) {
-            best = q;
-            best_gain = g;
-          }
+            cache.part_weight(from) > dest_w + wv;
+        if (g < 0 || (g == 0 && !improves_balance)) continue;
+        if (best == kNoPart || g > best_gain ||
+            (g == best_gain && dest_w < best_dest_w)) {
+          best = q;
+          best_gain = g;
+          best_dest_w = dest_w;
         }
       }
       if (best == kNoPart) continue;
 
-      for (const Index net : h.incident_nets(v)) {
-        --pins.at(net, from);
-        ++pins.at(net, best);
-      }
-      part_w[static_cast<std::size_t>(from)] -= wv;
-      part_w[static_cast<std::size_t>(best)] += wv;
+      cache.apply_move(v, best);
       p[v] = best;
-      cut -= best_gain;
       ++moves_this_pass;
     }
     result.moves += moves_this_pass;
@@ -145,7 +102,8 @@ KwayRefineResult kway_refine(const Hypergraph& h, Partition& p,
   static obs::CachedCounter moves_counter("kway.moves");
   passes_counter += static_cast<std::uint64_t>(result.passes);
   moves_counter += static_cast<std::uint64_t>(result.moves);
-  result.final_cut = cut;
+  result.final_cut = cache.cut();
+  cache.validate(cfg.check_level);
   HGR_DASSERT(result.final_cut == connectivity_cut(h, p));
   return result;
 }

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/assert.hpp"
+#include "partition/gain_cache.hpp"
 #include "partition/gain_queue.hpp"
 
 namespace hgr {
@@ -35,29 +36,19 @@ class FmPass {
         ws_(ws),
         locked_(ws),
         gain_(ws),
-        pins_(ws),
-        stash_(ws) {
+        stash_(ws),
+        cache_(h, 2, side, ws) {
     locked_->assign(static_cast<std::size_t>(h.num_vertices()), false);
     gain_->assign(static_cast<std::size_t>(h.num_vertices()), 0);
-    pins_->resize(static_cast<std::size_t>(h.num_nets()));
-    weight_[0] = weight_[1] = 0;
-    for (Index v = 0; v < h_.num_vertices(); ++v) {
-      weight_[side_at(v)] += h_.vertex_weight(v);
+    for (Index v = 0; v < h_.num_vertices(); ++v)
       if (movable(v)) slack_ = std::max(slack_, h_.vertex_weight(v));
-    }
-    cut_ = 0;
-    for (Index net = 0; net < h_.num_nets(); ++net) {
-      auto& p = pins_[static_cast<std::size_t>(net)];
-      p = {0, 0};
-      for (const Index v : h_.pins(net)) ++p[side_at(v)];
-      if (p[0] > 0 && p[1] > 0) cut_ += h_.net_cost(net);
-    }
   }
 
-  Weight cut() const { return cut_; }
+  // For a bisection, the cache's connectivity-1 cut is the cut-net cost.
+  Weight cut() const { return cache_.cut(); }
 
   StateScore score() const {
-    return {overweight(), cut_};
+    return {overweight(), cache_.cut()};
   }
 
   /// One FM pass. Returns true if the state strictly improved.
@@ -99,26 +90,22 @@ class FmPass {
     return static_cast<int>(side_[static_cast<std::size_t>(v)]);
   }
 
+  Weight side_weight(int s) const {
+    return cache_.part_weight(static_cast<PartId>(s));
+  }
+
   Weight overweight() const {
-    return std::max<Weight>(0, weight_[0] - targets_.max_weight(0)) +
-           std::max<Weight>(0, weight_[1] - targets_.max_weight(1));
+    return std::max<Weight>(0, side_weight(0) - targets_.max_weight(0)) +
+           std::max<Weight>(0, side_weight(1) - targets_.max_weight(1));
   }
 
   bool movable(Index v) const { return h_.fixed_part(v) == kNoPart; }
 
   /// FM gain of moving v to the other side under the cut-net metric
-  /// (== connectivity-1 for a bisection).
+  /// (== connectivity-1 for a bisection): the cache's leave gain minus the
+  /// newly-cut penalty from its connectivity bits.
   Weight compute_gain(Index v) const {
-    const int from = side_at(v);
-    const int to = 1 - from;
-    Weight g = 0;
-    for (const Index net : h_.incident_nets(v)) {
-      const auto& p = pins_[static_cast<std::size_t>(net)];
-      const Weight c = h_.net_cost(net);
-      if (p[from] == 1) g += c;  // v is the last pin on `from`: net uncut
-      if (p[to] == 0) g -= c;    // net becomes newly cut
-    }
-    return g;
+    return cache_.move_gain(v, static_cast<PartId>(1 - side_at(v)));
   }
 
   void build_queues(Rng& rng) {
@@ -150,8 +137,8 @@ class FmPass {
   Index select_move() {
     // Rebalance mode: if a side is overweight, only that side may emit.
     int forced = -1;
-    if (weight_[0] > targets_.max_weight(0)) forced = 0;
-    if (weight_[1] > targets_.max_weight(1)) forced = 1;
+    if (side_weight(0) > targets_.max_weight(0)) forced = 0;
+    if (side_weight(1) > targets_.max_weight(1)) forced = 1;
 
     // Examine each queue's top; skip (stash) tops whose move would overload
     // the destination, then reinsert the stash.
@@ -171,7 +158,7 @@ class FmPass {
         // Eq. 1 at pass end (classic FM practice).
         const bool dest_ok =
             forced == s ||  // moving off an overweight side is always legal
-            weight_[dest] + h_.vertex_weight(v) <=
+            side_weight(dest) + h_.vertex_weight(v) <=
                 targets_.max_weight(dest) + slack_;
         if (dest_ok) {
           cand[s] = v;
@@ -192,7 +179,7 @@ class FmPass {
     if (cand_gain[0] != cand_gain[1])
       return cand_gain[0] > cand_gain[1] ? cand[0] : cand[1];
     // Equal gains: prefer moving off the heavier side.
-    return weight_[0] >= weight_[1] ? cand[0] : cand[1];
+    return side_weight(0) >= side_weight(1) ? cand[0] : cand[1];
   }
 
   void update_neighbor_gain(Index u, Weight delta) {
@@ -202,69 +189,43 @@ class FmPass {
     queues_[side_at(u)]->adjust(u, g);
   }
 
-  /// The unique unlocked pin of `net` on side `s` other than v, if the
-  /// count says exactly one pin lives there.
-  Index sole_pin_on_side(Index net, int s, Index skip) const {
-    for (const Index u : h_.pins(net)) {
-      if (u != skip && side_at(u) == s) return u;
+  /// Routes the gain cache's four delta-gain events into the FM queues:
+  /// the classic update rules, fired by apply_move for nonzero-cost nets.
+  struct QueueUpdater {
+    FmPass& pass;
+    Index moved;
+
+    void net_gained_part(Index net, PartId, Weight c) {
+      for (const Index u : pass.h_.pins(net))
+        if (u != moved) pass.update_neighbor_gain(u, +c);
     }
-    return kInvalidIndex;
-  }
+    void sole_pin_joined(Index, Index u, PartId, Weight c) {
+      pass.update_neighbor_gain(u, -c);
+    }
+    void net_lost_part(Index net, PartId, Weight c) {
+      for (const Index u : pass.h_.pins(net))
+        if (u != moved) pass.update_neighbor_gain(u, -c);
+    }
+    void sole_pin_remains(Index, Index u, PartId, Weight c) {
+      pass.update_neighbor_gain(u, +c);
+    }
+  };
 
   void apply_move(Index v) {
     const int from = side_at(v);
     const int to = 1 - from;
     queues_[from]->remove(v);
     locked_[static_cast<std::size_t>(v)] = true;
-
-    // Classic FM delta-gain rules, phase 1 before / phase 2 after the move.
-    for (const Index net : h_.incident_nets(v)) {
-      auto& p = pins_[static_cast<std::size_t>(net)];
-      const Weight c = h_.net_cost(net);
-      if (c != 0) {
-        if (p[to] == 0) {
-          cut_ += c;  // net becomes cut
-          for (const Index u : h_.pins(net))
-            if (u != v) update_neighbor_gain(u, +c);
-        } else if (p[to] == 1) {
-          const Index u = sole_pin_on_side(net, to, v);
-          if (u != kInvalidIndex) update_neighbor_gain(u, -c);
-        }
-      }
-      --p[from];
-      ++p[to];
-      if (c != 0) {
-        if (p[from] == 0) {
-          cut_ -= c;  // net no longer cut
-          for (const Index u : h_.pins(net))
-            if (u != v) update_neighbor_gain(u, -c);
-        } else if (p[from] == 1) {
-          const Index u = sole_pin_on_side(net, from, v);
-          if (u != kInvalidIndex) update_neighbor_gain(u, +c);
-        }
-      }
-    }
-
+    QueueUpdater updater{*this, v};
+    cache_.apply_move(v, static_cast<PartId>(to), updater);
     side_[static_cast<std::size_t>(v)] = static_cast<PartId>(to);
-    weight_[from] -= h_.vertex_weight(v);
-    weight_[to] += h_.vertex_weight(v);
   }
 
   /// Reverse a move during rollback (queues/gains are dead by then).
   void undo_move(Index v) {
-    const int from = side_at(v);  // side it was moved TO
-    const int to = 1 - from;      // original side
-    for (const Index net : h_.incident_nets(v)) {
-      auto& p = pins_[static_cast<std::size_t>(net)];
-      const Weight c = h_.net_cost(net);
-      if (p[to] == 0) cut_ += c;
-      --p[from];
-      ++p[to];
-      if (p[from] == 0) cut_ -= c;
-    }
+    const int to = 1 - side_at(v);  // original side
+    cache_.apply_move(v, static_cast<PartId>(to));
     side_[static_cast<std::size_t>(v)] = static_cast<PartId>(to);
-    weight_[from] -= h_.vertex_weight(v);
-    weight_[to] += h_.vertex_weight(v);
   }
 
   const Hypergraph& h_;
@@ -275,11 +236,9 @@ class FmPass {
 
   Borrowed<bool> locked_;
   Borrowed<Weight> gain_;
-  Borrowed<std::array<Index, 2>> pins_;
   Borrowed<std::pair<Index, Weight>> stash_;  // select_move scratch
+  GainCache cache_;
   std::array<std::optional<GainQueue>, 2> queues_;
-  Weight weight_[2];
-  Weight cut_ = 0;
   Weight slack_ = 0;  // heaviest movable vertex: intra-pass balance slack
 };
 

@@ -123,11 +123,12 @@ TEST(EpochSeries, PathologicalMagnitudesDoNotTruncate) {
             std::string::npos)
       << row;
   EXPECT_NE(row.find("-1.79769e+308"), std::string::npos) << row;
-  // The row ends with the retries column, uncut.
-  const std::string retries_text =
-      std::to_string(std::numeric_limits<Index>::min());
-  ASSERT_GE(row.size(), retries_text.size());
-  EXPECT_EQ(row.substr(row.size() - retries_text.size()), retries_text);
+  // The retries column survives uncut, followed by the tier/escalated
+  // tail columns.
+  const std::string tail =
+      std::to_string(std::numeric_limits<Index>::min()) + ",full,0";
+  ASSERT_GE(row.size(), tail.size());
+  EXPECT_EQ(row.substr(row.size() - tail.size()), tail);
 }
 
 TEST(EpochDriver, MigrationHappensAfterPerturbation) {

@@ -278,11 +278,13 @@ TEST(Chaos, DegradedEpochsAreRecordedInCsv) {
   EpochSeries series;
   series.append("chaos-grid", "structural", "hg-repart", 4, cfg.alpha, 0, s);
   const std::string csv = series.to_csv();
-  EXPECT_NE(csv.find("is_static,degraded,retries"), std::string::npos);
-  // Static bootstrap row: is_static=1, degraded=0, retries=0.
-  EXPECT_NE(csv.find(",1,0,0\n"), std::string::npos) << csv;
-  // Degraded repartition rows: is_static=0, degraded=1, retries=1.
-  EXPECT_NE(csv.find(",0,1,1\n"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("is_static,degraded,retries,tier,escalated"),
+            std::string::npos);
+  // Static bootstrap row: is_static=1, degraded=0, retries=0, tier=static.
+  EXPECT_NE(csv.find(",1,0,0,static,0\n"), std::string::npos) << csv;
+  // Degraded repartition rows: is_static=0, degraded=1, retries=1,
+  // tier=full (incremental routing is off in this config).
+  EXPECT_NE(csv.find(",0,1,1,full,0\n"), std::string::npos) << csv;
 }
 
 }  // namespace

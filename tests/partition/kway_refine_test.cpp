@@ -4,6 +4,7 @@
 
 #include "metrics/balance.hpp"
 #include "metrics/cut.hpp"
+#include "obs/trace.hpp"
 #include "test_util.hpp"
 
 namespace hgr {
@@ -116,6 +117,64 @@ TEST(KwayRefine, AcceptsMoveUpToCeilOfFractionalAverage) {
   EXPECT_EQ(connectivity_cut(h, p), 0);
   EXPECT_EQ(p[0], 1);
   EXPECT_EQ(p[2], 1);
+}
+
+// Regression: the refiner used to lock in the first acceptable candidate
+// on ties — the `gain_to[q] == 0 &&` guard meant a zero-gain
+// balance-improving move could never be displaced by a later, equally
+// good move into a lighter part. Two zero-gain candidates of different
+// weights must resolve to the lighter destination, regardless of the
+// order the vertex's nets present them in.
+TEST(KwayRefine, ZeroGainTieBreakPicksLighterDestination) {
+  HypergraphBuilder b(4);
+  // v0 is the only movable vertex; its nets present candidate parts in
+  // the order p1 (weight 5) before p2 (weight 3).
+  b.add_net({0, 3}, 1);
+  b.add_net({0, 1}, 1);
+  b.add_net({0, 2}, 1);
+  b.set_vertex_weight(0, 1);
+  b.set_vertex_weight(1, 5);
+  b.set_vertex_weight(2, 3);
+  b.set_vertex_weight(3, 6);
+  b.set_fixed_part(1, 1);
+  b.set_fixed_part(2, 2);
+  b.set_fixed_part(3, 0);
+  const Hypergraph h = b.finalize();
+  PartitionConfig cfg;
+  cfg.num_parts = 3;
+  cfg.epsilon = 0.3;  // max part weight 6: both destinations feasible
+  Partition p(3, 4);
+  p[0] = 0; p[1] = 1; p[2] = 2; p[3] = 0;
+  // Moving v0 to p1 or p2 both have gain exactly 0 (one net uncut, one
+  // newly cut) and both improve balance off the weight-7 part 0.
+  Rng rng(8);
+  const KwayRefineResult r = kway_refine(h, p, cfg, rng, 4);
+  EXPECT_EQ(r.final_cut, r.initial_cut);
+  EXPECT_EQ(p[0], 2);  // the lighter of the two equal-gain destinations
+}
+
+// The dense pins-per-part table is guarded at num_nets * k > 2^28; the
+// skip must be counted, not silent, and must leave the partition alone.
+TEST(KwayRefine, OversizedTableSkipIsCounted) {
+  obs::Registry reg;
+  obs::ScopedRegistry scope(reg);
+  // 262145 nets x k=1024 = 2^28 + 1024 crosses the guard.
+  HypergraphBuilder b(2);
+  for (Index i = 0; i < 262145; ++i) b.add_net({0, 1}, 1);
+  const Hypergraph h = b.finalize();
+  PartitionConfig cfg;
+  cfg.num_parts = 1024;
+  Partition p(1024, 2);
+  p[0] = 0;
+  p[1] = 1;
+  const Weight before = connectivity_cut(h, p);
+  Rng rng(9);
+  const KwayRefineResult r = kway_refine(h, p, cfg, rng, 2);
+  EXPECT_EQ(reg.counter_value("kway.skipped_table_too_large"), 1u);
+  EXPECT_EQ(r.moves, 0);
+  EXPECT_EQ(r.final_cut, before);
+  EXPECT_EQ(p[0], 0);
+  EXPECT_EQ(p[1], 1);
 }
 
 TEST(KwayRefine, StopsWhenNoMoveApplies) {

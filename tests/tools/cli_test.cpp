@@ -167,7 +167,8 @@ TEST(CliTrace, EpochCsvGoldenHeaderAndRow) {
             "dataset,perturb,algorithm,k,alpha,trial,epoch,cut,"
             "migration_volume,total_cost,normalized_cost,imbalance,"
             "num_vertices,num_migrated,repart_seconds,coarsen_seconds,"
-            "initial_seconds,refine_seconds,is_static,degraded,retries");
+            "initial_seconds,refine_seconds,is_static,degraded,retries,"
+            "tier,escalated");
   // Tag columns: dataset is the input path, serial algorithm, k=4,
   // epoch 1, and the grid has 192 vertices, none migrated.
   EXPECT_EQ(row.compare(0, in.size() + 1, in + ","), 0);
@@ -189,6 +190,38 @@ TEST(CliTrace, EpochCsvParallelRepartitionTagsAlgorithm) {
   EXPECT_NE(csv.find(",none,par-hypergraph,4,10,"), std::string::npos);
   // Repartition runs are tagged as epoch 2 (epoch 1 = static bootstrap).
   EXPECT_NE(csv.find(",par-hypergraph,4,10,0,2,"), std::string::npos);
+}
+
+/// Like run(), but keeps stderr so tests can assert on diagnostics.
+int run_keep_stderr(const std::string& args, const std::string& err_path) {
+  const std::string cmd = std::string(HGR_CLI_PATH) + " " + args +
+                          " >/dev/null 2>" + err_path;
+  return std::system(cmd.c_str());
+}
+
+TEST(CliSmoke, IncrementalRepartitionReportsTier) {
+  const std::string in = tmp_path("cli_inc.hgr");
+  const std::string parts = tmp_path("cli_inc.parts");
+  const std::string err = tmp_path("cli_inc.err");
+  write_chain_hgr(in, 64);
+  ASSERT_EQ(run("partition " + in + " --k=4 --out=" + parts), 0);
+  // Forced-on: the gain-cache fast path repairs the old partition.
+  ASSERT_EQ(run_keep_stderr("repartition " + in + " --old=" + parts +
+                                " --k=4 --alpha=10 --incremental=on "
+                                "--validate=paranoid --out=" +
+                                tmp_path("cli_inc2.parts"),
+                            err),
+            0);
+  EXPECT_NE(read_file(err).find("tier=incremental"), std::string::npos);
+  // Auto: the one-shot delta is unknown, so routing escalates to full.
+  ASSERT_EQ(run_keep_stderr("repartition " + in + " --old=" + parts +
+                                " --k=4 --alpha=10 --incremental=auto "
+                                "--out=" + tmp_path("cli_inc3.parts"),
+                            err),
+            0);
+  const std::string log = read_file(err);
+  EXPECT_NE(log.find("tier=full"), std::string::npos) << log;
+  EXPECT_NE(log.find("reason=delta_frac"), std::string::npos) << log;
 }
 
 TEST(CliTrace, BadTracePathFails) {

@@ -48,6 +48,10 @@ TRACKED = [
     ("metrics.alltoallv_ragged_small_p4_ns_per_call", True),
     ("metrics.allgather_large_p4_ns_per_call", True),
     ("metrics.allreduce_p4_ns_per_call", True),
+    # micro_incremental (O(delta) fast path vs full V-cycle).
+    ("metrics.full_seconds.mean", True),
+    ("metrics.incremental_seconds.mean", True),
+    ("metrics.incremental_speedup.mean", False),
 ]
 
 

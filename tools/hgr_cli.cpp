@@ -40,6 +40,7 @@
 #include "fault/fault_plan.hpp"
 #include "common/timer.hpp"
 #include "core/epoch_driver.hpp"
+#include "core/incremental_repart.hpp"
 #include "core/repartitioner.hpp"
 #include "hypergraph/convert.hpp"
 #include "hypergraph/io.hpp"
@@ -75,6 +76,7 @@ struct CliOptions {
   Weight alpha = 100;
   int ranks = 0;  // 0 = serial partitioner
   check::CheckLevel check_level = check::CheckLevel::kOff;
+  IncrementalMode incremental = IncrementalMode::kOff;
   bool graph_input = false;
   bool mm_input = false;
   bool report = false;
@@ -93,7 +95,8 @@ struct CliOptions {
                "[--eps=F] [--seed=S] [--graph] [--ranks=P] [--out=FILE] "
                "[--trace-json=FILE] [--chrome-trace=FILE] "
                "[--epoch-csv=FILE] [--fault-plan=SPEC] [--epoch-retries=N] "
-               "[--epoch-timeout=S] [--validate=cheap|paranoid]\n"
+               "[--epoch-timeout=S] [--incremental=on|off|auto] "
+               "[--validate=cheap|paranoid]\n"
                "  hgr_cli info        <input> [--graph]\n"
                "fault plan SPEC: [seed=S;]<kind>@<site>[:key=val,...] "
                "(docs/ROBUSTNESS.md)\n");
@@ -136,6 +139,17 @@ CliOptions parse(int argc, char** argv) {
       opt.epoch_retries = static_cast<int>(std::stol(value));
     } else if (key == "--epoch-timeout") {
       opt.epoch_timeout = std::stod(value);
+    } else if (key == "--incremental") {
+      if (value == "on")
+        opt.incremental = IncrementalMode::kOn;
+      else if (value == "off")
+        opt.incremental = IncrementalMode::kOff;
+      else if (value == "auto")
+        opt.incremental = IncrementalMode::kAuto;
+      else
+        usage(("bad --incremental mode: " + value +
+               " (expected on|off|auto)")
+                  .c_str());
     } else if (key == "--validate") {
       if (!check::parse_check_level(value, opt.check_level))
         usage(("bad --validate level: " + value +
@@ -216,13 +230,17 @@ double phase_seconds(const obs::PhaseSnapshot& node, const std::string& name) {
 void maybe_dump_epoch_csv(const CliOptions& opt, const Hypergraph& h,
                           const Partition& p, const RepartitionCost& cost,
                           Index migrated, double seconds, Index epoch,
-                          bool degraded = false, Index retries = 0) {
+                          bool degraded = false, Index retries = 0,
+                          RepartTier tier = RepartTier::kFull,
+                          bool escalated = false) {
   if (opt.epoch_csv_path.empty()) return;
   EpochRecord rec;
   rec.epoch = epoch;
   rec.is_static = epoch == 1;
   rec.degraded = degraded;
   rec.retries = retries;
+  rec.tier = epoch == 1 ? RepartTier::kStatic : tier;
+  rec.escalated = escalated;
   rec.cost = cost;
   rec.repart_seconds = seconds;
   rec.imbalance = imbalance(h.vertex_weights(), p);
@@ -357,12 +375,20 @@ int main(int argc, char** argv) {
         // --fault-plan perturbs), serially it is hypergraph_repartition.
         RepartitionerConfig rcfg;
         rcfg.partition = pcfg;
+        rcfg.partition.incremental = opt.incremental;
         rcfg.alpha = opt.alpha;
         rcfg.num_ranks = opt.ranks;
         rcfg.max_retries = opt.epoch_retries;
         rcfg.epoch_time_budget = opt.epoch_timeout;
-        guarded = run_repartition_with_policy(
-            RepartAlgorithm::kHypergraphRepart, h, Graph{}, old_p, rcfg);
+        // Two-tier routing: the old partition's cut seeds the drift
+        // baseline, and the one-shot delta is unknown (whole epoch), so
+        // --incremental=auto escalates while --incremental=on repairs the
+        // old partition in place through the gain cache.
+        IncrementalRepartitioner inc;
+        inc.note_full(connectivity_cut(h, old_p));
+        guarded = run_tiered_repartition(RepartAlgorithm::kHypergraphRepart,
+                                         h, Graph{}, old_p, rcfg, inc,
+                                         EpochDelta{});
         p = std::move(guarded.result.partition);
         cost = guarded.result.cost;
         seconds = guarded.result.seconds;
@@ -386,9 +412,15 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "validate: repartition ok (%s)\n",
                      check::to_string(opt.check_level));
       }
+      if (opt.incremental != IncrementalMode::kOff)
+        std::fprintf(stderr, "tier=%s%s%s%s\n", to_string(guarded.tier),
+                     guarded.escalated ? " escalated" : "",
+                     guarded.tier_reason.empty() ? "" : " reason=",
+                     guarded.tier_reason.c_str());
       record_epoch_cost(cost, num_migrated(old_p, p));
       maybe_dump_epoch_csv(opt, h, p, cost, num_migrated(old_p, p), seconds,
-                           /*epoch=*/2, guarded.degraded, guarded.retries);
+                           /*epoch=*/2, guarded.degraded, guarded.retries,
+                           guarded.tier, guarded.escalated);
       report_quality(h, p, opt.report);
       std::fprintf(stderr,
                    "alpha=%lld comm=%lld migration=%lld total=%lld "
