@@ -37,7 +37,7 @@ struct Options {
   Index nets = 60000;
   int trials = 3;
   double delta_frac = 0.01;
-  PartId k = 8;
+  Index k = 8;
   std::uint64_t seed = 1;
 };
 
@@ -92,7 +92,7 @@ int run(const Options& opt) {
           rng.below(static_cast<std::uint64_t>(opt.n)));
       weights[static_cast<std::size_t>(v)] =
           1 + static_cast<Weight>(rng.below(8));
-      delta.changed.push_back(v);
+      delta.changed.push_back(VertexId{v});
     }
     const Hypergraph after = build_instance(opt, weights, seed);
 

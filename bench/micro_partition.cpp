@@ -91,11 +91,11 @@ void BM_FmRefineBisection(benchmark::State& state) {
   t.target1 = h.total_vertex_weight() - t.target0;
   t.epsilon = 0.05;
   PartitionConfig cfg;
-  std::vector<PartId> start(static_cast<std::size_t>(h.num_vertices()));
+  IdVector<VertexId, PartId> start(h.num_vertices());
   Rng init(9);
-  for (auto& s : start) s = static_cast<PartId>(init.below(2));
+  for (auto& s : start) s = PartId{static_cast<Index>(init.below(2))};
   for (auto _ : state) {
-    std::vector<PartId> side = start;
+    IdVector<VertexId, PartId> side = start;
     Rng rng(11);
     benchmark::DoNotOptimize(fm_refine_bisection(h, side, t, cfg, rng));
   }
@@ -116,7 +116,7 @@ BENCHMARK(BM_BuildRepartitionModel);
 void BM_PartitionHypergraphK(benchmark::State& state) {
   const Hypergraph& h = bench_hypergraph();
   PartitionConfig cfg;
-  cfg.num_parts = static_cast<PartId>(state.range(0));
+  cfg.num_parts = static_cast<Index>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(partition_hypergraph(h, cfg));
   }
@@ -126,7 +126,7 @@ BENCHMARK(BM_PartitionHypergraphK)->Arg(2)->Arg(8)->Arg(32);
 void BM_PartitionGraphK(benchmark::State& state) {
   const Graph& g = bench_graph();
   PartitionConfig cfg;
-  cfg.num_parts = static_cast<PartId>(state.range(0));
+  cfg.num_parts = static_cast<Index>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(partition_graph(g, cfg));
   }
@@ -181,7 +181,7 @@ struct MicroOptions {
   std::string json_path;
   std::string dataset = "auto-like";
   double scale = 0.08;
-  PartId k = 16;
+  Index k = 16;
   Weight alpha = 100;
   Index trials = 3;
   std::uint64_t seed = 42;
@@ -317,7 +317,7 @@ int main(int argc, char** argv) {
     } else if (key == "--scale") {
       opt.scale = std::stod(value);
     } else if (key == "--k") {
-      opt.k = static_cast<PartId>(std::stol(value));
+      opt.k = static_cast<Index>(std::stol(value));
     } else if (key == "--alpha") {
       opt.alpha = static_cast<Weight>(std::stoll(value));
     } else if (key == "--trials") {

@@ -23,7 +23,7 @@ int main() {
   Graph mesh = make_grid3d(side, side, side, false);
   const Index n = mesh.num_vertices();
 
-  const PartId k = 8;
+  const Index k = 8;
   const Weight alpha = 20;
 
   PartitionConfig pcfg;

@@ -17,7 +17,7 @@
 int main() {
   using namespace hgr;
   const Index n = 1500;
-  const PartId k = 8;
+  const Index k = 8;
   Rng rng(5);
 
   std::vector<double> x(n), y(n), vx(n), vy(n);

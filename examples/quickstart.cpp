@@ -41,7 +41,7 @@ int main() {
   // The simulation refines the lower-left quadrant: weights x5 there.
   for (Index y = 0; y < side / 2; ++y)
     for (Index x = 0; x < side / 2; ++x)
-      mesh.set_vertex_weight(id(x, y), 5);
+      mesh.set_vertex_weight(VertexId{id(x, y)}, 5);
   std::printf("after refinement : imbalance=%.3f (needs rebalancing)\n",
               imbalance(mesh.vertex_weights(), initial));
 

@@ -86,7 +86,7 @@ int main() {
   rcfg.partition = pcfg;
   rcfg.alpha = 50;
   const RepartitionResult r = repartition_objects(
-      q, [&](Index v) { return parts[v]; }, rcfg);
+      q, [&](Index v) { return parts[VertexId{v}]; }, rcfg);
   std::printf("after refinement + repartition: comm=%lld migration=%lld "
               "moved=%zu imbalance=%.3f\n",
               static_cast<long long>(r.cost.comm_volume),

@@ -16,19 +16,19 @@ namespace {
 /// metrics/cut.cpp (a seen-flags sweep per net) so the two implementations
 /// cross-check each other.
 Weight recompute_cut(const Hypergraph& h, const Partition& p) {
-  std::vector<char> seen(static_cast<std::size_t>(p.k), 0);
+  IdVector<PartId, char> seen(p.k, 0);
   Weight total = 0;
-  for (Index net = 0; net < h.num_nets(); ++net) {
-    PartId lambda = 0;
+  for (const NetId net : h.nets()) {
+    Index lambda = 0;
     const auto pins = h.pins(net);
-    for (const Index v : pins) {
-      char& flag = seen[static_cast<std::size_t>(p[v])];
+    for (const VertexId v : pins) {
+      char& flag = seen[p[v]];
       if (!flag) {
         flag = 1;
         ++lambda;
       }
     }
-    for (const Index v : pins) seen[static_cast<std::size_t>(p[v])] = 0;
+    for (const VertexId v : pins) seen[p[v]] = 0;
     if (lambda > 1) total += h.net_cost(net) * (lambda - 1);
   }
   return total;
@@ -37,7 +37,7 @@ Weight recompute_cut(const Hypergraph& h, const Partition& p) {
 Weight recompute_migration(const Hypergraph& h, const Partition& old_p,
                            const Partition& new_p) {
   Weight moved = 0;
-  for (Index v = 0; v < h.num_vertices(); ++v)
+  for (const VertexId v : h.vertices())
     if (old_p[v] != new_p[v]) moved += h.vertex_size(v);
   return moved;
 }
@@ -45,7 +45,7 @@ Weight recompute_migration(const Hypergraph& h, const Partition& old_p,
 }  // namespace
 
 void validate_hypergraph(const Hypergraph& h, CheckLevel level,
-                         PartId num_parts) {
+                         Index num_parts) {
   if (!enabled(level)) return;
 
   const auto n = static_cast<std::size_t>(h.num_vertices());
@@ -53,21 +53,21 @@ void validate_hypergraph(const Hypergraph& h, CheckLevel level,
                  "negative extents |V|=%d |N|=%d", h.num_vertices(),
                  h.num_nets());
   Index pin_total = 0;
-  for (Index net = 0; net < h.num_nets(); ++net) {
-    HGR_ASSERT_FMT(h.net_size(net) >= 0, "net %d has negative size %d", net,
+  for (const NetId net : h.nets()) {
+    HGR_ASSERT_FMT(h.net_size(net) >= 0, "net %d has negative size %d", net.v,
                    h.net_size(net));
-    HGR_ASSERT_FMT(h.net_cost(net) >= 0, "net %d has negative cost %lld", net,
-                   static_cast<long long>(h.net_cost(net)));
+    HGR_ASSERT_FMT(h.net_cost(net) >= 0, "net %d has negative cost %lld",
+                   net.v, static_cast<long long>(h.net_cost(net)));
     pin_total += h.net_size(net);
   }
   HGR_ASSERT_FMT(pin_total == h.num_pins(),
                  "net sizes sum to %d but num_pins()=%d", pin_total,
                  h.num_pins());
   Weight weight_total = 0;
-  for (Index v = 0; v < h.num_vertices(); ++v) {
-    HGR_ASSERT_FMT(h.vertex_weight(v) >= 0, "vertex %d has weight %lld", v,
+  for (const VertexId v : h.vertices()) {
+    HGR_ASSERT_FMT(h.vertex_weight(v) >= 0, "vertex %d has weight %lld", v.v,
                    static_cast<long long>(h.vertex_weight(v)));
-    HGR_ASSERT_FMT(h.vertex_size(v) >= 0, "vertex %d has size %lld", v,
+    HGR_ASSERT_FMT(h.vertex_size(v) >= 0, "vertex %d has size %lld", v.v,
                    static_cast<long long>(h.vertex_size(v)));
     weight_total += h.vertex_weight(v);
   }
@@ -80,11 +80,11 @@ void validate_hypergraph(const Hypergraph& h, CheckLevel level,
                    "fixed array has %zu entries for %zu vertices",
                    h.fixed_parts().size(), n);
     if (num_parts >= 0) {
-      for (Index v = 0; v < h.num_vertices(); ++v)
+      for (const VertexId v : h.vertices())
         HGR_ASSERT_FMT(
-            h.fixed_part(v) >= kNoPart && h.fixed_part(v) < num_parts,
-            "vertex %d fixed to part %d, valid range is [-1, %d)", v,
-            h.fixed_part(v), num_parts);
+            h.fixed_part(v) >= kNoPart && h.fixed_part(v).v < num_parts,
+            "vertex %d fixed to part %d, valid range is [-1, %d)", v.v,
+            h.fixed_part(v).v, num_parts);
     }
   }
 
@@ -93,30 +93,31 @@ void validate_hypergraph(const Hypergraph& h, CheckLevel level,
   // Pins in range, no duplicates, and the transpose an exact mirror: count
   // each vertex's appearances in pin lists and match against its incident
   // list, then verify every incident net really contains the vertex.
-  std::vector<Index> appearances(n, 0);
-  for (Index net = 0; net < h.num_nets(); ++net) {
+  IdVector<VertexId, Index> appearances(h.num_vertices(), 0);
+  for (const NetId net : h.nets()) {
     const auto pins = h.pins(net);
-    for (const Index v : pins) {
-      HGR_ASSERT_FMT(v >= 0 && v < h.num_vertices(),
-                     "net %d has out-of-range pin %d (|V|=%d)", net, v,
+    for (const VertexId v : pins) {
+      HGR_ASSERT_FMT(v.v >= 0 && v.v < h.num_vertices(),
+                     "net %d has out-of-range pin %d (|V|=%d)", net.v, v.v,
                      h.num_vertices());
-      ++appearances[static_cast<std::size_t>(v)];
+      ++appearances[v];
     }
     for (std::size_t i = 0; i < pins.size(); ++i)
       for (std::size_t j = i + 1; j < pins.size(); ++j)
-        HGR_ASSERT_FMT(pins[i] != pins[j], "net %d repeats pin %d", net,
-                       pins[i]);
+        HGR_ASSERT_FMT(pins[i] != pins[j], "net %d repeats pin %d", net.v,
+                       pins[i].v);
   }
-  for (Index v = 0; v < h.num_vertices(); ++v) {
-    HGR_ASSERT_FMT(h.vertex_degree(v) == appearances[static_cast<std::size_t>(v)],
-                   "vertex %d: transpose degree %d but %d pin appearances", v,
-                   h.vertex_degree(v), appearances[static_cast<std::size_t>(v)]);
-    for (const Index net : h.incident_nets(v)) {
-      HGR_ASSERT_FMT(net >= 0 && net < h.num_nets(),
-                     "vertex %d lists out-of-range net %d", v, net);
+  for (const VertexId v : h.vertices()) {
+    HGR_ASSERT_FMT(h.vertex_degree(v) == appearances[v],
+                   "vertex %d: transpose degree %d but %d pin appearances",
+                   v.v, h.vertex_degree(v), appearances[v]);
+    for (const NetId net : h.incident_nets(v)) {
+      HGR_ASSERT_FMT(net.v >= 0 && net.v < h.num_nets(),
+                     "vertex %d lists out-of-range net %d", v.v, net.v);
       const auto pins = h.pins(net);
       HGR_ASSERT_FMT(std::find(pins.begin(), pins.end(), v) != pins.end(),
-                     "vertex %d lists net %d which does not pin it", v, net);
+                     "vertex %d lists net %d which does not pin it", v.v,
+                     net.v);
     }
   }
 }
@@ -131,17 +132,17 @@ void validate_partition(const Hypergraph& h, const Partition& p,
   HGR_ASSERT_FMT(p.num_vertices() == h.num_vertices(),
                  "[%s] partition covers %d vertices, hypergraph has %d", ctx,
                  p.num_vertices(), h.num_vertices());
-  for (Index v = 0; v < h.num_vertices(); ++v)
-    HGR_ASSERT_FMT(p[v] >= 0 && p[v] < p.k,
+  for (const VertexId v : h.vertices())
+    HGR_ASSERT_FMT(p[v].v >= 0 && p[v].v < p.k,
                    "[%s] vertex %d assigned to part %d, valid range [0, %d)",
-                   ctx, v, p[v], p.k);
+                   ctx, v.v, p[v].v, p.k);
 
   if (h.has_fixed()) {
-    for (Index v = 0; v < h.num_vertices(); ++v) {
+    for (const VertexId v : h.vertices()) {
       const PartId f = h.fixed_part(v);
       HGR_ASSERT_FMT(f == kNoPart || p[v] == f,
                      "[%s] vertex %d fixed to part %d but assigned to %d",
-                     ctx, v, f, p[v]);
+                     ctx, v.v, f.v, p[v].v);
     }
   }
   if (expect.old_partition != nullptr) {
@@ -162,25 +163,24 @@ void validate_partition(const Hypergraph& h, const Partition& p,
     const Weight bound =
         max_part_weight(h.total_vertex_weight(), p.k, expect.epsilon);
     Weight heaviest = 0;
-    for (Index v = 0; v < h.num_vertices(); ++v)
+    for (const VertexId v : h.vertices())
       heaviest = std::max(heaviest, h.vertex_weight(v));
     const Weight limit = bound + std::max<Weight>(heaviest, 1) - 1;
-    std::vector<Weight> fixed_w(static_cast<std::size_t>(p.k), 0);
+    IdVector<PartId, Weight> fixed_w(p.k, 0);
     if (h.has_fixed()) {
-      for (Index v = 0; v < h.num_vertices(); ++v)
+      for (const VertexId v : h.vertices())
         if (h.fixed_part(v) != kNoPart)
-          fixed_w[static_cast<std::size_t>(h.fixed_part(v))] +=
-              h.vertex_weight(v);
+          fixed_w[h.fixed_part(v)] += h.vertex_weight(v);
     }
-    const std::vector<Weight> weights = part_weights(h.vertex_weights(), p);
-    for (PartId q = 0; q < p.k; ++q) {
-      if (h.has_fixed() && fixed_w[static_cast<std::size_t>(q)] > limit)
-        continue;
+    const IdVector<PartId, Weight> weights =
+        part_weights(h.vertex_weights(), p);
+    for (const PartId q : p.parts()) {
+      if (h.has_fixed() && fixed_w[q] > limit) continue;
       HGR_ASSERT_FMT(
-          weights[static_cast<std::size_t>(q)] <= limit,
+          weights[q] <= limit,
           "[%s] part %d weighs %lld, balance bound is %lld (+%lld vertex "
           "granularity, eps=%.4f)",
-          ctx, q, static_cast<long long>(weights[static_cast<std::size_t>(q)]),
+          ctx, q.v, static_cast<long long>(weights[q]),
           static_cast<long long>(bound),
           static_cast<long long>(limit - bound), expect.epsilon);
     }
@@ -223,22 +223,21 @@ void validate_coarsening(const Hypergraph& fine, const CoarseLevel& level_data,
                          const Partition* coarse_partition) {
   if (!enabled(level)) return;
   const Hypergraph& coarse = level_data.coarse;
-  const std::vector<Index>& map = level_data.fine_to_coarse;
+  const IdVector<VertexId, VertexId>& map = level_data.fine_to_coarse;
 
-  HGR_ASSERT_FMT(static_cast<Index>(map.size()) == fine.num_vertices(),
+  HGR_ASSERT_FMT(map.ssize() == fine.num_vertices(),
                  "fine_to_coarse has %zu entries for %d fine vertices",
                  map.size(), fine.num_vertices());
-  std::vector<char> hit(static_cast<std::size_t>(coarse.num_vertices()), 0);
-  for (Index v = 0; v < fine.num_vertices(); ++v) {
-    const Index c = map[static_cast<std::size_t>(v)];
-    HGR_ASSERT_FMT(c >= 0 && c < coarse.num_vertices(),
-                   "fine vertex %d maps to coarse %d (|coarse V|=%d)", v, c,
-                   coarse.num_vertices());
-    hit[static_cast<std::size_t>(c)] = 1;
+  IdVector<VertexId, char> hit(coarse.num_vertices(), 0);
+  for (const VertexId v : fine.vertices()) {
+    const VertexId c = map[v];
+    HGR_ASSERT_FMT(c.v >= 0 && c.v < coarse.num_vertices(),
+                   "fine vertex %d maps to coarse %d (|coarse V|=%d)", v.v,
+                   c.v, coarse.num_vertices());
+    hit[c] = 1;
   }
-  for (Index c = 0; c < coarse.num_vertices(); ++c)
-    HGR_ASSERT_FMT(hit[static_cast<std::size_t>(c)],
-                   "coarse vertex %d has no fine preimage", c);
+  for (const VertexId c : coarse.vertices())
+    HGR_ASSERT_FMT(hit[c], "coarse vertex %d has no fine preimage", c.v);
 
   HGR_ASSERT_FMT(
       fine.total_vertex_weight() == coarse.total_vertex_weight(),
@@ -246,9 +245,8 @@ void validate_coarsening(const Hypergraph& fine, const CoarseLevel& level_data,
       static_cast<long long>(fine.total_vertex_weight()),
       static_cast<long long>(coarse.total_vertex_weight()));
   Weight fine_size = 0, coarse_size = 0;
-  for (Index v = 0; v < fine.num_vertices(); ++v)
-    fine_size += fine.vertex_size(v);
-  for (Index c = 0; c < coarse.num_vertices(); ++c)
+  for (const VertexId v : fine.vertices()) fine_size += fine.vertex_size(v);
+  for (const VertexId c : coarse.vertices())
     coarse_size += coarse.vertex_size(c);
   HGR_ASSERT_FMT(fine_size == coarse_size,
                  "contraction changed total vertex size %lld -> %lld",
@@ -258,29 +256,25 @@ void validate_coarsening(const Hypergraph& fine, const CoarseLevel& level_data,
   // Fixed labels conserved: each fixed fine vertex's image carries the same
   // label, and no coarse label lacks a fine justification.
   if (fine.has_fixed()) {
-    for (Index v = 0; v < fine.num_vertices(); ++v) {
+    for (const VertexId v : fine.vertices()) {
       const PartId f = fine.fixed_part(v);
       if (f == kNoPart) continue;
-      const Index c = map[static_cast<std::size_t>(v)];
+      const VertexId c = map[v];
       HGR_ASSERT_FMT(coarse.fixed_part(c) == f,
                      "fine vertex %d fixed to %d but coarse vertex %d fixed "
                      "to %d",
-                     v, f, c, coarse.fixed_part(c));
+                     v.v, f.v, c.v, coarse.fixed_part(c).v);
     }
   }
   if (coarse.has_fixed()) {
-    std::vector<char> justified(
-        static_cast<std::size_t>(coarse.num_vertices()), 0);
-    for (Index v = 0; v < fine.num_vertices(); ++v)
-      if (fine.fixed_part(v) != kNoPart)
-        justified[static_cast<std::size_t>(map[static_cast<std::size_t>(v)])] =
-            1;
-    for (Index c = 0; c < coarse.num_vertices(); ++c)
-      HGR_ASSERT_FMT(coarse.fixed_part(c) == kNoPart ||
-                         justified[static_cast<std::size_t>(c)],
+    IdVector<VertexId, char> justified(coarse.num_vertices(), 0);
+    for (const VertexId v : fine.vertices())
+      if (fine.fixed_part(v) != kNoPart) justified[map[v]] = 1;
+    for (const VertexId c : coarse.vertices())
+      HGR_ASSERT_FMT(coarse.fixed_part(c) == kNoPart || justified[c],
                      "coarse vertex %d fixed to %d without any fixed fine "
                      "preimage",
-                     c, coarse.fixed_part(c));
+                     c.v, coarse.fixed_part(c).v);
   }
 
   if (!paranoid(level) || coarse_partition == nullptr) return;
@@ -291,8 +285,7 @@ void validate_coarsening(const Hypergraph& fine, const CoarseLevel& level_data,
                  "has %d",
                  cp.num_vertices(), coarse.num_vertices());
   Partition projected(cp.k, fine.num_vertices());
-  for (Index v = 0; v < fine.num_vertices(); ++v)
-    projected[v] = cp[map[static_cast<std::size_t>(v)]];
+  for (const VertexId v : fine.vertices()) projected[v] = cp[map[v]];
   const Weight fine_cut = recompute_cut(fine, projected);
   const Weight coarse_cut = recompute_cut(coarse, cp);
   HGR_ASSERT_FMT(fine_cut == coarse_cut,

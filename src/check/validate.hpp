@@ -26,7 +26,7 @@ namespace hgr::check {
 ///             the vertex->nets transpose an exact mirror of the net->pins
 ///             CSR (same multiset of incidences, both directions).
 void validate_hypergraph(const Hypergraph& h, CheckLevel level,
-                         PartId num_parts = -1);
+                         Index num_parts = -1);
 
 /// Optional cross-checks for validate_partition. Negative sentinel values
 /// (and a null old_partition) mean "not provided, skip that check".

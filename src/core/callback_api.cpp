@@ -48,9 +48,9 @@ RepartitionResult repartition_objects(
   const Hypergraph h = build_from_queries(queries);
   Partition old_p(cfg.partition.num_parts, h.num_vertices());
   for (Index v = 0; v < h.num_vertices(); ++v) {
-    old_p[v] = current_part(v);
-    HGR_ASSERT_MSG(old_p[v] >= 0 && old_p[v] < old_p.k,
-                   "current_part out of range");
+    const PartId q = current_part(v);
+    HGR_ASSERT_MSG(q.v >= 0 && q.v < old_p.k, "current_part out of range");
+    old_p[VertexId{v}] = q;
   }
   return hypergraph_repartition(h, old_p, cfg);
 }

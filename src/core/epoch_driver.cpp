@@ -182,7 +182,7 @@ EpochRunSummary run_epochs(EpochScenario& scenario,
 }
 
 void EpochSeries::append(std::string dataset, std::string perturb,
-                         std::string algorithm, PartId k, Weight alpha,
+                         std::string algorithm, Index k, Weight alpha,
                          Index trial, const EpochRunSummary& summary) {
   for (const EpochRecord& r : summary.epochs) {
     EpochSeriesRow row;

@@ -97,7 +97,7 @@ struct EpochSeriesRow {
   std::string dataset;
   std::string perturb;
   std::string algorithm;
-  PartId k = 0;
+  Index k = 0;
   Weight alpha = 0;
   Index trial = 0;
   EpochRecord record;
@@ -111,7 +111,7 @@ struct EpochSeries {
 
   /// Append every epoch of `summary` tagged with the given run labels.
   void append(std::string dataset, std::string perturb, std::string algorithm,
-              PartId k, Weight alpha, Index trial,
+              Index k, Weight alpha, Index trial,
               const EpochRunSummary& summary);
 
   static std::string csv_header();

@@ -34,7 +34,7 @@ EpochDelta EpochDeltaTracker::observe(const Graph& g,
       current[base] = true;
       const bool existed = base < prev_present_.size() && prev_present_[base];
       if (!existed || prev_weight_[base] != g.vertex_weight(v))
-        delta.changed.push_back(v);
+        delta.changed.push_back(VertexId{v});
     }
     for (std::size_t base = 0; base < prev_present_.size(); ++base)
       if (prev_present_[base] && !current[base]) ++delta.removed;
@@ -86,7 +86,7 @@ IncrementalOutcome IncrementalRepartitioner::try_epoch(
   static obs::CachedCounter attempts("incremental.attempts");
   attempts += 1;
 
-  const PartId k = old_p.k;
+  const Index k = old_p.k;
   GainCache cache(h, k, old_p.assignment, ws_);
   const Weight max_pw =
       max_part_weight(h.total_vertex_weight(), k, cfg.partition.epsilon);
@@ -94,26 +94,26 @@ IncrementalOutcome IncrementalRepartitioner::try_epoch(
   // Work queue: the changed vertices plus their one-hop net neighborhood
   // (everything whose gain the delta could have altered). Unknown deltas
   // (mode kOn before two epochs were seen) seed every vertex.
-  Borrowed<Index> queue_b(ws_);
-  std::vector<Index>& queue = queue_b.get();
+  Borrowed<VertexId> queue_b(ws_);
+  std::vector<VertexId>& queue = queue_b.get();
   queue.clear();
   Borrowed<bool> queued_b(ws_);
   std::vector<bool>& queued = queued_b.get();
   queued.assign(static_cast<std::size_t>(n), false);
-  const auto push = [&](Index v) {
-    if (queued[static_cast<std::size_t>(v)]) return;
+  const auto push = [&](VertexId v) {
+    if (queued[static_cast<std::size_t>(v.v)]) return;
     if (h.fixed_part(v) != kNoPart) return;
-    queued[static_cast<std::size_t>(v)] = true;
+    queued[static_cast<std::size_t>(v.v)] = true;
     queue.push_back(v);
   };
   if (!delta.known) {
-    for (Index v = 0; v < n; ++v) push(v);
+    for (const VertexId v : h.vertices()) push(v);
   } else {
-    for (const Index v : delta.changed) {
-      if (v < 0 || v >= n) continue;
+    for (const VertexId v : delta.changed) {
+      if (v.v < 0 || v.v >= n) continue;
       push(v);
-      for (const Index net : h.incident_nets(v))
-        for (const Index u : h.pins(net)) push(u);
+      for (const NetId net : h.incident_nets(v))
+        for (const VertexId u : h.pins(net)) push(u);
     }
   }
 
@@ -135,18 +135,18 @@ IncrementalOutcome IncrementalRepartitioner::try_epoch(
 
   std::size_t head = 0;
   while (head < queue.size() && out.moves < budget) {
-    const Index v = queue[head++];
-    queued[static_cast<std::size_t>(v)] = false;
+    const VertexId v = queue[head++];
+    queued[static_cast<std::size_t>(v.v)] = false;
     const PartId from = cache.part_of(v);
     cache.candidate_parts_into(candidates, v);
     if (candidates.empty()) continue;
     const Weight leave_gain = cache.leave_gain(v);
-    for (const Index net : h.incident_nets(v)) {
+    for (const NetId net : h.incident_nets(v)) {
       const Weight c = h.net_cost(net);
       if (c == 0) continue;
       for (const PartId q : candidates)
         if (!cache.net_touches(net, q))
-          gain_to[static_cast<std::size_t>(q)] -= c;
+          gain_to[static_cast<std::size_t>(q.v)] -= c;
     }
     const Weight wv = h.vertex_weight(v);
     const bool from_overweight = cache.part_weight(from) > max_pw;
@@ -154,8 +154,8 @@ IncrementalOutcome IncrementalRepartitioner::try_epoch(
     Weight best_gain = 0;
     Weight best_dest_w = 0;
     for (const PartId q : candidates) {
-      const Weight g = leave_gain + gain_to[static_cast<std::size_t>(q)];
-      gain_to[static_cast<std::size_t>(q)] = 0;
+      const Weight g = leave_gain + gain_to[static_cast<std::size_t>(q.v)];
+      gain_to[static_cast<std::size_t>(q.v)] = 0;
       const Weight dest_w = cache.part_weight(q);
       if (dest_w + wv > max_pw) continue;
       const bool improves_balance = cache.part_weight(from) > dest_w + wv;
@@ -176,8 +176,8 @@ IncrementalOutcome IncrementalRepartitioner::try_epoch(
     cache.apply_move(v, best);
     ++out.moves;
     // The move changed gains in its net neighborhood: revisit it.
-    for (const Index net : h.incident_nets(v))
-      for (const Index u : h.pins(net))
+    for (const NetId net : h.incident_nets(v))
+      for (const VertexId u : h.pins(net))
         if (u != v) push(u);
     push(v);
   }
@@ -195,7 +195,7 @@ IncrementalOutcome IncrementalRepartitioner::try_epoch(
                    "incremental cut diverged from scratch recomputation");
 
   bool over = false;
-  for (PartId q = 0; q < k; ++q)
+  for (const PartId q : part_range(k))
     if (cache.part_weight(q) > max_pw) over = true;
   if (over) {
     out.reason = "imbalance";

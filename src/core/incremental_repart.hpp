@@ -29,7 +29,7 @@ namespace hgr {
 /// compact vertex ids.
 struct EpochDelta {
   /// New vertices and vertices whose weight or size changed.
-  std::vector<Index> changed;
+  std::vector<VertexId> changed;
   /// Vertices of the previous epoch that disappeared.
   Index removed = 0;
   /// Vertex count of the previous epoch (denominator context).

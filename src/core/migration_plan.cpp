@@ -9,9 +9,9 @@ namespace hgr {
 
 Weight MigrationPlan::max_part_traffic() const {
   Weight best = 0;
-  for (PartId p = 0; p < k; ++p) {
+  for (const PartId p : part_range(k)) {
     Weight traffic = 0;
-    for (PartId q = 0; q < k; ++q) {
+    for (const PartId q : part_range(k)) {
       if (q == p) continue;
       traffic += volume_between(p, q) + volume_between(q, p);
     }
@@ -29,27 +29,27 @@ std::string MigrationPlan::summary() const {
   return buf;
 }
 
-MigrationPlan extract_migration_plan(std::span<const Weight> vertex_sizes,
+MigrationPlan extract_migration_plan(IdSpan<VertexId, const Weight> vertex_sizes,
                                      const Partition& old_p,
                                      const Partition& new_p) {
   HGR_ASSERT(old_p.num_vertices() == new_p.num_vertices());
   HGR_ASSERT(old_p.k == new_p.k);
-  HGR_ASSERT(static_cast<Index>(vertex_sizes.size()) == new_p.num_vertices());
+  HGR_ASSERT(vertex_sizes.ssize() == new_p.num_vertices());
 
   MigrationPlan plan;
   plan.k = new_p.k;
   plan.volume_matrix.assign(
       static_cast<std::size_t>(plan.k) * static_cast<std::size_t>(plan.k), 0);
-  for (Index v = 0; v < new_p.num_vertices(); ++v) {
+  for (const VertexId v : new_p.vertices()) {
     const PartId from = old_p[v];
     const PartId to = new_p[v];
     if (from == to) continue;
-    const Weight size = vertex_sizes[static_cast<std::size_t>(v)];
+    const Weight size = vertex_sizes[v];
     plan.moves.push_back({v, from, to, size});
     plan.total_volume += size;
-    plan.volume_matrix[static_cast<std::size_t>(from) *
+    plan.volume_matrix[static_cast<std::size_t>(from.v) *
                            static_cast<std::size_t>(plan.k) +
-                       static_cast<std::size_t>(to)] += size;
+                       static_cast<std::size_t>(to.v)] += size;
   }
   return plan;
 }

@@ -13,7 +13,7 @@ namespace hgr {
 
 struct MigrationPlan {
   struct Move {
-    Index vertex;
+    VertexId vertex;
     PartId from;
     PartId to;
     Weight size;
@@ -21,15 +21,15 @@ struct MigrationPlan {
 
   std::vector<Move> moves;
   Weight total_volume = 0;
-  PartId k = 0;
+  Index k = 0;
 
   /// volume[i*k + j] = bytes moving from part i to part j.
   std::vector<Weight> volume_matrix;
 
   Weight volume_between(PartId from, PartId to) const {
-    return volume_matrix[static_cast<std::size_t>(from) *
+    return volume_matrix[static_cast<std::size_t>(from.v) *
                              static_cast<std::size_t>(k) +
-                         static_cast<std::size_t>(to)];
+                         static_cast<std::size_t>(to.v)];
   }
 
   /// Largest send+receive volume over all parts: the migration bottleneck.
@@ -40,7 +40,7 @@ struct MigrationPlan {
 
 /// Diff two assignments into a plan. vertex_sizes supplies per-vertex data
 /// sizes.
-MigrationPlan extract_migration_plan(std::span<const Weight> vertex_sizes,
+MigrationPlan extract_migration_plan(IdSpan<VertexId, const Weight> vertex_sizes,
                                      const Partition& old_p,
                                      const Partition& new_p);
 

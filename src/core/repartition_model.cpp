@@ -30,13 +30,13 @@ RepartitionModel build_repartition_model(const Hypergraph& h,
   std::vector<Weight> weights(static_cast<std::size_t>(total_vertices), 0);
   std::vector<Weight> sizes(static_cast<std::size_t>(total_vertices), 0);
   std::vector<PartId> fixed(static_cast<std::size_t>(total_vertices), kNoPart);
-  for (Index v = 0; v < n; ++v) {
-    weights[static_cast<std::size_t>(v)] = h.vertex_weight(v);
-    sizes[static_cast<std::size_t>(v)] = h.vertex_size(v);
-    fixed[static_cast<std::size_t>(v)] = h.fixed_part(v);  // preserve any
+  for (const VertexId v : h.vertices()) {
+    weights[static_cast<std::size_t>(v.v)] = h.vertex_weight(v);
+    sizes[static_cast<std::size_t>(v.v)] = h.vertex_size(v);
+    fixed[static_cast<std::size_t>(v.v)] = h.fixed_part(v);  // preserve any
   }
-  for (PartId i = 0; i < old_p.k; ++i)
-    fixed[static_cast<std::size_t>(n + i)] = i;
+  for (const PartId i : old_p.parts())
+    fixed[static_cast<std::size_t>(n + i.v)] = i;
 
   // Nets: communication nets first (alpha-scaled costs), then one 2-pin
   // migration net per real vertex.
@@ -44,24 +44,24 @@ RepartitionModel build_repartition_model(const Hypergraph& h,
   std::vector<Weight> costs;
   counts.reserve(static_cast<std::size_t>(h.num_nets() + n));
   costs.reserve(counts.capacity());
-  for (Index net = 0; net < h.num_nets(); ++net) {
+  for (const NetId net : h.nets()) {
     counts.push_back(h.net_size(net));
     costs.push_back(h.net_cost(net) * alpha);
   }
-  for (Index v = 0; v < n; ++v) {
+  for (const VertexId v : h.vertices()) {
     counts.push_back(2);
     costs.push_back(h.vertex_size(v));
   }
 
   std::vector<Index> offsets = counts_to_offsets(std::move(counts));
-  std::vector<Index> pins(static_cast<std::size_t>(offsets.back()));
+  std::vector<VertexId> pins(static_cast<std::size_t>(offsets.back()));
   Index cursor = 0;
-  for (Index net = 0; net < h.num_nets(); ++net)
-    for (const Index v : h.pins(net))
+  for (const NetId net : h.nets())
+    for (const VertexId v : h.pins(net))
       pins[static_cast<std::size_t>(cursor++)] = v;
-  for (Index v = 0; v < n; ++v) {
+  for (const VertexId v : h.vertices()) {
     pins[static_cast<std::size_t>(cursor++)] = v;
-    pins[static_cast<std::size_t>(cursor++)] = n + old_p[v];
+    pins[static_cast<std::size_t>(cursor++)] = VertexId{n + old_p[v].v};
   }
   HGR_ASSERT(cursor == offsets.back());
 
@@ -75,12 +75,11 @@ Partition decode_augmented_partition(const RepartitionModel& model,
                                      const Partition& augmented_p) {
   HGR_ASSERT(augmented_p.num_vertices() ==
              model.num_real_vertices + model.k);
-  for (PartId i = 0; i < model.k; ++i)
+  for (const PartId i : part_range(model.k))
     HGR_ASSERT_MSG(augmented_p[model.partition_vertex(i)] == i,
                    "partition vertex escaped its fixed part");
   Partition real(augmented_p.k, model.num_real_vertices);
-  for (Index v = 0; v < model.num_real_vertices; ++v)
-    real[v] = augmented_p[v];
+  for (const VertexId v : real.vertices()) real[v] = augmented_p[v];
   return real;
 }
 
@@ -103,9 +102,7 @@ RepartitionCost split_augmented_cut(const RepartitionModel& model,
   // Cross-check the model identity against independently computed volumes.
   const Partition real = decode_augmented_partition(model, augmented_p);
   const Weight mig_direct = migration_volume(
-      aug.vertex_sizes().subspan(
-          0, static_cast<std::size_t>(model.num_real_vertices)),
-      old_p, real);
+      aug.vertex_sizes().first(model.num_real_vertices), old_p, real);
   HGR_ASSERT_MSG(mig == mig_direct,
                  "migration-net cut disagrees with direct migration volume");
   return cost;

@@ -27,10 +27,12 @@ struct RepartitionModel {
   Hypergraph augmented;      // H-bar^j with fixed partition vertices
   Index num_real_vertices = 0;  // |V^j|; partition vertex u_i has id |V^j|+i
   Index num_comm_nets = 0;   // communication nets come first in net order
-  PartId k = 0;
+  Index k = 0;
   Weight alpha = 1;
 
-  Index partition_vertex(PartId i) const { return num_real_vertices + i; }
+  VertexId partition_vertex(PartId i) const {
+    return VertexId{num_real_vertices + i.v};
+  }
 };
 
 /// Build H-bar^j from the epoch hypergraph and the previous assignment.

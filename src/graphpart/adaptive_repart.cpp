@@ -37,7 +37,8 @@ Partition adaptive_repartition(const Graph& g, const Partition& old_p,
     if (current->num_vertices() <= stop_size) break;
     const std::vector<Index> match = heavy_edge_matching(
         *current, max_vertex_weight, rng,
-        std::span<const PartId>(current_old->assignment));
+        // hgr-lint: raw-ok (graph layer keeps raw spans of part labels)
+        std::span<const PartId>(current_old->assignment.raw()));
     Level next;
     next.cl = contract_graph(*current, match);
     const double reduction =
@@ -48,11 +49,12 @@ Partition adaptive_repartition(const Graph& g, const Partition& old_p,
         Partition(old_p.k, next.cl.coarse.num_vertices(), kNoPart);
     for (Index v = 0; v < current->num_vertices(); ++v) {
       const Index cv = next.cl.fine_to_coarse[static_cast<std::size_t>(v)];
-      const PartId ov = (*current_old)[v];
-      HGR_ASSERT_MSG(next.old_parts[cv] == kNoPart ||
-                         next.old_parts[cv] == ov,
+      const PartId ov = (*current_old)[VertexId{v}];
+      const VertexId cvv{cv};
+      HGR_ASSERT_MSG(next.old_parts[cvv] == kNoPart ||
+                         next.old_parts[cvv] == ov,
                      "local matching crossed old-part boundary");
-      next.old_parts[cv] = ov;
+      next.old_parts[cvv] = ov;
     }
     levels.push_back(std::move(next));
     current = &levels.back().cl.coarse;
@@ -79,7 +81,8 @@ Partition adaptive_repartition(const Graph& g, const Partition& old_p,
     const Partition& finer_old = (i == 0) ? old_p : levels[i - 1].old_parts;
     Partition fine_p(old_p.k, finer.num_vertices());
     for (Index v = 0; v < finer.num_vertices(); ++v)
-      fine_p[v] = p[levels[i].cl.fine_to_coarse[static_cast<std::size_t>(v)]];
+      fine_p[VertexId{v}] = p[VertexId{
+          levels[i].cl.fine_to_coarse[static_cast<std::size_t>(v)]}];
     p = std::move(fine_p);
     GRefineOptions o = opt;
     o.old_partition = &finer_old;

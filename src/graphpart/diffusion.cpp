@@ -14,10 +14,10 @@ Partition diffusive_repartition(const Graph& g, const Partition& old_p,
                                 const DiffusionConfig& cfg) {
   HGR_ASSERT(old_p.num_vertices() == g.num_vertices());
   Partition p = old_p;
-  const PartId k = p.k;
+  const Index k = p.k;
   if (k <= 1 || g.num_vertices() == 0) return p;
 
-  std::vector<Weight> part_w = part_weights(g.vertex_weights(), p);
+  IdVector<PartId, Weight> part_w = part_weights(g.vertex_weights(), p);
   const double avg =
       static_cast<double>(g.total_vertex_weight()) / static_cast<double>(k);
   const auto max_w = static_cast<Weight>(avg * (1.0 + cfg.epsilon));
@@ -35,26 +35,24 @@ Partition diffusive_repartition(const Graph& g, const Partition& old_p,
     Index moves = 0;
     const std::vector<Index> order = random_permutation(g.num_vertices(), rng);
     for (const Index v : order) {
-      const PartId from = p[v];
-      if (part_w[static_cast<std::size_t>(from)] <= max_w) continue;
+      const PartId from = p[VertexId{v}];
+      if (part_w[from] <= max_w) continue;
       PartId best = kNoPart;
       Weight best_conn = -1;
       for (std::size_t i = 0; i < g.neighbors(v).size(); ++i) {
-        const PartId q = p[g.neighbors(v)[i]];
+        const PartId q = p[VertexId{g.neighbors(v)[i]}];
         if (q == from) continue;
-        if (static_cast<double>(part_w[static_cast<std::size_t>(q)]) >= avg)
+        if (static_cast<double>(part_w[q]) >= avg)
           continue;  // downhill only
         const Weight conn = g.edge_weights(v)[i];
         if (best == kNoPart || conn > best_conn ||
-            (conn == best_conn &&
-             part_w[static_cast<std::size_t>(q)] <
-                 part_w[static_cast<std::size_t>(best)]))
+            (conn == best_conn && part_w[q] < part_w[best]))
           best = q, best_conn = conn;
       }
       if (best == kNoPart) continue;
-      part_w[static_cast<std::size_t>(from)] -= g.vertex_weight(v);
-      part_w[static_cast<std::size_t>(best)] += g.vertex_weight(v);
-      p[v] = best;
+      part_w[from] -= g.vertex_weight(v);
+      part_w[best] += g.vertex_weight(v);
+      p[VertexId{v}] = best;
       ++moves;
     }
     if (moves == 0) break;  // no downhill boundary left: diffusion stalled

@@ -13,9 +13,9 @@ namespace hgr {
 Partition greedy_graph_growing(const Graph& g, const PartitionConfig& cfg,
                                Rng& rng) {
   const Index n = g.num_vertices();
-  const PartId k = cfg.num_parts;
+  const Index k = cfg.num_parts;
   Partition p(k, n, kNoPart);
-  std::vector<Weight> part_w(static_cast<std::size_t>(k), 0);
+  IdVector<PartId, Weight> part_w(k, 0);
   const double avg =
       static_cast<double>(g.total_vertex_weight()) / static_cast<double>(k);
   const auto max_w = static_cast<Weight>(avg * (1.0 + cfg.epsilon));
@@ -23,20 +23,20 @@ Partition greedy_graph_growing(const Graph& g, const PartitionConfig& cfg,
   // One frontier heap per part, keyed by connection strength to the part.
   std::vector<IndexedMaxHeap> frontier;
   frontier.reserve(static_cast<std::size_t>(k));
-  for (PartId q = 0; q < k; ++q) frontier.emplace_back(n);
+  for (Index q = 0; q < k; ++q) frontier.emplace_back(n);
 
   std::vector<Index> seeds = random_permutation(n, rng);
   std::size_t seed_cursor = 0;
 
   auto claim = [&](Index v, PartId q) {
-    p[v] = q;
-    part_w[static_cast<std::size_t>(q)] += g.vertex_weight(v);
+    p[VertexId{v}] = q;
+    part_w[q] += g.vertex_weight(v);
     const auto nbrs = g.neighbors(v);
     const auto ws = g.edge_weights(v);
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
       const Index u = nbrs[i];
-      if (p[u] != kNoPart) continue;
-      auto& f = frontier[static_cast<std::size_t>(q)];
+      if (p[VertexId{u}] != kNoPart) continue;
+      auto& f = frontier[static_cast<std::size_t>(q.v)];
       if (f.contains(u)) {
         f.adjust(u, f.key(u) + ws[i]);
       } else {
@@ -46,8 +46,9 @@ Partition greedy_graph_growing(const Graph& g, const PartitionConfig& cfg,
   };
 
   // Seed each part with a random unassigned vertex.
-  for (PartId q = 0; q < k; ++q) {
-    while (seed_cursor < seeds.size() && p[seeds[seed_cursor]] != kNoPart)
+  for (const PartId q : part_range(k)) {
+    while (seed_cursor < seeds.size() &&
+           p[VertexId{seeds[seed_cursor]}] != kNoPart)
       ++seed_cursor;
     if (seed_cursor < seeds.size()) claim(seeds[seed_cursor++], q);
   }
@@ -55,35 +56,31 @@ Partition greedy_graph_growing(const Graph& g, const PartitionConfig& cfg,
   // Round-robin growth, lightest part first.
   Index unassigned = 0;
   for (Index v = 0; v < n; ++v)
-    if (p[v] == kNoPart) ++unassigned;
+    if (p[VertexId{v}] == kNoPart) ++unassigned;
   while (unassigned > 0) {
     // Pick the lightest part that still has a frontier; if every frontier
     // is empty (disconnected), reseed the lightest part.
     PartId pick = kNoPart;
-    for (PartId q = 0; q < k; ++q) {
-      if (frontier[static_cast<std::size_t>(q)].empty()) continue;
-      if (pick == kNoPart || part_w[static_cast<std::size_t>(q)] <
-                                 part_w[static_cast<std::size_t>(pick)])
-        pick = q;
+    for (const PartId q : part_range(k)) {
+      if (frontier[static_cast<std::size_t>(q.v)].empty()) continue;
+      if (pick == kNoPart || part_w[q] < part_w[pick]) pick = q;
     }
     if (pick == kNoPart) {
-      PartId lightest = 0;
-      for (PartId q = 1; q < k; ++q)
-        if (part_w[static_cast<std::size_t>(q)] <
-            part_w[static_cast<std::size_t>(lightest)])
-          lightest = q;
-      while (seed_cursor < seeds.size() && p[seeds[seed_cursor]] != kNoPart)
+      PartId lightest{0};
+      for (const PartId q : part_range(k))
+        if (part_w[q] < part_w[lightest]) lightest = q;
+      while (seed_cursor < seeds.size() &&
+             p[VertexId{seeds[seed_cursor]}] != kNoPart)
         ++seed_cursor;
       if (seed_cursor >= seeds.size()) break;  // should not happen
       claim(seeds[seed_cursor++], lightest);
       --unassigned;
       continue;
     }
-    auto& f = frontier[static_cast<std::size_t>(pick)];
+    auto& f = frontier[static_cast<std::size_t>(pick.v)];
     const Index v = f.pop();
-    if (p[v] != kNoPart) continue;  // claimed by another part meanwhile
-    if (part_w[static_cast<std::size_t>(pick)] + g.vertex_weight(v) > max_w &&
-        part_w[static_cast<std::size_t>(pick)] > 0) {
+    if (p[VertexId{v}] != kNoPart) continue;  // claimed meanwhile
+    if (part_w[pick] + g.vertex_weight(v) > max_w && part_w[pick] > 0) {
       // Part is full; drop this frontier entry (vertex stays available to
       // other parts).
       continue;
@@ -94,12 +91,10 @@ Partition greedy_graph_growing(const Graph& g, const PartitionConfig& cfg,
 
   // Safety: anything still unassigned goes to the lightest part.
   for (Index v = 0; v < n; ++v) {
-    if (p[v] == kNoPart) {
-      PartId lightest = 0;
-      for (PartId q = 1; q < k; ++q)
-        if (part_w[static_cast<std::size_t>(q)] <
-            part_w[static_cast<std::size_t>(lightest)])
-          lightest = q;
+    if (p[VertexId{v}] == kNoPart) {
+      PartId lightest{0};
+      for (const PartId q : part_range(k))
+        if (part_w[q] < part_w[lightest]) lightest = q;
       claim(v, lightest);
     }
   }

@@ -13,7 +13,7 @@ namespace hgr {
 Partition partition_graph(const Graph& g, const PartitionConfig& cfg) {
   HGR_ASSERT(cfg.num_parts >= 1);
   if (cfg.num_parts == 1 || g.num_vertices() == 0)
-    return Partition(std::max<PartId>(1, cfg.num_parts), g.num_vertices(), 0);
+    return Partition(std::max<Index>(1, cfg.num_parts), g.num_vertices());
 
   Rng rng(cfg.seed);
   const Index stop_size = std::max<Index>(cfg.coarsen_to, 4 * cfg.num_parts);
@@ -49,7 +49,8 @@ Partition partition_graph(const Graph& g, const PartitionConfig& cfg) {
         (std::next(it) == levels.rend()) ? g : std::next(it)->coarse;
     Partition fine_p(cfg.num_parts, finer.num_vertices());
     for (Index v = 0; v < finer.num_vertices(); ++v)
-      fine_p[v] = p[it->fine_to_coarse[static_cast<std::size_t>(v)]];
+      fine_p[VertexId{v}] =
+          p[VertexId{it->fine_to_coarse[static_cast<std::size_t>(v)]}];
     p = std::move(fine_p);
     graph_kway_refine(finer, p, opt, rng);
   }

@@ -14,7 +14,7 @@ namespace {
 class GRefiner {
  public:
   GRefiner(const Graph& g, Partition& p, const GRefineOptions& opt)
-      : g_(g), p_(p), opt_(opt), conn_(static_cast<std::size_t>(p.k), 0) {
+      : g_(g), p_(p), opt_(opt), conn_(p.k, 0) {
     part_w_ = part_weights(g.vertex_weights(), p);
     const double avg = static_cast<double>(g.total_vertex_weight()) /
                        static_cast<double>(p.k);
@@ -30,8 +30,8 @@ class GRefiner {
   /// Migration component of moving v from its current part to q.
   Weight migration_gain(Index v, PartId q) const {
     if (opt_.old_partition == nullptr) return 0;
-    const PartId home = (*opt_.old_partition)[v];
-    const PartId from = p_[v];
+    const PartId home = (*opt_.old_partition)[VertexId{v}];
+    const PartId from = p_[VertexId{v}];
     if (from == home && q != home) return -g_.vertex_size(v);
     if (from != home && q == home) return +g_.vertex_size(v);
     return 0;
@@ -45,8 +45,8 @@ class GRefiner {
       const std::vector<Index> order =
           random_permutation(g_.num_vertices(), rng);
       for (const Index v : order) {
-        const PartId from = p_[v];
-        if (part_w_[static_cast<std::size_t>(from)] <= max_w_) continue;
+        const PartId from = p_[VertexId{v}];
+        if (part_w_[from] <= max_w_) continue;
         const auto [best, gain] = best_destination(v, /*forced=*/true);
         (void)gain;
         if (best == kNoPart) continue;
@@ -69,8 +69,7 @@ class GRefiner {
       const auto [best, gain] = best_destination(v, /*forced=*/false);
       if (best == kNoPart) continue;
       const bool improves_balance =
-          part_w_[static_cast<std::size_t>(p_[v])] >
-          part_w_[static_cast<std::size_t>(best)] + g_.vertex_weight(v);
+          part_w_[p_[VertexId{v}]] > part_w_[best] + g_.vertex_weight(v);
       if (gain > 0 || (gain == 0 && improves_balance)) {
         move(v, best);
         ++moves;
@@ -84,7 +83,7 @@ class GRefiner {
   /// balance of the source is ignored (we are evacuating it) and the best
   /// non-positive gain is acceptable.
   std::pair<PartId, Weight> best_destination(Index v, bool forced) {
-    const PartId from = p_[v];
+    const PartId from = p_[VertexId{v}];
     const auto nbrs = g_.neighbors(v);
     const auto ws = g_.edge_weights(v);
 
@@ -93,18 +92,18 @@ class GRefiner {
     // The home part is always a candidate when repartitioning: returning a
     // vertex home earns its migration gain even across a non-boundary.
     if (opt_.old_partition != nullptr) {
-      const PartId home = (*opt_.old_partition)[v];
+      const PartId home = (*opt_.old_partition)[VertexId{v}];
       if (home != from) touched_.push_back(home);
     }
     Weight internal = 0;
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      const PartId q = p_[nbrs[i]];
+      const PartId q = p_[VertexId{nbrs[i]}];
       if (q == from) {
         internal += ws[i];
         continue;
       }
-      if (conn_[static_cast<std::size_t>(q)] == 0) touched_.push_back(q);
-      conn_[static_cast<std::size_t>(q)] += ws[i];
+      if (conn_[q] == 0) touched_.push_back(q);
+      conn_[q] += ws[i];
     }
 
     PartId best = kNoPart;
@@ -112,15 +111,13 @@ class GRefiner {
     bool have = false;
     const Weight wv = g_.vertex_weight(v);
     for (const PartId q : touched_) {
-      const Weight ext = conn_[static_cast<std::size_t>(q)];
-      conn_[static_cast<std::size_t>(q)] = 0;
-      if (part_w_[static_cast<std::size_t>(q)] + wv > max_w_) continue;
+      const Weight ext = conn_[q];
+      conn_[q] = 0;
+      if (part_w_[q] + wv > max_w_) continue;
       const Weight gain =
           opt_.alpha * (ext - internal) + migration_gain(v, q);
       if (!have || gain > best_gain ||
-          (gain == best_gain &&
-           part_w_[static_cast<std::size_t>(q)] <
-               part_w_[static_cast<std::size_t>(best)])) {
+          (gain == best_gain && part_w_[q] < part_w_[best])) {
         best = q;
         best_gain = gain;
         have = true;
@@ -130,11 +127,9 @@ class GRefiner {
       // Every adjacent part is full: fall back to the globally lightest
       // part so evacuation always makes progress.
       PartId lightest = kNoPart;
-      for (PartId q = 0; q < p_.k; ++q) {
+      for (const PartId q : p_.parts()) {
         if (q == from) continue;
-        if (lightest == kNoPart || part_w_[static_cast<std::size_t>(q)] <
-                                       part_w_[static_cast<std::size_t>(
-                                           lightest)])
+        if (lightest == kNoPart || part_w_[q] < part_w_[lightest])
           lightest = q;
       }
       // Gain is not meaningful here; report 0.
@@ -144,18 +139,18 @@ class GRefiner {
   }
 
   void move(Index v, PartId to) {
-    const PartId from = p_[v];
+    const PartId from = p_[VertexId{v}];
     HGR_DASSERT(from != to);
-    part_w_[static_cast<std::size_t>(from)] -= g_.vertex_weight(v);
-    part_w_[static_cast<std::size_t>(to)] += g_.vertex_weight(v);
-    p_[v] = to;
+    part_w_[from] -= g_.vertex_weight(v);
+    part_w_[to] += g_.vertex_weight(v);
+    p_[VertexId{v}] = to;
   }
 
   const Graph& g_;
   Partition& p_;
   const GRefineOptions& opt_;
-  std::vector<Weight> part_w_;
-  std::vector<Weight> conn_;
+  IdVector<PartId, Weight> part_w_;
+  IdVector<PartId, Weight> conn_;
   std::vector<PartId> touched_;
   Weight max_w_ = 0;
 };

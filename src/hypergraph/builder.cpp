@@ -69,12 +69,15 @@ Hypergraph HypergraphBuilder::finalize() {
     }
   }
   std::vector<Index> offsets = counts_to_offsets(std::move(counts));
-  std::vector<Index> pins(static_cast<std::size_t>(offsets.back()));
+  // The builder is the untyped construction boundary: raw pin integers
+  // become VertexId here, once, on the way into the typed Hypergraph.
+  std::vector<VertexId> pins(static_cast<std::size_t>(offsets.back()));
   std::size_t kept = 0;
   for (std::size_t n = 0; n < nets_.size(); ++n) {
     if (static_cast<Index>(nets_[n].size()) < min_pins) continue;
-    std::copy(nets_[n].begin(), nets_[n].end(),
-              pins.begin() + offsets[kept]);
+    std::transform(nets_[n].begin(), nets_[n].end(),
+                   pins.begin() + offsets[kept],
+                   [](Index v) { return VertexId{v}; });
     ++kept;
   }
   std::vector<PartId> fixed;

@@ -40,18 +40,18 @@ Hypergraph graph_to_column_net_hypergraph(const Graph& g) {
 
 Graph hypergraph_to_graph_clique(const Hypergraph& h, Index max_clique_size) {
   GraphBuilder b(h.num_vertices());
-  for (Index v = 0; v < h.num_vertices(); ++v) {
-    b.set_vertex_weight(v, h.vertex_weight(v));
-    b.set_vertex_size(v, h.vertex_size(v));
+  for (const VertexId v : h.vertices()) {
+    b.set_vertex_weight(v.v, h.vertex_weight(v));
+    b.set_vertex_size(v.v, h.vertex_size(v));
   }
-  for (Index n = 0; n < h.num_nets(); ++n) {
+  for (const NetId n : h.nets()) {
     const auto ps = h.pins(n);
     const auto s = static_cast<Index>(ps.size());
     if (s < 2 || s > max_clique_size) continue;
     const Weight w = std::max<Weight>(1, h.net_cost(n) / (s - 1));
     for (std::size_t i = 0; i < ps.size(); ++i)
       for (std::size_t j = i + 1; j < ps.size(); ++j)
-        b.add_edge(ps[i], ps[j], w);
+        b.add_edge(ps[i].v, ps[j].v, w);
   }
   return b.finalize();
 }

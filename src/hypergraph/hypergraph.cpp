@@ -7,7 +7,8 @@
 
 namespace hgr {
 
-Hypergraph::Hypergraph(std::vector<Index> net_offsets, std::vector<Index> pins,
+Hypergraph::Hypergraph(std::vector<Index> net_offsets,
+                       std::vector<VertexId> pins,
                        std::vector<Weight> vertex_weights,
                        std::vector<Weight> vertex_sizes,
                        std::vector<Weight> net_costs,
@@ -31,9 +32,9 @@ Hypergraph::Hypergraph(std::vector<Index> net_offsets, std::vector<Index> pins,
 
 void Hypergraph::build_transpose() {
   std::vector<Index> degree(static_cast<std::size_t>(num_vertices_), 0);
-  for (const Index v : pins_) {
-    HGR_ASSERT_MSG(v >= 0 && v < num_vertices_, "pin out of range");
-    ++degree[static_cast<std::size_t>(v)];
+  for (const VertexId v : pins_) {
+    HGR_ASSERT_MSG(v.v >= 0 && v.v < num_vertices_, "pin out of range");
+    ++degree[static_cast<std::size_t>(v.v)];
   }
   vertex_offsets_.assign(static_cast<std::size_t>(num_vertices_) + 1, 0);
   for (Index v = 0; v < num_vertices_; ++v) {
@@ -43,10 +44,10 @@ void Hypergraph::build_transpose() {
   }
   incident_nets_.resize(pins_.size());
   std::vector<Index> cursor(vertex_offsets_.begin(), vertex_offsets_.end() - 1);
-  for (Index net = 0; net < num_nets_; ++net) {
-    for (const Index v : pins(net)) {
+  for (const NetId net : nets()) {
+    for (const VertexId v : pins(net)) {
       incident_nets_[static_cast<std::size_t>(
-          cursor[static_cast<std::size_t>(v)]++)] = net;
+          cursor[static_cast<std::size_t>(v.v)]++)] = net;
     }
   }
 }
@@ -57,15 +58,15 @@ void Hypergraph::set_fixed_parts(std::vector<PartId> fixed) {
   fixed_ = std::move(fixed);
 }
 
-void Hypergraph::set_vertex_weight(Index v, Weight w) {
-  HGR_ASSERT(v >= 0 && v < num_vertices_ && w >= 0);
-  total_vertex_weight_ += w - vertex_weight_[static_cast<std::size_t>(v)];
-  vertex_weight_[static_cast<std::size_t>(v)] = w;
+void Hypergraph::set_vertex_weight(VertexId v, Weight w) {
+  HGR_ASSERT(v.v >= 0 && v.v < num_vertices_ && w >= 0);
+  total_vertex_weight_ += w - vertex_weight_[static_cast<std::size_t>(v.v)];
+  vertex_weight_[static_cast<std::size_t>(v.v)] = w;
 }
 
-void Hypergraph::set_vertex_size(Index v, Weight s) {
-  HGR_ASSERT(v >= 0 && v < num_vertices_ && s >= 0);
-  vertex_size_[static_cast<std::size_t>(v)] = s;
+void Hypergraph::set_vertex_size(VertexId v, Weight s) {
+  HGR_ASSERT(v.v >= 0 && v.v < num_vertices_ && s >= 0);
+  vertex_size_[static_cast<std::size_t>(v.v)] = s;
 }
 
 void Hypergraph::scale_net_costs(Weight factor) {
@@ -73,38 +74,39 @@ void Hypergraph::scale_net_costs(Weight factor) {
   for (auto& c : net_cost_) c *= factor;
 }
 
-void Hypergraph::validate(PartId num_parts) const {
+void Hypergraph::validate(Index num_parts) const {
   HGR_ASSERT(net_offsets_.size() == static_cast<std::size_t>(num_nets_) + 1);
   HGR_ASSERT(net_offsets_.front() == 0);
   HGR_ASSERT(net_offsets_.back() == static_cast<Index>(pins_.size()));
-  for (Index n = 0; n < num_nets_; ++n) {
-    HGR_ASSERT_MSG(net_offsets_[static_cast<std::size_t>(n)] <=
-                       net_offsets_[static_cast<std::size_t>(n) + 1],
+  for (const NetId n : nets()) {
+    HGR_ASSERT_MSG(net_offsets_[static_cast<std::size_t>(n.v)] <=
+                       net_offsets_[static_cast<std::size_t>(n.v) + 1],
                    "net offsets not monotone");
-    std::unordered_set<Index> seen;
-    for (const Index v : pins(n)) {
-      HGR_ASSERT_MSG(v >= 0 && v < num_vertices_, "pin out of range");
+    std::unordered_set<VertexId> seen;
+    for (const VertexId v : pins(n)) {
+      HGR_ASSERT_MSG(v.v >= 0 && v.v < num_vertices_, "pin out of range");
       HGR_ASSERT_MSG(seen.insert(v).second, "duplicate pin within a net");
     }
   }
-  for (Index v = 0; v < num_vertices_; ++v) {
+  for (const VertexId v : vertices()) {
     HGR_ASSERT_MSG(vertex_weight(v) >= 0, "negative vertex weight");
     HGR_ASSERT_MSG(vertex_size(v) >= 0, "negative vertex size");
-    for (const Index n : incident_nets(v)) {
-      HGR_ASSERT(n >= 0 && n < num_nets_);
+    for (const NetId n : incident_nets(v)) {
+      HGR_ASSERT(n.v >= 0 && n.v < num_nets_);
       const auto ps = pins(n);
       HGR_ASSERT_MSG(std::find(ps.begin(), ps.end(), v) != ps.end(),
                      "transpose inconsistent with pins");
     }
   }
   Index pin_count = 0;
-  for (Index n = 0; n < num_nets_; ++n) pin_count += net_size(n);
+  for (const NetId n : nets()) pin_count += net_size(n);
   HGR_ASSERT(pin_count == num_pins());
-  for (Index n = 0; n < num_nets_; ++n)
+  for (const NetId n : nets())
     HGR_ASSERT_MSG(net_cost(n) >= 0, "negative net cost");
   if (!fixed_.empty() && num_parts >= 0) {
-    for (Index v = 0; v < num_vertices_; ++v) {
-      HGR_ASSERT_MSG(fixed_part(v) >= kNoPart && fixed_part(v) < num_parts,
+    for (const VertexId v : vertices()) {
+      HGR_ASSERT_MSG(fixed_part(v) >= kNoPart &&
+                         fixed_part(v).v < num_parts,
                      "fixed part out of range");
     }
   }

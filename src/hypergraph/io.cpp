@@ -95,12 +95,12 @@ Hypergraph read_hmetis_file(const std::string& path) {
 
 void write_hmetis(const Hypergraph& h, std::ostream& out) {
   out << h.num_nets() << ' ' << h.num_vertices() << " 111\n";
-  for (Index n = 0; n < h.num_nets(); ++n) {
+  for (const NetId n : h.nets()) {
     out << h.net_cost(n);
-    for (const Index v : h.pins(n)) out << ' ' << (v + 1);
+    for (const VertexId v : h.pins(n)) out << ' ' << (v.v + 1);
     out << '\n';
   }
-  for (Index v = 0; v < h.num_vertices(); ++v)
+  for (const VertexId v : h.vertices())
     out << h.vertex_weight(v) << ' ' << h.vertex_size(v) << '\n';
 }
 

@@ -33,11 +33,11 @@ DegreeStats graph_degree_stats(const Graph& g) {
 
 DegreeStats hypergraph_vertex_degree_stats(const Hypergraph& h) {
   return stats_over(h.num_vertices(),
-                    [&](Index v) { return h.vertex_degree(v); });
+                    [&](Index v) { return h.vertex_degree(VertexId{v}); });
 }
 
 DegreeStats hypergraph_net_size_stats(const Hypergraph& h) {
-  return stats_over(h.num_nets(), [&](Index n) { return h.net_size(n); });
+  return stats_over(h.num_nets(), [&](Index n) { return h.net_size(NetId{n}); });
 }
 
 std::string table1_row(const std::string& name, const Graph& g,

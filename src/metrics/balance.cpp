@@ -7,27 +7,26 @@
 
 namespace hgr {
 
-void part_weights_into(std::vector<Weight>& out,
-                       std::span<const Weight> vertex_weights,
+void part_weights_into(IdVector<PartId, Weight>& out,
+                       IdSpan<VertexId, const Weight> vertex_weights,
                        const Partition& p) {
-  HGR_ASSERT(static_cast<Index>(vertex_weights.size()) == p.num_vertices());
-  out.assign(static_cast<std::size_t>(p.k), 0);
-  for (Index v = 0; v < p.num_vertices(); ++v) {
+  HGR_ASSERT(vertex_weights.ssize() == p.num_vertices());
+  out.assign(p.k, 0);
+  for (const VertexId v : p.vertices()) {
     const PartId part = p[v];
-    HGR_ASSERT(part >= 0 && part < p.k);
-    out[static_cast<std::size_t>(part)] +=
-        vertex_weights[static_cast<std::size_t>(v)];
+    HGR_ASSERT(part.v >= 0 && part.v < p.k);
+    out[part] += vertex_weights[v];
   }
 }
 
-std::vector<Weight> part_weights(std::span<const Weight> vertex_weights,
-                                 const Partition& p) {
-  std::vector<Weight> w;
+IdVector<PartId, Weight> part_weights(
+    IdSpan<VertexId, const Weight> vertex_weights, const Partition& p) {
+  IdVector<PartId, Weight> w;
   part_weights_into(w, vertex_weights, p);
   return w;
 }
 
-double imbalance_of(const std::vector<Weight>& pw) {
+double imbalance_of(const IdVector<PartId, Weight>& pw) {
   if (pw.empty()) return 0.0;
   const Weight total = std::accumulate(pw.begin(), pw.end(), Weight{0});
   if (total == 0) return 0.0;
@@ -37,16 +36,17 @@ double imbalance_of(const std::vector<Weight>& pw) {
   return static_cast<double>(maxw) / avg - 1.0;
 }
 
-double imbalance(std::span<const Weight> vertex_weights, const Partition& p) {
+double imbalance(IdSpan<VertexId, const Weight> vertex_weights,
+                 const Partition& p) {
   return imbalance_of(part_weights(vertex_weights, p));
 }
 
-bool is_balanced(std::span<const Weight> vertex_weights, const Partition& p,
-                 double eps) {
+bool is_balanced(IdSpan<VertexId, const Weight> vertex_weights,
+                 const Partition& p, double eps) {
   return imbalance(vertex_weights, p) <= eps + 1e-12;
 }
 
-Weight max_part_weight(Weight total_weight, PartId k, double epsilon) {
+Weight max_part_weight(Weight total_weight, Index k, double epsilon) {
   HGR_ASSERT(k >= 1);
   HGR_ASSERT(epsilon >= 0.0);
   const double avg =

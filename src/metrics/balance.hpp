@@ -10,23 +10,38 @@
 
 namespace hgr {
 
-/// Per-part total vertex weight.
-std::vector<Weight> part_weights(std::span<const Weight> vertex_weights,
-                                 const Partition& p);
+/// Per-part total vertex weight, keyed by PartId.
+IdVector<PartId, Weight> part_weights(
+    IdSpan<VertexId, const Weight> vertex_weights, const Partition& p);
 
 /// As part_weights, but fills an existing vector so per-level callers can
 /// reuse its capacity (Workspace arena).
-void part_weights_into(std::vector<Weight>& out,
-                       std::span<const Weight> vertex_weights,
+void part_weights_into(IdVector<PartId, Weight>& out,
+                       IdSpan<VertexId, const Weight> vertex_weights,
                        const Partition& p);
 
 /// max_p W_p / W_avg - 1 (0 == perfectly balanced). Returns 0 for empty.
-double imbalance(std::span<const Weight> vertex_weights, const Partition& p);
-double imbalance_of(const std::vector<Weight>& part_weights);
+double imbalance(IdSpan<VertexId, const Weight> vertex_weights,
+                 const Partition& p);
+double imbalance_of(const IdVector<PartId, Weight>& part_weights);
 
 /// Eq. 1 check with tolerance eps.
-bool is_balanced(std::span<const Weight> vertex_weights, const Partition& p,
-                 double eps);
+bool is_balanced(IdSpan<VertexId, const Weight> vertex_weights,
+                 const Partition& p, double eps);
+
+/// Adapters for the untyped graph layer, whose vertex weights are plain
+/// spans (graph vertices share the hypergraph's VertexId order).
+inline IdVector<PartId, Weight> part_weights(std::span<const Weight> vw,
+                                             const Partition& p) {
+  return part_weights(IdSpan<VertexId, const Weight>(vw), p);
+}
+inline double imbalance(std::span<const Weight> vw, const Partition& p) {
+  return imbalance(IdSpan<VertexId, const Weight>(vw), p);
+}
+inline bool is_balanced(std::span<const Weight> vw, const Partition& p,
+                        double eps) {
+  return is_balanced(IdSpan<VertexId, const Weight>(vw), p, eps);
+}
 
 /// Eq. 1 balance bound with ceil semantics: the largest weight a part may
 /// hold, max(floor(W_avg * (1 + eps)), ceil(W_avg)). Plain truncation of
@@ -34,6 +49,6 @@ bool is_balanced(std::span<const Weight> vertex_weights, const Partition& p,
 /// fractional and eps is small, which rejects moves into parts that a
 /// perfectly balanced partition must fill; some part always weighs at
 /// least ceil(W_avg), so that is the tightest enforceable bound.
-Weight max_part_weight(Weight total_weight, PartId k, double epsilon);
+Weight max_part_weight(Weight total_weight, Index k, double epsilon);
 
 }  // namespace hgr

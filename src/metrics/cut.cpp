@@ -9,26 +9,26 @@ namespace {
 /// Scratch marker for counting distinct parts per net without clearing a
 /// k-sized array per net: mark[part] == stamp means "seen for current net".
 struct PartMarker {
-  explicit PartMarker(PartId k) : mark(static_cast<std::size_t>(k), -1) {}
+  explicit PartMarker(Index k) : mark(k, -1) {}
 
   /// Returns true the first time a part is seen for the current stamp.
   bool mark_new(PartId part, Index stamp) {
-    auto& m = mark[static_cast<std::size_t>(part)];
+    auto& m = mark[part];
     if (m == stamp) return false;
     m = stamp;
     return true;
   }
 
-  std::vector<Index> mark;
+  IdVector<PartId, Index> mark;
 };
 
 }  // namespace
 
-PartId net_connectivity(const Hypergraph& h, const Partition& p, Index net) {
-  HGR_ASSERT(net >= 0 && net < h.num_nets());
+Index net_connectivity(const Hypergraph& h, const Partition& p, NetId net) {
+  HGR_ASSERT(net.v >= 0 && net.v < h.num_nets());
   PartMarker marker(p.k);
-  PartId lambda = 0;
-  for (const Index v : h.pins(net))
+  Index lambda = 0;
+  for (const VertexId v : h.pins(net))
     if (marker.mark_new(p[v], 0)) ++lambda;
   return lambda;
 }
@@ -40,10 +40,10 @@ Weight connectivity_cut_range(const Hypergraph& h, const Partition& p,
   HGR_ASSERT(p.num_vertices() == h.num_vertices());
   PartMarker marker(p.k);
   Weight total = 0;
-  for (Index net = net_begin; net < net_end; ++net) {
-    PartId lambda = 0;
-    for (const Index v : h.pins(net))
-      if (marker.mark_new(p[v], net)) ++lambda;
+  for (const NetId net : IdRange<NetId>(NetId{net_begin}, NetId{net_end})) {
+    Index lambda = 0;
+    for (const VertexId v : h.pins(net))
+      if (marker.mark_new(p[v], net.v)) ++lambda;
     if (lambda > 1) total += h.net_cost(net) * (lambda - 1);
   }
   return total;
@@ -56,11 +56,11 @@ Weight connectivity_cut(const Hypergraph& h, const Partition& p) {
 Weight cut_net_cost(const Hypergraph& h, const Partition& p) {
   HGR_ASSERT(p.num_vertices() == h.num_vertices());
   Weight total = 0;
-  for (Index net = 0; net < h.num_nets(); ++net) {
+  for (const NetId net : h.nets()) {
     const auto ps = h.pins(net);
     if (ps.empty()) continue;
     const PartId first = p[ps.front()];
-    for (const Index v : ps) {
+    for (const VertexId v : ps) {
       if (p[v] != first) {
         total += h.net_cost(net);
         break;
@@ -72,11 +72,11 @@ Weight cut_net_cost(const Hypergraph& h, const Partition& p) {
 
 Index num_cut_nets(const Hypergraph& h, const Partition& p) {
   Index count = 0;
-  for (Index net = 0; net < h.num_nets(); ++net) {
+  for (const NetId net : h.nets()) {
     const auto ps = h.pins(net);
     if (ps.empty()) continue;
     const PartId first = p[ps.front()];
-    for (const Index v : ps) {
+    for (const VertexId v : ps) {
       if (p[v] != first) {
         ++count;
         break;
@@ -93,7 +93,7 @@ Weight edge_cut(const Graph& g, const Partition& p) {
     const auto nbrs = g.neighbors(v);
     const auto ws = g.edge_weights(v);
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      if (nbrs[i] > v && p[v] != p[nbrs[i]]) total += ws[i];
+      if (nbrs[i] > v && p[VertexId{v}] != p[VertexId{nbrs[i]}]) total += ws[i];
     }
   }
   return total;

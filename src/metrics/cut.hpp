@@ -12,7 +12,8 @@
 namespace hgr {
 
 /// Number of distinct parts the net's pins touch (lambda_j in the paper).
-PartId net_connectivity(const Hypergraph& h, const Partition& p, Index net);
+/// A count of parts, not a part id.
+Index net_connectivity(const Hypergraph& h, const Partition& p, NetId net);
 
 /// Eq. 2: sum of cost * (connectivity - 1) over all nets.
 Weight connectivity_cut(const Hypergraph& h, const Partition& p);

@@ -7,77 +7,74 @@
 
 namespace hgr {
 
-Weight migration_volume(std::span<const Weight> vertex_sizes,
+Weight migration_volume(IdSpan<VertexId, const Weight> vertex_sizes,
                         const Partition& old_p, const Partition& new_p) {
   HGR_ASSERT(old_p.num_vertices() == new_p.num_vertices());
-  HGR_ASSERT(static_cast<Index>(vertex_sizes.size()) == new_p.num_vertices());
+  HGR_ASSERT(vertex_sizes.ssize() == new_p.num_vertices());
   Weight total = 0;
-  for (Index v = 0; v < new_p.num_vertices(); ++v)
-    if (old_p[v] != new_p[v]) total += vertex_sizes[static_cast<std::size_t>(v)];
+  for (const VertexId v : new_p.vertices())
+    if (old_p[v] != new_p[v]) total += vertex_sizes[v];
   return total;
 }
 
 Index num_migrated(const Partition& old_p, const Partition& new_p) {
   HGR_ASSERT(old_p.num_vertices() == new_p.num_vertices());
   Index count = 0;
-  for (Index v = 0; v < new_p.num_vertices(); ++v)
+  for (const VertexId v : new_p.vertices())
     if (old_p[v] != new_p[v]) ++count;
   return count;
 }
 
-std::vector<std::vector<Weight>> part_overlap_sizes(
-    std::span<const Weight> vertex_sizes, const Partition& old_p,
+std::vector<IdVector<PartId, Weight>> part_overlap_sizes(
+    IdSpan<VertexId, const Weight> vertex_sizes, const Partition& old_p,
     const Partition& new_p) {
   HGR_ASSERT(old_p.num_vertices() == new_p.num_vertices());
-  std::vector<std::vector<Weight>> overlap(
+  std::vector<IdVector<PartId, Weight>> overlap(
       static_cast<std::size_t>(old_p.k),
-      std::vector<Weight>(static_cast<std::size_t>(new_p.k), 0));
-  for (Index v = 0; v < new_p.num_vertices(); ++v) {
-    overlap[static_cast<std::size_t>(old_p[v])]
-           [static_cast<std::size_t>(new_p[v])] +=
-        vertex_sizes[static_cast<std::size_t>(v)];
+      IdVector<PartId, Weight>(new_p.k, 0));
+  for (const VertexId v : new_p.vertices()) {
+    overlap[static_cast<std::size_t>(old_p[v].v)][new_p[v]] +=
+        vertex_sizes[v];
   }
   return overlap;
 }
 
-Partition remap_parts_for_migration(std::span<const Weight> vertex_sizes,
+Partition remap_parts_for_migration(IdSpan<VertexId, const Weight> vertex_sizes,
                                     const Partition& old_p,
                                     const Partition& new_p) {
   HGR_ASSERT(old_p.k == new_p.k);
-  const PartId k = new_p.k;
+  const Index k = new_p.k;
   const auto overlap = part_overlap_sizes(vertex_sizes, old_p, new_p);
 
   // All (old, new) pairs sorted by descending overlap; greedy maximal
   // matching. Ties broken by indices for determinism.
   std::vector<std::tuple<Weight, PartId, PartId>> pairs;
   pairs.reserve(static_cast<std::size_t>(k) * static_cast<std::size_t>(k));
-  for (PartId i = 0; i < k; ++i)
-    for (PartId j = 0; j < k; ++j)
-      pairs.emplace_back(overlap[static_cast<std::size_t>(i)]
-                                [static_cast<std::size_t>(j)],
-                         i, j);
+  for (const PartId i : part_range(k))
+    for (const PartId j : part_range(k))
+      pairs.emplace_back(overlap[static_cast<std::size_t>(i.v)][j], i, j);
   std::sort(pairs.begin(), pairs.end(), [](const auto& a, const auto& b) {
     if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) > std::get<0>(b);
     if (std::get<1>(a) != std::get<1>(b)) return std::get<1>(a) < std::get<1>(b);
     return std::get<2>(a) < std::get<2>(b);
   });
 
-  std::vector<PartId> new_to_old(static_cast<std::size_t>(k), kNoPart);
-  std::vector<bool> old_taken(static_cast<std::size_t>(k), false);
+  IdVector<PartId, PartId> new_to_old(k, kNoPart);
+  IdVector<PartId, bool> old_taken(k, false);
   for (const auto& [w, i, j] : pairs) {
     (void)w;
-    if (old_taken[static_cast<std::size_t>(i)]) continue;
-    if (new_to_old[static_cast<std::size_t>(j)] != kNoPart) continue;
-    new_to_old[static_cast<std::size_t>(j)] = i;
-    old_taken[static_cast<std::size_t>(i)] = true;
+    if (old_taken[i]) continue;
+    if (new_to_old[j] != kNoPart) continue;
+    new_to_old[j] = i;
+    old_taken[i] = true;
   }
   // Any unmatched new label gets an arbitrary free old label.
-  for (PartId j = 0; j < k; ++j) {
-    if (new_to_old[static_cast<std::size_t>(j)] == kNoPart) {
-      for (PartId i = 0; i < k; ++i) {
-        if (!old_taken[static_cast<std::size_t>(i)]) {
-          new_to_old[static_cast<std::size_t>(j)] = i;
-          old_taken[static_cast<std::size_t>(i)] = true;
+  for (const PartId j : part_range(k)) {
+    if (new_to_old[j] == kNoPart) {
+      for (const PartId i : part_range(k)) {
+        if (!old_taken[i]) {
+          new_to_old[j] = i;
+          old_taken[i] = true;
           break;
         }
       }
@@ -85,8 +82,7 @@ Partition remap_parts_for_migration(std::span<const Weight> vertex_sizes,
   }
 
   Partition out(k, new_p.num_vertices());
-  for (Index v = 0; v < new_p.num_vertices(); ++v)
-    out[v] = new_to_old[static_cast<std::size_t>(new_p[v])];
+  for (const VertexId v : new_p.vertices()) out[v] = new_to_old[new_p[v]];
   return out;
 }
 

@@ -14,15 +14,15 @@
 namespace hgr {
 
 /// Sum of vertex sizes over vertices whose part changed.
-Weight migration_volume(std::span<const Weight> vertex_sizes,
+Weight migration_volume(IdSpan<VertexId, const Weight> vertex_sizes,
                         const Partition& old_p, const Partition& new_p);
 
 /// Number of vertices whose part changed.
 Index num_migrated(const Partition& old_p, const Partition& new_p);
 
 /// overlap[i][j] = total size of vertices in old part i and new part j.
-std::vector<std::vector<Weight>> part_overlap_sizes(
-    std::span<const Weight> vertex_sizes, const Partition& old_p,
+std::vector<IdVector<PartId, Weight>> part_overlap_sizes(
+    IdSpan<VertexId, const Weight> vertex_sizes, const Partition& old_p,
     const Partition& new_p);
 
 /// Relabel new_p's parts to maximize the retained (non-migrated) data size,
@@ -30,8 +30,22 @@ std::vector<std::vector<Weight>> part_overlap_sizes(
 /// heaviest unmatched (old part, new part) pair and map that new label to
 /// that old label. Returns the permuted partition; never increases
 /// migration volume relative to new_p.
-Partition remap_parts_for_migration(std::span<const Weight> vertex_sizes,
+Partition remap_parts_for_migration(IdSpan<VertexId, const Weight> vertex_sizes,
                                     const Partition& old_p,
                                     const Partition& new_p);
+
+/// Untyped adapters for the graph layer.
+inline Weight migration_volume(std::span<const Weight> vertex_sizes,
+                               const Partition& old_p,
+                               const Partition& new_p) {
+  return migration_volume(IdSpan<VertexId, const Weight>(vertex_sizes), old_p,
+                          new_p);
+}
+inline Partition remap_parts_for_migration(std::span<const Weight> vertex_sizes,
+                                           const Partition& old_p,
+                                           const Partition& new_p) {
+  return remap_parts_for_migration(
+      IdSpan<VertexId, const Weight>(vertex_sizes), old_p, new_p);
+}
 
 }  // namespace hgr

@@ -1,7 +1,9 @@
 // A k-way partition: part assignment per vertex.
+//
+// The assignment is an IdVector keyed by VertexId holding PartId values —
+// the flagship strongly-typed array: indexing it with a net id, or writing
+// a raw integer into it, is a compile error (common/types.hpp).
 #pragma once
-
-#include <vector>
 
 #include "common/assert.hpp"
 #include "common/types.hpp"
@@ -9,29 +11,26 @@
 namespace hgr {
 
 struct Partition {
-  PartId k = 0;
-  std::vector<PartId> assignment;  // one entry per vertex, in [0, k)
+  Index k = 0;  // number of parts (a count, not an id)
+  IdVector<VertexId, PartId> assignment;  // one entry per vertex, in [0, k)
 
   Partition() = default;
-  Partition(PartId num_parts, Index num_vertices, PartId initial = 0)
-      : k(num_parts),
-        assignment(static_cast<std::size_t>(num_vertices), initial) {}
+  Partition(Index num_parts, Index num_vertices, PartId initial = PartId{0})
+      : k(num_parts), assignment(num_vertices, initial) {}
 
-  Index num_vertices() const { return static_cast<Index>(assignment.size()); }
+  Index num_vertices() const { return assignment.ssize(); }
 
-  PartId operator[](Index v) const {
-    HGR_DASSERT(v >= 0 && v < num_vertices());
-    return assignment[static_cast<std::size_t>(v)];
-  }
-  PartId& operator[](Index v) {
-    HGR_DASSERT(v >= 0 && v < num_vertices());
-    return assignment[static_cast<std::size_t>(v)];
-  }
+  /// The vertex ids [0, num_vertices()) / part ids [0, k).
+  IdRange<VertexId> vertices() const { return assignment.ids(); }
+  IdRange<PartId> parts() const { return part_range(k); }
+
+  PartId operator[](VertexId v) const { return assignment[v]; }
+  PartId& operator[](VertexId v) { return assignment[v]; }
 
   /// Abort if any vertex is unassigned or out of range.
   void validate() const {
     for (const PartId p : assignment)
-      HGR_ASSERT_MSG(p >= 0 && p < k, "vertex not assigned to a valid part");
+      HGR_ASSERT_MSG(p.v >= 0 && p.v < k, "vertex not assigned to a valid part");
   }
 };
 

@@ -7,7 +7,7 @@
 namespace hgr {
 
 void write_partition(const Partition& p, std::ostream& out) {
-  for (Index v = 0; v < p.num_vertices(); ++v) out << p[v] << '\n';
+  for (const VertexId v : p.vertices()) out << p[v] << '\n';
 }
 
 void write_partition_file(const Partition& p, const std::string& path) {
@@ -17,25 +17,26 @@ void write_partition_file(const Partition& p, const std::string& path) {
   write_partition(p, out);
 }
 
-Partition read_partition(std::istream& in, Index num_vertices,
-                         PartId k_hint) {
-  Partition p(std::max<PartId>(1, k_hint), num_vertices);
-  PartId max_seen = -1;
-  for (Index v = 0; v < num_vertices; ++v) {
+Partition read_partition(std::istream& in, Index num_vertices, Index k_hint) {
+  // File-IO boundary: part ids arrive as raw integers and are validated
+  // before entering the typed world through from_raw.
+  Partition p(std::max<Index>(1, k_hint), num_vertices);
+  long long max_seen = -1;
+  for (const VertexId v : p.vertices()) {
     long long part;
     if (!(in >> part))
       throw std::runtime_error("partition file too short");
     if (part < 0 || (k_hint > 0 && part >= k_hint))
       throw std::runtime_error("part id out of range in partition file");
-    p[v] = static_cast<PartId>(part);
-    max_seen = std::max(max_seen, p[v]);
+    p[v] = from_raw<PartId>(part);
+    max_seen = std::max(max_seen, part);
   }
-  if (k_hint <= 0) p.k = max_seen + 1;
+  if (k_hint <= 0) p.k = static_cast<Index>(max_seen + 1);
   return p;
 }
 
 Partition read_partition_file(const std::string& path, Index num_vertices,
-                              PartId k_hint) {
+                              Index k_hint) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open " + path);
   return read_partition(in, num_vertices, k_hint);

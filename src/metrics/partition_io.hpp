@@ -17,8 +17,8 @@ void write_partition_file(const Partition& p, const std::string& path);
 /// hint also validates ids against [0, k_hint)). Throws std::runtime_error
 /// on malformed input.
 Partition read_partition(std::istream& in, Index num_vertices,
-                         PartId k_hint = 0);
+                         Index k_hint = 0);
 Partition read_partition_file(const std::string& path, Index num_vertices,
-                              PartId k_hint = 0);
+                              Index k_hint = 0);
 
 }  // namespace hgr

@@ -86,19 +86,23 @@ Partition remap_parts_optimal(std::span<const Weight> vertex_sizes,
                               const Partition& old_p,
                               const Partition& new_p) {
   HGR_ASSERT(old_p.k == new_p.k);
-  const PartId k = new_p.k;
-  const auto overlap = part_overlap_sizes(vertex_sizes, old_p, new_p);
+  const Index k = new_p.k;
+  const auto overlap = part_overlap_sizes(
+      IdSpan<VertexId, const Weight>(vertex_sizes), old_p, new_p);
   // Row = old label, column = new label; maximize retained volume, then
-  // read off new->old.
-  const std::vector<Index> old_to_new = max_assignment(overlap);
-  std::vector<PartId> new_to_old(static_cast<std::size_t>(k), kNoPart);
-  for (PartId i = 0; i < k; ++i)
-    new_to_old[static_cast<std::size_t>(
-        old_to_new[static_cast<std::size_t>(i)])] = i;
+  // read off new->old. The Hungarian solver is a generic matrix routine,
+  // so the typed overlap rows are lowered to a plain matrix here.
+  std::vector<std::vector<Weight>> w;
+  w.reserve(overlap.size());
+  // hgr-lint: raw-ok (assignment solver works on a plain cost matrix)
+  for (const auto& row : overlap) w.push_back(row.raw());
+  const std::vector<Index> old_to_new = max_assignment(w);
+  IdVector<PartId, PartId> new_to_old(k, kNoPart);
+  for (const PartId i : part_range(k))
+    new_to_old[PartId{old_to_new[static_cast<std::size_t>(i.v)]}] = i;
 
   Partition out(k, new_p.num_vertices());
-  for (Index v = 0; v < new_p.num_vertices(); ++v)
-    out[v] = new_to_old[static_cast<std::size_t>(new_p[v])];
+  for (const VertexId v : new_p.vertices()) out[v] = new_to_old[new_p[v]];
   return out;
 }
 

@@ -17,28 +17,25 @@ PartitionReport analyze_partition(const Hypergraph& h, const Partition& p) {
   report.k = p.k;
   report.part_weight = part_weights(h.vertex_weights(), p);
   report.imbalance = imbalance_of(report.part_weight);
-  report.part_vertices.assign(static_cast<std::size_t>(p.k), 0);
-  for (Index v = 0; v < h.num_vertices(); ++v)
-    ++report.part_vertices[static_cast<std::size_t>(p[v])];
-  report.boundary_vertices.assign(static_cast<std::size_t>(p.k), 0);
+  report.part_vertices.assign(p.k, 0);
+  for (const VertexId v : h.vertices()) ++report.part_vertices[p[v]];
+  report.boundary_vertices.assign(p.k, 0);
   report.pairwise_comm.assign(
       static_cast<std::size_t>(p.k) * static_cast<std::size_t>(p.k), 0.0);
 
-  std::vector<bool> is_boundary(static_cast<std::size_t>(h.num_vertices()),
-                                false);
+  IdVector<VertexId, bool> is_boundary(h.num_vertices(), false);
   std::vector<PartId> parts;
-  for (Index net = 0; net < h.num_nets(); ++net) {
+  for (const NetId net : h.nets()) {
     parts.clear();
-    for (const Index v : h.pins(net)) {
+    for (const VertexId v : h.pins(net)) {
       const PartId q = p[v];
       if (std::find(parts.begin(), parts.end(), q) == parts.end())
         parts.push_back(q);
     }
-    const auto lambda = static_cast<PartId>(parts.size());
+    const auto lambda = static_cast<Index>(parts.size());
     if (lambda <= 1) continue;
     report.total_cut += h.net_cost(net) * (lambda - 1);
-    for (const Index v : h.pins(net))
-      is_boundary[static_cast<std::size_t>(v)] = true;
+    for (const VertexId v : h.pins(net)) is_boundary[v] = true;
     // Spread the net's volume over its spanned pairs.
     const double pairs =
         static_cast<double>(lambda) * (lambda - 1) / 2.0;
@@ -48,15 +45,14 @@ PartitionReport analyze_partition(const Hypergraph& h, const Partition& p) {
       for (std::size_t b = a + 1; b < parts.size(); ++b) {
         const PartId i = std::min(parts[a], parts[b]);
         const PartId j = std::max(parts[a], parts[b]);
-        report.pairwise_comm[static_cast<std::size_t>(i) *
+        report.pairwise_comm[static_cast<std::size_t>(i.v) *
                                  static_cast<std::size_t>(p.k) +
-                             static_cast<std::size_t>(j)] += share;
+                             static_cast<std::size_t>(j.v)] += share;
       }
     }
   }
-  for (Index v = 0; v < h.num_vertices(); ++v)
-    if (is_boundary[static_cast<std::size_t>(v)])
-      ++report.boundary_vertices[static_cast<std::size_t>(p[v])];
+  for (const VertexId v : h.vertices())
+    if (is_boundary[v]) ++report.boundary_vertices[p[v]];
   return report;
 }
 
@@ -68,25 +64,23 @@ std::string PartitionReport::to_string() const {
                 static_cast<long long>(total_cut), imbalance, "part",
                 "weight", "vertices", "boundary");
   out << line;
-  for (PartId q = 0; q < k; ++q) {
-    std::snprintf(line, sizeof(line), "%-6d %12lld %10d %10d\n", q,
-                  static_cast<long long>(
-                      part_weight[static_cast<std::size_t>(q)]),
-                  part_vertices[static_cast<std::size_t>(q)],
-                  boundary_vertices[static_cast<std::size_t>(q)]);
+  for (const PartId q : part_range(k)) {
+    std::snprintf(line, sizeof(line), "%-6d %12lld %10d %10d\n", q.v,
+                  static_cast<long long>(part_weight[q]), part_vertices[q],
+                  boundary_vertices[q]);
     out << line;
   }
   // Top pairwise channels.
   std::vector<std::tuple<double, PartId, PartId>> channels;
-  for (PartId i = 0; i < k; ++i)
-    for (PartId j = i + 1; j < k; ++j)
+  for (const PartId i : part_range(k))
+    for (const PartId j : IdRange<PartId>(PartId{i.v + 1}, PartId{k}))
       if (pair_comm(i, j) > 0) channels.emplace_back(pair_comm(i, j), i, j);
   std::sort(channels.rbegin(), channels.rend());
   const std::size_t show = std::min<std::size_t>(channels.size(), 8);
   if (show > 0) out << "heaviest channels:\n";
   for (std::size_t c = 0; c < show; ++c) {
     const auto& [vol, i, j] = channels[c];
-    std::snprintf(line, sizeof(line), "  %d <-> %d : %.1f\n", i, j, vol);
+    std::snprintf(line, sizeof(line), "  %d <-> %d : %.1f\n", i.v, j.v, vol);
     out << line;
   }
   return out.str();

@@ -12,21 +12,21 @@
 namespace hgr {
 
 struct PartitionReport {
-  PartId k = 0;
+  Index k = 0;
   Weight total_cut = 0;          // connectivity-1
   double imbalance = 0.0;
-  std::vector<Weight> part_weight;
-  std::vector<Index> part_vertices;
-  std::vector<Index> boundary_vertices;  // vertices touching a cut net
+  IdVector<PartId, Weight> part_weight;
+  IdVector<PartId, Index> part_vertices;
+  IdVector<PartId, Index> boundary_vertices;  // vertices touching a cut net
   /// comm[i*k + j], i < j: volume on nets spanning parts i and j (a net
   /// with connectivity lambda contributes cost*(lambda-1) split evenly
   /// across its spanned pairs' buckets; exact for 2-part nets).
   std::vector<double> pairwise_comm;
 
   double pair_comm(PartId i, PartId j) const {
-    return pairwise_comm[static_cast<std::size_t>(i) *
+    return pairwise_comm[static_cast<std::size_t>(i.v) *
                              static_cast<std::size_t>(k) +
-                         static_cast<std::size_t>(j)];
+                         static_cast<std::size_t>(j.v)];
   }
 
   /// Multi-line human-readable rendering.

@@ -62,6 +62,7 @@
 
 #include "common/assert.hpp"
 #include "common/timer.hpp"
+#include "common/types.hpp"
 #include "fault/fault_plan.hpp"
 #include "obs/events.hpp"
 #include "parallel/comm_telemetry.hpp"
@@ -114,6 +115,9 @@ class RankContext {
   RankContext(Comm& comm, int rank) : comm_(comm), rank_(rank) {}
 
   int rank() const { return rank_; }
+  /// Typed view of this rank's id for ownership logic; the comm internals
+  /// below this line stay on raw ints (wire/slot indices).
+  RankId rank_id() const { return RankId{rank_}; }
   int size() const;
 
   /// This rank's payload pool. FlatBuffers built from it recycle their

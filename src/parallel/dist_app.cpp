@@ -10,14 +10,15 @@ namespace hgr {
 PayloadStore make_payloads(const RankContext& ctx, const Hypergraph& h,
                            const Partition& p) {
   PayloadStore store;
-  for (Index v = 0; v < h.num_vertices(); ++v) {
-    if (part_owner(p[v], ctx.size()) != ctx.rank()) continue;
+  for (const VertexId v : h.vertices()) {
+    if (part_owner(p[v], ctx.size()) != ctx.rank_id()) continue;
     std::vector<std::int64_t> blob(
         static_cast<std::size_t>(std::max<Weight>(1, h.vertex_size(v))));
-    blob[0] = v;
+    blob[0] = v.v;
     for (std::size_t i = 1; i < blob.size(); ++i)
-      blob[i] = static_cast<std::int64_t>(v) * 31 + static_cast<std::int64_t>(i);
-    store.emplace(v, std::move(blob));
+      blob[i] =
+          static_cast<std::int64_t>(v.v) * 31 + static_cast<std::int64_t>(i);
+    store.emplace(to_raw(v), std::move(blob));
   }
   return store;
 }
@@ -46,35 +47,36 @@ HaloStats halo_exchange(RankContext& ctx, const Hypergraph& h,
   for (int phase = 0; phase < 2; ++phase) {
     const bool fill = phase == 1;
     if (fill) outgoing.commit_counts();
-    for (Index net = 0; net < h.num_nets(); ++net) {
+    for (const NetId net : h.nets()) {
       const Weight c = h.net_cost(net);
       parts_touched.clear();
-      for (const Index v : h.pins(net)) {
+      for (const VertexId v : h.pins(net)) {
         const PartId q = p[v];
-        if (partial_of_part[static_cast<std::size_t>(q)] == 0 &&
+        if (partial_of_part[static_cast<std::size_t>(q.v)] == 0 &&
             std::find(parts_touched.begin(), parts_touched.end(), q) ==
                 parts_touched.end())
           parts_touched.push_back(q);
-        partial_of_part[static_cast<std::size_t>(q)] +=
-            values[static_cast<std::size_t>(v)];
+        partial_of_part[static_cast<std::size_t>(q.v)] +=
+            values[static_cast<std::size_t>(v.v)];
       }
       const PartId root = p[h.pins(net).front()];
       for (const PartId q : parts_touched) {
         const std::int64_t partial =
-            partial_of_part[static_cast<std::size_t>(q)];
-        partial_of_part[static_cast<std::size_t>(q)] = 0;
+            partial_of_part[static_cast<std::size_t>(q.v)];
+        partial_of_part[static_cast<std::size_t>(q.v)] = 0;
         if (fill) checksum += partial;
         if (q == root) continue;  // root's own contribution, no transfer
         // Only the owner of part q actually sends.
-        if (part_owner(q, ranks) != ctx.rank()) continue;
+        if (part_owner(q, ranks) != ctx.rank_id()) continue;
         if (c == 0) continue;
-        const int dest = part_owner(root, ranks);
+        // Raw ids on the wire from here down (comm boundary).
+        const int dest = to_raw(part_owner(root, ranks));
         if (!fill) {
           outgoing.count(dest) += 3 + static_cast<std::size_t>(c);
           continue;
         }
-        outgoing.push(dest, net);
-        outgoing.push(dest, q);
+        outgoing.push(dest, to_raw(net));
+        outgoing.push(dest, to_raw(q));
         outgoing.push(dest, c);
         outgoing.push(dest, partial);
         for (Weight w = 1; w < c; ++w) outgoing.push(dest, 0);  // payload
@@ -92,18 +94,18 @@ HaloStats halo_exchange(RankContext& ctx, const Hypergraph& h,
     const std::span<const std::int64_t> stream = incoming.slot(s);
     std::size_t i = 0;
     while (i < stream.size()) {
-      const auto net = static_cast<Index>(stream[i]);
-      const auto q = static_cast<PartId>(stream[i + 1]);
+      const auto net = from_raw<NetId>(stream[i]);
+      const auto q = from_raw<PartId>(stream[i + 1]);
       const auto c = static_cast<Weight>(stream[i + 2]);
       const std::int64_t partial = stream[i + 3];
       i += 3 + static_cast<std::size_t>(c);
-      HGR_ASSERT(net >= 0 && net < h.num_nets());
+      HGR_ASSERT(net.v >= 0 && net.v < h.num_nets());
       const PartId root = p[h.pins(net).front()];
-      HGR_ASSERT_MSG(part_owner(root, ranks) == ctx.rank(),
+      HGR_ASSERT_MSG(part_owner(root, ranks) == ctx.rank_id(),
                      "halo message routed to the wrong rank");
       std::int64_t expect = 0;
-      for (const Index v : h.pins(net))
-        if (p[v] == q) expect += values[static_cast<std::size_t>(v)];
+      for (const VertexId v : h.pins(net))
+        if (p[v] == q) expect += values[static_cast<std::size_t>(v.v)];
       HGR_ASSERT_MSG(expect == partial, "halo partial corrupted in flight");
     }
   }
@@ -126,17 +128,18 @@ MigrateStats migrate(RankContext& ctx, const MigrationPlan& plan,
     const bool fill = phase == 1;
     if (fill) outgoing.commit_counts();
     for (const MigrationPlan::Move& m : plan.moves) {
-      const int src = part_owner(m.from, ranks);
-      const int dst = part_owner(m.to, ranks);
-      if (src != ctx.rank()) continue;
-      const auto it = store.find(m.vertex);
+      const RankId src = part_owner(m.from, ranks);
+      const RankId dst_rank = part_owner(m.to, ranks);
+      if (src != ctx.rank_id()) continue;
+      const auto it = store.find(to_raw(m.vertex));
       HGR_ASSERT_MSG(it != store.end(), "migrating a vertex we do not own");
-      if (dst == ctx.rank()) continue;  // part moved, rank unchanged
+      if (dst_rank == ctx.rank_id()) continue;  // part moved, rank unchanged
+      const int dst = to_raw(dst_rank);  // comm boundary: raw slot index
       if (!fill) {
         outgoing.count(dst) += 2 + it->second.size();
         continue;
       }
-      outgoing.push(dst, m.vertex);
+      outgoing.push(dst, to_raw(m.vertex));
       outgoing.push(dst, static_cast<std::int64_t>(it->second.size()));
       std::span<std::int64_t> blob = outgoing.push_n(dst, it->second.size());
       std::copy(it->second.begin(), it->second.end(), blob.begin());
@@ -170,16 +173,16 @@ MigrateStats migrate(RankContext& ctx, const MigrationPlan& plan,
 void validate_payloads(const RankContext& ctx, const Hypergraph& h,
                        const Partition& p, const PayloadStore& store) {
   std::size_t expected = 0;
-  for (Index v = 0; v < h.num_vertices(); ++v) {
-    if (part_owner(p[v], ctx.size()) != ctx.rank()) continue;
+  for (const VertexId v : h.vertices()) {
+    if (part_owner(p[v], ctx.size()) != ctx.rank_id()) continue;
     ++expected;
-    const auto it = store.find(v);
+    const auto it = store.find(to_raw(v));
     HGR_ASSERT_MSG(it != store.end(), "missing payload for an owned vertex");
     HGR_ASSERT_MSG(it->second.size() ==
                        static_cast<std::size_t>(
                            std::max<Weight>(1, h.vertex_size(v))),
                    "payload length corrupted");
-    HGR_ASSERT_MSG(it->second[0] == v, "payload tag corrupted");
+    HGR_ASSERT_MSG(it->second[0] == v.v, "payload tag corrupted");
   }
   HGR_ASSERT_MSG(store.size() == expected,
                  "rank holds payloads it should not own");

@@ -36,8 +36,10 @@ namespace hgr {
 /// (tests use this to detect corruption in flight).
 using PayloadStore = std::unordered_map<Index, std::vector<std::int64_t>>;
 
-inline int part_owner(PartId part, int num_ranks) {
-  return static_cast<int>(part % num_ranks);
+/// Owner rank of a part: owner(part) = part mod num_ranks. Returns the
+/// strong RankId; use .v only at the comm boundary (FlatBuffer slots).
+inline RankId part_owner(PartId part, int num_ranks) {
+  return RankId{part.v % num_ranks};
 }
 
 /// Build this rank's initial payload store: one blob per owned vertex,

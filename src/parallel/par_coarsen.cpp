@@ -11,22 +11,24 @@ std::uint64_t hypergraph_checksum(const Hypergraph& h) {
   };
   mix(static_cast<std::uint64_t>(h.num_vertices()));
   mix(static_cast<std::uint64_t>(h.num_nets()));
-  for (Index v = 0; v < h.num_vertices(); ++v) {
+  for (const VertexId v : h.vertices()) {
     mix(static_cast<std::uint64_t>(h.vertex_weight(v)));
     mix(static_cast<std::uint64_t>(h.vertex_size(v)));
     mix(static_cast<std::uint64_t>(
-        static_cast<std::int64_t>(h.fixed_part(v))));
+        static_cast<std::int64_t>(h.fixed_part(v).v)));
   }
-  for (Index net = 0; net < h.num_nets(); ++net) {
+  for (const NetId net : h.nets()) {
     mix(static_cast<std::uint64_t>(h.net_cost(net)));
-    for (const Index v : h.pins(net)) mix(static_cast<std::uint64_t>(v));
+    for (const VertexId v : h.pins(net)) mix(static_cast<std::uint64_t>(v.v));
   }
   return x;
 }
 
 CoarseLevel parallel_contract(RankContext& ctx, const Hypergraph& h,
                               std::span<const Index> match, Workspace* ws) {
-  CoarseLevel level = contract(h, match, ws);
+  // The parallel matching travels as raw ids; retype at this boundary.
+  CoarseLevel level = contract(
+      h, IdSpan<VertexId, const VertexId>(from_raw_span<VertexId>(match)), ws);
   const std::uint64_t mine = hypergraph_checksum(level.coarse);
   // One fused min/max reduction (one barrier) instead of two.
   struct MinMax {

@@ -28,7 +28,7 @@ struct Quality {
 
 Weight total_overweight(const Hypergraph& h, const Partition& p,
                         double epsilon) {
-  const std::vector<Weight> pw = part_weights(h.vertex_weights(), p);
+  const IdVector<PartId, Weight> pw = part_weights(h.vertex_weights(), p);
   const double avg = static_cast<double>(h.total_vertex_weight()) /
                      static_cast<double>(p.k);
   const auto max_w = static_cast<Weight>(avg * (1.0 + epsilon));
@@ -55,11 +55,12 @@ Partition parallel_coarse_partition(RankContext& ctx, const Hypergraph& h,
   for (const Quality& other : all_quality.all())
     if (other.better_than(best)) best = other;
 
-  // Winner broadcasts its assignment.
+  // Winner broadcasts its assignment (raw vector on the wire).
+  // hgr-lint: raw-ok
   const std::vector<PartId> winning =
-      ctx.bcast(mine.assignment, static_cast<int>(best.rank));
+      ctx.bcast(mine.assignment.raw(), static_cast<int>(best.rank));
   Partition result(cfg.num_parts, h.num_vertices());
-  result.assignment = winning;
+  result.assignment.raw() = winning;  // hgr-lint: raw-ok
   result.validate();
   return result;
 }

@@ -53,7 +53,7 @@ std::vector<Index> parallel_ipm_matching(RankContext& ctx,
     while (cursor < local.size() && candidates.size() < budget) {
       const Index v = local[cursor++];
       if (match[static_cast<std::size_t>(v)] == v &&
-          h.vertex_degree(v) <= cfg.max_matching_degree)
+          h.vertex_degree(VertexId{v}) <= cfg.max_matching_degree)
         candidates.push_back(v);
     }
 
@@ -67,15 +67,16 @@ std::vector<Index> parallel_ipm_matching(RankContext& ctx,
     std::vector<Proposal> proposals;
     for (const Index c : all_candidates.all()) {
       if (match[static_cast<std::size_t>(c)] != c) continue;
-      const PartId fc = h.fixed_part(c);
-      const Weight wc = h.vertex_weight(c);
+      const PartId fc = h.fixed_part(VertexId{c});
+      const Weight wc = h.vertex_weight(VertexId{c});
       touched.clear();
-      for (const Index net : h.incident_nets(c)) {
+      for (const NetId net : h.incident_nets(VertexId{c})) {
         const Index net_size = h.net_size(net);
         if (net_size < 2 || net_size > cfg.max_scored_net_size) continue;
         const Weight cost = h.net_cost(net);
         if (cost == 0) continue;
-        for (const Index u : h.pins(net)) {
+        for (const VertexId pin : h.pins(net)) {
+          const Index u = to_raw(pin);
           if (u == c || u < lo || u >= hi) continue;  // not ours
           if (match[static_cast<std::size_t>(u)] != u) continue;
           if (score[static_cast<std::size_t>(u)] == 0) touched.push_back(u);
@@ -88,11 +89,11 @@ std::vector<Index> parallel_ipm_matching(RankContext& ctx,
       for (const Index u : touched) {
         const Weight s = score[static_cast<std::size_t>(u)];
         score[static_cast<std::size_t>(u)] = 0;
-        if (!fixed_compatible(fc, h.fixed_part(u))) continue;
+        if (!fixed_compatible(fc, h.fixed_part(VertexId{u}))) continue;
         if (max_vertex_weight > 0 &&
-            wc + h.vertex_weight(u) > max_vertex_weight)
+            wc + h.vertex_weight(VertexId{u}) > max_vertex_weight)
           continue;
-        const Weight wu = h.vertex_weight(u);
+        const Weight wu = h.vertex_weight(VertexId{u});
         if (best == kInvalidIndex || s > best_score ||
             (s == best_score &&
              (wu < best_weight || (wu == best_weight && u < best)))) {
@@ -167,16 +168,17 @@ std::vector<Index> local_ipm_matching(RankContext& ctx, const Hypergraph& h,
   std::vector<Index> pairs;  // flat (v, u) list of local matches
   for (const Index v : order) {
     if (match[static_cast<std::size_t>(v)] != v) continue;
-    if (h.vertex_degree(v) > cfg.max_matching_degree) continue;
-    const PartId fv = h.fixed_part(v);
-    const Weight wv = h.vertex_weight(v);
+    if (h.vertex_degree(VertexId{v}) > cfg.max_matching_degree) continue;
+    const PartId fv = h.fixed_part(VertexId{v});
+    const Weight wv = h.vertex_weight(VertexId{v});
     touched.clear();
-    for (const Index net : h.incident_nets(v)) {
+    for (const NetId net : h.incident_nets(VertexId{v})) {
       const Index size = h.net_size(net);
       if (size < 2 || size > cfg.max_scored_net_size) continue;
       const Weight c = h.net_cost(net);
       if (c == 0) continue;
-      for (const Index u : h.pins(net)) {
+      for (const VertexId pin : h.pins(net)) {
+        const Index u = to_raw(pin);
         if (u == v || u < lo || u >= hi) continue;  // local partners only
         if (match[static_cast<std::size_t>(u)] != u) continue;
         if (score[static_cast<std::size_t>(u)] == 0) touched.push_back(u);
@@ -189,10 +191,11 @@ std::vector<Index> local_ipm_matching(RankContext& ctx, const Hypergraph& h,
     for (const Index u : touched) {
       const Weight s = score[static_cast<std::size_t>(u)];
       score[static_cast<std::size_t>(u)] = 0;
-      if (!fixed_compatible(fv, h.fixed_part(u))) continue;
-      if (max_vertex_weight > 0 && wv + h.vertex_weight(u) > max_vertex_weight)
+      if (!fixed_compatible(fv, h.fixed_part(VertexId{u}))) continue;
+      if (max_vertex_weight > 0 &&
+          wv + h.vertex_weight(VertexId{u}) > max_vertex_weight)
         continue;
-      const Weight wu = h.vertex_weight(u);
+      const Weight wu = h.vertex_weight(VertexId{u});
       if (best == kInvalidIndex || s > best_score ||
           (s == best_score &&
            (wu < best_weight || (wu == best_weight && u < best)))) {

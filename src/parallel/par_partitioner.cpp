@@ -25,7 +25,8 @@ ParallelPartitionResult parallel_partition_hypergraph(
   h.validate(cfg.base.num_parts);
 
   ParallelPartitionResult result;
-  result.partition = Partition(cfg.base.num_parts, h.num_vertices(), 0);
+  result.partition =
+      Partition(cfg.base.num_parts, h.num_vertices(), PartId{0});
   if (cfg.base.num_parts == 1 || h.num_vertices() == 0) return result;
 
   WallTimer timer;
@@ -80,8 +81,9 @@ ParallelPartitionResult parallel_partition_hypergraph(
         // Only the lead rank validates: the level is replicated and
         // parallel_contract already checksums cross-rank agreement.
         if (lead) {
-          record_coarsen_level(current->num_vertices(),
-                               next.coarse.num_vertices(), match);
+          record_coarsen_level(
+              current->num_vertices(), next.coarse.num_vertices(),
+              IdSpan<VertexId, const VertexId>(from_raw_span<VertexId>(match)));
           check::validate_coarsening(*current, next, cfg.base.check_level);
         }
         levels.push_back(std::move(next));
@@ -108,8 +110,8 @@ ParallelPartitionResult parallel_partition_hypergraph(
         if (lead)
           check::validate_coarsening(finer, *it, cfg.base.check_level, &p);
         Partition fine_p(cfg.base.num_parts, finer.num_vertices());
-        for (Index v = 0; v < finer.num_vertices(); ++v)
-          fine_p[v] = p[it->fine_to_coarse[static_cast<std::size_t>(v)]];
+        for (const VertexId v : finer.vertices())
+          fine_p[v] = p[it->fine_to_coarse[v]];
         p = std::move(fine_p);
         parallel_refine(
             ctx, finer, p, cfg.base,
@@ -133,7 +135,7 @@ ParallelPartitionResult parallel_partition_hypergraph(
 
   result.partition.validate();
   if (h.has_fixed()) {
-    for (Index v = 0; v < h.num_vertices(); ++v) {
+    for (const VertexId v : h.vertices()) {
       const PartId f = h.fixed_part(v);
       HGR_ASSERT_MSG(f == kNoPart || result.partition[v] == f,
                      "parallel partitioner violated a fixed constraint");

@@ -15,8 +15,11 @@ namespace hgr {
 
 namespace {
 
+/// Wire format for the proposal exchange: raw vertex id on purpose — this
+/// struct crosses the allgatherv comm boundary (see types.hpp "boundary"
+/// note); PartId/Weight are trivially copyable and travel as-is.
 struct MoveProposal {
-  Index vertex;
+  Index vertex;  // raw VertexId.v
   PartId to;
   Weight gain;
 };
@@ -29,25 +32,23 @@ class State {
     counts_.assign(static_cast<std::size_t>(h.num_nets()) *
                        static_cast<std::size_t>(k_),
                    0);
-    for (Index net = 0; net < h.num_nets(); ++net)
-      for (const Index v : h.pins(net)) ++at(net, p[v]);
+    for (const NetId net : h.nets())
+      for (const VertexId v : h.pins(net)) ++at(net, p[v]);
     part_w_ = part_weights(h.vertex_weights(), p);
     max_w_ = hgr::max_part_weight(h.total_vertex_weight(), k_, epsilon);
     cand_seen_.assign(static_cast<std::size_t>(k_), 0);
   }
 
   Weight max_part_weight() const { return max_w_; }
-  Weight part_weight(PartId q) const {
-    return part_w_[static_cast<std::size_t>(q)];
-  }
+  Weight part_weight(PartId q) const { return part_w_[q]; }
   std::uint64_t gain_evals() const { return gain_evals_; }
 
   /// Connectivity-1 gain of moving v to q (negative if it hurts).
-  Weight gain(Index v, PartId q) const {
+  Weight gain(VertexId v, PartId q) const {
     const PartId from = p_[v];
     if (q == from) return 0;
     Weight g = 0;
-    for (const Index net : h_.incident_nets(v)) {
+    for (const NetId net : h_.incident_nets(v)) {
       const Weight c = h_.net_cost(net);
       if (count(net, from) == 1) g += c;
       if (count(net, q) == 0) g -= c;
@@ -56,7 +57,7 @@ class State {
   }
 
   /// Best positive-gain feasible destination for v, or kNoPart.
-  std::pair<PartId, Weight> best_move(Index v) const {
+  std::pair<PartId, Weight> best_move(VertexId v) const {
     const PartId from = p_[v];
     const Weight wv = h_.vertex_weight(v);
     // Candidate parts: those adjacent through v's nets, deduplicated with
@@ -64,11 +65,11 @@ class State {
     // per pin (dense nets repeat the same part thousands of times).
     ++stamp_;
     candidates_.clear();
-    for (const Index net : h_.incident_nets(v)) {
-      for (const Index u : h_.pins(net)) {
+    for (const NetId net : h_.incident_nets(v)) {
+      for (const VertexId u : h_.pins(net)) {
         const PartId q = p_[u];
         if (q == from) continue;
-        std::uint64_t& seen = cand_seen_[static_cast<std::size_t>(q)];
+        std::uint64_t& seen = cand_seen_[static_cast<std::size_t>(q.v)];
         if (seen == stamp_) continue;
         seen = stamp_;
         candidates_.push_back(q);
@@ -89,35 +90,35 @@ class State {
     return {best, best_gain};
   }
 
-  void apply(Index v, PartId to) {
+  void apply(VertexId v, PartId to) {
     const PartId from = p_[v];
     HGR_DASSERT(from != to);
-    for (const Index net : h_.incident_nets(v)) {
+    for (const NetId net : h_.incident_nets(v)) {
       --at(net, from);
       ++at(net, to);
     }
-    part_w_[static_cast<std::size_t>(from)] -= h_.vertex_weight(v);
-    part_w_[static_cast<std::size_t>(to)] += h_.vertex_weight(v);
+    part_w_[from] -= h_.vertex_weight(v);
+    part_w_[to] += h_.vertex_weight(v);
     p_[v] = to;
   }
 
  private:
-  Index& at(Index net, PartId q) {
-    return counts_[static_cast<std::size_t>(net) *
+  Index& at(NetId net, PartId q) {
+    return counts_[static_cast<std::size_t>(net.v) *
                        static_cast<std::size_t>(k_) +
-                   static_cast<std::size_t>(q)];
+                   static_cast<std::size_t>(q.v)];
   }
-  Index count(Index net, PartId q) const {
-    return counts_[static_cast<std::size_t>(net) *
+  Index count(NetId net, PartId q) const {
+    return counts_[static_cast<std::size_t>(net.v) *
                        static_cast<std::size_t>(k_) +
-                   static_cast<std::size_t>(q)];
+                   static_cast<std::size_t>(q.v)];
   }
 
   const Hypergraph& h_;
   Partition& p_;
-  PartId k_;
+  Index k_;
   std::vector<Index> counts_;
-  std::vector<Weight> part_w_;
+  IdVector<PartId, Weight> part_w_;
   Weight max_w_ = 0;
   // best_move scratch (logically const: caches, not state).
   mutable std::vector<std::uint64_t> cand_seen_;
@@ -155,10 +156,12 @@ ParRefineResult parallel_refine(RankContext& ctx, const Hypergraph& h,
     for (Index v = lo; v < hi; ++v) owned.push_back(v);
     rng.shuffle(owned);
     std::vector<MoveProposal> proposals;
-    for (const Index v : owned) {
+    for (const Index vi : owned) {
+      const VertexId v{vi};
       if (h.fixed_part(v) != kNoPart) continue;
       const auto [to, gain] = state.best_move(v);
-      if (to != kNoPart && gain > 0) proposals.push_back({v, to, gain});
+      if (to != kNoPart && gain > 0)
+        proposals.push_back({to_raw(v), to, gain});
     }
     static obs::CachedCounter proposals_counter("refine.proposals");
     proposals_counter += proposals.size();
@@ -178,18 +181,19 @@ ParRefineResult parallel_refine(RankContext& ctx, const Hypergraph& h,
     Index rejected_gain = 0;
     Index rejected_balance = 0;
     for (const MoveProposal& m : flat) {
-      if (p[m.vertex] == m.to) continue;
-      const Weight g = state.gain(m.vertex, m.to);
+      const VertexId v = from_raw<VertexId>(m.vertex);
+      if (p[v] == m.to) continue;
+      const Weight g = state.gain(v, m.to);
       if (g <= 0) {
         ++rejected_gain;
         continue;
       }
-      if (state.part_weight(m.to) + h.vertex_weight(m.vertex) >
+      if (state.part_weight(m.to) + h.vertex_weight(v) >
           state.max_part_weight()) {
         ++rejected_balance;
         continue;
       }
-      state.apply(m.vertex, m.to);
+      state.apply(v, m.to);
       cut -= g;
       ++applied;
     }

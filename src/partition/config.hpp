@@ -35,7 +35,7 @@ enum class IncrementalMode {
 const char* to_string(IncrementalMode mode);
 
 struct PartitionConfig {
-  PartId num_parts = 2;
+  Index num_parts = 2;
 
   /// Eq. 1 imbalance tolerance epsilon.
   double epsilon = 0.05;

@@ -11,11 +11,11 @@ namespace hgr {
 
 namespace {
 
-std::uint64_t hash_pins(std::span<const Index> pins) {
+std::uint64_t hash_pins(std::span<const VertexId> pins) {
   // FNV-1a over the sorted pin list.
   std::uint64_t h = 1469598103934665603ULL;
-  for (const Index v : pins) {
-    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
+  for (const VertexId v : pins) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(v.v));
     h *= 1099511628211ULL;
   }
   return h;
@@ -23,36 +23,33 @@ std::uint64_t hash_pins(std::span<const Index> pins) {
 
 }  // namespace
 
-CoarseLevel contract(const Hypergraph& h, std::span<const Index> match,
-                     Workspace* ws) {
+CoarseLevel contract(const Hypergraph& h,
+                     IdSpan<VertexId, const VertexId> match, Workspace* ws) {
   const Index n = h.num_vertices();
-  HGR_ASSERT(static_cast<Index>(match.size()) == n);
+  HGR_ASSERT(match.ssize() == n);
 
   CoarseLevel out;
-  out.fine_to_coarse.assign(static_cast<std::size_t>(n), kInvalidIndex);
+  out.fine_to_coarse.assign(n, kInvalidVertex);
 
   // Coarse ids: the smaller endpoint of each pair is the representative.
-  Index num_coarse = 0;
-  for (Index v = 0; v < n; ++v) {
-    const Index u = match[static_cast<std::size_t>(v)];
-    HGR_ASSERT(u >= 0 && u < n && match[static_cast<std::size_t>(u)] == v);
-    if (u >= v) out.fine_to_coarse[static_cast<std::size_t>(v)] = num_coarse++;
+  VertexId num_coarse{0};
+  for (const VertexId v : h.vertices()) {
+    const VertexId u = match[v];
+    HGR_ASSERT(u.v >= 0 && u.v < n && match[u] == v);
+    if (u >= v) out.fine_to_coarse[v] = num_coarse++;
   }
-  for (Index v = 0; v < n; ++v) {
-    const Index u = match[static_cast<std::size_t>(v)];
-    if (u < v)
-      out.fine_to_coarse[static_cast<std::size_t>(v)] =
-          out.fine_to_coarse[static_cast<std::size_t>(u)];
+  for (const VertexId v : h.vertices()) {
+    const VertexId u = match[v];
+    if (u < v) out.fine_to_coarse[v] = out.fine_to_coarse[u];
   }
 
-  // Coarse vertex attributes.
-  std::vector<Weight> weights(static_cast<std::size_t>(num_coarse), 0);
-  std::vector<Weight> sizes(static_cast<std::size_t>(num_coarse), 0);
-  std::vector<PartId> fixed(static_cast<std::size_t>(num_coarse), kNoPart);
+  // Coarse vertex attributes (keyed by coarse vertex id).
+  IdVector<VertexId, Weight> weights(num_coarse.v, 0);
+  IdVector<VertexId, Weight> sizes(num_coarse.v, 0);
+  IdVector<VertexId, PartId> fixed(num_coarse.v, kNoPart);
   bool any_fixed = false;
-  for (Index v = 0; v < n; ++v) {
-    const auto c = static_cast<std::size_t>(
-        out.fine_to_coarse[static_cast<std::size_t>(v)]);
+  for (const VertexId v : h.vertices()) {
+    const VertexId c = out.fine_to_coarse[v];
     weights[c] += h.vertex_weight(v);
     sizes[c] += h.vertex_size(v);
     const PartId fv = h.fixed_part(v);
@@ -68,7 +65,7 @@ CoarseLevel contract(const Hypergraph& h, std::span<const Index> match,
   // The pin/count/cost arrays are moved into the coarse Hypergraph, so
   // only the true scratch (per-net mapping and the dedup begin index) is
   // pooled through the workspace.
-  std::vector<Index> coarse_pins;           // concatenated kept pin lists
+  std::vector<VertexId> coarse_pins;        // concatenated kept pin lists
   std::vector<Index> coarse_net_counts;     // pins per kept net
   std::vector<Weight> coarse_net_costs;
   Borrowed<Index> net_begin_b(ws);          // kept net -> begin in coarse_pins
@@ -76,12 +73,11 @@ CoarseLevel contract(const Hypergraph& h, std::span<const Index> match,
   std::unordered_map<std::uint64_t, std::vector<Index>> dedup;
   dedup.reserve(static_cast<std::size_t>(h.num_nets()));
 
-  Borrowed<Index> mapped_b(ws);
-  std::vector<Index>& mapped = mapped_b.get();
-  for (Index net = 0; net < h.num_nets(); ++net) {
+  Borrowed<VertexId> mapped_b(ws);
+  std::vector<VertexId>& mapped = mapped_b.get();
+  for (const NetId net : h.nets()) {
     mapped.clear();
-    for (const Index v : h.pins(net))
-      mapped.push_back(out.fine_to_coarse[static_cast<std::size_t>(v)]);
+    for (const VertexId v : h.pins(net)) mapped.push_back(out.fine_to_coarse[v]);
     std::sort(mapped.begin(), mapped.end());
     mapped.erase(std::unique(mapped.begin(), mapped.end()), mapped.end());
     if (static_cast<Index>(mapped.size()) < 2) continue;
@@ -112,10 +108,11 @@ CoarseLevel contract(const Hypergraph& h, std::span<const Index> match,
   }
 
   std::vector<Index> offsets = counts_to_offsets(std::move(coarse_net_counts));
+  // hgr-lint: raw-ok (handing storage to the Hypergraph raw constructor)
   out.coarse = Hypergraph(std::move(offsets), std::move(coarse_pins),
-                          std::move(weights), std::move(sizes),
+                          std::move(weights.raw()), std::move(sizes.raw()),
                           std::move(coarse_net_costs),
-                          any_fixed ? std::move(fixed)
+                          any_fixed ? std::move(fixed.raw())
                                     : std::vector<PartId>{});
   return out;
 }

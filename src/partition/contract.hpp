@@ -5,6 +5,10 @@
 // nets reduced to fewer than 2 pins vanish (they can no longer be cut) and
 // nets with identical pin sets are merged with summed costs — both standard
 // multilevel-partitioning reductions that keep coarse levels small.
+//
+// Fine and coarse vertex ids are distinct *values* of the same VertexId
+// type; the fine_to_coarse map is the only sanctioned bridge between the
+// two levels (keyed by fine id, storing coarse ids).
 #pragma once
 
 #include <span>
@@ -17,11 +21,12 @@ namespace hgr {
 
 struct CoarseLevel {
   Hypergraph coarse;
-  std::vector<Index> fine_to_coarse;  // one entry per fine vertex
+  IdVector<VertexId, VertexId> fine_to_coarse;  // one entry per fine vertex
 };
 
 /// `ws` (optional) pools the per-net mapping scratch across levels.
-CoarseLevel contract(const Hypergraph& h, std::span<const Index> match,
+CoarseLevel contract(const Hypergraph& h,
+                     IdSpan<VertexId, const VertexId> match,
                      Workspace* ws = nullptr);
 
 }  // namespace hgr

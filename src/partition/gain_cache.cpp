@@ -9,8 +9,8 @@
 
 namespace hgr {
 
-GainCache::GainCache(const Hypergraph& h, PartId k,
-                     std::span<const PartId> parts, Workspace* ws)
+GainCache::GainCache(const Hypergraph& h, Index k,
+                     IdSpan<VertexId, const PartId> parts, Workspace* ws)
     : h_(h),
       k_(k),
       words_per_row_((static_cast<std::size_t>(k) + 63) / 64),
@@ -21,7 +21,7 @@ GainCache::GainCache(const Hypergraph& h, PartId k,
       leave_gain_(ws),
       scratch_(ws) {
   HGR_ASSERT(k >= 1);
-  HGR_ASSERT(static_cast<Index>(parts.size()) == h.num_vertices());
+  HGR_ASSERT(parts.ssize() == h.num_vertices());
   const auto n = static_cast<std::size_t>(h.num_vertices());
   const auto nn = static_cast<std::size_t>(h.num_nets());
   counts_->assign(nn * static_cast<std::size_t>(k), 0);
@@ -31,18 +31,18 @@ GainCache::GainCache(const Hypergraph& h, PartId k,
   leave_gain_->assign(n, 0);
   scratch_->assign(words_per_row_, 0);
 
-  for (Index v = 0; v < h.num_vertices(); ++v) {
+  for (const VertexId v : h.vertices()) {
     const PartId q = part_of(v);
-    HGR_ASSERT_MSG(q >= 0 && q < k, "gain cache built on unassigned vertex");
-    part_w_[static_cast<std::size_t>(q)] += h.vertex_weight(v);
+    HGR_ASSERT_MSG(q.v >= 0 && q.v < k, "gain cache built on unassigned vertex");
+    part_w_[static_cast<std::size_t>(q.v)] += h.vertex_weight(v);
   }
   cut_ = 0;
-  for (Index net = 0; net < h.num_nets(); ++net) {
+  for (const NetId net : h.nets()) {
     const Weight c = h.net_cost(net);
-    PartId lambda = 0;
-    for (const Index u : h.pins(net)) {
+    Index lambda = 0;
+    for (const VertexId u : h.pins(net)) {
       const PartId q = part_of(u);
-      ++counts_[row(net) + static_cast<std::size_t>(q)];
+      ++counts_[row(net) + static_cast<std::size_t>(q.v)];
       std::uint64_t& w = conn_[conn_row(net) + word(q)];
       if ((w & bit(q)) == 0) {
         w |= bit(q);
@@ -51,20 +51,20 @@ GainCache::GainCache(const Hypergraph& h, PartId k,
     }
     if (lambda > 1) cut_ += c * (lambda - 1);
     if (c != 0)
-      for (const Index u : h.pins(net))
-        if (counts_[row(net) + static_cast<std::size_t>(part_of(u))] == 1)
-          leave_gain_[static_cast<std::size_t>(u)] += c;
+      for (const VertexId u : h.pins(net))
+        if (counts_[row(net) + static_cast<std::size_t>(part_of(u).v)] == 1)
+          leave_gain_[static_cast<std::size_t>(u.v)] += c;
   }
   static obs::CachedCounter builds("gain_cache.builds");
   builds += 1;
 }
 
-void GainCache::candidate_parts_into(std::vector<PartId>& out, Index v) {
+void GainCache::candidate_parts_into(std::vector<PartId>& out, VertexId v) {
   out.clear();
   const PartId from = part_of(v);
   std::vector<std::uint64_t>& acc = scratch_.get();
   acc.assign(words_per_row_, 0);
-  for (const Index net : h_.incident_nets(v))
+  for (const NetId net : h_.incident_nets(v))
     for (std::size_t w = 0; w < words_per_row_; ++w)
       acc[w] |= conn_[conn_row(net) + w];
   // Clear the home part, then emit set bits in ascending order.
@@ -74,7 +74,7 @@ void GainCache::candidate_parts_into(std::vector<PartId>& out, Index v) {
     while (bits != 0) {
       const int b = std::countr_zero(bits);
       bits &= bits - 1;
-      out.push_back(static_cast<PartId>(w * 64 + static_cast<std::size_t>(b)));
+      out.push_back(PartId{static_cast<Index>(w * 64) + b});
     }
   }
 }
@@ -90,41 +90,36 @@ void GainCache::validate(check::CheckLevel level) const {
   validations += 1;
 
   Partition p(k_, h_.num_vertices());
-  p.assignment.assign(part_->begin(), part_->end());
+  // hgr-lint: raw-ok (bulk copy of the internal label array)
+  p.assignment.raw().assign(part_->begin(), part_->end());
   HGR_ASSERT_MSG(cut_ == connectivity_cut(h_, p),
                  "gain cache cut diverged from from-scratch recomputation");
 
-  std::vector<Weight> want_w(static_cast<std::size_t>(k_), 0);
-  for (Index v = 0; v < h_.num_vertices(); ++v)
-    want_w[static_cast<std::size_t>(p[v])] += h_.vertex_weight(v);
-  for (PartId q = 0; q < k_; ++q)
-    HGR_ASSERT_MSG(part_w_[static_cast<std::size_t>(q)] ==
-                       want_w[static_cast<std::size_t>(q)],
+  IdVector<PartId, Weight> want_w(k_, 0);
+  for (const VertexId v : p.vertices())
+    want_w[p[v]] += h_.vertex_weight(v);
+  for (const PartId q : p.parts())
+    HGR_ASSERT_MSG(part_weight(q) == want_w[q],
                    "gain cache part weight diverged");
 
-  std::vector<Index> want_counts(static_cast<std::size_t>(k_));
-  std::vector<Weight> want_leave(
-      static_cast<std::size_t>(h_.num_vertices()), 0);
-  for (Index net = 0; net < h_.num_nets(); ++net) {
+  IdVector<PartId, Index> want_counts(k_);
+  IdVector<VertexId, Weight> want_leave(h_.num_vertices(), 0);
+  for (const NetId net : h_.nets()) {
     std::fill(want_counts.begin(), want_counts.end(), 0);
-    for (const Index u : h_.pins(net))
-      ++want_counts[static_cast<std::size_t>(p[u])];
+    for (const VertexId u : h_.pins(net)) ++want_counts[p[u]];
     const Weight c = h_.net_cost(net);
-    for (PartId q = 0; q < k_; ++q) {
-      HGR_ASSERT_MSG(pin_count(net, q) ==
-                         want_counts[static_cast<std::size_t>(q)],
+    for (const PartId q : p.parts()) {
+      HGR_ASSERT_MSG(pin_count(net, q) == want_counts[q],
                      "gain cache pin count diverged");
-      HGR_ASSERT_MSG(net_touches(net, q) ==
-                         (want_counts[static_cast<std::size_t>(q)] > 0),
+      HGR_ASSERT_MSG(net_touches(net, q) == (want_counts[q] > 0),
                      "gain cache connectivity bit diverged");
     }
     if (c != 0)
-      for (const Index u : h_.pins(net))
-        if (want_counts[static_cast<std::size_t>(p[u])] == 1)
-          want_leave[static_cast<std::size_t>(u)] += c;
+      for (const VertexId u : h_.pins(net))
+        if (want_counts[p[u]] == 1) want_leave[u] += c;
   }
-  for (Index v = 0; v < h_.num_vertices(); ++v)
-    HGR_ASSERT_MSG(leave_gain(v) == want_leave[static_cast<std::size_t>(v)],
+  for (const VertexId v : h_.vertices())
+    HGR_ASSERT_MSG(leave_gain(v) == want_leave[v],
                    "gain cache leave gain diverged");
 }
 

@@ -35,10 +35,10 @@ namespace hgr {
 
 /// No-op listener for callers that do not track per-vertex gain deltas.
 struct NullMoveListener {
-  void net_gained_part(Index, PartId, Weight) {}
-  void sole_pin_joined(Index, Index, PartId, Weight) {}
-  void net_lost_part(Index, PartId, Weight) {}
-  void sole_pin_remains(Index, Index, PartId, Weight) {}
+  void net_gained_part(NetId, PartId, Weight) {}
+  void sole_pin_joined(NetId, VertexId, PartId, Weight) {}
+  void net_lost_part(NetId, PartId, Weight) {}
+  void sole_pin_remains(NetId, VertexId, PartId, Weight) {}
 };
 
 class GainCache {
@@ -46,40 +46,42 @@ class GainCache {
   /// Builds the table for `parts` (one entry in [0, k) per vertex).
   /// O(pins + num_nets * k / 64). The cache keeps its own copy of the
   /// assignment; callers mirror moves into their Partition as needed.
-  GainCache(const Hypergraph& h, PartId k, std::span<const PartId> parts,
-            Workspace* ws = nullptr);
+  GainCache(const Hypergraph& h, Index k,
+            IdSpan<VertexId, const PartId> parts, Workspace* ws = nullptr);
   GainCache(const Hypergraph& h, const Partition& p, Workspace* ws = nullptr)
       : GainCache(h, p.k, p.assignment, ws) {}
 
-  PartId k() const { return k_; }
+  Index k() const { return k_; }
   Weight cut() const { return cut_; }
-  PartId part_of(Index v) const {
-    return part_[static_cast<std::size_t>(v)];
+  PartId part_of(VertexId v) const {
+    return part_[static_cast<std::size_t>(v.v)];
   }
   Weight part_weight(PartId q) const {
-    return part_w_[static_cast<std::size_t>(q)];
+    return part_w_[static_cast<std::size_t>(q.v)];
   }
-  std::span<const PartId> parts() const { return part_.get(); }
+  IdSpan<VertexId, const PartId> parts() const {
+    return std::span<const PartId>(part_.get());
+  }
 
-  Index pin_count(Index net, PartId q) const {
-    return counts_[row(net) + static_cast<std::size_t>(q)];
+  Index pin_count(NetId net, PartId q) const {
+    return counts_[row(net) + static_cast<std::size_t>(q.v)];
   }
   /// True iff `net` has at least one pin in part q (bitset probe).
-  bool net_touches(Index net, PartId q) const {
+  bool net_touches(NetId net, PartId q) const {
     return (conn_[conn_row(net) + word(q)] & bit(q)) != 0;
   }
 
   /// Gain of moving v out of its part, counting only nets where v is the
   /// sole pin of that part (maintained incrementally).
-  Weight leave_gain(Index v) const {
-    return leave_gain_[static_cast<std::size_t>(v)];
+  Weight leave_gain(VertexId v) const {
+    return leave_gain_[static_cast<std::size_t>(v.v)];
   }
 
   /// Full connectivity-1 gain of moving v to part q (>0 lowers the cut).
-  Weight move_gain(Index v, PartId q) const {
+  Weight move_gain(VertexId v, PartId q) const {
     HGR_DASSERT(q != part_of(v));
     Weight g = leave_gain(v);
-    for (const Index net : h_.incident_nets(v))
+    for (const NetId net : h_.incident_nets(v))
       if (!net_touches(net, q)) g -= h_.net_cost(net);
     return g;
   }
@@ -87,7 +89,7 @@ class GainCache {
   /// Distinct parts (other than part_of(v)) touched by v's nets, i.e. the
   /// candidate destinations of a boundary move. Ascending part order.
   /// O(deg(v) * k/64 + |result|) — no pin-list traversal.
-  void candidate_parts_into(std::vector<PartId>& out, Index v);
+  void candidate_parts_into(std::vector<PartId>& out, VertexId v);
 
   /// Moves v to part `to`, updating every maintained quantity in
   /// O(deg(v)) (+ a sole-pin scan for nets crossing the 1<->2 pin
@@ -96,22 +98,22 @@ class GainCache {
   /// "pre-move" events fire before the counts change, the two "post-move"
   /// events after.
   template <typename Listener>
-  void apply_move(Index v, PartId to, Listener& listener) {
+  void apply_move(VertexId v, PartId to, Listener& listener) {
     const PartId from = part_of(v);
-    HGR_DASSERT(v >= 0 && v < h_.num_vertices());
-    HGR_DASSERT(to >= 0 && to < k_ && to != from);
-    for (const Index net : h_.incident_nets(v)) {
+    HGR_DASSERT(v.v >= 0 && v.v < h_.num_vertices());
+    HGR_DASSERT(to.v >= 0 && to.v < k_ && to != from);
+    for (const NetId net : h_.incident_nets(v)) {
       const Weight c = h_.net_cost(net);
-      Index& pt = counts_[row(net) + static_cast<std::size_t>(to)];
-      Index& pf = counts_[row(net) + static_cast<std::size_t>(from)];
+      Index& pt = counts_[row(net) + static_cast<std::size_t>(to.v)];
+      Index& pf = counts_[row(net) + static_cast<std::size_t>(from.v)];
       if (pt == 0) {
         conn_[conn_row(net) + word(to)] |= bit(to);
         cut_ += c;
-        leave_gain_[static_cast<std::size_t>(v)] += c;  // v sole in `to`
+        leave_gain_[static_cast<std::size_t>(v.v)] += c;  // v sole in `to`
         if (c != 0) listener.net_gained_part(net, to, c);
       } else if (pt == 1 && c != 0) {
-        const Index u = sole_pin(net, to, v);
-        leave_gain_[static_cast<std::size_t>(u)] -= c;
+        const VertexId u = sole_pin(net, to, v);
+        leave_gain_[static_cast<std::size_t>(u.v)] -= c;
         listener.sole_pin_joined(net, u, to, c);
       }
       --pf;
@@ -119,22 +121,22 @@ class GainCache {
       if (pf == 0) {
         conn_[conn_row(net) + word(from)] &= ~bit(from);
         cut_ -= c;
-        leave_gain_[static_cast<std::size_t>(v)] -= c;  // was sole in `from`
+        leave_gain_[static_cast<std::size_t>(v.v)] -= c;  // was sole in `from`
         if (c != 0) listener.net_lost_part(net, from, c);
       } else if (pf == 1 && c != 0) {
-        const Index u = sole_pin(net, from, v);
-        leave_gain_[static_cast<std::size_t>(u)] += c;
+        const VertexId u = sole_pin(net, from, v);
+        leave_gain_[static_cast<std::size_t>(u.v)] += c;
         listener.sole_pin_remains(net, u, from, c);
       }
     }
     const Weight wv = h_.vertex_weight(v);
-    part_w_[static_cast<std::size_t>(from)] -= wv;
-    part_w_[static_cast<std::size_t>(to)] += wv;
-    part_[static_cast<std::size_t>(v)] = to;
+    part_w_[static_cast<std::size_t>(from.v)] -= wv;
+    part_w_[static_cast<std::size_t>(to.v)] += wv;
+    part_[static_cast<std::size_t>(v.v)] = to;
     note_move();
   }
 
-  void apply_move(Index v, PartId to) {
+  void apply_move(VertexId v, PartId to) {
     NullMoveListener null;
     apply_move(v, to, null);
   }
@@ -144,31 +146,31 @@ class GainCache {
   void validate(check::CheckLevel level) const;
 
  private:
-  std::size_t row(Index net) const {
-    return static_cast<std::size_t>(net) * static_cast<std::size_t>(k_);
+  std::size_t row(NetId net) const {
+    return static_cast<std::size_t>(net.v) * static_cast<std::size_t>(k_);
   }
-  std::size_t conn_row(Index net) const {
-    return static_cast<std::size_t>(net) * words_per_row_;
+  std::size_t conn_row(NetId net) const {
+    return static_cast<std::size_t>(net.v) * words_per_row_;
   }
   static std::size_t word(PartId q) {
-    return static_cast<std::size_t>(q) >> 6;
+    return static_cast<std::size_t>(q.v) >> 6;
   }
   static std::uint64_t bit(PartId q) {
-    return std::uint64_t{1} << (static_cast<std::size_t>(q) & 63);
+    return std::uint64_t{1} << (static_cast<std::size_t>(q.v) & 63);
   }
 
   /// The one pin of `net` (other than `skip`) in part q, per the counts.
-  Index sole_pin(Index net, PartId q, Index skip) const {
-    for (const Index u : h_.pins(net))
+  VertexId sole_pin(NetId net, PartId q, VertexId skip) const {
+    for (const VertexId u : h_.pins(net))
       if (u != skip && part_of(u) == q) return u;
     HGR_ASSERT_MSG(false, "pin count says sole pin exists but scan found none");
-    return kInvalidIndex;
+    return kInvalidVertex;
   }
 
   void note_move();  // bumps the gain_cache.moves counter (out of line)
 
   const Hypergraph& h_;
-  PartId k_;
+  Index k_;
   std::size_t words_per_row_;
   Borrowed<Index> counts_;          // num_nets x k pins-per-part
   Borrowed<std::uint64_t> conn_;    // num_nets x ceil(k/64) part bitsets

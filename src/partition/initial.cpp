@@ -10,14 +10,18 @@ namespace hgr {
 
 namespace {
 
+constexpr PartId kSide0{0};
+constexpr PartId kSide1{1};
+
 /// Cut cost of a bisection (2-way connectivity-1 == cut-net cost).
-Weight bisection_cut(const Hypergraph& h, const std::vector<PartId>& side) {
+Weight bisection_cut(const Hypergraph& h,
+                     const IdVector<VertexId, PartId>& side) {
   Weight cut = 0;
-  for (Index net = 0; net < h.num_nets(); ++net) {
+  for (const NetId net : h.nets()) {
     const auto ps = h.pins(net);
-    const PartId first = side[static_cast<std::size_t>(ps.front())];
-    for (const Index v : ps) {
-      if (side[static_cast<std::size_t>(v)] != first) {
+    const PartId first = side[ps.front()];
+    for (const VertexId v : ps) {
+      if (side[v] != first) {
         cut += h.net_cost(net);
         break;
       }
@@ -26,69 +30,67 @@ Weight bisection_cut(const Hypergraph& h, const std::vector<PartId>& side) {
   return cut;
 }
 
-Weight side_weight(const Hypergraph& h, const std::vector<PartId>& side,
+Weight side_weight(const Hypergraph& h, const IdVector<VertexId, PartId>& side,
                    PartId s) {
   Weight w = 0;
-  for (Index v = 0; v < h.num_vertices(); ++v)
-    if (side[static_cast<std::size_t>(v)] == s) w += h.vertex_weight(v);
+  for (const VertexId v : h.vertices())
+    if (side[v] == s) w += h.vertex_weight(v);
   return w;
 }
 
 }  // namespace
 
-std::vector<PartId> greedy_growing_bisection(const Hypergraph& h,
-                                             const BisectionTargets& t,
-                                             Rng& rng) {
+IdVector<VertexId, PartId> greedy_growing_bisection(const Hypergraph& h,
+                                                    const BisectionTargets& t,
+                                                    Rng& rng) {
   const Index n = h.num_vertices();
-  std::vector<PartId> side(static_cast<std::size_t>(n), 1);
-  std::vector<bool> movable(static_cast<std::size_t>(n), true);
+  IdVector<VertexId, PartId> side(n, kSide1);
+  IdVector<VertexId, bool> movable(n, true);
   Weight w0 = 0;
 
-  for (Index v = 0; v < n; ++v) {
+  for (const VertexId v : h.vertices()) {
     const PartId f = h.fixed_part(v);
     if (f == kNoPart) continue;
-    HGR_ASSERT_MSG(f == 0 || f == 1, "bisection fixed part must be 0 or 1");
-    side[static_cast<std::size_t>(v)] = f;
-    movable[static_cast<std::size_t>(v)] = false;
-    if (f == 0) w0 += h.vertex_weight(v);
+    HGR_ASSERT_MSG(f == kSide0 || f == kSide1,
+                   "bisection fixed part must be 0 or 1");
+    side[v] = f;
+    movable[v] = false;
+    if (f == kSide0) w0 += h.vertex_weight(v);
   }
 
   // pins0[net] = pins currently on side 0.
-  std::vector<Index> pins0(static_cast<std::size_t>(h.num_nets()), 0);
-  for (Index net = 0; net < h.num_nets(); ++net)
-    for (const Index v : h.pins(net))
-      if (side[static_cast<std::size_t>(v)] == 0)
-        ++pins0[static_cast<std::size_t>(net)];
+  IdVector<NetId, Index> pins0(h.num_nets(), 0);
+  for (const NetId net : h.nets())
+    for (const VertexId v : h.pins(net))
+      if (side[v] == kSide0) ++pins0[net];
 
   // FM-style gain of moving v from side 1 to side 0.
-  auto gain_of = [&](Index v) {
+  auto gain_of = [&](VertexId v) {
     Weight g = 0;
-    for (const Index net : h.incident_nets(v)) {
+    for (const NetId net : h.incident_nets(v)) {
       const Weight c = h.net_cost(net);
-      const Index p0 = pins0[static_cast<std::size_t>(net)];
+      const Index p0 = pins0[net];
       if (p0 == h.net_size(net) - 1) g += c;  // net becomes internal to 0
       if (p0 == 0) g -= c;                    // net becomes cut
     }
     return g;
   };
 
+  // The heap keys items by raw id; VertexId crosses its boundary via .v.
   IndexedMaxHeap frontier(n);
-  std::vector<bool> queued(static_cast<std::size_t>(n), false);
+  IdVector<VertexId, bool> queued(n, false);
 
-  auto enqueue = [&](Index v) {
-    if (side[static_cast<std::size_t>(v)] != 1 ||
-        !movable[static_cast<std::size_t>(v)] ||
-        queued[static_cast<std::size_t>(v)])
-      return;
-    frontier.insert(v, gain_of(v));
-    queued[static_cast<std::size_t>(v)] = true;
+  auto enqueue = [&](VertexId v) {
+    if (side[v] != kSide1 || !movable[v] || queued[v]) return;
+    frontier.insert(v.v, gain_of(v));
+    queued[v] = true;
   };
 
   // Seed the frontier with neighbors of pre-placed (fixed side-0) vertices.
-  for (Index v = 0; v < n; ++v) {
-    if (side[static_cast<std::size_t>(v)] != 0) continue;
-    for (const Index net : h.incident_nets(v))
-      for (const Index u : h.pins(net)) enqueue(u);
+  for (const VertexId v : h.vertices()) {
+    if (side[v] != kSide0) continue;
+    for (const NetId net : h.incident_nets(v))
+      for (const VertexId u : h.pins(net)) enqueue(u);
   }
 
   std::vector<Index> free_order = random_permutation(n, rng);
@@ -98,27 +100,26 @@ std::vector<PartId> greedy_growing_bisection(const Hypergraph& h,
     if (frontier.empty()) {
       // Disconnected growth (or empty seed): restart from a random vertex.
       while (free_cursor < free_order.size()) {
-        const Index v = free_order[free_cursor++];
-        if (side[static_cast<std::size_t>(v)] == 1 &&
-            movable[static_cast<std::size_t>(v)]) {
+        const VertexId v{free_order[free_cursor++]};
+        if (side[v] == kSide1 && movable[v]) {
           enqueue(v);
           break;
         }
       }
       if (frontier.empty()) break;  // nothing left to move
     }
-    const Index v = frontier.pop();
-    queued[static_cast<std::size_t>(v)] = false;
+    const VertexId v{frontier.pop()};
+    queued[v] = false;
     if (w0 + h.vertex_weight(v) > t.max_weight(0)) continue;  // too heavy
 
-    side[static_cast<std::size_t>(v)] = 0;
+    side[v] = kSide0;
     w0 += h.vertex_weight(v);
-    for (const Index net : h.incident_nets(v)) {
-      ++pins0[static_cast<std::size_t>(net)];
-      for (const Index u : h.pins(net)) {
+    for (const NetId net : h.incident_nets(v)) {
+      ++pins0[net];
+      for (const VertexId u : h.pins(net)) {
         if (u == v) continue;
-        if (queued[static_cast<std::size_t>(u)]) {
-          frontier.adjust(u, gain_of(u));
+        if (queued[u]) {
+          frontier.adjust(u.v, gain_of(u));
         } else {
           enqueue(u);
         }
@@ -128,17 +129,17 @@ std::vector<PartId> greedy_growing_bisection(const Hypergraph& h,
   return side;
 }
 
-std::vector<PartId> initial_bisection(const Hypergraph& h,
-                                      const BisectionTargets& t, Index trials,
-                                      Rng& rng) {
+IdVector<VertexId, PartId> initial_bisection(const Hypergraph& h,
+                                             const BisectionTargets& t,
+                                             Index trials, Rng& rng) {
   HGR_ASSERT(trials >= 1);
-  std::vector<PartId> best;
+  IdVector<VertexId, PartId> best;
   // Lexicographic score: (infeasible?, overweight, cut).
   Weight best_over = std::numeric_limits<Weight>::max();
   Weight best_cut = std::numeric_limits<Weight>::max();
   for (Index trial = 0; trial < trials; ++trial) {
-    std::vector<PartId> side = greedy_growing_bisection(h, t, rng);
-    const Weight w0 = side_weight(h, side, 0);
+    IdVector<VertexId, PartId> side = greedy_growing_bisection(h, t, rng);
+    const Weight w0 = side_weight(h, side, kSide0);
     const Weight w1 = h.total_vertex_weight() - w0;
     const Weight over = std::max<Weight>(0, w0 - t.max_weight(0)) +
                         std::max<Weight>(0, w1 - t.max_weight(1));

@@ -32,15 +32,15 @@ struct BisectionTargets {
 /// fixed vertices (h.fixed_part() in {0,1}) are honored. Vertices start on
 /// side 1 and side 0 is grown to its target weight by repeatedly absorbing
 /// the highest-gain frontier vertex.
-std::vector<PartId> greedy_growing_bisection(const Hypergraph& h,
-                                             const BisectionTargets& t,
-                                             Rng& rng);
+IdVector<VertexId, PartId> greedy_growing_bisection(const Hypergraph& h,
+                                                    const BisectionTargets& t,
+                                                    Rng& rng);
 
 /// Multi-trial wrapper: runs `trials` attempts (each FM-polished by the
 /// caller if desired) and returns the bisection with the best
 /// (feasible, cut) score.
-std::vector<PartId> initial_bisection(const Hypergraph& h,
-                                      const BisectionTargets& t, Index trials,
-                                      Rng& rng);
+IdVector<VertexId, PartId> initial_bisection(const Hypergraph& h,
+                                             const BisectionTargets& t,
+                                             Index trials, Rng& rng);
 
 }  // namespace hgr

@@ -17,7 +17,7 @@ KwayRefineResult kway_refine(const Hypergraph& h, Partition& p,
   KwayRefineResult result;
   result.initial_cut = connectivity_cut(h, p);
   result.final_cut = result.initial_cut;
-  const PartId k = p.k;
+  const Index k = p.k;
   if (k <= 1 || h.num_vertices() == 0) return result;
   // Memory guard: the dense table must stay sane (~1 GiB of Index). The
   // skip is counted and noted — never silent (docs/OBSERVABILITY.md).
@@ -48,7 +48,8 @@ KwayRefineResult kway_refine(const Hypergraph& h, Partition& p,
     ++result.passes;
     Index moves_this_pass = 0;
     random_permutation_into(order, h.num_vertices(), rng);
-    for (const Index v : order) {
+    for (const Index vi : order) {
+      const VertexId v{vi};
       if (h.fixed_part(v) != kNoPart) continue;
       const PartId from = p[v];
 
@@ -58,12 +59,12 @@ KwayRefineResult kway_refine(const Hypergraph& h, Partition& p,
       cache.candidate_parts_into(candidates, v);
       if (candidates.empty()) continue;
       const Weight leave_gain = cache.leave_gain(v);
-      for (const Index net : h.incident_nets(v)) {
+      for (const NetId net : h.incident_nets(v)) {
         const Weight c = h.net_cost(net);
         if (c == 0) continue;
         for (const PartId q : candidates)
           if (!cache.net_touches(net, q))
-            gain_to[static_cast<std::size_t>(q)] -= c;
+            gain_to[static_cast<std::size_t>(q.v)] -= c;
       }
       // gain(from -> q) = leave_gain + gain_to[q] (gain_to holds the
       // entering penalty, <= 0). A move is acceptable on positive gain, or
@@ -75,8 +76,8 @@ KwayRefineResult kway_refine(const Hypergraph& h, Partition& p,
       Weight best_dest_w = 0;
       const Weight wv = h.vertex_weight(v);
       for (const PartId q : candidates) {
-        const Weight g = leave_gain + gain_to[static_cast<std::size_t>(q)];
-        gain_to[static_cast<std::size_t>(q)] = 0;  // reset accumulator
+        const Weight g = leave_gain + gain_to[static_cast<std::size_t>(q.v)];
+        gain_to[static_cast<std::size_t>(q.v)] = 0;  // reset accumulator
         const Weight dest_w = cache.part_weight(q);
         if (dest_w + wv > max_part_weight) continue;
         const bool improves_balance =

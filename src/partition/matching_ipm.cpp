@@ -6,53 +6,56 @@
 
 namespace hgr {
 
-std::vector<Index> ipm_matching(const Hypergraph& h,
-                                const PartitionConfig& cfg,
-                                Weight max_vertex_weight, Rng& rng,
-                                Workspace* ws) {
+IdVector<VertexId, VertexId> ipm_matching(const Hypergraph& h,
+                                          const PartitionConfig& cfg,
+                                          Weight max_vertex_weight, Rng& rng,
+                                          Workspace* ws) {
   const Index n = h.num_vertices();
-  std::vector<Index> match(static_cast<std::size_t>(n));
-  for (Index v = 0; v < n; ++v) match[static_cast<std::size_t>(v)] = v;
+  IdVector<VertexId, VertexId> match(n);
+  for (const VertexId v : h.vertices()) match[v] = v;
 
   // Sparse score accumulator: score[u] valid iff u is in `touched`.
+  // Scratch vectors come out of the untyped workspace pool and are used
+  // through typed views keyed by VertexId.
   Borrowed<Weight> score_b(ws);
-  std::vector<Weight>& score = score_b.get();
-  score.assign(static_cast<std::size_t>(n), 0);
-  Borrowed<Index> touched_b(ws);
-  std::vector<Index>& touched = touched_b.get();
+  score_b.get().assign(static_cast<std::size_t>(n), 0);
+  IdSpan<VertexId, Weight> score(std::span<Weight>(score_b.get()));
+  Borrowed<VertexId> touched_b(ws);
+  std::vector<VertexId>& touched = touched_b.get();
 
   Borrowed<Index> order_b(ws);
   std::vector<Index>& order = order_b.get();
   random_permutation_into(order, n, rng);
-  for (const Index v : order) {
-    if (match[static_cast<std::size_t>(v)] != v) continue;  // already matched
+  for (const Index vi : order) {
+    const VertexId v{vi};
+    if (match[v] != v) continue;  // already matched
     if (h.vertex_degree(v) > cfg.max_matching_degree) continue;
     const PartId fv = h.fixed_part(v);
     const Weight wv = h.vertex_weight(v);
 
     touched.clear();
-    for (const Index net : h.incident_nets(v)) {
+    for (const NetId net : h.incident_nets(v)) {
       const Index size = h.net_size(net);
       if (size < 2 || size > cfg.max_scored_net_size) continue;
       const Weight c = h.net_cost(net);
       if (c == 0) continue;
-      for (const Index u : h.pins(net)) {
+      for (const VertexId u : h.pins(net)) {
         if (u == v) continue;
-        if (match[static_cast<std::size_t>(u)] != u) continue;
-        if (score[static_cast<std::size_t>(u)] == 0) touched.push_back(u);
-        score[static_cast<std::size_t>(u)] += c;
+        if (match[u] != u) continue;
+        if (score[u] == 0) touched.push_back(u);
+        score[u] += c;
       }
     }
 
     // First-choice selection: highest inner product among feasible partners;
     // ties prefer the lighter partner (balances coarse weights), then the
     // smaller id (determinism).
-    Index best = kInvalidIndex;
+    VertexId best = kInvalidVertex;
     Weight best_score = 0;
     Weight best_weight = 0;
-    for (const Index u : touched) {
-      const Weight s = score[static_cast<std::size_t>(u)];
-      score[static_cast<std::size_t>(u)] = 0;  // reset for next candidate
+    for (const VertexId u : touched) {
+      const Weight s = score[u];
+      score[u] = 0;  // reset for next candidate
       if (!fixed_compatible(fv, h.fixed_part(u))) continue;
       if (max_vertex_weight > 0 && wv + h.vertex_weight(u) > max_vertex_weight)
         continue;
@@ -60,7 +63,7 @@ std::vector<Index> ipm_matching(const Hypergraph& h,
       const bool better =
           s > best_score ||
           (s == best_score &&
-           (best == kInvalidIndex || wu < best_weight ||
+           (best == kInvalidVertex || wu < best_weight ||
             (wu == best_weight && u < best)));
       if (better) {
         best = u;
@@ -68,17 +71,17 @@ std::vector<Index> ipm_matching(const Hypergraph& h,
         best_weight = wu;
       }
     }
-    if (best != kInvalidIndex) {
-      match[static_cast<std::size_t>(v)] = best;
-      match[static_cast<std::size_t>(best)] = v;
+    if (best != kInvalidVertex) {
+      match[v] = best;
+      match[best] = v;
     }
   }
 
   // Postcondition: match is an involution and respects fixed compatibility.
 #ifndef NDEBUG
-  for (Index v = 0; v < n; ++v) {
-    const Index u = match[static_cast<std::size_t>(v)];
-    HGR_ASSERT(match[static_cast<std::size_t>(u)] == v);
+  for (const VertexId v : h.vertices()) {
+    const VertexId u = match[v];
+    HGR_ASSERT(match[u] == v);
     if (u != v)
       HGR_ASSERT(fixed_compatible(h.fixed_part(v), h.fixed_part(u)));
   }

@@ -21,10 +21,10 @@ namespace hgr {
 /// unmatched). max_vertex_weight: pairs whose combined weight exceeds it
 /// are rejected (0 disables the cap). Fixed parts are read from h. `ws`
 /// (optional) pools the score/touched/order scratch across levels.
-std::vector<Index> ipm_matching(const Hypergraph& h,
-                                const PartitionConfig& cfg,
-                                Weight max_vertex_weight, Rng& rng,
-                                Workspace* ws = nullptr);
+IdVector<VertexId, VertexId> ipm_matching(const Hypergraph& h,
+                                          const PartitionConfig& cfg,
+                                          Weight max_vertex_weight, Rng& rng,
+                                          Workspace* ws = nullptr);
 
 /// True iff the fixed parts allow u and v to merge (cases 1-3 of §4.1).
 inline bool fixed_compatible(PartId fu, PartId fv) {

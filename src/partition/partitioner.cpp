@@ -22,57 +22,51 @@ namespace {
 /// part with the best connectivity gain (ties: lightest part).
 Partition greedy_kway_initial(const Hypergraph& h, const PartitionConfig& cfg,
                               Rng& rng) {
-  const PartId k = cfg.num_parts;
+  const Index k = cfg.num_parts;
   Partition p(k, h.num_vertices(), kNoPart);
-  std::vector<Weight> part_w(static_cast<std::size_t>(k), 0);
+  IdVector<PartId, Weight> part_w(k, 0);
   const double avg =
       static_cast<double>(h.total_vertex_weight()) / static_cast<double>(k);
   const auto max_w = static_cast<Weight>(avg * (1.0 + cfg.epsilon));
 
-  for (Index v = 0; v < h.num_vertices(); ++v) {
+  for (const VertexId v : h.vertices()) {
     const PartId f = h.fixed_part(v);
     if (f != kNoPart) {
       p[v] = f;
-      part_w[static_cast<std::size_t>(f)] += h.vertex_weight(v);
+      part_w[f] += h.vertex_weight(v);
     }
   }
 
   std::vector<Index> order = random_permutation(h.num_vertices(), rng);
   std::stable_sort(order.begin(), order.end(), [&](Index a, Index b) {
-    return h.vertex_weight(a) > h.vertex_weight(b);
+    return h.vertex_weight(VertexId{a}) > h.vertex_weight(VertexId{b});
   });
 
-  std::vector<Weight> affinity(static_cast<std::size_t>(k), 0);
-  for (const Index v : order) {
+  IdVector<PartId, Weight> affinity(k, 0);
+  for (const Index vi : order) {
+    const VertexId v{vi};
     if (p[v] != kNoPart) continue;
     std::fill(affinity.begin(), affinity.end(), Weight{0});
-    for (const Index net : h.incident_nets(v)) {
+    for (const NetId net : h.incident_nets(v)) {
       const Weight c = h.net_cost(net);
-      for (const Index u : h.pins(net))
-        if (u != v && p[u] != kNoPart)
-          affinity[static_cast<std::size_t>(p[u])] += c;
+      for (const VertexId u : h.pins(net))
+        if (u != v && p[u] != kNoPart) affinity[p[u]] += c;
     }
     PartId best = kNoPart;
-    for (PartId q = 0; q < k; ++q) {
-      const bool fits =
-          part_w[static_cast<std::size_t>(q)] + h.vertex_weight(v) <= max_w;
+    for (const PartId q : p.parts()) {
+      const bool fits = part_w[q] + h.vertex_weight(v) <= max_w;
       if (!fits) continue;
-      if (best == kNoPart ||
-          affinity[static_cast<std::size_t>(q)] >
-              affinity[static_cast<std::size_t>(best)] ||
-          (affinity[static_cast<std::size_t>(q)] ==
-               affinity[static_cast<std::size_t>(best)] &&
-           part_w[static_cast<std::size_t>(q)] <
-               part_w[static_cast<std::size_t>(best)]))
+      if (best == kNoPart || affinity[q] > affinity[best] ||
+          (affinity[q] == affinity[best] && part_w[q] < part_w[best]))
         best = q;
     }
     if (best == kNoPart) {
       // Nothing fits: overflow into the lightest part (best effort).
-      best = static_cast<PartId>(
-          std::min_element(part_w.begin(), part_w.end()) - part_w.begin());
+      best = PartId{static_cast<Index>(
+          std::min_element(part_w.begin(), part_w.end()) - part_w.begin())};
     }
     p[v] = best;
-    part_w[static_cast<std::size_t>(best)] += h.vertex_weight(v);
+    part_w[best] += h.vertex_weight(v);
   }
   return p;
 }
@@ -80,10 +74,10 @@ Partition greedy_kway_initial(const Hypergraph& h, const PartitionConfig& cfg,
 }  // namespace
 
 void record_coarsen_level(Index fine_vertices, Index coarse_vertices,
-                          const std::vector<Index>& match) {
+                          IdSpan<VertexId, const VertexId> match) {
   std::uint64_t matched = 0;
-  for (std::size_t v = 0; v < match.size(); ++v)
-    if (match[v] != static_cast<Index>(v)) ++matched;
+  for (const VertexId v : match.ids())
+    if (match[v] != v) ++matched;
   static obs::CachedCounter levels_counter("coarsen.levels");
   static obs::CachedCounter fine_counter("coarsen.fine_vertices");
   static obs::CachedCounter coarse_counter("coarsen.coarse_vertices");
@@ -110,7 +104,7 @@ Partition direct_kway_partition(const Hypergraph& h,
     obs::TraceScope coarsen_scope("coarsen");
     for (Index level = 0; level < cfg.max_levels; ++level) {
       if (current->num_vertices() <= stop_size) break;
-      const std::vector<Index> match =
+      const IdVector<VertexId, VertexId> match =
           ipm_matching(*current, cfg, max_vertex_weight, rng, ws);
       CoarseLevel next = contract(*current, match, ws);
       const double reduction =
@@ -139,8 +133,8 @@ Partition direct_kway_partition(const Hypergraph& h,
           (std::next(it) == levels.rend()) ? h : std::next(it)->coarse;
       check::validate_coarsening(finer, *it, cfg.check_level, &p);
       Partition fine_p(cfg.num_parts, finer.num_vertices());
-      for (Index v = 0; v < finer.num_vertices(); ++v)
-        fine_p[v] = p[it->fine_to_coarse[static_cast<std::size_t>(v)]];
+      for (const VertexId v : finer.vertices())
+        fine_p[v] = p[it->fine_to_coarse[v]];
       p = std::move(fine_p);
       kway_refine(finer, p, cfg, rng, cfg.max_refine_passes, ws);
     }
@@ -167,19 +161,21 @@ void refinement_vcycle(const Hypergraph& h, Partition& p,
 
   struct VLevel {
     CoarseLevel cl;
-    std::vector<PartId> orig_fixed;  // true constraints at this level
+    IdVector<VertexId, PartId> orig_fixed;  // true constraints at this level
   };
   std::vector<VLevel> levels;
 
-  // True fixed labels at the current (finest) level.
-  std::vector<PartId> fixed_now;
+  // True fixed labels at the current (finest) level, keyed by that level's
+  // vertex ids.
+  IdVector<VertexId, PartId> fixed_now;
   if (h.has_fixed())
-    fixed_now.assign(h.fixed_parts().begin(), h.fixed_parts().end());
+    // hgr-lint: raw-ok (bulk copy of the fixed-label array, same id space)
+    fixed_now.raw().assign(h.fixed_parts().begin(), h.fixed_parts().end());
 
   const Hypergraph* current = &work;
   for (Index level = 0; level < cfg.max_levels; ++level) {
     if (current->num_vertices() <= stop_size) break;
-    const std::vector<Index> match =
+    const IdVector<VertexId, VertexId> match =
         ipm_matching(*current, cfg, max_vertex_weight, rng, ws);
     VLevel next;
     next.cl = contract(*current, match, ws);
@@ -190,14 +186,12 @@ void refinement_vcycle(const Hypergraph& h, Partition& p,
     check::validate_coarsening(*current, next.cl, cfg.check_level);
     // Propagate the *true* fixed constraints to the coarse level.
     if (!fixed_now.empty()) {
-      std::vector<PartId> coarse_fixed(
-          static_cast<std::size_t>(next.cl.coarse.num_vertices()), kNoPart);
-      const Index fine_n = static_cast<Index>(next.cl.fine_to_coarse.size());
-      for (Index v = 0; v < fine_n; ++v) {
-        const PartId f = fixed_now[static_cast<std::size_t>(v)];
+      IdVector<VertexId, PartId> coarse_fixed(
+          next.cl.coarse.num_vertices(), kNoPart);
+      for (const VertexId v : next.cl.fine_to_coarse.ids()) {
+        const PartId f = fixed_now[v];
         if (f == kNoPart) continue;
-        auto& cf = coarse_fixed[static_cast<std::size_t>(
-            next.cl.fine_to_coarse[static_cast<std::size_t>(v)])];
+        PartId& cf = coarse_fixed[next.cl.fine_to_coarse[v]];
         HGR_ASSERT(cf == kNoPart || cf == f);
         cf = f;
       }
@@ -217,7 +211,7 @@ void refinement_vcycle(const Hypergraph& h, Partition& p,
   // The coarse partition is encoded in the contraction-propagated
   // "fixed" labels (every vertex was fixed to its part).
   Partition cp(cfg.num_parts, levels.back().cl.coarse.num_vertices());
-  for (Index v = 0; v < levels.back().cl.coarse.num_vertices(); ++v) {
+  for (const VertexId v : levels.back().cl.coarse.vertices()) {
     const PartId f = levels.back().cl.coarse.fixed_part(v);
     HGR_ASSERT(f != kNoPart);
     cp[v] = f;
@@ -226,13 +220,15 @@ void refinement_vcycle(const Hypergraph& h, Partition& p,
   // Refine down the hierarchy with only the true constraints fixed.
   for (std::size_t i = levels.size(); i-- > 0;) {
     Hypergraph& level_h = levels[i].cl.coarse;
-    level_h.set_fixed_parts(levels[i].orig_fixed);
+    level_h.set_fixed_parts(
+        std::vector<PartId>(levels[i].orig_fixed.begin(),
+                            levels[i].orig_fixed.end()));
     kway_refine(level_h, cp, cfg, rng, cfg.max_refine_passes, ws);
     // Project to the next finer level.
     const Hypergraph& finer = (i == 0) ? h : levels[i - 1].cl.coarse;
     Partition fine_p(cfg.num_parts, finer.num_vertices());
-    for (Index v = 0; v < finer.num_vertices(); ++v)
-      fine_p[v] = cp[levels[i].cl.fine_to_coarse[static_cast<std::size_t>(v)]];
+    for (const VertexId v : finer.vertices())
+      fine_p[v] = cp[levels[i].cl.fine_to_coarse[v]];
     cp = std::move(fine_p);
   }
   kway_refine(h, cp, cfg, rng, cfg.max_refine_passes, ws);
@@ -250,9 +246,10 @@ Partition partition_hypergraph(const Hypergraph& h,
   check::validate_hypergraph(h, cfg.check_level, cfg.num_parts);
 
   if (cfg.num_parts == 1 || h.num_vertices() == 0) {
-    Partition p(std::max<PartId>(1, cfg.num_parts), h.num_vertices(), 0);
+    Partition p(std::max<Index>(1, cfg.num_parts), h.num_vertices(),
+                PartId{0});
     if (h.has_fixed()) {
-      for (Index v = 0; v < h.num_vertices(); ++v)
+      for (const VertexId v : h.vertices())
         if (h.fixed_part(v) != kNoPart) p[v] = h.fixed_part(v);
     }
     return p;
@@ -274,7 +271,7 @@ Partition partition_hypergraph(const Hypergraph& h,
 
   // Fixed constraints are hard: verify.
   if (h.has_fixed()) {
-    for (Index v = 0; v < h.num_vertices(); ++v) {
+    for (const VertexId v : h.vertices()) {
       const PartId f = h.fixed_part(v);
       HGR_ASSERT_MSG(f == kNoPart || p[v] == f,
                      "partitioner violated a fixed-vertex constraint");

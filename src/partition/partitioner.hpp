@@ -20,7 +20,7 @@ namespace hgr {
 /// (match fraction). Shared by the serial, bisection, and parallel
 /// coarsening loops.
 void record_coarsen_level(Index fine_vertices, Index coarse_vertices,
-                          const std::vector<Index>& match);
+                          IdSpan<VertexId, const VertexId> match);
 
 /// Compute a k-way partition of h honoring h.fixed_part() constraints and
 /// the Eq. 1 balance tolerance cfg.epsilon (best effort when fixed vertices

@@ -24,88 +24,88 @@ namespace {
 /// with 2-way side labels before each bisection.
 struct SubProblem {
   Hypergraph h;
-  std::vector<Index> to_root;
-  std::vector<PartId> fixed_orig;  // empty if nothing fixed
+  IdVector<VertexId, VertexId> to_root;  // sub id -> root id
+  IdVector<VertexId, PartId> fixed_orig;  // empty if nothing fixed
 };
 
 /// Extract the side-s induced sub-hypergraph: nets restricted to side-s
 /// pins, degenerate (<2 pin) remainders dropped, costs preserved.
 SubProblem extract_side(const Hypergraph& h,
-                        const std::vector<PartId>& side,
-                        const std::vector<Index>& to_root,
-                        const std::vector<PartId>& fixed_orig, PartId s) {
+                        const IdVector<VertexId, PartId>& side,
+                        const IdVector<VertexId, VertexId>& to_root,
+                        const IdVector<VertexId, PartId>& fixed_orig,
+                        PartId s) {
   const Index n = h.num_vertices();
-  std::vector<Index> old_to_new(static_cast<std::size_t>(n), kInvalidIndex);
+  IdVector<VertexId, VertexId> old_to_new(n, kInvalidVertex);
   SubProblem sub;
-  Index count = 0;
-  for (Index v = 0; v < n; ++v) {
-    if (side[static_cast<std::size_t>(v)] == s) {
-      old_to_new[static_cast<std::size_t>(v)] = count++;
-      sub.to_root.push_back(to_root[static_cast<std::size_t>(v)]);
+  VertexId count{0};
+  for (const VertexId v : h.vertices()) {
+    if (side[v] == s) {
+      old_to_new[v] = count++;
+      sub.to_root.push_back(to_root[v]);
     }
   }
 
-  std::vector<Weight> weights(static_cast<std::size_t>(count));
-  std::vector<Weight> sizes(static_cast<std::size_t>(count));
-  for (Index v = 0; v < n; ++v) {
-    const Index nv = old_to_new[static_cast<std::size_t>(v)];
-    if (nv == kInvalidIndex) continue;
-    weights[static_cast<std::size_t>(nv)] = h.vertex_weight(v);
-    sizes[static_cast<std::size_t>(nv)] = h.vertex_size(v);
+  IdVector<VertexId, Weight> weights(count.v);
+  IdVector<VertexId, Weight> sizes(count.v);
+  for (const VertexId v : h.vertices()) {
+    const VertexId nv = old_to_new[v];
+    if (nv == kInvalidVertex) continue;
+    weights[nv] = h.vertex_weight(v);
+    sizes[nv] = h.vertex_size(v);
   }
   if (!fixed_orig.empty()) {
-    sub.fixed_orig.assign(static_cast<std::size_t>(count), kNoPart);
-    for (Index v = 0; v < n; ++v) {
-      const Index nv = old_to_new[static_cast<std::size_t>(v)];
-      if (nv != kInvalidIndex)
-        sub.fixed_orig[static_cast<std::size_t>(nv)] =
-            fixed_orig[static_cast<std::size_t>(v)];
+    sub.fixed_orig.assign(count.v, kNoPart);
+    for (const VertexId v : h.vertices()) {
+      const VertexId nv = old_to_new[v];
+      if (nv != kInvalidVertex) sub.fixed_orig[nv] = fixed_orig[v];
     }
   }
 
   std::vector<Index> counts;
   std::vector<Weight> costs;
-  for (Index net = 0; net < h.num_nets(); ++net) {
+  for (const NetId net : h.nets()) {
     Index kept = 0;
-    for (const Index v : h.pins(net))
-      if (old_to_new[static_cast<std::size_t>(v)] != kInvalidIndex) ++kept;
+    for (const VertexId v : h.pins(net))
+      if (old_to_new[v] != kInvalidVertex) ++kept;
     if (kept >= 2) {
       counts.push_back(kept);
       costs.push_back(h.net_cost(net));
     }
   }
   std::vector<Index> offsets = counts_to_offsets(std::move(counts));
-  std::vector<Index> pins(static_cast<std::size_t>(offsets.back()));
+  std::vector<VertexId> pins(static_cast<std::size_t>(offsets.back()));
   Index cursor = 0;
-  for (Index net = 0; net < h.num_nets(); ++net) {
+  for (const NetId net : h.nets()) {
     Index kept = 0;
-    for (const Index v : h.pins(net))
-      if (old_to_new[static_cast<std::size_t>(v)] != kInvalidIndex) ++kept;
+    for (const VertexId v : h.pins(net))
+      if (old_to_new[v] != kInvalidVertex) ++kept;
     if (kept < 2) continue;
-    for (const Index v : h.pins(net)) {
-      const Index nv = old_to_new[static_cast<std::size_t>(v)];
-      if (nv != kInvalidIndex)
-        pins[static_cast<std::size_t>(cursor++)] = nv;
+    for (const VertexId v : h.pins(net)) {
+      const VertexId nv = old_to_new[v];
+      if (nv != kInvalidVertex) pins[static_cast<std::size_t>(cursor++)] = nv;
     }
   }
   HGR_ASSERT(cursor == offsets.back());
-  sub.h = Hypergraph(std::move(offsets), std::move(pins), std::move(weights),
-                     std::move(sizes), std::move(costs));
+  // hgr-lint: raw-ok (handing storage to the Hypergraph raw constructor)
+  sub.h = Hypergraph(std::move(offsets), std::move(pins),
+                     std::move(weights.raw()), std::move(sizes.raw()),
+                     std::move(costs));
   return sub;
 }
 
-void rb_recurse(SubProblem sp, PartId part_begin, PartId part_count,
+void rb_recurse(SubProblem sp, PartId part_begin, Index part_count,
                 double global_eps, const PartitionConfig& cfg, Rng& rng,
                 Workspace* ws, Partition& out) {
   if (sp.h.num_vertices() == 0) return;
   if (part_count == 1) {
-    for (const Index root_v : sp.to_root) out[root_v] = part_begin;
+    for (const VertexId root_v : sp.to_root) out[root_v] = part_begin;
     return;
   }
 
-  const PartId k0 = (part_count + 1) / 2;
-  const PartId k1 = part_count - k0;
-  const PartId mid = part_begin + k0;
+  const Index k0 = (part_count + 1) / 2;
+  const Index k1 = part_count - k0;
+  const PartId mid{part_begin.v + k0};
 
   // Per-bisection tolerance so that the compounded imbalance over the
   // remaining ceil(log2 k) levels stays within the global epsilon.
@@ -124,20 +124,22 @@ void rb_recurse(SubProblem sp, PartId part_begin, PartId part_count,
   // Map k-way fixed labels to 2-way side labels for this bisection.
   if (!sp.fixed_orig.empty()) {
     std::vector<PartId> fixed2(sp.fixed_orig.size(), kNoPart);
-    for (std::size_t v = 0; v < sp.fixed_orig.size(); ++v) {
+    for (const VertexId v : sp.fixed_orig.ids()) {
       const PartId f = sp.fixed_orig[v];
       if (f == kNoPart) continue;
-      HGR_ASSERT(f >= part_begin && f < part_begin + part_count);
-      fixed2[v] = f < mid ? 0 : 1;
+      HGR_ASSERT(f >= part_begin && f.v < part_begin.v + part_count);
+      fixed2[static_cast<std::size_t>(v.v)] = f < mid ? PartId{0} : PartId{1};
     }
     sp.h.set_fixed_parts(std::move(fixed2));
   }
 
-  const std::vector<PartId> side =
+  const IdVector<VertexId, PartId> side =
       multilevel_bisect(sp.h, targets, cfg, rng, ws);
 
-  SubProblem left = extract_side(sp.h, side, sp.to_root, sp.fixed_orig, 0);
-  SubProblem right = extract_side(sp.h, side, sp.to_root, sp.fixed_orig, 1);
+  SubProblem left =
+      extract_side(sp.h, side, sp.to_root, sp.fixed_orig, PartId{0});
+  SubProblem right =
+      extract_side(sp.h, side, sp.to_root, sp.fixed_orig, PartId{1});
   // Free the parent before recursing to bound peak memory.
   sp = SubProblem{};
   rb_recurse(std::move(left), part_begin, k0, global_eps, cfg, rng, ws, out);
@@ -146,10 +148,10 @@ void rb_recurse(SubProblem sp, PartId part_begin, PartId part_count,
 
 }  // namespace
 
-std::vector<PartId> multilevel_bisect(const Hypergraph& h,
-                                      const BisectionTargets& targets,
-                                      const PartitionConfig& cfg, Rng& rng,
-                                      Workspace* ws) {
+IdVector<VertexId, PartId> multilevel_bisect(const Hypergraph& h,
+                                             const BisectionTargets& targets,
+                                             const PartitionConfig& cfg,
+                                             Rng& rng, Workspace* ws) {
   const Index stop_size = std::max<Index>(cfg.coarsen_to, 20);
 
   // Coarsening: IPM matching + contraction until small or stalled.
@@ -163,7 +165,7 @@ std::vector<PartId> multilevel_bisect(const Hypergraph& h,
     obs::TraceScope coarsen_scope("coarsen");
     for (Index level = 0; level < cfg.max_levels; ++level) {
       if (current->num_vertices() <= stop_size) break;
-      const std::vector<Index> match =
+      const IdVector<VertexId, VertexId> match =
           ipm_matching(*current, cfg, max_vertex_weight, rng, ws);
       CoarseLevel next = contract(*current, match, ws);
       const double reduction =
@@ -180,7 +182,7 @@ std::vector<PartId> multilevel_bisect(const Hypergraph& h,
 
   // Coarsest partitioning: randomized greedy growing, several trials, then
   // FM polish.
-  std::vector<PartId> side;
+  IdVector<VertexId, PartId> side;
   {
     obs::TraceScope initial_scope("initial");
     side = initial_bisection(*current, targets, cfg.num_initial_trials, rng);
@@ -198,12 +200,9 @@ std::vector<PartId> multilevel_bisect(const Hypergraph& h,
         coarse_p.assignment = side;
         check::validate_coarsening(finer, *it, cfg.check_level, &coarse_p);
       }
-      std::vector<PartId> fine_side(
-          static_cast<std::size_t>(finer.num_vertices()));
-      for (Index v = 0; v < finer.num_vertices(); ++v)
-        fine_side[static_cast<std::size_t>(v)] =
-            side[static_cast<std::size_t>(
-                it->fine_to_coarse[static_cast<std::size_t>(v)])];
+      IdVector<VertexId, PartId> fine_side(finer.num_vertices());
+      for (const VertexId v : finer.vertices())
+        fine_side[v] = side[it->fine_to_coarse[v]];
       side = std::move(fine_side);
       fm_refine_bisection(finer, side, targets, cfg, rng, ws);
     }
@@ -222,14 +221,15 @@ Partition recursive_bisection_partition(const Hypergraph& h,
 
   SubProblem root;
   root.h = h;  // working copy: rb_recurse rewrites fixed labels per level
-  root.to_root.resize(static_cast<std::size_t>(h.num_vertices()));
-  for (Index v = 0; v < h.num_vertices(); ++v)
-    root.to_root[static_cast<std::size_t>(v)] = v;
+  root.to_root.resize(h.num_vertices());
+  for (const VertexId v : h.vertices()) root.to_root[v] = v;
   if (h.has_fixed())
-    root.fixed_orig.assign(h.fixed_parts().begin(), h.fixed_parts().end());
+    // hgr-lint: raw-ok (bulk copy of the fixed-label array, same id space)
+    root.fixed_orig.raw().assign(h.fixed_parts().begin(),
+                                 h.fixed_parts().end());
 
-  rb_recurse(std::move(root), 0, cfg.num_parts, cfg.epsilon, cfg, rng, ws,
-             out);
+  rb_recurse(std::move(root), PartId{0}, cfg.num_parts, cfg.epsilon, cfg, rng,
+             ws, out);
   out.validate();
   {
     // Balance is asserted by partition_hypergraph against the global

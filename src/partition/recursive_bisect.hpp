@@ -23,10 +23,11 @@ namespace hgr {
 /// initial bisection, FM refinement on every uncoarsening level. `ws`
 /// (optional) pools kernel scratch across levels and bisections.
 /// Returns the side (0/1) of every vertex.
-std::vector<PartId> multilevel_bisect(const Hypergraph& h,
-                                      const BisectionTargets& targets,
-                                      const PartitionConfig& cfg, Rng& rng,
-                                      Workspace* ws = nullptr);
+IdVector<VertexId, PartId> multilevel_bisect(const Hypergraph& h,
+                                             const BisectionTargets& targets,
+                                             const PartitionConfig& cfg,
+                                             Rng& rng,
+                                             Workspace* ws = nullptr);
 
 /// Full k-way partition of `h` via recursive bisection. Honors
 /// h.fixed_part() as k-way fixed constraints.

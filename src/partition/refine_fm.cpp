@@ -26,7 +26,7 @@ struct StateScore {
 
 class FmPass {
  public:
-  FmPass(const Hypergraph& h, std::vector<PartId>& side,
+  FmPass(const Hypergraph& h, IdVector<VertexId, PartId>& side,
          const BisectionTargets& targets, const PartitionConfig& cfg,
          Workspace* ws)
       : h_(h),
@@ -40,7 +40,7 @@ class FmPass {
         cache_(h, 2, side, ws) {
     locked_->assign(static_cast<std::size_t>(h.num_vertices()), false);
     gain_->assign(static_cast<std::size_t>(h.num_vertices()), 0);
-    for (Index v = 0; v < h_.num_vertices(); ++v)
+    for (const VertexId v : h_.vertices())
       if (movable(v)) slack_ = std::max(slack_, h_.vertex_weight(v));
   }
 
@@ -56,14 +56,14 @@ class FmPass {
     const StateScore start = score();
     build_queues(rng);
 
-    Borrowed<Index> moves(ws_);
+    Borrowed<VertexId> moves(ws_);
     StateScore best = start;
     Index best_prefix = 0;  // number of moves kept
     Index since_best = 0;
 
     while (since_best <= cfg_.fm_move_limit) {
-      const Index v = select_move();
-      if (v == kInvalidIndex) break;
+      const VertexId v = select_move();
+      if (v == kInvalidVertex) break;
       apply_move(v);
       moves->push_back(v);
       const StateScore now = score();
@@ -86,55 +86,53 @@ class FmPass {
   }
 
  private:
-  int side_at(Index v) const {
-    return static_cast<int>(side_[static_cast<std::size_t>(v)]);
-  }
+  int side_at(VertexId v) const { return side_[v].v; }
 
-  Weight side_weight(int s) const {
-    return cache_.part_weight(static_cast<PartId>(s));
-  }
+  Weight side_weight(int s) const { return cache_.part_weight(PartId{s}); }
 
   Weight overweight() const {
     return std::max<Weight>(0, side_weight(0) - targets_.max_weight(0)) +
            std::max<Weight>(0, side_weight(1) - targets_.max_weight(1));
   }
 
-  bool movable(Index v) const { return h_.fixed_part(v) == kNoPart; }
+  bool movable(VertexId v) const { return h_.fixed_part(v) == kNoPart; }
 
   /// FM gain of moving v to the other side under the cut-net metric
   /// (== connectivity-1 for a bisection): the cache's leave gain minus the
   /// newly-cut penalty from its connectivity bits.
-  Weight compute_gain(Index v) const {
-    return cache_.move_gain(v, static_cast<PartId>(1 - side_at(v)));
+  Weight compute_gain(VertexId v) const {
+    return cache_.move_gain(v, PartId{1 - side_at(v)});
   }
 
   void build_queues(Rng& rng) {
     // Max |gain| bound: the heaviest incident-cost sum over all vertices.
     Weight max_abs = 1;
-    for (Index v = 0; v < h_.num_vertices(); ++v) {
+    for (const VertexId v : h_.vertices()) {
       Weight s = 0;
-      for (const Index net : h_.incident_nets(v)) s += h_.net_cost(net);
+      for (const NetId net : h_.incident_nets(v)) s += h_.net_cost(net);
       max_abs = std::max(max_abs, s);
     }
     for (int s = 0; s < 2; ++s)
       queues_[s].emplace(h_.num_vertices(), max_abs, cfg_.gain_queue);
 
     // Random insertion order randomizes tie-breaking between passes.
+    // Queues and scratch tables are keyed by raw vertex id.
     Borrowed<Index> order(ws_);
     random_permutation_into(order.get(), h_.num_vertices(), rng);
-    for (const Index v : order.get()) {
+    for (const Index vi : order.get()) {
+      const VertexId v{vi};
       if (!movable(v)) continue;
-      locked_[static_cast<std::size_t>(v)] = false;
-      gain_[static_cast<std::size_t>(v)] = compute_gain(v);
-      queues_[side_at(v)]->insert(v, gain_[static_cast<std::size_t>(v)]);
+      locked_[static_cast<std::size_t>(v.v)] = false;
+      gain_[static_cast<std::size_t>(v.v)] = compute_gain(v);
+      queues_[side_at(v)]->insert(v.v, gain_[static_cast<std::size_t>(v.v)]);
     }
-    for (Index v = 0; v < h_.num_vertices(); ++v)
-      if (!movable(v)) locked_[static_cast<std::size_t>(v)] = true;
+    for (const VertexId v : h_.vertices())
+      if (!movable(v)) locked_[static_cast<std::size_t>(v.v)] = true;
   }
 
   /// Pick the next vertex to move, honoring the balance constraint.
-  /// Returns kInvalidIndex when no legal move remains.
-  Index select_move() {
+  /// Returns kInvalidVertex when no legal move remains.
+  VertexId select_move() {
     // Rebalance mode: if a side is overweight, only that side may emit.
     int forced = -1;
     if (side_weight(0) > targets_.max_weight(0)) forced = 0;
@@ -142,16 +140,16 @@ class FmPass {
 
     // Examine each queue's top; skip (stash) tops whose move would overload
     // the destination, then reinsert the stash.
-    std::array<Index, 2> cand = {kInvalidIndex, kInvalidIndex};
+    std::array<VertexId, 2> cand = {kInvalidVertex, kInvalidVertex};
     std::array<Weight, 2> cand_gain = {0, 0};
-    std::vector<std::pair<Index, Weight>>& stash = stash_.get();
+    std::vector<std::pair<VertexId, Weight>>& stash = stash_.get();
     stash.clear();
     for (int s = 0; s < 2; ++s) {
       if (forced != -1 && s != forced) continue;
       const int dest = 1 - s;
       int tries = 0;
       while (!queues_[s]->empty() && tries < 16) {
-        const Index v = queues_[s]->top();
+        const VertexId v{queues_[s]->top()};
         const Weight g = queues_[s]->top_gain();
         // One-heaviest-vertex slack lets tight-balance swaps be explored
         // mid-pass; the rollback to the best *feasible* prefix restores
@@ -170,73 +168,73 @@ class FmPass {
         ++tries;
       }
     }
-    for (const auto& [v, g] : stash) queues_[side_at(v)]->insert(v, g);
+    for (const auto& [v, g] : stash) queues_[side_at(v)]->insert(v.v, g);
 
-    if (cand[0] == kInvalidIndex && cand[1] == kInvalidIndex)
-      return kInvalidIndex;
-    if (cand[0] == kInvalidIndex) return cand[1];
-    if (cand[1] == kInvalidIndex) return cand[0];
+    if (cand[0] == kInvalidVertex && cand[1] == kInvalidVertex)
+      return kInvalidVertex;
+    if (cand[0] == kInvalidVertex) return cand[1];
+    if (cand[1] == kInvalidVertex) return cand[0];
     if (cand_gain[0] != cand_gain[1])
       return cand_gain[0] > cand_gain[1] ? cand[0] : cand[1];
     // Equal gains: prefer moving off the heavier side.
     return side_weight(0) >= side_weight(1) ? cand[0] : cand[1];
   }
 
-  void update_neighbor_gain(Index u, Weight delta) {
-    if (locked_[static_cast<std::size_t>(u)]) return;
-    auto& g = gain_[static_cast<std::size_t>(u)];
+  void update_neighbor_gain(VertexId u, Weight delta) {
+    if (locked_[static_cast<std::size_t>(u.v)]) return;
+    auto& g = gain_[static_cast<std::size_t>(u.v)];
     g += delta;
-    queues_[side_at(u)]->adjust(u, g);
+    queues_[side_at(u)]->adjust(u.v, g);
   }
 
   /// Routes the gain cache's four delta-gain events into the FM queues:
   /// the classic update rules, fired by apply_move for nonzero-cost nets.
   struct QueueUpdater {
     FmPass& pass;
-    Index moved;
+    VertexId moved;
 
-    void net_gained_part(Index net, PartId, Weight c) {
-      for (const Index u : pass.h_.pins(net))
+    void net_gained_part(NetId net, PartId, Weight c) {
+      for (const VertexId u : pass.h_.pins(net))
         if (u != moved) pass.update_neighbor_gain(u, +c);
     }
-    void sole_pin_joined(Index, Index u, PartId, Weight c) {
+    void sole_pin_joined(NetId, VertexId u, PartId, Weight c) {
       pass.update_neighbor_gain(u, -c);
     }
-    void net_lost_part(Index net, PartId, Weight c) {
-      for (const Index u : pass.h_.pins(net))
+    void net_lost_part(NetId net, PartId, Weight c) {
+      for (const VertexId u : pass.h_.pins(net))
         if (u != moved) pass.update_neighbor_gain(u, -c);
     }
-    void sole_pin_remains(Index, Index u, PartId, Weight c) {
+    void sole_pin_remains(NetId, VertexId u, PartId, Weight c) {
       pass.update_neighbor_gain(u, +c);
     }
   };
 
-  void apply_move(Index v) {
+  void apply_move(VertexId v) {
     const int from = side_at(v);
     const int to = 1 - from;
-    queues_[from]->remove(v);
-    locked_[static_cast<std::size_t>(v)] = true;
+    queues_[from]->remove(v.v);
+    locked_[static_cast<std::size_t>(v.v)] = true;
     QueueUpdater updater{*this, v};
-    cache_.apply_move(v, static_cast<PartId>(to), updater);
-    side_[static_cast<std::size_t>(v)] = static_cast<PartId>(to);
+    cache_.apply_move(v, PartId{to}, updater);
+    side_[v] = PartId{to};
   }
 
   /// Reverse a move during rollback (queues/gains are dead by then).
-  void undo_move(Index v) {
+  void undo_move(VertexId v) {
     const int to = 1 - side_at(v);  // original side
-    cache_.apply_move(v, static_cast<PartId>(to));
-    side_[static_cast<std::size_t>(v)] = static_cast<PartId>(to);
+    cache_.apply_move(v, PartId{to});
+    side_[v] = PartId{to};
   }
 
   const Hypergraph& h_;
-  std::vector<PartId>& side_;
+  IdVector<VertexId, PartId>& side_;
   const BisectionTargets& targets_;
   const PartitionConfig& cfg_;
   Workspace* ws_;
 
   Borrowed<bool> locked_;
   Borrowed<Weight> gain_;
-  Borrowed<std::pair<Index, Weight>> stash_;  // select_move scratch
+  Borrowed<std::pair<VertexId, Weight>> stash_;  // select_move scratch
   GainCache cache_;
   std::array<std::optional<GainQueue>, 2> queues_;
   Weight slack_ = 0;  // heaviest movable vertex: intra-pass balance slack
@@ -244,17 +242,17 @@ class FmPass {
 
 }  // namespace
 
-FmResult fm_refine_bisection(const Hypergraph& h, std::vector<PartId>& side,
+FmResult fm_refine_bisection(const Hypergraph& h,
+                             IdVector<VertexId, PartId>& side,
                              const BisectionTargets& targets,
                              const PartitionConfig& cfg, Rng& rng,
                              Workspace* ws) {
-  HGR_ASSERT(static_cast<Index>(side.size()) == h.num_vertices());
+  HGR_ASSERT(side.ssize() == h.num_vertices());
 #ifndef NDEBUG
-  for (Index v = 0; v < h.num_vertices(); ++v) {
-    HGR_ASSERT(side[static_cast<std::size_t>(v)] == 0 ||
-               side[static_cast<std::size_t>(v)] == 1);
+  for (const VertexId v : h.vertices()) {
+    HGR_ASSERT(side[v] == PartId{0} || side[v] == PartId{1});
     const PartId f = h.fixed_part(v);
-    HGR_ASSERT_MSG(f == kNoPart || f == side[static_cast<std::size_t>(v)],
+    HGR_ASSERT_MSG(f == kNoPart || f == side[v],
                    "fixed vertex on wrong side entering refinement");
   }
 #endif

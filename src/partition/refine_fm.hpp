@@ -31,7 +31,8 @@ struct FmResult {
 /// Refine `side` (0/1 per vertex) in place. Fixed vertices (h.fixed_part in
 /// {0,1}) never move. Returns pass statistics. `ws` (optional) pools the
 /// lock/gain/pin-count scratch across bisection levels.
-FmResult fm_refine_bisection(const Hypergraph& h, std::vector<PartId>& side,
+FmResult fm_refine_bisection(const Hypergraph& h,
+                             IdVector<VertexId, PartId>& side,
                              const BisectionTargets& targets,
                              const PartitionConfig& cfg, Rng& rng,
                              Workspace* ws = nullptr);

@@ -72,7 +72,7 @@ void ExperimentConfig::apply_cli(int argc, char** argv) {
     } else if (key == "--k") {
       k_values.clear();
       for (const long long k : parse_int_list(value))
-        k_values.push_back(static_cast<PartId>(k));
+        k_values.push_back(static_cast<Index>(k));
     } else if (key == "--alpha") {
       alphas.clear();
       for (const long long a : parse_int_list(value))
@@ -110,7 +110,7 @@ std::vector<CellResult> run_experiment(const ExperimentConfig& cfg,
   std::uint64_t sweep_seed = derive_seed(cfg.seed, fnv1a(cfg.dataset));
   sweep_seed = derive_seed(
       sweep_seed, cfg.perturb == PerturbKind::kStructure ? 1u : 2u);
-  for (const PartId k : cfg.k_values) {
+  for (const Index k : cfg.k_values) {
     for (const Weight alpha : cfg.alphas) {
       const std::uint64_t cell_seed = derive_seed(
           derive_seed(sweep_seed, static_cast<std::uint64_t>(k)),
@@ -186,7 +186,7 @@ void print_cost_figure(const std::string& title, const ExperimentConfig& cfg,
         << c.normalized_total << '\n';
   }
   out << '\n';
-  for (const PartId k : cfg.k_values) {
+  for (const Index k : cfg.k_values) {
     for (const Weight alpha : cfg.alphas) {
       double group_max = 0.0;
       for (const CellResult& c : cells)
@@ -222,7 +222,7 @@ void print_runtime_figure(const std::string& title,
         << c.repart_seconds << '\n';
   }
   out << '\n';
-  for (const PartId k : cfg.k_values) {
+  for (const Index k : cfg.k_values) {
     for (const Weight alpha : cfg.alphas) {
       double group_max = 0.0;
       for (const CellResult& c : cells)

@@ -25,7 +25,7 @@ struct ExperimentConfig {
   std::string dataset = "auto-like";
   double scale = 1.0;
   PerturbKind perturb = PerturbKind::kStructure;
-  std::vector<PartId> k_values = {16, 64};
+  std::vector<Index> k_values = {16, 64};
   std::vector<Weight> alphas = {1, 10, 100, 1000};
   std::vector<RepartAlgorithm> algorithms = {
       RepartAlgorithm::kHypergraphRepart,
@@ -62,7 +62,7 @@ struct ExperimentConfig {
 
 struct CellResult {
   RepartAlgorithm algorithm{};
-  PartId k = 0;
+  Index k = 0;
   Weight alpha = 1;
   double comm_volume = 0.0;        // mean over repartitioning epochs+trials
   double migration_volume = 0.0;

@@ -39,11 +39,12 @@ Graph induced_subgraph(const Graph& g, const std::vector<bool>& keep,
 namespace {
 
 /// Pick ceil(fraction * k) distinct random parts.
-std::vector<PartId> pick_parts(PartId k, double fraction, Rng& rng) {
-  const auto count = std::max<PartId>(
-      1, static_cast<PartId>(std::ceil(fraction * k)));
-  std::vector<PartId> all(static_cast<std::size_t>(k));
-  for (PartId q = 0; q < k; ++q) all[static_cast<std::size_t>(q)] = q;
+std::vector<PartId> pick_parts(Index k, double fraction, Rng& rng) {
+  const Index count = std::max<Index>(
+      1, static_cast<Index>(std::ceil(fraction * k)));
+  std::vector<PartId> all;
+  all.reserve(static_cast<std::size_t>(k));
+  for (const PartId q : part_range(k)) all.push_back(q);
   rng.shuffle(all);
   all.resize(static_cast<std::size_t>(std::min(count, k)));
   return all;
@@ -85,13 +86,13 @@ EpochProblem StructuralPerturbScenario::next_epoch() {
   const std::vector<PartId> affected =
       pick_parts(k_, options_.parts_fraction, rng_);
   std::vector<bool> is_affected(static_cast<std::size_t>(k_), false);
-  for (const PartId q : affected) is_affected[static_cast<std::size_t>(q)] =
-      true;
+  for (const PartId q : affected)
+    is_affected[static_cast<std::size_t>(q.v)] = true;
 
   std::vector<Index> pool;
   for (Index v = 0; v < base_.num_vertices(); ++v) {
     const PartId q = last_part_[static_cast<std::size_t>(v)];
-    if (q != kNoPart && is_affected[static_cast<std::size_t>(q)])
+    if (q != kNoPart && is_affected[static_cast<std::size_t>(q.v)])
       pool.push_back(v);
   }
   rng_.shuffle(pool);
@@ -111,7 +112,7 @@ EpochProblem StructuralPerturbScenario::next_epoch() {
     const PartId q = last_part_[static_cast<std::size_t>(
         problem.to_base[static_cast<std::size_t>(nv)])];
     HGR_ASSERT(q != kNoPart);
-    problem.old_partition[nv] = q;
+    problem.old_partition[VertexId{nv}] = q;
   }
   return problem;
 }
@@ -122,7 +123,7 @@ void StructuralPerturbScenario::record_partition(const Partition& p) {
   k_ = p.k;
   for (Index nv = 0; nv < p.num_vertices(); ++nv)
     last_part_[static_cast<std::size_t>(
-        current_to_base_[static_cast<std::size_t>(nv)])] = p[nv];
+        current_to_base_[static_cast<std::size_t>(nv)])] = p[VertexId{nv}];
 }
 
 WeightPerturbScenario::WeightPerturbScenario(Graph base,
@@ -160,14 +161,14 @@ EpochProblem WeightPerturbScenario::next_epoch() {
   const std::vector<PartId> refined =
       pick_parts(k_, options_.parts_fraction, rng_);
   std::vector<bool> is_refined(static_cast<std::size_t>(k_), false);
-  for (const PartId q : refined) is_refined[static_cast<std::size_t>(q)] =
-      true;
+  for (const PartId q : refined)
+    is_refined[static_cast<std::size_t>(q.v)] = true;
 
   for (Index v = 0; v < base_.num_vertices(); ++v) {
     const PartId q = last_part_[static_cast<std::size_t>(v)];
     Weight w = original_weights_[static_cast<std::size_t>(v)];
     Weight s = original_sizes_[static_cast<std::size_t>(v)];
-    if (q != kNoPart && is_refined[static_cast<std::size_t>(q)]) {
+    if (q != kNoPart && is_refined[static_cast<std::size_t>(q.v)]) {
       const double factor =
           options_.min_factor +
           rng_.uniform() * (options_.max_factor - options_.min_factor);
@@ -181,7 +182,7 @@ EpochProblem WeightPerturbScenario::next_epoch() {
   problem.graph = base_;
   problem.old_partition = Partition(k_, base_.num_vertices());
   for (Index v = 0; v < base_.num_vertices(); ++v)
-    problem.old_partition[v] = last_part_[static_cast<std::size_t>(v)];
+    problem.old_partition[VertexId{v}] = last_part_[static_cast<std::size_t>(v)];
   return problem;
 }
 
@@ -189,7 +190,7 @@ void WeightPerturbScenario::record_partition(const Partition& p) {
   HGR_ASSERT(p.num_vertices() == base_.num_vertices());
   k_ = p.k;
   for (Index v = 0; v < p.num_vertices(); ++v)
-    last_part_[static_cast<std::size_t>(v)] = p[v];
+    last_part_[static_cast<std::size_t>(v)] = p[VertexId{v}];
 }
 
 }  // namespace hgr

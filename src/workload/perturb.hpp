@@ -49,7 +49,7 @@ class StructuralPerturbScenario final : public EpochScenario {
   std::vector<bool> active_;          // base ids present in current epoch
   std::vector<Index> current_to_base_;  // epoch id -> base id
   std::vector<PartId> last_part_;     // base ids; part before any deletion
-  PartId k_ = 0;
+  Index k_ = 0;
 };
 
 struct WeightPerturbOptions {
@@ -79,7 +79,7 @@ class WeightPerturbScenario final : public EpochScenario {
   Rng rng_;
   Index epoch_ = 0;
   std::vector<PartId> last_part_;
-  PartId k_ = 0;
+  Index k_ = 0;
 };
 
 /// Induced subgraph on the vertices with keep[v] == true; fills to_base

@@ -40,13 +40,13 @@ TEST(ValidateHypergraph, WellFormedPassesParanoid) {
 TEST(ValidateHypergraph, OffLevelNeverFires) {
   // Even with a malformed fixed array the off level must not look at it.
   Hypergraph h = testing::make_hypergraph(3, {{0, 1}, {1, 2}});
-  h.set_fixed_parts({5, kNoPart, kNoPart});
+  h.set_fixed_parts({PartId{5}, kNoPart, kNoPart});
   check::validate_hypergraph(h, CheckLevel::kOff, 2);
 }
 
 TEST(ValidateHypergraph, CatchesFixedLabelOutOfRange) {
   Hypergraph h = testing::make_hypergraph(3, {{0, 1}, {1, 2}});
-  h.set_fixed_parts({5, kNoPart, kNoPart});
+  h.set_fixed_parts({PartId{5}, kNoPart, kNoPart});
   const std::string what = failure_message(
       [&] { check::validate_hypergraph(h, CheckLevel::kCheap, 2); });
   EXPECT_NE(what.find("fixed to part 5"), std::string::npos) << what;
@@ -54,8 +54,8 @@ TEST(ValidateHypergraph, CatchesFixedLabelOutOfRange) {
 
 TEST(ValidatePartition, CheapCatchesFixedVertexViolation) {
   Hypergraph h = testing::make_hypergraph(4, {{0, 1, 2}, {2, 3}});
-  h.set_fixed_parts({1, kNoPart, kNoPart, kNoPart});
-  Partition p(2, 4, 0);  // vertex 0 belongs on part 1 but sits on 0
+  h.set_fixed_parts({PartId{1}, kNoPart, kNoPart, kNoPart});
+  Partition p(2, 4, PartId{0});  // vertex 0 belongs on part 1 but sits on 0
   PartitionExpectations expect;
   expect.context = "test";
   const std::string what = failure_message(
@@ -68,7 +68,7 @@ TEST(ValidatePartition, CheapCatchesBalanceViolation) {
   // Four unit vertices, k=2, eps=0: the bound is 2, but everything is
   // crammed onto part 0.
   const Hypergraph h = testing::make_hypergraph(4, {{0, 1}, {2, 3}});
-  Partition p(2, 4, 0);
+  Partition p(2, 4, PartId{0});
   PartitionExpectations expect;
   expect.epsilon = 0.0;
   const std::string what = failure_message(
@@ -79,8 +79,8 @@ TEST(ValidatePartition, CheapCatchesBalanceViolation) {
 TEST(ValidatePartition, BalancedPartitionPasses) {
   ScopedAssertHandler guard;
   const Hypergraph h = testing::make_hypergraph(4, {{0, 1}, {2, 3}});
-  Partition p(2, 4, 0);
-  p[2] = p[3] = 1;
+  Partition p(2, 4, PartId{0});
+  p[VertexId{2}] = p[VertexId{3}] = PartId{1};
   PartitionExpectations expect;
   expect.epsilon = 0.0;
   check::validate_partition(h, p, CheckLevel::kParanoid, expect);
@@ -95,8 +95,8 @@ TEST(ValidatePartition, UnattainableBalanceIsExempt) {
   b.add_net({2, 3}, 1);
   b.set_vertex_weight(0, 100);
   const Hypergraph h = b.finalize();
-  Partition p(2, 4, 0);
-  p[2] = p[3] = 1;
+  Partition p(2, 4, PartId{0});
+  p[VertexId{2}] = p[VertexId{3}] = PartId{1};
   PartitionExpectations expect;
   expect.epsilon = 0.0;
   check::validate_partition(h, p, CheckLevel::kCheap, expect);
@@ -104,8 +104,8 @@ TEST(ValidatePartition, UnattainableBalanceIsExempt) {
 
 TEST(ValidatePartition, CheapCatchesOutOfRangePart) {
   const Hypergraph h = testing::make_hypergraph(3, {{0, 1, 2}});
-  Partition p(2, 3, 0);
-  p[1] = 7;
+  Partition p(2, 3, PartId{0});
+  p[VertexId{1}] = PartId{7};
   const std::string what = failure_message(
       [&] { check::validate_partition(h, p, CheckLevel::kCheap); });
   EXPECT_NE(what.find("part 7"), std::string::npos) << what;
@@ -149,13 +149,13 @@ TEST(ValidatePartition, ConsistentExpectationsPassParanoid) {
 
 /// Matching that pairs (0,1), (2,3), ... and self-matches a trailing odd
 /// vertex — the simplest valid input for contract().
-std::vector<Index> pairing_match(Index n) {
-  std::vector<Index> match(static_cast<std::size_t>(n));
+IdVector<VertexId, VertexId> pairing_match(Index n) {
+  IdVector<VertexId, VertexId> match(n);
   for (Index v = 0; v + 1 < n; v += 2) {
-    match[static_cast<std::size_t>(v)] = v + 1;
-    match[static_cast<std::size_t>(v + 1)] = v;
+    match[VertexId{v}] = VertexId{v + 1};
+    match[VertexId{v + 1}] = VertexId{v};
   }
-  if (n % 2 == 1) match[static_cast<std::size_t>(n - 1)] = n - 1;
+  if (n % 2 == 1) match[VertexId{n - 1}] = VertexId{n - 1};
   return match;
 }
 
@@ -176,7 +176,7 @@ TEST(ValidateCoarsening, CatchesBrokenSurjectivity) {
   ASSERT_EQ(lvl.coarse.num_vertices(), 2);
   // Redirect every fine vertex onto coarse vertex 0: coarse vertex 1 loses
   // its preimage.
-  lvl.fine_to_coarse = {0, 0, 0, 0};
+  lvl.fine_to_coarse.assign(4, VertexId{0});
   const std::string what = failure_message(
       [&] { check::validate_coarsening(h, lvl, CheckLevel::kCheap); });
   EXPECT_NE(what.find("no fine preimage"), std::string::npos) << what;
@@ -199,7 +199,7 @@ TEST(ValidateCoarsening, CatchesWeightLoss) {
 
 TEST(ValidateCoarsening, CatchesFixedLabelLoss) {
   Hypergraph h = testing::make_hypergraph(4, {{0, 1}, {2, 3}});
-  h.set_fixed_parts({2, kNoPart, kNoPart, kNoPart});
+  h.set_fixed_parts({PartId{2}, kNoPart, kNoPart, kNoPart});
   CoarseLevel lvl = contract(h, pairing_match(4));
   // Erase the coarse fixed labels wholesale: fine vertex 0's label now has
   // no coarse image.
@@ -216,10 +216,10 @@ TEST(ValidateCoarsening, ParanoidCatchesProjectionCutMismatch) {
       testing::make_hypergraph(6, {{0, 1}, {2, 3}, {4, 5}, {1, 2}, {3, 4}});
   CoarseLevel lvl = contract(h, pairing_match(6));
   ASSERT_EQ(lvl.coarse.num_vertices(), 3);
-  Partition cp(2, 3, 0);
-  cp[2] = 1;
+  Partition cp(2, 3, PartId{0});
+  cp[VertexId{2}] = PartId{1};
   // Swap vertex 0 and vertex 5's images: still surjective, cut now wrong.
-  std::swap(lvl.fine_to_coarse[0], lvl.fine_to_coarse[5]);
+  std::swap(lvl.fine_to_coarse[VertexId{0}], lvl.fine_to_coarse[VertexId{5}]);
   const std::string what = failure_message([&] {
     check::validate_coarsening(h, lvl, CheckLevel::kParanoid, &cp);
   });
@@ -244,14 +244,14 @@ TEST(ValidatePipeline, FixedVerticesRunCleanAtParanoid) {
   Hypergraph h = testing::random_hypergraph(120, 180, 5, 3, 59);
   std::vector<PartId> fixed(120, kNoPart);
   for (Index v = 0; v < 120; v += 10)
-    fixed[static_cast<std::size_t>(v)] = static_cast<PartId>((v / 10) % 3);
+    fixed[static_cast<std::size_t>(v)] = PartId{(v / 10) % 3};
   h.set_fixed_parts(std::move(fixed));
   PartitionConfig cfg;
   cfg.num_parts = 3;
   cfg.check_level = CheckLevel::kParanoid;
   const Partition p = partition_hypergraph(h, cfg);
   for (Index v = 0; v < 120; v += 10)
-    EXPECT_EQ(p[v], static_cast<PartId>((v / 10) % 3));
+    EXPECT_EQ(p[VertexId{v}], PartId{(v / 10) % 3});
 }
 
 }  // namespace

@@ -22,8 +22,8 @@ TEST(CallbackApi, BuildsHypergraphFromMinimalQueries) {
   const Hypergraph h = build_from_queries(chain_queries(10));
   EXPECT_EQ(h.num_vertices(), 10);
   EXPECT_EQ(h.num_nets(), 9);
-  EXPECT_EQ(h.net_cost(0), 1);
-  EXPECT_EQ(h.vertex_weight(3), 1);
+  EXPECT_EQ(h.net_cost(NetId{0}), 1);
+  EXPECT_EQ(h.vertex_weight(VertexId{3}), 1);
   h.validate();
 }
 
@@ -34,11 +34,11 @@ TEST(CallbackApi, OptionalQueriesApplied) {
   q.object_size = [](Index) { return Weight{7}; };
   q.fixed_part = [](Index v) { return v == 0 ? PartId{1} : kNoPart; };
   const Hypergraph h = build_from_queries(q);
-  EXPECT_EQ(h.net_cost(3), 5);
-  EXPECT_EQ(h.vertex_weight(4), 5);
-  EXPECT_EQ(h.vertex_size(2), 7);
-  EXPECT_EQ(h.fixed_part(0), 1);
-  EXPECT_EQ(h.fixed_part(1), kNoPart);
+  EXPECT_EQ(h.net_cost(NetId{3}), 5);
+  EXPECT_EQ(h.vertex_weight(VertexId{4}), 5);
+  EXPECT_EQ(h.vertex_size(VertexId{2}), 7);
+  EXPECT_EQ(h.fixed_part(VertexId{0}), PartId{1});
+  EXPECT_EQ(h.fixed_part(VertexId{1}), kNoPart);
 }
 
 TEST(CallbackApi, PartitionObjectsEndToEnd) {

@@ -16,7 +16,7 @@
 namespace hgr {
 namespace {
 
-RepartitionerConfig small_cfg(PartId k, Weight alpha) {
+RepartitionerConfig small_cfg(Index k, Weight alpha) {
   RepartitionerConfig cfg;
   cfg.alpha = alpha;
   cfg.partition.num_parts = k;
@@ -102,7 +102,7 @@ TEST(EpochSeries, PathologicalMagnitudesDoNotTruncate) {
   s.epochs.push_back(r);
   EpochSeries series;
   series.append("pathological-dataset", "perturb", "alg",
-                std::numeric_limits<PartId>::min(),
+                std::numeric_limits<Index>::min(),
                 std::numeric_limits<Weight>::min(),
                 std::numeric_limits<Index>::min(), s);
   const std::string csv = series.to_csv();

@@ -20,7 +20,7 @@ namespace {
 
 using testing::random_hypergraph;
 
-RepartitionerConfig inc_cfg(PartId k, IncrementalMode mode) {
+RepartitionerConfig inc_cfg(Index k, IncrementalMode mode) {
   RepartitionerConfig cfg;
   cfg.partition.num_parts = k;
   cfg.partition.epsilon = 0.5;
@@ -46,10 +46,9 @@ Hypergraph random_unit_hypergraph(Index n, Index nets, std::uint64_t seed) {
 }
 
 /// Balanced round-robin start (epsilon 0.5 gives it plenty of headroom).
-Partition round_robin(const Hypergraph& h, PartId k) {
+Partition round_robin(const Hypergraph& h, Index k) {
   Partition p(k, h.num_vertices());
-  for (Index v = 0; v < h.num_vertices(); ++v)
-    p[v] = static_cast<PartId>(v % k);
+  for (Index v = 0; v < h.num_vertices(); ++v) p[VertexId{v}] = PartId{v % k};
   return p;
 }
 
@@ -75,7 +74,7 @@ TEST(EpochDeltaTracker, FirstEpochIsUnknownThenDiffsWeightAndPresence) {
   const EpochDelta second = tracker.observe(b2.finalize(), identity);
   EXPECT_TRUE(second.known);
   ASSERT_EQ(second.changed.size(), 1u);
-  EXPECT_EQ(second.changed[0], 2);
+  EXPECT_EQ(second.changed[0], VertexId{2});
   EXPECT_EQ(second.removed, 0);
   EXPECT_EQ(second.prev_vertices, 4);
   EXPECT_DOUBLE_EQ(second.fraction(4), 0.25);
@@ -89,7 +88,7 @@ TEST(EpochDeltaTracker, FirstEpochIsUnknownThenDiffsWeightAndPresence) {
   const EpochDelta third = tracker.observe(b3.finalize(), {0, 1, 2, 7});
   EXPECT_TRUE(third.known);
   ASSERT_EQ(third.changed.size(), 1u);
-  EXPECT_EQ(third.changed[0], 3);  // compact id of new base vertex 7
+  EXPECT_EQ(third.changed[0], VertexId{3});  // compact id of new base vertex 7
   EXPECT_EQ(third.removed, 1);     // base vertex 3 vanished
   EXPECT_DOUBLE_EQ(third.fraction(4), 0.5);
 }
@@ -99,7 +98,7 @@ TEST(IncrementalRepart, RoutingRejectsOffNoBaselineAndLargeDeltas) {
   const Partition p = round_robin(h, 4);
   EpochDelta small;
   small.known = true;
-  small.changed = {0};
+  small.changed = {VertexId{0}};
 
   IncrementalRepartitioner inc;
   inc.note_full(connectivity_cut(h, p));
@@ -133,7 +132,7 @@ TEST(IncrementalRepart, SmallDeltaAcceptedWithCutIdenticalToScratch) {
 
   EpochDelta delta;
   delta.known = true;
-  delta.changed = {3, 17};  // 1% of the vertices
+  delta.changed = {VertexId{3}, VertexId{17}};  // 1% of the vertices
   delta.prev_vertices = 200;
 
   IncrementalRepartitioner inc;
@@ -175,10 +174,10 @@ TEST(IncrementalRepart, UnfixableImbalanceEscalates) {
   b.set_vertex_weight(0, 10);
   b.set_vertex_weight(1, 1);
   b.set_vertex_weight(2, 1);
-  b.set_fixed_part(0, 0);
+  b.set_fixed_part(0, PartId{0});
   const Hypergraph h = b.finalize();
   Partition p(2, 3);
-  p[0] = 0; p[1] = 0; p[2] = 1;
+  p[VertexId{0}] = PartId{0}; p[VertexId{1}] = PartId{0}; p[VertexId{2}] = PartId{1};
 
   RepartitionerConfig cfg = inc_cfg(2, IncrementalMode::kOn);
   cfg.partition.epsilon = 0.05;  // max part weight 6 << the fixed 10
@@ -188,7 +187,7 @@ TEST(IncrementalRepart, UnfixableImbalanceEscalates) {
   EXPECT_TRUE(out.attempted);
   EXPECT_FALSE(out.accepted);
   EXPECT_EQ(out.reason, "imbalance");
-  EXPECT_EQ(out.partition[0], 0);  // fixed vertex untouched
+  EXPECT_EQ(out.partition[VertexId{0}], PartId{0});  // fixed vertex untouched
 }
 
 TEST(TieredRepartition, AcceptedFastPathIsRecordedAsIncrementalTier) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "metrics/migration.hpp"
 #include "test_util.hpp"
 
@@ -13,7 +15,7 @@ using testing::random_partition;
 TEST(MigrationPlan, EmptyWhenNothingMoves) {
   const std::vector<Weight> sizes{1, 2, 3};
   const Partition p = random_partition(3, 2, 1);
-  const MigrationPlan plan = extract_migration_plan(sizes, p, p);
+  const MigrationPlan plan = extract_migration_plan(std::span<const Weight>(sizes), p, p);
   EXPECT_TRUE(plan.moves.empty());
   EXPECT_EQ(plan.total_volume, 0);
   EXPECT_EQ(plan.max_part_traffic(), 0);
@@ -22,17 +24,17 @@ TEST(MigrationPlan, EmptyWhenNothingMoves) {
 TEST(MigrationPlan, RecordsMoves) {
   const std::vector<Weight> sizes{5, 7};
   Partition a(2, 2), b(2, 2);
-  a[0] = 0; a[1] = 1;
-  b[0] = 1; b[1] = 1;
-  const MigrationPlan plan = extract_migration_plan(sizes, a, b);
+  a[VertexId{0}] = PartId{0}; a[VertexId{1}] = PartId{1};
+  b[VertexId{0}] = b[VertexId{1}] = PartId{1};
+  const MigrationPlan plan = extract_migration_plan(std::span<const Weight>(sizes), a, b);
   ASSERT_EQ(plan.moves.size(), 1u);
-  EXPECT_EQ(plan.moves[0].vertex, 0);
-  EXPECT_EQ(plan.moves[0].from, 0);
-  EXPECT_EQ(plan.moves[0].to, 1);
+  EXPECT_EQ(plan.moves[0].vertex, VertexId{0});
+  EXPECT_EQ(plan.moves[0].from, PartId{0});
+  EXPECT_EQ(plan.moves[0].to, PartId{1});
   EXPECT_EQ(plan.moves[0].size, 5);
   EXPECT_EQ(plan.total_volume, 5);
-  EXPECT_EQ(plan.volume_between(0, 1), 5);
-  EXPECT_EQ(plan.volume_between(1, 0), 0);
+  EXPECT_EQ(plan.volume_between(PartId{0}, PartId{1}), 5);
+  EXPECT_EQ(plan.volume_between(PartId{1}, PartId{0}), 0);
 }
 
 TEST(MigrationPlan, VolumeMatrixConsistentWithMetric) {
@@ -41,20 +43,21 @@ TEST(MigrationPlan, VolumeMatrixConsistentWithMetric) {
   for (auto& s : sizes) s = 1 + static_cast<Weight>(rng.below(4));
   const Partition a = random_partition(50, 4, 4);
   const Partition b = random_partition(50, 4, 5);
-  const MigrationPlan plan = extract_migration_plan(sizes, a, b);
+  const MigrationPlan plan = extract_migration_plan(std::span<const Weight>(sizes), a, b);
   EXPECT_EQ(plan.total_volume, migration_volume(sizes, a, b));
   Weight matrix_total = 0;
-  for (PartId i = 0; i < 4; ++i)
-    for (PartId j = 0; j < 4; ++j) matrix_total += plan.volume_between(i, j);
+  for (const PartId i : part_range(4))
+    for (const PartId j : part_range(4))
+      matrix_total += plan.volume_between(i, j);
   EXPECT_EQ(matrix_total, plan.total_volume);
 }
 
 TEST(MigrationPlan, MaxPartTraffic) {
   const std::vector<Weight> sizes{10, 1};
   Partition a(3, 2), b(3, 2);
-  a[0] = 0; a[1] = 1;
-  b[0] = 2; b[1] = 2;
-  const MigrationPlan plan = extract_migration_plan(sizes, a, b);
+  a[VertexId{0}] = PartId{0}; a[VertexId{1}] = PartId{1};
+  b[VertexId{0}] = b[VertexId{1}] = PartId{2};
+  const MigrationPlan plan = extract_migration_plan(std::span<const Weight>(sizes), a, b);
   // Part 2 receives 11; parts 0/1 send 10/1.
   EXPECT_EQ(plan.max_part_traffic(), 11);
   EXPECT_NE(plan.summary().find("volume=11"), std::string::npos);

@@ -40,9 +40,10 @@ Hypergraph epoch_j_hypergraph() {
 
 Partition old_distribution() {
   Partition p(3, 9);
-  p[F::v1] = 0; p[F::v2] = 0; p[F::v3] = 0; p[F::va] = 0;
-  p[F::v4] = 1; p[F::v5] = 1; p[F::v6] = 1;
-  p[F::v7] = 2; p[F::vb] = 2;
+  p[VertexId{F::v1}] = p[VertexId{F::v2}] = p[VertexId{F::v3}] = PartId{0};
+  p[VertexId{F::va}] = PartId{0};
+  p[VertexId{F::v4}] = p[VertexId{F::v5}] = p[VertexId{F::v6}] = PartId{1};
+  p[VertexId{F::v7}] = p[VertexId{F::vb}] = PartId{2};
   return p;
 }
 
@@ -54,20 +55,20 @@ TEST(PaperExample, ModelStructureMatchesSection3) {
   EXPECT_EQ(model.augmented.num_vertices(), 9 + 3);
   EXPECT_EQ(model.augmented.num_nets(), 6 + 9);
   // Partition vertices are weightless and fixed to their parts.
-  for (PartId i = 0; i < 3; ++i) {
-    const Index u = model.partition_vertex(i);
+  for (const PartId i : part_range(3)) {
+    const VertexId u = model.partition_vertex(i);
     EXPECT_EQ(model.augmented.vertex_weight(u), 0);
     EXPECT_EQ(model.augmented.fixed_part(u), i);
   }
   // Communication nets were scaled by alpha ("the cost of each
   // communication net is five").
   for (Index net = 0; net < 6; ++net)
-    EXPECT_EQ(model.augmented.net_cost(net), 5);
+    EXPECT_EQ(model.augmented.net_cost(NetId{net}), 5);
   // Migration nets cost the vertex size ("the cost of each migration net,
   // is three") and join the vertex to its old part's partition vertex.
   for (Index net = 6; net < model.augmented.num_nets(); ++net) {
-    EXPECT_EQ(model.augmented.net_cost(net), 3);
-    EXPECT_EQ(model.augmented.net_size(net), 2);
+    EXPECT_EQ(model.augmented.net_cost(NetId{net}), 3);
+    EXPECT_EQ(model.augmented.net_size(NetId{net}), 2);
   }
   model.augmented.validate(3);
 }
@@ -79,10 +80,10 @@ TEST(PaperExample, TotalCostIs26) {
 
   // The example's outcome: vertex 3 -> V2, vertex 6 -> V3.
   Partition aug(3, model.augmented.num_vertices());
-  for (Index v = 0; v < 9; ++v) aug[v] = old_p[v];
-  aug[F::v3] = 1;
-  aug[F::v6] = 2;
-  for (PartId i = 0; i < 3; ++i) aug[model.partition_vertex(i)] = i;
+  for (const VertexId v : old_p.vertices()) aug[v] = old_p[v];
+  aug[VertexId{F::v3}] = PartId{1};
+  aug[VertexId{F::v6}] = PartId{2};
+  for (const PartId i : part_range(3)) aug[model.partition_vertex(i)] = i;
 
   // "Total migration cost is then 2 x 3 x (2-1) = 6."
   // "They represent a total communication volume of
@@ -109,7 +110,7 @@ TEST(PaperExample, EpochJm1CommunicationVolumeIs3) {
   b.add_net({1, 4});
   const Hypergraph h = b.finalize();
   Partition p(3, 9);
-  for (Index v = 0; v < 9; ++v) p[v] = v / 3;
+  for (Index v = 0; v < 9; ++v) p[VertexId{v}] = PartId{v / 3};
   EXPECT_EQ(connectivity_cut(h, p), 3);
 }
 

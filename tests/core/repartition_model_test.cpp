@@ -28,8 +28,8 @@ TEST(RepartitionModel, MigrationNetsWireToOldParts) {
   const Hypergraph h = random_hypergraph(20, 30, 4, 2, 3);
   const Partition old_p = random_partition(20, 3, 4);
   const RepartitionModel model = build_repartition_model(h, old_p, 2);
-  for (Index v = 0; v < 20; ++v) {
-    const Index net = model.num_comm_nets + v;
+  for (const VertexId v : old_p.vertices()) {
+    const NetId net{model.num_comm_nets + v.v};
     const auto pins = model.augmented.pins(net);
     ASSERT_EQ(pins.size(), 2u);
     EXPECT_EQ(pins[0], v);
@@ -43,10 +43,10 @@ TEST(RepartitionModel, AlphaScalesOnlyCommNets) {
   b.add_net({0, 1}, 4);
   b.set_all_vertex_sizes(9);
   const Hypergraph h = b.finalize();
-  const Partition old_p(2, 3, 0);
+  const Partition old_p(2, 3, PartId{0});
   const RepartitionModel model = build_repartition_model(h, old_p, 100);
-  EXPECT_EQ(model.augmented.net_cost(0), 400);
-  EXPECT_EQ(model.augmented.net_cost(1), 9);
+  EXPECT_EQ(model.augmented.net_cost(NetId{0}), 400);
+  EXPECT_EQ(model.augmented.net_cost(NetId{1}), 9);
 }
 
 // The central identity (paper Section 3): for ANY valid assignment of the
@@ -61,8 +61,8 @@ TEST(RepartitionModel, CutIdentityOnRandomInstances) {
 
     Partition aug(4, model.augmented.num_vertices());
     const Partition next = random_partition(40, 4, seed + 20);
-    for (Index v = 0; v < 40; ++v) aug[v] = next[v];
-    for (PartId i = 0; i < 4; ++i) aug[model.partition_vertex(i)] = i;
+    for (const VertexId v : next.vertices()) aug[v] = next[v];
+    for (const PartId i : part_range(4)) aug[model.partition_vertex(i)] = i;
 
     const Weight aug_cut = connectivity_cut(model.augmented, aug);
     const Weight comm = connectivity_cut(h, next);
@@ -81,11 +81,11 @@ TEST(RepartitionModel, DecodeStripsPartitionVertices) {
   const Partition old_p = random_partition(25, 3, 6);
   const RepartitionModel model = build_repartition_model(h, old_p, 3);
   Partition aug(3, model.augmented.num_vertices());
-  for (Index v = 0; v < 25; ++v) aug[v] = old_p[v];
-  for (PartId i = 0; i < 3; ++i) aug[model.partition_vertex(i)] = i;
+  for (const VertexId v : old_p.vertices()) aug[v] = old_p[v];
+  for (const PartId i : part_range(3)) aug[model.partition_vertex(i)] = i;
   const Partition real = decode_augmented_partition(model, aug);
   EXPECT_EQ(real.num_vertices(), 25);
-  for (Index v = 0; v < 25; ++v) EXPECT_EQ(real[v], old_p[v]);
+  for (const VertexId v : real.vertices()) EXPECT_EQ(real[v], old_p[v]);
 }
 
 TEST(RepartitionModel, StayingPutCostsOnlyComm) {
@@ -93,8 +93,8 @@ TEST(RepartitionModel, StayingPutCostsOnlyComm) {
   const Partition old_p = random_partition(30, 4, 8);
   const RepartitionModel model = build_repartition_model(h, old_p, 10);
   Partition aug(4, model.augmented.num_vertices());
-  for (Index v = 0; v < 30; ++v) aug[v] = old_p[v];
-  for (PartId i = 0; i < 4; ++i) aug[model.partition_vertex(i)] = i;
+  for (const VertexId v : old_p.vertices()) aug[v] = old_p[v];
+  for (const PartId i : part_range(4)) aug[model.partition_vertex(i)] = i;
   const RepartitionCost cost = split_augmented_cut(model, aug, old_p);
   EXPECT_EQ(cost.migration_volume, 0);
   EXPECT_EQ(cost.comm_volume, connectivity_cut(h, old_p));
@@ -104,8 +104,8 @@ TEST(RepartitionModelDeathTest, DecodeRejectsEscapedPartitionVertex) {
   const Hypergraph h = random_hypergraph(10, 15, 3, 2, 9);
   const Partition old_p = random_partition(10, 2, 10);
   const RepartitionModel model = build_repartition_model(h, old_p, 2);
-  Partition aug(2, model.augmented.num_vertices(), 0);
-  aug[model.partition_vertex(1)] = 0;  // violates the fixed constraint
+  Partition aug(2, model.augmented.num_vertices(), PartId{0});
+  aug[model.partition_vertex(PartId{1})] = PartId{0};  // violates the fixed constraint
   EXPECT_DEATH(decode_augmented_partition(model, aug),
                "partition vertex escaped");
 }

@@ -22,7 +22,7 @@ struct RepartProblem {
   RepartitionerConfig cfg;
 };
 
-RepartProblem make_setup(PartId k, Weight alpha, std::uint64_t seed) {
+RepartProblem make_setup(Index k, Weight alpha, std::uint64_t seed) {
   RepartProblem s{random_graph(150, 350, seed), {}, {}, {}};
   s.h = graph_to_hypergraph(s.g);
   s.cfg.alpha = alpha;

@@ -111,7 +111,7 @@ TEST(Chaos, DelayFaultsPreserveCollectiveResults) {
   // compare the checksums word for word.
   const Hypergraph h = graph_to_hypergraph(make_grid3d(4, 4, 3, false));
   Partition p(2, h.num_vertices());
-  for (Index v = 0; v < h.num_vertices(); ++v) p[v] = v % 2;
+  for (Index v = 0; v < h.num_vertices(); ++v) p[VertexId{v}] = PartId{v % 2};
   std::vector<std::int64_t> values(static_cast<std::size_t>(h.num_vertices()));
   for (Index v = 0; v < h.num_vertices(); ++v)
     values[static_cast<std::size_t>(v)] = 3 * v + 1;
@@ -157,7 +157,7 @@ TEST(Chaos, CommStaysReusableAfterInjectedFaults) {
 
 // --- graceful degradation (run_repartition_with_policy / run_epochs) ---
 
-RepartitionerConfig chaos_cfg(PartId k, const std::string& fault_spec) {
+RepartitionerConfig chaos_cfg(Index k, const std::string& fault_spec) {
   RepartitionerConfig cfg;
   cfg.alpha = 10;
   cfg.partition.num_parts = k;
@@ -230,7 +230,8 @@ TEST(Chaos, RetrySucceedsAfterTransientFault) {
 TEST(Chaos, ScratchFallbackProducesFreshPartition) {
   const Hypergraph h = graph_to_hypergraph(make_grid3d(6, 6, 6, false));
   Partition old_p(4, h.num_vertices());
-  for (Index v = 0; v < h.num_vertices(); ++v) old_p[v] = v % 4;
+  for (Index v = 0; v < h.num_vertices(); ++v)
+    old_p[VertexId{v}] = PartId{v % 4};
   RepartitionerConfig cfg = chaos_cfg(4, "throw@any:count=0");
   cfg.fallback = EpochFallback::kScratch;
   const GuardedRepartitionResult guarded = run_repartition_with_policy(
@@ -251,7 +252,8 @@ TEST(Chaos, OverBudgetAttemptDegrades) {
   // is as bad as a hang.
   const Hypergraph h = graph_to_hypergraph(make_grid3d(5, 5, 5, false));
   Partition old_p(4, h.num_vertices());
-  for (Index v = 0; v < h.num_vertices(); ++v) old_p[v] = v % 4;
+  for (Index v = 0; v < h.num_vertices(); ++v)
+    old_p[VertexId{v}] = PartId{v % 4};
   RepartitionerConfig cfg;
   cfg.alpha = 10;
   cfg.partition.num_parts = 4;
@@ -265,7 +267,7 @@ TEST(Chaos, OverBudgetAttemptDegrades) {
       << guarded.error;
   // Kept-old fallback.
   EXPECT_EQ(guarded.result.cost.migration_volume, 0);
-  for (Index v = 0; v < h.num_vertices(); ++v)
+  for (const VertexId v : old_p.vertices())
     EXPECT_EQ(guarded.result.partition[v], old_p[v]);
 }
 

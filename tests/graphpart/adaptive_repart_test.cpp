@@ -14,7 +14,7 @@ namespace {
 
 using testing::random_graph;
 
-AdaptiveRepartConfig make_cfg(PartId k, Weight alpha,
+AdaptiveRepartConfig make_cfg(Index k, Weight alpha,
                               std::uint64_t seed = 1) {
   AdaptiveRepartConfig cfg;
   cfg.base.num_parts = k;
@@ -43,7 +43,8 @@ TEST(AdaptiveRepart, RepairsImbalance) {
   const Partition old_p = partition_graph(g, scfg);
   // Inflate the weights of part 0 fourfold: now unbalanced.
   for (Index v = 0; v < g.num_vertices(); ++v)
-    if (old_p[v] == 0) g.set_vertex_weight(v, g.vertex_weight(v) * 4);
+    if (old_p[VertexId{v}] == PartId{0})
+      g.set_vertex_weight(v, g.vertex_weight(v) * 4);
   ASSERT_GT(imbalance(g.vertex_weights(), old_p), 0.2);
   const Partition new_p = adaptive_repartition(g, old_p, make_cfg(4, 10));
   EXPECT_LE(imbalance(g.vertex_weights(), new_p), 0.25);
@@ -83,7 +84,7 @@ TEST(AdaptiveRepart, PreservesK) {
 
 TEST(AdaptiveRepart, SinglePartNoop) {
   const Graph g = random_graph(30, 60, 13);
-  const Partition old_p(1, 30, 0);
+  const Partition old_p(1, 30, PartId{0});
   const Partition new_p = adaptive_repartition(g, old_p, make_cfg(1, 10));
   EXPECT_EQ(new_p.assignment, old_p.assignment);
 }

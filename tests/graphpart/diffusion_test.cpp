@@ -30,7 +30,8 @@ TEST(Diffusion, RepairsOverload) {
   scfg.num_parts = 4;
   const Partition old_p = partition_graph(g, scfg);
   for (Index v = 0; v < g.num_vertices(); ++v)
-    if (old_p[v] == 0) g.set_vertex_weight(v, g.vertex_weight(v) * 5);
+    if (old_p[VertexId{v}] == PartId{0})
+      g.set_vertex_weight(v, g.vertex_weight(v) * 5);
   ASSERT_GT(imbalance(g.vertex_weights(), old_p), 0.3);
   DiffusionConfig cfg;
   cfg.epsilon = 0.15;
@@ -58,7 +59,7 @@ TEST(Diffusion, MigratesLessThanScratch) {
 
 TEST(Diffusion, SinglePartNoop) {
   const Graph g = random_graph(30, 60, 7);
-  const Partition old_p(1, 30, 0);
+  const Partition old_p(1, 30, PartId{0});
   DiffusionConfig cfg;
   const Partition p = diffusive_repartition(g, old_p, cfg);
   EXPECT_EQ(p.assignment, old_p.assignment);

@@ -47,7 +47,7 @@ TEST(HeavyEdgeMatching, WeightCapBlocksHeavyMerges) {
 
 TEST(HeavyEdgeMatching, RestrictLabelsKeepsMatchesWithin) {
   const Graph g = make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
-  const std::vector<PartId> labels{0, 1, 1, 0};
+  const std::vector<PartId> labels{PartId{0}, PartId{1}, PartId{1}, PartId{0}};
   Rng rng(4);
   const auto match =
       heavy_edge_matching(g, 0, rng, std::span<const PartId>(labels));
@@ -98,8 +98,9 @@ TEST(ContractGraph, EdgeCutPreservedUnderProjection) {
   const Partition coarse_p =
       testing::random_partition(level.coarse.num_vertices(), 3, 9);
   Partition fine_p(3, g.num_vertices());
-  for (Index v = 0; v < g.num_vertices(); ++v)
-    fine_p[v] = coarse_p[level.fine_to_coarse[static_cast<std::size_t>(v)]];
+  for (const VertexId v : fine_p.vertices())
+    fine_p[v] =
+        coarse_p[VertexId{level.fine_to_coarse[static_cast<std::size_t>(v.v)]}];
   EXPECT_EQ(edge_cut(level.coarse, coarse_p), edge_cut(g, fine_p));
 }
 

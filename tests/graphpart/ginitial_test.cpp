@@ -28,7 +28,7 @@ TEST(GreedyGraphGrowing, RoughBalance) {
   Rng rng(4);
   const Partition p = greedy_graph_growing(g, cfg, rng);
   EXPECT_LE(imbalance(g.vertex_weights(), p), 0.6);
-  const std::vector<Weight> pw = part_weights(g.vertex_weights(), p);
+  const IdVector<PartId, Weight> pw = part_weights(g.vertex_weights(), p);
   for (const Weight w : pw) EXPECT_GT(w, 0);
 }
 
@@ -70,7 +70,7 @@ TEST(InitialGraphPartition, SinglePart) {
   cfg.num_parts = 1;
   Rng rng(12);
   const Partition p = initial_graph_partition(g, cfg, rng);
-  for (Index v = 0; v < 20; ++v) EXPECT_EQ(p[v], 0);
+  for (const VertexId v : p.vertices()) EXPECT_EQ(p[v], PartId{0});
 }
 
 }  // namespace

@@ -13,7 +13,7 @@ namespace {
 using testing::random_graph;
 
 class GraphPartitionerSweep
-    : public ::testing::TestWithParam<std::tuple<PartId, std::uint64_t>> {};
+    : public ::testing::TestWithParam<std::tuple<Index, std::uint64_t>> {};
 
 TEST_P(GraphPartitionerSweep, ValidBalancedDeterministic) {
   const auto [k, seed] = GetParam();
@@ -31,7 +31,7 @@ TEST_P(GraphPartitionerSweep, ValidBalancedDeterministic) {
 
 INSTANTIATE_TEST_SUITE_P(
     KsAndSeeds, GraphPartitionerSweep,
-    ::testing::Combine(::testing::Values<PartId>(2, 4, 8),
+    ::testing::Combine(::testing::Values<Index>(2, 4, 8),
                        ::testing::Values<std::uint64_t>(1, 2)));
 
 TEST(GraphPartitioner, CutBeatsRandom) {
@@ -58,7 +58,7 @@ TEST(GraphPartitioner, SinglePart) {
   PartitionConfig cfg;
   cfg.num_parts = 1;
   const Partition p = partition_graph(g, cfg);
-  for (Index v = 0; v < 30; ++v) EXPECT_EQ(p[v], 0);
+  for (const VertexId v : p.vertices()) EXPECT_EQ(p[v], PartId{0});
 }
 
 TEST(GraphPartitioner, EmptyGraph) {

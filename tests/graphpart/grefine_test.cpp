@@ -28,7 +28,7 @@ TEST(GraphRefine, NeverWorsensEdgeCut) {
 
 TEST(GraphRefine, RebalancesOverloadedPart) {
   const Graph g = random_graph(60, 120, 9);
-  Partition p(3, 60, 0);  // everything on part 0
+  Partition p(3, 60, PartId{0});  // everything on part 0
   GRefineOptions opt;
   opt.epsilon = 0.2;
   opt.max_passes = 6;
@@ -43,18 +43,18 @@ TEST(GraphRefine, CompositeGainRespectsMigration) {
   // partition is supplied.
   const Graph g = make_graph(3, {{0, 1}, {1, 2}});
   Partition old_p(2, 3);
-  old_p[0] = 0;
-  old_p[1] = 1;  // home of vertex 1 is part 1
-  old_p[2] = 1;
+  old_p[VertexId{0}] = PartId{0};
+  old_p[VertexId{1}] = PartId{1};  // home of vertex 1 is part 1
+  old_p[VertexId{2}] = PartId{1};
   Partition p = old_p;
-  p[1] = 0;  // vertex 1 displaced
+  p[VertexId{1}] = PartId{0};  // vertex 1 displaced
   GRefineOptions opt;
   opt.alpha = 1;
   opt.epsilon = 1.0;  // balance never binds here
   opt.old_partition = &old_p;
   Rng rng(2);
   graph_kway_refine(g, p, opt, rng);
-  EXPECT_EQ(p[1], 1);
+  EXPECT_EQ(p[VertexId{1}], PartId{1});
   EXPECT_EQ(migration_volume(g.vertex_sizes(), old_p, p), 0);
 }
 
@@ -67,16 +67,16 @@ TEST(GraphRefine, LargeAlphaPrioritizesEdgeCut) {
   b.add_edge(2, 3, 1);
   const Graph g = b.finalize();
   Partition old_p(2, 4);
-  old_p[0] = 0; old_p[1] = 1; old_p[2] = 0; old_p[3] = 1;
+  old_p[VertexId{0}] = PartId{0}; old_p[VertexId{1}] = PartId{1}; old_p[VertexId{2}] = PartId{0}; old_p[VertexId{3}] = PartId{1};
   Partition p(2, 4);
-  p[0] = 0; p[1] = 0; p[2] = 0; p[3] = 1;  // 1 moved next to its neighbors
+  p[VertexId{0}] = PartId{0}; p[VertexId{1}] = PartId{0}; p[VertexId{2}] = PartId{0}; p[VertexId{3}] = PartId{1};  // 1 moved next to its neighbors
   GRefineOptions opt;
   opt.alpha = 1000;
   opt.epsilon = 1.0;
   opt.old_partition = &old_p;
   Rng rng(3);
   graph_kway_refine(g, p, opt, rng);
-  EXPECT_EQ(p[1], 0);  // kept with neighbors despite migration pull
+  EXPECT_EQ(p[VertexId{1}], PartId{0});  // kept with neighbors despite migration pull
 }
 
 TEST(GraphRefine, SmallAlphaPrioritizesMigration) {
@@ -88,21 +88,21 @@ TEST(GraphRefine, SmallAlphaPrioritizesMigration) {
   b.set_vertex_size(1, 100);
   const Graph g = b.finalize();
   Partition old_p(2, 4);
-  old_p[0] = 0; old_p[1] = 1; old_p[2] = 0; old_p[3] = 1;
+  old_p[VertexId{0}] = PartId{0}; old_p[VertexId{1}] = PartId{1}; old_p[VertexId{2}] = PartId{0}; old_p[VertexId{3}] = PartId{1};
   Partition p(2, 4);
-  p[0] = 0; p[1] = 0; p[2] = 0; p[3] = 1;
+  p[VertexId{0}] = PartId{0}; p[VertexId{1}] = PartId{0}; p[VertexId{2}] = PartId{0}; p[VertexId{3}] = PartId{1};
   GRefineOptions opt;
   opt.alpha = 1;
   opt.epsilon = 1.0;
   opt.old_partition = &old_p;
   Rng rng(4);
   graph_kway_refine(g, p, opt, rng);
-  EXPECT_EQ(p[1], 1);  // migration gain 100 beats edge loss
+  EXPECT_EQ(p[VertexId{1}], PartId{1});  // migration gain 100 beats edge loss
 }
 
 TEST(GraphRefine, SinglePartReturnsImmediately) {
   const Graph g = random_graph(20, 30, 13);
-  Partition p(1, 20, 0);
+  Partition p(1, 20, PartId{0});
   GRefineOptions opt;
   Rng rng(5);
   const GRefineResult r = graph_kway_refine(g, p, opt, rng);

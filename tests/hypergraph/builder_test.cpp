@@ -10,7 +10,7 @@ TEST(HypergraphBuilder, DeduplicatesPinsWithinNet) {
   b.add_net({0, 1, 1, 0, 2});
   const Hypergraph h = b.finalize();
   EXPECT_EQ(h.num_nets(), 1);
-  EXPECT_EQ(h.net_size(0), 3);
+  EXPECT_EQ(h.net_size(NetId{0}), 3);
 }
 
 TEST(HypergraphBuilder, DropsSinglePinNetsByDefault) {
@@ -20,7 +20,7 @@ TEST(HypergraphBuilder, DropsSinglePinNetsByDefault) {
   b.add_net({1, 2});
   const Hypergraph h = b.finalize();
   EXPECT_EQ(h.num_nets(), 1);
-  EXPECT_EQ(h.net_size(0), 2);
+  EXPECT_EQ(h.net_size(NetId{0}), 2);
 }
 
 TEST(HypergraphBuilder, KeepSinglePinNetsOption) {
@@ -37,8 +37,8 @@ TEST(HypergraphBuilder, NetCostsPreserved) {
   b.add_net({0, 1}, 5);
   b.add_net({1, 2}, 9);
   const Hypergraph h = b.finalize();
-  EXPECT_EQ(h.net_cost(0), 5);
-  EXPECT_EQ(h.net_cost(1), 9);
+  EXPECT_EQ(h.net_cost(NetId{0}), 5);
+  EXPECT_EQ(h.net_cost(NetId{1}), 9);
 }
 
 TEST(HypergraphBuilder, BulkWeightSetters) {
@@ -48,8 +48,8 @@ TEST(HypergraphBuilder, BulkWeightSetters) {
   b.set_all_vertex_sizes(2);
   const Hypergraph h = b.finalize();
   for (Index v = 0; v < 4; ++v) {
-    EXPECT_EQ(h.vertex_weight(v), 3);
-    EXPECT_EQ(h.vertex_size(v), 2);
+    EXPECT_EQ(h.vertex_weight(VertexId{v}), 3);
+    EXPECT_EQ(h.vertex_size(VertexId{v}), 2);
   }
 }
 
@@ -62,11 +62,11 @@ TEST(HypergraphBuilder, FixedVerticesOnlyWhenSet) {
   {
     HypergraphBuilder b(2);
     b.add_net({0, 1});
-    b.set_fixed_part(0, 1);
+    b.set_fixed_part(0, PartId{1});
     const Hypergraph h = b.finalize();
     EXPECT_TRUE(h.has_fixed());
-    EXPECT_EQ(h.fixed_part(0), 1);
-    EXPECT_EQ(h.fixed_part(1), kNoPart);
+    EXPECT_EQ(h.fixed_part(VertexId{0}), PartId{1});
+    EXPECT_EQ(h.fixed_part(VertexId{1}), kNoPart);
   }
 }
 

@@ -17,7 +17,7 @@ TEST(Convert, GraphToHypergraphStructure) {
   const Hypergraph h = graph_to_hypergraph(g);
   EXPECT_EQ(h.num_vertices(), 4);
   EXPECT_EQ(h.num_nets(), 3);
-  for (Index net = 0; net < h.num_nets(); ++net) EXPECT_EQ(h.net_size(net), 2);
+  for (const NetId net : h.nets()) EXPECT_EQ(h.net_size(net), 2);
 }
 
 TEST(Convert, GraphToHypergraphPreservesAttributes) {
@@ -27,9 +27,9 @@ TEST(Convert, GraphToHypergraphPreservesAttributes) {
   b.set_vertex_size(2, 4);
   const Graph g = b.finalize();
   const Hypergraph h = graph_to_hypergraph(g);
-  EXPECT_EQ(h.net_cost(0), 7);
-  EXPECT_EQ(h.vertex_weight(2), 9);
-  EXPECT_EQ(h.vertex_size(2), 4);
+  EXPECT_EQ(h.net_cost(NetId{0}), 7);
+  EXPECT_EQ(h.vertex_weight(VertexId{2}), 9);
+  EXPECT_EQ(h.vertex_size(VertexId{2}), 4);
 }
 
 TEST(Convert, EdgeCutEqualsConnectivityCutOn2PinNets) {
@@ -48,7 +48,7 @@ TEST(Convert, ColumnNetModel) {
   const Hypergraph h = graph_to_column_net_hypergraph(g);
   // One net per vertex: {v} + neighbors.
   EXPECT_EQ(h.num_nets(), 3);
-  EXPECT_EQ(h.net_size(1), 3);  // vertex 1 with neighbors 0 and 2
+  EXPECT_EQ(h.net_size(NetId{1}), 3);  // vertex 1 with neighbors 0 and 2
 }
 
 TEST(Convert, CliqueExpansionRoundTrip) {

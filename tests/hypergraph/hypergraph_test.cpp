@@ -23,19 +23,19 @@ TEST(Hypergraph, BasicStructure) {
   EXPECT_EQ(h.num_vertices(), 5);
   EXPECT_EQ(h.num_nets(), 3);
   EXPECT_EQ(h.num_pins(), 8);
-  EXPECT_EQ(h.net_size(0), 3);
-  EXPECT_EQ(h.net_size(1), 2);
+  EXPECT_EQ(h.net_size(NetId{0}), 3);
+  EXPECT_EQ(h.net_size(NetId{1}), 2);
   h.validate();
 }
 
 TEST(Hypergraph, TransposeConsistency) {
   const Hypergraph h = make_hypergraph(4, {{0, 1}, {1, 2}, {1, 3}, {0, 3}});
-  EXPECT_EQ(h.vertex_degree(1), 3);
-  EXPECT_EQ(h.vertex_degree(2), 1);
+  EXPECT_EQ(h.vertex_degree(VertexId{1}), 3);
+  EXPECT_EQ(h.vertex_degree(VertexId{2}), 1);
   // Vertex 1 is in nets 0, 1, 2.
-  const auto nets = h.incident_nets(1);
-  EXPECT_EQ(std::vector<Index>(nets.begin(), nets.end()),
-            (std::vector<Index>{0, 1, 2}));
+  const auto nets = h.incident_nets(VertexId{1});
+  EXPECT_EQ(std::vector<NetId>(nets.begin(), nets.end()),
+            (std::vector<NetId>{NetId{0}, NetId{1}, NetId{2}}));
 }
 
 TEST(Hypergraph, WeightsAndSizes) {
@@ -45,19 +45,19 @@ TEST(Hypergraph, WeightsAndSizes) {
   b.set_vertex_size(0, 7);
   b.set_vertex_weight(2, 5);
   const Hypergraph h = b.finalize();
-  EXPECT_EQ(h.vertex_weight(0), 10);
-  EXPECT_EQ(h.vertex_size(0), 7);
-  EXPECT_EQ(h.vertex_weight(1), 1);
+  EXPECT_EQ(h.vertex_weight(VertexId{0}), 10);
+  EXPECT_EQ(h.vertex_size(VertexId{0}), 7);
+  EXPECT_EQ(h.vertex_weight(VertexId{1}), 1);
   EXPECT_EQ(h.total_vertex_weight(), 16);
 }
 
 TEST(Hypergraph, SetVertexWeightUpdatesTotal) {
   Hypergraph h = make_hypergraph(3, {{0, 1, 2}});
   EXPECT_EQ(h.total_vertex_weight(), 3);
-  h.set_vertex_weight(1, 100);
+  h.set_vertex_weight(VertexId{1}, 100);
   EXPECT_EQ(h.total_vertex_weight(), 102);
-  h.set_vertex_size(1, 9);
-  EXPECT_EQ(h.vertex_size(1), 9);
+  h.set_vertex_size(VertexId{1}, 9);
+  EXPECT_EQ(h.vertex_size(VertexId{1}), 9);
 }
 
 TEST(Hypergraph, ScaleNetCosts) {
@@ -66,32 +66,32 @@ TEST(Hypergraph, ScaleNetCosts) {
   b.add_net({1, 2}, 5);
   Hypergraph h = b.finalize();
   h.scale_net_costs(10);
-  EXPECT_EQ(h.net_cost(0), 20);
-  EXPECT_EQ(h.net_cost(1), 50);
+  EXPECT_EQ(h.net_cost(NetId{0}), 20);
+  EXPECT_EQ(h.net_cost(NetId{1}), 50);
 }
 
 TEST(Hypergraph, FixedPartsDefaultFree) {
   const Hypergraph h = make_hypergraph(3, {{0, 1, 2}});
   EXPECT_FALSE(h.has_fixed());
-  EXPECT_EQ(h.fixed_part(0), kNoPart);
+  EXPECT_EQ(h.fixed_part(VertexId{0}), kNoPart);
 }
 
 TEST(Hypergraph, FixedPartsViaBuilder) {
   HypergraphBuilder b(3);
   b.add_net({0, 1, 2});
-  b.set_fixed_part(1, 2);
+  b.set_fixed_part(1, PartId{2});
   const Hypergraph h = b.finalize();
   EXPECT_TRUE(h.has_fixed());
-  EXPECT_EQ(h.fixed_part(0), kNoPart);
-  EXPECT_EQ(h.fixed_part(1), 2);
+  EXPECT_EQ(h.fixed_part(VertexId{0}), kNoPart);
+  EXPECT_EQ(h.fixed_part(VertexId{1}), PartId{2});
   h.validate(3);
 }
 
 TEST(Hypergraph, SetFixedPartsAndClear) {
   Hypergraph h = make_hypergraph(2, {{0, 1}});
-  h.set_fixed_parts({0, kNoPart});
+  h.set_fixed_parts({PartId{0}, kNoPart});
   EXPECT_TRUE(h.has_fixed());
-  EXPECT_EQ(h.fixed_part(0), 0);
+  EXPECT_EQ(h.fixed_part(VertexId{0}), PartId{0});
   h.set_fixed_parts({});
   EXPECT_FALSE(h.has_fixed());
 }
@@ -105,7 +105,7 @@ TEST(Hypergraph, SummaryMentionsCounts) {
 
 TEST(HypergraphDeathTest, ValidateCatchesBadFixed) {
   Hypergraph h = make_hypergraph(2, {{0, 1}});
-  h.set_fixed_parts({5, kNoPart});
+  h.set_fixed_parts({PartId{5}, kNoPart});
   EXPECT_DEATH(h.validate(2), "fixed part out of range");
 }
 

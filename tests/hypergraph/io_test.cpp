@@ -23,10 +23,10 @@ TEST(Io, HypergraphRoundTrip) {
 
   EXPECT_EQ(back.num_vertices(), h.num_vertices());
   EXPECT_EQ(back.num_nets(), h.num_nets());
-  EXPECT_EQ(back.net_cost(0), 3);
-  EXPECT_EQ(back.net_cost(1), 7);
-  EXPECT_EQ(back.vertex_weight(0), 5);
-  EXPECT_EQ(back.vertex_size(0), 2);
+  EXPECT_EQ(back.net_cost(NetId{0}), 3);
+  EXPECT_EQ(back.net_cost(NetId{1}), 7);
+  EXPECT_EQ(back.vertex_weight(VertexId{0}), 5);
+  EXPECT_EQ(back.vertex_size(VertexId{0}), 2);
   back.validate();
 }
 
@@ -35,15 +35,15 @@ TEST(Io, ReadsPlainHmetisNoWeights) {
   const Hypergraph h = read_hmetis(ss);
   EXPECT_EQ(h.num_nets(), 2);
   EXPECT_EQ(h.num_vertices(), 3);
-  EXPECT_EQ(h.net_cost(0), 1);
+  EXPECT_EQ(h.net_cost(NetId{0}), 1);
   // Pins are 1-based in the file.
-  EXPECT_EQ(h.pins(0)[0], 0);
+  EXPECT_EQ(h.pins(NetId{0})[0], VertexId{0});
 }
 
 TEST(Io, ReadsNetCostsFormat1) {
   std::stringstream ss("1 2 1\n9 1 2\n");
   const Hypergraph h = read_hmetis(ss);
-  EXPECT_EQ(h.net_cost(0), 9);
+  EXPECT_EQ(h.net_cost(NetId{0}), 9);
 }
 
 TEST(Io, RejectsOutOfRangePin) {

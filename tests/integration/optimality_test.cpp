@@ -28,8 +28,8 @@ Weight optimal_bisection_cut(const Hypergraph& h, double eps) {
   for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
     Weight w0 = 0;
     for (Index v = 0; v < n; ++v) {
-      p[v] = static_cast<PartId>((mask >> v) & 1u);
-      if (p[v] == 0) w0 += h.vertex_weight(v);
+      p[VertexId{v}] = PartId{static_cast<Index>((mask >> v) & 1u)};
+      if (p[VertexId{v}] == PartId{0}) w0 += h.vertex_weight(VertexId{v});
     }
     if (w0 > max_w || total - w0 > max_w) continue;
     best = std::min(best, connectivity_cut(h, p));
@@ -42,7 +42,7 @@ TEST(Optimality, BisectionNearOptimalOnTinyInstances) {
   for (const std::uint64_t seed : {1, 2, 3, 4, 5}) {
     Hypergraph h = random_hypergraph(12, 24, 4, 3, seed);
     // Unit weights keep the enumeration's balance envelope simple.
-    for (Index v = 0; v < 12; ++v) h.set_vertex_weight(v, 1);
+    for (Index v = 0; v < 12; ++v) h.set_vertex_weight(VertexId{v}, 1);
     const Weight optimal = optimal_bisection_cut(h, 0.2);
     PartitionConfig cfg;
     cfg.num_parts = 2;
@@ -62,7 +62,7 @@ TEST(Optimality, RepartitionModelOptimumNeverBelowDirectTradeoff) {
   // best alpha*comm+mig over all real assignments: the model loses
   // nothing.
   Hypergraph h = random_hypergraph(8, 14, 3, 2, 7);
-  for (Index v = 0; v < 8; ++v) h.set_vertex_weight(v, 1);
+  for (Index v = 0; v < 8; ++v) h.set_vertex_weight(VertexId{v}, 1);
   const Partition old_p = testing::random_partition(8, 2, 9);
   const Weight alpha = 3;
   const RepartitionModel model = build_repartition_model(h, old_p, alpha);
@@ -71,11 +71,11 @@ TEST(Optimality, RepartitionModelOptimumNeverBelowDirectTradeoff) {
   Weight best_model = std::numeric_limits<Weight>::max();
   Partition real(2, 8);
   Partition aug(2, model.augmented.num_vertices());
-  for (PartId i = 0; i < 2; ++i) aug[model.partition_vertex(i)] = i;
+  for (const PartId i : part_range(2)) aug[model.partition_vertex(i)] = i;
   for (std::uint32_t mask = 0; mask < (1u << 8); ++mask) {
     for (Index v = 0; v < 8; ++v) {
-      real[v] = static_cast<PartId>((mask >> v) & 1u);
-      aug[v] = real[v];
+      real[VertexId{v}] = PartId{static_cast<Index>((mask >> v) & 1u)};
+      aug[VertexId{v}] = real[VertexId{v}];
     }
     const Weight direct =
         alpha * connectivity_cut(h, real) +
@@ -92,7 +92,7 @@ TEST(Optimality, HugeSizesFreezeTheDistribution) {
   // When every vertex's data is enormous and alpha=1, the optimal move is
   // no move; the solver must find (essentially) that.
   Hypergraph h = random_hypergraph(60, 120, 4, 2, 11);
-  for (Index v = 0; v < 60; ++v) h.set_vertex_size(v, 100000);
+  for (Index v = 0; v < 60; ++v) h.set_vertex_size(VertexId{v}, 100000);
   PartitionConfig scfg;
   scfg.num_parts = 4;
   scfg.epsilon = 0.2;

@@ -11,7 +11,7 @@
 namespace hgr {
 namespace {
 
-RepartitionerConfig cfg_for(PartId k, Weight alpha) {
+RepartitionerConfig cfg_for(Index k, Weight alpha) {
   RepartitionerConfig cfg;
   cfg.alpha = alpha;
   cfg.partition.num_parts = k;

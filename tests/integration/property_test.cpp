@@ -18,7 +18,7 @@ using testing::random_hypergraph;
 using testing::random_partition;
 
 class ModelIdentitySweep
-    : public ::testing::TestWithParam<std::tuple<PartId, Weight, std::uint64_t>> {
+    : public ::testing::TestWithParam<std::tuple<Index, Weight, std::uint64_t>> {
 };
 
 // For every instance: solving the augmented model yields a partition whose
@@ -48,7 +48,7 @@ TEST_P(ModelIdentitySweep, SolvedModelBeatsOrMatchesStayingPut) {
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, ModelIdentitySweep,
-    ::testing::Combine(::testing::Values<PartId>(2, 4, 8),
+    ::testing::Combine(::testing::Values<Index>(2, 4, 8),
                        ::testing::Values<Weight>(1, 100),
                        ::testing::Values<std::uint64_t>(1, 2)));
 
@@ -64,10 +64,10 @@ TEST(Properties, CostBoundsHold) {
     cfg.partition.epsilon = 0.3;
     const RepartitionResult r = hypergraph_repartition(h, old_p, cfg);
     Weight total_size = 0;
-    for (Index v = 0; v < 70; ++v) total_size += h.vertex_size(v);
+    for (const VertexId v : vertex_range(70)) total_size += h.vertex_size(v);
     EXPECT_LE(r.cost.migration_volume, total_size);
     Weight cost_mass = 0;
-    for (Index n = 0; n < h.num_nets(); ++n)
+    for (const NetId n : h.nets())
       cost_mass += h.net_cost(n) * (h.net_size(n) - 1);
     EXPECT_LE(r.cost.comm_volume, cost_mass);
   }

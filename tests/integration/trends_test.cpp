@@ -18,7 +18,7 @@ struct MeanCosts {
   double total(double alpha) const { return comm + mig / alpha; }
 };
 
-MeanCosts mean_costs(RepartAlgorithm alg, Weight alpha, PartId k,
+MeanCosts mean_costs(RepartAlgorithm alg, Weight alpha, Index k,
                      int trials, bool weight_perturb = false) {
   MeanCosts m;
   for (int t = 0; t < trials; ++t) {

@@ -10,17 +10,17 @@ namespace {
 TEST(Balance, PartWeights) {
   const std::vector<Weight> w{1, 2, 3, 4};
   Partition p(2, 4);
-  p[0] = p[3] = 0;
-  p[1] = p[2] = 1;
+  p[VertexId{0}] = p[VertexId{3}] = PartId{0};
+  p[VertexId{1}] = p[VertexId{2}] = PartId{1};
   const auto pw = part_weights(w, p);
-  EXPECT_EQ(pw, (std::vector<Weight>{5, 5}));
+  EXPECT_EQ(pw.raw(), (std::vector<Weight>{5, 5}));
 }
 
 TEST(Balance, PerfectBalanceIsZero) {
   const std::vector<Weight> w{2, 2, 2, 2};
   Partition p(2, 4);
-  p[0] = p[1] = 0;
-  p[2] = p[3] = 1;
+  p[VertexId{0}] = p[VertexId{1}] = PartId{0};
+  p[VertexId{2}] = p[VertexId{3}] = PartId{1};
   EXPECT_DOUBLE_EQ(imbalance(w, p), 0.0);
   EXPECT_TRUE(is_balanced(w, p, 0.0));
 }
@@ -28,8 +28,8 @@ TEST(Balance, PerfectBalanceIsZero) {
 TEST(Balance, ImbalanceValue) {
   const std::vector<Weight> w{3, 1};
   Partition p(2, 2);
-  p[0] = 0;
-  p[1] = 1;
+  p[VertexId{0}] = PartId{0};
+  p[VertexId{1}] = PartId{1};
   // Weights 3 vs 1, avg 2 => imbalance 0.5.
   EXPECT_DOUBLE_EQ(imbalance(w, p), 0.5);
   EXPECT_FALSE(is_balanced(w, p, 0.4));
@@ -39,8 +39,8 @@ TEST(Balance, ImbalanceValue) {
 TEST(Balance, EmptyPartCounts) {
   const std::vector<Weight> w{1, 1};
   Partition p(3, 2);
-  p[0] = 0;
-  p[1] = 0;
+  p[VertexId{0}] = PartId{0};
+  p[VertexId{1}] = PartId{0};
   // Parts: {2, 0, 0}; avg 2/3 => imbalance = 2/(2/3) - 1 = 2.
   EXPECT_DOUBLE_EQ(imbalance(w, p), 2.0);
 }
@@ -52,9 +52,12 @@ TEST(Balance, ZeroTotalWeight) {
 }
 
 TEST(Balance, ImbalanceOfDirect) {
-  EXPECT_DOUBLE_EQ(imbalance_of({4, 4, 4}), 0.0);
-  EXPECT_DOUBLE_EQ(imbalance_of({6, 3, 3}), 0.5);
-  EXPECT_DOUBLE_EQ(imbalance_of({}), 0.0);
+  const auto pw = [](std::vector<Weight> w) {
+    return IdVector<PartId, Weight>::adopt_raw(std::move(w));
+  };
+  EXPECT_DOUBLE_EQ(imbalance_of(pw({4, 4, 4})), 0.0);
+  EXPECT_DOUBLE_EQ(imbalance_of(pw({6, 3, 3})), 0.5);
+  EXPECT_DOUBLE_EQ(imbalance_of(pw({})), 0.0);
 }
 
 TEST(Balance, MaxPartWeightMatchesRelaxedAverage) {
@@ -77,7 +80,7 @@ TEST(Balance, MaxPartWeightNeverBelowCeilAverage) {
 
 TEST(Balance, MaxPartWeightMonotonicInEpsilon) {
   for (const Weight total : {1, 7, 10, 97, 1000}) {
-    for (const PartId k : {1, 2, 3, 8}) {
+    for (const Index k : {1, 2, 3, 8}) {
       Weight prev = 0;
       for (const double eps : {0.0, 0.01, 0.05, 0.2, 1.0}) {
         const Weight cap = max_part_weight(total, k, eps);

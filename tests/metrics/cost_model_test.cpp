@@ -24,8 +24,10 @@ TEST(CostModel, TotalAndNormalized) {
 TEST(CostModel, EvaluateHypergraph) {
   const Hypergraph h = make_hypergraph(4, {{0, 1}, {1, 2}, {2, 3}});
   Partition old_p(2, 4), new_p(2, 4);
-  old_p[0] = old_p[1] = 0; old_p[2] = old_p[3] = 1;
-  new_p[0] = 0; new_p[1] = new_p[2] = new_p[3] = 1;  // vertex 1 moved
+  old_p[VertexId{0}] = old_p[VertexId{1}] = PartId{0};
+  old_p[VertexId{2}] = old_p[VertexId{3}] = PartId{1};
+  new_p[VertexId{0}] = PartId{0};  // vertex 1 moved
+  new_p[VertexId{1}] = new_p[VertexId{2}] = new_p[VertexId{3}] = PartId{1};
   const RepartitionCost c = evaluate_repartition(h, old_p, new_p, 7);
   EXPECT_EQ(c.alpha, 7);
   EXPECT_EQ(c.comm_volume, connectivity_cut(h, new_p));
@@ -37,7 +39,8 @@ TEST(CostModel, EvaluateHypergraph) {
 TEST(CostModel, EvaluateGraph) {
   const Graph g = make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
   Partition old_p(2, 4), new_p(2, 4);
-  old_p[0] = old_p[1] = 0; old_p[2] = old_p[3] = 1;
+  old_p[VertexId{0}] = old_p[VertexId{1}] = PartId{0};
+  old_p[VertexId{2}] = old_p[VertexId{3}] = PartId{1};
   new_p = old_p;
   const RepartitionCost c = evaluate_repartition(g, old_p, new_p, 3);
   EXPECT_EQ(c.comm_volume, 1);  // edge {1,2}

@@ -16,8 +16,8 @@ using testing::random_partition;
 TEST(Cut, UncutNetContributesNothing) {
   const Hypergraph h = make_hypergraph(4, {{0, 1}, {2, 3}});
   Partition p(2, 4);
-  p[0] = p[1] = 0;
-  p[2] = p[3] = 1;
+  p[VertexId{0}] = p[VertexId{1}] = PartId{0};
+  p[VertexId{2}] = p[VertexId{3}] = PartId{1};
   EXPECT_EQ(connectivity_cut(h, p), 0);
   EXPECT_EQ(num_cut_nets(h, p), 0);
 }
@@ -28,10 +28,10 @@ TEST(Cut, ConnectivityMinusOne) {
   b.add_net({0, 1, 2}, 5);
   const Hypergraph h = b.finalize();
   Partition p(3, 3);
-  p[0] = 0;
-  p[1] = 1;
-  p[2] = 2;
-  EXPECT_EQ(net_connectivity(h, p, 0), 3);
+  p[VertexId{0}] = PartId{0};
+  p[VertexId{1}] = PartId{1};
+  p[VertexId{2}] = PartId{2};
+  EXPECT_EQ(net_connectivity(h, p, NetId{0}), 3);
   EXPECT_EQ(connectivity_cut(h, p), 10);
   EXPECT_EQ(cut_net_cost(h, p), 5);
   EXPECT_EQ(num_cut_nets(h, p), 1);
@@ -41,8 +41,8 @@ TEST(Cut, RangeSplitsCut) {
   const Hypergraph h =
       make_hypergraph(4, {{0, 1}, {1, 2}, {2, 3}});
   Partition p(2, 4);
-  p[0] = p[1] = 0;
-  p[2] = p[3] = 1;  // only net {1,2} is cut
+  p[VertexId{0}] = p[VertexId{1}] = PartId{0};
+  p[VertexId{2}] = p[VertexId{3}] = PartId{1};  // only net {1,2} is cut
   EXPECT_EQ(connectivity_cut_range(h, p, 0, 1), 0);
   EXPECT_EQ(connectivity_cut_range(h, p, 1, 2), 1);
   EXPECT_EQ(connectivity_cut_range(h, p, 0, 3), 1);
@@ -59,8 +59,8 @@ TEST(Cut, MatchesBruteForceOnRandomInstances) {
 TEST(Cut, EdgeCutBasics) {
   const Graph g = make_graph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
   Partition p(2, 4);
-  p[0] = p[1] = 0;
-  p[2] = p[3] = 1;
+  p[VertexId{0}] = p[VertexId{1}] = PartId{0};
+  p[VertexId{2}] = p[VertexId{3}] = PartId{1};
   EXPECT_EQ(edge_cut(g, p), 2);
 }
 
@@ -69,16 +69,16 @@ TEST(Cut, EdgeCutWeighted) {
   b.add_edge(0, 1, 9);
   const Graph g = b.finalize();
   Partition p(2, 2);
-  p[0] = 0;
-  p[1] = 1;
+  p[VertexId{0}] = PartId{0};
+  p[VertexId{1}] = PartId{1};
   EXPECT_EQ(edge_cut(g, p), 9);
-  p[1] = 0;
+  p[VertexId{1}] = PartId{0};
   EXPECT_EQ(edge_cut(g, p), 0);
 }
 
 TEST(Cut, SinglePartPartitionHasZeroCut) {
   const Hypergraph h = random_hypergraph(20, 30, 5, 3, 1);
-  const Partition p(1, 20, 0);
+  const Partition p(1, 20, PartId{0});
   EXPECT_EQ(connectivity_cut(h, p), 0);
 }
 
@@ -90,7 +90,7 @@ TEST(Cut, PaperEpochJm1Example) {
   const Hypergraph h = make_hypergraph(
       9, {{0, 1, 2}, {3, 4, 5}, {6, 7, 8}, {2, 3}, {5, 6}, {0, 8}});
   Partition p(3, 9);
-  for (Index v = 0; v < 9; ++v) p[v] = v / 3;
+  for (Index v = 0; v < 9; ++v) p[VertexId{v}] = PartId{v / 3};
   EXPECT_EQ(connectivity_cut(h, p), 3);
 }
 

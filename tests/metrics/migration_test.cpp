@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "test_util.hpp"
 
 namespace hgr {
@@ -19,8 +21,9 @@ TEST(Migration, NoChangeNoVolume) {
 TEST(Migration, VolumeCountsMovedSizes) {
   const std::vector<Weight> sizes{5, 7, 11};
   Partition a(2, 3), b(2, 3);
-  a[0] = 0; a[1] = 0; a[2] = 1;
-  b[0] = 1; b[1] = 0; b[2] = 1;  // only vertex 0 moved
+  a[VertexId{0}] = a[VertexId{1}] = PartId{0}; a[VertexId{2}] = PartId{1};
+  b[VertexId{0}] = PartId{1}; b[VertexId{1}] = PartId{0};
+  b[VertexId{2}] = PartId{1};  // only vertex 0 moved
   EXPECT_EQ(migration_volume(sizes, a, b), 5);
   EXPECT_EQ(num_migrated(a, b), 1);
 }
@@ -28,22 +31,26 @@ TEST(Migration, VolumeCountsMovedSizes) {
 TEST(Migration, OverlapMatrix) {
   const std::vector<Weight> sizes{1, 1, 1, 1};
   Partition a(2, 4), b(2, 4);
-  a[0] = a[1] = 0; a[2] = a[3] = 1;
-  b[0] = 0; b[1] = 1; b[2] = 1; b[3] = 0;
-  const auto overlap = part_overlap_sizes(sizes, a, b);
-  EXPECT_EQ(overlap[0][0], 1);
-  EXPECT_EQ(overlap[0][1], 1);
-  EXPECT_EQ(overlap[1][0], 1);
-  EXPECT_EQ(overlap[1][1], 1);
+  a[VertexId{0}] = a[VertexId{1}] = PartId{0};
+  a[VertexId{2}] = a[VertexId{3}] = PartId{1};
+  b[VertexId{0}] = PartId{0}; b[VertexId{1}] = PartId{1};
+  b[VertexId{2}] = PartId{1}; b[VertexId{3}] = PartId{0};
+  const auto overlap =
+      part_overlap_sizes(std::span<const Weight>(sizes), a, b);
+  EXPECT_EQ(overlap[0][PartId{0}], 1);
+  EXPECT_EQ(overlap[0][PartId{1}], 1);
+  EXPECT_EQ(overlap[1][PartId{0}], 1);
+  EXPECT_EQ(overlap[1][PartId{1}], 1);
 }
 
 TEST(Migration, RemapRecoversRelabeledPartition) {
   // new_p is old_p with labels swapped: remap should undo it entirely.
   const std::vector<Weight> sizes(12, 1);
   Partition old_p(3, 12);
-  for (Index v = 0; v < 12; ++v) old_p[v] = v % 3;
+  for (Index v = 0; v < 12; ++v) old_p[VertexId{v}] = PartId{v % 3};
   Partition new_p(3, 12);
-  for (Index v = 0; v < 12; ++v) new_p[v] = (v + 1) % 3;  // relabel 0->1 etc.
+  for (Index v = 0; v < 12; ++v)
+    new_p[VertexId{v}] = PartId{(v + 1) % 3};  // relabel 0->1 etc.
   const Partition remapped = remap_parts_for_migration(sizes, old_p, new_p);
   EXPECT_EQ(migration_volume(sizes, old_p, remapped), 0);
 }
@@ -68,8 +75,8 @@ TEST(Migration, RemapIsAPermutationOfLabels) {
   const Partition new_p = random_partition(20, 4, 4);
   const Partition remapped = remap_parts_for_migration(sizes, old_p, new_p);
   // Two vertices share a part in new_p iff they share one in remapped.
-  for (Index u = 0; u < 20; ++u)
-    for (Index v = 0; v < 20; ++v)
+  for (const VertexId u : new_p.vertices())
+    for (const VertexId v : new_p.vertices())
       EXPECT_EQ(new_p[u] == new_p[v], remapped[u] == remapped[v]);
 }
 

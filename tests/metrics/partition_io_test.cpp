@@ -22,7 +22,7 @@ TEST(PartitionIo, InfersKWithoutHint) {
   std::stringstream ss("0\n2\n1\n2\n");
   const Partition p = read_partition(ss, 4);
   EXPECT_EQ(p.k, 3);
-  EXPECT_EQ(p[1], 2);
+  EXPECT_EQ(p[VertexId{1}], PartId{2});
 }
 
 TEST(PartitionIo, RejectsShortFile) {

@@ -73,9 +73,10 @@ TEST(RemapOptimal, NeverWorseThanGreedy) {
 TEST(RemapOptimal, RecoversPermutedLabelsExactly) {
   const std::vector<Weight> sizes(20, 1);
   Partition old_p(4, 20);
-  for (Index v = 0; v < 20; ++v) old_p[v] = v % 4;
+  for (const VertexId v : old_p.vertices()) old_p[v] = PartId{v.v % 4};
   Partition new_p(4, 20);
-  for (Index v = 0; v < 20; ++v) new_p[v] = (old_p[v] + 3) % 4;
+  for (const VertexId v : new_p.vertices())
+    new_p[v] = PartId{(old_p[v].v + 3) % 4};
   const Partition remapped = remap_parts_optimal(sizes, old_p, new_p);
   EXPECT_EQ(migration_volume(sizes, old_p, remapped), 0);
 }
@@ -85,8 +86,8 @@ TEST(RemapOptimal, IsAPermutationOfLabels) {
   const Partition old_p = random_partition(30, 5, 11);
   const Partition new_p = random_partition(30, 5, 12);
   const Partition remapped = remap_parts_optimal(sizes, old_p, new_p);
-  for (Index u = 0; u < 30; ++u)
-    for (Index v = 0; v < 30; ++v)
+  for (const VertexId u : new_p.vertices())
+    for (const VertexId v : new_p.vertices())
       EXPECT_EQ(new_p[u] == new_p[v], remapped[u] == remapped[v]);
 }
 

@@ -15,18 +15,18 @@ using testing::random_partition;
 TEST(Report, CountsPerPart) {
   const Hypergraph h = make_hypergraph(4, {{0, 1}, {1, 2}, {2, 3}});
   Partition p(2, 4);
-  p[0] = p[1] = 0;
-  p[2] = p[3] = 1;
+  p[VertexId{0}] = p[VertexId{1}] = PartId{0};
+  p[VertexId{2}] = p[VertexId{3}] = PartId{1};
   const PartitionReport r = analyze_partition(h, p);
   EXPECT_EQ(r.k, 2);
   EXPECT_EQ(r.total_cut, 1);
-  EXPECT_EQ(r.part_vertices[0], 2);
-  EXPECT_EQ(r.part_vertices[1], 2);
-  EXPECT_EQ(r.part_weight[0], 2);
+  EXPECT_EQ(r.part_vertices[PartId{0}], 2);
+  EXPECT_EQ(r.part_vertices[PartId{1}], 2);
+  EXPECT_EQ(r.part_weight[PartId{0}], 2);
   // Only net {1,2} is cut: vertices 1 and 2 are boundary.
-  EXPECT_EQ(r.boundary_vertices[0], 1);
-  EXPECT_EQ(r.boundary_vertices[1], 1);
-  EXPECT_DOUBLE_EQ(r.pair_comm(0, 1), 1.0);
+  EXPECT_EQ(r.boundary_vertices[PartId{0}], 1);
+  EXPECT_EQ(r.boundary_vertices[PartId{1}], 1);
+  EXPECT_DOUBLE_EQ(r.pair_comm(PartId{0}, PartId{1}), 1.0);
 }
 
 TEST(Report, TotalCutMatchesMetric) {
@@ -41,16 +41,16 @@ TEST(Report, PairwiseCommSumsToCut) {
   const Partition p = random_partition(40, 4, 6);
   const PartitionReport r = analyze_partition(h, p);
   double sum = 0;
-  for (PartId i = 0; i < 4; ++i)
-    for (PartId j = i + 1; j < 4; ++j) sum += r.pair_comm(i, j);
+  for (const PartId i : part_range(4))
+    for (PartId j{i.v + 1}; j.v < 4; ++j) sum += r.pair_comm(i, j);
   EXPECT_NEAR(sum, static_cast<double>(r.total_cut), 1e-6);
 }
 
 TEST(Report, ToStringRendersParts) {
   const Hypergraph h = make_hypergraph(4, {{0, 1}, {2, 3}, {1, 2}});
   Partition p(2, 4);
-  p[0] = p[1] = 0;
-  p[2] = p[3] = 1;
+  p[VertexId{0}] = p[VertexId{1}] = PartId{0};
+  p[VertexId{2}] = p[VertexId{3}] = PartId{1};
   const std::string s = analyze_partition(h, p).to_string();
   EXPECT_NE(s.find("k=2"), std::string::npos);
   EXPECT_NE(s.find("heaviest channels"), std::string::npos);

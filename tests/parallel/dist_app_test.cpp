@@ -47,9 +47,9 @@ TEST(DistApp, HaloWordsEqualConnectivityCut) {
   EXPECT_EQ(total_words, connectivity_cut(h, p));
   // And the reduction checksum matches a serial recomputation.
   std::int64_t expect = 0;
-  for (Index net = 0; net < h.num_nets(); ++net)
-    for (const Index v : h.pins(net))
-      expect += values[static_cast<std::size_t>(v)];
+  for (const NetId net : h.nets())
+    for (const VertexId v : h.pins(net))
+      expect += values[static_cast<std::size_t>(v.v)];
   EXPECT_EQ(checksum, expect);
 }
 
@@ -107,7 +107,7 @@ TEST(DistApp, FullEpochLoopOverRuntime) {
 
   // The computation adapts: one region's weights grow.
   for (Index v = 0; v < h.num_vertices() / 4; ++v)
-    h.set_vertex_weight(v, 5);
+    h.set_vertex_weight(VertexId{v}, 5);
   RepartitionerConfig rcfg;
   rcfg.partition = cfg;
   rcfg.alpha = 10;

@@ -55,7 +55,7 @@ TEST(ParallelIpm, RespectsFixedCompatibility) {
   Hypergraph h = random_hypergraph(60, 120, 4, 2, 5);
   std::vector<PartId> fixed(60, kNoPart);
   Rng frng(1);
-  for (auto& f : fixed) f = static_cast<PartId>(frng.below(3));
+  for (auto& f : fixed) f = PartId{static_cast<Index>(frng.below(3))};
   h.set_fixed_parts(fixed);
   PartitionConfig cfg;
   Comm comm(3);
@@ -71,7 +71,8 @@ TEST(ParallelIpm, RespectsFixedCompatibility) {
   for (Index v = 0; v < 60; ++v) {
     const Index u = match[static_cast<std::size_t>(v)];
     if (u != v) {
-      EXPECT_TRUE(fixed_compatible(h.fixed_part(v), h.fixed_part(u)));
+      EXPECT_TRUE(
+          fixed_compatible(h.fixed_part(VertexId{v}), h.fixed_part(VertexId{u})));
     }
   }
 }
@@ -153,7 +154,7 @@ TEST(LocalIpm, RespectsFixedCompatibility) {
   Hypergraph h = random_hypergraph(60, 120, 4, 2, 15);
   std::vector<PartId> fixed(60, kNoPart);
   Rng frng(2);
-  for (auto& f : fixed) f = static_cast<PartId>(frng.below(3));
+  for (auto& f : fixed) f = PartId{static_cast<Index>(frng.below(3))};
   h.set_fixed_parts(fixed);
   PartitionConfig cfg;
   Comm comm(3);
@@ -169,7 +170,8 @@ TEST(LocalIpm, RespectsFixedCompatibility) {
   for (Index v = 0; v < 60; ++v) {
     const Index u = match[static_cast<std::size_t>(v)];
     if (u != v) {
-      EXPECT_TRUE(fixed_compatible(h.fixed_part(v), h.fixed_part(u)));
+      EXPECT_TRUE(
+          fixed_compatible(h.fixed_part(VertexId{v}), h.fixed_part(VertexId{u})));
     }
   }
 }

@@ -49,7 +49,7 @@ TEST(ParPartitioner, HonorsFixedVertices) {
   cfg.num_ranks = 3;
   cfg.base.num_parts = 4;
   const ParallelPartitionResult r = parallel_partition_hypergraph(h, cfg);
-  for (Index v = 0; v < 100; ++v) {
+  for (const VertexId v : r.partition.vertices()) {
     const PartId f = h.fixed_part(v);
     if (f != kNoPart) {
       EXPECT_EQ(r.partition[v], f);
@@ -98,7 +98,8 @@ TEST(ParPartitioner, SinglePartShortCircuit) {
   cfg.num_ranks = 2;
   cfg.base.num_parts = 1;
   const ParallelPartitionResult r = parallel_partition_hypergraph(h, cfg);
-  for (Index v = 0; v < 30; ++v) EXPECT_EQ(r.partition[v], 0);
+  for (const VertexId v : r.partition.vertices())
+    EXPECT_EQ(r.partition[v], PartId{0});
 }
 
 }  // namespace

@@ -43,12 +43,12 @@ TEST(ParRefine, NeverWorsensCutAndRanksAgree) {
 TEST(ParRefine, RespectsFixedVertices) {
   Hypergraph h = random_hypergraph(60, 120, 4, 2, 5);
   std::vector<PartId> fixed(60, kNoPart);
-  fixed[0] = 2;
-  fixed[5] = 1;
+  fixed[0] = PartId{2};
+  fixed[5] = PartId{1};
   h.set_fixed_parts(fixed);
   Partition start = random_partition(60, 3, 9);
-  start[0] = 2;
-  start[5] = 1;
+  start[VertexId{0}] = PartId{2};
+  start[VertexId{5}] = PartId{1};
   PartitionConfig cfg;
   cfg.num_parts = 3;
   cfg.epsilon = 0.5;
@@ -63,8 +63,8 @@ TEST(ParRefine, RespectsFixedVertices) {
       result = std::move(p);
     }
   });
-  EXPECT_EQ(result[0], 2);
-  EXPECT_EQ(result[5], 1);
+  EXPECT_EQ(result[VertexId{0}], PartId{2});
+  EXPECT_EQ(result[VertexId{5}], PartId{1});
 }
 
 // Regression: the truncated balance bound (floor of avg*(1+eps)) rejected
@@ -78,9 +78,9 @@ TEST(ParRefine, AcceptsMoveUpToCeilOfFractionalAverage) {
   b.set_vertex_weight(2, 1);
   const Hypergraph h = b.finalize();
   Partition start(2, 3);
-  start[0] = 0;
-  start[1] = 0;
-  start[2] = 1;
+  start[VertexId{0}] = PartId{0};
+  start[VertexId{1}] = PartId{0};
+  start[VertexId{2}] = PartId{1};
   PartitionConfig cfg;
   cfg.num_parts = 2;
   cfg.epsilon = 0.05;
@@ -183,7 +183,7 @@ TEST(ParRefine, RespectsBalanceCap) {
   const Hypergraph h = random_hypergraph(90, 180, 4, 2, 11);
   // Balanced round-robin start.
   Partition start(3, 90);
-  for (Index v = 0; v < 90; ++v) start[v] = static_cast<PartId>(v % 3);
+  for (Index v = 0; v < 90; ++v) start[VertexId{v}] = PartId{v % 3};
   PartitionConfig cfg;
   cfg.num_parts = 3;
   cfg.epsilon = 0.2;

@@ -12,9 +12,9 @@ namespace {
 using testing::make_hypergraph;
 using testing::random_hypergraph;
 
-std::vector<Index> identity_match(Index n) {
-  std::vector<Index> m(static_cast<std::size_t>(n));
-  for (Index v = 0; v < n; ++v) m[static_cast<std::size_t>(v)] = v;
+IdVector<VertexId, VertexId> identity_match(Index n) {
+  IdVector<VertexId, VertexId> m(n);
+  for (const VertexId v : m.ids()) m[v] = v;
   return m;
 }
 
@@ -36,12 +36,12 @@ TEST(Contract, MergedPairSumsWeightsAndSizes) {
   b.set_vertex_size(1, 6);
   const Hypergraph h = b.finalize();
   auto match = identity_match(4);
-  match[0] = 1;
-  match[1] = 0;
+  match[VertexId{0}] = VertexId{1};
+  match[VertexId{1}] = VertexId{0};
   const CoarseLevel level = contract(h, match);
   EXPECT_EQ(level.coarse.num_vertices(), 3);
-  const Index c01 = level.fine_to_coarse[0];
-  EXPECT_EQ(level.fine_to_coarse[1], c01);
+  const VertexId c01 = level.fine_to_coarse[VertexId{0}];
+  EXPECT_EQ(level.fine_to_coarse[VertexId{1}], c01);
   EXPECT_EQ(level.coarse.vertex_weight(c01), 7);
   EXPECT_EQ(level.coarse.vertex_size(c01), 11);
 }
@@ -49,12 +49,12 @@ TEST(Contract, MergedPairSumsWeightsAndSizes) {
 TEST(Contract, InternalNetDisappears) {
   const Hypergraph h = make_hypergraph(3, {{0, 1}, {1, 2}});
   auto match = identity_match(3);
-  match[0] = 1;
-  match[1] = 0;
+  match[VertexId{0}] = VertexId{1};
+  match[VertexId{1}] = VertexId{0};
   const CoarseLevel level = contract(h, match);
   // Net {0,1} collapsed to one pin and vanished; {1,2} survives.
   EXPECT_EQ(level.coarse.num_nets(), 1);
-  EXPECT_EQ(level.coarse.net_size(0), 2);
+  EXPECT_EQ(level.coarse.net_size(NetId{0}), 2);
 }
 
 TEST(Contract, IdenticalNetsMergeWithSummedCost) {
@@ -63,28 +63,30 @@ TEST(Contract, IdenticalNetsMergeWithSummedCost) {
   b.add_net({1, 3}, 4);
   const Hypergraph h = b.finalize();
   auto match = identity_match(4);
-  match[0] = 1;
-  match[1] = 0;
-  match[2] = 3;
-  match[3] = 2;
+  match[VertexId{0}] = VertexId{1};
+  match[VertexId{1}] = VertexId{0};
+  match[VertexId{2}] = VertexId{3};
+  match[VertexId{3}] = VertexId{2};
   // Both nets map to {c01, c23}: they must merge into one of cost 7.
   const CoarseLevel level = contract(h, match);
   EXPECT_EQ(level.coarse.num_nets(), 1);
-  EXPECT_EQ(level.coarse.net_cost(0), 7);
+  EXPECT_EQ(level.coarse.net_cost(NetId{0}), 7);
 }
 
 TEST(Contract, FixedPartPropagates) {
   HypergraphBuilder b(4);
   b.add_net({0, 1});
   b.add_net({2, 3});
-  b.set_fixed_part(0, 2);
+  b.set_fixed_part(0, PartId{2});
   const Hypergraph h = b.finalize();
   auto match = identity_match(4);
-  match[0] = 1;
-  match[1] = 0;
+  match[VertexId{0}] = VertexId{1};
+  match[VertexId{1}] = VertexId{0};
   const CoarseLevel level = contract(h, match);
-  EXPECT_EQ(level.coarse.fixed_part(level.fine_to_coarse[0]), 2);
-  EXPECT_EQ(level.coarse.fixed_part(level.fine_to_coarse[2]), kNoPart);
+  EXPECT_EQ(level.coarse.fixed_part(level.fine_to_coarse[VertexId{0}]),
+            PartId{2});
+  EXPECT_EQ(level.coarse.fixed_part(level.fine_to_coarse[VertexId{2}]),
+            kNoPart);
 }
 
 TEST(Contract, TotalWeightInvariant) {
@@ -110,8 +112,8 @@ TEST(Contract, CutPreservedUnderProjection) {
   const Partition coarse_p =
       testing::random_partition(level.coarse.num_vertices(), 3, 99);
   Partition fine_p(3, h.num_vertices());
-  for (Index v = 0; v < h.num_vertices(); ++v)
-    fine_p[v] = coarse_p[level.fine_to_coarse[static_cast<std::size_t>(v)]];
+  for (const VertexId v : fine_p.vertices())
+    fine_p[v] = coarse_p[level.fine_to_coarse[v]];
   EXPECT_EQ(connectivity_cut(level.coarse, coarse_p),
             connectivity_cut(h, fine_p));
 }
@@ -119,10 +121,12 @@ TEST(Contract, CutPreservedUnderProjection) {
 TEST(ContractDeathTest, IncompatibleFixedPairAborts) {
   HypergraphBuilder b(2);
   b.add_net({0, 1});
-  b.set_fixed_part(0, 0);
-  b.set_fixed_part(1, 1);
+  b.set_fixed_part(0, PartId{0});
+  b.set_fixed_part(1, PartId{1});
   const Hypergraph h = b.finalize();
-  std::vector<Index> match{1, 0};
+  IdVector<VertexId, VertexId> match(2);
+  match[VertexId{0}] = VertexId{1};
+  match[VertexId{1}] = VertexId{0};
   EXPECT_DEATH(contract(h, match), "incompatible fixed");
 }
 

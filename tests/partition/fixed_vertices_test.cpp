@@ -12,7 +12,7 @@ namespace {
 
 using testing::random_hypergraph;
 
-Hypergraph with_random_fixed(Hypergraph h, PartId k, double fraction,
+Hypergraph with_random_fixed(Hypergraph h, Index k, double fraction,
                              std::uint64_t seed) {
   Rng rng(seed);
   std::vector<PartId> fixed(static_cast<std::size_t>(h.num_vertices()),
@@ -20,13 +20,13 @@ Hypergraph with_random_fixed(Hypergraph h, PartId k, double fraction,
   for (Index v = 0; v < h.num_vertices(); ++v)
     if (rng.chance(fraction))
       fixed[static_cast<std::size_t>(v)] =
-          static_cast<PartId>(rng.below(static_cast<std::uint64_t>(k)));
+          PartId{static_cast<Index>(rng.below(static_cast<std::uint64_t>(k)))};
   h.set_fixed_parts(std::move(fixed));
   return h;
 }
 
 class FixedVertexSweep
-    : public ::testing::TestWithParam<std::tuple<PartId, double>> {};
+    : public ::testing::TestWithParam<std::tuple<Index, double>> {};
 
 TEST_P(FixedVertexSweep, EveryFixedVertexLandsInItsPart) {
   const auto [k, fraction] = GetParam();
@@ -36,7 +36,7 @@ TEST_P(FixedVertexSweep, EveryFixedVertexLandsInItsPart) {
   cfg.num_parts = k;
   const Partition p = partition_hypergraph(h, cfg);
   p.validate();
-  for (Index v = 0; v < h.num_vertices(); ++v) {
+  for (const VertexId v : p.vertices()) {
     const PartId f = h.fixed_part(v);
     if (f != kNoPart) EXPECT_EQ(p[v], f) << "vertex " << v;
   }
@@ -44,20 +44,20 @@ TEST_P(FixedVertexSweep, EveryFixedVertexLandsInItsPart) {
 
 INSTANTIATE_TEST_SUITE_P(
     KsAndFractions, FixedVertexSweep,
-    ::testing::Combine(::testing::Values<PartId>(2, 4, 8),
+    ::testing::Combine(::testing::Values<Index>(2, 4, 8),
                        ::testing::Values(0.05, 0.3, 0.9)));
 
 TEST(FixedVertices, AllVerticesFixedReturnsExactAssignment) {
   Hypergraph h = random_hypergraph(40, 80, 4, 2, 31);
   std::vector<PartId> fixed(40);
   Rng rng(5);
-  for (auto& f : fixed) f = static_cast<PartId>(rng.below(4));
+  for (auto& f : fixed) f = PartId{static_cast<Index>(rng.below(4))};
   h.set_fixed_parts(fixed);
   PartitionConfig cfg;
   cfg.num_parts = 4;
   const Partition p = partition_hypergraph(h, cfg);
   for (Index v = 0; v < 40; ++v)
-    EXPECT_EQ(p[v], fixed[static_cast<std::size_t>(v)]);
+    EXPECT_EQ(p[VertexId{v}], fixed[static_cast<std::size_t>(v)]);
 }
 
 TEST(FixedVertices, DirectKwayAlsoHonorsFixed) {
@@ -67,7 +67,7 @@ TEST(FixedVertices, DirectKwayAlsoHonorsFixed) {
   cfg.num_parts = 4;
   cfg.kway_method = KwayMethod::kDirectKway;
   const Partition p = partition_hypergraph(h, cfg);
-  for (Index v = 0; v < h.num_vertices(); ++v) {
+  for (const VertexId v : p.vertices()) {
     const PartId f = h.fixed_part(v);
     if (f != kNoPart) EXPECT_EQ(p[v], f);
   }
@@ -80,7 +80,7 @@ TEST(FixedVertices, VcyclePreservesFixed) {
   cfg.num_parts = 4;
   cfg.num_vcycles = 2;
   const Partition p = partition_hypergraph(h, cfg);
-  for (Index v = 0; v < h.num_vertices(); ++v) {
+  for (const VertexId v : p.vertices()) {
     const PartId f = h.fixed_part(v);
     if (f != kNoPart) EXPECT_EQ(p[v], f);
   }
@@ -102,15 +102,15 @@ TEST(FixedVertices, FixedPullNearbyFreeVertices) {
   // neighbor in the same part for a cut of 1.
   HypergraphBuilder b(9);
   for (Index v = 0; v + 1 < 9; ++v) b.add_net({v, v + 1});
-  b.set_fixed_part(0, 0);
-  b.set_fixed_part(8, 1);
+  b.set_fixed_part(0, PartId{0});
+  b.set_fixed_part(8, PartId{1});
   const Hypergraph h = b.finalize();
   PartitionConfig cfg;
   cfg.num_parts = 2;
   cfg.epsilon = 0.2;
   const Partition p = partition_hypergraph(h, cfg);
-  EXPECT_EQ(p[0], 0);
-  EXPECT_EQ(p[8], 1);
+  EXPECT_EQ(p[VertexId{0}], PartId{0});
+  EXPECT_EQ(p[VertexId{8}], PartId{1});
   EXPECT_EQ(connectivity_cut(h, p), 1);
 }
 

@@ -22,17 +22,18 @@ using testing::brute_force_connectivity_cut;
 using testing::random_hypergraph;
 using testing::random_partition;
 
-Index scratch_pin_count(const Hypergraph& h, const Partition& p, Index net,
+Index scratch_pin_count(const Hypergraph& h, const Partition& p, NetId net,
                         PartId q) {
   Index count = 0;
-  for (const Index v : h.pins(net))
+  for (const VertexId v : h.pins(net))
     if (p[v] == q) ++count;
   return count;
 }
 
-Weight scratch_leave_gain(const Hypergraph& h, const Partition& p, Index v) {
+Weight scratch_leave_gain(const Hypergraph& h, const Partition& p,
+                          VertexId v) {
   Weight g = 0;
-  for (const Index net : h.incident_nets(v))
+  for (const NetId net : h.incident_nets(v))
     if (scratch_pin_count(h, p, net, p[v]) == 1) g += h.net_cost(net);
   return g;
 }
@@ -41,16 +42,16 @@ void expect_matches_scratch(const Hypergraph& h, const Partition& p,
                             const GainCache& cache) {
   ASSERT_EQ(cache.cut(), brute_force_connectivity_cut(h, p));
   ASSERT_EQ(cache.cut(), connectivity_cut(h, p));
-  std::vector<Weight> part_w(static_cast<std::size_t>(p.k), 0);
-  for (Index v = 0; v < h.num_vertices(); ++v) {
+  IdVector<PartId, Weight> part_w(p.k, 0);
+  for (const VertexId v : h.vertices()) {
     ASSERT_EQ(cache.part_of(v), p[v]);
     ASSERT_EQ(cache.leave_gain(v), scratch_leave_gain(h, p, v)) << "v=" << v;
-    part_w[static_cast<std::size_t>(p[v])] += h.vertex_weight(v);
+    part_w[p[v]] += h.vertex_weight(v);
   }
-  for (PartId q = 0; q < p.k; ++q)
-    ASSERT_EQ(cache.part_weight(q), part_w[static_cast<std::size_t>(q)]);
-  for (Index net = 0; net < h.num_nets(); ++net) {
-    for (PartId q = 0; q < p.k; ++q) {
+  for (const PartId q : p.parts())
+    ASSERT_EQ(cache.part_weight(q), part_w[q]);
+  for (const NetId net : h.nets()) {
+    for (const PartId q : p.parts()) {
       const Index count = scratch_pin_count(h, p, net, q);
       ASSERT_EQ(cache.pin_count(net, q), count) << "net=" << net;
       ASSERT_EQ(cache.net_touches(net, q), count > 0) << "net=" << net;
@@ -60,16 +61,16 @@ void expect_matches_scratch(const Hypergraph& h, const Partition& p,
 
 TEST(GainCacheProperty, RandomMovesMatchScratchRecomputation) {
   for (std::uint64_t seed = 0; seed < 4; ++seed) {
-    const PartId k = 5;
+    const Index k = 5;
     const Hypergraph h = random_hypergraph(40, 80, 5, 3, seed);
     Partition p = random_partition(40, k, seed + 100);
     GainCache cache(h, p);
     expect_matches_scratch(h, p, cache);
     Rng rng(seed + 9);
     for (int step = 0; step < 150; ++step) {
-      const Index v = static_cast<Index>(rng.below(40));
-      PartId to = static_cast<PartId>(rng.below(static_cast<std::uint64_t>(k)));
-      if (to == p[v]) to = static_cast<PartId>((to + 1) % k);
+      const VertexId v{static_cast<Index>(rng.below(40))};
+      PartId to{static_cast<Index>(rng.below(static_cast<std::uint64_t>(k)))};
+      if (to == p[v]) to = PartId{(to.v + 1) % k};
       cache.apply_move(v, to);
       p[v] = to;
       // Cut identity at every step; the full table every 25 steps.
@@ -90,21 +91,25 @@ TEST(GainCacheProperty, RepeatedMovesOfSameVertexWithFixedNeighbors) {
   b.add_net({0, 2}, 3);
   b.add_net({0, 3, 4}, 1);
   b.add_net({1, 2, 3}, 5);
-  b.set_fixed_part(1, 0);
-  b.set_fixed_part(2, 1);
-  b.set_fixed_part(3, 2);
+  b.set_fixed_part(1, PartId{0});
+  b.set_fixed_part(2, PartId{1});
+  b.set_fixed_part(3, PartId{2});
   const Hypergraph h = b.finalize();
-  const PartId k = 3;
+  const Index k = 3;
   Partition p(k, 5);
-  p[0] = 0; p[1] = 0; p[2] = 1; p[3] = 2; p[4] = 2;
+  p[VertexId{0}] = PartId{0};
+  p[VertexId{1}] = PartId{0};
+  p[VertexId{2}] = PartId{1};
+  p[VertexId{3}] = PartId{2};
+  p[VertexId{4}] = PartId{2};
   GainCache cache(h, p);
   expect_matches_scratch(h, p, cache);
   Rng rng(3);
   for (int step = 0; step < 60; ++step) {
     // Only the free vertices 0 and 4 ever move (callers skip fixed ones).
-    const Index v = rng.below(2) == 0 ? 0 : 4;
-    PartId to = static_cast<PartId>(rng.below(static_cast<std::uint64_t>(k)));
-    if (to == p[v]) to = static_cast<PartId>((to + 1) % k);
+    const VertexId v{rng.below(2) == 0 ? 0 : 4};
+    PartId to{static_cast<Index>(rng.below(static_cast<std::uint64_t>(k)))};
+    if (to == p[v]) to = PartId{(to.v + 1) % k};
     const Weight predicted = cache.move_gain(v, to);
     const Weight before = cache.cut();
     cache.apply_move(v, to);
@@ -117,15 +122,15 @@ TEST(GainCacheProperty, RepeatedMovesOfSameVertexWithFixedNeighbors) {
 
 TEST(GainCacheProperty, MoveGainEqualsCutDelta) {
   for (std::uint64_t seed = 10; seed < 13; ++seed) {
-    const PartId k = 4;
+    const Index k = 4;
     const Hypergraph h = random_hypergraph(30, 60, 4, 3, seed);
     Partition p = random_partition(30, k, seed);
     GainCache cache(h, p);
     Rng rng(seed);
     for (int step = 0; step < 80; ++step) {
-      const Index v = static_cast<Index>(rng.below(30));
-      PartId to = static_cast<PartId>(rng.below(static_cast<std::uint64_t>(k)));
-      if (to == p[v]) to = static_cast<PartId>((to + 1) % k);
+      const VertexId v{static_cast<Index>(rng.below(30))};
+      PartId to{static_cast<Index>(rng.below(static_cast<std::uint64_t>(k)))};
+      if (to == p[v]) to = PartId{(to.v + 1) % k};
       const Weight g = cache.move_gain(v, to);
       const Weight before = cache.cut();
       cache.apply_move(v, to);
@@ -138,7 +143,7 @@ TEST(GainCacheProperty, MoveGainEqualsCutDelta) {
 TEST(GainCacheProperty, ManyPartsExerciseMultiWordBitsets) {
   // k=70 needs two 64-bit words per connectivity row; the candidate and
   // touch paths must handle the word boundary.
-  const PartId k = 70;
+  const Index k = 70;
   const Hypergraph h = random_hypergraph(90, 120, 6, 2, 42);
   Partition p = random_partition(90, k, 7);
   GainCache cache(h, p);
@@ -146,19 +151,19 @@ TEST(GainCacheProperty, ManyPartsExerciseMultiWordBitsets) {
   Rng rng(11);
   std::vector<PartId> candidates;
   for (int step = 0; step < 120; ++step) {
-    const Index v = static_cast<Index>(rng.below(90));
+    const VertexId v{static_cast<Index>(rng.below(90))};
     // Brute-force candidate destinations: distinct parts of co-pins.
     std::set<PartId> expected;
-    for (const Index net : h.incident_nets(v))
-      for (const Index u : h.pins(net))
+    for (const NetId net : h.incident_nets(v))
+      for (const VertexId u : h.pins(net))
         if (p[u] != p[v]) expected.insert(p[u]);
     cache.candidate_parts_into(candidates, v);
     ASSERT_EQ(std::vector<PartId>(expected.begin(), expected.end()),
               candidates)
         << "step=" << step;
     ASSERT_TRUE(std::is_sorted(candidates.begin(), candidates.end()));
-    PartId to = static_cast<PartId>(rng.below(static_cast<std::uint64_t>(k)));
-    if (to == p[v]) to = static_cast<PartId>((to + 1) % k);
+    PartId to{static_cast<Index>(rng.below(static_cast<std::uint64_t>(k)))};
+    if (to == p[v]) to = PartId{(to.v + 1) % k};
     cache.apply_move(v, to);
     p[v] = to;
     ASSERT_EQ(cache.cut(), brute_force_connectivity_cut(h, p));
@@ -170,21 +175,21 @@ TEST(GainCacheProperty, ManyPartsExerciseMultiWordBitsets) {
 struct RecordingListener {
   struct Event {
     char kind;  // 'G'ained, 'J'oined, 'L'ost, 'R'emains
-    Index net;
+    NetId net;
     Weight cost;
   };
   std::vector<Event> events;
 
-  void net_gained_part(Index net, PartId, Weight c) {
+  void net_gained_part(NetId net, PartId, Weight c) {
     events.push_back({'G', net, c});
   }
-  void sole_pin_joined(Index net, Index, PartId, Weight c) {
+  void sole_pin_joined(NetId net, VertexId, PartId, Weight c) {
     events.push_back({'J', net, c});
   }
-  void net_lost_part(Index net, PartId, Weight c) {
+  void net_lost_part(NetId net, PartId, Weight c) {
     events.push_back({'L', net, c});
   }
-  void sole_pin_remains(Index net, Index, PartId, Weight c) {
+  void sole_pin_remains(NetId net, VertexId, PartId, Weight c) {
     events.push_back({'R', net, c});
   }
 };
@@ -195,20 +200,22 @@ TEST(GainCache, ZeroCostNetsFireNoEventsButStayConsistent) {
   b.add_net({0, 2}, 4);
   const Hypergraph h = b.finalize();
   Partition p(2, 3);
-  p[0] = 0; p[1] = 1; p[2] = 1;
+  p[VertexId{0}] = PartId{0};
+  p[VertexId{1}] = PartId{1};
+  p[VertexId{2}] = PartId{1};
   GainCache cache(h, p);
   EXPECT_EQ(cache.cut(), 4);  // the zero-cost net never contributes
 
   RecordingListener listener;
-  cache.apply_move(0, 1, listener);
-  p[0] = 1;
+  cache.apply_move(VertexId{0}, PartId{1}, listener);
+  p[VertexId{0}] = PartId{1};
   EXPECT_EQ(cache.cut(), 0);
   expect_matches_scratch(h, p, cache);
   // Both events come from the costed net; the zero-cost net is silent
   // even though vertex 0 left it as the sole part-0 pin.
   ASSERT_EQ(listener.events.size(), 2u);
   for (const auto& e : listener.events) {
-    EXPECT_EQ(e.net, 1);
+    EXPECT_EQ(e.net, NetId{1});
     EXPECT_EQ(e.cost, 4);
   }
   EXPECT_EQ(listener.events[0].kind, 'J');  // joined pins in part 1
@@ -222,7 +229,7 @@ TEST(GainCache, PartitionConstructorMatchesSpanConstructor) {
   GainCache from_span(h, p.k, p.assignment);
   EXPECT_EQ(from_partition.cut(), from_span.cut());
   EXPECT_EQ(from_partition.k(), from_span.k());
-  for (PartId q = 0; q < p.k; ++q)
+  for (const PartId q : p.parts())
     EXPECT_EQ(from_partition.part_weight(q), from_span.part_weight(q));
 }
 

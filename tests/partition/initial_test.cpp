@@ -19,11 +19,11 @@ BisectionTargets even_targets(const Hypergraph& h, double eps = 0.1) {
   return t;
 }
 
-Weight side_weight(const Hypergraph& h, const std::vector<PartId>& side,
-                   PartId s) {
+Weight side_weight(const Hypergraph& h,
+                   const IdVector<VertexId, PartId>& side, PartId s) {
   Weight w = 0;
-  for (Index v = 0; v < h.num_vertices(); ++v)
-    if (side[static_cast<std::size_t>(v)] == s) w += h.vertex_weight(v);
+  for (const VertexId v : h.vertices())
+    if (side[v] == s) w += h.vertex_weight(v);
   return w;
 }
 
@@ -32,9 +32,10 @@ TEST(GreedyGrowing, ProducesTwoSides) {
   Rng rng(1);
   const auto side = greedy_growing_bisection(h, even_targets(h), rng);
   ASSERT_EQ(side.size(), 40u);
-  for (const PartId s : side) EXPECT_TRUE(s == 0 || s == 1);
-  EXPECT_GT(side_weight(h, side, 0), 0);
-  EXPECT_GT(side_weight(h, side, 1), 0);
+  for (const PartId s : side)
+    EXPECT_TRUE(s == PartId{0} || s == PartId{1});
+  EXPECT_GT(side_weight(h, side, PartId{0}), 0);
+  EXPECT_GT(side_weight(h, side, PartId{1}), 0);
 }
 
 TEST(GreedyGrowing, ReachesTargetWeightApproximately) {
@@ -42,7 +43,7 @@ TEST(GreedyGrowing, ReachesTargetWeightApproximately) {
   Rng rng(2);
   const BisectionTargets t = even_targets(h, 0.1);
   const auto side = greedy_growing_bisection(h, t, rng);
-  const Weight w0 = side_weight(h, side, 0);
+  const Weight w0 = side_weight(h, side, PartId{0});
   EXPECT_GE(w0, static_cast<Weight>(t.target0 * 0.7));
   EXPECT_LE(w0, t.max_weight(0));
 }
@@ -52,25 +53,24 @@ TEST(GreedyGrowing, HonorsFixedVertices) {
   b.add_net({0, 1, 2});
   b.add_net({3, 4, 5});
   b.add_net({2, 3});
-  b.set_fixed_part(0, 0);
-  b.set_fixed_part(5, 1);
+  b.set_fixed_part(0, PartId{0});
+  b.set_fixed_part(5, PartId{1});
   const Hypergraph h = b.finalize();
   Rng rng(3);
   const auto side = greedy_growing_bisection(h, even_targets(h), rng);
-  EXPECT_EQ(side[0], 0);
-  EXPECT_EQ(side[5], 1);
+  EXPECT_EQ(side[VertexId{0}], PartId{0});
+  EXPECT_EQ(side[VertexId{5}], PartId{1});
 }
 
 TEST(GreedyGrowing, AllFixedIsRespectedVerbatim) {
   HypergraphBuilder b(4);
   b.add_net({0, 1, 2, 3});
   for (Index v = 0; v < 4; ++v)
-    b.set_fixed_part(v, v % 2);
+    b.set_fixed_part(v, PartId{v % 2});
   const Hypergraph h = b.finalize();
   Rng rng(4);
   const auto side = greedy_growing_bisection(h, even_targets(h), rng);
-  for (Index v = 0; v < 4; ++v) EXPECT_EQ(side[static_cast<std::size_t>(v)],
-                                          v % 2);
+  for (const VertexId v : side.ids()) EXPECT_EQ(side[v], PartId{v.v % 2});
 }
 
 TEST(GreedyGrowing, DisconnectedHypergraphStillFillsSideZero) {
@@ -79,7 +79,7 @@ TEST(GreedyGrowing, DisconnectedHypergraphStillFillsSideZero) {
   Rng rng(5);
   const BisectionTargets t = even_targets(h, 0.05);
   const auto side = greedy_growing_bisection(h, t, rng);
-  EXPECT_EQ(side_weight(h, side, 0), 4);
+  EXPECT_EQ(side_weight(h, side, PartId{0}), 4);
 }
 
 TEST(InitialBisection, MultiTrialNotWorseThanSingle) {
@@ -89,7 +89,7 @@ TEST(InitialBisection, MultiTrialNotWorseThanSingle) {
   const auto one = initial_bisection(h, t, 1, rng1);
   const auto eight = initial_bisection(h, t, 8, rng8);
 
-  const auto cut = [&](const std::vector<PartId>& side) {
+  const auto cut = [&](const IdVector<VertexId, PartId>& side) {
     Partition p(2, h.num_vertices());
     p.assignment = side;
     return connectivity_cut(h, p);
@@ -106,7 +106,7 @@ TEST(InitialBisection, UnevenTargets) {
   t.epsilon = 0.1;
   Rng rng(8);
   const auto side = initial_bisection(h, t, 4, rng);
-  const Weight w0 = side_weight(h, side, 0);
+  const Weight w0 = side_weight(h, side, PartId{0});
   EXPECT_GT(w0, h.total_vertex_weight() / 2);
   EXPECT_LE(w0, t.max_weight(0));
 }

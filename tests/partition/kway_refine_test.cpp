@@ -34,16 +34,16 @@ TEST(KwayRefine, FixedVerticesNeverMove) {
   b.add_net({0, 1, 2});
   b.add_net({3, 4, 5});
   b.add_net({2, 3});
-  b.set_fixed_part(0, 2);
+  b.set_fixed_part(0, PartId{2});
   const Hypergraph h = b.finalize();
   PartitionConfig cfg;
   cfg.num_parts = 3;
   Partition p(3, 6);
-  p[0] = 2;
-  p[1] = 0; p[2] = 0; p[3] = 1; p[4] = 1; p[5] = 1;
+  p[VertexId{0}] = PartId{2};
+  p[VertexId{1}] = PartId{0}; p[VertexId{2}] = PartId{0}; p[VertexId{3}] = PartId{1}; p[VertexId{4}] = PartId{1}; p[VertexId{5}] = PartId{1};
   Rng rng(1);
   kway_refine(h, p, cfg, rng, 4);
-  EXPECT_EQ(p[0], 2);
+  EXPECT_EQ(p[VertexId{0}], PartId{2});
 }
 
 TEST(KwayRefine, DoesNotViolateBalance) {
@@ -53,7 +53,7 @@ TEST(KwayRefine, DoesNotViolateBalance) {
   const Hypergraph h = random_hypergraph(60, 150, 4, 2, 21);
   // Balanced round-robin start.
   Partition p(3, 60);
-  for (Index v = 0; v < 60; ++v) p[v] = static_cast<PartId>(v % 3);
+  for (Index v = 0; v < 60; ++v) p[VertexId{v}] = PartId{v % 3};
   const double before = imbalance(h.vertex_weights(), p);
   Rng rng(2);
   kway_refine(h, p, cfg, rng, 4);
@@ -66,7 +66,7 @@ TEST(KwayRefine, SinglePartNoop) {
   const Hypergraph h = random_hypergraph(20, 30, 4, 2, 3);
   PartitionConfig cfg;
   cfg.num_parts = 1;
-  Partition p(1, 20, 0);
+  Partition p(1, 20, PartId{0});
   Rng rng(3);
   const KwayRefineResult r = kway_refine(h, p, cfg, rng, 2);
   EXPECT_EQ(r.moves, 0);
@@ -83,8 +83,8 @@ TEST(KwayRefine, ImprovesAPlantedBadAssignment) {
   cfg.epsilon = 0.3;
   Partition p(2, 8);
   // Two stray vertices on the wrong side: single moves fix each.
-  p[0] = 0; p[1] = 0; p[2] = 0; p[3] = 1;
-  p[4] = 0; p[5] = 1; p[6] = 1; p[7] = 1;
+  p[VertexId{0}] = PartId{0}; p[VertexId{1}] = PartId{0}; p[VertexId{2}] = PartId{0}; p[VertexId{3}] = PartId{1};
+  p[VertexId{4}] = PartId{0}; p[VertexId{5}] = PartId{1}; p[VertexId{6}] = PartId{1}; p[VertexId{7}] = PartId{1};
   Rng rng(4);
   const KwayRefineResult r = kway_refine(h, p, cfg, rng, 6);
   EXPECT_LT(r.final_cut, r.initial_cut);
@@ -105,9 +105,9 @@ TEST(KwayRefine, AcceptsMoveUpToCeilOfFractionalAverage) {
   cfg.num_parts = 2;
   cfg.epsilon = 0.05;
   Partition p(2, 3);
-  p[0] = 0;
-  p[1] = 0;
-  p[2] = 1;
+  p[VertexId{0}] = PartId{0};
+  p[VertexId{1}] = PartId{0};
+  p[VertexId{2}] = PartId{1};
   Rng rng(6);
   // Moving v0 (weight 3) to part 1 (weight 1) reaches 4 = ceil(3.5): legal
   // under Eq. 1, rejected by the truncated bound.
@@ -115,8 +115,8 @@ TEST(KwayRefine, AcceptsMoveUpToCeilOfFractionalAverage) {
   EXPECT_GE(r.moves, 1);
   EXPECT_EQ(r.final_cut, 0);
   EXPECT_EQ(connectivity_cut(h, p), 0);
-  EXPECT_EQ(p[0], 1);
-  EXPECT_EQ(p[2], 1);
+  EXPECT_EQ(p[VertexId{0}], PartId{1});
+  EXPECT_EQ(p[VertexId{2}], PartId{1});
 }
 
 // Regression: the refiner used to lock in the first acceptable candidate
@@ -136,21 +136,21 @@ TEST(KwayRefine, ZeroGainTieBreakPicksLighterDestination) {
   b.set_vertex_weight(1, 5);
   b.set_vertex_weight(2, 3);
   b.set_vertex_weight(3, 6);
-  b.set_fixed_part(1, 1);
-  b.set_fixed_part(2, 2);
-  b.set_fixed_part(3, 0);
+  b.set_fixed_part(1, PartId{1});
+  b.set_fixed_part(2, PartId{2});
+  b.set_fixed_part(3, PartId{0});
   const Hypergraph h = b.finalize();
   PartitionConfig cfg;
   cfg.num_parts = 3;
   cfg.epsilon = 0.3;  // max part weight 6: both destinations feasible
   Partition p(3, 4);
-  p[0] = 0; p[1] = 1; p[2] = 2; p[3] = 0;
+  p[VertexId{0}] = PartId{0}; p[VertexId{1}] = PartId{1}; p[VertexId{2}] = PartId{2}; p[VertexId{3}] = PartId{0};
   // Moving v0 to p1 or p2 both have gain exactly 0 (one net uncut, one
   // newly cut) and both improve balance off the weight-7 part 0.
   Rng rng(8);
   const KwayRefineResult r = kway_refine(h, p, cfg, rng, 4);
   EXPECT_EQ(r.final_cut, r.initial_cut);
-  EXPECT_EQ(p[0], 2);  // the lighter of the two equal-gain destinations
+  EXPECT_EQ(p[VertexId{0}], PartId{2});  // the lighter of the two equal-gain destinations
 }
 
 // The dense pins-per-part table is guarded at num_nets * k > 2^28; the
@@ -165,16 +165,16 @@ TEST(KwayRefine, OversizedTableSkipIsCounted) {
   PartitionConfig cfg;
   cfg.num_parts = 1024;
   Partition p(1024, 2);
-  p[0] = 0;
-  p[1] = 1;
+  p[VertexId{0}] = PartId{0};
+  p[VertexId{1}] = PartId{1};
   const Weight before = connectivity_cut(h, p);
   Rng rng(9);
   const KwayRefineResult r = kway_refine(h, p, cfg, rng, 2);
   EXPECT_EQ(reg.counter_value("kway.skipped_table_too_large"), 1u);
   EXPECT_EQ(r.moves, 0);
   EXPECT_EQ(r.final_cut, before);
-  EXPECT_EQ(p[0], 0);
-  EXPECT_EQ(p[1], 1);
+  EXPECT_EQ(p[VertexId{0}], PartId{0});
+  EXPECT_EQ(p[VertexId{1}], PartId{1});
 }
 
 TEST(KwayRefine, StopsWhenNoMoveApplies) {
@@ -183,8 +183,8 @@ TEST(KwayRefine, StopsWhenNoMoveApplies) {
   PartitionConfig cfg;
   cfg.num_parts = 2;
   Partition p(2, 4);
-  p[0] = p[1] = 0;
-  p[2] = p[3] = 1;
+  p[VertexId{0}] = p[VertexId{1}] = PartId{0};
+  p[VertexId{2}] = p[VertexId{3}] = PartId{1};
   Rng rng(5);
   const KwayRefineResult r = kway_refine(h, p, cfg, rng, 5);
   EXPECT_EQ(r.moves, 0);

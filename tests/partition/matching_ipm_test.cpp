@@ -20,10 +20,8 @@ TEST(IpmMatching, IsAnInvolution) {
   Rng rng(9);
   const auto match = ipm_matching(h, default_cfg(), 0, rng);
   ASSERT_EQ(match.size(), 50u);
-  for (Index v = 0; v < 50; ++v) {
-    EXPECT_EQ(match[static_cast<std::size_t>(
-                  match[static_cast<std::size_t>(v)])],
-              v);
+  for (const VertexId v : match.ids()) {
+    EXPECT_EQ(match[match[v]], v);
   }
 }
 
@@ -32,17 +30,17 @@ TEST(IpmMatching, PrefersHeavilyConnectedPartner) {
   const Hypergraph h = make_hypergraph(3, {{0, 1}, {0, 1}, {0, 2}});
   Rng rng(1);
   const auto match = ipm_matching(h, default_cfg(), 0, rng);
-  EXPECT_EQ(match[0], 1);
-  EXPECT_EQ(match[1], 0);
-  EXPECT_EQ(match[2], 2);  // left unmatched
+  EXPECT_EQ(match[VertexId{0}], VertexId{1});
+  EXPECT_EQ(match[VertexId{1}], VertexId{0});
+  EXPECT_EQ(match[VertexId{2}], VertexId{2});  // left unmatched
 }
 
 TEST(IpmMatching, IsolatedVerticesStayUnmatched) {
   const Hypergraph h = make_hypergraph(4, {{0, 1}});
   Rng rng(2);
   const auto match = ipm_matching(h, default_cfg(), 0, rng);
-  EXPECT_EQ(match[2], 2);
-  EXPECT_EQ(match[3], 3);
+  EXPECT_EQ(match[VertexId{2}], VertexId{2});
+  EXPECT_EQ(match[VertexId{3}], VertexId{3});
 }
 
 TEST(IpmMatching, RespectsWeightCap) {
@@ -54,55 +52,55 @@ TEST(IpmMatching, RespectsWeightCap) {
   Rng rng(3);
   // Cap 15 < 20: the pair must not merge.
   const auto match = ipm_matching(h, default_cfg(), 15, rng);
-  EXPECT_EQ(match[0], 0);
-  EXPECT_EQ(match[1], 1);
+  EXPECT_EQ(match[VertexId{0}], VertexId{0});
+  EXPECT_EQ(match[VertexId{1}], VertexId{1});
   // Cap 0 disables the check.
   Rng rng2(3);
   const auto match2 = ipm_matching(h, default_cfg(), 0, rng2);
-  EXPECT_EQ(match2[0], 1);
+  EXPECT_EQ(match2[VertexId{0}], VertexId{1});
 }
 
 TEST(IpmMatching, NeverMatchesConflictingFixedVertices) {
   HypergraphBuilder b(2);
   b.add_net({0, 1});
-  b.set_fixed_part(0, 0);
-  b.set_fixed_part(1, 1);
+  b.set_fixed_part(0, PartId{0});
+  b.set_fixed_part(1, PartId{1});
   const Hypergraph h = b.finalize();
   Rng rng(4);
   const auto match = ipm_matching(h, default_cfg(), 0, rng);
-  EXPECT_EQ(match[0], 0);
-  EXPECT_EQ(match[1], 1);
+  EXPECT_EQ(match[VertexId{0}], VertexId{0});
+  EXPECT_EQ(match[VertexId{1}], VertexId{1});
 }
 
 TEST(IpmMatching, FixedWithFreeAllowed) {
   HypergraphBuilder b(2);
   b.add_net({0, 1});
-  b.set_fixed_part(0, 2);
+  b.set_fixed_part(0, PartId{2});
   const Hypergraph h = b.finalize();
   Rng rng(5);
   const auto match = ipm_matching(h, default_cfg(), 0, rng);
-  EXPECT_EQ(match[0], 1);
+  EXPECT_EQ(match[VertexId{0}], VertexId{1});
 }
 
 TEST(IpmMatching, SameFixedAllowed) {
   HypergraphBuilder b(2);
   b.add_net({0, 1});
-  b.set_fixed_part(0, 1);
-  b.set_fixed_part(1, 1);
+  b.set_fixed_part(0, PartId{1});
+  b.set_fixed_part(1, PartId{1});
   const Hypergraph h = b.finalize();
   Rng rng(6);
   const auto match = ipm_matching(h, default_cfg(), 0, rng);
-  EXPECT_EQ(match[0], 1);
+  EXPECT_EQ(match[VertexId{0}], VertexId{1});
 }
 
 TEST(IpmMatching, FixedCompatibilityRules) {
   EXPECT_TRUE(fixed_compatible(kNoPart, kNoPart));
-  EXPECT_TRUE(fixed_compatible(kNoPart, 3));
-  EXPECT_TRUE(fixed_compatible(3, kNoPart));
-  EXPECT_TRUE(fixed_compatible(2, 2));
-  EXPECT_FALSE(fixed_compatible(1, 2));
-  EXPECT_EQ(merged_fixed(kNoPart, 4), 4);
-  EXPECT_EQ(merged_fixed(4, kNoPart), 4);
+  EXPECT_TRUE(fixed_compatible(kNoPart, PartId{3}));
+  EXPECT_TRUE(fixed_compatible(PartId{3}, kNoPart));
+  EXPECT_TRUE(fixed_compatible(PartId{2}, PartId{2}));
+  EXPECT_FALSE(fixed_compatible(PartId{1}, PartId{2}));
+  EXPECT_EQ(merged_fixed(kNoPart, PartId{4}), PartId{4});
+  EXPECT_EQ(merged_fixed(PartId{4}, kNoPart), PartId{4});
   EXPECT_EQ(merged_fixed(kNoPart, kNoPart), kNoPart);
 }
 
@@ -115,10 +113,7 @@ TEST(IpmMatching, HighDegreeVerticesDoNotInitiate) {
       make_hypergraph(4, {{0, 1}, {0, 2}, {0, 3}});
   Rng rng(7);
   const auto match = ipm_matching(h, cfg, 0, rng);
-  for (Index v = 0; v < 4; ++v)
-    EXPECT_EQ(match[static_cast<std::size_t>(
-                  match[static_cast<std::size_t>(v)])],
-              v);
+  for (const VertexId v : match.ids()) EXPECT_EQ(match[match[v]], v);
 }
 
 TEST(IpmMatching, DeterministicGivenSeed) {
@@ -133,8 +128,8 @@ TEST(IpmMatching, MatchesMostVerticesOnDenseHypergraph) {
   Rng rng(8);
   const auto match = ipm_matching(h, default_cfg(), 0, rng);
   Index matched = 0;
-  for (Index v = 0; v < 100; ++v)
-    if (match[static_cast<std::size_t>(v)] != v) ++matched;
+  for (const VertexId v : match.ids())
+    if (match[v] != v) ++matched;
   EXPECT_GT(matched, 60);  // vast majority pairs up
 }
 

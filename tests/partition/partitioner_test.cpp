@@ -17,7 +17,7 @@ TEST(Partitioner, SinglePartTrivial) {
   PartitionConfig cfg;
   cfg.num_parts = 1;
   const Partition p = partition_hypergraph(h, cfg);
-  for (Index v = 0; v < 20; ++v) EXPECT_EQ(p[v], 0);
+  for (const VertexId v : p.vertices()) EXPECT_EQ(p[v], PartId{0});
 }
 
 TEST(Partitioner, EmptyHypergraph) {
@@ -39,7 +39,7 @@ TEST(Partitioner, BisectionIsBalancedAndValid) {
 }
 
 class PartitionerSweep
-    : public ::testing::TestWithParam<std::tuple<PartId, std::uint64_t>> {};
+    : public ::testing::TestWithParam<std::tuple<Index, std::uint64_t>> {};
 
 TEST_P(PartitionerSweep, BalancedValidDeterministic) {
   const auto [k, seed] = GetParam();
@@ -52,7 +52,7 @@ TEST_P(PartitionerSweep, BalancedValidDeterministic) {
   p.validate();
   EXPECT_EQ(p.k, k);
   // Every part non-empty for these sizes.
-  std::vector<Weight> pw = part_weights(h.vertex_weights(), p);
+  const IdVector<PartId, Weight> pw = part_weights(h.vertex_weights(), p);
   for (const Weight w : pw) EXPECT_GT(w, 0);
   // The compounded per-level tolerance can exceed epsilon slightly on tiny
   // instances; assert a sane bound.
@@ -64,7 +64,7 @@ TEST_P(PartitionerSweep, BalancedValidDeterministic) {
 
 INSTANTIATE_TEST_SUITE_P(
     KsAndSeeds, PartitionerSweep,
-    ::testing::Combine(::testing::Values<PartId>(2, 3, 4, 8, 16),
+    ::testing::Combine(::testing::Values<Index>(2, 3, 4, 8, 16),
                        ::testing::Values<std::uint64_t>(1, 2, 3)));
 
 TEST(Partitioner, DifferentSeedsUsuallyDiffer) {
@@ -128,7 +128,7 @@ TEST(Partitioner, OddK) {
   cfg.num_parts = 5;
   const Partition p = partition_hypergraph(h, cfg);
   p.validate();
-  std::vector<Weight> pw = part_weights(h.vertex_weights(), p);
+  const IdVector<PartId, Weight> pw = part_weights(h.vertex_weights(), p);
   for (const Weight w : pw) EXPECT_GT(w, 0);
 }
 

@@ -122,14 +122,14 @@ TEST(Pathological, DuplicateNetsStackCost) {
   cfg.epsilon = 0.1;
   const Partition p = partition_hypergraph(h, cfg);
   // The 10x duplicated net must not be cut.
-  EXPECT_EQ(p[0], p[1]);
+  EXPECT_EQ(p[VertexId{0}], p[VertexId{1}]);
 }
 
 TEST(Pathological, ZeroSizeVerticesPartition) {
   // Zero-size vertices make migration nets free in the repartition model;
   // the static partitioner must handle zero sizes without issue too.
   Hypergraph h = testing::random_hypergraph(30, 60, 4, 2, 7);
-  for (Index v = 0; v < 30; ++v) h.set_vertex_size(v, 0);
+  for (const VertexId v : h.vertices()) h.set_vertex_size(v, 0);
   PartitionConfig cfg;
   cfg.num_parts = 3;
   cfg.epsilon = 0.3;

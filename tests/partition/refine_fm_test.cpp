@@ -19,17 +19,25 @@ BisectionTargets even_targets(const Hypergraph& h, double eps = 0.1) {
   return t;
 }
 
-Weight cut_of(const Hypergraph& h, const std::vector<PartId>& side) {
+using Sides = IdVector<VertexId, PartId>;
+
+/// Shorthand for literal side assignments in the tests below.
+Sides sides(std::initializer_list<Index> raw) {
+  Sides out;
+  for (const Index q : raw) out.push_back(PartId{q});
+  return out;
+}
+
+Weight cut_of(const Hypergraph& h, const Sides& side) {
   Partition p(2, h.num_vertices());
   p.assignment = side;
   return connectivity_cut(h, p);
 }
 
-Weight side_weight(const Hypergraph& h, const std::vector<PartId>& side,
-                   PartId s) {
+Weight side_weight(const Hypergraph& h, const Sides& side, PartId s) {
   Weight w = 0;
-  for (Index v = 0; v < h.num_vertices(); ++v)
-    if (side[static_cast<std::size_t>(v)] == s) w += h.vertex_weight(v);
+  for (const VertexId v : h.vertices())
+    if (side[v] == s) w += h.vertex_weight(v);
   return w;
 }
 
@@ -37,9 +45,9 @@ TEST(FmRefine, NeverWorsensCut) {
   PartitionConfig cfg;
   for (std::uint64_t seed = 0; seed < 6; ++seed) {
     const Hypergraph h = random_hypergraph(50, 100, 5, 3, seed);
-    std::vector<PartId> side(50);
+    Sides side(50);
     Rng init(seed + 50);
-    for (auto& s : side) s = static_cast<PartId>(init.below(2));
+    for (auto& s : side) s = PartId{static_cast<Index>(init.below(2))};
     const Weight before = cut_of(h, side);
     Rng rng(seed);
     const FmResult r = fm_refine_bisection(h, side, even_targets(h), cfg, rng);
@@ -54,12 +62,12 @@ TEST(FmRefine, FindsObviousImprovement) {
   const Hypergraph h = make_hypergraph(
       8, {{0, 1, 2, 3}, {0, 1}, {2, 3}, {4, 5, 6, 7}, {4, 5}, {6, 7},
           {3, 4}});
-  std::vector<PartId> side{0, 1, 0, 1, 0, 1, 0, 1};  // everything cut
+  Sides side = sides({0, 1, 0, 1, 0, 1, 0, 1});  // everything cut
   PartitionConfig cfg;
   Rng rng(1);
   fm_refine_bisection(h, side, even_targets(h, 0.01), cfg, rng);
   EXPECT_EQ(cut_of(h, side), 1);  // only the bridging net remains cut
-  EXPECT_EQ(side_weight(h, side, 0), 4);
+  EXPECT_EQ(side_weight(h, side, PartId{0}), 4);
 }
 
 TEST(FmRefine, RespectsFixedVertices) {
@@ -67,28 +75,28 @@ TEST(FmRefine, RespectsFixedVertices) {
   b.add_net({0, 1, 2});
   b.add_net({3, 4, 5});
   b.add_net({0, 5});
-  b.set_fixed_part(0, 0);
-  b.set_fixed_part(5, 1);
+  b.set_fixed_part(0, PartId{0});
+  b.set_fixed_part(5, PartId{1});
   const Hypergraph h = b.finalize();
-  std::vector<PartId> side{0, 0, 0, 1, 1, 1};
+  Sides side = sides({0, 0, 0, 1, 1, 1});
   PartitionConfig cfg;
   Rng rng(2);
   fm_refine_bisection(h, side, even_targets(h), cfg, rng);
-  EXPECT_EQ(side[0], 0);
-  EXPECT_EQ(side[5], 1);
+  EXPECT_EQ(side[VertexId{0}], PartId{0});
+  EXPECT_EQ(side[VertexId{5}], PartId{1});
 }
 
 TEST(FmRefine, RepairsImbalance) {
   // Start with everything on side 0; FM must evacuate to meet targets.
   const Hypergraph h = random_hypergraph(40, 80, 4, 2, 17);
-  std::vector<PartId> side(40, 0);
+  Sides side(40, PartId{0});
   PartitionConfig cfg;
   cfg.max_refine_passes = 8;
   const BisectionTargets t = even_targets(h, 0.1);
   Rng rng(3);
   fm_refine_bisection(h, side, t, cfg, rng);
-  EXPECT_LE(side_weight(h, side, 0), t.max_weight(0));
-  EXPECT_LE(side_weight(h, side, 1), t.max_weight(1));
+  EXPECT_LE(side_weight(h, side, PartId{0}), t.max_weight(0));
+  EXPECT_LE(side_weight(h, side, PartId{1}), t.max_weight(1));
 }
 
 TEST(FmRefine, KeepsBalanceInvariant) {
@@ -97,25 +105,22 @@ TEST(FmRefine, KeepsBalanceInvariant) {
     const Hypergraph h = random_hypergraph(60, 120, 5, 3, seed + 30);
     const BisectionTargets t = even_targets(h, 0.15);
     // Feasible start: round-robin by weight.
-    std::vector<PartId> side(60);
-    for (Index v = 0; v < 60; ++v)
-      side[static_cast<std::size_t>(v)] = static_cast<PartId>(v % 2);
+    Sides side(60);
+    for (const VertexId v : side.ids()) side[v] = PartId{v.v % 2};
     Rng rng(seed);
     fm_refine_bisection(h, side, t, cfg, rng);
-    EXPECT_LE(side_weight(h, side, 0), t.max_weight(0));
-    EXPECT_LE(side_weight(h, side, 1), t.max_weight(1));
+    EXPECT_LE(side_weight(h, side, PartId{0}), t.max_weight(0));
+    EXPECT_LE(side_weight(h, side, PartId{1}), t.max_weight(1));
   }
 }
 
 TEST(FmRefine, BucketAndHeapQueuesAgreeOnQualityClass) {
   const Hypergraph h = random_hypergraph(50, 120, 4, 2, 77);
   const BisectionTargets t = even_targets(h, 0.1);
-  std::vector<PartId> side_heap(50), side_bucket(50);
+  Sides side_heap(50), side_bucket(50);
   Rng init(5);
-  for (Index v = 0; v < 50; ++v)
-    side_heap[static_cast<std::size_t>(v)] =
-        side_bucket[static_cast<std::size_t>(v)] =
-            static_cast<PartId>(init.below(2));
+  for (const VertexId v : side_heap.ids())
+    side_heap[v] = side_bucket[v] = PartId{static_cast<Index>(init.below(2))};
 
   PartitionConfig heap_cfg;
   heap_cfg.gain_queue = GainQueueKind::kHeap;
@@ -135,14 +140,14 @@ TEST(FmRefine, BucketAndHeapQueuesAgreeOnQualityClass) {
 TEST(FmRefine, AllFixedMeansNoMoves) {
   HypergraphBuilder b(4);
   b.add_net({0, 1, 2, 3});
-  for (Index v = 0; v < 4; ++v) b.set_fixed_part(v, v % 2);
+  for (Index v = 0; v < 4; ++v) b.set_fixed_part(v, PartId{v % 2});
   const Hypergraph h = b.finalize();
-  std::vector<PartId> side{0, 1, 0, 1};
+  Sides side = sides({0, 1, 0, 1});
   PartitionConfig cfg;
   Rng rng(6);
   const FmResult r = fm_refine_bisection(h, side, even_targets(h), cfg, rng);
   EXPECT_EQ(r.initial_cut, r.final_cut);
-  EXPECT_EQ(side, (std::vector<PartId>{0, 1, 0, 1}));
+  EXPECT_EQ(side, sides({0, 1, 0, 1}));
 }
 
 TEST(FmRefine, ZeroCostNetsDoNotCrash) {
@@ -151,7 +156,7 @@ TEST(FmRefine, ZeroCostNetsDoNotCrash) {
   b.add_net({1, 2}, 2);
   b.add_net({2, 3}, 0);
   const Hypergraph h = b.finalize();
-  std::vector<PartId> side{0, 1, 0, 1};
+  Sides side = sides({0, 1, 0, 1});
   PartitionConfig cfg;
   Rng rng(7);
   const FmResult r = fm_refine_bisection(h, side, even_targets(h), cfg, rng);

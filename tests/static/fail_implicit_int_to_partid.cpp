@@ -1,0 +1,19 @@
+// MUST NOT COMPILE (registered with WILL_FAIL in CMakeLists.txt).
+//
+// StrongId's integer constructor is explicit, so a plain int cannot quietly
+// become a PartId — the classic k-vs-part confusion (`p = k - 1` compiling
+// where a part label was meant). Construction must be spelled PartId{...}.
+// ok_baseline.cpp shows the correct spelling.
+#include "common/types.hpp"
+
+namespace hgr {
+
+PartId pick(Index k) {
+  PartId p = 0;        // error: implicit int -> PartId
+  p = k - 1;           // error: implicit Index -> PartId
+  return p;
+}
+
+}  // namespace hgr
+
+int main() { return 0; }

@@ -1,0 +1,24 @@
+// MUST NOT COMPILE (registered with WILL_FAIL in CMakeLists.txt).
+//
+// Passing a NetId to a vertex accessor and a VertexId to a net accessor.
+// Before StrongId both were `Index`, and this classic transposition bug —
+// iterating nets but looking up vertex weights — compiled silently and
+// read garbage. ok_baseline.cpp shows the correct spelling.
+#include "hypergraph/hypergraph.hpp"
+
+namespace hgr {
+
+Weight swapped(const Hypergraph& h) {
+  Weight acc = 0;
+  for (const NetId n : h.nets()) {
+    acc += h.vertex_weight(n);  // error: NetId is not a VertexId
+  }
+  for (const VertexId v : h.vertices()) {
+    acc += h.net_cost(v);  // error: VertexId is not a NetId
+  }
+  return acc;
+}
+
+}  // namespace hgr
+
+int main() { return 0; }

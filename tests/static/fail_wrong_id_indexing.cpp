@@ -1,0 +1,23 @@
+// MUST NOT COMPILE (registered with WILL_FAIL in CMakeLists.txt).
+//
+// Indexing an id-typed container with the wrong id space: the partition
+// vector is keyed by VertexId and per-part weights by PartId; subscripting
+// either with a different id (or a raw integer) must be rejected by the
+// typed operator[]. ok_baseline.cpp shows the correct spelling.
+#include "common/types.hpp"
+
+#include "metrics/partition.hpp"
+
+namespace hgr {
+
+Weight wrong_key(const Partition& p, const IdVector<PartId, Weight>& pw) {
+  Weight acc = 0;
+  acc += p[NetId{0}].v;   // error: partition vector is VertexId-keyed
+  acc += pw[VertexId{1}]; // error: part weights are PartId-keyed
+  acc += pw[3];           // error: raw integer subscript on IdVector
+  return acc;
+}
+
+}  // namespace hgr
+
+int main() { return 0; }

@@ -1,0 +1,40 @@
+// Positive control for the negative-compile suite (tests/static/).
+//
+// This file exercises exactly the API shapes the fail_*.cpp files misuse,
+// spelled correctly. It must stay compiling: if it breaks, the suite's
+// WILL_FAIL tests prove nothing (a fail_*.cpp could be failing for the
+// same unrelated reason rather than for the id-safety violation it
+// demonstrates).
+#include "common/types.hpp"
+
+#include "hypergraph/hypergraph.hpp"
+#include "metrics/balance.hpp"
+
+namespace hgr {
+
+Weight typed_access(const Hypergraph& h, const Partition& p) {
+  Weight acc = 0;
+  for (const VertexId v : h.vertices()) {
+    acc += h.vertex_weight(v);
+  }
+  for (const NetId n : h.nets()) {
+    acc += h.net_cost(n) * h.net_size(n);
+    for (const VertexId pin : h.pins(n)) {
+      acc += p[pin].v;
+    }
+  }
+  return acc;
+}
+
+Weight typed_containers(Index k) {
+  IdVector<PartId, Weight> part_weights(static_cast<std::size_t>(k), 0);
+  for (const PartId part : part_range(k)) {
+    part_weights[part] += 1;
+  }
+  const PartId explicit_ok{2};  // explicit construction is the sanctioned spelling
+  return part_weights[explicit_ok];
+}
+
+}  // namespace hgr
+
+int main() { return 0; }

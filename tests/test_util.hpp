@@ -71,11 +71,12 @@ inline Graph random_graph(Index n, Index extra_edges, std::uint64_t seed) {
 }
 
 /// Random partition into k parts.
-inline Partition random_partition(Index n, PartId k, std::uint64_t seed) {
+inline Partition random_partition(Index n, Index k, std::uint64_t seed) {
   Rng rng(seed);
   Partition p(k, n);
-  for (Index v = 0; v < n; ++v)
-    p[v] = static_cast<PartId>(rng.below(static_cast<std::uint64_t>(k)));
+  for (const VertexId v : p.vertices())
+    p[v] = PartId{
+        static_cast<Index>(rng.below(static_cast<std::uint64_t>(k)))};
   return p;
 }
 
@@ -83,12 +84,12 @@ inline Partition random_partition(Index n, PartId k, std::uint64_t seed) {
 inline Weight brute_force_connectivity_cut(const Hypergraph& h,
                                            const Partition& p) {
   Weight total = 0;
-  for (Index net = 0; net < h.num_nets(); ++net) {
+  for (const NetId net : h.nets()) {
     std::vector<bool> seen(static_cast<std::size_t>(p.k), false);
-    PartId lambda = 0;
-    for (const Index v : h.pins(net)) {
-      if (!seen[static_cast<std::size_t>(p[v])]) {
-        seen[static_cast<std::size_t>(p[v])] = true;
+    Index lambda = 0;
+    for (const VertexId v : h.pins(net)) {
+      if (!seen[static_cast<std::size_t>(p[v].v)]) {
+        seen[static_cast<std::size_t>(p[v].v)] = true;
         ++lambda;
       }
     }

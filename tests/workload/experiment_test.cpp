@@ -65,7 +65,7 @@ TEST(Experiment, CliParsing) {
   EXPECT_DOUBLE_EQ(cfg.scale, 0.5);
   EXPECT_EQ(cfg.num_epochs, 7);
   EXPECT_EQ(cfg.num_trials, 2);
-  EXPECT_EQ(cfg.k_values, (std::vector<PartId>{8, 16}));
+  EXPECT_EQ(cfg.k_values, (std::vector<Index>{8, 16}));
   EXPECT_EQ(cfg.alphas, (std::vector<Weight>{1, 1000}));
   EXPECT_EQ(cfg.seed, 9u);
   EXPECT_EQ(cfg.dataset, "cage14-like");

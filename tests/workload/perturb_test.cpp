@@ -9,11 +9,11 @@
 namespace hgr {
 namespace {
 
-Partition blocks_of(const Graph& g, PartId k) {
+Partition blocks_of(const Graph& g, Index k) {
   Partition p(k, g.num_vertices());
   for (Index v = 0; v < g.num_vertices(); ++v)
-    p[v] = static_cast<PartId>((static_cast<std::int64_t>(v) * k) /
-                               g.num_vertices());
+    p[VertexId{v}] = PartId{static_cast<Index>(
+        (static_cast<std::int64_t>(v) * k) / g.num_vertices())};
   return p;
 }
 
@@ -78,10 +78,10 @@ TEST(StructuralPerturb, DeletionsComeOnlyFromAffectedParts) {
   // (parts_fraction = 0.5 of k=4).
   std::vector<Index> survivors(4, 0);
   for (Index v = 0; v < e2.graph.num_vertices(); ++v)
-    ++survivors[static_cast<std::size_t>(e2.old_partition[v])];
+    ++survivors[static_cast<std::size_t>(e2.old_partition[VertexId{v}].v)];
   std::vector<Index> original(4, 0);
   for (Index v = 0; v < e1.graph.num_vertices(); ++v)
-    ++original[static_cast<std::size_t>(p[v])];
+    ++original[static_cast<std::size_t>(p[VertexId{v}].v)];
   int untouched = 0;
   for (int q = 0; q < 4; ++q)
     if (survivors[static_cast<std::size_t>(q)] ==

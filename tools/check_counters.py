@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Cross-check observability counter names against their consumers.
+
+Three artifacts must agree (docs/OBSERVABILITY.md, "Counter registry"):
+
+  1. Counter literals in src/ — every `obs::counter("name")` and
+     `obs::CachedCounter handle("name")` call site.
+  2. The "Counter registry" table in docs/OBSERVABILITY.md.
+  3. The TRACKED metric list in tools/bench_report.py, whose entries must
+     resolve to a metric some bench/ binary actually emits.
+
+Checks (each failure is one line on stdout; exit 1 on any):
+
+  counters <-> docs   BOTH directions. A counter bumped in src/ but absent
+                      from the registry table is drift; so is a registry
+                      row whose counter no longer exists in src/.
+  TRACKED -> bench    Every TRACKED path under `metrics.` must match a
+                      metric key literal in bench/*.cpp. Keys built
+                      dynamically with the `_p<N>` rank-suffix convention
+                      (micro_comm) match when the stem and suffix both
+                      appear as literals.
+
+Usage: check_counters.py [repo-root]
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+COUNTER_CALL = re.compile(
+    r'(?:obs::counter|CachedCounter(?:\s+\w+)?)\s*\(\s*"([^"]+)"')
+REGISTRY_ROW = re.compile(r"^\|\s*`([a-z_0-9.]+)`\s*\|")
+RANK_SUFFIX = re.compile(r"^(?P<stem>.+)_p\d+(?P<suffix>_[a-z_]+)$")
+LINE_COMMENT = re.compile(r"//.*$")
+
+
+def source_counters(src: Path) -> dict[str, str]:
+    """counter name -> first file that bumps it."""
+    found: dict[str, str] = {}
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".cpp", ".hpp"):
+            continue
+        # Strip line comments so doc examples (obs/trace.hpp) don't count,
+        # then join lines: CachedCounter declarations wrap.
+        code = "\n".join(LINE_COMMENT.sub("", ln)
+                         for ln in path.read_text().splitlines())
+        code = re.sub(r"\(\s*\n\s*", "(", code)
+        for m in COUNTER_CALL.finditer(code):
+            found.setdefault(m.group(1), str(path))
+    return found
+
+
+def documented_counters(doc_path: Path) -> set[str]:
+    """Rows of the Counter registry table."""
+    in_section = False
+    names = set()
+    for line in doc_path.read_text().splitlines():
+        if line.startswith("## "):
+            in_section = line.strip() == "## Counter registry"
+            continue
+        if in_section:
+            m = REGISTRY_ROW.match(line)
+            if m and m.group(1) != "counter":
+                names.add(m.group(1))
+    return names
+
+
+def tracked_metrics(report_path: Path) -> list[str]:
+    """First key under `metrics.` for each TRACKED entry, via the AST."""
+    tree = ast.parse(report_path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "TRACKED"
+                for t in node.targets):
+            paths = []
+            for elt in node.value.elts:  # list of (path, lower_better)
+                dotted = elt.elts[0].value
+                parts = dotted.split(".")
+                if parts[0] == "metrics" and len(parts) > 1:
+                    paths.append(parts[1])
+            return paths
+    raise SystemExit(f"check_counters: no TRACKED list in {report_path}")
+
+
+def bench_literals(bench: Path) -> set[str]:
+    """Every string literal fragment in bench sources."""
+    frags = set()
+    for path in sorted(bench.glob("*.cpp")):
+        for m in re.finditer(r'"((?:[^"\\]|\\.)*)"', path.read_text()):
+            # Unescape the \" JSON-key quoting used by the emitters.
+            frags.add(m.group(1).replace('\\"', '"'))
+    return frags
+
+
+def metric_emitted(name: str, frags: set[str]) -> bool:
+    joined = "\x00".join(frags)
+    if name in joined:
+        return True
+    m = RANK_SUFFIX.match(name)  # micro_comm: "alltoallv_small" + "_p4..."
+    if m:
+        return m.group("stem") in joined and m.group("suffix") in joined
+    return False
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(".")
+    failures = []
+
+    in_src = source_counters(root / "src")
+    in_docs = documented_counters(root / "docs" / "OBSERVABILITY.md")
+    for name in sorted(set(in_src) - in_docs):
+        failures.append(
+            f"counter `{name}` (bumped in {in_src[name]}) is missing from "
+            "the Counter registry in docs/OBSERVABILITY.md")
+    for name in sorted(in_docs - set(in_src)):
+        failures.append(
+            f"Counter registry row `{name}` has no matching counter in src/"
+            " — remove the row or restore the counter")
+
+    frags = bench_literals(root / "bench")
+    for name in tracked_metrics(root / "tools" / "bench_report.py"):
+        if not metric_emitted(name, frags):
+            failures.append(
+                f"TRACKED metric `metrics.{name}` in tools/bench_report.py "
+                "is emitted by no bench/ binary")
+
+    for f in failures:
+        print(f"check_counters: {f}")
+    print(f"check_counters: {len(in_src)} src counters, {len(in_docs)} "
+          f"documented, {len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

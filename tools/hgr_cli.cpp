@@ -70,7 +70,7 @@ struct CliOptions {
   std::string fault_plan_spec;
   int epoch_retries = 1;        // failed repartition attempts retried
   double epoch_timeout = 0.0;   // per-attempt wall budget (0 = unlimited)
-  PartId k = 2;
+  Index k = 2;
   double eps = 0.05;
   std::uint64_t seed = 1;
   Weight alpha = 100;
@@ -114,7 +114,7 @@ CliOptions parse(int argc, char** argv) {
     const std::string key = arg.substr(0, eq);
     const std::string value = eq == std::string::npos ? "" : arg.substr(eq + 1);
     if (key == "--k") {
-      opt.k = static_cast<PartId>(std::stol(value));
+      opt.k = static_cast<Index>(std::stol(value));
     } else if (key == "--eps") {
       opt.eps = std::stod(value);
     } else if (key == "--seed") {
