@@ -4,7 +4,7 @@
 //   {"schema":"hgr-bench-v1","bench":"<binary>","dataset":...,
 //    "config":{...},            // the sweep/trial configuration
 //    "cells":[...]  or  "metrics":{...},   // figure cells / micro metrics
-//    "trace":{...}}             // the full hgr-trace-v1 export, including
+//    "trace":{...}}             // the full hgr-trace-v2 export, including
 //                               // the "comm" telemetry section (per-rank
 //                               // send/recv bytes, wait fractions)
 // tools/bench_report.py aggregates these into BENCH_partition.json at the

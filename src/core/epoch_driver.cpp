@@ -13,6 +13,7 @@
 #include "metrics/balance.hpp"
 #include "metrics/cut.hpp"
 #include "metrics/migration.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/trace.hpp"
 #include "partition/partitioner.hpp"
 
@@ -93,7 +94,17 @@ EpochRunSummary run_epochs(EpochScenario& scenario,
   // the incremental repartitioner holds the drift baseline across them.
   EpochDeltaTracker delta_tracker;
   IncrementalRepartitioner incremental;
+  static obs::CachedCounter tier_static_counter("epoch.tier_static");
+  static obs::CachedCounter epoch_counter("epoch.count");
+  static obs::CachedCounter comm_volume_counter("epoch.comm_volume");
+  static obs::CachedCounter migration_volume_counter("epoch.migration_volume");
+  static obs::CachedCounter total_cost_counter("epoch.total_cost");
+  static obs::CachedCounter migrated_counter("epoch.migrated_vertices");
   for (Index e = 1; e <= num_epochs; ++e) {
+    // Tag the epoch for span attribution and the live stats stream before
+    // any repartition work runs.
+    obs::set_current_epoch(e);
+    obs::gauge("epoch.current").set(e);
     EpochProblem problem = scenario.next_epoch();
     const Hypergraph h = graph_to_hypergraph(problem.graph);
     const EpochDelta delta =
@@ -125,7 +136,7 @@ EpochRunSummary run_epochs(EpochScenario& scenario,
       // The bootstrap cut is the first drift baseline, so epoch 2 can
       // already ride the fast path.
       incremental.note_full(record.cost.comm_volume);
-      obs::counter("epoch.tier_static") += 1;
+      tier_static_counter += 1;
     } else {
       // Guarded by the graceful-degradation policy: a repartition attempt
       // that throws (misbehaving rank, watchdog-detected deadlock,
@@ -133,6 +144,7 @@ EpochRunSummary run_epochs(EpochScenario& scenario,
       // epoch degrades to the configured fallback — the run keeps going.
       // run_tiered_repartition first offers the epoch to the O(delta)
       // incremental path (no-op when cfg.partition.incremental is kOff).
+      const std::uint64_t span_before = obs::latest_critical_path().span_id;
       GuardedRepartitionResult guarded = run_tiered_repartition(
           algorithm, h, problem.graph, problem.old_partition, cfg,
           incremental, delta);
@@ -145,6 +157,16 @@ EpochRunSummary run_epochs(EpochScenario& scenario,
       record.num_migrated =
           num_migrated(problem.old_partition, guarded.result.partition);
       chosen = std::move(guarded.result.partition);
+      // Pick up the critical-path attribution published by this epoch's
+      // repartition span (parallel runtime or the serial one-rank span).
+      // Both guards matter: the span must be new (a degraded epoch ends
+      // none, and the store is process-global) and tagged with this epoch.
+      const obs::CriticalPathSummary cp = obs::latest_critical_path();
+      if (cp.valid && cp.span_id != span_before &&
+          cp.epoch == static_cast<std::int64_t>(e)) {
+        record.critical_rank = cp.critical_rank;
+        record.wait_frac = cp.wait_frac;
+      }
     }
     record.is_static = problem.first;
     // Per-epoch invariant verification: the epoch hypergraph is
@@ -166,15 +188,12 @@ EpochRunSummary run_epochs(EpochScenario& scenario,
     record.initial_seconds = after.initial - before.initial;
     record.refine_seconds = after.refine - before.refine;
     record.imbalance = imbalance(problem.graph.vertex_weights(), chosen);
-    obs::counter("epoch.count") += 1;
-    obs::counter("epoch.comm_volume") +=
-        static_cast<std::uint64_t>(record.cost.comm_volume);
-    obs::counter("epoch.migration_volume") +=
+    epoch_counter += 1;
+    comm_volume_counter += static_cast<std::uint64_t>(record.cost.comm_volume);
+    migration_volume_counter +=
         static_cast<std::uint64_t>(record.cost.migration_volume);
-    obs::counter("epoch.total_cost") +=
-        static_cast<std::uint64_t>(record.cost.total());
-    obs::counter("epoch.migrated_vertices") +=
-        static_cast<std::uint64_t>(record.num_migrated);
+    total_cost_counter += static_cast<std::uint64_t>(record.cost.total());
+    migrated_counter += static_cast<std::uint64_t>(record.num_migrated);
     summary.epochs.push_back(record);
     scenario.record_partition(chosen);
   }
@@ -202,7 +221,7 @@ std::string EpochSeries::csv_header() {
          "migration_volume,total_cost,normalized_cost,imbalance,"
          "num_vertices,num_migrated,repart_seconds,coarsen_seconds,"
          "initial_seconds,refine_seconds,is_static,degraded,retries,"
-         "tier,escalated";
+         "tier,escalated,critical_rank,wait_frac";
 }
 
 namespace {
@@ -242,7 +261,7 @@ std::string EpochSeries::to_csv() const {
     append_formatted(
         out,
         ",%lld,%lld,%lld,%lld,%lld,%lld,%lld,%.6g,%.6g,%lld,%lld,%.6g,%.6g,"
-        "%.6g,%.6g,%d,%d,%lld,%s,%d",
+        "%.6g,%.6g,%d,%d,%lld,%s,%d,%d,%.6g",
         static_cast<long long>(row.k), static_cast<long long>(row.alpha),
         static_cast<long long>(row.trial), static_cast<long long>(r.epoch),
         static_cast<long long>(r.cost.comm_volume),
@@ -253,7 +272,7 @@ std::string EpochSeries::to_csv() const {
         r.coarsen_seconds, r.initial_seconds, r.refine_seconds,
         r.is_static ? 1 : 0, r.degraded ? 1 : 0,
         static_cast<long long>(r.retries), to_string(r.tier),
-        r.escalated ? 1 : 0);
+        r.escalated ? 1 : 0, r.critical_rank, r.wait_frac);
     out += '\n';
   }
   return out;

@@ -71,6 +71,12 @@ struct EpochRecord {
   /// True when the fast path was attempted but abandoned (drift or
   /// residual imbalance) and the epoch escalated to the full tier.
   bool escalated = false;
+  /// Critical-path attribution for this epoch's repartition span: the rank
+  /// whose compute bounded the epoch (-1 when no span was recorded, e.g.
+  /// the static bootstrap) and the fraction of that rank's span spent
+  /// blocked in the comm layer. See src/obs/critical_path.hpp.
+  int critical_rank = -1;
+  double wait_frac = 0.0;
 };
 
 struct EpochRunSummary {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <thread>
 
 #include "common/assert.hpp"
@@ -9,6 +10,8 @@
 #include "core/incremental_repart.hpp"
 #include "core/repartition_model.hpp"
 #include "graphpart/scratch_remap.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/events.hpp"
 #include "obs/trace.hpp"
 #include "parallel/par_partitioner.hpp"
 #include "partition/partitioner.hpp"
@@ -174,6 +177,24 @@ RepartitionResult attempt_repartition(RepartAlgorithm algorithm,
   return run_repartition_algorithm(algorithm, h, g, old_p, cfg);
 }
 
+/// Serial tiers have no per-rank timeline, so the parallel runtime never
+/// opens a span for them. Record the whole tier as a one-rank span instead:
+/// the critical-path section stays populated (rank 0, zero wait) whichever
+/// tier handled the epoch.
+void record_serial_epoch_span(const char* phase, double seconds) {
+  const std::uint64_t span = obs::begin_epoch_span();
+  obs::record_rank_phase(span, 0, phase, seconds, 0.0);
+  obs::end_epoch_span(span);
+}
+
+/// True when run_repartition_with_policy dispatches to the parallel
+/// runtime, which records its own per-rank critical-path span.
+bool uses_parallel_runtime(RepartAlgorithm algorithm,
+                           const RepartitionerConfig& cfg) {
+  return cfg.num_ranks > 0 &&
+         algorithm == RepartAlgorithm::kHypergraphRepart;
+}
+
 /// The terminal fallback: keep the previous assignment. Zero migration by
 /// construction; the cut is recomputed on the epoch hypergraph so the
 /// record stays honest about what a stale partition costs.
@@ -193,9 +214,11 @@ GuardedRepartitionResult run_repartition_with_policy(
     const Partition& old_p, const RepartitionerConfig& cfg) {
   GuardedRepartitionResult out;
   const int attempts = std::max(0, cfg.max_retries) + 1;
+  static obs::CachedCounter retries_counter("epoch.retries");
+  static obs::CachedCounter failures_counter("epoch.repart_failures");
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
-      obs::counter("epoch.retries") += 1;
+      retries_counter += 1;
       if (cfg.retry_backoff_seconds > 0.0)
         std::this_thread::sleep_for(std::chrono::duration<double>(
             cfg.retry_backoff_seconds *
@@ -213,7 +236,12 @@ GuardedRepartitionResult run_repartition_with_policy(
       // FaultInjected), a hung collective (CommDeadlock), an over-budget
       // attempt — anything short of killing the epoch loop.
       out.error = e.what();
-      obs::counter("epoch.repart_failures") += 1;
+      failures_counter += 1;
+      // Mark the failure on the timeline so the aborted attempt's tail is
+      // attributable in --chrome-trace output (the export also closes any
+      // spans the dying attempt left open).
+      if (obs::events_enabled())
+        obs::emit_instant("epoch.repart_failure", "epoch");
     }
   }
 
@@ -223,6 +251,7 @@ GuardedRepartitionResult run_repartition_with_policy(
   out.degraded = true;
   out.retries = attempts - 1;
   obs::counter("epoch.degraded") += 1;
+  if (obs::events_enabled()) obs::emit_instant("epoch.degraded", "epoch");
   WallTimer timer;
   if (cfg.fallback == EpochFallback::kScratch) {
     try {
@@ -262,6 +291,9 @@ GuardedRepartitionResult run_tiered_repartition(
       out.result.partition = std::move(fast.partition);
       out.result.seconds = fast.seconds;
       obs::counter("epoch.tier_incremental") += 1;
+      obs::histogram("epoch.incremental_ns")
+          .record(static_cast<std::int64_t>(fast.seconds * 1e9));
+      record_serial_epoch_span("incremental", fast.seconds);
       return out;
     }
     GuardedRepartitionResult out =
@@ -271,12 +303,20 @@ GuardedRepartitionResult run_tiered_repartition(
     out.tier_reason = fast.reason;
     if (fast.attempted) obs::counter("epoch.escalations") += 1;
     obs::counter("epoch.tier_full") += 1;
+    obs::histogram("epoch.full_ns")
+        .record(static_cast<std::int64_t>(out.result.seconds * 1e9));
+    if (!uses_parallel_runtime(algorithm, cfg))
+      record_serial_epoch_span("full", out.result.seconds);
     inc.note_full(out.result.cost.comm_volume);
     return out;
   }
   GuardedRepartitionResult out =
       run_repartition_with_policy(algorithm, h, g, old_p, cfg);
   obs::counter("epoch.tier_full") += 1;
+  obs::histogram("epoch.full_ns")
+      .record(static_cast<std::int64_t>(out.result.seconds * 1e9));
+  if (!uses_parallel_runtime(algorithm, cfg))
+    record_serial_epoch_span("full", out.result.seconds);
   inc.note_full(out.result.cost.comm_volume);
   return out;
 }

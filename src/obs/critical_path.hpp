@@ -1,0 +1,86 @@
+// Cross-rank critical-path attribution for epochs.
+//
+// The merged phase tree says how much total time every rank spent in
+// coarsen/initial/refine, but an epoch's wall time is set by its slowest
+// rank — the critical path — and the tree cannot name it. This module
+// tags each epoch's repartition with a *span id* (allocated by rank 0 and
+// propagated to the other ranks through the comm exchange window, exactly
+// like any other broadcast payload), lets every rank record its per-phase
+// compute time and blocked time against that span, and derives the
+// attribution the paper's load-balancing story needs: "epoch 7 was bounded
+// by rank 3's coarsen, 41% of which was wait".
+//
+// Exported three ways:
+//   - the "critical_path" section of the hgr-trace-v2 JSON (all retained
+//     spans, per-rank per-phase breakdown + derived summary), rendered by
+//     tools/critical_path.py;
+//   - latest_critical_path(), consumed by the epoch driver and hgr_cli to
+//     fill the epoch CSV's critical_rank / wait_frac columns;
+//   - the serial tiers record a one-rank span so the CSV columns stay
+//     populated when no communicator exists (rank 0, zero wait).
+//
+// All calls are phase-granularity (a handful per epoch), so a plain
+// mutex-protected store is the right cost point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hgr::obs {
+
+/// One rank's time in one phase of a span: `seconds` of wall time, of
+/// which `wait_seconds` were spent blocked in the comm layer.
+struct RankPhaseSample {
+  int rank = 0;
+  std::string phase;
+  double seconds = 0.0;
+  double wait_seconds = 0.0;
+};
+
+/// Derived per-span attribution (valid == false when no span exists yet).
+struct CriticalPathSummary {
+  std::uint64_t span_id = 0;
+  std::int64_t epoch = -1;       // set_current_epoch value at span begin
+  int critical_rank = -1;        // rank with the largest total seconds
+  std::string critical_phase;    // that rank's largest phase
+  double critical_seconds = 0.0; // that rank's total seconds
+  double wait_frac = 0.0;        // blocked fraction of the critical rank
+  bool valid = false;
+};
+
+/// Tag subsequent spans with the driver's epoch index (-1 = none). The
+/// epoch driver sets this per epoch; hgr_cli sets it for its single
+/// decision. Process-global (epochs are sequential by construction).
+void set_current_epoch(std::int64_t epoch);
+std::int64_t current_epoch();
+
+/// Allocate a span for the current epoch. Returns the span id; rank 0
+/// calls this and broadcasts the id through the comm window so every rank
+/// records against the same span.
+std::uint64_t begin_epoch_span();
+
+/// Record one rank's phase interval against `span_id`. Unknown ids are
+/// ignored (a stale id can outlive a reset between runs).
+void record_rank_phase(std::uint64_t span_id, int rank,
+                       std::string_view phase, double seconds,
+                       double wait_seconds);
+
+/// Close the span: derive the critical rank/phase and wait fraction and
+/// republish the "critical_path" section of the global registry. Call
+/// after every rank's records are in (post-join or post-barrier).
+void end_epoch_span(std::uint64_t span_id);
+
+/// Summary of the most recently *ended* span.
+CriticalPathSummary latest_critical_path();
+
+/// The "critical_path" section JSON: {"spans":[...]} with per-rank
+/// breakdowns and derived summaries, oldest span first.
+std::string critical_path_to_json();
+
+/// Drop all spans and reset the id counter effect on retention (ids keep
+/// increasing; they are process-unique).
+void reset_critical_path();
+
+}  // namespace hgr::obs

@@ -274,6 +274,13 @@ std::string chrome_trace_json() {
                   track, track);
     out += buf;
   }
+  // Spans left open by an exception or degradation path (a faulted rank
+  // unwinds without its EventSpan destructors reaching the ring in order,
+  // or the process exports mid-phase). Unterminated B events make viewers
+  // drop the whole tail of the track, so synthesize matching E events at
+  // the capture's last timestamp instead of losing them.
+  std::map<std::uint32_t, std::vector<const Event*>> open_spans;
+  std::uint64_t max_ts = 0;
   for (const Event& e : snap.events) {
     comma();
     out += "{\"name\":\"";
@@ -295,11 +302,36 @@ std::string chrome_trace_json() {
       out += buf;
     }
     out += '}';
+    max_ts = std::max(max_ts, e.ts_ns);
+    if (e.type == EventType::kBegin) {
+      open_spans[track_of(e)].push_back(&e);
+    } else if (e.type == EventType::kEnd) {
+      std::vector<const Event*>& stack = open_spans[track_of(e)];
+      if (!stack.empty()) stack.pop_back();
+    }
+  }
+  std::uint64_t flushed = 0;
+  for (const auto& [track, stack] : open_spans) {
+    // Innermost first: E events close spans in strict nesting order.
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      comma();
+      out += "{\"name\":\"";
+      escape_to(out, (*it)->name);
+      out += "\",\"cat\":\"";
+      escape_to(out, (*it)->category != nullptr ? (*it)->category : "event");
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "\",\"ph\":\"E\",\"pid\":0,\"tid\":%u,\"ts\":%.3f}",
+                    track, static_cast<double>(max_ts) / 1e3);
+      out += buf;
+      ++flushed;
+    }
   }
   out += "],\"otherData\":{\"droppedEvents\":";
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%llu",
-                static_cast<unsigned long long>(snap.dropped));
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%llu,\"flushedSpans\":%llu",
+                static_cast<unsigned long long>(snap.dropped),
+                static_cast<unsigned long long>(flushed));
   out += buf;
   out += "}}";
   return out;

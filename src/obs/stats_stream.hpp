@@ -1,0 +1,84 @@
+// Live stats stream: a bounded ring of registry snapshots sampled at
+// top-level phase boundaries.
+//
+// The trace JSON is a post-mortem artifact; a long-running partitioner (or
+// the future hgr_serve daemon) needs to answer "what is the run doing right
+// now" without stopping. When the stream is enabled, every close of a
+// *top-level* TraceScope (the calling thread's phase stack emptying) pushes
+// one StatsSnapshot — phase name, duration, and the full counter/gauge
+// state at that instant — into a fixed-capacity ring (oldest dropped).
+//
+// Two consumers:
+//   - `hgr_cli --stats-stream=FILE` enables the stream and writes the ring
+//     as newline-delimited hgr-stats-v1 JSON when the run ends;
+//   - request_stats_dump() (async-signal-safe: one atomic store, installed
+//     on SIGUSR1 by hgr_cli) marks a dump pending, and the next phase-close
+//     sample flushes the ring to the configured path mid-run.
+//
+// The disabled check on the phase-close path is one relaxed atomic load;
+// sampling itself takes the stream mutex plus a registry snapshot, which is
+// fine at phase granularity (top-level phases close a handful of times per
+// run, not per loop iteration).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hgr::obs {
+
+class Registry;
+
+/// One sampled point of the run: the top-level phase that just closed plus
+/// the registry's counter/gauge state at that instant.
+struct StatsSnapshot {
+  std::uint64_t seq = 0;    // monotonically increasing sample number
+  std::uint64_t ts_ns = 0;  // nanoseconds since the stream was enabled
+  std::string phase;        // name of the top-level phase that closed
+  double seconds = 0.0;     // that phase's duration
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+
+  /// One newline-free hgr-stats-v1 JSON object (one stream line).
+  std::string to_json() const;
+};
+
+/// Turn sampling on/off. Enabling (re)starts the stream clock; the ring
+/// contents survive until reset_stats_stream().
+void set_stats_stream_enabled(bool on);
+bool stats_stream_enabled();
+
+/// Ring capacity (default 256 samples); applies to subsequent samples,
+/// trimming the ring if shrunk.
+void set_stats_ring_capacity(std::size_t n);
+
+/// Path that triggered dumps (request_stats_dump) flush to; empty disables
+/// triggered flushing (the ring still fills).
+void set_stats_stream_path(std::string path);
+
+/// Phase-close hook (called by Registry::end_phase when a thread's stack
+/// empties and the stream is enabled). Samples `reg` into the ring, then
+/// honors any pending dump request.
+void stats_stream_on_phase_close(Registry& reg, const std::string& phase,
+                                 double seconds);
+
+/// Copy of the ring, oldest first.
+std::vector<StatsSnapshot> stats_stream_snapshot();
+
+/// Total samples dropped to the ring bound since the last reset.
+std::uint64_t stats_stream_dropped();
+
+/// Drop all samples and counters; leaves enabled/capacity/path untouched.
+void reset_stats_stream();
+
+/// Async-signal-safe dump trigger: marks a dump pending. The next sampled
+/// phase boundary writes the ring to the configured path.
+void request_stats_dump();
+bool stats_dump_pending();
+
+/// Write the ring to `path` (truncating), one hgr-stats-v1 JSON object per
+/// line, oldest first. Returns false on I/O failure.
+bool write_stats_stream(const std::string& path);
+
+}  // namespace hgr::obs

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/assert.hpp"
+#include "obs/stats_stream.hpp"
 
 namespace hgr::obs {
 
@@ -87,6 +88,20 @@ const CachedCounter::Entry* CachedCounter::resolve(Registry& reg) {
   return published;
 }
 
+const CachedHistogram::Entry* CachedHistogram::resolve(Registry& reg) {
+  std::lock_guard lock(mutex_);
+  // Re-check under the lock: another thread may have resolved already.
+  const Entry* e = current_.load(std::memory_order_acquire);
+  if (e != nullptr && e->registry_id == reg.id()) return e;
+  auto entry = std::make_unique<Entry>();
+  entry->registry_id = reg.id();
+  entry->hist = &reg.histogram(name_);
+  const Entry* published = entry.get();
+  owned_.push_back(std::move(entry));
+  current_.store(published, std::memory_order_release);
+  return published;
+}
+
 const PhaseSnapshot* find_phase(const PhaseSnapshot& root,
                                 std::initializer_list<std::string_view> path) {
   const PhaseSnapshot* node = &root;
@@ -127,6 +142,40 @@ std::map<std::string, std::uint64_t> Registry::counters() const {
   return out;
 }
 
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  auto hist = std::make_unique<Histogram>();
+  Histogram& ref = *hist;
+  histograms_.emplace(std::string(name), std::move(hist));
+  return ref;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  auto g = std::make_unique<Gauge>();
+  Gauge& ref = *g;
+  gauges_.emplace(std::string(name), std::move(g));
+  return ref;
+}
+
+std::map<std::string, HistogramSnapshot> Registry::histograms() const {
+  std::lock_guard lock(mutex_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, hist] : histograms_) out[name] = hist->snapshot();
+  return out;
+}
+
+std::map<std::string, std::int64_t> Registry::gauges() const {
+  std::lock_guard lock(mutex_);
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, g] : gauges_) out[name] = g->value();
+  return out;
+}
+
 Registry::Node* Registry::find_or_add_child(Node& parent,
                                             std::string_view name) {
   for (const auto& child : parent.children)
@@ -145,16 +194,26 @@ void Registry::begin_phase(std::string_view name) {
 }
 
 void Registry::end_phase(double seconds) {
-  std::lock_guard lock(mutex_);
-  std::vector<Node*>& stack = stacks_[std::this_thread::get_id()];
-  HGR_ASSERT_MSG(!stack.empty(), "TraceScope end without matching begin");
-  Node* node = stack.back();
-  stack.pop_back();
-  node->seconds += seconds;
-  node->max_seconds = std::max(node->max_seconds, seconds);
-  node->min_seconds =
-      node->calls == 0 ? seconds : std::min(node->min_seconds, seconds);
-  ++node->calls;
+  // The name of a closing *top-level* phase (the thread's stack emptied):
+  // that boundary is where the live stats stream samples.
+  std::string top_level_closed;
+  {
+    std::lock_guard lock(mutex_);
+    std::vector<Node*>& stack = stacks_[std::this_thread::get_id()];
+    HGR_ASSERT_MSG(!stack.empty(), "TraceScope end without matching begin");
+    Node* node = stack.back();
+    stack.pop_back();
+    node->seconds += seconds;
+    node->max_seconds = std::max(node->max_seconds, seconds);
+    node->min_seconds =
+        node->calls == 0 ? seconds : std::min(node->min_seconds, seconds);
+    ++node->calls;
+    if (stack.empty()) top_level_closed = node->name;
+  }
+  // Sampling re-enters the registry (counters/gauges snapshots), so it
+  // must run after the lock is released.
+  if (!top_level_closed.empty() && stats_stream_enabled())
+    stats_stream_on_phase_close(*this, top_level_closed, seconds);
 }
 
 void Registry::set_section(std::string_view name, std::string json) {
@@ -205,6 +264,8 @@ void Registry::reset() {
   stacks_.clear();
   root_ = Node{};
   counters_.clear();
+  histograms_.clear();
+  gauges_.clear();
   sections_.clear();
 }
 
@@ -221,7 +282,7 @@ Registry* set_global_registry(Registry* r) {
 std::string trace_to_json(const Registry& reg) {
   const PhaseSnapshot root = reg.phase_tree();
   const std::map<std::string, std::uint64_t> counters = reg.counters();
-  std::string out = "{\"schema\":\"hgr-trace-v1\",\"phases\":[";
+  std::string out = "{\"schema\":\"hgr-trace-v2\",\"phases\":[";
   for (std::size_t i = 0; i < root.children.size(); ++i) {
     if (i != 0) out += ',';
     phase_to_json(out, root.children[i]);
@@ -236,6 +297,27 @@ std::string trace_to_json(const Registry& reg) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "\":%llu",
                   static_cast<unsigned long long>(value));
+    out += buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, snap] : reg.histograms()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    json_escape(out, name);
+    out += "\":";
+    out += snap.to_json();
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : reg.gauges()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    json_escape(out, name);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "\":%lld", static_cast<long long>(value));
     out += buf;
   }
   out += '}';

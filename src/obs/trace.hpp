@@ -32,6 +32,7 @@
 
 #include "common/timer.hpp"
 #include "obs/events.hpp"
+#include "obs/metrics.hpp"
 
 namespace hgr::obs {
 
@@ -73,6 +74,18 @@ class Registry {
   /// Snapshot of all counters.
   std::map<std::string, std::uint64_t> counters() const;
 
+  /// Named log-bucketed histogram; created on first use. The returned
+  /// reference stays valid for the registry's lifetime; record() is
+  /// lock-free (metrics.hpp), only this lookup takes the registry mutex.
+  Histogram& histogram(std::string_view name);
+
+  /// Named gauge (last-value-wins level); created on first use.
+  Gauge& gauge(std::string_view name);
+
+  /// Snapshot of all histograms / gauge values.
+  std::map<std::string, HistogramSnapshot> histograms() const;
+  std::map<std::string, std::int64_t> gauges() const;
+
   /// Snapshot of the phase tree (root is a synthetic "" node whose
   /// children are the top-level phases).
   PhaseSnapshot phase_tree() const;
@@ -89,7 +102,8 @@ class Registry {
   /// detect that the global registry was swapped or recreated.
   std::uint64_t id() const { return id_; }
 
-  /// Drop all phases, counters and sections (scope stacks must be empty).
+  /// Drop all phases, counters, histograms, gauges and sections (scope
+  /// stacks must be empty).
   void reset();
 
   // TraceScope plumbing: open/close a phase on the calling thread's stack.
@@ -115,6 +129,8 @@ class Registry {
   std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>,
            std::less<>>
       counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::string, std::less<>> sections_;
 };
 
@@ -140,6 +156,18 @@ class ScopedRegistry {
 /// Shorthand: obs::counter("refine.moves") += n;
 inline std::atomic<std::uint64_t>& counter(std::string_view name) {
   return global_registry().counter(name);
+}
+
+/// Shorthand: obs::histogram("comm.alltoallv.call_ns").record(ns);
+/// The lookup takes the registry mutex — fine once per phase, not per
+/// loop iteration (use CachedHistogram in hot loops).
+inline Histogram& histogram(std::string_view name) {
+  return global_registry().histogram(name);
+}
+
+/// Shorthand: obs::gauge("epoch.current").set(i);
+inline Gauge& gauge(std::string_view name) {
+  return global_registry().gauge(name);
 }
 
 /// Cached handle for a hot-path counter. obs::counter() takes the registry
@@ -185,6 +213,43 @@ class CachedCounter {
   std::vector<std::unique_ptr<Entry>> owned_;
 };
 
+/// Cached handle for a hot-path histogram — the Histogram twin of
+/// CachedCounter, with the same registry-swap detection: resolve the name
+/// once per registry, then record() is the lock-free metrics.hpp path.
+///
+///   static obs::CachedHistogram gains("fm.move_gain");  // function-local
+///   gains.record(gain);                                 // hot loop
+class CachedHistogram {
+ public:
+  explicit CachedHistogram(std::string name) : name_(std::move(name)) {}
+  CachedHistogram(const CachedHistogram&) = delete;
+  CachedHistogram& operator=(const CachedHistogram&) = delete;
+
+  Histogram& get() {
+    Registry& reg = global_registry();
+    const Entry* e = current_.load(std::memory_order_acquire);
+    if (e == nullptr || e->registry_id != reg.id()) e = resolve(reg);
+    return *e->hist;
+  }
+
+  void record(std::int64_t value) { get().record(value); }
+
+ private:
+  // Same publication discipline as CachedCounter: entries are immutable
+  // after publication and stale ones stay alive in owned_.
+  struct Entry {
+    std::uint64_t registry_id;
+    Histogram* hist;
+  };
+
+  const Entry* resolve(Registry& reg);
+
+  std::string name_;
+  std::atomic<const Entry*> current_{nullptr};
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> owned_;
+};
+
 /// RAII phase timer. Nest freely; same-named siblings merge. When event
 /// capture is on (events.hpp), also emits begin/end timeline events.
 class TraceScope {
@@ -214,7 +279,8 @@ class TraceScope {
 /// bench JSON writers).
 void json_escape(std::string& out, std::string_view s);
 
-/// Serialize phases + counters as JSON (schema "hgr-trace-v1").
+/// Serialize phases + counters + histograms + gauges as JSON (schema
+/// "hgr-trace-v2"; v1 lacked the "histograms"/"gauges" keys).
 std::string trace_to_json(const Registry& reg);
 std::string trace_to_json();  // global registry
 

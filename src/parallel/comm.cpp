@@ -387,6 +387,30 @@ struct CollectiveCounters {
   obs::CachedCounter bytes;
 };
 
+// Per-kind distribution handles (Observability v3): call latency and
+// per-call payload size. Counters above give the totals; these give the
+// shape (p50/p95/p99), which is what exposes straggler collectives.
+struct CollectiveHists {
+  obs::CachedHistogram call_ns;
+  obs::CachedHistogram msg_bytes;
+};
+
+CollectiveHists& collective_hists(CollectiveKind kind) {
+  static CollectiveHists hists[kNumCollectiveKinds] = {
+      {obs::CachedHistogram("comm.barrier.call_ns"),
+       obs::CachedHistogram("comm.barrier.msg_bytes")},
+      {obs::CachedHistogram("comm.allgather.call_ns"),
+       obs::CachedHistogram("comm.allgather.msg_bytes")},
+      {obs::CachedHistogram("comm.allreduce.call_ns"),
+       obs::CachedHistogram("comm.allreduce.msg_bytes")},
+      {obs::CachedHistogram("comm.bcast.call_ns"),
+       obs::CachedHistogram("comm.bcast.msg_bytes")},
+      {obs::CachedHistogram("comm.alltoallv.call_ns"),
+       obs::CachedHistogram("comm.alltoallv.msg_bytes")},
+  };
+  return hists[static_cast<std::size_t>(kind)];
+}
+
 // Cached per-kind handles: record_collective runs once per collective per
 // rank, so the old name-building (std::string concat + two registry mutex
 // lookups) was measurable on collective-heavy refinement loops.
@@ -412,8 +436,15 @@ void RankContext::record_collective(CollectiveKind kind, std::size_t bytes) {
   CollectiveCounters& c = collective_counters(kind);
   c.count += 1;
   if (bytes != 0) c.bytes += bytes;
+  collective_hists(kind).msg_bytes.record(static_cast<std::int64_t>(bytes));
   comm_.collective_calls_[static_cast<std::size_t>(rank_)]
                          [static_cast<std::size_t>(kind)] += 1;
+}
+
+void RankContext::record_collective_seconds(CollectiveKind kind,
+                                            double seconds) {
+  collective_hists(kind).call_ns.record(
+      static_cast<std::int64_t>(seconds * 1e9));
 }
 
 void RankContext::send_bytes(int dest, int tag,
@@ -488,6 +519,7 @@ void RankContext::recycle(RawMessage&& msg) {
 void RankContext::barrier() {
   faultpoint(fault::FaultSite::kBarrier);
   obs::EventSpan span("barrier", "comm");
+  CollectiveTimer lat(*this, CollectiveKind::kBarrier);
   record_collective(CollectiveKind::kBarrier, 0);
   bump_collectives();
   comm_.barrier_wait(rank_);

@@ -157,6 +157,7 @@ class RankContext {
     static_assert(std::is_trivially_copyable_v<T>);
     faultpoint(fault::FaultSite::kAllgather);
     obs::EventSpan span("allgather", "comm");
+    CollectiveTimer lat(*this, CollectiveKind::kAllgather);
     const std::size_t mine_bytes = mine.size() * sizeof(T);
     record_collective(CollectiveKind::kAllgather,
                       mine_bytes * static_cast<std::size_t>(size() - 1));
@@ -201,6 +202,7 @@ class RankContext {
     static_assert(std::is_trivially_copyable_v<T>);
     faultpoint(fault::FaultSite::kAllreduce);
     obs::EventSpan span("allreduce", "comm");
+    CollectiveTimer lat(*this, CollectiveKind::kAllreduce);
     record_collective(CollectiveKind::kAllreduce,
                       sizeof(T) * static_cast<std::size_t>(size() - 1));
     account(sizeof(T) * static_cast<std::size_t>(size() - 1), 0);
@@ -242,6 +244,7 @@ class RankContext {
     HGR_DASSERT(outgoing.filled());
     faultpoint(fault::FaultSite::kAlltoallv);
     obs::EventSpan span("alltoallv", "comm");
+    CollectiveTimer lat(*this, CollectiveKind::kAlltoallv);
     std::size_t off_rank_bytes = 0;
     for (int d = 0; d < size(); ++d)
       if (d != rank_) off_rank_bytes += outgoing.size(d) * sizeof(T);
@@ -302,6 +305,7 @@ class RankContext {
     static_assert(std::is_trivially_copyable_v<T>);
     faultpoint(fault::FaultSite::kBcast);
     obs::EventSpan span("bcast", "comm");
+    CollectiveTimer lat(*this, CollectiveKind::kBcast);
     const std::size_t root_bytes =
         rank_ == root ? mine.size() * sizeof(T) *
                             static_cast<std::size_t>(size() - 1)
@@ -336,9 +340,32 @@ class RankContext {
   /// bytes/messages, the p2p matrices, and the "send" timeline instant —
   /// identical to what the mailbox send path records for off-rank traffic.
   void account_p2p_send(int dest, std::size_t bytes);
-  /// Bump obs counters comm.<kind>.count / comm.<kind>.bytes and the
-  /// per-rank collective call tally.
+  /// Bump obs counters comm.<kind>.count / comm.<kind>.bytes, record the
+  /// payload into the comm.<kind>.msg_bytes histogram, and tally the
+  /// per-rank collective call.
   void record_collective(CollectiveKind kind, std::size_t bytes);
+  /// Record one call's wall time into the comm.<kind>.call_ns latency
+  /// histogram (the distribution counters cannot express).
+  void record_collective_seconds(CollectiveKind kind, double seconds);
+
+  /// RAII per-call latency probe: times the whole collective body
+  /// (publish, fence, reads — injected faults included, since they are
+  /// latency as far as the caller can tell) into comm.<kind>.call_ns.
+  class CollectiveTimer {
+   public:
+    CollectiveTimer(RankContext& ctx, CollectiveKind kind)
+        : ctx_(ctx), kind_(kind) {}
+    ~CollectiveTimer() {
+      ctx_.record_collective_seconds(kind_, timer_.seconds());
+    }
+    CollectiveTimer(const CollectiveTimer&) = delete;
+    CollectiveTimer& operator=(const CollectiveTimer&) = delete;
+
+   private:
+    RankContext& ctx_;
+    CollectiveKind kind_;
+    WallTimer timer_;
+  };
   /// CommStats.collectives += 1 (each collective counts once; barriers
   /// count through barrier()).
   void bump_collectives();

@@ -24,7 +24,7 @@
 // a real network and are unchanged from the pre-flat runtime.
 //
 // The comm runtime accumulates each run into a process-global accumulator
-// and attaches the JSON snapshot as the "comm" section of the hgr-trace-v1
+// and attaches the JSON snapshot as the "comm" section of the hgr-trace-v2
 // export (obs::Registry::set_section), so `hgr_cli --trace-json=` and the
 // bench binaries pick it up with no extra plumbing. See
 // docs/OBSERVABILITY.md for the field reference.
@@ -108,7 +108,7 @@ struct CommTelemetry {
   double max_wait_fraction() const;
 
   /// JSON object (schema documented in docs/OBSERVABILITY.md); this is the
-  /// "comm" section of the hgr-trace-v1 export.
+  /// "comm" section of the hgr-trace-v2 export.
   std::string to_json() const;
 };
 

@@ -1,6 +1,8 @@
 #include "parallel/par_partitioner.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <vector>
 
@@ -9,6 +11,7 @@
 #include "common/timer.hpp"
 #include "common/workspace.hpp"
 #include "core/repartition_model.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/trace.hpp"
 #include "parallel/par_coarsen.hpp"
 #include "parallel/par_initial.hpp"
@@ -34,6 +37,10 @@ ParallelPartitionResult parallel_partition_hypergraph(
   comm.set_deadlock_timeout(cfg.deadlock_timeout);
   comm.set_fault_plan(cfg.base.fault_plan);
   std::mutex out_mutex;
+  // Epoch span for critical-path attribution: allocated by the lead rank,
+  // propagated to the others through the comm exchange window (a plain
+  // broadcast), closed after the join once every rank's records are in.
+  std::atomic<std::uint64_t> epoch_span{0};
 
   comm.run([&](RankContext& ctx) {
     // Every rank opens the phase scopes: same-named scopes merge into one
@@ -42,6 +49,17 @@ ParallelPartitionResult parallel_partition_hypergraph(
     // the skew the per-rank timeline (events.hpp) drills into.
     const bool lead = ctx.rank() == 0;
     obs::TraceScope run_scope("par_partition");
+
+    const std::vector<std::uint64_t> span_buf = ctx.bcast(
+        std::vector<std::uint64_t>{lead ? obs::begin_epoch_span() : 0}, 0);
+    const std::uint64_t span = span_buf.empty() ? 0 : span_buf[0];
+    if (lead) epoch_span.store(span, std::memory_order_relaxed);
+    // Blocked time already accrued by this rank; per-phase deltas below
+    // separate "computing" from "waiting on a peer" per span phase.
+    const auto blocked_seconds = [&ctx] {
+      const CommStats& s = ctx.stats();
+      return s.recv_wait_seconds + s.barrier_wait_seconds;
+    };
 
     // Rank-local scratch arena: each rank's kernels (contraction, the
     // serial partitioner behind the coarse step) reuse capacity across
@@ -63,6 +81,8 @@ ParallelPartitionResult parallel_partition_hypergraph(
     const Hypergraph* current = &h;
     {
       obs::TraceScope coarsen_scope("coarsen");
+      WallTimer phase_timer;
+      const double wait_before = blocked_seconds();
       for (Index level = 0; level < cfg.base.max_levels; ++level) {
         if (current->num_vertices() <= stop_size) break;
         const std::uint64_t level_seed =
@@ -89,19 +109,29 @@ ParallelPartitionResult parallel_partition_hypergraph(
         levels.push_back(std::move(next));
         current = &levels.back().coarse;
       }
+      obs::record_rank_phase(span, ctx.rank(), "coarsen",
+                             phase_timer.seconds(),
+                             blocked_seconds() - wait_before);
     }
 
     // Coarse partitioning: every rank tries its own seed; best wins.
     Partition p(cfg.base.num_parts, current->num_vertices());
     {
       obs::TraceScope initial_scope("initial");
+      WallTimer phase_timer;
+      const double wait_before = blocked_seconds();
       p = parallel_coarse_partition(ctx, *current, cfg.base,
                                     derive_seed(cfg.base.seed, 5000), &ws);
+      obs::record_rank_phase(span, ctx.rank(), "initial",
+                             phase_timer.seconds(),
+                             blocked_seconds() - wait_before);
     }
 
     // Uncoarsening with synchronized localized refinement.
     {
       obs::TraceScope refine_scope("refine");
+      WallTimer phase_timer;
+      const double wait_before = blocked_seconds();
       parallel_refine(ctx, *current, p, cfg.base,
                       derive_seed(cfg.base.seed, 6000));
       for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
@@ -119,6 +149,9 @@ ParallelPartitionResult parallel_partition_hypergraph(
                         6001 + static_cast<std::uint64_t>(
                                    std::distance(levels.rbegin(), it))));
       }
+      obs::record_rank_phase(span, ctx.rank(), "refine",
+                             phase_timer.seconds(),
+                             blocked_seconds() - wait_before);
     }
 
     if (lead) {
@@ -129,6 +162,11 @@ ParallelPartitionResult parallel_partition_hypergraph(
       result.levels = static_cast<Index>(levels.size());
     }
   });
+
+  // All ranks have joined: close the span and publish the attribution.
+  if (const std::uint64_t span = epoch_span.load(std::memory_order_relaxed);
+      span != 0)
+    obs::end_epoch_span(span);
 
   result.seconds = timer.seconds();
   result.traffic = comm.total_stats();

@@ -92,6 +92,11 @@ KwayRefineResult kway_refine(const Hypergraph& h, Partition& p,
       }
       if (best == kNoPart) continue;
 
+      // Accepted-move gain distribution (k-way moves are never negative
+      // gain, so this histogram's p50 vs max shows how front-loaded the
+      // pass is).
+      static obs::CachedHistogram gain_hist("kway.move_gain");
+      gain_hist.record(best_gain);
       cache.apply_move(v, best);
       p[v] = best;
       ++moves_this_pass;

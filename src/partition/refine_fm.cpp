@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 #include "partition/gain_cache.hpp"
 #include "partition/gain_queue.hpp"
 
@@ -42,6 +43,12 @@ class FmPass {
     gain_->assign(static_cast<std::size_t>(h.num_vertices()), 0);
     for (const VertexId v : h_.vertices())
       if (movable(v)) slack_ = std::max(slack_, h_.vertex_weight(v));
+  }
+
+  ~FmPass() {
+    // Publish the whole pass's gain distribution in one atomic fold.
+    static obs::CachedHistogram gain_hist("fm.move_gain");
+    gain_hist.get().merge(gain_batch_);
   }
 
   // For a bisection, the cache's connectivity-1 cut is the cut-net cost.
@@ -214,6 +221,12 @@ class FmPass {
     const int to = 1 - from;
     queues_[from]->remove(v.v);
     locked_[static_cast<std::size_t>(v.v)] = true;
+    // Distribution of accepted-move gains (signed: FM deliberately takes
+    // negative-gain moves to escape local minima; the histogram shows how
+    // deep those excursions go). Batched: a plain local record here, one
+    // atomic merge into the registry per FmPass — apply_move is far too
+    // hot for a per-move atomic record.
+    gain_batch_.record(gain_[static_cast<std::size_t>(v.v)]);
     QueueUpdater updater{*this, v};
     cache_.apply_move(v, PartId{to}, updater);
     side_[v] = PartId{to};
@@ -237,6 +250,7 @@ class FmPass {
   Borrowed<std::pair<VertexId, Weight>> stash_;  // select_move scratch
   GainCache cache_;
   std::array<std::optional<GainQueue>, 2> queues_;
+  obs::HistogramSnapshot gain_batch_;  // per-pass accumulator, see ~FmPass
   Weight slack_ = 0;  // heaviest movable vertex: intra-pass balance slack
 };
 

@@ -123,10 +123,10 @@ TEST(EpochSeries, PathologicalMagnitudesDoNotTruncate) {
             std::string::npos)
       << row;
   EXPECT_NE(row.find("-1.79769e+308"), std::string::npos) << row;
-  // The retries column survives uncut, followed by the tier/escalated
-  // tail columns.
+  // The retries column survives uncut, followed by the tier/escalated and
+  // critical-path tail columns (defaults: no span -> -1, 0).
   const std::string tail =
-      std::to_string(std::numeric_limits<Index>::min()) + ",full,0";
+      std::to_string(std::numeric_limits<Index>::min()) + ",full,0,-1,0";
   ASSERT_GE(row.size(), tail.size());
   EXPECT_EQ(row.substr(row.size() - tail.size()), tail);
 }

@@ -282,11 +282,13 @@ TEST(Chaos, DegradedEpochsAreRecordedInCsv) {
   const std::string csv = series.to_csv();
   EXPECT_NE(csv.find("is_static,degraded,retries,tier,escalated"),
             std::string::npos);
-  // Static bootstrap row: is_static=1, degraded=0, retries=0, tier=static.
-  EXPECT_NE(csv.find(",1,0,0,static,0\n"), std::string::npos) << csv;
+  // Static bootstrap row: is_static=1, degraded=0, retries=0, tier=static,
+  // no critical-path span (critical_rank=-1, wait_frac=0).
+  EXPECT_NE(csv.find(",1,0,0,static,0,-1,0\n"), std::string::npos) << csv;
   // Degraded repartition rows: is_static=0, degraded=1, retries=1,
-  // tier=full (incremental routing is off in this config).
-  EXPECT_NE(csv.find(",0,1,1,full,0\n"), std::string::npos) << csv;
+  // tier=full (incremental routing is off in this config). The failed
+  // attempts never closed a span, so the critical-path columns stay -1/0.
+  EXPECT_NE(csv.find(",0,1,1,full,0,-1,0\n"), std::string::npos) << csv;
 }
 
 }  // namespace

@@ -1,0 +1,159 @@
+// Critical-path attribution tests: span lifecycle, per-rank derivation
+// (critical rank / phase / wait fraction), the trace-v2 "critical_path"
+// section, and resilience against stale span ids.
+#include "obs/critical_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "mini_json.hpp"
+#include "obs/trace.hpp"
+
+namespace hgr::obs {
+namespace {
+
+using testjson::as_array;
+using testjson::as_number;
+using testjson::as_object;
+using testjson::as_string;
+using testjson::JsonArray;
+using testjson::JsonObject;
+using testjson::JsonParser;
+
+// The span store is process-global; every test starts from an empty store
+// with no epoch tag.
+class CriticalPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_critical_path();
+    set_current_epoch(-1);
+  }
+  void TearDown() override { SetUp(); }
+};
+
+TEST_F(CriticalPathTest, NoSpanMeansInvalidSummary) {
+  const CriticalPathSummary cp = latest_critical_path();
+  EXPECT_FALSE(cp.valid);
+  EXPECT_EQ(cp.critical_rank, -1);
+}
+
+TEST_F(CriticalPathTest, DerivesCriticalRankPhaseAndWaitFraction) {
+  set_current_epoch(7);
+  const std::uint64_t span = begin_epoch_span();
+  // Rank 0: 1.1s total. Rank 1: 2.5s total, 1.0s of it blocked, with
+  // refine as its largest phase — rank 1 bounds the epoch.
+  record_rank_phase(span, 0, "coarsen", 0.6, 0.0);
+  record_rank_phase(span, 0, "refine", 0.5, 0.1);
+  record_rank_phase(span, 1, "coarsen", 0.5, 0.2);
+  record_rank_phase(span, 1, "refine", 2.0, 0.8);
+  end_epoch_span(span);
+  const CriticalPathSummary cp = latest_critical_path();
+  ASSERT_TRUE(cp.valid);
+  EXPECT_EQ(cp.span_id, span);
+  EXPECT_EQ(cp.epoch, 7);
+  EXPECT_EQ(cp.critical_rank, 1);
+  EXPECT_EQ(cp.critical_phase, "refine");
+  EXPECT_DOUBLE_EQ(cp.critical_seconds, 2.5);
+  EXPECT_DOUBLE_EQ(cp.wait_frac, 1.0 / 2.5);
+}
+
+TEST_F(CriticalPathTest, SpanWithNoSamplesEndsInvalid) {
+  const std::uint64_t span = begin_epoch_span();
+  end_epoch_span(span);
+  // The span ended but carries no attribution; the summary must not claim
+  // a critical rank it cannot know.
+  const CriticalPathSummary cp = latest_critical_path();
+  EXPECT_FALSE(cp.valid);
+  EXPECT_EQ(cp.span_id, span);
+}
+
+TEST_F(CriticalPathTest, UnknownSpanIdsAreIgnored) {
+  const std::uint64_t span = begin_epoch_span();
+  record_rank_phase(span, 0, "coarsen", 1.0, 0.0);
+  end_epoch_span(span);
+  const CriticalPathSummary before = latest_critical_path();
+  record_rank_phase(span + 999, 2, "refine", 9.0, 9.0);
+  end_epoch_span(span + 999);
+  const CriticalPathSummary after = latest_critical_path();
+  EXPECT_EQ(after.span_id, before.span_id);
+  EXPECT_EQ(after.critical_rank, before.critical_rank);
+}
+
+TEST_F(CriticalPathTest, NegativeWaitIsClampedToZero) {
+  // Wait deltas come from subtracting comm-stat snapshots; clock noise must
+  // never produce a negative blocked fraction.
+  const std::uint64_t span = begin_epoch_span();
+  record_rank_phase(span, 0, "refine", 1.0, -0.5);
+  end_epoch_span(span);
+  const CriticalPathSummary cp = latest_critical_path();
+  ASSERT_TRUE(cp.valid);
+  EXPECT_DOUBLE_EQ(cp.wait_frac, 0.0);
+}
+
+TEST_F(CriticalPathTest, JsonSectionListsEndedSpansOnly) {
+  set_current_epoch(3);
+  const std::uint64_t done = begin_epoch_span();
+  record_rank_phase(done, 0, "coarsen", 0.25, 0.05);
+  record_rank_phase(done, 1, "coarsen", 0.75, 0.25);
+  end_epoch_span(done);
+  const std::uint64_t open = begin_epoch_span();
+  record_rank_phase(open, 0, "refine", 9.0, 0.0);  // never ended
+
+  const std::string json = critical_path_to_json();
+  JsonParser parser(json);
+  const auto doc = parser.parse();
+  const JsonObject& root = as_object(*doc);
+  const JsonArray& spans = as_array(*root.at("spans"));
+  ASSERT_EQ(spans.size(), 1u);
+  const JsonObject& span = as_object(*spans[0]);
+  EXPECT_EQ(as_number(*span.at("epoch")), 3.0);
+  EXPECT_EQ(as_number(*span.at("critical_rank")), 1.0);
+  EXPECT_EQ(as_string(*span.at("critical_phase")), "coarsen");
+  EXPECT_NEAR(as_number(*span.at("wait_frac")), 0.25 / 0.75, 1e-5);
+  const JsonArray& ranks = as_array(*span.at("ranks"));
+  ASSERT_EQ(ranks.size(), 2u);
+  const JsonObject& rank0 = as_object(*ranks[0]);
+  EXPECT_EQ(as_number(*rank0.at("rank")), 0.0);
+  const JsonArray& phases = as_array(*rank0.at("phases"));
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(as_string(*as_object(*phases[0]).at("name")), "coarsen");
+  EXPECT_DOUBLE_EQ(as_number(*as_object(*phases[0]).at("seconds")), 0.25);
+}
+
+TEST_F(CriticalPathTest, EndedSpanPublishesRegistrySection) {
+  Registry reg;
+  ScopedRegistry scope(reg);
+  set_current_epoch(11);
+  const std::uint64_t span = begin_epoch_span();
+  record_rank_phase(span, 2, "initial", 0.5, 0.1);
+  end_epoch_span(span);
+  const std::string trace = trace_to_json(reg);
+  EXPECT_NE(trace.find("\"critical_path\""), std::string::npos);
+  EXPECT_NE(trace.find("\"critical_rank\":2"), std::string::npos);
+  EXPECT_NE(trace.find("\"epoch\":11"), std::string::npos);
+}
+
+TEST_F(CriticalPathTest, CurrentEpochTagsSpansAtBeginTime) {
+  set_current_epoch(5);
+  const std::uint64_t span = begin_epoch_span();
+  set_current_epoch(6);  // later changes must not retag the open span
+  record_rank_phase(span, 0, "refine", 1.0, 0.0);
+  end_epoch_span(span);
+  EXPECT_EQ(latest_critical_path().epoch, 5);
+  EXPECT_EQ(current_epoch(), 6);
+}
+
+TEST_F(CriticalPathTest, ResetDropsSpans) {
+  const std::uint64_t span = begin_epoch_span();
+  record_rank_phase(span, 0, "refine", 1.0, 0.0);
+  end_epoch_span(span);
+  ASSERT_TRUE(latest_critical_path().valid);
+  reset_critical_path();
+  EXPECT_FALSE(latest_critical_path().valid);
+  EXPECT_NE(critical_path_to_json().find("\"spans\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hgr::obs

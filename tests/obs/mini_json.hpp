@@ -1,5 +1,5 @@
 // Minimal JSON parser shared by the observability tests, enough to
-// round-trip the hgr-trace-v1 / hgr-bench-v1 / Chrome trace schemas. A
+// round-trip the hgr-trace-v2 / hgr-bench-v1 / Chrome trace schemas. A
 // parse failure fails the test (via EXPECT_*), so JSON emitters are
 // validated as producing real JSON, not just by substring.
 #pragma once

@@ -1,0 +1,174 @@
+// Live stats stream tests: sampling at top-level phase boundaries, ring
+// bounding, hgr-stats-v1 line format, and the async dump trigger.
+#include "obs/stats_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mini_json.hpp"
+#include "obs/trace.hpp"
+
+namespace hgr::obs {
+namespace {
+
+using testjson::as_number;
+using testjson::as_object;
+using testjson::as_string;
+using testjson::JsonObject;
+using testjson::JsonParser;
+
+// The stream is process-global state; every test starts from a clean,
+// disabled stream and leaves it that way.
+class StatsStreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_stats_stream_enabled(false);
+    set_stats_stream_path("");
+    set_stats_ring_capacity(256);
+    reset_stats_stream();
+  }
+  void TearDown() override { SetUp(); }
+};
+
+TEST_F(StatsStreamTest, SamplesOnlyTopLevelPhaseCloses) {
+  Registry reg;
+  ScopedRegistry scope(reg);
+  set_stats_stream_enabled(true);
+  {
+    TraceScope outer("repartition");
+    reg.counter("refine.moves") += 11;
+    reg.gauge("epoch.current").set(4);
+    TraceScope inner("refine");  // nested close must NOT sample
+  }
+  const std::vector<StatsSnapshot> samples = stats_stream_snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].phase, "repartition");
+  EXPECT_GT(samples[0].seconds, 0.0);
+  ASSERT_EQ(samples[0].counters.count("refine.moves"), 1u);
+  EXPECT_EQ(samples[0].counters.at("refine.moves"), 11u);
+  ASSERT_EQ(samples[0].gauges.count("epoch.current"), 1u);
+  EXPECT_EQ(samples[0].gauges.at("epoch.current"), 4);
+}
+
+TEST_F(StatsStreamTest, DisabledStreamNeverSamples) {
+  Registry reg;
+  ScopedRegistry scope(reg);
+  { TraceScope outer("partition"); }
+  EXPECT_TRUE(stats_stream_snapshot().empty());
+}
+
+TEST_F(StatsStreamTest, SequenceNumbersAndClockAreMonotone) {
+  Registry reg;
+  ScopedRegistry scope(reg);
+  set_stats_stream_enabled(true);
+  for (int i = 0; i < 3; ++i) TraceScope phase("epoch");
+  const std::vector<StatsSnapshot> samples = stats_stream_snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].seq, samples[i - 1].seq + 1);
+    EXPECT_GE(samples[i].ts_ns, samples[i - 1].ts_ns);
+  }
+}
+
+TEST_F(StatsStreamTest, RingDropsOldestBeyondCapacity) {
+  Registry reg;
+  ScopedRegistry scope(reg);
+  set_stats_ring_capacity(2);
+  set_stats_stream_enabled(true);
+  { TraceScope phase("first"); }
+  { TraceScope phase("second"); }
+  { TraceScope phase("third"); }
+  const std::vector<StatsSnapshot> samples = stats_stream_snapshot();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].phase, "second");
+  EXPECT_EQ(samples[1].phase, "third");
+  EXPECT_EQ(stats_stream_dropped(), 1u);
+}
+
+TEST_F(StatsStreamTest, SnapshotJsonLineParsesWithSchema) {
+  Registry reg;
+  ScopedRegistry scope(reg);
+  set_stats_stream_enabled(true);
+  {
+    TraceScope outer("partition");
+    reg.counter("coarsen.levels") += 3;
+    reg.gauge("epoch.current").set(-2);  // gauges are signed
+  }
+  const std::vector<StatsSnapshot> samples = stats_stream_snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  const std::string line = samples[0].to_json();
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  JsonParser parser(line);
+  const auto doc = parser.parse();
+  const JsonObject& o = as_object(*doc);
+  EXPECT_EQ(as_string(*o.at("schema")), "hgr-stats-v1");
+  EXPECT_EQ(as_string(*o.at("phase")), "partition");
+  EXPECT_GE(as_number(*o.at("seq")), 0.0);
+  EXPECT_GE(as_number(*o.at("ts_ns")), 0.0);
+  EXPECT_GT(as_number(*o.at("seconds")), 0.0);
+  const JsonObject& counters = as_object(*o.at("counters"));
+  EXPECT_EQ(as_number(*counters.at("coarsen.levels")), 3.0);
+  const JsonObject& gauges = as_object(*o.at("gauges"));
+  EXPECT_EQ(as_number(*gauges.at("epoch.current")), -2.0);
+}
+
+TEST_F(StatsStreamTest, WriteStreamEmitsOneLinePerSample) {
+  Registry reg;
+  ScopedRegistry scope(reg);
+  set_stats_stream_enabled(true);
+  { TraceScope phase("alpha"); }
+  { TraceScope phase("beta"); }
+  const std::string path = ::testing::TempDir() + "/stats_stream_test.jsonl";
+  ASSERT_TRUE(write_stats_stream(path));
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"phase\":\"alpha\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"phase\":\"beta\""), std::string::npos);
+  EXPECT_FALSE(write_stats_stream("/nonexistent-dir/x/stats.jsonl"));
+}
+
+TEST_F(StatsStreamTest, RequestedDumpFlushesAtNextPhaseClose) {
+  Registry reg;
+  ScopedRegistry scope(reg);
+  const std::string path = ::testing::TempDir() + "/stats_dump_test.jsonl";
+  std::remove(path.c_str());
+  set_stats_stream_enabled(true);
+  set_stats_stream_path(path);
+  { TraceScope phase("warmup"); }
+  EXPECT_FALSE(stats_dump_pending());
+  request_stats_dump();  // what the SIGUSR1 handler does: one atomic store
+  EXPECT_TRUE(stats_dump_pending());
+  { TraceScope phase("work"); }
+  EXPECT_FALSE(stats_dump_pending());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "dump was not flushed to " << path;
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("hgr-stats-v1"), std::string::npos);
+  EXPECT_NE(content.str().find("\"phase\":\"work\""), std::string::npos);
+}
+
+TEST_F(StatsStreamTest, ResetDropsSamplesButKeepsConfiguration) {
+  Registry reg;
+  ScopedRegistry scope(reg);
+  set_stats_stream_enabled(true);
+  { TraceScope phase("one"); }
+  ASSERT_EQ(stats_stream_snapshot().size(), 1u);
+  reset_stats_stream();
+  EXPECT_TRUE(stats_stream_snapshot().empty());
+  EXPECT_EQ(stats_stream_dropped(), 0u);
+  EXPECT_TRUE(stats_stream_enabled());
+  { TraceScope phase("two"); }
+  EXPECT_EQ(stats_stream_snapshot().size(), 1u);
+}
+
+}  // namespace
+}  // namespace hgr::obs

@@ -157,13 +157,16 @@ TEST(ObsTrace, JsonRoundTrip) {
   }
   reg.counter("refine.moves") += 42;
   reg.counter("comm.allgather.bytes") += 1024;
+  reg.histogram("fm.move_gain").record(-3);
+  reg.histogram("fm.move_gain").record(5);
+  reg.gauge("epoch.current").set(7);
 
   const std::string json = obs::trace_to_json(reg);
   JsonParser parser(json);
   const auto doc = parser.parse();
   const JsonObject& root = as_object(*doc);
 
-  EXPECT_EQ(as_string(*root.at("schema")), "hgr-trace-v1");
+  EXPECT_EQ(as_string(*root.at("schema")), "hgr-trace-v2");
 
   const JsonArray& phases = as_array(*root.at("phases"));
   ASSERT_EQ(phases.size(), 1u);
@@ -178,6 +181,17 @@ TEST(ObsTrace, JsonRoundTrip) {
   const JsonObject& counters = as_object(*root.at("counters"));
   EXPECT_EQ(as_number(*counters.at("refine.moves")), 42.0);
   EXPECT_EQ(as_number(*counters.at("comm.allgather.bytes")), 1024.0);
+
+  const JsonObject& hists = as_object(*root.at("histograms"));
+  const JsonObject& gain = as_object(*hists.at("fm.move_gain"));
+  EXPECT_EQ(as_number(*gain.at("count")), 2.0);
+  EXPECT_EQ(as_number(*gain.at("sum")), 2.0);
+  EXPECT_EQ(as_number(*gain.at("min")), -3.0);
+  EXPECT_EQ(as_number(*gain.at("max")), 5.0);
+  EXPECT_GE(as_number(*gain.at("p99")), as_number(*gain.at("p50")));
+
+  const JsonObject& gauges = as_object(*root.at("gauges"));
+  EXPECT_EQ(as_number(*gauges.at("epoch.current")), 7.0);
 }
 
 TEST(ObsTrace, JsonEscapesSpecialCharacters) {

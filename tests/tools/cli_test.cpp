@@ -95,7 +95,7 @@ TEST(CliTrace, SerialPartitionEmitsNestedPhases) {
   const std::string json = read_file(trace);
   ASSERT_FALSE(json.empty());
   expect_balanced_json(json);
-  EXPECT_NE(json.find("\"schema\":\"hgr-trace-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"hgr-trace-v2\""), std::string::npos);
   // The multilevel phases appear inside the partition phase tree.
   EXPECT_NE(json.find("\"name\":\"partition\""), std::string::npos);
   EXPECT_NE(json.find("\"name\":\"coarsen\""), std::string::npos);
@@ -116,7 +116,7 @@ TEST(CliTrace, ParallelRepartitionEmitsCommAndEpochCounters) {
   const std::string json = read_file(trace);
   ASSERT_FALSE(json.empty());
   expect_balanced_json(json);
-  EXPECT_NE(json.find("\"schema\":\"hgr-trace-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"hgr-trace-v2\""), std::string::npos);
   // Per-collective byte/message counters from the parallel runtime.
   EXPECT_NE(json.find("\"comm.allgather.bytes\""), std::string::npos);
   EXPECT_NE(json.find("\"comm.allgather.count\""), std::string::npos);
@@ -125,6 +125,17 @@ TEST(CliTrace, ParallelRepartitionEmitsCommAndEpochCounters) {
   EXPECT_NE(json.find("\"epoch.total_cost\""), std::string::npos);
   EXPECT_NE(json.find("\"epoch.comm_volume\""), std::string::npos);
   EXPECT_NE(json.find("\"epoch.migration_volume\""), std::string::npos);
+  // v2 metric types: collective latency histograms with quantiles, and the
+  // epoch gauge.
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"comm.allgather.call_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"epoch.current\":2"), std::string::npos);
+  // Cross-rank critical-path attribution for the repartition span.
+  EXPECT_NE(json.find("\"critical_path\""), std::string::npos);
+  EXPECT_NE(json.find("\"critical_rank\""), std::string::npos);
+  EXPECT_NE(json.find("\"wait_frac\""), std::string::npos);
   // The repartition phase wraps the parallel partitioner's phase tree.
   EXPECT_NE(json.find("\"name\":\"repartition\""), std::string::npos);
 }
@@ -168,7 +179,7 @@ TEST(CliTrace, EpochCsvGoldenHeaderAndRow) {
             "migration_volume,total_cost,normalized_cost,imbalance,"
             "num_vertices,num_migrated,repart_seconds,coarsen_seconds,"
             "initial_seconds,refine_seconds,is_static,degraded,retries,"
-            "tier,escalated");
+            "tier,escalated,critical_rank,wait_frac");
   // Tag columns: dataset is the input path, serial algorithm, k=4,
   // epoch 1, and the grid has 192 vertices, none migrated.
   EXPECT_EQ(row.compare(0, in.size() + 1, in + ","), 0);
@@ -190,6 +201,46 @@ TEST(CliTrace, EpochCsvParallelRepartitionTagsAlgorithm) {
   EXPECT_NE(csv.find(",none,par-hypergraph,4,10,"), std::string::npos);
   // Repartition runs are tagged as epoch 2 (epoch 1 = static bootstrap).
   EXPECT_NE(csv.find(",par-hypergraph,4,10,0,2,"), std::string::npos);
+  // The parallel runtime records a critical-path span, so the trailing
+  // critical_rank column names a real rank (0 or 1 with --ranks=2), not
+  // the -1 "no span" sentinel.
+  std::istringstream lines(csv);
+  std::string header, row;
+  ASSERT_TRUE(static_cast<bool>(std::getline(lines, header)));
+  ASSERT_TRUE(static_cast<bool>(std::getline(lines, row)));
+  const auto wait_comma = row.rfind(',');
+  ASSERT_NE(wait_comma, std::string::npos);
+  const auto rank_comma = row.rfind(',', wait_comma - 1);
+  ASSERT_NE(rank_comma, std::string::npos);
+  const std::string critical_rank =
+      row.substr(rank_comma + 1, wait_comma - rank_comma - 1);
+  EXPECT_TRUE(critical_rank == "0" || critical_rank == "1") << row;
+}
+
+TEST(CliTrace, StatsStreamEmitsSamples) {
+  const std::string in = std::string(HGR_EXAMPLE_HGR);
+  const std::string stream = tmp_path("cli_stats.ndjson");
+  ASSERT_EQ(run("partition " + in + " --k=4 --out=" +
+                tmp_path("cli_stats.parts") + " --stats-stream=" + stream),
+            0);
+  std::ifstream f(stream);
+  std::string line;
+  int samples = 0;
+  bool saw_partition_phase = false;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    ++samples;
+    expect_balanced_json(line);
+    EXPECT_NE(line.find("\"schema\":\"hgr-stats-v1\""), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"seq\":"), std::string::npos);
+    EXPECT_NE(line.find("\"counters\":{"), std::string::npos);
+    if (line.find("\"phase\":\"partition\"") != std::string::npos)
+      saw_partition_phase = true;
+  }
+  // At least the top-level partition phase close must have been sampled.
+  EXPECT_GE(samples, 1);
+  EXPECT_TRUE(saw_partition_phase);
 }
 
 /// Like run(), but keeps stderr so tests can assert on diagnostics.

@@ -42,6 +42,12 @@ TRACKED = [
     ("metrics.parallel_partition_seconds.mean", True),
     ("metrics.counter_bump_ns", True),
     ("metrics.cached_counter_bump_ns", True),
+    # Observability v3: histogram hot path, total instrumentation overhead,
+    # comm-latency tail, and critical-path wait fraction (micro_partition).
+    ("metrics.histogram_record_ns", True),
+    ("metrics.obs_overhead_pct", True),
+    ("metrics.comm_latency_p99_ns", True),
+    ("metrics.epoch_wait_frac", True),
     # micro_comm (flat-buffer collectives; absent from partition runs).
     ("metrics.alltoallv_small_p4_ns_per_call", True),
     ("metrics.alltoallv_large_p4_ns_per_call", True),

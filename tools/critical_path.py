@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Render the critical-path section of an hgr-trace-v2 JSON dump.
+
+The trace's "critical_path" section (src/obs/critical_path.hpp) retains one
+span per repartition epoch with a per-rank, per-phase compute/wait
+breakdown and a derived summary. This tool renders it the way the
+load-balancing story is told: which rank bounded each epoch, in which
+phase, and how much of that rank's time was spent blocked in the comm
+layer.
+
+Usage:
+  tools/critical_path.py trace.json              # all spans
+  tools/critical_path.py trace.json --epoch=7    # one epoch
+  tools/critical_path.py trace.json --require-spans   # exit 1 if empty
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def fmt_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:.3f}s"
+    if s >= 1e-3:
+        return f"{s * 1e3:.3f}ms"
+    return f"{s * 1e6:.1f}us"
+
+
+def render_span(span: dict) -> list[str]:
+    epoch = span.get("epoch", -1)
+    label = f"epoch {epoch}" if epoch >= 0 else f"span {span.get('span_id')}"
+    wait_pct = 100.0 * float(span.get("wait_frac", 0.0))
+    lines = [
+        f"{label} bounded by rank {span.get('critical_rank')} "
+        f"{span.get('critical_phase', '?')}, {wait_pct:.0f}% wait "
+        f"(critical rank total {fmt_seconds(float(span.get('critical_seconds', 0.0)))}, "
+        f"span {span.get('span_id')})"
+    ]
+    for rank in span.get("ranks", []):
+        cells = []
+        total = 0.0
+        wait = 0.0
+        for phase in rank.get("phases", []):
+            seconds = float(phase.get("seconds", 0.0))
+            wait_seconds = float(phase.get("wait_seconds", 0.0))
+            total += seconds
+            wait += wait_seconds
+            cells.append(
+                f"{phase.get('name', '?')} {fmt_seconds(seconds)} "
+                f"(wait {fmt_seconds(wait_seconds)})"
+            )
+        marker = " <- critical" if rank.get("rank") == span.get("critical_rank") else ""
+        lines.append(
+            f"  rank {rank.get('rank')}: total {fmt_seconds(total)}, "
+            f"wait {fmt_seconds(wait)} | " + " | ".join(cells) + marker
+        )
+    return lines
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="hgr-trace-v2 JSON file (hgr_cli --trace-json)")
+    parser.add_argument("--epoch", type=int, default=None, help="render only this epoch")
+    parser.add_argument(
+        "--require-spans",
+        action="store_true",
+        help="exit 1 when the trace holds no critical-path spans (CI smoke)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"critical_path: cannot read {args.trace}: {e}", file=sys.stderr)
+        return 2
+
+    schema = trace.get("schema", "")
+    if not schema.startswith("hgr-trace-"):
+        print(f"critical_path: not an hgr trace (schema={schema!r})", file=sys.stderr)
+        return 2
+    if schema == "hgr-trace-v1":
+        print(
+            "critical_path: hgr-trace-v1 predates critical-path spans; "
+            "re-run with a v2-emitting build",
+            file=sys.stderr,
+        )
+        return 2
+
+    section = trace.get("critical_path", {})
+    spans = section.get("spans", [])
+    if args.epoch is not None:
+        spans = [s for s in spans if s.get("epoch") == args.epoch]
+
+    if not spans:
+        print("critical_path: no critical-path spans in trace")
+        return 1 if args.require_spans else 0
+
+    for span in spans:
+        for line in render_span(span):
+            print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,7 @@
 // retry/degradation policy (repartition mode runs through it, so an
 // injected deadlock or crash degrades to keeping the old partition
 // instead of failing the invocation).
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -51,6 +52,8 @@
 #include "metrics/migration.hpp"
 #include "metrics/partition_io.hpp"
 #include "metrics/report.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/stats_stream.hpp"
 #include "obs/trace.hpp"
 #include "parallel/par_partitioner.hpp"
 #include "partition/partitioner.hpp"
@@ -67,6 +70,7 @@ struct CliOptions {
   std::string trace_json_path;
   std::string chrome_trace_path;
   std::string epoch_csv_path;
+  std::string stats_stream_path;
   std::string fault_plan_spec;
   int epoch_retries = 1;        // failed repartition attempts retried
   double epoch_timeout = 0.0;   // per-attempt wall budget (0 = unlimited)
@@ -89,12 +93,13 @@ struct CliOptions {
                "  hgr_cli partition   <input> --k=N [--eps=F] [--seed=S] "
                "[--graph|--mm] [--ranks=P] [--report] [--out=FILE] "
                "[--trace-json=FILE] [--chrome-trace=FILE] "
-               "[--epoch-csv=FILE] [--fault-plan=SPEC] "
+               "[--epoch-csv=FILE] [--stats-stream=FILE] [--fault-plan=SPEC] "
                "[--validate=cheap|paranoid]\n"
                "  hgr_cli repartition <input> --old=FILE --k=N [--alpha=A] "
                "[--eps=F] [--seed=S] [--graph] [--ranks=P] [--out=FILE] "
                "[--trace-json=FILE] [--chrome-trace=FILE] "
-               "[--epoch-csv=FILE] [--fault-plan=SPEC] [--epoch-retries=N] "
+               "[--epoch-csv=FILE] [--stats-stream=FILE] [--fault-plan=SPEC] "
+               "[--epoch-retries=N] "
                "[--epoch-timeout=S] [--incremental=on|off|auto] "
                "[--validate=cheap|paranoid]\n"
                "  hgr_cli info        <input> [--graph]\n"
@@ -133,6 +138,8 @@ CliOptions parse(int argc, char** argv) {
       opt.chrome_trace_path = value;
     } else if (key == "--epoch-csv") {
       opt.epoch_csv_path = value;
+    } else if (key == "--stats-stream") {
+      opt.stats_stream_path = value;
     } else if (key == "--fault-plan") {
       opt.fault_plan_spec = value;
     } else if (key == "--epoch-retries") {
@@ -213,6 +220,15 @@ void maybe_dump_trace(const CliOptions& opt) {
     std::fprintf(stderr, "wrote chrome trace to %s (open in ui.perfetto.dev)\n",
                  opt.chrome_trace_path.c_str());
   }
+  if (!opt.stats_stream_path.empty()) {
+    if (!obs::write_stats_stream(opt.stats_stream_path)) {
+      std::fprintf(stderr, "error: could not write stats stream to %s\n",
+                   opt.stats_stream_path.c_str());
+      std::exit(1);
+    }
+    std::fprintf(stderr, "wrote stats stream to %s\n",
+                 opt.stats_stream_path.c_str());
+  }
 }
 
 /// Total seconds attributed to phase nodes named `name` in the global
@@ -250,6 +266,13 @@ void maybe_dump_epoch_csv(const CliOptions& opt, const Hypergraph& h,
   rec.coarsen_seconds = phase_seconds(tree, "coarsen");
   rec.initial_seconds = phase_seconds(tree, "initial");
   rec.refine_seconds = phase_seconds(tree, "refine");
+  // Critical-path attribution of this decision's repartition span (only
+  // when the span was tagged with the same epoch we are writing).
+  const obs::CriticalPathSummary cp = obs::latest_critical_path();
+  if (cp.valid && cp.epoch == static_cast<std::int64_t>(epoch)) {
+    rec.critical_rank = cp.critical_rank;
+    rec.wait_frac = cp.wait_frac;
+  }
   EpochRunSummary summary;
   summary.epochs.push_back(rec);
   EpochSeries series;
@@ -292,6 +315,15 @@ int main(int argc, char** argv) {
   // Turn event capture on before any work so the timeline covers the
   // whole run (TraceScopes and comm events check the flag at emit time).
   if (!opt.chrome_trace_path.empty()) obs::set_events_enabled(true);
+  if (!opt.stats_stream_path.empty()) {
+    obs::set_stats_stream_enabled(true);
+    obs::set_stats_stream_path(opt.stats_stream_path);
+#ifdef SIGUSR1
+    // Mid-run dumps: `kill -USR1 <pid>` flushes the ring at the next
+    // sampled phase boundary. The handler is one atomic store.
+    std::signal(SIGUSR1, [](int) { obs::request_stats_dump(); });
+#endif
+  }
   try {
     const Hypergraph h = load(opt);
     if (opt.mode == "info") {
@@ -322,6 +354,8 @@ int main(int argc, char** argv) {
       check::validate_hypergraph(h, opt.check_level, opt.k);
 
     if (opt.mode == "partition") {
+      obs::set_current_epoch(1);
+      obs::gauge("epoch.current").set(1);
       Partition p(opt.k, h.num_vertices());
       WallTimer partition_timer;
       double partition_seconds = 0.0;
@@ -360,6 +394,8 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (opt.mode == "repartition") {
+      obs::set_current_epoch(2);
+      obs::gauge("epoch.current").set(2);
       if (opt.old_parts_path.empty()) usage("repartition requires --old=");
       const Partition old_p =
           read_partition_file(opt.old_parts_path, h.num_vertices(), opt.k);

@@ -45,6 +45,12 @@ Textual rules (all scoped to src/ and tools/ C++ sources):
                    a diagnosable abort into a wrong answer or a hang
                    (docs/ROBUSTNESS.md). Deliberate sinks are suppressed
                    with `// hgr-lint: swallow-ok` on the catch line.
+  counter-in-loop  No `obs::counter(...)` calls inside loop bodies in src/:
+                   each call is a registry map lookup under a mutex. Hoist
+                   a `static obs::CachedCounter` handle out of the loop
+                   (docs/OBSERVABILITY.md) or accumulate locally and bump
+                   once after. Deliberate per-iteration lookups are
+                   suppressed with `// hgr-lint: counter-ok`.
 
 Id-safety rules (common/types.hpp strong ids; see docs/CHECKING.md):
 
@@ -96,6 +102,7 @@ RULE_SUPPRESS = {
     "swallowed-failure": "hgr-lint: swallow-ok",
     "raw-escape": "hgr-lint: raw-ok",
     "raw-subscript": "hgr-lint: raw-ok",
+    "counter-in-loop": "hgr-lint: counter-ok",
 }
 
 # Paths (relative to the scan root, '/'-separated) where raw id escapes are
@@ -259,6 +266,73 @@ def lint_swallowed_failures(path: Path,
             "rethrow_exception, abort_all, std::abort, std::terminate, "
             "std::exit); mark deliberate sinks with "
             "`// hgr-lint: swallow-ok`")
+    return findings
+
+
+LOOP_KEYWORD = re.compile(r"(?<![\w_])(?:for|while|do)(?![\w_])")
+COUNTER_CALL_SITE = re.compile(r"obs\s*::\s*counter\s*\(")
+
+
+def lint_counter_in_loop(path: Path,
+                         lines: list[tuple[int, str, str]]) -> list[str]:
+    """Flag obs::counter(...) lookups inside loop bodies (src/ only).
+
+    Brace-matching scan: a `{` opened after a for/while/do keyword marks a
+    loop scope; any obs::counter call while at least one loop scope is open
+    (or in a brace-less loop body) is a per-iteration registry lookup and
+    must go through a hoisted `static obs::CachedCounter` instead.
+    """
+    findings = []
+    loop_stack: list[bool] = []  # per open brace: opened by a loop header?
+    pending_loop = False         # loop keyword seen, body not yet entered
+    pending_base = 0             # paren depth where that keyword was seen
+    paren_depth = 0
+    for lineno, raw, cleaned in lines:
+        suppressed = (SUPPRESS in raw
+                      or RULE_SUPPRESS["counter-in-loop"] in raw)
+        i = 0
+        while i < len(cleaned):
+            kw = LOOP_KEYWORD.match(cleaned, i)
+            if kw is not None:
+                pending_loop = True
+                pending_base = paren_depth
+                i = kw.end()
+                continue
+            call = COUNTER_CALL_SITE.match(cleaned, i)
+            if call is not None:
+                # `(` of the matched call is consumed here, not below.
+                paren_depth += 1
+                in_loop = any(loop_stack) or (
+                    pending_loop and paren_depth - 1 <= pending_base)
+                if in_loop and not suppressed:
+                    findings.append(
+                        f"{path}:{lineno}: [counter-in-loop] {raw.strip()}\n"
+                        "    -> obs::counter resolves the name in the "
+                        "registry on every call; hoist a `static "
+                        "obs::CachedCounter` out of the loop or accumulate "
+                        "locally (mark deliberate per-iteration lookups "
+                        "with `// hgr-lint: counter-ok`)")
+                i = call.end()
+                continue
+            ch = cleaned[i]
+            if ch == "(":
+                paren_depth += 1
+            elif ch == ")":
+                paren_depth = max(0, paren_depth - 1)
+            elif ch == "{":
+                # A brace inside the loop header's parens (a lambda or
+                # brace-init argument) is not the loop body.
+                if pending_loop and paren_depth <= pending_base:
+                    loop_stack.append(True)
+                    pending_loop = False
+                else:
+                    loop_stack.append(False)
+            elif ch == "}":
+                if loop_stack:
+                    loop_stack.pop()
+            elif ch == ";" and paren_depth <= pending_base:
+                pending_loop = False
+            i += 1
     return findings
 
 
@@ -460,6 +534,8 @@ def lint_file(path: Path, rel: str) -> list[str]:
                     f"{path}:{lineno}: [{name}] {raw.strip()}\n"
                     f"    -> {why}")
     findings += lint_swallowed_failures(path, lines)
+    if rel.startswith("src/"):
+        findings += lint_counter_in_loop(path, lines)
     findings += lint_id_safety_regex(path, rel, lines)
     return findings
 

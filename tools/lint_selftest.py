@@ -59,6 +59,31 @@ CASES = [
     ("swallowed-failure/good-marker", "src/parallel/x.cpp",
      "void f() {\n  try { g(); } catch (...) {"
      "  // hgr-lint: swallow-ok\n  }\n}\n", 0),
+    # --- counter-in-loop (src/ only) ---
+    ("counter-in-loop/bad-for", "src/core/x.cpp",
+     "void f() {\n  for (int i = 0; i < n; ++i) {\n"
+     "    obs::counter(\"epoch.count\") += 1;\n  }\n}\n", 1),
+    ("counter-in-loop/bad-while", "src/core/x.cpp",
+     "void f() {\n  while (pending()) {\n"
+     "    obs::counter(\"epoch.count\") += 1;\n  }\n}\n", 1),
+    ("counter-in-loop/bad-braceless", "src/core/x.cpp",
+     "void f() {\n  for (int i = 0; i < n; ++i)\n"
+     "    obs::counter(\"epoch.count\") += 1;\n}\n", 1),
+    ("counter-in-loop/good-cached", "src/core/x.cpp",
+     "void f() {\n  static obs::CachedCounter c(\"epoch.count\");\n"
+     "  for (int i = 0; i < n; ++i) {\n    c += 1;\n  }\n}\n", 0),
+    ("counter-in-loop/good-outside", "src/core/x.cpp",
+     "void f() {\n  for (int i = 0; i < n; ++i) {\n    work(i);\n  }\n"
+     "  obs::counter(\"epoch.count\") += n;\n}\n", 0),
+    ("counter-in-loop/good-lambda-in-call", "src/core/x.cpp",
+     "void f() {\n  run([&] {\n    obs::counter(\"epoch.count\") += 1;\n"
+     "  });\n}\n", 0),
+    ("counter-in-loop/good-marker", "src/core/x.cpp",
+     "void f() {\n  for (int i = 0; i < n; ++i) {\n"
+     "    obs::counter(name(i)) += 1;  // hgr-lint: counter-ok\n  }\n}\n", 0),
+    ("counter-in-loop/good-tools-scope", "tools/x.cpp",
+     "void f() {\n  for (int i = 0; i < n; ++i) {\n"
+     "    obs::counter(\"epoch.count\") += 1;\n  }\n}\n", 0),
     # --- raw-escape ---
     ("raw-escape/bad-to-raw", "src/partition/x.cpp",
      "const Index i = to_raw(v);\n", 1),
