@@ -1,0 +1,131 @@
+#include "common/thread_pool.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+
+#include "common/assert.hpp"
+#include "obs/trace.hpp"
+
+namespace hgr {
+
+// Region protocol: the caller publishes a job pointer and a generation
+// number under the mutex and wakes every worker; each worker runs the job
+// once for its own thread index, then decrements `pending`. The caller
+// runs index 0 itself, waits for pending == 0, and only then unpublishes
+// the job — so the pointer outlives every reader. Exceptions from any
+// index are captured (first one wins) and rethrown on the caller after
+// the join, which keeps fault-injection unwinds from abandoning workers
+// mid-region.
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable start_cv;
+  std::condition_variable done_cv;
+  const std::function<void(int)>* job = nullptr;
+  std::uint64_t generation = 0;
+  int pending = 0;
+  std::exception_ptr first_error;
+  bool stop = false;
+};
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads),
+      impl_(std::make_unique<Impl>()) {
+  static obs::CachedCounter pools("tp.pools");
+  pools += 1;
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int t = 1; t < num_threads_; ++t)
+    workers_.emplace_back([this, t] { worker_loop(t); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->start_cv.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(int t) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::unique_lock lock(impl_->mutex);
+    impl_->start_cv.wait(lock, [&] {
+      return impl_->stop || impl_->generation != seen;
+    });
+    if (impl_->stop) return;
+    seen = impl_->generation;
+    const std::function<void(int)>* job = impl_->job;
+    lock.unlock();
+    try {
+      (*job)(t);
+    } catch (...) {  // hgr-lint: swallow-ok (run() rethrows after the join)
+      std::lock_guard relock(impl_->mutex);
+      if (impl_->first_error == nullptr)
+        impl_->first_error = std::current_exception();
+    }
+    std::lock_guard relock(impl_->mutex);
+    if (--impl_->pending == 0) impl_->done_cv.notify_all();
+  }
+}
+
+void ThreadPool::run(const std::function<void(int)>& f) {
+  static obs::CachedCounter regions("tp.regions");
+  static obs::CachedCounter tasks("tp.tasks");
+  regions += 1;
+  tasks += static_cast<std::uint64_t>(num_threads_);
+  if (num_threads_ == 1) {
+    f(0);
+    return;
+  }
+  {
+    std::lock_guard lock(impl_->mutex);
+    HGR_ASSERT_MSG(impl_->job == nullptr,
+                   "ThreadPool::run is not reentrant (nested region?)");
+    impl_->job = &f;
+    impl_->first_error = nullptr;
+    impl_->pending = num_threads_ - 1;
+    ++impl_->generation;
+  }
+  impl_->start_cv.notify_all();
+  try {
+    f(0);
+  } catch (...) {  // hgr-lint: swallow-ok (rethrown below after the join)
+    std::lock_guard lock(impl_->mutex);
+    if (impl_->first_error == nullptr)
+      impl_->first_error = std::current_exception();
+  }
+  std::unique_lock lock(impl_->mutex);
+  impl_->done_cv.wait(lock, [&] { return impl_->pending == 0; });
+  impl_->job = nullptr;
+  if (impl_->first_error != nullptr) {
+    std::exception_ptr err = impl_->first_error;
+    impl_->first_error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::parallel_chunks(
+    Index n, const std::function<void(int, Index, Index)>& f) {
+  if (n <= 0) return;
+  run([&](int t) {
+    const auto [begin, end] = chunk(n, t, num_threads_);
+    if (begin < end) f(t, begin, end);
+  });
+}
+
+std::pair<Index, Index> ThreadPool::chunk(Index n, int t, int num_threads) {
+  HGR_DASSERT(num_threads >= 1 && t >= 0 && t < num_threads);
+  const Index base = n / num_threads;
+  const Index extra = n % num_threads;
+  const Index begin = static_cast<Index>(t) * base +
+                      (static_cast<Index>(t) < extra ? static_cast<Index>(t)
+                                                     : extra);
+  const Index len = base + (static_cast<Index>(t) < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+}  // namespace hgr

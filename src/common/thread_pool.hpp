@@ -1,0 +1,89 @@
+// ThreadPool: the shared-memory execution layer under the rank layer.
+//
+// The parallel runtime (parallel/comm.hpp) emulates *distribution*: p
+// ranks exchanging messages. This pool supplies *shared-memory*
+// parallelism inside one rank: a fixed set of threads running
+// statically-chunked loops over vertices or nets, with the caller
+// participating as thread 0. Ranks and threads compose — each rank owns
+// its own pool, so a run uses ranks x threads cores
+// (docs/PARALLELISM.md).
+//
+// Determinism contract: the pool never influences results. Chunk
+// boundaries are a pure function of (n, num_threads), every parallel
+// kernel in src/partition is written so its output is a function of the
+// round-start state only, and all cross-chunk arbitration happens on the
+// caller thread. threads=1 and threads=8 produce bit-identical partitions
+// (enforced by the ThreadDeterminism suite).
+//
+// Error handling: a job that throws on any thread is captured as an
+// exception_ptr; run() joins every thread for the region and then
+// rethrows the first capture on the caller. The pool stays usable
+// afterwards, so fault-injection paths unwind through parallel regions
+// cleanly (chaos CI runs with --threads=4).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hgr {
+
+class ThreadPool {
+ public:
+  /// Spawns num_threads - 1 persistent workers (clamped to >= 1; a pool of
+  /// one spawns nothing and runs every job inline).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs f(t) for every t in [0, num_threads): the caller executes t == 0,
+  /// the workers the rest. Blocks until all complete; rethrows the first
+  /// exception any thread raised (after every thread finished the region).
+  void run(const std::function<void(int)>& f);
+
+  /// Static contiguous chunking of [0, n): thread t runs
+  /// f(t, begin, end) on its chunk. Empty chunks (n < num_threads) are
+  /// skipped. The chunk map is a pure function of (n, num_threads), never
+  /// of scheduling order.
+  void parallel_chunks(Index n, const std::function<void(int, Index, Index)>& f);
+
+  /// Chunk t of [0, n) split T ways: the first n % T chunks get one extra
+  /// element. Exposed so kernels can precompute which thread owns an index.
+  static std::pair<Index, Index> chunk(Index n, int t, int num_threads);
+
+ private:
+  void worker_loop(int t);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+  // Start/done signalling; see thread_pool.cpp for the protocol.
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Run f(t, begin, end) over [0, n): through `pool` when one is available
+/// and has more than one thread, else inline as a single chunk f(0, 0, n).
+/// The uniform entry point for kernels holding a nullable pool.
+inline void parallel_chunks(ThreadPool* pool, Index n,
+                            const std::function<void(int, Index, Index)>& f) {
+  if (n <= 0) return;
+  if (pool == nullptr || pool->num_threads() == 1) {
+    f(0, 0, n);
+    return;
+  }
+  pool->parallel_chunks(n, f);
+}
+
+/// Threads a nullable pool resolves to (1 when absent).
+inline int pool_threads(const ThreadPool* pool) {
+  return pool == nullptr ? 1 : pool->num_threads();
+}
+
+}  // namespace hgr

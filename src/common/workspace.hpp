@@ -8,12 +8,24 @@
 // cleared vector with its old capacity intact, give() returns it. Across a
 // multilevel run the steady state is zero scratch allocation per level.
 //
-// Concurrency: a Workspace is single-threaded by design. The parallel
+// Concurrency: one arena serves one thread at a time. The parallel
 // partitioner owns one per rank; serial code owns one per partitioner
-// call. Kernels accept `Workspace* ws = nullptr` and fall back to plain
-// locals through Borrowed, so standalone calls need no arena.
+// call; kernels running thread-parallel sections grab a per-thread
+// sub-arena via for_thread(t) (reserve_threads(n) first, from the owning
+// thread). The single-owner assumption used to be latent — nothing
+// enforced it — so take/give/clear now carry an always-on concurrent-use
+// guard: two threads mutating the same arena at once abort instead of
+// corrupting the free lists. Kernels accept `Workspace* ws = nullptr` and
+// fall back to plain locals through Borrowed, so standalone calls need no
+// arena.
+//
+// A Workspace may also carry the rank's ThreadPool (set_pool): kernels
+// reach their execution resources and their scratch through the one
+// pointer they already take. Sub-arenas never carry a pool — parallel
+// sections do not nest.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <typeindex>
@@ -21,7 +33,11 @@
 #include <utility>
 #include <vector>
 
+#include "common/assert.hpp"
+
 namespace hgr {
+
+class ThreadPool;
 
 class Workspace {
  public:
@@ -38,6 +54,7 @@ class Workspace {
   /// A cleared vector<T>, reusing pooled capacity when available.
   template <typename T>
   std::vector<T> take() {
+    const BusyGuard guard(busy_);
     TypedPool<T>& pool = typed_pool<T>();
     ++stats_.takes;
     if (!pool.free.empty()) {
@@ -54,11 +71,42 @@ class Workspace {
   /// Return a vector to the pool; its capacity is what gets recycled.
   template <typename T>
   void give(std::vector<T>&& v) {
+    const BusyGuard guard(busy_);
     typed_pool<T>().free.push_back(std::move(v));
   }
 
-  /// Drop every pooled vector (frees all recycled capacity).
-  void clear() { pools_.clear(); }
+  /// Drop every pooled vector (frees all recycled capacity). Sub-arenas
+  /// are kept (their capacity is dropped too).
+  void clear() {
+    const BusyGuard guard(busy_);
+    pools_.clear();
+    for (const auto& child : threads_) child->clear();
+  }
+
+  /// Ensure sub-arenas exist for threads 1..num_threads-1. Must be called
+  /// from the owning thread before a parallel section hands the arenas
+  /// out; idempotent and growing-only.
+  void reserve_threads(int num_threads) {
+    const BusyGuard guard(busy_);
+    while (static_cast<int>(threads_.size()) + 1 < num_threads)
+      threads_.push_back(std::make_unique<Workspace>());
+  }
+
+  /// The per-thread sub-arena for pool thread t. for_thread(0) is this
+  /// arena itself (the caller participates as thread 0); t >= 1 requires a
+  /// prior reserve_threads. Each sub-arena keeps its capacity across
+  /// parallel sections and levels, exactly like the parent.
+  Workspace& for_thread(int t) {
+    if (t == 0) return *this;
+    HGR_ASSERT_MSG(t >= 1 && t <= static_cast<int>(threads_.size()),
+                   "for_thread without a prior reserve_threads");
+    return *threads_[static_cast<std::size_t>(t - 1)];
+  }
+
+  /// The rank's thread pool, when one is attached (null = run serial).
+  /// Kernels read this instead of growing a ThreadPool* parameter.
+  ThreadPool* pool() const { return pool_; }
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
 
   /// Pooled vectors currently waiting for reuse (over all types).
   std::size_t pooled() const {
@@ -70,6 +118,24 @@ class Workspace {
   const Stats& stats() const { return stats_; }
 
  private:
+  /// Always-on concurrent-use detector: mutating entry points exchange a
+  /// busy flag and abort if it was already set. One relaxed-ish atomic
+  /// exchange per take/give — noise next to the vector moves it guards.
+  class BusyGuard {
+   public:
+    explicit BusyGuard(std::atomic<bool>& busy) : busy_(busy) {
+      HGR_ASSERT_MSG(!busy_.exchange(true, std::memory_order_acquire),
+                     "Workspace mutated from two threads at once; use "
+                     "for_thread(t) sub-arenas inside parallel sections");
+    }
+    ~BusyGuard() { busy_.store(false, std::memory_order_release); }
+    BusyGuard(const BusyGuard&) = delete;
+    BusyGuard& operator=(const BusyGuard&) = delete;
+
+   private:
+    std::atomic<bool>& busy_;
+  };
+
   struct PoolBase {
     virtual ~PoolBase() = default;
     virtual std::size_t size() const = 0;
@@ -88,7 +154,10 @@ class Workspace {
   }
 
   std::unordered_map<std::type_index, std::unique_ptr<PoolBase>> pools_;
+  std::vector<std::unique_ptr<Workspace>> threads_;  // sub-arenas, t - 1
+  ThreadPool* pool_ = nullptr;
   Stats stats_;
+  std::atomic<bool> busy_{false};
 };
 
 /// RAII borrow of one scratch vector. With a null workspace it degrades to

@@ -19,6 +19,7 @@
 // per-rank pools live on the Comm.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstring>
 #include <memory>
@@ -51,15 +52,31 @@ class PoolBlock {
   std::size_t capacity_ = 0;
 };
 
-/// Free list of raw blocks. Single-threaded by design: each comm rank owns
-/// one pool (external synchronization — the mailbox mutex — guards the
-/// shared per-mailbox pools). Keeps at most kMaxFreeBlocks cached; on
+/// Free list of raw blocks. One thread at a time: each comm rank owns one
+/// pool, and the shared per-mailbox pools are serialized by the mailbox
+/// mutex. That used to be an unchecked convention; acquire/release/clear
+/// now carry an always-on busy-flag guard (same scheme as Workspace) that
+/// aborts on concurrent mutation instead of corrupting the free list —
+/// relevant now that thread pools run inside each rank
+/// (docs/PARALLELISM.md). Keeps at most kMaxFreeBlocks cached; on
 /// overflow the smallest cached block is dropped so the pool converges on
 /// the large payloads worth recycling.
 class BufferPool {
  public:
   static constexpr std::size_t kMaxFreeBlocks = 16;
   static constexpr std::size_t kMinBlockBytes = 64;
+
+  BufferPool() = default;
+  // Movable for container storage; the busy flag is per-object state and
+  // starts clear in the moved-to pool (moving a pool mid-use is a bug the
+  // guard in the next acquire would catch anyway).
+  BufferPool(BufferPool&& other) noexcept
+      : free_(std::move(other.free_)), stats_(other.stats_) {}
+  BufferPool& operator=(BufferPool&& other) noexcept {
+    free_ = std::move(other.free_);
+    stats_ = other.stats_;
+    return *this;
+  }
 
   struct Stats {
     std::uint64_t acquires = 0;     // total acquire() calls
@@ -70,6 +87,7 @@ class BufferPool {
   /// A block with capacity >= min_bytes: the tightest-fitting cached block
   /// if one exists, else a fresh allocation.
   PoolBlock acquire(std::size_t min_bytes) {
+    const BusyGuard guard(busy_);
     ++stats_.acquires;
     std::size_t best = free_.size();
     for (std::size_t i = 0; i < free_.size(); ++i) {
@@ -92,6 +110,7 @@ class BufferPool {
 
   void release(PoolBlock&& block) {
     if (!block.valid()) return;
+    const BusyGuard guard(busy_);
     free_.push_back(std::move(block));
     if (free_.size() <= kMaxFreeBlocks) return;
     std::size_t smallest = 0;
@@ -103,7 +122,10 @@ class BufferPool {
   /// Drop every cached block (ScopedRegistry-style reset between
   /// measurement windows). Outstanding blocks are unaffected and may still
   /// be released back afterwards.
-  void clear() { free_.clear(); }
+  void clear() {
+    const BusyGuard guard(busy_);
+    free_.clear();
+  }
 
   std::size_t free_blocks() const { return free_.size(); }
   std::size_t resident_bytes() const {
@@ -114,8 +136,24 @@ class BufferPool {
   const Stats& stats() const { return stats_; }
 
  private:
+  class BusyGuard {
+   public:
+    explicit BusyGuard(std::atomic<bool>& busy) : busy_(busy) {
+      HGR_ASSERT_MSG(!busy_.exchange(true, std::memory_order_acquire),
+                     "BufferPool mutated from two threads at once; pools "
+                     "are per-rank or externally serialized");
+    }
+    ~BusyGuard() { busy_.store(false, std::memory_order_release); }
+    BusyGuard(const BusyGuard&) = delete;
+    BusyGuard& operator=(const BusyGuard&) = delete;
+
+   private:
+    std::atomic<bool>& busy_;
+  };
+
   std::vector<PoolBlock> free_;
   Stats stats_;
+  std::atomic<bool> busy_{false};
 };
 
 /// CSR-style per-slot message buffer: `count(s)` elements destined for (or

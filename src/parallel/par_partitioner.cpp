@@ -4,10 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "check/validate.hpp"
 #include "common/assert.hpp"
+#include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "common/workspace.hpp"
 #include "core/repartition_model.hpp"
@@ -63,8 +65,16 @@ ParallelPartitionResult parallel_partition_hypergraph(
 
     // Rank-local scratch arena: each rank's kernels (contraction, the
     // serial partitioner behind the coarse step) reuse capacity across
-    // levels. Never shared across ranks — Workspace is single-threaded.
+    // levels. Never shared across ranks; thread-parallel kernels inside
+    // this rank use per-thread sub-arenas of it. When cfg asks for
+    // shared-memory threads, the arena carries this rank's own pool —
+    // ranks x threads compose (docs/PARALLELISM.md).
     Workspace ws;
+    std::optional<ThreadPool> thread_pool;
+    if (cfg.base.num_threads > 1) {
+      thread_pool.emplace(static_cast<int>(cfg.base.num_threads));
+      ws.set_pool(&*thread_pool);
+    }
 
     const Index stop_size =
         std::max<Index>(cfg.base.coarsen_to, 2 * cfg.base.num_parts);

@@ -17,19 +17,19 @@ const char* to_string(IncrementalMode mode) {
 }
 
 std::string PartitionConfig::to_string() const {
-  char buf[320];
+  char buf[384];
   std::snprintf(
       buf, sizeof(buf),
       "k=%d eps=%.3f seed=%llu coarsen_to=%d trials=%d passes=%d method=%s "
       "queue=%s postpass=%d vcycles=%d incr=%s drift=%.3f delta=%.3f "
-      "check=%s faults=%s",
+      "check=%s faults=%s threads=%d",
       num_parts, epsilon, static_cast<unsigned long long>(seed), coarsen_to,
       num_initial_trials, max_refine_passes,
       kway_method == KwayMethod::kRecursiveBisection ? "rb" : "kway",
       gain_queue == GainQueueKind::kHeap ? "heap" : "bucket", kway_postpass,
       num_vcycles, hgr::to_string(incremental), incremental_max_drift,
       incremental_max_delta_frac, check::to_string(check_level),
-      fault_plan ? "on" : "off");
+      fault_plan ? "on" : "off", num_threads);
   return buf;
 }
 

@@ -56,10 +56,18 @@ struct PartitionConfig {
   /// are not merged further, preventing unbalanced coarse vertices.
   double max_coarse_weight_factor = 1.5;
 
-  /// Vertices with degree above this do not initiate IPM matches (they can
-  /// still be chosen as partners); guards against quadratic blowup on hubs
-  /// such as the repartitioning model's partition vertices.
+  /// Vertices with degree above this sit out IPM matching entirely (the
+  /// mutual-proposal rounds need both endpoints to score each other, so a
+  /// vertex too expensive to score cannot be a partner either); guards
+  /// against quadratic blowup on hubs such as the repartitioning model's
+  /// partition vertices.
   Index max_matching_degree = 4096;
+
+  /// Shared-memory threads per rank for the thread-parallel kernels
+  /// (matching, contraction, k-way refinement). Composes with the rank
+  /// count of a parallel run: p ranks x num_threads threads. Results are
+  /// bit-identical for any value (docs/PARALLELISM.md).
+  Index num_threads = 1;
 
   /// Nets larger than this are ignored while scoring inner products (their
   /// contribution to the match quality is negligible and they are costly).

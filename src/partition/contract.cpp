@@ -1,10 +1,12 @@
 #include "partition/contract.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <unordered_map>
 
 #include "common/assert.hpp"
 #include "common/csr_utils.hpp"
+#include "common/thread_pool.hpp"
 #include "partition/matching_ipm.hpp"
 
 namespace hgr {
@@ -23,9 +25,27 @@ std::uint64_t hash_pins(std::span<const VertexId> pins) {
 
 }  // namespace
 
+// Contraction in three phases around the serial dedup core:
+//
+//   A (parallel over nets)  map + sort + dedup each pin list into the
+//                           chunk's thread-local buffer; record per-net
+//                           (count, offset, hash).
+//   B (serial, net order)   merge identical nets / drop tiny nets with
+//                           the same first-occurrence-wins dedup the old
+//                           serial kernel used, reading pins out of the
+//                           thread buffers. Net order is the original net
+//                           order, so the output is bit-identical to the
+//                           serial version at every thread count.
+//   C (parallel over kept)  prefix-sum the kept counts and copy each kept
+//                           pin list into its final CSR slot (disjoint
+//                           ranges, frozen sources).
+//
+// Phase A dominates the serial kernel's runtime (the sort per net), which
+// is what makes this split worth its bookkeeping.
 CoarseLevel contract(const Hypergraph& h,
                      IdSpan<VertexId, const VertexId> match, Workspace* ws) {
   const Index n = h.num_vertices();
+  const Index m = h.num_nets();
   HGR_ASSERT(match.ssize() == n);
 
   CoarseLevel out;
@@ -61,53 +81,123 @@ CoarseLevel contract(const Hypergraph& h,
     }
   }
 
-  // Coarse nets: map, dedup within net, drop < 2 pins, merge identical nets.
-  // The pin/count/cost arrays are moved into the coarse Hypergraph, so
-  // only the true scratch (per-net mapping and the dedup begin index) is
-  // pooled through the workspace.
-  std::vector<VertexId> coarse_pins;        // concatenated kept pin lists
-  std::vector<Index> coarse_net_counts;     // pins per kept net
+  ThreadPool* pool = ws != nullptr ? ws->pool() : nullptr;
+  const int num_threads = pool_threads(pool);
+  if (ws != nullptr) ws->reserve_threads(num_threads);
+
+  // Phase A: per-thread pin buffers plus per-net (count, offset, hash).
+  // The buffers are borrowed from each thread's sub-arena up front, on the
+  // caller, so the parallel section itself never touches an arena.
+  // One growable pin buffer per thread, not a message:
+  std::vector<std::vector<VertexId>> bufs(  // hgr-lint: ragged-ok
+      static_cast<std::size_t>(num_threads));
+  if (ws != nullptr)
+    for (int t = 0; t < num_threads; ++t)
+      bufs[static_cast<std::size_t>(t)] = ws->for_thread(t).take<VertexId>();
+
+  Borrowed<Index> net_count_b(ws);   // mapped pins per net (0 = dropped)
+  Borrowed<Index> net_off_b(ws);     // offset in the owning thread's buffer
+  Borrowed<std::uint64_t> net_hash_b(ws);
+  net_count_b.get().assign(static_cast<std::size_t>(m), 0);
+  net_off_b.get().assign(static_cast<std::size_t>(m), 0);
+  net_hash_b.get().assign(static_cast<std::size_t>(m), 0);
+  std::vector<Index>& net_count = net_count_b.get();
+  std::vector<Index>& net_off = net_off_b.get();
+  std::vector<std::uint64_t>& net_hash = net_hash_b.get();
+
+  parallel_chunks(pool, m, [&](int t, Index begin, Index end) {
+    std::vector<VertexId>& buf = bufs[static_cast<std::size_t>(t)];
+    buf.clear();
+    for (Index ni = begin; ni < end; ++ni) {
+      const NetId net{ni};
+      const Index start = static_cast<Index>(buf.size());
+      for (const VertexId v : h.pins(net))
+        buf.push_back(out.fine_to_coarse[v]);
+      std::sort(buf.begin() + start, buf.end());
+      buf.erase(std::unique(buf.begin() + start, buf.end()), buf.end());
+      const Index count = static_cast<Index>(buf.size()) - start;
+      if (count < 2) {
+        buf.resize(static_cast<std::size_t>(start));
+        continue;  // net_count stays 0: dropped
+      }
+      net_count[static_cast<std::size_t>(ni)] = count;
+      net_off[static_cast<std::size_t>(ni)] = start;
+      net_hash[static_cast<std::size_t>(ni)] = hash_pins(
+          {buf.data() + start, static_cast<std::size_t>(count)});
+    }
+  });
+
+  // Phase B: serial first-occurrence dedup in net order. Kept nets record
+  // where their pins live (owning thread + offset) for the copy phase.
+  Borrowed<Index> kept_off_b(ws);
+  Borrowed<Index> kept_thread_b(ws);
+  std::vector<Index>& kept_off = kept_off_b.get();
+  std::vector<Index>& kept_thread = kept_thread_b.get();
+  std::vector<Index> coarse_net_counts;
   std::vector<Weight> coarse_net_costs;
-  Borrowed<Index> net_begin_b(ws);          // kept net -> begin in coarse_pins
-  std::vector<Index>& net_begin_of = net_begin_b.get();
   std::unordered_map<std::uint64_t, std::vector<Index>> dedup;
-  dedup.reserve(static_cast<std::size_t>(h.num_nets()));
+  dedup.reserve(static_cast<std::size_t>(m));
 
-  Borrowed<VertexId> mapped_b(ws);
-  std::vector<VertexId>& mapped = mapped_b.get();
-  for (const NetId net : h.nets()) {
-    mapped.clear();
-    for (const VertexId v : h.pins(net)) mapped.push_back(out.fine_to_coarse[v]);
-    std::sort(mapped.begin(), mapped.end());
-    mapped.erase(std::unique(mapped.begin(), mapped.end()), mapped.end());
-    if (static_cast<Index>(mapped.size()) < 2) continue;
+  int cur_thread = 0;
+  Index cur_end = ThreadPool::chunk(m, 0, num_threads).second;
+  for (Index ni = 0; ni < m; ++ni) {
+    while (ni >= cur_end && cur_thread + 1 < num_threads)
+      cur_end = ThreadPool::chunk(m, ++cur_thread, num_threads).second;
+    const Index count = net_count[static_cast<std::size_t>(ni)];
+    if (count == 0) continue;
+    const std::vector<VertexId>& src =
+        bufs[static_cast<std::size_t>(cur_thread)];
+    const VertexId* pins =
+        src.data() + net_off[static_cast<std::size_t>(ni)];
+    const Weight cost = h.net_cost(NetId{ni});
 
-    const std::uint64_t key = hash_pins(mapped);
-    auto& bucket = dedup[key];
+    auto& bucket = dedup[net_hash[static_cast<std::size_t>(ni)]];
     bool merged = false;
     for (const Index existing : bucket) {
-      const auto begin = net_begin_of[static_cast<std::size_t>(existing)];
-      const auto count = coarse_net_counts[static_cast<std::size_t>(existing)];
-      if (count == static_cast<Index>(mapped.size()) &&
-          std::equal(mapped.begin(), mapped.end(),
-                     coarse_pins.begin() + begin)) {
-        coarse_net_costs[static_cast<std::size_t>(existing)] +=
-            h.net_cost(net);
+      if (coarse_net_counts[static_cast<std::size_t>(existing)] != count)
+        continue;
+      const std::vector<VertexId>& esrc =
+          bufs[static_cast<std::size_t>(kept_thread[
+              static_cast<std::size_t>(existing)])];
+      const VertexId* epins =
+          esrc.data() + kept_off[static_cast<std::size_t>(existing)];
+      if (std::equal(pins, pins + count, epins)) {
+        coarse_net_costs[static_cast<std::size_t>(existing)] += cost;
         merged = true;
         break;
       }
     }
     if (merged) continue;
 
-    const Index id = static_cast<Index>(coarse_net_counts.size());
-    bucket.push_back(id);
-    net_begin_of.push_back(static_cast<Index>(coarse_pins.size()));
-    coarse_net_counts.push_back(static_cast<Index>(mapped.size()));
-    coarse_net_costs.push_back(h.net_cost(net));
-    coarse_pins.insert(coarse_pins.end(), mapped.begin(), mapped.end());
+    bucket.push_back(static_cast<Index>(coarse_net_counts.size()));
+    kept_off.push_back(net_off[static_cast<std::size_t>(ni)]);
+    kept_thread.push_back(cur_thread);
+    coarse_net_counts.push_back(count);
+    coarse_net_costs.push_back(cost);
   }
 
+  // Phase C: prefix-sum the kept counts and copy pin lists into place.
+  const Index num_kept = static_cast<Index>(coarse_net_counts.size());
   std::vector<Index> offsets = counts_to_offsets(std::move(coarse_net_counts));
+  std::vector<VertexId> coarse_pins(
+      static_cast<std::size_t>(offsets.back()));
+  parallel_chunks(pool, num_kept, [&](int /*t*/, Index begin, Index end) {
+    for (Index j = begin; j < end; ++j) {
+      const std::vector<VertexId>& src =
+          bufs[static_cast<std::size_t>(kept_thread[
+              static_cast<std::size_t>(j)])];
+      const VertexId* pins = src.data() + kept_off[static_cast<std::size_t>(j)];
+      const Index count = offsets[static_cast<std::size_t>(j) + 1] -
+                          offsets[static_cast<std::size_t>(j)];
+      std::copy(pins, pins + count,
+                coarse_pins.begin() + offsets[static_cast<std::size_t>(j)]);
+    }
+  });
+
+  if (ws != nullptr)
+    for (int t = 0; t < num_threads; ++t)
+      ws->for_thread(t).give(std::move(bufs[static_cast<std::size_t>(t)]));
+
   // hgr-lint: raw-ok (handing storage to the Hypergraph raw constructor)
   out.coarse = Hypergraph(std::move(offsets), std::move(coarse_pins),
                           std::move(weights.raw()), std::move(sizes.raw()),

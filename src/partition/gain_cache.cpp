@@ -60,9 +60,13 @@ GainCache::GainCache(const Hypergraph& h, Index k,
 }
 
 void GainCache::candidate_parts_into(std::vector<PartId>& out, VertexId v) {
+  candidate_parts_into(out, v, scratch_.get());
+}
+
+void GainCache::candidate_parts_into(std::vector<PartId>& out, VertexId v,
+                                     std::vector<std::uint64_t>& acc) const {
   out.clear();
   const PartId from = part_of(v);
-  std::vector<std::uint64_t>& acc = scratch_.get();
   acc.assign(words_per_row_, 0);
   for (const NetId net : h_.incident_nets(v))
     for (std::size_t w = 0; w < words_per_row_; ++w)

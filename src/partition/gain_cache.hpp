@@ -91,6 +91,12 @@ class GainCache {
   /// O(deg(v) * k/64 + |result|) — no pin-list traversal.
   void candidate_parts_into(std::vector<PartId>& out, VertexId v);
 
+  /// Same, with caller-supplied word scratch instead of the cache's own —
+  /// const, so thread-parallel readers (the k-way proposal phase) can share
+  /// one frozen cache as long as each thread brings its own scratch.
+  void candidate_parts_into(std::vector<PartId>& out, VertexId v,
+                            std::vector<std::uint64_t>& scratch) const;
+
   /// Moves v to part `to`, updating every maintained quantity in
   /// O(deg(v)) (+ a sole-pin scan for nets crossing the 1<->2 pin
   /// boundary), firing the four delta-gain events on `listener` for nets

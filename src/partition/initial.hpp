@@ -20,11 +20,19 @@ struct BisectionTargets {
   Weight target0 = 0;  // ideal weight of side 0
   Weight target1 = 0;  // ideal weight of side 1
   double epsilon = 0.05;
+  // Hard per-side ceilings (0 = none). Recursive bisection sets these to
+  // (parts on the side) x (global per-part cap): the epsilon-derived bound
+  // alone compounds against *recomputed* side totals, so a lopsided-but-
+  // legal early split could push a final part past the global cap.
+  Weight cap0 = 0;
+  Weight cap1 = 0;
 
   Weight target(int side) const { return side == 0 ? target0 : target1; }
   Weight max_weight(int side) const {
-    return static_cast<Weight>(
+    const Weight derived = static_cast<Weight>(
         static_cast<double>(target(side)) * (1.0 + epsilon));
+    const Weight cap = side == 0 ? cap0 : cap1;
+    return cap > 0 && cap < derived ? cap : derived;
   }
 };
 

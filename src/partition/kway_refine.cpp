@@ -1,9 +1,11 @@
 #include "partition/kway_refine.hpp"
 
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/thread_pool.hpp"
 #include "metrics/balance.hpp"
 #include "metrics/cut.hpp"
 #include "obs/trace.hpp"
@@ -11,6 +13,24 @@
 
 namespace hgr {
 
+// Each pass runs in two phases (propose, then apply) at every thread
+// count, so threads=1 and threads=8 walk byte-identical state:
+//
+//   Propose (parallel over vertices): against the frozen pass-start cache
+//   — the const candidate_parts_into overload plus per-thread scratch —
+//   mark every vertex that has an acceptable move. Read-only on shared
+//   state, one flag write per vertex into the chunk the thread owns.
+//
+//   Apply (serial, permutation order): re-evaluate each marked vertex
+//   against the *live* cache with the exact same evaluation routine, and
+//   apply the move if it is still acceptable. The permutation is drawn
+//   serially from `rng` per pass, so the stream is consumed identically
+//   at every thread count.
+//
+// The proposal phase is a filter, not a commitment: moves that sour once
+// earlier moves land are re-checked and dropped, and vertices that only
+// become attractive mid-pass are picked up by the next pass (the pass
+// loop already iterates until a sweep applies nothing).
 KwayRefineResult kway_refine(const Hypergraph& h, Partition& p,
                              const PartitionConfig& cfg, Rng& rng,
                              Index max_passes, Workspace* ws) {
@@ -18,7 +38,8 @@ KwayRefineResult kway_refine(const Hypergraph& h, Partition& p,
   result.initial_cut = connectivity_cut(h, p);
   result.final_cut = result.initial_cut;
   const Index k = p.k;
-  if (k <= 1 || h.num_vertices() == 0) return result;
+  const Index n = h.num_vertices();
+  if (k <= 1 || n == 0) return result;
   // Memory guard: the dense table must stay sane (~1 GiB of Index). The
   // skip is counted and noted — never silent (docs/OBSERVABILITY.md).
   if (static_cast<std::size_t>(h.num_nets()) * static_cast<std::size_t>(k) >
@@ -36,78 +57,136 @@ KwayRefineResult kway_refine(const Hypergraph& h, Partition& p,
   const Weight max_part_weight =
       hgr::max_part_weight(h.total_vertex_weight(), k, cfg.epsilon);
 
+  ThreadPool* pool = ws != nullptr ? ws->pool() : nullptr;
+  const int num_threads = pool_threads(pool);
+  if (ws != nullptr) ws->reserve_threads(num_threads);
+
+  // Best move for v under the cache's *current* state: highest gain among
+  // acceptable moves (positive gain, or zero gain strictly improving
+  // balance), then lightest destination, then lowest part id. Shared by
+  // both phases so the proposal filter and the serial apply agree on what
+  // "acceptable" means. gain_to must be k zeros on entry; it is restored
+  // on exit.
+  const auto best_move = [&](VertexId v, std::vector<PartId>& candidates,
+                             std::vector<Weight>& gain_to,
+                             std::vector<std::uint64_t>& conn_scratch)
+      -> std::pair<PartId, Weight> {
+    // Candidate parts come straight off the connectivity bitsets: the
+    // distinct parts (other than the home part) the vertex's nets touch,
+    // in ascending part order — no pin-list traversal.
+    cache.candidate_parts_into(candidates, v, conn_scratch);
+    if (candidates.empty()) return {kNoPart, 0};
+    const Weight leave_gain = cache.leave_gain(v);
+    for (const NetId net : h.incident_nets(v)) {
+      const Weight c = h.net_cost(net);
+      if (c == 0) continue;
+      for (const PartId q : candidates)
+        if (!cache.net_touches(net, q))
+          gain_to[static_cast<std::size_t>(q.v)] -= c;
+    }
+    // gain(from -> q) = leave_gain + gain_to[q] (gain_to holds the
+    // entering penalty, <= 0).
+    const PartId from = cache.part_of(v);
+    PartId best = kNoPart;
+    Weight best_gain = 0;
+    Weight best_dest_w = 0;
+    const Weight wv = h.vertex_weight(v);
+    for (const PartId q : candidates) {
+      const Weight g = leave_gain + gain_to[static_cast<std::size_t>(q.v)];
+      gain_to[static_cast<std::size_t>(q.v)] = 0;  // reset accumulator
+      const Weight dest_w = cache.part_weight(q);
+      if (dest_w + wv > max_part_weight) continue;
+      const bool improves_balance = cache.part_weight(from) > dest_w + wv;
+      if (g < 0 || (g == 0 && !improves_balance)) continue;
+      if (best == kNoPart || g > best_gain ||
+          (g == best_gain && dest_w < best_dest_w)) {
+        best = q;
+        best_gain = g;
+        best_dest_w = dest_w;
+      }
+    }
+    return {best, best_gain};
+  };
+
+  Borrowed<std::uint8_t> proposed_b(ws);
+  std::vector<std::uint8_t>& proposed = proposed_b.get();
+  std::vector<std::uint64_t> proposals_of(
+      static_cast<std::size_t>(num_threads), 0);
+  std::uint64_t total_proposals = 0;
+
+  // Caller-side scratch for the serial apply phase.
   Borrowed<Weight> gain_to_b(ws);
   std::vector<Weight>& gain_to = gain_to_b.get();
   gain_to.assign(static_cast<std::size_t>(k), 0);
   Borrowed<PartId> candidates_b(ws);
   std::vector<PartId>& candidates = candidates_b.get();
+  Borrowed<std::uint64_t> conn_scratch_b(ws);
+  std::vector<std::uint64_t>& conn_scratch = conn_scratch_b.get();
 
   Borrowed<Index> order_b(ws);
   std::vector<Index>& order = order_b.get();
+  // Accepted-move gain distribution (k-way moves are never negative gain,
+  // so this histogram's p50 vs max shows how front-loaded the pass is).
+  // Batched locally, folded into the registry once per pass.
+  static obs::CachedHistogram gain_hist("kway.move_gain");
+  obs::HistogramSnapshot gain_batch;
+
   for (Index pass = 0; pass < max_passes; ++pass) {
     ++result.passes;
+    random_permutation_into(order, n, rng);
+    proposed.assign(static_cast<std::size_t>(n), 0);
+    for (int t = 0; t < num_threads; ++t)
+      proposals_of[static_cast<std::size_t>(t)] = 0;
+
+    // Propose: read-only against the pass-start cache.
+    parallel_chunks(pool, n, [&](int t, Index begin, Index end) {
+      Workspace* tws = ws != nullptr ? &ws->for_thread(t) : nullptr;
+      Borrowed<PartId> t_candidates_b(tws);
+      Borrowed<Weight> t_gain_to_b(tws);
+      Borrowed<std::uint64_t> t_conn_b(tws);
+      t_gain_to_b.get().assign(static_cast<std::size_t>(k), 0);
+      std::uint64_t found = 0;
+      for (Index vi = begin; vi < end; ++vi) {
+        const VertexId v{vi};
+        if (h.fixed_part(v) != kNoPart) continue;
+        if (best_move(v, t_candidates_b.get(), t_gain_to_b.get(),
+                      t_conn_b.get())
+                .first == kNoPart)
+          continue;
+        proposed[static_cast<std::size_t>(vi)] = 1;
+        ++found;
+      }
+      proposals_of[static_cast<std::size_t>(t)] = found;
+    });
+    for (int t = 0; t < num_threads; ++t)
+      total_proposals += proposals_of[static_cast<std::size_t>(t)];
+
+    // Apply: serial, permutation order, against the live cache.
     Index moves_this_pass = 0;
-    random_permutation_into(order, h.num_vertices(), rng);
     for (const Index vi : order) {
+      if (proposed[static_cast<std::size_t>(vi)] == 0) continue;
       const VertexId v{vi};
-      if (h.fixed_part(v) != kNoPart) continue;
-      const PartId from = p[v];
-
-      // Candidate parts come straight off the connectivity bitsets: the
-      // distinct parts (other than `from`) the vertex's nets touch, in
-      // ascending part order — no pin-list traversal.
-      cache.candidate_parts_into(candidates, v);
-      if (candidates.empty()) continue;
-      const Weight leave_gain = cache.leave_gain(v);
-      for (const NetId net : h.incident_nets(v)) {
-        const Weight c = h.net_cost(net);
-        if (c == 0) continue;
-        for (const PartId q : candidates)
-          if (!cache.net_touches(net, q))
-            gain_to[static_cast<std::size_t>(q.v)] -= c;
-      }
-      // gain(from -> q) = leave_gain + gain_to[q] (gain_to holds the
-      // entering penalty, <= 0). A move is acceptable on positive gain, or
-      // on zero gain when it strictly improves balance. Among acceptable
-      // moves: highest gain, then lightest destination, then lowest part
-      // id — deterministic and independent of candidate order.
-      PartId best = kNoPart;
-      Weight best_gain = 0;
-      Weight best_dest_w = 0;
-      const Weight wv = h.vertex_weight(v);
-      for (const PartId q : candidates) {
-        const Weight g = leave_gain + gain_to[static_cast<std::size_t>(q.v)];
-        gain_to[static_cast<std::size_t>(q.v)] = 0;  // reset accumulator
-        const Weight dest_w = cache.part_weight(q);
-        if (dest_w + wv > max_part_weight) continue;
-        const bool improves_balance =
-            cache.part_weight(from) > dest_w + wv;
-        if (g < 0 || (g == 0 && !improves_balance)) continue;
-        if (best == kNoPart || g > best_gain ||
-            (g == best_gain && dest_w < best_dest_w)) {
-          best = q;
-          best_gain = g;
-          best_dest_w = dest_w;
-        }
-      }
-      if (best == kNoPart) continue;
-
-      // Accepted-move gain distribution (k-way moves are never negative
-      // gain, so this histogram's p50 vs max shows how front-loaded the
-      // pass is).
-      static obs::CachedHistogram gain_hist("kway.move_gain");
-      gain_hist.record(best_gain);
+      const auto [best, best_gain] =
+          best_move(v, candidates, gain_to, conn_scratch);
+      if (best == kNoPart) continue;  // soured since the proposal snapshot
+      gain_batch.record(best_gain);
       cache.apply_move(v, best);
       p[v] = best;
       ++moves_this_pass;
+    }
+    if (gain_batch.count > 0) {
+      gain_hist.get().merge(gain_batch);
+      gain_batch = obs::HistogramSnapshot{};
     }
     result.moves += moves_this_pass;
     if (moves_this_pass == 0) break;
   }
   static obs::CachedCounter passes_counter("kway.passes");
   static obs::CachedCounter moves_counter("kway.moves");
+  static obs::CachedCounter proposals_counter("kway.proposals");
   passes_counter += static_cast<std::uint64_t>(result.passes);
   moves_counter += static_cast<std::uint64_t>(result.moves);
+  proposals_counter += total_proposals;
   result.final_cut = cache.cut();
   cache.validate(cfg.check_level);
   HGR_DASSERT(result.final_cut == connectivity_cut(h, p));

@@ -1,11 +1,13 @@
 // Direct k-way greedy refinement of the connectivity-1 objective.
 //
 // Greedy boundary sweeps in the style of k-way FM without rollback: each
-// pass visits vertices in random order and applies the best
-// positive-gain (or balance-improving zero-gain) move among the parts the
-// vertex's nets touch. Respects fixed vertices and Eq. 1 balance. Used as
-// an optional post-pass after recursive bisection, inside V-cycles, and as
-// the refinement stage of the direct k-way method.
+// pass proposes moves in parallel against the frozen pass-start gain
+// cache, then applies the survivors serially in random order (best
+// positive-gain or balance-improving zero-gain move among the parts the
+// vertex's nets touch). Respects fixed vertices and Eq. 1 balance; the
+// result is bit-identical at every thread count (docs/PARALLELISM.md).
+// Used as an optional post-pass after recursive bisection, inside
+// V-cycles, and as the refinement stage of the direct k-way method.
 #pragma once
 
 #include "common/rng.hpp"
@@ -25,7 +27,8 @@ struct KwayRefineResult {
 
 /// Refine p in place. max_passes caps the number of sweeps; a sweep that
 /// applies no move ends refinement early. `ws` (optional) pools the dense
-/// pin table and per-pass scratch across levels.
+/// pin table and per-pass scratch across levels and supplies the
+/// ThreadPool the proposal phase runs on (serial when absent).
 KwayRefineResult kway_refine(const Hypergraph& h, Partition& p,
                              const PartitionConfig& cfg, Rng& rng,
                              Index max_passes, Workspace* ws = nullptr);

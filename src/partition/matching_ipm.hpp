@@ -6,6 +6,11 @@
 // Section 4.1. Fixed-vertex rule (cases 1-3): two vertices may match iff
 // they are fixed to the same part or at least one is free; the coarse
 // vertex inherits the fixed part of whichever constituent was fixed.
+//
+// The kernel runs deterministic mutual-proposal rounds (propose in
+// parallel, commit mutual pairs) rather than one sequential greedy sweep,
+// so it thread-parallelizes over the pool carried by `ws` while producing
+// bit-identical matchings at every thread count (docs/PARALLELISM.md).
 #pragma once
 
 #include <vector>
@@ -17,10 +22,11 @@
 
 namespace hgr {
 
-/// Greedy first-choice IPM. Returns match[v] = partner (match[v] == v for
+/// Mutual-proposal IPM. Returns match[v] = partner (match[v] == v for
 /// unmatched). max_vertex_weight: pairs whose combined weight exceeds it
 /// are rejected (0 disables the cap). Fixed parts are read from h. `ws`
-/// (optional) pools the score/touched/order scratch across levels.
+/// (optional) pools the score/proposal scratch across levels and supplies
+/// the ThreadPool the proposal rounds run on (serial when absent).
 IdVector<VertexId, VertexId> ipm_matching(const Hypergraph& h,
                                           const PartitionConfig& cfg,
                                           Weight max_vertex_weight, Rng& rng,

@@ -1,10 +1,12 @@
 #include "partition/partitioner.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "check/validate.hpp"
 #include "common/assert.hpp"
+#include "common/thread_pool.hpp"
 #include "metrics/balance.hpp"
 #include "metrics/cut.hpp"
 #include "obs/trace.hpp"
@@ -257,8 +259,15 @@ Partition partition_hypergraph(const Hypergraph& h,
 
   // One scratch arena for the whole call: every level of coarsening,
   // initial partitioning, and refinement below draws its temporaries from
-  // here instead of reallocating per level.
+  // here instead of reallocating per level. When cfg asks for shared-memory
+  // threads, the arena also carries the pool the kernels run on
+  // (docs/PARALLELISM.md) — same partition at every thread count.
   Workspace ws;
+  std::optional<ThreadPool> pool;
+  if (cfg.num_threads > 1) {
+    pool.emplace(static_cast<int>(cfg.num_threads));
+    ws.set_pool(&*pool);
+  }
   Partition p = (cfg.kway_method == KwayMethod::kRecursiveBisection)
                     ? recursive_bisection_partition(h, cfg, &ws)
                     : direct_kway_partition(h, cfg, &ws);

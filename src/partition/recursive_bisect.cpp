@@ -7,6 +7,7 @@
 #include "check/validate.hpp"
 #include "common/assert.hpp"
 #include "common/csr_utils.hpp"
+#include "metrics/balance.hpp"
 #include "obs/trace.hpp"
 #include "partition/contract.hpp"
 #include "partition/partitioner.hpp"  // record_coarsen_level
@@ -95,8 +96,9 @@ SubProblem extract_side(const Hypergraph& h,
 }
 
 void rb_recurse(SubProblem sp, PartId part_begin, Index part_count,
-                double global_eps, const PartitionConfig& cfg, Rng& rng,
-                Workspace* ws, Partition& out) {
+                double global_eps, Weight part_limit,
+                const PartitionConfig& cfg, Rng& rng, Workspace* ws,
+                Partition& out) {
   if (sp.h.num_vertices() == 0) return;
   if (part_count == 1) {
     for (const VertexId root_v : sp.to_root) out[root_v] = part_begin;
@@ -120,6 +122,10 @@ void rb_recurse(SubProblem sp, PartId part_begin, Index part_count,
       (static_cast<double>(total) * k0) / part_count + 0.5);
   targets.target1 = total - targets.target0;
   targets.epsilon = eps_b;
+  // A side may never exceed what its final parts are allowed to weigh in
+  // total, no matter how much per-level epsilon slack remains.
+  targets.cap0 = part_limit * k0;
+  targets.cap1 = part_limit * k1;
 
   // Map k-way fixed labels to 2-way side labels for this bisection.
   if (!sp.fixed_orig.empty()) {
@@ -142,8 +148,10 @@ void rb_recurse(SubProblem sp, PartId part_begin, Index part_count,
       extract_side(sp.h, side, sp.to_root, sp.fixed_orig, PartId{1});
   // Free the parent before recursing to bound peak memory.
   sp = SubProblem{};
-  rb_recurse(std::move(left), part_begin, k0, global_eps, cfg, rng, ws, out);
-  rb_recurse(std::move(right), mid, k1, global_eps, cfg, rng, ws, out);
+  rb_recurse(std::move(left), part_begin, k0, global_eps, part_limit, cfg,
+             rng, ws, out);
+  rb_recurse(std::move(right), mid, k1, global_eps, part_limit, cfg, rng, ws,
+             out);
 }
 
 }  // namespace
@@ -228,8 +236,10 @@ Partition recursive_bisection_partition(const Hypergraph& h,
     root.fixed_orig.raw().assign(h.fixed_parts().begin(),
                                  h.fixed_parts().end());
 
-  rb_recurse(std::move(root), PartId{0}, cfg.num_parts, cfg.epsilon, cfg, rng,
-             ws, out);
+  rb_recurse(std::move(root), PartId{0}, cfg.num_parts, cfg.epsilon,
+             max_part_weight(h.total_vertex_weight(), cfg.num_parts,
+                             cfg.epsilon),
+             cfg, rng, ws, out);
   out.validate();
   {
     // Balance is asserted by partition_hypergraph against the global

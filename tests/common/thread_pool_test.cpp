@@ -1,0 +1,179 @@
+// ThreadPool tests: the static chunk map (the determinism-critical piece),
+// the caller-participates-as-thread-0 contract, exception capture across
+// the region join, and reuse of one pool over many regions.
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace hgr {
+namespace {
+
+TEST(ThreadPool, ChunkCoversRangeExactlyOnce) {
+  for (const Index n : {0, 1, 2, 7, 8, 9, 100}) {
+    for (const int T : {1, 2, 3, 4, 8}) {
+      std::vector<int> hits(static_cast<std::size_t>(n), 0);
+      Index prev_end = 0;
+      for (int t = 0; t < T; ++t) {
+        const auto [begin, end] = ThreadPool::chunk(n, t, T);
+        EXPECT_EQ(begin, prev_end) << "n=" << n << " T=" << T << " t=" << t;
+        EXPECT_LE(begin, end);
+        prev_end = end;
+        for (Index i = begin; i < end; ++i)
+          ++hits[static_cast<std::size_t>(i)];
+      }
+      EXPECT_EQ(prev_end, n);
+      for (const int h : hits) EXPECT_EQ(h, 1);
+    }
+  }
+}
+
+TEST(ThreadPool, ChunkFrontLoadsTheRemainder) {
+  // 10 over 4 threads: sizes 3,3,2,2 — the first n % T chunks get the
+  // extra element, so the map is stable under any scheduling order.
+  EXPECT_EQ(ThreadPool::chunk(10, 0, 4), (std::pair<Index, Index>{0, 3}));
+  EXPECT_EQ(ThreadPool::chunk(10, 1, 4), (std::pair<Index, Index>{3, 6}));
+  EXPECT_EQ(ThreadPool::chunk(10, 2, 4), (std::pair<Index, Index>{6, 8}));
+  EXPECT_EQ(ThreadPool::chunk(10, 3, 4), (std::pair<Index, Index>{8, 10}));
+}
+
+TEST(ThreadPool, RunVisitsEveryThreadIndexOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::atomic<int>> visits(4);
+  std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> caller_ran_zero{false};
+  pool.run([&](int t) {
+    ++visits[static_cast<std::size_t>(t)];
+    if (t == 0 && std::this_thread::get_id() == caller)
+      caller_ran_zero = true;
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+  EXPECT_TRUE(caller_ran_zero);  // the caller executes thread 0 itself
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  pool.run([&](int t) {
+    EXPECT_EQ(t, 0);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ThreadCountClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+}
+
+TEST(ThreadPool, ParallelChunksSumsARange) {
+  ThreadPool pool(3);
+  const Index n = 1000;
+  std::vector<std::int64_t> partial(3, 0);
+  pool.parallel_chunks(n, [&](int t, Index begin, Index end) {
+    for (Index i = begin; i < end; ++i)
+      partial[static_cast<std::size_t>(t)] += i;
+  });
+  EXPECT_EQ(std::accumulate(partial.begin(), partial.end(), std::int64_t{0}),
+            static_cast<std::int64_t>(n) * (n - 1) / 2);
+}
+
+TEST(ThreadPool, ParallelChunksSkipsEmptyChunks) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> calls(8);
+  pool.parallel_chunks(3, [&](int t, Index begin, Index end) {
+    EXPECT_LT(begin, end);  // empty chunks never reach the callback
+    ++calls[static_cast<std::size_t>(t)];
+  });
+  int total = 0;
+  for (const auto& c : calls) total += c.load();
+  EXPECT_EQ(total, 3);  // n=3 over 8 threads: exactly 3 non-empty chunks
+}
+
+TEST(ThreadPool, ParallelChunksEmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  pool.parallel_chunks(0, [&](int, Index, Index) { FAIL(); });
+}
+
+TEST(ThreadPool, WorkerExceptionRethrownOnCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run([](int t) {
+                 if (t == 3) throw std::runtime_error("worker failed");
+               }),
+               std::runtime_error);
+  // The pool must stay usable after an exception unwound a region.
+  std::atomic<int> ok{0};
+  pool.run([&](int) { ++ok; });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ThreadPool, CallerExceptionStillJoinsTheRegion) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(4);
+  EXPECT_THROW(pool.run([&](int t) {
+                 ++visits[static_cast<std::size_t>(t)];
+                 if (t == 0) throw std::runtime_error("caller failed");
+               }),
+               std::runtime_error);
+  // Every worker finished its task before the rethrow.
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyRegions) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  for (int round = 0; round < 50; ++round)
+    pool.run([&](int t) { total += t; });
+  EXPECT_EQ(total.load(), 50 * (0 + 1 + 2 + 3));
+}
+
+TEST(ThreadPool, FreeHelperRunsInlineWithoutAPool) {
+  int calls = 0;
+  parallel_chunks(nullptr, 10, [&](int t, Index begin, Index end) {
+    EXPECT_EQ(t, 0);
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 10);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+  parallel_chunks(nullptr, 0, [&](int, Index, Index) { FAIL(); });
+  EXPECT_EQ(pool_threads(nullptr), 1);
+}
+
+TEST(ThreadPool, FreeHelperDispatchesThroughThePool) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool_threads(&pool), 4);
+  std::vector<std::atomic<int>> calls(4);
+  parallel_chunks(&pool, 100, [&](int t, Index, Index) {
+    ++calls[static_cast<std::size_t>(t)];
+  });
+  for (const auto& c : calls) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, CountersTrackPoolsRegionsAndTasks) {
+  obs::Registry reg;
+  obs::ScopedRegistry scope(reg);
+  {
+    ThreadPool pool(3);
+    pool.run([](int) {});
+    pool.parallel_chunks(10, [](int, Index, Index) {});
+  }
+  EXPECT_EQ(reg.counter_value("tp.pools"), 1u);
+  EXPECT_EQ(reg.counter_value("tp.regions"), 2u);
+  EXPECT_EQ(reg.counter_value("tp.tasks"), 6u);  // 2 regions x 3 threads
+}
+
+}  // namespace
+}  // namespace hgr

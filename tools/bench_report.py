@@ -58,6 +58,12 @@ TRACKED = [
     ("metrics.full_seconds.mean", True),
     ("metrics.incremental_seconds.mean", True),
     ("metrics.incremental_speedup.mean", False),
+    # parallel_scaling (thread-parallel kernels; single-thread baselines
+    # plus the best 4-thread speedup across kernels).
+    ("metrics.matching_seconds.t1.mean", True),
+    ("metrics.contract_seconds.t1.mean", True),
+    ("metrics.kway_seconds.t1.mean", True),
+    ("metrics.parallel_speedup_t4", False),
 ]
 
 

@@ -78,7 +78,8 @@ struct CliOptions {
   double eps = 0.05;
   std::uint64_t seed = 1;
   Weight alpha = 100;
-  int ranks = 0;  // 0 = serial partitioner
+  int ranks = 0;    // 0 = serial partitioner
+  int threads = 1;  // shared-memory threads per rank
   check::CheckLevel check_level = check::CheckLevel::kOff;
   IncrementalMode incremental = IncrementalMode::kOff;
   bool graph_input = false;
@@ -91,12 +92,14 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage:\n"
                "  hgr_cli partition   <input> --k=N [--eps=F] [--seed=S] "
-               "[--graph|--mm] [--ranks=P] [--report] [--out=FILE] "
+               "[--graph|--mm] [--ranks=P] [--threads=T] [--report] "
+               "[--out=FILE] "
                "[--trace-json=FILE] [--chrome-trace=FILE] "
                "[--epoch-csv=FILE] [--stats-stream=FILE] [--fault-plan=SPEC] "
                "[--validate=cheap|paranoid]\n"
                "  hgr_cli repartition <input> --old=FILE --k=N [--alpha=A] "
-               "[--eps=F] [--seed=S] [--graph] [--ranks=P] [--out=FILE] "
+               "[--eps=F] [--seed=S] [--graph] [--ranks=P] [--threads=T] "
+               "[--out=FILE] "
                "[--trace-json=FILE] [--chrome-trace=FILE] "
                "[--epoch-csv=FILE] [--stats-stream=FILE] [--fault-plan=SPEC] "
                "[--epoch-retries=N] "
@@ -128,6 +131,9 @@ CliOptions parse(int argc, char** argv) {
       opt.alpha = static_cast<Weight>(std::stoll(value));
     } else if (key == "--ranks") {
       opt.ranks = static_cast<int>(std::stol(value));
+    } else if (key == "--threads") {
+      opt.threads = static_cast<int>(std::stol(value));
+      if (opt.threads < 1) usage("--threads must be >= 1");
     } else if (key == "--old") {
       opt.old_parts_path = value;
     } else if (key == "--out") {
@@ -341,6 +347,7 @@ int main(int argc, char** argv) {
     pcfg.num_parts = opt.k;
     pcfg.epsilon = opt.eps;
     pcfg.seed = opt.seed;
+    pcfg.num_threads = static_cast<Index>(opt.threads);
     pcfg.check_level = opt.check_level;
     if (!opt.fault_plan_spec.empty()) {
       try {

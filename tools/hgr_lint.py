@@ -45,6 +45,15 @@ Textual rules (all scoped to src/ and tools/ C++ sources):
                    a diagnosable abort into a wrong answer or a hang
                    (docs/ROBUSTNESS.md). Deliberate sinks are suppressed
                    with `// hgr-lint: swallow-ok` on the catch line.
+  raw-thread       No raw std::thread / std::jthread construction outside
+                   common/thread_pool.* and parallel/comm.cpp. Ad-hoc
+                   threads bypass the ThreadPool's determinism contract,
+                   its exception capture, and the tp.* counters; kernels
+                   get shared-memory parallelism through the Workspace's
+                   attached pool (docs/PARALLELISM.md). std::thread::id and
+                   std::this_thread are fine (identity, not execution).
+                   Deliberate spawns are suppressed with
+                   `// hgr-lint: thread-ok`.
   counter-in-loop  No `obs::counter(...)` calls inside loop bodies in src/:
                    each call is a registry map lookup under a mutex. Hoist
                    a `static obs::CachedCounter` handle out of the loop
@@ -103,6 +112,7 @@ RULE_SUPPRESS = {
     "raw-escape": "hgr-lint: raw-ok",
     "raw-subscript": "hgr-lint: raw-ok",
     "counter-in-loop": "hgr-lint: counter-ok",
+    "raw-thread": "hgr-lint: thread-ok",
 }
 
 # Paths (relative to the scan root, '/'-separated) where raw id escapes are
@@ -161,6 +171,20 @@ RULES = [
         # The obs layer and WallTimer are the sanctioned clock call sites.
         lambda path: "obs" not in path.parts and
                      path.parts[-2:] != ("common", "timer.hpp"),
+    ),
+    (
+        "raw-thread",
+        # `std::thread::id` (the `::` lookahead) and `std::this_thread` (no
+        # `std::thread` token at all) are identity uses, not spawns.
+        re.compile(r"std::j?thread\b(?!\s*::)"),
+        "spawn through ThreadPool (common/thread_pool.hpp) so parallel "
+        "regions keep the determinism contract, exception capture, and "
+        "tp.* counters; mark deliberate raw spawns with "
+        "`// hgr-lint: thread-ok`",
+        # The pool itself and the rank-emulation layer own their threads.
+        lambda path: path.parts[-2:] not in (("common", "thread_pool.hpp"),
+                                             ("common", "thread_pool.cpp"),
+                                             ("parallel", "comm.cpp")),
     ),
     (
         "ragged-comm",

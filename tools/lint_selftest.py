@@ -44,6 +44,22 @@ CASES = [
      "auto t = std::chrono::steady_clock::now();\n", 0),
     ("steady-clock/good-timer", "src/core/x.cpp",
      "WallTimer timer;\ndouble s = timer.seconds();\n", 0),
+    # --- raw-thread (everywhere but the pool and the comm layer) ---
+    ("raw-thread/bad", "src/core/x.cpp",
+     "std::thread t([] { work(); });\nt.join();\n", 1),
+    ("raw-thread/bad-jthread", "src/core/x.cpp",
+     "std::jthread t([] { work(); });\n", 1),
+    ("raw-thread/bad-vector", "src/partition/x.cpp",
+     "std::vector<std::thread> workers;\n", 1),
+    ("raw-thread/good-pool-owner", "src/common/thread_pool.cpp",
+     "std::thread worker([] { loop(); });\n", 0),
+    ("raw-thread/good-comm-owner", "src/parallel/comm.cpp",
+     "std::thread watchdog([] { loop(); });\n", 0),
+    ("raw-thread/good-id", "src/obs/x.cpp",
+     "std::map<std::thread::id, int> stacks;\n"
+     "auto id = std::this_thread::get_id();\n", 0),
+    ("raw-thread/good-marker", "src/core/x.cpp",
+     "std::thread t(f);  // hgr-lint: thread-ok (reason)\n", 0),
     # --- ragged-comm (only parallel/ and partition/) ---
     ("ragged-comm/bad", "src/parallel/x.cpp",
      "std::vector<std::vector<int>> rows;\n", 1),
