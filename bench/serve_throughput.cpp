@@ -1,0 +1,258 @@
+// Closed-loop benchmark of the hgr_serve core (docs/SERVING.md): request
+// throughput under a coalescing DELTA burst, reply-latency tail, and the
+// value of keeping the machinery warm across requests.
+//
+// Three measurements on a synthetic instance:
+//
+//   burst       N single-vertex DELTA requests submitted back-to-back
+//               against one warm server; the worker coalesces runs of them
+//               into few dispatches. serve_requests_per_s is N over the
+//               submit->drained wall time, serve_p99_latency_ns the 99th
+//               percentile of per-request submit->reply latency.
+//   cold        per trial: a fresh Server (cold Workspace arenas, no gain
+//               cache), LOAD, then ONE timed DELTA epoch.
+//   warm        one server, LOAD plus a warmup epoch, then the same DELTA
+//               epoch timed repeatedly — the steady daemon state.
+//
+// warm_speedup = cold/warm must exceed 1: the resident daemon amortizes
+// what a partition-per-exec tool pays on every request. --json=FILE emits
+// hgr-bench-v1 for tools/bench_report.py (perf-smoke). Flags: --n= --nets=
+// --k= --requests= --trials= --seed=.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "hypergraph/builder.hpp"
+#include "hypergraph/io.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace hgr;
+
+struct Options {
+  std::string json_path;
+  Index n = 20000;
+  Index nets = 40000;
+  Index k = 8;
+  int requests = 200;  // burst size
+  int trials = 3;      // cold/warm epoch repetitions
+  std::uint64_t seed = 1;
+};
+
+/// Random nets (2..6 pins, cost 1..3), unit-ish weights — same instance
+/// family as micro_incremental so the numbers are comparable.
+std::string write_instance(const Options& opt) {
+  Rng rng(opt.seed);
+  HypergraphBuilder b(opt.n);
+  for (Index i = 0; i < opt.nets; ++i) {
+    const Index pins = static_cast<Index>(2 + rng.below(5));
+    std::vector<Index> net;
+    for (Index j = 0; j < pins; ++j)
+      net.push_back(
+          static_cast<Index>(rng.below(static_cast<std::uint64_t>(opt.n))));
+    b.add_net(net, 1 + static_cast<Weight>(rng.below(3)));
+  }
+  for (Index v = 0; v < opt.n; ++v)
+    b.set_vertex_weight(v, 1 + static_cast<Weight>(rng.below(4)));
+  const std::string path = "serve_throughput_input.hgr";
+  write_hmetis_file(b.finalize(), path);
+  return path;
+}
+
+serve::ServeConfig server_cfg(const Options& opt) {
+  serve::ServeConfig cfg;
+  cfg.default_k = opt.k;
+  cfg.default_alpha = 100;
+  cfg.default_epsilon = 0.10;
+  cfg.seed = opt.seed;
+  cfg.queue_capacity = static_cast<std::size_t>(opt.requests) + 8;
+  cfg.incremental = IncrementalMode::kAuto;
+  return cfg;
+}
+
+/// The per-epoch perturbation both the cold and warm paths replay: bump
+/// 0.5% of the vertices, deterministic in `round`.
+std::string delta_line(const Options& opt, int round) {
+  Rng rng(opt.seed * 131 + static_cast<std::uint64_t>(round));
+  std::string line = "DELTA g";
+  const Index changed = std::max<Index>(1, opt.n / 200);
+  for (Index i = 0; i < changed; ++i) {
+    const auto v =
+        static_cast<Index>(rng.below(static_cast<std::uint64_t>(opt.n)));
+    line += ' ' + std::to_string(v) + ':' +
+            std::to_string(1 + rng.below(8));
+  }
+  return line;
+}
+
+/// Submit one line and block until its reply: one closed-loop epoch.
+double timed_epoch(serve::Server& server, const std::string& line) {
+  WallTimer timer;
+  server.submit(line);
+  server.drain();
+  return timer.seconds();
+}
+
+int run(const Options& opt) {
+  const std::string instance = write_instance(opt);
+  const std::string load = "LOAD g " + instance;
+
+  // --- burst: throughput + latency tail on a warm server -----------------
+  std::mutex lat_mutex;
+  std::map<std::uint64_t, WallTimer> inflight;
+  std::vector<double> latency_ns;
+  serve::Server burst_server(
+      server_cfg(opt), [&](const std::string& reply) {
+        const std::uint64_t id =
+            std::strtoull(reply.c_str() + reply.find(' ') + 1, nullptr, 10);
+        const std::lock_guard<std::mutex> lock(lat_mutex);
+        const auto it = inflight.find(id);
+        if (it != inflight.end()) {
+          latency_ns.push_back(it->second.seconds() * 1e9);
+          inflight.erase(it);
+        }
+      });
+  burst_server.submit(load);
+  burst_server.drain();
+  Rng burst_rng(opt.seed * 977 + 5);
+  WallTimer burst_timer;
+  std::uint64_t next_id = 1;  // the LOAD took id 1; this submitter is the
+                              // only client, so ids advance by one
+  for (int i = 0; i < opt.requests; ++i) {
+    const auto v = static_cast<Index>(
+        burst_rng.below(static_cast<std::uint64_t>(opt.n)));
+    const std::string line = "DELTA g " + std::to_string(v) + ":" +
+                             std::to_string(1 + burst_rng.below(8));
+    {
+      // Stamp before submit: the worker's reply may beat the return of
+      // submit(), so the id must already be in the map when it lands.
+      const std::lock_guard<std::mutex> lock(lat_mutex);
+      inflight.emplace(++next_id, WallTimer{});
+    }
+    const std::uint64_t id = burst_server.submit(line);
+    if (id != next_id) {
+      std::fprintf(stderr, "error: id drift (%llu != %llu)\n",
+                   static_cast<unsigned long long>(id),
+                   static_cast<unsigned long long>(next_id));
+      return 1;
+    }
+  }
+  burst_server.drain();
+  const double burst_seconds = burst_timer.seconds();
+  burst_server.shutdown();
+  const double requests_per_s =
+      static_cast<double>(opt.requests) / std::max(1e-9, burst_seconds);
+  std::sort(latency_ns.begin(), latency_ns.end());
+  const double p99_ns =
+      latency_ns.empty()
+          ? 0.0
+          : latency_ns[static_cast<std::size_t>(
+                static_cast<double>(latency_ns.size() - 1) * 0.99)];
+  std::fprintf(stderr,
+               "burst: %d requests in %.3fs -> %.0f req/s, p99=%.0fns "
+               "(%zu latencies)\n",
+               opt.requests, burst_seconds, requests_per_s, p99_ns,
+               latency_ns.size());
+
+  // --- cold: fresh server per epoch --------------------------------------
+  std::vector<double> cold_s;
+  for (int trial = 0; trial < opt.trials; ++trial) {
+    serve::Server server(server_cfg(opt), [](const std::string&) {});
+    server.submit(load);
+    server.drain();
+    cold_s.push_back(timed_epoch(server, delta_line(opt, trial)));
+    server.shutdown();
+  }
+
+  // --- warm: one resident server, steady state ----------------------------
+  std::vector<double> warm_s;
+  {
+    serve::Server server(server_cfg(opt), [](const std::string&) {});
+    server.submit(load);
+    server.drain();
+    timed_epoch(server, delta_line(opt, 100));  // warmup: build the caches
+    for (int trial = 0; trial < opt.trials; ++trial)
+      warm_s.push_back(timed_epoch(server, delta_line(opt, trial)));
+    server.shutdown();
+  }
+
+  const bench::TrialStats cold_stats = bench::TrialStats::of(cold_s);
+  const bench::TrialStats warm_stats = bench::TrialStats::of(warm_s);
+  const double speedup = cold_stats.mean / std::max(1e-9, warm_stats.mean);
+  std::fprintf(stderr, "cold=%.4fs warm=%.4fs warm_speedup=%.2fx\n",
+               cold_stats.mean, warm_stats.mean, speedup);
+
+  if (!opt.json_path.empty()) {
+    bench::BenchJson doc("serve_throughput");
+    doc.add_string("dataset", "random-serve-burst");
+    char config[200];
+    std::snprintf(config, sizeof(config),
+                  "{\"n\":%lld,\"nets\":%lld,\"k\":%d,\"requests\":%d,"
+                  "\"trials\":%d,\"seed\":%llu}",
+                  static_cast<long long>(opt.n),
+                  static_cast<long long>(opt.nets), opt.k, opt.requests,
+                  opt.trials, static_cast<unsigned long long>(opt.seed));
+    doc.add_raw("config", config);
+    std::string metrics = "{";
+    char head[128];
+    std::snprintf(head, sizeof(head),
+                  "\"serve_requests_per_s\":%.1f,"
+                  "\"serve_p99_latency_ns\":%.0f",
+                  requests_per_s, p99_ns);
+    metrics += head;
+    metrics += ",\"cold_epoch_seconds\":" + cold_stats.to_json();
+    metrics += ",\"warm_epoch_seconds\":" + warm_stats.to_json();
+    char tail[64];
+    std::snprintf(tail, sizeof(tail), ",\"warm_speedup\":%.3f", speedup);
+    metrics += tail;
+    metrics += "}";
+    doc.add_raw("metrics", metrics);
+    if (!doc.write(opt.json_path)) {
+      std::fprintf(stderr, "error: could not write %s\n",
+                   opt.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote bench json to %s\n", opt.json_path.c_str());
+  }
+  // Warm-beats-cold is the resident daemon's reason to exist; fail loudly
+  // when it stops being true.
+  return speedup > 1.0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value = eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--json") {
+      opt.json_path = value;
+    } else if (key == "--n") {
+      opt.n = std::stoi(value);
+    } else if (key == "--nets") {
+      opt.nets = std::stoi(value);
+    } else if (key == "--k") {
+      opt.k = std::stoi(value);
+    } else if (key == "--requests") {
+      opt.requests = std::stoi(value);
+    } else if (key == "--trials") {
+      opt.trials = std::stoi(value);
+    } else if (key == "--seed") {
+      opt.seed = std::stoull(value);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  return run(opt);
+}

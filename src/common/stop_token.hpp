@@ -1,0 +1,60 @@
+// StopToken: a one-shot cooperative cancellation latch with an
+// interruptible timed wait.
+//
+// The degradation policy (core/repartitioner.cpp) sleeps between retry
+// attempts; a plain sleep_for would wedge a long-running daemon's shutdown
+// for the full backoff. Pointing RepartitionerConfig::stop at a StopToken
+// turns every backoff into a condition-variable wait the owner can cut
+// short from any thread, and lets in-flight policy loops degrade to the
+// cheap keep-old fallback instead of starting further attempts.
+//
+// The latch is sticky: once request_stop() fires, every current and future
+// wait_for() returns true immediately. There is no reset — a Server that
+// wants to run again constructs a fresh token.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace hgr {
+
+class StopToken {
+ public:
+  StopToken() = default;
+  StopToken(const StopToken&) = delete;
+  StopToken& operator=(const StopToken&) = delete;
+
+  /// Latch stop and wake every thread blocked in wait_for(). Safe to call
+  /// from any thread, any number of times.
+  void request_stop() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_.store(true, std::memory_order_release);
+    }
+    cv_.notify_all();
+  }
+
+  bool stop_requested() const { return stop_.load(std::memory_order_acquire); }
+
+  /// Block for up to `seconds` or until request_stop(), whichever comes
+  /// first. Returns true when stop was requested (the wait was cut short
+  /// or the token was already stopped), false when the full duration
+  /// elapsed normally.
+  bool wait_for(double seconds) const {
+    if (stop_requested()) return true;
+    if (seconds <= 0.0) return false;
+    std::unique_lock<std::mutex> lock(mutex_);
+    return cv_.wait_for(lock, std::chrono::duration<double>(seconds), [this] {
+      return stop_.load(std::memory_order_relaxed);
+    });
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace hgr

@@ -207,6 +207,23 @@ RepartitionResult keep_old_partition(const Hypergraph& h,
   return result;
 }
 
+/// Exponential backoff before retry `attempt` (1-based). The exponent is
+/// capped — 2^30 backoff units is already beyond any plausible schedule —
+/// and the shift is computed in int64_t, so max_retries >= 31 saturates
+/// instead of hitting signed-shift UB. With a stop token the wait rides the
+/// token's condition variable; returns true when stop was requested during
+/// (or before) the wait.
+bool backoff_before_retry(const RepartitionerConfig& cfg, int attempt) {
+  if (cfg.retry_backoff_seconds <= 0.0)
+    return cfg.stop != nullptr && cfg.stop->stop_requested();
+  const int exponent = std::min(attempt - 1, 30);
+  const double delay = cfg.retry_backoff_seconds *
+                       static_cast<double>(std::int64_t{1} << exponent);
+  if (cfg.stop != nullptr) return cfg.stop->wait_for(delay);
+  std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  return false;
+}
+
 }  // namespace
 
 GuardedRepartitionResult run_repartition_with_policy(
@@ -216,25 +233,48 @@ GuardedRepartitionResult run_repartition_with_policy(
   const int attempts = std::max(0, cfg.max_retries) + 1;
   static obs::CachedCounter retries_counter("epoch.retries");
   static obs::CachedCounter failures_counter("epoch.repart_failures");
+  static obs::CachedCounter over_budget_counter("epoch.over_budget");
+  int performed = 0;        // attempts actually run
+  bool stopped = false;     // cfg.stop fired: skip straight to keep-old
   for (int attempt = 0; attempt < attempts; ++attempt) {
-    if (attempt > 0) {
-      retries_counter += 1;
-      if (cfg.retry_backoff_seconds > 0.0)
-        std::this_thread::sleep_for(std::chrono::duration<double>(
-            cfg.retry_backoff_seconds *
-            static_cast<double>(1 << (attempt - 1))));
+    if (cfg.stop != nullptr && cfg.stop->stop_requested()) {
+      out.error = "repartition stopped before attempt";
+      stopped = true;
+      break;
     }
+    if (attempt > 0) {
+      if (backoff_before_retry(cfg, attempt)) {
+        // The owner's stop flag fired mid-backoff: abandon the retry and
+        // degrade to the cheap fallback so shutdown never waits out a
+        // backoff schedule.
+        out.error = "repartition stopped during retry backoff";
+        stopped = true;
+        break;
+      }
+      retries_counter += 1;
+    }
+    ++performed;
     try {
       RepartitionResult r = attempt_repartition(algorithm, h, g, old_p, cfg);
-      if (cfg.epoch_time_budget > 0.0 && r.seconds > cfg.epoch_time_budget)
-        throw RepartitionOverBudget(r.seconds, cfg.epoch_time_budget);
+      if (cfg.epoch_time_budget > 0.0 && r.seconds > cfg.epoch_time_budget) {
+        // Over budget is non-retryable: the attempt *completed*, it was
+        // just too slow, and rerunning the same full-cost computation
+        // would burn another budget multiple while the epoch is already
+        // late. Counted separately from thrown failures.
+        out.error = RepartitionOverBudget(r.seconds, cfg.epoch_time_budget)
+                        .what();
+        over_budget_counter += 1;
+        if (obs::events_enabled())
+          obs::emit_instant("epoch.over_budget", "epoch");
+        break;
+      }
       out.result = std::move(r);
       out.retries = attempt;
       return out;
     } catch (const std::exception& e) {
       // Retryable by policy: a misbehaving rank (CommAborted /
-      // FaultInjected), a hung collective (CommDeadlock), an over-budget
-      // attempt — anything short of killing the epoch loop.
+      // FaultInjected), a hung collective (CommDeadlock) — anything
+      // short of killing the epoch loop.
       out.error = e.what();
       failures_counter += 1;
       // Mark the failure on the timeline so the aborted attempt's tail is
@@ -245,15 +285,15 @@ GuardedRepartitionResult run_repartition_with_policy(
     }
   }
 
-  // Retries exhausted: degrade instead of aborting the run. The fallback
-  // never touches the comm runtime, so a poisoned fault plan or wedged
-  // parallel path cannot take it down too.
+  // Attempts exhausted, over budget, or stopped: degrade instead of
+  // aborting the run. The fallback never touches the comm runtime, so a
+  // poisoned fault plan or wedged parallel path cannot take it down too.
   out.degraded = true;
-  out.retries = attempts - 1;
+  out.retries = std::max(0, performed - 1);
   obs::counter("epoch.degraded") += 1;
   if (obs::events_enabled()) obs::emit_instant("epoch.degraded", "epoch");
   WallTimer timer;
-  if (cfg.fallback == EpochFallback::kScratch) {
+  if (cfg.fallback == EpochFallback::kScratch && !stopped) {
     try {
       RepartitionerConfig serial = cfg;
       serial.num_ranks = 0;

@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/stop_token.hpp"
 #include "core/migration_plan.hpp"
 #include "graphpart/adaptive_repart.hpp"
 #include "hypergraph/graph.hpp"
@@ -52,13 +53,23 @@ struct RepartitionerConfig {
   /// Failed repartition attempts are retried up to this many times before
   /// the epoch degrades to `fallback`.
   int max_retries = 1;
-  /// Sleep retry_backoff_seconds * 2^r before retry r (0 = no backoff).
+  /// Wait retry_backoff_seconds * 2^r before retry r (0 = no backoff).
+  /// The exponent is capped and the shift computed in 64 bits, so absurd
+  /// max_retries values saturate instead of hitting shift UB.
   double retry_backoff_seconds = 0.0;
   /// Per-attempt wall budget (seconds; 0 = unlimited). An attempt that
-  /// completes but overruns the budget counts as a failure: at scale a
-  /// repartitioner slower than the epoch it serves is as bad as a hang.
+  /// completes but overruns the budget is NOT retried — rerunning the same
+  /// full-cost attempt would burn a multiple of the budget while the epoch
+  /// is already late. The policy degrades to `fallback` immediately and
+  /// counts the event under epoch.over_budget.
   double epoch_time_budget = 0.0;
   EpochFallback fallback = EpochFallback::kKeepOld;
+  /// Optional cooperative cancellation (common/stop_token.hpp). When set,
+  /// retry backoffs wait on the token (interruptible) instead of a plain
+  /// sleep, and a requested stop degrades the epoch straight to keep-old —
+  /// hgr_serve points this at its shutdown flag so stopping the daemon
+  /// never blocks on a backoff in flight. Not owned; may be null.
+  StopToken* stop = nullptr;
 };
 
 struct RepartitionResult {
@@ -108,8 +119,10 @@ RepartitionResult run_repartition_algorithm(RepartAlgorithm algorithm,
                                             const Partition& old_p,
                                             const RepartitionerConfig& cfg);
 
-/// Thrown (internally) when an attempt completes over cfg.epoch_time_budget;
-/// the policy loop treats it like any other repartition failure.
+/// An attempt that completed over cfg.epoch_time_budget. The policy loop
+/// no longer throws this across attempts (over-budget is non-retryable);
+/// it is kept as the canonical message formatter for that outcome and for
+/// callers that probe errors with catch clauses.
 class RepartitionOverBudget : public std::runtime_error {
  public:
   RepartitionOverBudget(double seconds, double budget)
@@ -148,10 +161,13 @@ struct GuardedRepartitionResult {
 /// run_repartition_algorithm wrapped in the graceful-degradation policy:
 /// attempts (parallel when cfg.num_ranks > 0 and the algorithm is
 /// kHypergraphRepart) are retried with exponential backoff on any thrown
-/// failure (CommAborted, CommDeadlock, FaultInjected, over-budget, ...);
-/// once cfg.max_retries are exhausted the epoch degrades to cfg.fallback
-/// instead of killing the run. Bumps the epoch.repart_failures /
-/// epoch.retries / epoch.degraded counters. See docs/ROBUSTNESS.md.
+/// failure (CommAborted, CommDeadlock, FaultInjected, ...); once
+/// cfg.max_retries are exhausted the epoch degrades to cfg.fallback
+/// instead of killing the run. An attempt that completes over
+/// cfg.epoch_time_budget degrades immediately without retry, and a
+/// cfg.stop request interrupts backoff waits and skips further attempts.
+/// Bumps the epoch.repart_failures / epoch.retries / epoch.over_budget /
+/// epoch.degraded counters. See docs/ROBUSTNESS.md.
 GuardedRepartitionResult run_repartition_with_policy(
     RepartAlgorithm algorithm, const Hypergraph& h, const Graph& g,
     const Partition& old_p, const RepartitionerConfig& cfg);

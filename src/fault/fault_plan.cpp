@@ -35,6 +35,8 @@ std::string to_string(FaultSite site) {
       return "send";
     case FaultSite::kRecv:
       return "recv";
+    case FaultSite::kServe:
+      return "serve";
     case FaultSite::kAny:
       return "any";
   }
@@ -133,7 +135,7 @@ bool parse_site(const std::string& name, FaultSite& out) {
   for (const FaultSite s :
        {FaultSite::kBarrier, FaultSite::kAllgather, FaultSite::kAllreduce,
         FaultSite::kBcast, FaultSite::kAlltoallv, FaultSite::kSend,
-        FaultSite::kRecv, FaultSite::kAny})
+        FaultSite::kRecv, FaultSite::kServe, FaultSite::kAny})
     if (name == to_string(s)) {
       out = s;
       return true;

@@ -36,8 +36,11 @@ namespace hgr::fault {
 
 enum class FaultKind { kStall, kDelay, kThrow };
 
-/// Instrumented blocking points of the comm runtime (one per collective,
-/// plus the point-to-point paths). kAny in a rule matches all of them.
+/// Instrumented blocking points: one per comm-runtime collective, the
+/// point-to-point paths, and the serve request boundary (hgr_serve checks
+/// kServe before dispatching each batch, so chaos tests can stall, delay,
+/// or fail requests without touching the partitioning pipeline). kAny in a
+/// rule matches all of them.
 enum class FaultSite {
   kBarrier,
   kAllgather,
@@ -46,6 +49,7 @@ enum class FaultSite {
   kAlltoallv,
   kSend,
   kRecv,
+  kServe,
   kAny,
 };
 
@@ -98,9 +102,10 @@ class FaultPlan {
   ///   [seed=S;]<kind>@<site>[:key=val[,key=val]...][;<rule>...]
   ///
   /// kind: stall | delay | throw; site: barrier | allgather | allreduce |
-  /// bcast | alltoallv | send | recv | any. Keys: rank, after, count, ms,
-  /// prob. Example: "seed=7;throw@alltoallv:rank=1,after=3;delay@send:ms=2,
-  /// count=0,prob=0.25". Throws std::invalid_argument on malformed specs.
+  /// bcast | alltoallv | send | recv | serve | any. Keys: rank, after,
+  /// count, ms, prob. Example: "seed=7;throw@alltoallv:rank=1,after=3;
+  /// delay@send:ms=2,count=0,prob=0.25". Throws std::invalid_argument on
+  /// malformed specs.
   static FaultPlan parse(const std::string& spec);
 
   /// Consulted by the comm runtime at an instrumented point. Thread-safe:

@@ -77,11 +77,18 @@ std::string StatsSnapshot::to_json() const {
 }
 
 void set_stats_stream_enabled(bool on) {
-  StreamState& state = stream_state();
-  std::lock_guard lock(state.mutex);
-  if (on && !g_enabled.load(std::memory_order_relaxed))
-    state.t0_ns = now_ns();
-  g_enabled.store(on, std::memory_order_release);
+  {
+    StreamState& state = stream_state();
+    std::lock_guard lock(state.mutex);
+    if (on && !g_enabled.load(std::memory_order_relaxed))
+      state.t0_ns = now_ns();
+    g_enabled.store(on, std::memory_order_release);
+  }
+  // Closing the stream services any dump still pending: a SIGUSR1 that
+  // arrived while the process idled between phases (the common daemon
+  // state) must not be dropped on exit. Outside the lock —
+  // flush_pending_stats_dump takes it again.
+  if (!on) flush_pending_stats_dump();
 }
 
 bool stats_stream_enabled() {
@@ -164,6 +171,23 @@ void request_stats_dump() {
 
 bool stats_dump_pending() {
   return g_dump_pending.load(std::memory_order_acquire);
+}
+
+bool flush_pending_stats_dump() {
+  if (!g_dump_pending.load(std::memory_order_acquire)) return false;
+  std::string flush_to;
+  {
+    StreamState& state = stream_state();
+    std::lock_guard lock(state.mutex);
+    if (!g_dump_pending.load(std::memory_order_acquire) ||
+        state.dump_path.empty())
+      return false;
+    g_dump_pending.store(false, std::memory_order_release);
+    flush_to = state.dump_path;
+  }
+  // write_stats_stream re-takes the stream mutex to snapshot the ring, so
+  // the call must sit outside the locked section above.
+  return write_stats_stream(flush_to);
 }
 
 bool write_stats_stream(const std::string& path) {

@@ -77,6 +77,14 @@ void reset_stats_stream();
 void request_stats_dump();
 bool stats_dump_pending();
 
+/// Service a pending dump request now, if any: writes the ring to the
+/// configured path and clears the pending flag. Returns true when a dump
+/// was written. Phase boundaries flush automatically, but a dump requested
+/// while no phase is running — the common state of an idle daemon — would
+/// otherwise sit pending forever; hgr_serve's idle loop and stream close
+/// (set_stats_stream_enabled(false)) call this so those requests land.
+bool flush_pending_stats_dump();
+
 /// Write the ring to `path` (truncating), one hgr-stats-v1 JSON object per
 /// line, oldest first. Returns false on I/O failure.
 bool write_stats_stream(const std::string& path);

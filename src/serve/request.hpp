@@ -1,0 +1,63 @@
+// The hgr_serve line protocol: one request per newline-terminated line
+// (docs/SERVING.md).
+//
+//   LOAD <graph> <path> [k=N] [alpha=A] [eps=F]   load + static partition
+//   DELTA <graph> <v>:<w> [<v>:<w> ...]           weight updates, one epoch
+//   ADD <graph> <w> [<w> ...]                     append vertices
+//   REMOVE <graph> <v> [<v> ...]                  drop vertices
+//   SWAP <graph> <path>                           replace the structure
+//   REPART <graph>                                force a full epoch
+//
+// Parsing is kept free of any server state so it can be unit-tested (and
+// fuzzed) in isolation; parse_request never throws — malformed input comes
+// back as RequestKind::kInvalid with `error` describing the defect, which
+// the daemon turns into an ERR reply instead of dying on bad client input.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hgr::serve {
+
+enum class RequestKind {
+  kLoad,
+  kDelta,
+  kAdd,
+  kRemove,
+  kSwap,
+  kRepart,
+  kInvalid,
+};
+
+const char* to_string(RequestKind kind);
+
+/// One vertex weight update inside a DELTA request.
+struct WeightUpdate {
+  VertexId v = kInvalidVertex;
+  Weight w = 0;
+};
+
+struct Request {
+  RequestKind kind = RequestKind::kInvalid;
+  /// Assigned at admission (monotonic per server); echoed in every reply
+  /// so clients can match replies to pipelined requests.
+  std::uint64_t id = 0;
+  std::string graph;                  // target hypergraph name
+  std::string path;                   // kLoad / kSwap: hMETIS file
+  Index k = 0;                        // kLoad: parts (0 = server default)
+  Weight alpha = -1;                  // kLoad: cost alpha (-1 = default)
+  double epsilon = -1.0;              // kLoad: imbalance (-1 = default)
+  std::vector<WeightUpdate> updates;  // kDelta
+  std::vector<Weight> add_weights;    // kAdd
+  std::vector<VertexId> remove;       // kRemove
+  std::string error;                  // kInvalid: what was wrong
+};
+
+/// Parse one protocol line. Never throws; malformed input yields kInvalid
+/// with `error` set. Blank lines and `#` comments also come back kInvalid
+/// with an empty error — callers skip those silently.
+Request parse_request(const std::string& line);
+
+}  // namespace hgr::serve

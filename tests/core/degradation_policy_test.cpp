@@ -1,0 +1,214 @@
+// Degradation-policy matrix (docs/ROBUSTNESS.md): for each way an epoch
+// can go wrong — thrown attempts, completed-but-over-budget attempts, a
+// failing scratch fallback, a shutdown request mid-policy — assert both
+// the decision (retry / degrade / fallback choice) and the counter
+// attribution (epoch.retries vs epoch.repart_failures vs
+// epoch.over_budget vs epoch.degraded).
+//
+// Serial attempts are made to fail deterministically by running them with
+// old_p.k != cfg.partition.num_parts under ScopedAssertHandler, which
+// turns the pipeline's HGR_ASSERT into a catchable AssertionError — the
+// policy treats it like any other retryable failure.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>  // hgr-lint: thread-ok (drives request_stop mid-backoff)
+
+#include "common/assert.hpp"
+#include "common/stop_token.hpp"
+#include "common/timer.hpp"
+#include "core/repartitioner.hpp"
+#include "fault/fault_plan.hpp"
+#include "hypergraph/convert.hpp"
+#include "obs/trace.hpp"
+#include "workload/generators.hpp"
+
+namespace hgr {
+namespace {
+
+Hypergraph test_hypergraph() {
+  return graph_to_hypergraph(make_grid3d(5, 5, 5, false));
+}
+
+Partition striped(const Hypergraph& h, Index k) {
+  Partition p(k, h.num_vertices());
+  for (Index v = 0; v < h.num_vertices(); ++v)
+    p[VertexId{v}] = PartId{v % k};
+  return p;
+}
+
+RepartitionerConfig serial_cfg(Index k) {
+  RepartitionerConfig cfg;
+  cfg.alpha = 10;
+  cfg.partition.num_parts = k;
+  cfg.partition.epsilon = 0.1;
+  cfg.partition.seed = 7;
+  return cfg;
+}
+
+TEST(DegradationPolicy, OverBudgetDegradesImmediatelyWithoutRetry) {
+  // The satellite-1 regression: an attempt that *completed* over
+  // epoch_time_budget used to be retried, burning another full-cost run
+  // while the epoch was already late. It must degrade on the spot and be
+  // counted under epoch.over_budget, not epoch.repart_failures.
+  obs::Registry reg;
+  obs::ScopedRegistry scope(reg);
+  const Hypergraph h = test_hypergraph();
+  const Partition old_p = striped(h, 4);
+  RepartitionerConfig cfg = serial_cfg(4);
+  cfg.max_retries = 3;            // would retry 3 times pre-fix
+  cfg.epoch_time_budget = 1e-12;  // unmeetable
+  const GuardedRepartitionResult guarded = run_repartition_with_policy(
+      RepartAlgorithm::kHypergraphRepart, h, Graph{}, old_p, cfg);
+  EXPECT_TRUE(guarded.degraded);
+  EXPECT_EQ(guarded.retries, 0);
+  EXPECT_NE(guarded.error.find("budget"), std::string::npos) << guarded.error;
+  EXPECT_EQ(reg.counter_value("epoch.over_budget"), 1u);
+  EXPECT_EQ(reg.counter_value("epoch.retries"), 0u);
+  EXPECT_EQ(reg.counter_value("epoch.repart_failures"), 0u);
+  EXPECT_EQ(reg.counter_value("epoch.degraded"), 1u);
+  // Keep-old fallback: the old assignment, zero migration.
+  EXPECT_EQ(guarded.result.cost.migration_volume, 0);
+  for (const VertexId v : old_p.vertices())
+    EXPECT_EQ(guarded.result.partition[v], old_p[v]);
+}
+
+TEST(DegradationPolicy, FaultDelayedParallelAttemptIsNotRetried) {
+  // Same bug, driven the way production would hit it: injected comm
+  // delays push a *successful* parallel attempt over the budget. One
+  // attempt runs, over_budget records it, no retry burns the budget again.
+  obs::Registry reg;
+  obs::ScopedRegistry scope(reg);
+  const Hypergraph h = test_hypergraph();
+  const Partition old_p = striped(h, 4);
+  RepartitionerConfig cfg = serial_cfg(4);
+  cfg.num_ranks = 2;
+  cfg.deadlock_timeout = 5.0;
+  cfg.max_retries = 2;
+  cfg.epoch_time_budget = 0.005;
+  cfg.partition.fault_plan = std::make_shared<const fault::FaultPlan>(
+      fault::FaultPlan::parse("delay@allreduce:ms=20,count=0"));
+  const GuardedRepartitionResult guarded = run_repartition_with_policy(
+      RepartAlgorithm::kHypergraphRepart, h, Graph{}, old_p, cfg);
+  EXPECT_TRUE(guarded.degraded);
+  EXPECT_EQ(guarded.retries, 0);
+  EXPECT_NE(guarded.error.find("budget"), std::string::npos) << guarded.error;
+  EXPECT_EQ(reg.counter_value("epoch.over_budget"), 1u);
+  EXPECT_EQ(reg.counter_value("epoch.retries"), 0u);
+  EXPECT_EQ(reg.counter_value("epoch.repart_failures"), 0u);
+}
+
+TEST(DegradationPolicy, RetriesExhaustedCounterAttribution) {
+  // Genuinely retryable failures keep the old semantics: every attempt
+  // throws, every retry is counted, and the epoch degrades once.
+  obs::Registry reg;
+  obs::ScopedRegistry scope(reg);
+  ScopedAssertHandler throwing;  // k mismatch asserts become exceptions
+  const Hypergraph h = test_hypergraph();
+  const Partition old_p = striped(h, 3);  // != num_parts: attempts fail
+  RepartitionerConfig cfg = serial_cfg(4);
+  cfg.max_retries = 2;
+  const GuardedRepartitionResult guarded = run_repartition_with_policy(
+      RepartAlgorithm::kHypergraphRepart, h, Graph{}, old_p, cfg);
+  EXPECT_TRUE(guarded.degraded);
+  EXPECT_EQ(guarded.retries, 2);
+  EXPECT_FALSE(guarded.error.empty());
+  EXPECT_EQ(reg.counter_value("epoch.retries"), 2u);
+  EXPECT_EQ(reg.counter_value("epoch.repart_failures"), 3u);
+  EXPECT_EQ(reg.counter_value("epoch.over_budget"), 0u);
+  EXPECT_EQ(reg.counter_value("epoch.degraded"), 1u);
+  EXPECT_EQ(guarded.result.cost.migration_volume, 0);
+}
+
+TEST(DegradationPolicy, ScratchFallbackFailureFallsBackToKeepOld) {
+  // When the serial scratch fallback itself dies, the policy's last
+  // resort is keeping the old partition — the run must still complete.
+  // The same k mismatch that fails the attempts fails the scratch path.
+  ScopedAssertHandler throwing;
+  const Hypergraph h = test_hypergraph();
+  const Partition old_p = striped(h, 3);
+  RepartitionerConfig cfg = serial_cfg(4);
+  cfg.max_retries = 1;
+  cfg.fallback = EpochFallback::kScratch;
+  const GuardedRepartitionResult guarded = run_repartition_with_policy(
+      RepartAlgorithm::kHypergraphRepart, h, Graph{}, old_p, cfg);
+  EXPECT_TRUE(guarded.degraded);
+  EXPECT_FALSE(guarded.error.empty());
+  ASSERT_EQ(guarded.result.partition.num_vertices(), h.num_vertices());
+  EXPECT_EQ(guarded.result.cost.migration_volume, 0);
+  for (const VertexId v : old_p.vertices())
+    EXPECT_EQ(guarded.result.partition[v], old_p[v]);
+}
+
+TEST(DegradationPolicy, BackoffExponentSaturatesForLargeRetryCounts) {
+  // Satellite-2 regression: `1 << (attempt - 1)` in int was UB beyond 31
+  // retries. The exponent now saturates (computed in int64_t), so a
+  // 35-retry schedule with a tiny base backoff completes quickly instead
+  // of overflowing — UBSan in CI guards the shift itself.
+  ScopedAssertHandler throwing;
+  const Hypergraph h = test_hypergraph();
+  const Partition old_p = striped(h, 3);
+  RepartitionerConfig cfg = serial_cfg(4);
+  cfg.max_retries = 35;
+  cfg.retry_backoff_seconds = 1e-12;  // capped worst delay ~1ms
+  const GuardedRepartitionResult guarded = run_repartition_with_policy(
+      RepartAlgorithm::kHypergraphRepart, h, Graph{}, old_p, cfg);
+  EXPECT_TRUE(guarded.degraded);
+  EXPECT_EQ(guarded.retries, 35);
+}
+
+TEST(DegradationPolicy, StopRequestedSkipsAttemptsAndScratch) {
+  // A pre-stopped token degrades straight to keep-old: no attempt runs,
+  // and even a kScratch fallback is skipped (shutdown wants cheap).
+  obs::Registry reg;
+  obs::ScopedRegistry scope(reg);
+  const Hypergraph h = test_hypergraph();
+  const Partition old_p = striped(h, 4);
+  RepartitionerConfig cfg = serial_cfg(4);
+  cfg.fallback = EpochFallback::kScratch;
+  StopToken stop;
+  stop.request_stop();
+  cfg.stop = &stop;
+  const GuardedRepartitionResult guarded = run_repartition_with_policy(
+      RepartAlgorithm::kHypergraphRepart, h, Graph{}, old_p, cfg);
+  EXPECT_TRUE(guarded.degraded);
+  EXPECT_EQ(guarded.retries, 0);
+  EXPECT_NE(guarded.error.find("stopped"), std::string::npos)
+      << guarded.error;
+  EXPECT_EQ(reg.counter_value("epoch.repart_failures"), 0u);
+  for (const VertexId v : old_p.vertices())
+    EXPECT_EQ(guarded.result.partition[v], old_p[v]);
+}
+
+TEST(DegradationPolicy, StopInterruptsRetryBackoff) {
+  // The daemon-shutdown scenario: the policy is parked in a long
+  // exponential backoff when stop fires. The wait must cut short and the
+  // epoch degrade to keep-old — not sleep out the schedule.
+  ScopedAssertHandler throwing;
+  const Hypergraph h = test_hypergraph();
+  const Partition old_p = striped(h, 3);  // attempts fail -> backoff
+  RepartitionerConfig cfg = serial_cfg(4);
+  cfg.max_retries = 1;
+  cfg.retry_backoff_seconds = 60.0;  // would block a minute uninterrupted
+  StopToken stop;
+  cfg.stop = &stop;
+  GuardedRepartitionResult guarded;
+  WallTimer timer;
+  // hgr-lint: thread-ok (test needs a second thread to fire the stop)
+  std::thread runner([&] {
+    ScopedAssertHandler thread_local_throwing;
+    guarded = run_repartition_with_policy(RepartAlgorithm::kHypergraphRepart,
+                                          h, Graph{}, old_p, cfg);
+  });
+  stop.request_stop();
+  runner.join();
+  EXPECT_LT(timer.seconds(), 30.0);  // far below the 60s backoff
+  EXPECT_TRUE(guarded.degraded);
+  EXPECT_NE(guarded.error.find("stopped"), std::string::npos)
+      << guarded.error;
+  EXPECT_EQ(guarded.result.cost.migration_volume, 0);
+}
+
+}  // namespace
+}  // namespace hgr

@@ -156,6 +156,63 @@ TEST_F(StatsStreamTest, RequestedDumpFlushesAtNextPhaseClose) {
   EXPECT_NE(content.str().find("\"phase\":\"work\""), std::string::npos);
 }
 
+TEST_F(StatsStreamTest, IdleDumpServicedByExplicitFlush) {
+  // The daemon bug this PR fixes: a dump requested while no phase is
+  // running (idle hgr_serve) used to sit pending until the next phase
+  // close — which might never come. flush_pending_stats_dump() services
+  // it on the spot; hgr_serve calls it from the worker idle loop.
+  Registry reg;
+  ScopedRegistry scope(reg);
+  const std::string path = ::testing::TempDir() + "/stats_idle_flush.jsonl";
+  std::remove(path.c_str());
+  set_stats_stream_enabled(true);
+  set_stats_stream_path(path);
+  { TraceScope phase("work"); }          // one sample in the ring
+  EXPECT_FALSE(flush_pending_stats_dump());  // nothing pending: no-op
+  request_stats_dump();
+  ASSERT_TRUE(stats_dump_pending());
+  EXPECT_TRUE(flush_pending_stats_dump());  // no phase close needed
+  EXPECT_FALSE(stats_dump_pending());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "idle dump was not flushed to " << path;
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("hgr-stats-v1"), std::string::npos);
+  EXPECT_NE(content.str().find("\"phase\":\"work\""), std::string::npos);
+  // Serviced means serviced: a second flush writes nothing.
+  std::remove(path.c_str());
+  EXPECT_FALSE(flush_pending_stats_dump());
+  EXPECT_FALSE(std::ifstream(path).good());
+}
+
+TEST_F(StatsStreamTest, FlushWithoutDumpPathLeavesRequestPending) {
+  set_stats_stream_enabled(true);  // no dump path configured
+  request_stats_dump();
+  EXPECT_FALSE(flush_pending_stats_dump());
+  // The request survives so a later set_stats_stream_path + flush lands.
+  EXPECT_TRUE(stats_dump_pending());
+}
+
+TEST_F(StatsStreamTest, DisablingStreamFlushesPendingDump) {
+  // The exit path: a dump requested just before shutdown must not be
+  // dropped — set_stats_stream_enabled(false) flushes it on the way out.
+  Registry reg;
+  ScopedRegistry scope(reg);
+  const std::string path = ::testing::TempDir() + "/stats_close_flush.jsonl";
+  std::remove(path.c_str());
+  set_stats_stream_enabled(true);
+  set_stats_stream_path(path);
+  { TraceScope phase("final"); }
+  request_stats_dump();
+  set_stats_stream_enabled(false);
+  EXPECT_FALSE(stats_dump_pending());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "close-time dump was not flushed to " << path;
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("\"phase\":\"final\""), std::string::npos);
+}
+
 TEST_F(StatsStreamTest, ResetDropsSamplesButKeepsConfiguration) {
   Registry reg;
   ScopedRegistry scope(reg);

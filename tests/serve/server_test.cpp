@@ -1,0 +1,264 @@
+// In-process Server tests (src/serve/server.hpp): request lifecycle and
+// replies, DELTA coalescing into one epoch dispatch, bounded-queue
+// backpressure, shutdown shedding, structural updates (ADD / REMOVE /
+// SWAP), and the idle-loop stats-dump flush.
+//
+// Determinism device: a `delay@serve` fault rule parks the worker inside
+// its first batch, giving the test a window to stack requests behind it
+// before the worker sees them — that is what makes coalescing and
+// backpressure observable without sleeping and hoping.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>  // hgr-lint: thread-ok (polling sleeps in tests)
+#include <vector>
+
+#include "hypergraph/convert.hpp"
+#include "hypergraph/io.hpp"
+#include "obs/stats_stream.hpp"
+#include "obs/trace.hpp"
+#include "workload/generators.hpp"
+
+namespace hgr::serve {
+namespace {
+
+/// Thread-safe reply sink: completions arrive from the worker thread,
+/// parse errors and sheds from the submitting thread.
+class ReplyLog {
+ public:
+  void operator()(const std::string& line) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    lines_.push_back(line);
+  }
+  std::vector<std::string> snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return lines_;
+  }
+  std::size_t count_containing(const std::string& needle) const {
+    std::size_t n = 0;
+    for (const std::string& line : snapshot())
+      if (line.find(needle) != std::string::npos) ++n;
+    return n;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
+
+ReplyFn log_into(ReplyLog& log) {
+  return [&log](const std::string& line) { log(line); };
+}
+
+/// A small hMETIS file the daemon can LOAD: the 4x4x4 grid (64 vertices).
+std::string grid_hgr_path(const std::string& stem) {
+  const std::string path = ::testing::TempDir() + "/" + stem + ".hgr";
+  write_hmetis_file(graph_to_hypergraph(make_grid3d(4, 4, 4, false)), path);
+  return path;
+}
+
+ServeConfig serial_cfg() {
+  ServeConfig cfg;
+  cfg.default_k = 4;
+  cfg.default_alpha = 10;
+  cfg.default_epsilon = 0.1;
+  cfg.seed = 7;
+  return cfg;
+}
+
+/// Spin until the worker has dequeued everything submitted so far (the
+/// queue is empty; a batch may still be in flight).
+void wait_until_dequeued(const Server& server) {
+  while (server.queue_depth() != 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+TEST(ServeServer, LoadThenRepartReplies) {
+  ReplyLog log;
+  Server server(serial_cfg(), log_into(log));
+  const std::string path = grid_hgr_path("serve_load");
+  const std::uint64_t load_id = server.submit("LOAD g " + path + " k=4");
+  EXPECT_GT(load_id, 0u);
+  server.submit("REPART g");
+  server.drain();
+  const std::vector<std::string> replies = log.snapshot();
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_NE(replies[0].find("OK 1"), std::string::npos) << replies[0];
+  EXPECT_NE(replies[0].find("graph=g"), std::string::npos);
+  EXPECT_NE(replies[0].find("n=64"), std::string::npos);
+  EXPECT_NE(replies[0].find("k=4"), std::string::npos);
+  EXPECT_NE(replies[0].find("tier=static"), std::string::npos);
+  EXPECT_NE(replies[1].find("OK 2"), std::string::npos) << replies[1];
+  EXPECT_NE(replies[1].find("tier=full"), std::string::npos);
+  EXPECT_EQ(server.replied(), 2u);
+  server.shutdown();
+}
+
+TEST(ServeServer, ParseErrorAndUnknownGraphGetErrReplies) {
+  ReplyLog log;
+  Server server(serial_cfg(), log_into(log));
+  // Malformed input is answered synchronously, before any queueing.
+  const std::uint64_t bad_id = server.submit("FROB g");
+  EXPECT_EQ(log.count_containing("ERR " + std::to_string(bad_id)), 1u);
+  // A well-formed request against a graph nobody loaded fails in dispatch.
+  server.submit("DELTA nope 0:5");
+  server.drain();
+  EXPECT_EQ(log.count_containing("unknown graph 'nope'"), 1u);
+  // Blank lines and comments are not requests: no id, no reply.
+  EXPECT_EQ(server.submit(""), 0u);
+  EXPECT_EQ(server.submit("   "), 0u);
+  EXPECT_EQ(server.submit("# comment"), 0u);
+  server.drain();
+  EXPECT_EQ(server.replied(), 2u);
+  server.shutdown();
+}
+
+TEST(ServeServer, ConsecutiveDeltasCoalesceIntoOneDispatch) {
+  obs::Registry reg;
+  obs::ScopedRegistry scope(reg);
+  ReplyLog log;
+  ServeConfig cfg = serial_cfg();
+  // Park the worker inside the LOAD batch long enough to stack deltas
+  // behind it. The delay waits on the server's stop token, so even a
+  // pathological scheduler cannot wedge shutdown.
+  cfg.fault_plan = std::make_shared<const fault::FaultPlan>(
+      fault::FaultPlan::parse("delay@serve:ms=300"));
+  Server server(cfg, log_into(log));
+  server.submit("LOAD g " + grid_hgr_path("serve_coalesce") + " k=4");
+  wait_until_dequeued(server);  // LOAD is in flight, delayed
+  server.submit("DELTA g 0:9");
+  server.submit("DELTA g 1:9 2:9");
+  server.submit("DELTA g 3:9");
+  server.submit("DELTA g 0:2");  // same vertex again: last write wins
+  server.drain();
+  // One LOAD reply + four DELTA replies, all four from ONE dispatch.
+  EXPECT_EQ(server.replied(), 5u);
+  EXPECT_EQ(log.count_containing("coalesced=3"), 4u);
+  EXPECT_EQ(reg.counter_value("serve.coalesced"), 3u);
+  EXPECT_EQ(reg.counter_value("serve.batches"), 2u);  // LOAD + delta batch
+  EXPECT_EQ(reg.counter_value("serve.requests"), 5u);
+  EXPECT_EQ(reg.counter_value("serve.shed"), 0u);
+  server.shutdown();
+}
+
+TEST(ServeServer, FullQueueShedsWithBusyReply) {
+  obs::Registry reg;
+  obs::ScopedRegistry scope(reg);
+  ReplyLog log;
+  ServeConfig cfg = serial_cfg();
+  cfg.queue_capacity = 2;
+  cfg.fault_plan = std::make_shared<const fault::FaultPlan>(
+      fault::FaultPlan::parse("delay@serve:ms=300"));
+  Server server(cfg, log_into(log));
+  server.submit("LOAD g " + grid_hgr_path("serve_busy") + " k=4");
+  wait_until_dequeued(server);  // worker busy; queue is empty again
+  server.submit("DELTA g 0:1");
+  server.submit("DELTA g 1:1");
+  EXPECT_EQ(server.queue_depth(), 2u);
+  const std::uint64_t shed_id = server.submit("DELTA g 2:1");
+  // Backpressure is synchronous: the reply arrives before submit returns.
+  EXPECT_EQ(log.count_containing("BUSY " + std::to_string(shed_id) +
+                                 " queue full"),
+            1u);
+  EXPECT_EQ(reg.counter_value("serve.shed"), 1u);
+  server.drain();
+  EXPECT_EQ(server.replied(), 4u);  // LOAD + 2 deltas + 1 shed
+  server.shutdown();
+}
+
+TEST(ServeServer, StopShedsQueuedRequestsWithOneReplyEach) {
+  ReplyLog log;
+  ServeConfig cfg = serial_cfg();
+  cfg.fault_plan = std::make_shared<const fault::FaultPlan>(
+      fault::FaultPlan::parse("delay@serve:ms=10000"));
+  Server server(cfg, log_into(log));
+  server.submit("LOAD g " + grid_hgr_path("serve_stop") + " k=4");
+  wait_until_dequeued(server);  // LOAD parked in its 10s delay
+  server.submit("DELTA g 0:1");
+  server.submit("DELTA g 1:1");
+  server.submit("REPART g");
+  server.stop();  // interrupts the delay, sheds everything still queued
+  EXPECT_EQ(log.count_containing("server stopping"), 3u);
+  EXPECT_EQ(server.replied(), 4u);
+  // Post-stop submissions are shed immediately, still with a reply.
+  const std::uint64_t late = server.submit("DELTA g 2:1");
+  EXPECT_EQ(log.count_containing("BUSY " + std::to_string(late) +
+                                 " server stopping"),
+            1u);
+}
+
+TEST(ServeServer, AddRemoveSwapAdjustTheVertexSpace) {
+  ReplyLog log;
+  Server server(serial_cfg(), log_into(log));
+  server.submit("LOAD g " + grid_hgr_path("serve_struct") + " k=4");
+  server.submit("ADD g 3 4");     // 64 -> 66 vertices
+  server.submit("REMOVE g 0 1");  // 66 -> 64
+  server.drain();
+  const std::vector<std::string> replies = log.snapshot();
+  ASSERT_EQ(replies.size(), 3u);
+  for (const std::string& r : replies)
+    EXPECT_EQ(r.rfind("OK ", 0), 0u) << r;
+  // SWAP to a structurally different hypergraph repartitions statically.
+  const std::string bigger = ::testing::TempDir() + "/serve_struct_big.hgr";
+  write_hmetis_file(graph_to_hypergraph(make_grid3d(5, 5, 5, false)), bigger);
+  server.submit("SWAP g " + bigger);
+  // SWAP to a same-size structure keeps the assignment, full epoch decides.
+  server.submit("SWAP g " + bigger);
+  server.drain();
+  const std::vector<std::string> all = log.snapshot();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_NE(all[3].find("n=125"), std::string::npos) << all[3];
+  EXPECT_NE(all[3].find("tier=static"), std::string::npos) << all[3];
+  EXPECT_NE(all[4].find("tier=full"), std::string::npos) << all[4];
+  server.shutdown();
+}
+
+TEST(ServeServer, IdleWorkerFlushesPendingStatsDump) {
+  // The satellite-3 end-to-end check: SIGUSR1's request_stats_dump() used
+  // to sit pending until the next phase close — which an idle daemon never
+  // reaches. The serve worker's idle loop now services it.
+  obs::set_stats_stream_enabled(false);
+  obs::set_stats_stream_path("");
+  obs::reset_stats_stream();
+  const std::string dump = ::testing::TempDir() + "/serve_idle_dump.jsonl";
+  std::remove(dump.c_str());
+  obs::set_stats_stream_enabled(true);
+  obs::set_stats_stream_path(dump);
+  ReplyLog log;
+  Server server(serial_cfg(), log_into(log));
+  // The LOAD's partition phases push samples into the ring.
+  server.submit("LOAD g " + grid_hgr_path("serve_dump") + " k=4");
+  server.drain();
+  obs::request_stats_dump();  // what the SIGUSR1 handler does
+  // No further requests arrive: only the idle loop can flush this.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  bool flushed = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (!obs::stats_dump_pending() && std::ifstream(dump).good()) {
+      flushed = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server.shutdown();
+  obs::set_stats_stream_enabled(false);
+  obs::set_stats_stream_path("");
+  obs::reset_stats_stream();
+  ASSERT_TRUE(flushed) << "idle worker never flushed the requested dump";
+  std::ifstream in(dump);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("hgr-stats-v1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hgr::serve

@@ -64,6 +64,11 @@ TRACKED = [
     ("metrics.contract_seconds.t1.mean", True),
     ("metrics.kway_seconds.t1.mean", True),
     ("metrics.parallel_speedup_t4", False),
+    # serve_throughput (hgr_serve core: coalescing burst + warm residency).
+    ("metrics.serve_requests_per_s", False),
+    ("metrics.serve_p99_latency_ns", True),
+    ("metrics.warm_epoch_seconds.mean", True),
+    ("metrics.warm_speedup", False),
 ]
 
 
